@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for Algorithm 1 (Figure 5's fast path).
+//!
+//! `alg1/n/*` sweeps the domain size at α = 10 (Figure 5(a)'s x-axis);
+//! `alg1/alpha/*` sweeps the previous-leakage input at n = 50 (Figure
+//! 5(b)'s x-axis). The expected profile: polynomial growth in `n`; mild
+//! growth in `α` that stabilizes past α ≈ 10 (more Inequality-(21)
+//! update sweeps fire at large α, but at most n−1 of them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tcdp_core::alg1::temporal_loss;
+use tcdp_markov::TransitionMatrix;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("alg1/n");
+    for n in [10usize, 25, 50, 100] {
+        let m = TransitionMatrix::random_uniform(n, &mut rng).expect("matrix");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| black_box(temporal_loss(m, black_box(10.0)).expect("loss")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_alpha(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = TransitionMatrix::random_uniform(50, &mut rng).expect("matrix");
+    let mut group = c.benchmark_group("alg1/alpha");
+    for alpha in [0.001, 0.1, 1.0, 10.0, 20.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| black_box(temporal_loss(&m, black_box(alpha)).expect("loss")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_alpha);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the generic LFP baselines (Figure 5's slow
+//! paths) and the ablation "Algorithm 1 vs generic solver" per row pair.
+//!
+//! Kept at small `n` so `cargo bench` finishes quickly — the full-scale
+//! comparison is the `fig5` harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tcdp_core::alg1::{temporal_loss, temporal_loss_lp, LpBaseline};
+use tcdp_lp::problem::PaperProgram;
+use tcdp_markov::TransitionMatrix;
+
+fn bench_pair_solvers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("lfp/pair");
+    for n in [4usize, 8, 16] {
+        let m = TransitionMatrix::random_uniform(n, &mut rng).expect("matrix");
+        let program = PaperProgram::new(n, 10.0).expect("program");
+        let (q, d) = (m.row(0).to_vec(), m.row(1).to_vec());
+        group.bench_with_input(BenchmarkId::new("charnes_cooper", n), &n, |b, _| {
+            b.iter(|| black_box(program.max_ratio_charnes_cooper(&q, &d).expect("cc")));
+        });
+        group.bench_with_input(BenchmarkId::new("charnes_cooper_revised", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(program.max_ratio_charnes_cooper_revised(&q, &d).expect("rev"))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dinkelbach", n), &n, |b, _| {
+            b.iter(|| black_box(program.max_ratio_dinkelbach(&q, &d).expect("dk")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_matrix(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 8;
+    let m = TransitionMatrix::random_uniform(n, &mut rng).expect("matrix");
+    let mut group = c.benchmark_group("lfp/full-matrix-n8");
+    group.bench_function("alg1", |b| {
+        b.iter(|| black_box(temporal_loss(&m, 10.0).expect("loss")));
+    });
+    group.bench_function("charnes_cooper", |b| {
+        b.iter(|| {
+            black_box(temporal_loss_lp(&m, 10.0, LpBaseline::CharnesCooper).expect("cc"))
+        });
+    });
+    group.bench_function("dinkelbach", |b| {
+        b.iter(|| black_box(temporal_loss_lp(&m, 10.0, LpBaseline::Dinkelbach).expect("dk")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pair_solvers, bench_full_matrix);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the Markov substrate: correlation generation
+//! (Equation 25), chain reversal (Section III-A's Bayes rule), and
+//! trajectory simulation — the workload-generation costs of Section VI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tcdp_markov::{smoothing, MarkovChain, TransitionMatrix};
+
+fn bench_smoothing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/smoothed-strongest");
+    for n in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| black_box(smoothing::smoothed_strongest(n, 0.005, &mut rng).expect("m")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reversal(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("markov/reverse-stationary");
+    for n in [10usize, 50] {
+        let m = TransitionMatrix::random_uniform(n, &mut rng).expect("m");
+        let chain = MarkovChain::uniform_start(m);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+            b.iter(|| black_box(chain.reverse_stationary().expect("reversal")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let m = TransitionMatrix::random_uniform(50, &mut rng).expect("m");
+    let chain = MarkovChain::uniform_start(m);
+    c.bench_function("markov/simulate-10k-steps", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| black_box(chain.simulate(10_000, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_smoothing, bench_reversal, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the release planners (Algorithms 2 and 3)
+//! and the leakage accountant — the operations a deploying server runs
+//! online.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tcdp_core::{
+    quantified_plan, upper_bound_plan, w_event_plan, AdaptiveReleaser, AdversaryT,
+    TplAccountant,
+};
+use tcdp_markov::{smoothing, TransitionMatrix};
+
+fn adversary(n: usize, s: f64, seed: u64) -> AdversaryT {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pb = smoothing::smoothed_strongest(n, s, &mut rng).expect("pb");
+    let pf = smoothing::smoothed_strongest(n, s, &mut rng).expect("pf");
+    AdversaryT::with_both(pb, pf).expect("adv")
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("release/plan");
+    for n in [2usize, 10, 50] {
+        let adv = adversary(n, 0.05, n as u64);
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &adv, |b, adv| {
+            b.iter(|| black_box(upper_bound_plan(adv, 1.0).expect("plan")));
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm3-T30", n), &adv, |b, adv| {
+            b.iter(|| black_box(quantified_plan(adv, 1.0, 30).expect("plan")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_accountant(c: &mut Criterion) {
+    let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).expect("m");
+    let mut group = c.benchmark_group("release/accountant");
+    for t_len in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("observe+tpl", t_len), &t_len, |b, &t_len| {
+            b.iter(|| {
+                let mut acc = TplAccountant::with_both(p.clone(), p.clone()).expect("acc");
+                acc.observe_uniform(0.1, t_len).expect("observe");
+                black_box(acc.tpl_series().expect("tpl"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let adv = adversary(10, 0.05, 7);
+    let mut group = c.benchmark_group("release/extensions");
+    group.bench_function("w_event_plan-w4", |b| {
+        b.iter(|| black_box(w_event_plan(&adv, 1.0, 4).expect("plan")));
+    });
+    group.bench_function("adaptive-stream-30", |b| {
+        b.iter(|| {
+            let mut rel = AdaptiveReleaser::new(&adv, 1.0).expect("plan");
+            for _ in 0..29 {
+                rel.next_budget().expect("budget");
+            }
+            black_box(rel.finalize().expect("final"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners, bench_accountant, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ablation (ours) — empirical validation of the analytic TPL ordering.
+//!
+//! TPL is a worst-case log-likelihood-ratio bound; this harness runs the
+//! *actual* Bayesian adversary (forward–backward posterior over the
+//! victim's trajectory from the noisy releases plus the Markov prior) and
+//! checks that empirical attack accuracy orders exactly as the analytic
+//! leakage does:
+//!
+//! * stronger correlation ⇒ higher TPL ⇒ higher attack accuracy;
+//! * larger per-step ε ⇒ higher TPL ⇒ higher attack accuracy;
+//! * α-DP_T budgets (Algorithm 2) equalize the attacker's advantage
+//!   across correlation strengths, unlike a fixed uniform ε.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tcdp_core::inference::simulate_attack;
+use tcdp_core::{upper_bound_plan, AdversaryT, TplAccountant};
+use tcdp_markov::{MarkovChain, TransitionMatrix};
+
+const T: usize = 20;
+const RUNS: usize = 80;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    stickiness: f64,
+    epsilon: f64,
+    analytic_tpl: f64,
+    attack_accuracy: f64,
+}
+
+fn chain(stick: f64) -> MarkovChain {
+    MarkovChain::uniform_start(TransitionMatrix::two_state(stick, stick).expect("stochastic"))
+}
+
+fn mean_accuracy(c: &MarkovChain, budgets: &[f64], seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..RUNS).map(|_| simulate_attack(c, budgets, &mut rng).expect("attack")).sum::<f64>()
+        / RUNS as f64
+}
+
+fn analytic_tpl(c: &MarkovChain, budgets: &[f64]) -> f64 {
+    let adv = AdversaryT::from_forward_chain(c).expect("adversary");
+    let mut acc = TplAccountant::new(&adv);
+    for &b in budgets {
+        acc.observe_release(b).expect("observe");
+    }
+    acc.max_tpl().expect("tpl")
+}
+
+fn main() {
+    println!("Empirical Bayesian attack vs analytic TPL (T = {T}, {RUNS} runs each)\n");
+    println!(
+        "{:<12} {:<10} {:>14} {:>16}",
+        "stickiness", "eps", "analytic TPL", "attack accuracy"
+    );
+
+    let mut rows = Vec::new();
+    for &stick in &[0.55, 0.8, 0.95] {
+        for &eps in &[0.2, 1.0] {
+            let c = chain(stick);
+            let budgets = vec![eps; T];
+            let tpl = analytic_tpl(&c, &budgets);
+            let acc = mean_accuracy(&c, &budgets, (stick * 100.0) as u64 + eps as u64);
+            println!("{stick:<12} {eps:<10} {tpl:>14.3} {acc:>16.3}");
+            rows.push(Row { stickiness: stick, epsilon: eps, analytic_tpl: tpl, attack_accuracy: acc });
+        }
+    }
+
+    // Ordering checks within each eps level: accuracy tracks TPL.
+    for &eps in &[0.2, 1.0] {
+        let lvl: Vec<&Row> =
+            rows.iter().filter(|r| (r.epsilon - eps).abs() < 1e-12).collect();
+        assert!(lvl[2].analytic_tpl > lvl[0].analytic_tpl);
+        assert!(
+            lvl[2].attack_accuracy > lvl[0].attack_accuracy,
+            "eps={eps}: empirical accuracy must track analytic TPL"
+        );
+    }
+
+    // DP_T-planned budgets equalize exposure: under Algorithm 2 plans for
+    // α = 1, the strong-correlation attacker gains far less over the weak
+    // one than under a fixed eps = 1.
+    println!("\nwith Algorithm 2 budgets for α = 1 (vs fixed eps = 1):");
+    let mut planned = Vec::new();
+    for &stick in &[0.55, 0.95] {
+        let c = chain(stick);
+        let adv = AdversaryT::from_forward_chain(&c).expect("adversary");
+        let plan = upper_bound_plan(&adv, 1.0).expect("plan");
+        let budgets: Vec<f64> = (0..T).map(|t| plan.budget_at(t)).collect();
+        let acc = mean_accuracy(&c, &budgets, 7 + (stick * 10.0) as u64);
+        println!("  stickiness {stick}: eps/step={:.3}, attack accuracy {acc:.3}", budgets[0]);
+        planned.push(acc);
+    }
+    let fixed_gap = rows
+        .iter()
+        .find(|r| r.stickiness == 0.95 && r.epsilon == 1.0)
+        .map(|r| r.attack_accuracy)
+        .expect("row")
+        - rows
+            .iter()
+            .find(|r| r.stickiness == 0.55 && r.epsilon == 1.0)
+            .map(|r| r.attack_accuracy)
+            .expect("row");
+    let planned_gap = planned[1] - planned[0];
+    println!(
+        "  accuracy gap strong-vs-weak: fixed eps {fixed_gap:.3}, DP_T-planned {planned_gap:.3}"
+    );
+    assert!(
+        planned_gap < fixed_gap,
+        "DP_T budgets must shrink the strong-correlation advantage"
+    );
+
+    write_json_rows(rows);
+}
+
+fn write_json_rows(rows: Vec<Row>) {
+    tcdp_bench::write_json("ablation_attack", &rows);
+}

@@ -1,0 +1,68 @@
+//! Ablation (ours) — group differential privacy vs Algorithms 2/3.
+//!
+//! The paper's introduction argues the naive defense — protecting
+//! correlated points as a group, i.e. adding `Lap(T/α)` noise per step —
+//! over-perturbs because it ignores the *probability* of the correlation.
+//! This harness quantifies that claim: for probabilistic correlations of
+//! varying strength, compare the per-step noise of
+//!
+//! * the group-DP baseline (noise `T/α`, oblivious to correlation
+//!   strength),
+//! * Algorithm 2's uniform budget, and
+//! * Algorithm 3's quantified allocation,
+//!
+//! all guaranteeing α-DP_T over horizon T. The finer the quantification,
+//! the closer the noise gets to the no-correlation floor `1/α`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tcdp_bench::write_json;
+use tcdp_core::{quantified_plan, upper_bound_plan, AdversaryT};
+use tcdp_markov::smoothing;
+use tcdp_mech::budget::Epsilon;
+use tcdp_mech::group::per_step_budget_for_horizon;
+
+const ALPHA: f64 = 2.0;
+const T: usize = 10;
+const N: usize = 20;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    s: f64,
+    group_dp_noise: f64,
+    alg2_noise: f64,
+    alg3_noise: f64,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("Ablation: per-step |Laplace noise| to guarantee {ALPHA}-DP_T over T = {T}");
+    println!("no-correlation floor: {:.2}\n", 1.0 / ALPHA);
+    println!("{:<8} {:>12} {:>12} {:>12}", "s", "group-DP", "Algorithm 2", "Algorithm 3");
+
+    let group_eps =
+        per_step_budget_for_horizon(Epsilon::new(ALPHA).expect("eps"), T).expect("split");
+    let group_noise = 1.0 / group_eps.value();
+
+    let mut rows = Vec::new();
+    for s in [0.01, 0.05, 0.2, 1.0] {
+        let pb = smoothing::smoothed_strongest(N, s, &mut rng).expect("pb");
+        let pf = smoothing::smoothed_strongest(N, s, &mut rng).expect("pf");
+        let adv = AdversaryT::with_both(pb, pf).expect("adv");
+        let a2 = upper_bound_plan(&adv, ALPHA).expect("plan").mean_abs_noise(T, 1.0);
+        let a3 = quantified_plan(&adv, ALPHA, T).expect("plan").mean_abs_noise(T, 1.0);
+        println!("{s:<8} {group_noise:>12.2} {a2:>12.2} {a3:>12.2}");
+        rows.push(Row { s, group_dp_noise: group_noise, alg2_noise: a2, alg3_noise: a3 });
+    }
+
+    // The paper's claim: for weak correlations the fine-grained methods
+    // beat the oblivious group baseline, which charges the full Lap(T/α)
+    // regardless of s.
+    let weakest = rows.last().expect("rows");
+    assert!(weakest.alg3_noise < weakest.group_dp_noise / 2.0);
+    assert!(weakest.alg2_noise < weakest.group_dp_noise / 2.0);
+    println!("\ncheck passed: quantified budgets beat group-DP under weak correlations");
+
+    write_json("ablation_group", &rows);
+}

@@ -1,0 +1,85 @@
+//! Ablation (ours) — does publishing less often help?
+//!
+//! Releasing every k-th snapshot replaces the adversary's effective
+//! correlation with `P^k`. For aperiodic chains this decays toward the
+//! stationary kernel and the leakage supremum falls toward the
+//! no-correlation floor ε; for periodic chains, subsampling at the period
+//! is catastrophic (the effective correlation becomes the identity). Both
+//! regimes are measured here.
+
+use serde::Serialize;
+use tcdp_bench::write_json;
+use tcdp_core::sparse::{min_period_for_target, subsampled_supremum};
+use tcdp_core::supremum::Supremum;
+use tcdp_markov::{graph, TransitionMatrix};
+
+const EPS: f64 = 0.3;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    chain: &'static str,
+    k: usize,
+    supremum: Option<f64>,
+}
+
+fn main() {
+    let sticky = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]])
+        .expect("stochastic");
+    let ring = graph::ring_road(6, 1.0, 0.0).expect("ring"); // deterministic cycle
+    let lazy_ring = graph::ring_road(6, 0.9, 0.1).expect("ring");
+
+    println!("Ablation: leakage supremum vs release period k (uniform eps = {EPS})\n");
+    println!("{:<22} {:>4} {:>12}", "chain", "k", "supremum");
+    let mut rows = Vec::new();
+    for (name, m) in [
+        ("sticky 2-state", &sticky),
+        ("deterministic ring", &ring),
+        ("lazy biased ring", &lazy_ring),
+    ] {
+        for k in 1..=8 {
+            let sup = subsampled_supremum(m, EPS, k).expect("analysis");
+            let value = sup.finite();
+            match value {
+                Some(v) => println!("{name:<22} {k:>4} {v:>12.4}"),
+                None => println!("{name:<22} {k:>4} {:>12}", "unbounded"),
+            }
+            rows.push(Row { chain: name, k, supremum: value });
+        }
+        println!();
+    }
+
+    // Checks: aperiodic chains improve monotonically with k; the
+    // deterministic ring is unbounded at EVERY period (P^k stays a
+    // permutation); the lazy ring is bounded everywhere.
+    let sticky_sups: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.chain == "sticky 2-state")
+        .map(|r| r.supremum.expect("finite"))
+        .collect();
+    for w in sticky_sups.windows(2) {
+        assert!(w[1] <= w[0] + 1e-12);
+    }
+    assert!(rows
+        .iter()
+        .filter(|r| r.chain == "deterministic ring")
+        .all(|r| r.supremum.is_none()));
+    // The lazy ring is unbounded at k = 1 — opposite junctions of a 6-ring
+    // have disjoint one-step supports, so one release perfectly separates
+    // them — but bounded (and improving) once k ≥ 2 spreads the walk.
+    assert!(rows
+        .iter()
+        .filter(|r| r.chain == "lazy biased ring" && r.k >= 2)
+        .all(|r| r.supremum.is_some()));
+    assert!(rows
+        .iter()
+        .any(|r| r.chain == "lazy biased ring" && r.k == 1 && r.supremum.is_none()));
+
+    let k_needed = min_period_for_target(&sticky, EPS, 0.33, 20).expect("analysis");
+    println!("sticky 2-state: smallest k with supremum <= 0.33 is {k_needed:?}");
+    assert!(matches!(
+        subsampled_supremum(&sticky, EPS, 1).expect("analysis"),
+        Supremum::Finite(v) if v > 0.33
+    ));
+
+    write_json("ablation_sparse", &rows);
+}

@@ -1,0 +1,91 @@
+//! Figure 6 — impact of temporal correlation degree on privacy leakage.
+//!
+//! BPL over time for ε-DP-per-step mechanisms under Section VI's
+//! smoothed-strongest correlations:
+//!
+//! * panel (a): ε = 1, t up to 15, series for s = 0 (n = 50),
+//!   s = 0.005 (n = 50), s = 0.005 (n = 200), s = 0.05 (n = 50);
+//! * panel (b): ε = 0.1, t up to 150, same series.
+//!
+//! Expected shapes (paper's findings): sharp growth then plateau; smaller
+//! `s` (stronger correlation) climbs higher and longer; a smaller ε delays
+//! the growth (~8 timestamps at ε = 1 vs ~80 at ε = 0.1 for s = 0.005)
+//! but, under strong correlation, does not end up substantially lower;
+//! larger `n` under the same `s` leaks less.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcdp_bench::{write_json, Series};
+use tcdp_core::loss::TemporalLossFunction;
+use tcdp_markov::{smoothing, TransitionMatrix};
+
+fn bpl_series(matrix: &TransitionMatrix, eps: f64, t_len: usize) -> Vec<f64> {
+    let loss = TemporalLossFunction::new(matrix.clone());
+    let mut out = Vec::with_capacity(t_len);
+    let mut alpha = 0.0;
+    for t in 0..t_len {
+        alpha = if t == 0 { eps } else { loss.eval(alpha).expect("loss") + eps };
+        out.push(alpha);
+    }
+    out
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cases: Vec<(&str, TransitionMatrix)> = vec![
+        ("s=0.0 (n=50)", smoothing::smoothed_strongest(50, 0.0, &mut rng).expect("m")),
+        ("s=0.001 (n=50)", smoothing::smoothed_strongest(50, 0.001, &mut rng).expect("m")),
+        ("s=0.005 (n=50)", smoothing::smoothed_strongest(50, 0.005, &mut rng).expect("m")),
+        ("s=0.005 (n=200)", smoothing::smoothed_strongest(200, 0.005, &mut rng).expect("m")),
+        ("s=0.05 (n=50)", smoothing::smoothed_strongest(50, 0.05, &mut rng).expect("m")),
+    ];
+
+    let mut out = Vec::new();
+    for (eps, t_len, panel) in [(1.0, 15usize, "(a) eps=1"), (0.1, 150, "(b) eps=0.1")] {
+        println!("Figure 6{panel}: BPL over time (log-scale in the paper)");
+        for (name, matrix) in &cases {
+            let series = bpl_series(matrix, eps, t_len);
+            let mid = series[t_len / 2];
+            let last = *series.last().expect("non-empty");
+            println!("  {name:<18} BPL(t={})={mid:.3}  BPL(t={t_len})={last:.3}", t_len / 2 + 1);
+            out.push(Series::new(format!("{panel} {name}"), series));
+        }
+        println!();
+    }
+
+    // Shape assertions mirroring the paper's three findings.
+    let find = |needle: &str| {
+        out.iter()
+            .find(|s| s.label.starts_with("(a)") && s.label.contains(needle))
+            .expect("series present")
+    };
+    let a_strong = find("s=0.005 (n=50)");
+    let a_weak = find("s=0.05 (n=50)");
+    assert!(
+        a_strong.values.last() > a_weak.values.last(),
+        "stronger correlation must leak more"
+    );
+    let a_big_n = find("s=0.005 (n=200)");
+    assert!(
+        a_big_n.values.last() < a_strong.values.last(),
+        "larger n under same s must leak less"
+    );
+    // Paper's "Privacy Leakage vs ε" finding: the small budget delays the
+    // growth, but under strong correlation (s = 0.001) the eventual leakage
+    // at ε = 0.1 is not an order of magnitude below the ε = 1 one.
+    let a001_eps1 = find("s=0.001 (n=50)").values.last().copied().expect("value");
+    let b001 = out
+        .iter()
+        .find(|s| s.label.starts_with("(b)") && s.label.contains("s=0.001 (n=50)"))
+        .expect("series");
+    let a001_eps01 = b001.values.last().copied().expect("value");
+    println!(
+        "eventual leakage under s=0.001: eps=1 -> {a001_eps1:.2}, eps=0.1 -> {a001_eps01:.2} \
+         (ratio {:.1}x, far below the 10x budget ratio)",
+        a001_eps1 / a001_eps01
+    );
+    assert!(a001_eps1 / a001_eps01 < 4.0, "strong correlation erodes the small-eps advantage");
+    println!("shape checks passed: smaller s leaks more; larger n leaks less");
+
+    write_json("fig6", &out);
+}

@@ -1,0 +1,117 @@
+//! # tcdp-bench — experiment harnesses
+//!
+//! One runnable binary per table/figure of the paper's evaluation
+//! (Section VI), printing the same rows/series the paper reports and
+//! writing machine-readable JSON into `results/`:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig3` | Figure 3 — BPL/FPL/TPL of Lap(1/0.1) over t = 1..10 |
+//! | `fig4` | Figure 4 — max BPL over time, four supremum regimes |
+//! | `fig5` | Figure 5 — runtime of Algorithm 1 vs generic LP baselines |
+//! | `fig6` | Figure 6 — BPL growth vs correlation degree `s`, `n`, ε |
+//! | `fig7` | Figure 7 — budget allocation of Algorithms 2 and 3 |
+//! | `fig8` | Figure 8 — data utility of Algorithms 2 and 3 |
+//! | `table2` | Table II — event/w-event/user-level guarantees |
+//! | `ablation_group` | ours — group-DP baseline vs Algorithms 2/3 |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Format a numeric series the way the paper prints figures' data points.
+pub fn fmt_series(series: &[f64]) -> String {
+    series.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Print a labeled series row.
+pub fn print_series(label: &str, series: &[f64]) {
+    println!("{label:<40} {}", fmt_series(series));
+}
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+pub fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    assert!(reps > 0);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times[times.len() / 2]
+}
+
+/// Write a serializable result bundle under `results/<name>.json`,
+/// creating the directory as needed. Errors are reported, not fatal —
+/// the printed output is the primary deliverable.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// A labeled series for JSON output.
+#[derive(Debug, Serialize)]
+pub struct Series {
+    /// Label, e.g. "BPL s=0.005 n=50".
+    pub label: String,
+    /// The data points.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Build a labeled series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { label: label.into(), values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_series_rounds() {
+        assert_eq!(fmt_series(&[0.1, 0.18078]), "0.1000, 0.1808");
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, secs) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn median_of_reps() {
+        let m = median_seconds(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m >= 0.0);
+    }
+}

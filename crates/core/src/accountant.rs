@@ -1,0 +1,357 @@
+//! The temporal privacy leakage accountant.
+//!
+//! Tracks a continual release against one adversary and evaluates the
+//! paper's three leakage quantities at every time point:
+//!
+//! * **BPL** (Definition 6, Equation 13) — computed *incrementally* as
+//!   releases arrive: `BPL(t) = L^B(BPL(t−1)) + ε_t`;
+//! * **FPL** (Definition 7, Equation 15) — recomputed *backward over the
+//!   whole timeline* on demand, because (as Example 3 stresses) every new
+//!   release updates the FPL of all earlier time points:
+//!   `FPL(t) = L^F(FPL(t+1)) + ε_t`, anchored at `FPL(T) = ε_T`;
+//! * **TPL** (Equation 10) — `TPL(t) = BPL(t) + FPL(t) − ε_t`.
+//!
+//! A mechanism timeline satisfies α-DP_T (Definition 8) iff
+//! [`TplAccountant::max_tpl`] never exceeds α.
+
+use crate::adversary::AdversaryT;
+use crate::loss::TemporalLossFunction;
+use crate::{check_epsilon, Result, TplError};
+use serde::{Deserialize, Serialize};
+use tcdp_markov::TransitionMatrix;
+
+/// Snapshot of the leakage at the moment a release happens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TplReport {
+    /// Time index of the release (0-based).
+    pub t: usize,
+    /// Budget ε_t spent by this release.
+    pub epsilon: f64,
+    /// Backward privacy leakage at time `t` (final — BPL never changes
+    /// once computed).
+    pub backward: f64,
+    /// Forward privacy leakage at time `t` *as of now* (no future releases
+    /// yet, so this equals ε_t; it grows as later releases arrive).
+    pub forward: f64,
+    /// Temporal privacy leakage at time `t` as of now.
+    pub total: f64,
+}
+
+/// Leakage accountant for one adversary over one release timeline.
+///
+/// Serializable: a long-running service can persist the accountant
+/// between releases and resume with the full leakage history intact (the
+/// BPL recursion cannot be reconstructed from budgets alone without
+/// replaying every release).
+///
+/// ```
+/// use tcdp_core::TplAccountant;
+/// use tcdp_markov::TransitionMatrix;
+///
+/// // Figure 3(a)(ii): BPL accumulates 0.10, 0.18, 0.25, ...
+/// let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
+/// let mut acc = TplAccountant::backward_only(p).unwrap();
+/// acc.observe_uniform(0.1, 3).unwrap();
+/// let bpl = acc.bpl_series();
+/// assert!((bpl[1] - 0.18).abs() < 0.005);
+/// assert!((bpl[2] - 0.25).abs() < 0.005);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TplAccountant {
+    backward: Option<TemporalLossFunction>,
+    forward: Option<TemporalLossFunction>,
+    budgets: Vec<f64>,
+    bpl: Vec<f64>,
+}
+
+impl TplAccountant {
+    /// Build an accountant for the given adversary.
+    pub fn new(adversary: &AdversaryT) -> Self {
+        Self {
+            backward: adversary.backward_loss(),
+            forward: adversary.forward_loss(),
+            budgets: Vec::new(),
+            bpl: Vec::new(),
+        }
+    }
+
+    /// Adversary type `A^T_i(P^B)`: backward correlation only.
+    pub fn backward_only(pb: TransitionMatrix) -> Result<Self> {
+        Ok(Self::new(&AdversaryT::with_backward(pb)))
+    }
+
+    /// Adversary type `A^T_i(P^F)`: forward correlation only.
+    pub fn forward_only(pf: TransitionMatrix) -> Result<Self> {
+        Ok(Self::new(&AdversaryT::with_forward(pf)))
+    }
+
+    /// Adversary type `A^T_i(P^B, P^F)`.
+    pub fn with_both(pb: TransitionMatrix, pf: TransitionMatrix) -> Result<Self> {
+        Ok(Self::new(&AdversaryT::with_both(pb, pf)?))
+    }
+
+    /// The traditional adversary (leakage degenerates to ε_t everywhere).
+    pub fn traditional() -> Self {
+        Self::new(&AdversaryT::traditional())
+    }
+
+    /// Number of releases observed so far.
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Whether no release has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+
+    /// Budgets observed so far.
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// Record a release of budget `eps` at the next time point.
+    pub fn observe_release(&mut self, eps: f64) -> Result<TplReport> {
+        check_epsilon(eps)?;
+        let t = self.budgets.len();
+        let bpl_t = match (&self.backward, self.bpl.last()) {
+            (Some(l), Some(&prev)) => l.eval(prev)? + eps,
+            _ => eps, // t = 0, or no backward correlation known
+        };
+        self.budgets.push(eps);
+        self.bpl.push(bpl_t);
+        Ok(TplReport { t, epsilon: eps, backward: bpl_t, forward: eps, total: bpl_t })
+    }
+
+    /// Record `t_len` releases with the same budget.
+    pub fn observe_uniform(&mut self, eps: f64, t_len: usize) -> Result<()> {
+        for _ in 0..t_len {
+            self.observe_release(eps)?;
+        }
+        Ok(())
+    }
+
+    /// The BPL series (Equation 13) — one value per observed release;
+    /// values are final.
+    pub fn bpl_series(&self) -> &[f64] {
+        &self.bpl
+    }
+
+    /// The FPL series (Equation 15) given everything observed so far.
+    /// Recomputed backward from the last release; earlier entries grow as
+    /// more releases arrive.
+    pub fn fpl_series(&self) -> Result<Vec<f64>> {
+        let t_len = self.budgets.len();
+        let mut fpl = vec![0.0; t_len];
+        if t_len == 0 {
+            return Ok(fpl);
+        }
+        fpl[t_len - 1] = self.budgets[t_len - 1];
+        for t in (0..t_len - 1).rev() {
+            fpl[t] = match &self.forward {
+                Some(l) => l.eval(fpl[t + 1])? + self.budgets[t],
+                None => self.budgets[t],
+            };
+        }
+        Ok(fpl)
+    }
+
+    /// The TPL series (Equation 10): `BPL + FPL − ε` per time point.
+    pub fn tpl_series(&self) -> Result<Vec<f64>> {
+        let fpl = self.fpl_series()?;
+        Ok(self
+            .bpl
+            .iter()
+            .zip(&fpl)
+            .zip(&self.budgets)
+            .map(|((b, f), e)| b + f - e)
+            .collect())
+    }
+
+    /// TPL at a single time point.
+    pub fn tpl_at(&self, t: usize) -> Result<f64> {
+        let series = self.tpl_series()?;
+        series.get(t).copied().ok_or(TplError::EmptyTimeline)
+    }
+
+    /// The worst TPL across the timeline — the α for which the observed
+    /// mechanism sequence currently satisfies α-DP_T at event level.
+    pub fn max_tpl(&self) -> Result<f64> {
+        let series = self.tpl_series()?;
+        series
+            .into_iter()
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .ok_or(TplError::EmptyTimeline)
+    }
+
+    /// Corollary 1: the user-level guarantee of the whole timeline is the
+    /// plain sequential-composition sum `Σ ε_k` — temporal correlations do
+    /// not worsen user-level privacy.
+    pub fn user_level(&self) -> f64 {
+        self.budgets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_matrix() -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap()
+    }
+
+    /// Paper Figure 3(a)(ii): the BPL series of Lap(1/0.1) under the
+    /// moderate backward correlation, to the two decimals printed there.
+    #[test]
+    fn figure3_bpl_series_matches_paper() {
+        let expected = [0.10, 0.18, 0.25, 0.30, 0.35, 0.39, 0.42, 0.45, 0.48, 0.50];
+        let mut acc = TplAccountant::backward_only(fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 10).unwrap();
+        for (t, &e) in expected.iter().enumerate() {
+            let got = acc.bpl_series()[t];
+            assert!((got - e).abs() < 0.005, "t={}: got {got}, paper says {e}", t + 1);
+        }
+    }
+
+    /// Paper Figure 3(b)(ii): FPL is the same series reversed.
+    #[test]
+    fn figure3_fpl_series_matches_paper() {
+        let expected = [0.50, 0.48, 0.45, 0.42, 0.39, 0.35, 0.30, 0.25, 0.18, 0.10];
+        let mut acc = TplAccountant::forward_only(fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 10).unwrap();
+        let fpl = acc.fpl_series().unwrap();
+        for (t, &e) in expected.iter().enumerate() {
+            assert!((fpl[t] - e).abs() < 0.005, "t={}: got {}, paper says {e}", t + 1, fpl[t]);
+        }
+    }
+
+    /// Paper Figure 3(c)(ii): TPL = BPL + FPL − ε, peaking mid-timeline.
+    #[test]
+    fn figure3_tpl_series_matches_paper() {
+        let expected = [0.50, 0.56, 0.60, 0.62, 0.64, 0.64, 0.62, 0.60, 0.56, 0.50];
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 10).unwrap();
+        let tpl = acc.tpl_series().unwrap();
+        for (t, &e) in expected.iter().enumerate() {
+            assert!((tpl[t] - e).abs() < 0.005, "t={}: got {}, paper says {e}", t + 1, tpl[t]);
+        }
+        assert!((acc.max_tpl().unwrap() - 0.64).abs() < 0.005);
+        // Symmetric because P^B = P^F here.
+        for t in 0..5 {
+            assert!((tpl[t] - tpl[9 - t]).abs() < 1e-9);
+        }
+    }
+
+    /// Figure 3 extreme (i): strongest correlation makes BPL linear in t
+    /// and TPL constant at T·ε = 1.0.
+    #[test]
+    fn figure3_strongest_correlation() {
+        let ident = TransitionMatrix::identity(2).unwrap();
+        let mut acc = TplAccountant::with_both(ident.clone(), ident).unwrap();
+        acc.observe_uniform(0.1, 10).unwrap();
+        let bpl = acc.bpl_series();
+        for (t, b) in bpl.iter().enumerate() {
+            assert!((b - 0.1 * (t + 1) as f64).abs() < 1e-9);
+        }
+        let tpl = acc.tpl_series().unwrap();
+        for v in &tpl {
+            assert!((v - 1.0).abs() < 1e-9, "event-level TPL equals user-level Tε");
+        }
+        assert!((acc.user_level() - 1.0).abs() < 1e-12);
+    }
+
+    /// Figure 3 extreme (iii): traditional adversary sees only ε each step.
+    #[test]
+    fn traditional_adversary_leaks_epsilon_only() {
+        let mut acc = TplAccountant::traditional();
+        acc.observe_uniform(0.1, 10).unwrap();
+        assert!(acc.bpl_series().iter().all(|&b| (b - 0.1).abs() < 1e-12));
+        let tpl = acc.tpl_series().unwrap();
+        assert!(tpl.iter().all(|&v| (v - 0.1).abs() < 1e-12));
+        assert!((acc.user_level() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_only_adversary_has_no_fpl_amplification() {
+        let mut acc = TplAccountant::backward_only(fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 10).unwrap();
+        let fpl = acc.fpl_series().unwrap();
+        assert!(fpl.iter().all(|&v| (v - 0.1).abs() < 1e-12));
+        // TPL = BPL for this adversary.
+        let tpl = acc.tpl_series().unwrap();
+        for (tv, bv) in tpl.iter().zip(acc.bpl_series()) {
+            assert!((tv - bv).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn new_release_updates_all_fpl() {
+        // Example 3: "When r^11 is released, all FPL at time t in [1,10]
+        // will be updated."
+        let mut acc = TplAccountant::forward_only(fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 10).unwrap();
+        let before = acc.fpl_series().unwrap();
+        acc.observe_release(0.1).unwrap();
+        let after = acc.fpl_series().unwrap();
+        for t in 0..10 {
+            assert!(after[t] > before[t], "t={t}: {} !> {}", after[t], before[t]);
+        }
+        // And BPL history is untouched.
+        assert_eq!(acc.bpl_series().len(), 11);
+    }
+
+    #[test]
+    fn report_snapshot_semantics() {
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        let r0 = acc.observe_release(0.1).unwrap();
+        assert_eq!(r0.t, 0);
+        assert_eq!(r0.forward, 0.1, "no future yet");
+        assert!((r0.total - 0.1).abs() < 1e-12);
+        let r1 = acc.observe_release(0.2).unwrap();
+        assert_eq!(r1.t, 1);
+        assert!(r1.backward > 0.2, "accumulated from t=0");
+    }
+
+    #[test]
+    fn variable_budgets_supported() {
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        for eps in [1.0, 0.1, 0.1, 0.8] {
+            acc.observe_release(eps).unwrap();
+        }
+        assert_eq!(acc.len(), 4);
+        assert!((acc.user_level() - 2.0).abs() < 1e-12);
+        assert!(acc.max_tpl().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn empty_timeline_errors() {
+        let acc = TplAccountant::traditional();
+        assert!(acc.is_empty());
+        assert_eq!(acc.max_tpl().unwrap_err(), TplError::EmptyTimeline);
+        assert_eq!(acc.tpl_at(0).unwrap_err(), TplError::EmptyTimeline);
+        assert!(acc.fpl_series().unwrap().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_state() {
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 5).unwrap();
+        let json = serde_json::to_string(&acc).unwrap();
+        let mut back: TplAccountant = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 5);
+        assert_eq!(back.bpl_series(), acc.bpl_series());
+        // The restored accountant continues the recursion seamlessly.
+        back.observe_release(0.1).unwrap();
+        acc.observe_release(0.1).unwrap();
+        assert!((back.bpl_series()[5] - acc.bpl_series()[5]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_budget_rejected() {
+        let mut acc = TplAccountant::traditional();
+        assert!(acc.observe_release(0.0).is_err());
+        assert!(acc.observe_release(-0.5).is_err());
+        assert!(acc.observe_release(f64::NAN).is_err());
+        assert!(acc.is_empty(), "failed observation must not be recorded");
+    }
+}

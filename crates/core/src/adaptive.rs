@@ -1,0 +1,247 @@
+//! Adaptive α-DP_T release for an *unknown* horizon (extension).
+//!
+//! The paper's Algorithm 2 handles unknown `T` but wastes budget on short
+//! streams; Algorithm 3 is exact but must know `T` up front. This module
+//! closes the gap with a streaming variant justified by the same fixed
+//! points:
+//!
+//! * the **first** release is boosted to `α^B` (nothing before it can
+//!   accumulate, exactly Algorithm 3's reasoning);
+//! * every **middle** release uses the balanced `ε_m = α^B − L^B(α^B)
+//!   = α^F − L^F(α^F)`, which pins BPL at `α^B` and keeps FPL below `α^F`
+//!   no matter how long the stream runs;
+//! * when the operator learns the stream is ending, [`AdaptiveReleaser::finalize`]
+//!   issues one **last** boosted release of `α^F`, which lifts FPL to
+//!   exactly `α^F` everywhere and thus TPL to exactly `α` — recovering
+//!   Algorithm 3's utility without ever having known `T`.
+//!
+//! Soundness: with budgets `(α^B, ε_m, …, ε_m)` we have `BPL(t) = α^B` for
+//! all `t` and `FPL(t) ≤ α^F`, so `TPL(t) = α^B + FPL(t) − ε_t ≤ α`.
+//! After the final `α^F` release, `FPL(T) = α^F` and the backward
+//! recursion gives `FPL(t) = L^F(α^F) + ε_m = α^F` for all `t < T`, hence
+//! `TPL(t) = α` exactly (boundary cases included; see the tests).
+
+use crate::accountant::TplAccountant;
+use crate::adversary::AdversaryT;
+use crate::release::upper_bound_plan;
+use crate::{check_alpha, Result, TplError};
+
+/// A streaming α-DP_T budget dispenser for unknown horizons.
+///
+/// ```
+/// use tcdp_core::{AdaptiveReleaser, AdversaryT};
+/// use tcdp_markov::TransitionMatrix;
+///
+/// let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+/// let adv = AdversaryT::with_both(p.clone(), p).unwrap();
+/// let mut stream = AdaptiveReleaser::new(&adv, 1.0).unwrap();
+/// for _ in 0..7 {
+///     stream.next_budget().unwrap(); // nobody knows T yet
+/// }
+/// stream.finalize().unwrap();        // stream closed: TPL = α everywhere
+/// assert!((stream.max_tpl().unwrap() - 1.0).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveReleaser {
+    adversary: AdversaryT,
+    alpha: f64,
+    alpha_backward: f64,
+    alpha_forward: f64,
+    eps_middle: f64,
+    accountant: TplAccountant,
+    finalized: bool,
+}
+
+impl AdaptiveReleaser {
+    /// Plan the stream: runs the Algorithm 2/3 balance search once.
+    pub fn new(adversary: &AdversaryT, alpha: f64) -> Result<Self> {
+        check_alpha(alpha)?;
+        let base = upper_bound_plan(adversary, alpha)?;
+        Ok(Self {
+            adversary: adversary.clone(),
+            alpha,
+            alpha_backward: base.alpha_backward,
+            alpha_forward: base.alpha_forward,
+            eps_middle: base.budget_at(0),
+            accountant: TplAccountant::new(adversary),
+            finalized: false,
+        })
+    }
+
+    /// The α-DP_T level this releaser guarantees.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The balanced middle budget `ε_m`.
+    pub fn middle_budget(&self) -> f64 {
+        self.eps_middle
+    }
+
+    /// Number of releases issued so far (including the final one).
+    pub fn len(&self) -> usize {
+        self.accountant.len()
+    }
+
+    /// Whether no release has been issued yet.
+    pub fn is_empty(&self) -> bool {
+        self.accountant.is_empty()
+    }
+
+    /// Whether [`AdaptiveReleaser::finalize`] has been called.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Budget for the next (non-final) release: `α^B` for the very first,
+    /// `ε_m` afterwards. Records the release in the internal accountant
+    /// and returns the budget to spend.
+    pub fn next_budget(&mut self) -> Result<f64> {
+        if self.finalized {
+            return Err(TplError::Mech(tcdp_mech::MechError::StreamState(
+                "stream already finalized",
+            )));
+        }
+        let eps = if self.accountant.is_empty() {
+            // First release: boost to α^B. When no backward correlation is
+            // known the balance search already set α^B = ε_m, so this is
+            // uniformly correct.
+            self.alpha_backward
+        } else {
+            self.eps_middle
+        };
+        self.accountant.observe_release(eps)?;
+        Ok(eps)
+    }
+
+    /// Budget for the *final* release (`α^F`), after which the stream is
+    /// closed. If nothing has been released yet, the single release gets
+    /// the whole `α` (a one-shot release has TPL = ε).
+    pub fn finalize(&mut self) -> Result<f64> {
+        if self.finalized {
+            return Err(TplError::Mech(tcdp_mech::MechError::StreamState(
+                "stream already finalized",
+            )));
+        }
+        let eps = if self.accountant.is_empty() { self.alpha } else { self.alpha_forward };
+        self.accountant.observe_release(eps)?;
+        self.finalized = true;
+        Ok(eps)
+    }
+
+    /// Current worst TPL across everything released; `≤ α` by construction.
+    pub fn max_tpl(&self) -> Result<f64> {
+        self.accountant.max_tpl()
+    }
+
+    /// The internal accountant (read-only).
+    pub fn accountant(&self) -> &TplAccountant {
+        &self.accountant
+    }
+
+    /// The adversary this stream is planned against.
+    pub fn adversary(&self) -> &AdversaryT {
+        &self.adversary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcdp_markov::TransitionMatrix;
+
+    fn adversary() -> AdversaryT {
+        let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        let pf = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        AdversaryT::with_both(pb, pf).unwrap()
+    }
+
+    #[test]
+    fn bounded_at_every_prefix_length() {
+        // The whole point: no matter when the stream stops (or doesn't),
+        // TPL never exceeds α.
+        for stop in [1usize, 2, 3, 7, 40] {
+            let mut rel = AdaptiveReleaser::new(&adversary(), 1.0).unwrap();
+            for _ in 0..stop {
+                rel.next_budget().unwrap();
+                assert!(rel.max_tpl().unwrap() <= 1.0 + 1e-7, "stop={stop}");
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_recovers_algorithm3_exactness() {
+        let adv = adversary();
+        for t_len in [2usize, 5, 17] {
+            let mut rel = AdaptiveReleaser::new(&adv, 1.0).unwrap();
+            for _ in 0..t_len - 1 {
+                rel.next_budget().unwrap();
+            }
+            let last = rel.finalize().unwrap();
+            assert!(last > rel.middle_budget(), "final boost expected");
+            let tpl = rel.accountant().tpl_series().unwrap();
+            for (t, &v) in tpl.iter().enumerate() {
+                assert!((v - 1.0).abs() < 1e-7, "T={t_len} t={t}: TPL={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_quantified_plan_budgets() {
+        // For a known horizon, the adaptive stream reproduces Algorithm 3's
+        // schedule exactly.
+        let adv = adversary();
+        let t_len = 10;
+        let plan = crate::release::quantified_plan(&adv, 1.0, t_len).unwrap();
+        let mut rel = AdaptiveReleaser::new(&adv, 1.0).unwrap();
+        let mut budgets = Vec::new();
+        for _ in 0..t_len - 1 {
+            budgets.push(rel.next_budget().unwrap());
+        }
+        budgets.push(rel.finalize().unwrap());
+        for (t, &b) in budgets.iter().enumerate() {
+            assert!((b - plan.budget_at(t)).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn one_shot_finalize_spends_alpha() {
+        let mut rel = AdaptiveReleaser::new(&adversary(), 0.7).unwrap();
+        let eps = rel.finalize().unwrap();
+        assert!((eps - 0.7).abs() < 1e-12);
+        assert!((rel.max_tpl().unwrap() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalized_stream_rejects_more_releases() {
+        let mut rel = AdaptiveReleaser::new(&adversary(), 1.0).unwrap();
+        rel.next_budget().unwrap();
+        rel.finalize().unwrap();
+        assert!(rel.is_finalized());
+        assert!(rel.next_budget().is_err());
+        assert!(rel.finalize().is_err());
+    }
+
+    #[test]
+    fn works_with_one_sided_correlations() {
+        let pf = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let adv = AdversaryT::with_forward(pf);
+        let mut rel = AdaptiveReleaser::new(&adv, 1.0).unwrap();
+        for _ in 0..9 {
+            rel.next_budget().unwrap();
+        }
+        rel.finalize().unwrap();
+        assert!(rel.max_tpl().unwrap() <= 1.0 + 1e-7);
+        // Forward-only: first release is NOT boosted (α^B = ε_m).
+        assert!((rel.accountant().budgets()[0] - rel.middle_budget()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strongest_correlation_rejected_at_planning() {
+        let adv = AdversaryT::with_backward(TransitionMatrix::identity(2).unwrap());
+        assert_eq!(
+            AdaptiveReleaser::new(&adv, 1.0).unwrap_err(),
+            TplError::UnboundableCorrelation
+        );
+    }
+}

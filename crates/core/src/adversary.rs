@@ -1,0 +1,146 @@
+//! The adversary model (Definition 4).
+//!
+//! `Adversary^T_i(P^B_i, P^F_i)` targets user `i`, knows every other user's
+//! data at every time point (`D^t_K = D^t − {l^t_i}`, exactly the strength
+//! of the classic DP adversary), and additionally knows the user's backward
+//! and/or forward temporal correlations. The paper's three sub-types are
+//! captured by which matrices are present:
+//!
+//! | type | backward | forward | causes |
+//! |------|----------|---------|--------|
+//! | `A^T_i(P^B)`       | yes | no  | BPL only |
+//! | `A^T_i(P^F)`       | no  | yes | FPL only |
+//! | `A^T_i(P^B, P^F)`  | yes | yes | BPL and FPL |
+//! | `A_i` (traditional)| no  | no  | `PL0 = ε` only |
+
+use crate::loss::TemporalLossFunction;
+use crate::{Result, TplError};
+use tcdp_markov::{MarkovChain, TransitionMatrix};
+
+/// An adversary with (optional) knowledge of temporal correlations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryT {
+    backward: Option<TransitionMatrix>,
+    forward: Option<TransitionMatrix>,
+}
+
+impl AdversaryT {
+    /// The traditional DP adversary `A_i = A^T_i(∅, ∅)`.
+    pub fn traditional() -> Self {
+        Self { backward: None, forward: None }
+    }
+
+    /// `A^T_i(P^B)`: knows only the backward correlation.
+    pub fn with_backward(backward: TransitionMatrix) -> Self {
+        Self { backward: Some(backward), forward: None }
+    }
+
+    /// `A^T_i(P^F)`: knows only the forward correlation.
+    pub fn with_forward(forward: TransitionMatrix) -> Self {
+        Self { backward: None, forward: Some(forward) }
+    }
+
+    /// `A^T_i(P^B, P^F)`: knows both correlations. The two matrices must
+    /// share a domain size.
+    pub fn with_both(backward: TransitionMatrix, forward: TransitionMatrix) -> Result<Self> {
+        if backward.n() != forward.n() {
+            return Err(TplError::DimensionMismatch {
+                expected: backward.n(),
+                found: forward.n(),
+            });
+        }
+        Ok(Self { backward: Some(backward), forward: Some(forward) })
+    }
+
+    /// Derive the full adversary from a forward chain and its initial
+    /// distribution, obtaining `P^B` by the Bayes rule of Section III-A
+    /// (the chain is reversed at its stationary distribution, matching the
+    /// paper's time-homogeneous treatment of `P^B`).
+    pub fn from_forward_chain(chain: &MarkovChain) -> Result<Self> {
+        let backward = chain.reverse_stationary()?;
+        Ok(Self { backward: Some(backward), forward: Some(chain.matrix().clone()) })
+    }
+
+    /// The backward correlation, if known.
+    pub fn backward(&self) -> Option<&TransitionMatrix> {
+        self.backward.as_ref()
+    }
+
+    /// The forward correlation, if known.
+    pub fn forward(&self) -> Option<&TransitionMatrix> {
+        self.forward.as_ref()
+    }
+
+    /// The backward loss function `L^B`, if a backward correlation is known.
+    pub fn backward_loss(&self) -> Option<TemporalLossFunction> {
+        self.backward.clone().map(TemporalLossFunction::new)
+    }
+
+    /// The forward loss function `L^F`, if a forward correlation is known.
+    pub fn forward_loss(&self) -> Option<TemporalLossFunction> {
+        self.forward.clone().map(TemporalLossFunction::new)
+    }
+
+    /// Whether this is the traditional adversary (no correlations).
+    pub fn is_traditional(&self) -> bool {
+        self.backward.is_none() && self.forward.is_none()
+    }
+
+    /// Domain size, if any correlation is present.
+    pub fn domain(&self) -> Option<usize> {
+        self.backward
+            .as_ref()
+            .map(TransitionMatrix::n)
+            .or_else(|| self.forward.as_ref().map(TransitionMatrix::n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_variants() {
+        let pb = TransitionMatrix::two_state(0.8, 0.9).unwrap();
+        let pf = TransitionMatrix::two_state(0.7, 0.6).unwrap();
+
+        let trad = AdversaryT::traditional();
+        assert!(trad.is_traditional());
+        assert_eq!(trad.domain(), None);
+        assert!(trad.backward_loss().is_none());
+
+        let b = AdversaryT::with_backward(pb.clone());
+        assert!(!b.is_traditional());
+        assert_eq!(b.domain(), Some(2));
+        assert!(b.backward_loss().is_some());
+        assert!(b.forward_loss().is_none());
+
+        let f = AdversaryT::with_forward(pf.clone());
+        assert!(f.forward().is_some() && f.backward().is_none());
+
+        let both = AdversaryT::with_both(pb, pf).unwrap();
+        assert!(both.backward_loss().is_some() && both.forward_loss().is_some());
+    }
+
+    #[test]
+    fn mismatched_domains_rejected() {
+        let pb = TransitionMatrix::identity(2).unwrap();
+        let pf = TransitionMatrix::identity(3).unwrap();
+        assert!(matches!(
+            AdversaryT::with_both(pb, pf).unwrap_err(),
+            TplError::DimensionMismatch { expected: 2, found: 3 }
+        ));
+    }
+
+    #[test]
+    fn from_forward_chain_derives_bayes_reversal() {
+        let pf = TransitionMatrix::two_state(0.8, 0.6).unwrap();
+        let chain = MarkovChain::uniform_start(pf.clone());
+        let adv = AdversaryT::from_forward_chain(&chain).unwrap();
+        assert_eq!(adv.forward().unwrap(), &pf);
+        // Reversal at stationarity (pi = (2/3, 1/3)):
+        // P^B(0,1) = pi_1 P(1,0)/pi_0 = (1/3)(0.4)/(2/3) = 0.2.
+        let pb = adv.backward().unwrap();
+        assert!((pb.get(0, 1) - 0.2).abs() < 1e-9);
+    }
+}

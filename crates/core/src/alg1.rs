@@ -1,0 +1,427 @@
+//! Algorithm 1 — polynomial-time temporal loss evaluation.
+//!
+//! Given a transition matrix `P` (backward or forward) and the previous
+//! BPL / next FPL value `α`, the temporal loss functions of Equations (23)
+//! and (24) are
+//!
+//! ```text
+//! L(α) = max_{q,d rows of P} log (q(e^α − 1) + 1) / (d(e^α − 1) + 1)
+//! ```
+//!
+//! where `q = Σ q⁺` and `d = Σ d⁺` sum over the *active subset* of
+//! coefficient pairs characterized by Theorem 4's inequalities (21)/(22).
+//! Algorithm 1 finds that subset per ordered row pair:
+//!
+//! 1. seed the candidate set with every index `j` where `q_j > d_j`
+//!    (Corollary 2's necessary condition);
+//! 2. repeatedly discard candidates violating Inequality (21)
+//!    `q_j/d_j > (q(e^α−1)+1)/(d(e^α−1)+1)`, recomputing `q, d` after each
+//!    sweep (the paper proves discarded pairs can never re-enter);
+//! 3. the surviving sums give the optimum.
+//!
+//! Per pair this runs in `O(n²)` worst case (each sweep is `O(n)` and at
+//! least one candidate is discarded per sweep), giving `O(n⁴)` over all row
+//! pairs — the polynomial bound claimed in Section IV-B, versus the
+//! exponential worst case of the simplex baselines in [`tcdp_lp`].
+//!
+//! The module also contains a brute-force reference solver built on
+//! Lemma 3 (the optimum places each `x_j` at either `m` or `e^α m`, so it
+//! suffices to enumerate the `2^n` splits) and adapters to the generic LP
+//! solvers, used by tests, property tests, and the Figure 5 benchmark.
+
+use crate::{check_alpha, Result};
+use tcdp_lp::problem::PaperProgram;
+use tcdp_markov::TransitionMatrix;
+
+/// The maximizing row pair and active-subset sums behind a loss value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossWitness {
+    /// Index of the numerator row in the transition matrix.
+    pub q_row: usize,
+    /// Index of the denominator row in the transition matrix.
+    pub d_row: usize,
+    /// `q = Σ q⁺`, the active numerator coefficient sum.
+    pub q_sum: f64,
+    /// `d = Σ d⁺`, the active denominator coefficient sum.
+    pub d_sum: f64,
+    /// The loss value `L(α)` (natural log).
+    pub value: f64,
+}
+
+impl LossWitness {
+    /// Re-evaluate the loss this witness yields at a different `α`.
+    ///
+    /// Valid only while the active subset stays optimal; used by
+    /// Theorem 5's closed forms, where `q`/`d` are taken *at* the
+    /// supremum's fixed point.
+    pub fn value_at(&self, alpha: f64) -> f64 {
+        objective(self.q_sum, self.d_sum, alpha).ln()
+    }
+}
+
+/// The objective `(q(e^α−1)+1)/(d(e^α−1)+1)` of Theorem 4.
+#[inline]
+pub(crate) fn objective(q: f64, d: f64, alpha: f64) -> f64 {
+    let em1 = alpha.exp_m1();
+    (q * em1 + 1.0) / (d * em1 + 1.0)
+}
+
+/// Solve the program (18)–(20) for one ordered row pair via Algorithm 1
+/// lines 3–11. Returns `(q_sum, d_sum)` of the active subset.
+pub(crate) fn solve_pair(q_row: &[f64], d_row: &[f64], alpha: f64) -> (f64, f64) {
+    let (q, d, _) = solve_pair_active(q_row, d_row, alpha);
+    (q, d)
+}
+
+/// As [`solve_pair`], additionally returning the active index set — used
+/// by tests that verify Theorem 4's Inequalities (21)/(22) directly.
+pub(crate) fn solve_pair_active(
+    q_row: &[f64],
+    d_row: &[f64],
+    alpha: f64,
+) -> (f64, f64, Vec<usize>) {
+    debug_assert_eq!(q_row.len(), d_row.len());
+    let em1 = alpha.exp_m1();
+    // Corollary 2: only indices with q_j > d_j can be active.
+    let mut active: Vec<(usize, f64, f64)> = q_row
+        .iter()
+        .zip(d_row)
+        .enumerate()
+        .filter(|(_, (qj, dj))| qj > dj)
+        .map(|(j, (&qj, &dj))| (j, qj, dj))
+        .collect();
+    loop {
+        let q: f64 = active.iter().map(|p| p.1).sum();
+        let d: f64 = active.iter().map(|p| p.2).sum();
+        let before = active.len();
+        // Inequality (21), cross-multiplied to stay well-defined at d_j = 0
+        // and rearranged for numerical stability at large α (avoids adding
+        // 1 to q·e^α, which swamps f64 precision past α ≈ 55):
+        // q_j/d_j > (q·em1+1)/(d·em1+1) ⇔ em1·(q_j·d − d_j·q) > d_j − q_j.
+        active.retain(|&(_, qj, dj)| em1 * (qj * d - dj * q) > dj - qj);
+        if active.len() == before {
+            return (q, d, active.into_iter().map(|p| p.0).collect());
+        }
+    }
+}
+
+/// Evaluate `L(α)` over all ordered row pairs of `matrix` (Algorithm 1
+/// lines 2 and 12), returning the maximizing witness.
+///
+/// `α = 0` always yields `L = 0` (no prior leakage to amplify); a matrix
+/// with a single state likewise yields `0`.
+pub fn temporal_loss_witness(matrix: &TransitionMatrix, alpha: f64) -> Result<LossWitness> {
+    check_alpha(alpha)?;
+    let n = matrix.n();
+    let mut best = LossWitness { q_row: 0, d_row: 0, q_sum: 0.0, d_sum: 0.0, value: 0.0 };
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (q, d) = solve_pair(matrix.row(a), matrix.row(b), alpha);
+            let value = objective(q, d, alpha).ln();
+            if value > best.value {
+                best = LossWitness { q_row: a, d_row: b, q_sum: q, d_sum: d, value };
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Evaluate the temporal loss function `L(α)` (Equations 23/24).
+pub fn temporal_loss(matrix: &TransitionMatrix, alpha: f64) -> Result<f64> {
+    temporal_loss_witness(matrix, alpha).map(|w| w.value)
+}
+
+/// Brute-force reference via Lemma 3: the optimum places each variable at
+/// either `m` or `e^α m`, so `L(α) = max_S log (q_S(e^α−1)+1)/(d_S(e^α−1)+1)`
+/// over all index subsets `S` with `q_S = Σ_{j∈S} q_j`. Exponential in `n`;
+/// intended for `n ≤ ~16` in tests.
+pub fn temporal_loss_brute_force(matrix: &TransitionMatrix, alpha: f64) -> Result<f64> {
+    check_alpha(alpha)?;
+    let n = matrix.n();
+    assert!(n <= 20, "brute force is exponential; use temporal_loss for large n");
+    let mut best = 0.0_f64;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (qr, dr) = (matrix.row(a), matrix.row(b));
+            for mask in 0..(1u32 << n) {
+                let mut qs = 0.0;
+                let mut ds = 0.0;
+                for j in 0..n {
+                    if mask & (1 << j) != 0 {
+                        qs += qr[j];
+                        ds += dr[j];
+                    }
+                }
+                best = best.max(objective(qs, ds, alpha).ln());
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// How the generic-LP baseline should drive its solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpBaseline {
+    /// One Charnes–Cooper LP per row pair (the "Gurobi-style" path).
+    CharnesCooper,
+    /// A Dinkelbach sequence of LPs per row pair (the "lp_solve-style"
+    /// path the paper describes: "converted into a sequence of linear
+    /// programming problems").
+    Dinkelbach,
+    /// Charnes–Cooper on the sparse revised simplex — the tuned generic
+    /// solver; still generic, still losing to Algorithm 1 (ablation).
+    CharnesCooperRevised,
+}
+
+/// Evaluate `L(α)` with a generic LP solver instead of Algorithm 1 —
+/// the Figure 5 baseline. Orders of magnitude slower by design.
+pub fn temporal_loss_lp(
+    matrix: &TransitionMatrix,
+    alpha: f64,
+    baseline: LpBaseline,
+) -> Result<f64> {
+    check_alpha(alpha)?;
+    let n = matrix.n();
+    if n < 2 {
+        return Ok(0.0);
+    }
+    let program = PaperProgram::new(n, alpha)?;
+    let mut best = 0.0_f64;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let sol = match baseline {
+                LpBaseline::CharnesCooper => {
+                    program.max_ratio_charnes_cooper(matrix.row(a), matrix.row(b))?
+                }
+                LpBaseline::Dinkelbach => {
+                    program.max_ratio_dinkelbach(matrix.row(a), matrix.row(b))?
+                }
+                LpBaseline::CharnesCooperRevised => {
+                    program.max_ratio_charnes_cooper_revised(matrix.row(a), matrix.row(b))?
+                }
+            };
+            best = best.max(sol.value.ln());
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: Vec<Vec<f64>>) -> TransitionMatrix {
+        TransitionMatrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn figure3_moderate_correlation_increment() {
+        // P = [[0.8, 0.2], [0, 1]]: candidates for rows (0,1) are index 0
+        // (0.8 > 0); q = 0.8, d = 0. L(0.1) = log(0.8(e^0.1−1)+1).
+        let p = m(vec![vec![0.8, 0.2], vec![0.0, 1.0]]);
+        let expected = (0.8 * 0.1_f64.exp_m1() + 1.0).ln();
+        let got = temporal_loss(&p, 0.1).unwrap();
+        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        // Witness records q = 0.8, d = 0 on rows (0, 1).
+        let w = temporal_loss_witness(&p, 0.1).unwrap();
+        assert_eq!((w.q_row, w.d_row), (0, 1));
+        assert!((w.q_sum - 0.8).abs() < 1e-12);
+        assert_eq!(w.d_sum, 0.0);
+    }
+
+    #[test]
+    fn strongest_correlation_is_identity_loss() {
+        // Identity matrix: q = 1, d = 0 ⇒ L(α) = log(e^α) = α (Remark 1's
+        // upper bound: continuous release equals re-releasing D).
+        let p = TransitionMatrix::identity(3).unwrap();
+        for alpha in [0.05, 0.3, 1.0, 4.0] {
+            let got = temporal_loss(&p, alpha).unwrap();
+            assert!((got - alpha).abs() < 1e-12, "alpha={alpha}: got {got}");
+        }
+    }
+
+    #[test]
+    fn no_correlation_gives_zero_loss() {
+        // Uniform matrix (all rows equal): adversary learns nothing from
+        // the previous release ⇒ L(α) = 0 (Remark 1's lower bound).
+        let p = TransitionMatrix::uniform(4).unwrap();
+        for alpha in [0.1, 1.0, 10.0] {
+            assert_eq!(temporal_loss(&p, alpha).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_gives_zero_loss() {
+        let p = m(vec![vec![0.9, 0.1], vec![0.2, 0.8]]);
+        assert_eq!(temporal_loss(&p, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn single_state_matrix_has_no_loss() {
+        let p = m(vec![vec![1.0]]);
+        assert_eq!(temporal_loss(&p, 5.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let p = TransitionMatrix::identity(2).unwrap();
+        assert!(temporal_loss(&p, -0.1).is_err());
+        assert!(temporal_loss(&p, f64::NAN).is_err());
+        assert!(temporal_loss(&p, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn loss_is_bounded_by_remark1() {
+        // 0 ≤ L(α) ≤ α for stochastic matrices.
+        let p = m(vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.6, 0.3],
+            vec![0.25, 0.25, 0.5],
+        ]);
+        for alpha in [0.01, 0.5, 2.0, 8.0] {
+            let l = temporal_loss(&p, alpha).unwrap();
+            assert!(l >= 0.0);
+            assert!(l <= alpha + 1e-12, "alpha={alpha}: l={l}");
+        }
+    }
+
+    #[test]
+    fn loss_is_monotone_in_alpha() {
+        let p = m(vec![vec![0.7, 0.3], vec![0.1, 0.9]]);
+        let mut prev = 0.0;
+        for step in 1..=40 {
+            let alpha = step as f64 * 0.25;
+            let l = temporal_loss(&p, alpha).unwrap();
+            assert!(l >= prev - 1e-12, "non-monotone at alpha={alpha}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn pruning_update_actually_fires() {
+        // Construct a pair where the Corollary-2 seed is NOT optimal: a
+        // candidate with small q_j/d_j ratio must be dropped by the
+        // Inequality-(21) sweep at large α.
+        let q_row = [0.55, 0.35, 0.10];
+        let d_row = [0.05, 0.34, 0.61];
+        let alpha = 3.0;
+        // Seed: indices 0 (0.55>0.05) and 1 (0.35>0.34).
+        let (q, d) = solve_pair(&q_row, &d_row, alpha);
+        // Index 1 must be pruned: with both active the threshold exceeds
+        // q_1/d_1 ≈ 1.03.
+        assert!((q - 0.55).abs() < 1e-12, "q={q}");
+        assert!((d - 0.05).abs() < 1e-12, "d={d}");
+        // And the pruned answer beats the naive seed's objective.
+        let naive = objective(0.9, 0.39, alpha);
+        let pruned = objective(q, d, alpha);
+        assert!(pruned > naive);
+    }
+
+    #[test]
+    fn theorem4_inequalities_hold_for_returned_subsets() {
+        // White-box check: the active subset returned by Algorithm 1 must
+        // satisfy Inequality (21) for every member and Inequality (22)
+        // for every non-member — the sufficient optimality conditions of
+        // Theorem 4 — on a grid of row pairs and α values.
+        let rows: [&[f64]; 4] = [
+            &[0.55, 0.35, 0.10],
+            &[0.05, 0.34, 0.61],
+            &[0.8, 0.1, 0.1],
+            &[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ];
+        for qr in rows {
+            for dr in rows {
+                for alpha in [0.1, 0.9, 3.0, 12.0] {
+                    let (q, d, active) = solve_pair_active(qr, dr, alpha);
+                    let threshold = objective(q, d, alpha);
+                    for j in 0..qr.len() {
+                        let lhs = qr[j];
+                        let rhs = dr[j] * threshold;
+                        if active.contains(&j) {
+                            assert!(
+                                lhs > rhs - 1e-12,
+                                "Ineq. (21) violated at j={j}, alpha={alpha}"
+                            );
+                        } else {
+                            assert!(
+                                lhs <= rhs + 1e-12,
+                                "Ineq. (22) violated at j={j}, alpha={alpha}: \
+                                 {lhs} > {rhs}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_structured_matrices() {
+        let cases = [
+            m(vec![vec![0.8, 0.2], vec![0.0, 1.0]]),
+            m(vec![vec![0.8, 0.2], vec![0.1, 0.9]]),
+            m(vec![
+                vec![0.1, 0.2, 0.7],
+                vec![0.0, 0.0, 1.0],
+                vec![0.3, 0.3, 0.4],
+            ]),
+            m(vec![
+                vec![0.2, 0.3, 0.5],
+                vec![0.1, 0.1, 0.8],
+                vec![0.6, 0.2, 0.2],
+            ]),
+        ];
+        for p in &cases {
+            for alpha in [0.1, 0.5, 1.0, 3.0] {
+                let fast = temporal_loss(p, alpha).unwrap();
+                let brute = temporal_loss_brute_force(p, alpha).unwrap();
+                assert!(
+                    (fast - brute).abs() < 1e-10,
+                    "matrix=\n{p}alpha={alpha}: fast={fast} brute={brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_lp_baselines() {
+        let p = m(vec![
+            vec![0.1, 0.2, 0.7],
+            vec![0.0, 0.0, 1.0],
+            vec![0.3, 0.3, 0.4],
+        ]);
+        for alpha in [0.25, 1.0, 2.0] {
+            let fast = temporal_loss(&p, alpha).unwrap();
+            let cc = temporal_loss_lp(&p, alpha, LpBaseline::CharnesCooper).unwrap();
+            let dk = temporal_loss_lp(&p, alpha, LpBaseline::Dinkelbach).unwrap();
+            let rev = temporal_loss_lp(&p, alpha, LpBaseline::CharnesCooperRevised).unwrap();
+            assert!((fast - cc).abs() < 1e-6, "alpha={alpha}: fast={fast} cc={cc}");
+            assert!((fast - dk).abs() < 1e-6, "alpha={alpha}: fast={fast} dk={dk}");
+            assert!((fast - rev).abs() < 1e-6, "alpha={alpha}: fast={fast} rev={rev}");
+        }
+    }
+
+    #[test]
+    fn witness_value_at_is_consistent() {
+        let p = m(vec![vec![0.8, 0.2], vec![0.0, 1.0]]);
+        let w = temporal_loss_witness(&p, 0.7).unwrap();
+        assert!((w.value_at(0.7) - w.value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_alpha_saturates_at_log_q_over_d() {
+        // For d > 0 the objective tends to q/d as α → ∞.
+        let p = m(vec![vec![0.8, 0.2], vec![0.1, 0.9]]);
+        let l = temporal_loss(&p, 60.0).unwrap();
+        assert!((l - (0.8_f64 / 0.1).ln()).abs() < 1e-6, "l={l}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Composition under temporal correlations (Theorem 2, Corollary 1,
+//! Table II).
+//!
+//! For a sequence of DP mechanisms `{M^t, …, M^{t+j}}` whose event-level
+//! leakages are `α^B_t` (BPL) and `α^F_t` (FPL), Theorem 2 gives the
+//! DP_T guarantee of releasing the *whole group*:
+//!
+//! ```text
+//! j = 0:  α^B_t + α^F_t − ε_t                    (event level, Eq. 10)
+//! j = 1:  α^B_t + α^F_{t+1}
+//! j ≥ 2:  α^B_t + α^F_{t+j} + Σ_{k=1}^{j−1} ε_{t+k}
+//! ```
+//!
+//! With `t = 1, j = T−1` this collapses (Corollary 1) to `Σ_k ε_k`:
+//! temporal correlations do **not** worsen user-level privacy, because the
+//! strongest correlation merely lets the adversary infer the other time
+//! points that user-level DP already protects as a bundle.
+
+use crate::accountant::TplAccountant;
+use crate::{Result, TplError};
+use serde::{Deserialize, Serialize};
+
+/// Theorem 2: the DP_T guarantee of the sub-sequence `{M^t, …, M^{t+j}}`
+/// (0-based `t`, inclusive of both endpoints) of an observed timeline.
+pub fn sequence_guarantee(acc: &TplAccountant, t: usize, j: usize) -> Result<f64> {
+    let t_len = acc.len();
+    if t_len == 0 {
+        return Err(TplError::EmptyTimeline);
+    }
+    let end = t
+        .checked_add(j)
+        .filter(|&e| e < t_len)
+        .ok_or(TplError::DimensionMismatch { expected: t_len, found: t + j + 1 })?;
+    let bpl = acc.bpl_series();
+    let fpl = acc.fpl_series()?;
+    let eps = acc.budgets();
+    Ok(match j {
+        0 => bpl[t] + fpl[t] - eps[t],
+        1 => bpl[t] + fpl[end],
+        _ => bpl[t] + fpl[end] + eps[t + 1..end].iter().sum::<f64>(),
+    })
+}
+
+/// Corollary 1: the user-level guarantee of the whole timeline, `Σ ε_k`.
+pub fn user_level_guarantee(acc: &TplAccountant) -> Result<f64> {
+    if acc.is_empty() {
+        return Err(TplError::EmptyTimeline);
+    }
+    Ok(acc.user_level())
+}
+
+/// The worst w-event guarantee: Theorem 2 maximized over all windows of
+/// `w` consecutive releases.
+pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
+    let t_len = acc.len();
+    if t_len == 0 {
+        return Err(TplError::EmptyTimeline);
+    }
+    if w == 0 || w > t_len {
+        return Err(TplError::DimensionMismatch { expected: t_len, found: w });
+    }
+    let mut worst = f64::NEG_INFINITY;
+    for t in 0..=(t_len - w) {
+        worst = worst.max(sequence_guarantee(acc, t, w - 1)?);
+    }
+    Ok(worst)
+}
+
+/// One row of the paper's Table II: the guarantee of an ε-DP-per-step
+/// mechanism at a given privacy notion, on independent vs. temporally
+/// correlated data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableIiRow {
+    /// Privacy notion ("event-level", "w-event", "user-level").
+    pub notion: String,
+    /// Guarantee on independent data (Theorem 3 composition).
+    pub independent: f64,
+    /// Guarantee on temporally correlated data (this paper).
+    pub correlated: f64,
+}
+
+/// Compute Table II for a uniform-budget timeline observed by `acc`
+/// (which carries the correlation knowledge), with window length `w`.
+pub fn table_ii(acc: &TplAccountant, w: usize) -> Result<Vec<TableIiRow>> {
+    let t_len = acc.len();
+    if t_len == 0 {
+        return Err(TplError::EmptyTimeline);
+    }
+    let eps = acc.budgets();
+    let event_independent = eps.iter().cloned().fold(f64::MIN, f64::max);
+    let user = user_level_guarantee(acc)?;
+    let w_eff = w.clamp(1, t_len);
+    let w_independent: f64 = {
+        // Worst window sum of budgets (Theorem 3 on the window).
+        let mut best = f64::NEG_INFINITY;
+        for t in 0..=(t_len - w_eff) {
+            best = best.max(eps[t..t + w_eff].iter().sum::<f64>());
+        }
+        best
+    };
+    Ok(vec![
+        TableIiRow {
+            notion: "event-level".into(),
+            independent: event_independent,
+            correlated: acc.max_tpl()?,
+        },
+        TableIiRow {
+            notion: format!("{w_eff}-event"),
+            independent: w_independent,
+            correlated: w_event_guarantee(acc, w_eff)?,
+        },
+        TableIiRow { notion: "user-level".into(), independent: user, correlated: user },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcdp_markov::TransitionMatrix;
+
+    fn uniform_timeline(pb: TransitionMatrix, pf: TransitionMatrix, eps: f64, t_len: usize) -> TplAccountant {
+        let mut acc = TplAccountant::with_both(pb, pf).unwrap();
+        acc.observe_uniform(eps, t_len).unwrap();
+        acc
+    }
+
+    fn strongest(t_len: usize, eps: f64) -> TplAccountant {
+        let i = TransitionMatrix::identity(2).unwrap();
+        uniform_timeline(i.clone(), i, eps, t_len)
+    }
+
+    #[test]
+    fn corollary1_user_level_is_sum() {
+        let acc = strongest(10, 0.1);
+        assert!((user_level_guarantee(&acc).unwrap() - 1.0).abs() < 1e-12);
+        // Theorem 2 with t=0, j=T-1 agrees with Corollary 1:
+        // αB_1 = ε, αF_T = ε, middle sum = (T−2)ε ⇒ Tε.
+        let theorem2 = sequence_guarantee(&acc, 0, 9).unwrap();
+        assert!((theorem2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_level_is_j_zero() {
+        let acc = strongest(10, 0.1);
+        // Under the strongest correlation, event-level TPL is Tε at any t.
+        for t in 0..10 {
+            let g = sequence_guarantee(&acc, t, 0).unwrap();
+            assert!((g - 1.0).abs() < 1e-9, "t={t}: {g}");
+            assert!((g - acc.tpl_at(t).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn j_one_has_no_epsilon_correction() {
+        let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
+        let acc = uniform_timeline(pb.clone(), pb, 0.1, 5);
+        let bpl = acc.bpl_series();
+        let fpl = acc.fpl_series().unwrap();
+        let g = sequence_guarantee(&acc, 1, 1).unwrap();
+        assert!((g - (bpl[1] + fpl[2])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_guarantee_bounds_checked() {
+        let acc = strongest(5, 0.1);
+        assert!(sequence_guarantee(&acc, 4, 1).is_err());
+        assert!(sequence_guarantee(&acc, 5, 0).is_err());
+        assert!(sequence_guarantee(&acc, 0, 4).is_ok());
+        let empty = TplAccountant::traditional();
+        assert_eq!(sequence_guarantee(&empty, 0, 0).unwrap_err(), TplError::EmptyTimeline);
+    }
+
+    #[test]
+    fn w_event_on_independent_data_is_w_eps() {
+        let mut acc = TplAccountant::traditional();
+        acc.observe_uniform(0.1, 10).unwrap();
+        // No correlations: Theorem 2 reduces to Theorem 3's window sum.
+        // j=0: ε; j=1: bpl+fpl = 2ε; j≥2: ε + ε + (w−2)ε = wε.
+        for w in 1..=10 {
+            let g = w_event_guarantee(&acc, w).unwrap();
+            assert!((g - 0.1 * w as f64).abs() < 1e-9, "w={w}: {g}");
+        }
+        assert!(w_event_guarantee(&acc, 0).is_err());
+        assert!(w_event_guarantee(&acc, 11).is_err());
+    }
+
+    #[test]
+    fn w_event_under_strongest_correlation_is_t_eps() {
+        // Correlations blur event vs user level: any window leaks Tε.
+        let acc = strongest(10, 0.1);
+        for w in 2..=10 {
+            let g = w_event_guarantee(&acc, w).unwrap();
+            assert!((g - 1.0).abs() < 1e-9, "w={w}: {g}");
+        }
+    }
+
+    #[test]
+    fn table_ii_structure_matches_paper() {
+        let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
+        let acc = uniform_timeline(pb.clone(), pb, 0.1, 10);
+        let rows = table_ii(&acc, 3).unwrap();
+        assert_eq!(rows.len(), 3);
+        // Row 1: event-level — α ≥ ε on correlated data.
+        assert!((rows[0].independent - 0.1).abs() < 1e-12);
+        assert!(rows[0].correlated > rows[0].independent);
+        // Row 2: w-event — wε vs Theorem 2.
+        assert!((rows[1].independent - 0.3).abs() < 1e-12);
+        assert!(rows[1].correlated >= rows[1].independent - 1e-12);
+        // Row 3: user-level — identical Tε on both (Corollary 1).
+        assert!((rows[2].independent - 1.0).abs() < 1e-12);
+        assert_eq!(rows[2].independent, rows[2].correlated);
+    }
+
+    #[test]
+    fn table_ii_on_independent_data_shows_no_penalty() {
+        let mut acc = TplAccountant::traditional();
+        acc.observe_uniform(0.2, 5).unwrap();
+        let rows = table_ii(&acc, 2).unwrap();
+        for row in &rows {
+            assert!((row.independent - row.correlated).abs() < 1e-12, "{row:?}");
+        }
+    }
+}

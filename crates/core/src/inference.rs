@@ -1,0 +1,299 @@
+//! Empirical adversary simulation (extension).
+//!
+//! The paper's TPL is an *analytic* worst-case quantity. This module
+//! builds the actual attack it bounds, so the workspace can validate the
+//! theory empirically: `Adversary^T_i` knows every other user's data, so
+//! from the released noisy histogram `r^t` it can subtract the others'
+//! counts and obtain, for each location `k`, a Laplace-noised indicator of
+//! whether the victim is at `k`. Combining those per-time likelihoods with
+//! the Markov prior via forward–backward smoothing yields the posterior
+//! over the victim's trajectory; the MAP state per time point is the
+//! adversary's guess.
+//!
+//! The tests (and the `ablation_attack` harness) confirm the qualitative
+//! content of the paper's analysis: attack accuracy grows with the
+//! correlation strength and with the per-step budget, and a stream whose
+//! budgets come from Algorithms 2/3 caps the adversary at the level a
+//! plain α-DP one-shot release would.
+
+use crate::{Result, TplError};
+use tcdp_markov::{distribution, MarkovChain};
+use tcdp_mech::Laplace;
+
+/// What the adversary reconstructs at one time point: the noisy histogram
+/// minus the known counts of all other users, and the noise scale the
+/// mechanism used. Entry `k` of `residual` is distributed as
+/// `[victim at k] + Lap(scale)`.
+#[derive(Debug, Clone)]
+pub struct ResidualObservation {
+    /// Noisy histogram minus other users' true counts, per location.
+    pub residual: Vec<f64>,
+    /// Laplace scale `Δ/ε_t` of the mechanism at this time point.
+    pub scale: f64,
+}
+
+impl ResidualObservation {
+    /// Build from a published noisy histogram and the adversary's
+    /// knowledge of all other users' counts.
+    pub fn from_release(noisy: &[f64], others: &[f64], scale: f64) -> Result<Self> {
+        if noisy.len() != others.len() {
+            return Err(TplError::DimensionMismatch {
+                expected: noisy.len(),
+                found: others.len(),
+            });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(TplError::InvalidEpsilon(scale));
+        }
+        Ok(Self {
+            residual: noisy.iter().zip(others).map(|(n, o)| n - o).collect(),
+            scale,
+        })
+    }
+
+    /// Likelihood (up to a constant) of the residual vector given the
+    /// victim is at location `k`.
+    fn likelihood(&self, k: usize) -> f64 {
+        let lap = Laplace::new(self.scale).expect("validated at construction");
+        let mut l = 1.0;
+        for (j, &r) in self.residual.iter().enumerate() {
+            let mean = if j == k { 1.0 } else { 0.0 };
+            l *= lap.pdf(r - mean).max(f64::MIN_POSITIVE);
+        }
+        l
+    }
+}
+
+/// Forward–backward smoothing posteriors over the victim's trajectory.
+///
+/// Returns `posteriors[t][k] = Pr(l^t = k | r^1..r^T, correlations)`.
+pub fn posterior_trajectory(
+    chain: &MarkovChain,
+    observations: &[ResidualObservation],
+) -> Result<Vec<Vec<f64>>> {
+    if observations.is_empty() {
+        return Err(TplError::EmptyTimeline);
+    }
+    let n = chain.n();
+    for obs in observations {
+        if obs.residual.len() != n {
+            return Err(TplError::DimensionMismatch { expected: n, found: obs.residual.len() });
+        }
+    }
+    let t_len = observations.len();
+    let matrix = chain.matrix();
+
+    // Scaled forward pass.
+    let mut alphas = vec![vec![0.0; n]; t_len];
+    for t in 0..t_len {
+        for k in 0..n {
+            let prior = if t == 0 {
+                chain.initial()[k]
+            } else {
+                (0..n).map(|j| alphas[t - 1][j] * matrix.get(j, k)).sum()
+            };
+            alphas[t][k] = prior * observations[t].likelihood(k);
+        }
+        let sum: f64 = alphas[t].iter().sum();
+        if sum <= 0.0 {
+            return Err(TplError::Markov(tcdp_markov::MarkovError::ZeroMass { state: 0 }));
+        }
+        for a in &mut alphas[t] {
+            *a /= sum;
+        }
+    }
+
+    // Scaled backward pass.
+    let mut betas = vec![vec![1.0; n]; t_len];
+    for t in (0..t_len - 1).rev() {
+        let (head, tail) = betas.split_at_mut(t + 1);
+        let beta_next = &tail[0];
+        for (j, slot) in head[t].iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (k, bn) in beta_next.iter().enumerate() {
+                acc += matrix.get(j, k) * observations[t + 1].likelihood(k) * bn;
+            }
+            *slot = acc;
+        }
+        let sum: f64 = head[t].iter().sum();
+        if sum > 0.0 {
+            for b in &mut head[t] {
+                *b /= sum;
+            }
+        }
+    }
+
+    // Combine and normalize.
+    let mut posts = Vec::with_capacity(t_len);
+    for t in 0..t_len {
+        let raw: Vec<f64> = (0..n).map(|k| alphas[t][k] * betas[t][k]).collect();
+        posts.push(distribution::normalize(&raw)?);
+    }
+    Ok(posts)
+}
+
+/// Per-time MAP guesses from smoothing posteriors.
+pub fn map_states(posteriors: &[Vec<f64>]) -> Vec<usize> {
+    posteriors
+        .iter()
+        .map(|p| {
+            p.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("posteriors are finite"))
+                .map(|(k, _)| k)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Fraction of time points where the guess matches the truth.
+pub fn attack_accuracy(truth: &[usize], guesses: &[usize]) -> Result<f64> {
+    if truth.len() != guesses.len() || truth.is_empty() {
+        return Err(TplError::DimensionMismatch { expected: truth.len(), found: guesses.len() });
+    }
+    let hits = truth.iter().zip(guesses).filter(|(a, b)| a == b).count();
+    Ok(hits as f64 / truth.len() as f64)
+}
+
+/// End-to-end attack simulation: simulate a victim on `chain`, release
+/// noisy indicators with per-step budgets `budgets` (unit sensitivity),
+/// run the posterior attack, and return the accuracy.
+pub fn simulate_attack<R: rand::Rng + ?Sized>(
+    chain: &MarkovChain,
+    budgets: &[f64],
+    rng: &mut R,
+) -> Result<f64> {
+    if budgets.is_empty() {
+        return Err(TplError::EmptyTimeline);
+    }
+    let n = chain.n();
+    let truth = chain.simulate(budgets.len(), rng);
+    let mut observations = Vec::with_capacity(budgets.len());
+    for (t, &eps) in budgets.iter().enumerate() {
+        crate::check_epsilon(eps)?;
+        let scale = 1.0 / eps;
+        let lap = Laplace::new(scale).expect("positive scale");
+        let mut residual = vec![0.0; n];
+        for (k, r) in residual.iter_mut().enumerate() {
+            let mean = if truth[t] == k { 1.0 } else { 0.0 };
+            *r = mean + lap.sample(rng);
+        }
+        observations.push(ResidualObservation { residual, scale });
+    }
+    let posts = posterior_trajectory(chain, &observations)?;
+    attack_accuracy(&truth, &map_states(&posts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tcdp_markov::TransitionMatrix;
+
+    fn mean_accuracy(chain: &MarkovChain, eps: f64, t_len: usize, runs: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budgets = vec![eps; t_len];
+        (0..runs)
+            .map(|_| simulate_attack(chain, &budgets, &mut rng).unwrap())
+            .sum::<f64>()
+            / runs as f64
+    }
+
+    #[test]
+    fn stronger_correlation_means_better_attack() {
+        let sticky = MarkovChain::uniform_start(
+            TransitionMatrix::from_rows(vec![vec![0.95, 0.05], vec![0.05, 0.95]]).unwrap(),
+        );
+        let iid = MarkovChain::uniform_start(TransitionMatrix::uniform(2).unwrap());
+        let acc_sticky = mean_accuracy(&sticky, 0.5, 20, 60, 1);
+        let acc_iid = mean_accuracy(&iid, 0.5, 20, 60, 1);
+        assert!(
+            acc_sticky > acc_iid + 0.05,
+            "correlation must help the attacker: {acc_sticky} vs {acc_iid}"
+        );
+    }
+
+    #[test]
+    fn bigger_budget_means_better_attack() {
+        let chain = MarkovChain::uniform_start(
+            TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap(),
+        );
+        let leaky = mean_accuracy(&chain, 5.0, 15, 40, 2);
+        let tight = mean_accuracy(&chain, 0.05, 15, 40, 2);
+        assert!(leaky > tight + 0.1, "leaky={leaky} tight={tight}");
+        // With eps -> 0 the posterior is dominated by the prior; accuracy
+        // hovers near the best blind guess.
+        assert!(tight < 0.8);
+    }
+
+    #[test]
+    fn near_deterministic_chain_with_huge_budget_is_cracked() {
+        let chain = MarkovChain::uniform_start(
+            TransitionMatrix::from_rows(vec![vec![0.99, 0.01], vec![0.01, 0.99]]).unwrap(),
+        );
+        let acc = mean_accuracy(&chain, 20.0, 10, 20, 3);
+        assert!(acc > 0.95, "acc={acc}");
+    }
+
+    #[test]
+    fn posterior_is_proper_distribution() {
+        let chain = MarkovChain::uniform_start(
+            TransitionMatrix::from_rows(vec![
+                vec![0.5, 0.3, 0.2],
+                vec![0.2, 0.5, 0.3],
+                vec![0.3, 0.2, 0.5],
+            ])
+            .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let truth = chain.simulate(8, &mut rng);
+        let lap = Laplace::new(2.0).unwrap();
+        let obs: Vec<ResidualObservation> = truth
+            .iter()
+            .map(|&s| {
+                let mut residual = vec![0.0; 3];
+                for (k, r) in residual.iter_mut().enumerate() {
+                    *r = if s == k { 1.0 } else { 0.0 } + lap.sample(&mut rng);
+                }
+                ResidualObservation { residual, scale: 2.0 }
+            })
+            .collect();
+        let posts = posterior_trajectory(&chain, &obs).unwrap();
+        assert_eq!(posts.len(), 8);
+        for p in &posts {
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let chain = MarkovChain::uniform_start(TransitionMatrix::uniform(2).unwrap());
+        assert!(posterior_trajectory(&chain, &[]).is_err());
+        let bad = ResidualObservation { residual: vec![0.0; 3], scale: 1.0 };
+        assert!(posterior_trajectory(&chain, &[bad]).is_err());
+        assert!(ResidualObservation::from_release(&[1.0], &[0.0, 0.0], 1.0).is_err());
+        assert!(ResidualObservation::from_release(&[1.0], &[0.0], 0.0).is_err());
+        assert!(attack_accuracy(&[0, 1], &[0]).is_err());
+        assert!(attack_accuracy(&[], &[]).is_err());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(simulate_attack(&chain, &[], &mut rng).is_err());
+        assert!(simulate_attack(&chain, &[0.0], &mut rng).is_err());
+    }
+
+    #[test]
+    fn residual_from_release_subtracts_others() {
+        let obs =
+            ResidualObservation::from_release(&[5.2, 3.1], &[4.0, 3.0], 1.0).unwrap();
+        assert!((obs.residual[0] - 1.2).abs() < 1e-12);
+        assert!((obs.residual[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_states_picks_argmax() {
+        let posts = vec![vec![0.1, 0.9], vec![0.7, 0.3]];
+        assert_eq!(map_states(&posts), vec![1, 0]);
+    }
+}

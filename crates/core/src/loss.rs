@@ -1,0 +1,155 @@
+//! The temporal loss function `L(α)` as a reusable object.
+//!
+//! [`TemporalLossFunction`] wraps one transition matrix (a backward
+//! correlation `P^B` for `L^B` or a forward correlation `P^F` for `L^F`;
+//! the paper shows in Section IV-A that both are computed identically) and
+//! evaluates the loss with Algorithm 1. It is the `L(·)` appearing in the
+//! paper's recurrences
+//!
+//! ```text
+//! BPL(t) = L^B(BPL(t−1)) + ε_t        FPL(t) = L^F(FPL(t+1)) + ε_t
+//! ```
+
+use crate::alg1::{temporal_loss_witness, LossWitness};
+use crate::{check_alpha, Result};
+use serde::{Deserialize, Serialize};
+use tcdp_markov::TransitionMatrix;
+
+/// A temporal privacy loss function built from one transition matrix.
+///
+/// ```
+/// use tcdp_core::TemporalLossFunction;
+/// use tcdp_markov::TransitionMatrix;
+///
+/// // Figure 3's moderate correlation: L(0.1) ≈ 0.0808, so one release of
+/// // ε = 0.1 after a BPL of 0.1 yields BPL = 0.1808 (the paper's 0.18).
+/// let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
+/// let loss = TemporalLossFunction::new(p);
+/// let next = loss.step(0.1, 0.1).unwrap();
+/// assert!((next - 0.1808).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalLossFunction {
+    matrix: TransitionMatrix,
+}
+
+impl TemporalLossFunction {
+    /// Wrap a transition matrix.
+    pub fn new(matrix: TransitionMatrix) -> Self {
+        Self { matrix }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &TransitionMatrix {
+        &self.matrix
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// Evaluate `L(α)` (Equations 23/24 via Algorithm 1).
+    pub fn eval(&self, alpha: f64) -> Result<f64> {
+        self.witness(alpha).map(|w| w.value)
+    }
+
+    /// Evaluate `L(α)` and return the maximizing rows and subset sums.
+    pub fn witness(&self, alpha: f64) -> Result<LossWitness> {
+        check_alpha(alpha)?;
+        temporal_loss_witness(&self.matrix, alpha)
+    }
+
+    /// Whether this correlation amplifies *nothing*: `L ≡ 0`, which holds
+    /// exactly when all rows are equal (the previous/next value carries no
+    /// information about the current one).
+    pub fn is_null(&self) -> bool {
+        self.matrix.rows_all_equal()
+    }
+
+    /// Whether this is the paper's "strongest" correlation (`L(α) = α`):
+    /// some row pair has fully disjoint supports, so one release is worth
+    /// a full replay of the previous one. Detected structurally: there are
+    /// rows `q, d` with `Σ_{j: d_j = 0} q_j = 1`.
+    pub fn is_strongest(&self) -> bool {
+        let n = self.matrix.n();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let mass_on_disjoint: f64 = self
+                    .matrix
+                    .row(a)
+                    .iter()
+                    .zip(self.matrix.row(b))
+                    .filter(|(_, &dj)| dj == 0.0)
+                    .map(|(&qj, _)| qj)
+                    .sum();
+                if (mass_on_disjoint - 1.0).abs() < 1e-12 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// One step of the leakage recurrence: `L(prev) + ε`.
+    pub fn step(&self, prev: f64, epsilon: f64) -> Result<f64> {
+        crate::check_epsilon(epsilon)?;
+        Ok(self.eval(prev)? + epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_alg1() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
+        let f = TemporalLossFunction::new(p.clone());
+        assert_eq!(f.eval(0.5).unwrap(), crate::alg1::temporal_loss(&p, 0.5).unwrap());
+        assert_eq!(f.n(), 2);
+    }
+
+    #[test]
+    fn null_and_strongest_detection() {
+        let uniform = TemporalLossFunction::new(TransitionMatrix::uniform(3).unwrap());
+        assert!(uniform.is_null());
+        assert!(!uniform.is_strongest());
+
+        let ident = TemporalLossFunction::new(TransitionMatrix::identity(3).unwrap());
+        assert!(ident.is_strongest());
+        assert!(!ident.is_null());
+
+        let moderate = TemporalLossFunction::new(
+            TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap(),
+        );
+        assert!(!moderate.is_strongest());
+        assert!(!moderate.is_null());
+
+        // [[0.8, 0.2], [0, 1]] is NOT strongest: row 0 puts only 0.8 mass
+        // where row 1 has zeros — leakage grows but stays bounded for
+        // small ε (Theorem 5 case 2).
+        let fig3 = TemporalLossFunction::new(
+            TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap(),
+        );
+        assert!(!fig3.is_strongest());
+        // Permutation matrices ARE strongest.
+        let perm = TemporalLossFunction::new(TransitionMatrix::strongest_shift(4).unwrap());
+        assert!(perm.is_strongest());
+    }
+
+    #[test]
+    fn step_is_recurrence() {
+        let f = TemporalLossFunction::new(
+            TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap(),
+        );
+        // Figure 3(a)(ii): 0.10 → 0.18.
+        let next = f.step(0.1, 0.1).unwrap();
+        assert!((next - 0.1808).abs() < 1e-3, "next={next}");
+        assert!(f.step(0.1, 0.0).is_err());
+        assert!(f.step(-1.0, 0.1).is_err());
+    }
+}

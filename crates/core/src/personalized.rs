@@ -1,0 +1,202 @@
+//! Personalized temporal privacy (Section III-D).
+//!
+//! The paper observes that temporal privacy leakage is *personal*: users
+//! with different mobility patterns (`P^B_i`, `P^F_i`) leak differently
+//! under the very same mechanism. The overall α-DP_T level is defined as
+//! the maximum leakage over users, but the framework is also compatible
+//! with personalized differential privacy (PDP, Jorgensen et al.): each
+//! user may carry her own target `α_i` and receive her own budget vector.
+//!
+//! This module provides both views:
+//!
+//! * [`PopulationAccountant`] — one [`TplAccountant`] per user over a
+//!   *shared* budget timeline; the population leakage is the per-time
+//!   maximum over users.
+//! * [`personalized_plans`] — per-user Algorithm 2/3 plans for per-user
+//!   targets, plus the paper's line-11 combination (minimum budget) when a
+//!   single shared mechanism must serve everyone.
+
+use crate::accountant::TplAccountant;
+use crate::adversary::AdversaryT;
+use crate::release::{population_plan, quantified_plan, upper_bound_plan, PlanKind, ReleasePlan};
+use crate::{Result, TplError};
+
+/// Per-user leakage accounting over one shared release timeline.
+#[derive(Debug, Clone)]
+pub struct PopulationAccountant {
+    users: Vec<TplAccountant>,
+}
+
+impl PopulationAccountant {
+    /// One accountant per user, from their adversary models.
+    pub fn new(adversaries: &[AdversaryT]) -> Result<Self> {
+        if adversaries.is_empty() {
+            return Err(TplError::EmptyTimeline);
+        }
+        Ok(Self { users: adversaries.iter().map(TplAccountant::new).collect() })
+    }
+
+    /// Number of users tracked.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Record a shared release of budget `eps` for every user.
+    pub fn observe_release(&mut self, eps: f64) -> Result<()> {
+        for acc in &mut self.users {
+            acc.observe_release(eps)?;
+        }
+        Ok(())
+    }
+
+    /// Per-user accountants.
+    pub fn user(&self, i: usize) -> Option<&TplAccountant> {
+        self.users.get(i)
+    }
+
+    /// The population TPL series: per-time maximum over users
+    /// (Definition 5's `max_{∀A^T_i}`).
+    pub fn tpl_series(&self) -> Result<Vec<f64>> {
+        let mut out: Option<Vec<f64>> = None;
+        for acc in &self.users {
+            let series = acc.tpl_series()?;
+            out = Some(match out {
+                None => series,
+                Some(prev) => prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect(),
+            });
+        }
+        out.ok_or(TplError::EmptyTimeline)
+    }
+
+    /// Worst TPL over all users and times — the α in the population's
+    /// α-DP_T guarantee.
+    pub fn max_tpl(&self) -> Result<f64> {
+        self.tpl_series()?
+            .into_iter()
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .ok_or(TplError::EmptyTimeline)
+    }
+
+    /// Index of the user with the highest current leakage.
+    pub fn most_exposed_user(&self) -> Result<usize> {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (i, acc) in self.users.iter().enumerate() {
+            let v = acc.max_tpl()?;
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        Ok(best.0)
+    }
+}
+
+/// One user's personalized target.
+#[derive(Debug, Clone)]
+pub struct UserTarget {
+    /// The user's adversary model.
+    pub adversary: AdversaryT,
+    /// The user's α-DP_T target.
+    pub alpha: f64,
+}
+
+/// Per-user plans for per-user targets (PDP compatibility).
+pub fn personalized_plans(
+    targets: &[UserTarget],
+    kind: PlanKind,
+    t_len: usize,
+) -> Result<Vec<ReleasePlan>> {
+    targets
+        .iter()
+        .map(|u| match kind {
+            PlanKind::UpperBound => upper_bound_plan(&u.adversary, u.alpha),
+            PlanKind::Quantified => quantified_plan(&u.adversary, u.alpha, t_len),
+        })
+        .collect()
+}
+
+/// A single shared plan meeting *every* user's personal target: per-user
+/// plans combined with the paper's per-time minimum (line 11).
+pub fn shared_plan_for_targets(
+    targets: &[UserTarget],
+    kind: PlanKind,
+    t_len: usize,
+) -> Result<ReleasePlan> {
+    let plans = personalized_plans(targets, kind, t_len)?;
+    population_plan(&plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcdp_markov::TransitionMatrix;
+
+    fn strong_user() -> AdversaryT {
+        let p = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.05, 0.95]]).unwrap();
+        AdversaryT::with_both(p.clone(), p).unwrap()
+    }
+
+    fn weak_user() -> AdversaryT {
+        let p = TransitionMatrix::from_rows(vec![vec![0.55, 0.45], vec![0.45, 0.55]]).unwrap();
+        AdversaryT::with_both(p.clone(), p).unwrap()
+    }
+
+    #[test]
+    fn population_accounting_takes_worst_user() {
+        let mut pop = PopulationAccountant::new(&[strong_user(), weak_user()]).unwrap();
+        for _ in 0..10 {
+            pop.observe_release(0.1).unwrap();
+        }
+        assert_eq!(pop.num_users(), 2);
+        let pop_tpl = pop.tpl_series().unwrap();
+        let strong_tpl = pop.user(0).unwrap().tpl_series().unwrap();
+        let weak_tpl = pop.user(1).unwrap().tpl_series().unwrap();
+        for t in 0..10 {
+            assert!((pop_tpl[t] - strong_tpl[t].max(weak_tpl[t])).abs() < 1e-12);
+            assert!(strong_tpl[t] > weak_tpl[t], "stronger correlation leaks more");
+        }
+        assert_eq!(pop.most_exposed_user().unwrap(), 0);
+        assert!(pop.user(5).is_none());
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        assert!(PopulationAccountant::new(&[]).is_err());
+    }
+
+    #[test]
+    fn personalized_plans_respect_individual_targets() {
+        let targets = vec![
+            UserTarget { adversary: strong_user(), alpha: 0.5 },
+            UserTarget { adversary: weak_user(), alpha: 2.0 },
+        ];
+        let plans = personalized_plans(&targets, PlanKind::Quantified, 10).unwrap();
+        assert_eq!(plans.len(), 2);
+        // Each plan meets its own user's target.
+        for (target, plan) in targets.iter().zip(&plans) {
+            let mut acc = TplAccountant::new(&target.adversary);
+            for t in 0..10 {
+                acc.observe_release(plan.budget_at(t)).unwrap();
+            }
+            assert!(acc.max_tpl().unwrap() <= target.alpha + 1e-7);
+        }
+        // The lenient user's plan spends more budget.
+        assert!(plans[1].mean_budget(10) > plans[0].mean_budget(10));
+    }
+
+    #[test]
+    fn shared_plan_meets_every_target() {
+        let targets = vec![
+            UserTarget { adversary: strong_user(), alpha: 0.5 },
+            UserTarget { adversary: weak_user(), alpha: 2.0 },
+        ];
+        let shared = shared_plan_for_targets(&targets, PlanKind::Quantified, 10).unwrap();
+        for target in &targets {
+            let mut acc = TplAccountant::new(&target.adversary);
+            for t in 0..10 {
+                acc.observe_release(shared.budget_at(t)).unwrap();
+            }
+            let worst = acc.max_tpl().unwrap();
+            assert!(worst <= target.alpha + 1e-7, "target {} exceeded: {worst}", target.alpha);
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Algorithms 2 and 3 — releasing data with α-DP_T.
+//!
+//! Both algorithms convert a traditional DP mechanism into one whose
+//! temporal privacy leakage never exceeds `α`, by allocating calibrated
+//! per-time budgets. Their shared core is the *balance search*: choose the
+//! split `α = α^B + α^F − ε` between backward and forward leakage such
+//! that the per-step budget implied by the backward fixed point
+//! (`ε^B = α^B − L^B(α^B)`) equals the one implied by the forward fixed
+//! point (`ε^F = α^F − L^F(α^F)`) — lines 2–10 of both algorithms. The
+//! difference `ε^B − ε^F` is strictly increasing in `α^B`, so a binary
+//! search converges; the paper notes the initialization is the only
+//! delicate part.
+//!
+//! * **Algorithm 2** (`upper_bound_plan`): release with the *uniform*
+//!   budget `ε` everywhere. BPL/FPL then approach their suprema
+//!   `α^B`/`α^F` but never exceed them (Theorem 5), so every time point
+//!   satisfies α-DP_T **regardless of how long the stream runs** — at the
+//!   cost of wasted budget when `T` is short.
+//! * **Algorithm 3** (`quantified_plan`): for a known horizon `T`, boost
+//!   the endpoint budgets (`ε_1 = α^B`, `ε_T = α^F`) and give the middle
+//!   points the balanced `ε_m`. BPL and FPL then *equal* their targets at
+//!   every time point and TPL is exactly `α` everywhere — strictly better
+//!   utility for short `T` (Figures 7 and 8).
+
+use crate::adversary::AdversaryT;
+use crate::loss::TemporalLossFunction;
+use crate::{check_alpha, Result, TplError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tcdp_mech::budget::BudgetSchedule;
+use tcdp_mech::query::Database;
+use tcdp_mech::stream::{ContinualReleaser, Release};
+
+/// Which paper algorithm produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// Algorithm 2: uniform budget, leakage bounded by its supremum.
+    UpperBound,
+    /// Algorithm 3: boosted endpoints, leakage exactly α at each point.
+    Quantified,
+}
+
+/// A budget allocation guaranteeing α-DP_T.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleasePlan {
+    /// The guaranteed α-DP_T level.
+    pub alpha: f64,
+    /// Supremum (Algorithm 2) or exact value (Algorithm 3) of BPL.
+    pub alpha_backward: f64,
+    /// Supremum (Algorithm 2) or exact value (Algorithm 3) of FPL.
+    pub alpha_forward: f64,
+    /// Which algorithm produced the plan.
+    pub kind: PlanKind,
+    /// The per-time budgets. For [`PlanKind::UpperBound`] this holds a
+    /// single entry that applies to every time point; for
+    /// [`PlanKind::Quantified`] it holds exactly `T` entries.
+    pub budgets: Vec<f64>,
+}
+
+impl ReleasePlan {
+    /// Budget at time index `t` (0-based; uniform plans repeat forever).
+    pub fn budget_at(&self, t: usize) -> f64 {
+        *self.budgets.get(t).unwrap_or_else(|| {
+            self.budgets.last().expect("plans always carry at least one budget")
+        })
+    }
+
+    /// The horizon the plan was built for (`None` = open-ended).
+    pub fn horizon(&self) -> Option<usize> {
+        match self.kind {
+            PlanKind::UpperBound => None,
+            PlanKind::Quantified => Some(self.budgets.len()),
+        }
+    }
+
+    /// Materialize a [`BudgetSchedule`] of length `t_len`.
+    pub fn schedule(&self, t_len: usize) -> Result<BudgetSchedule> {
+        if t_len == 0 {
+            return Err(TplError::HorizonTooShort { minimum: 1 });
+        }
+        if let Some(h) = self.horizon() {
+            if t_len != h {
+                return Err(TplError::DimensionMismatch { expected: h, found: t_len });
+            }
+        }
+        let values: Vec<f64> = (0..t_len).map(|t| self.budget_at(t)).collect();
+        BudgetSchedule::from_values(&values).map_err(TplError::from)
+    }
+
+    /// Mean per-release budget over a horizon of `t_len` — the utility
+    /// proxy plotted in Figure 8 is the reciprocal cost `E|Lap(Δ/ε)| = Δ/ε`
+    /// averaged over time; see [`ReleasePlan::mean_abs_noise`].
+    pub fn mean_budget(&self, t_len: usize) -> f64 {
+        if t_len == 0 {
+            return 0.0;
+        }
+        (0..t_len).map(|t| self.budget_at(t)).sum::<f64>() / t_len as f64
+    }
+
+    /// Expected absolute Laplace noise per released value, averaged over a
+    /// horizon of `t_len` for a query of L1 sensitivity `sensitivity` —
+    /// exactly Figure 8's y-axis.
+    pub fn mean_abs_noise(&self, t_len: usize, sensitivity: f64) -> f64 {
+        if t_len == 0 {
+            return 0.0;
+        }
+        (0..t_len).map(|t| sensitivity / self.budget_at(t)).sum::<f64>() / t_len as f64
+    }
+}
+
+/// Outcome of the balance search shared by Algorithms 2 and 3.
+#[derive(Debug, Clone, Copy)]
+struct Balance {
+    alpha_b: f64,
+    alpha_f: f64,
+    eps: f64,
+}
+
+/// `ε = a − L(a)` for one side; `a` itself when that side has no
+/// correlation (then L ≡ 0 conceptually).
+fn side_epsilon(loss: Option<&TemporalLossFunction>, a: f64) -> Result<f64> {
+    Ok(match loss {
+        Some(l) => a - l.eval(a)?,
+        None => a,
+    })
+}
+
+fn balance(
+    backward: Option<&TemporalLossFunction>,
+    forward: Option<&TemporalLossFunction>,
+    alpha: f64,
+) -> Result<Balance> {
+    check_alpha(alpha)?;
+    if alpha <= 0.0 {
+        return Err(TplError::TargetUnreachable { alpha });
+    }
+    for side in [backward, forward].into_iter().flatten() {
+        if side.is_strongest() {
+            return Err(TplError::UnboundableCorrelation);
+        }
+    }
+    let result = match (backward, forward) {
+        (None, None) => Balance { alpha_b: alpha, alpha_f: alpha, eps: alpha },
+        (Some(lb), None) => {
+            let eps = side_epsilon(Some(lb), alpha)?;
+            Balance { alpha_b: alpha, alpha_f: eps, eps }
+        }
+        (None, Some(lf)) => {
+            let eps = side_epsilon(Some(lf), alpha)?;
+            Balance { alpha_b: eps, alpha_f: alpha, eps }
+        }
+        (Some(lb), Some(lf)) => {
+            // Binary search on α^B for the root of
+            // f(α^B) = ε^B(α^B) − ε^F(α − α^B + ε^B(α^B)),
+            // which is strictly increasing (dε^B/dα^B ∈ (0,1]).
+            let f = |ab: f64| -> Result<(f64, f64, f64)> {
+                let eb = side_epsilon(Some(lb), ab)?;
+                let af = alpha - ab + eb;
+                let ef = side_epsilon(Some(lf), af)?;
+                Ok((eb - ef, eb, af))
+            };
+            let mut lo = alpha * 1e-12;
+            let mut hi = alpha;
+            let mut best = None;
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                let (diff, eb, af) = f(mid)?;
+                best = Some(Balance { alpha_b: mid, alpha_f: af, eps: eb });
+                if diff.abs() < 1e-13 {
+                    break;
+                }
+                if diff < 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            best.expect("search runs at least one iteration")
+        }
+    };
+    if result.eps <= 1e-9 {
+        return Err(TplError::UnboundableCorrelation);
+    }
+    Ok(result)
+}
+
+/// **Algorithm 2**: a uniform-budget plan whose leakage supremum is `α`,
+/// valid for release horizons of any (unknown) length.
+///
+/// ```
+/// use tcdp_core::{upper_bound_plan, AdversaryT, TplAccountant};
+/// use tcdp_markov::TransitionMatrix;
+///
+/// let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+/// let pf = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+/// let adv = AdversaryT::with_both(pb, pf).unwrap();
+/// let plan = upper_bound_plan(&adv, 1.0).unwrap();
+///
+/// // The same budget holds arbitrarily far out, and TPL never exceeds α.
+/// let mut acc = TplAccountant::new(&adv);
+/// acc.observe_uniform(plan.budget_at(0), 100).unwrap();
+/// assert!(acc.max_tpl().unwrap() <= 1.0 + 1e-7);
+/// ```
+pub fn upper_bound_plan(adversary: &AdversaryT, alpha: f64) -> Result<ReleasePlan> {
+    let lb = adversary.backward_loss();
+    let lf = adversary.forward_loss();
+    let bal = balance(lb.as_ref(), lf.as_ref(), alpha)?;
+    Ok(ReleasePlan {
+        alpha,
+        alpha_backward: bal.alpha_b,
+        alpha_forward: bal.alpha_f,
+        kind: PlanKind::UpperBound,
+        budgets: vec![bal.eps],
+    })
+}
+
+/// **Algorithm 3**: an exact plan for a known horizon `t_len ≥ 1`, with
+/// boosted endpoint budgets, achieving TPL = α at *every* time point.
+///
+/// ```
+/// use tcdp_core::{quantified_plan, AdversaryT};
+/// use tcdp_markov::TransitionMatrix;
+///
+/// let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+/// let adv = AdversaryT::with_both(p.clone(), p).unwrap();
+/// let plan = quantified_plan(&adv, 1.0, 10).unwrap();
+/// // Endpoints are boosted relative to the middle (Figure 7(b)).
+/// assert!(plan.budget_at(0) > plan.budget_at(5));
+/// assert!(plan.budget_at(9) > plan.budget_at(5));
+/// ```
+pub fn quantified_plan(adversary: &AdversaryT, alpha: f64, t_len: usize) -> Result<ReleasePlan> {
+    if t_len == 0 {
+        return Err(TplError::HorizonTooShort { minimum: 1 });
+    }
+    let lb = adversary.backward_loss();
+    let lf = adversary.forward_loss();
+    if t_len == 1 {
+        // A single release: TPL = BPL + FPL − ε = ε; spend everything.
+        check_alpha(alpha)?;
+        if alpha <= 0.0 {
+            return Err(TplError::TargetUnreachable { alpha });
+        }
+        return Ok(ReleasePlan {
+            alpha,
+            alpha_backward: alpha,
+            alpha_forward: alpha,
+            kind: PlanKind::Quantified,
+            budgets: vec![alpha],
+        });
+    }
+    let bal = balance(lb.as_ref(), lf.as_ref(), alpha)?;
+    // Endpoint boosts: ε_1 = α^B only matters when a backward correlation
+    // exists (otherwise BPL ≡ ε and the bound comes from FPL alone, capping
+    // ε_1 at ε_m); symmetrically for ε_T.
+    let first = if lb.is_some() { bal.alpha_b } else { bal.eps };
+    let last = if lf.is_some() { bal.alpha_f } else { bal.eps };
+    let mut budgets = Vec::with_capacity(t_len);
+    budgets.push(first);
+    for _ in 1..t_len - 1 {
+        budgets.push(bal.eps);
+    }
+    budgets.push(last);
+    Ok(ReleasePlan {
+        alpha,
+        alpha_backward: bal.alpha_b,
+        alpha_forward: bal.alpha_f,
+        kind: PlanKind::Quantified,
+        budgets,
+    })
+}
+
+/// Line 11 of both algorithms: combine per-user plans into a single plan
+/// for the whole population by taking the per-time minimum budget (the
+/// overall leakage is the maximum over users, so the minimum budget
+/// dominates every user's constraint).
+pub fn population_plan(plans: &[ReleasePlan]) -> Result<ReleasePlan> {
+    let Some(first) = plans.first() else {
+        return Err(TplError::EmptyTimeline);
+    };
+    let mut combined = first.clone();
+    for plan in &plans[1..] {
+        if plan.kind != combined.kind {
+            return Err(TplError::DimensionMismatch { expected: 0, found: 1 });
+        }
+        let len = combined.budgets.len().max(plan.budgets.len());
+        combined.budgets = (0..len)
+            .map(|t| combined.budget_at(t).min(plan.budget_at(t)))
+            .collect();
+        combined.alpha = combined.alpha.min(plan.alpha);
+        combined.alpha_backward = combined.alpha_backward.min(plan.alpha_backward);
+        combined.alpha_forward = combined.alpha_forward.min(plan.alpha_forward);
+    }
+    Ok(combined)
+}
+
+/// An end-to-end α-DP_T histogram releaser: a traditional Laplace
+/// continual releaser driven by a [`ReleasePlan`], with a built-in
+/// [`crate::TplAccountant`] asserting the guarantee as data flows.
+#[derive(Debug)]
+pub struct DptReleaser {
+    plan: ReleasePlan,
+    releaser: ContinualReleaser,
+    accountant: crate::TplAccountant,
+    t_len: usize,
+}
+
+impl DptReleaser {
+    /// Build a releaser for histograms over `domain` values, running the
+    /// plan for `t_len` steps against the adversary the plan was made for.
+    pub fn new(
+        domain: usize,
+        adversary: &AdversaryT,
+        plan: ReleasePlan,
+        t_len: usize,
+    ) -> Result<Self> {
+        let schedule = plan.schedule(t_len)?;
+        let releaser = ContinualReleaser::new(domain, schedule)?;
+        Ok(Self { plan, releaser, accountant: crate::TplAccountant::new(adversary), t_len })
+    }
+
+    /// The plan driving this releaser.
+    pub fn plan(&self) -> &ReleasePlan {
+        &self.plan
+    }
+
+    /// Releases remaining before the plan's horizon is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.t_len.saturating_sub(self.releaser.time())
+    }
+
+    /// Release the next snapshot; errors when the horizon is exhausted.
+    pub fn release_next<R: Rng + ?Sized>(&mut self, db: &Database, rng: &mut R) -> Result<Release> {
+        if self.remaining() == 0 {
+            return Err(TplError::Mech(tcdp_mech::MechError::StreamState(
+                "plan horizon exhausted",
+            )));
+        }
+        let release = self.releaser.release_next(db, rng)?;
+        self.accountant.observe_release(release.epsilon)?;
+        Ok(release)
+    }
+
+    /// The worst event-level TPL across everything released so far; by
+    /// construction never exceeds the plan's α (tests assert this).
+    pub fn max_tpl(&self) -> Result<f64> {
+        self.accountant.max_tpl()
+    }
+
+    /// Access the running accountant.
+    pub fn accountant(&self) -> &crate::TplAccountant {
+        &self.accountant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TplAccountant;
+    use tcdp_markov::TransitionMatrix;
+
+    fn fig7_adversary() -> AdversaryT {
+        // Figure 7's correlations: P^B = [[.8,.2],[.2,.8]],
+        // P^F = [[.8,.2],[.1,.9]].
+        let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        let pf = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        AdversaryT::with_both(pb, pf).unwrap()
+    }
+
+    fn verify_plan_tpl(adv: &AdversaryT, plan: &ReleasePlan, t_len: usize, alpha: f64) -> Vec<f64> {
+        let mut acc = TplAccountant::new(adv);
+        for t in 0..t_len {
+            acc.observe_release(plan.budget_at(t)).unwrap();
+        }
+        let tpl = acc.tpl_series().unwrap();
+        for (t, &v) in tpl.iter().enumerate() {
+            assert!(v <= alpha + 1e-7, "t={t}: TPL {v} exceeds α={alpha}");
+        }
+        tpl
+    }
+
+    #[test]
+    fn algorithm2_bounds_tpl_for_any_horizon() {
+        let adv = fig7_adversary();
+        let plan = upper_bound_plan(&adv, 1.0).unwrap();
+        assert_eq!(plan.kind, PlanKind::UpperBound);
+        assert_eq!(plan.horizon(), None);
+        assert!(plan.budget_at(0) > 0.0);
+        // ε is uniform and the same arbitrarily far out.
+        assert_eq!(plan.budget_at(0), plan.budget_at(10_000));
+        for t_len in [1, 5, 30, 200] {
+            verify_plan_tpl(&adv, &plan, t_len, 1.0);
+        }
+        // Consistency: α = α^B + α^F − ε.
+        let residual = plan.alpha_backward + plan.alpha_forward - plan.budget_at(0) - plan.alpha;
+        assert!(residual.abs() < 1e-9, "residual={residual}");
+    }
+
+    #[test]
+    fn algorithm3_achieves_exact_tpl_everywhere() {
+        // Figure 7(b): TPL sits exactly at α = 1 for every t.
+        let adv = fig7_adversary();
+        let t_len = 30;
+        let plan = quantified_plan(&adv, 1.0, t_len).unwrap();
+        assert_eq!(plan.kind, PlanKind::Quantified);
+        assert_eq!(plan.horizon(), Some(t_len));
+        let tpl = verify_plan_tpl(&adv, &plan, t_len, 1.0);
+        for (t, &v) in tpl.iter().enumerate() {
+            assert!((v - 1.0).abs() < 1e-7, "t={t}: TPL={v} not exactly α");
+        }
+        // Endpoint boosts (Figure 7(b)'s budget spikes).
+        assert!(plan.budgets[0] > plan.budgets[1]);
+        assert!(plan.budgets[t_len - 1] > plan.budgets[1]);
+        // Middle is constant.
+        for t in 2..t_len - 1 {
+            assert!((plan.budgets[t] - plan.budgets[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn algorithm3_beats_algorithm2_on_short_horizons() {
+        // Figure 8(a): Algorithm 3's mean noise is lower for short T and
+        // the gap closes as T grows.
+        let adv = fig7_adversary();
+        let a2 = upper_bound_plan(&adv, 2.0).unwrap();
+        let mut prev_gap = f64::INFINITY;
+        for t_len in [5usize, 10, 50] {
+            let a3 = quantified_plan(&adv, 2.0, t_len).unwrap();
+            let n2 = a2.mean_abs_noise(t_len, 1.0);
+            let n3 = a3.mean_abs_noise(t_len, 1.0);
+            assert!(n3 < n2, "T={t_len}: alg3 {n3} !< alg2 {n2}");
+            let gap = n2 - n3;
+            assert!(gap < prev_gap, "gap should shrink with T");
+            prev_gap = gap;
+        }
+    }
+
+    #[test]
+    fn middle_budget_of_algorithm3_equals_algorithm2_epsilon() {
+        // Both algorithms share the same balance fixed point.
+        let adv = fig7_adversary();
+        let a2 = upper_bound_plan(&adv, 1.0).unwrap();
+        let a3 = quantified_plan(&adv, 1.0, 10).unwrap();
+        assert!((a3.budgets[4] - a2.budgets[0]).abs() < 1e-9);
+        assert!((a3.alpha_backward - a2.alpha_backward).abs() < 1e-7);
+    }
+
+    #[test]
+    fn backward_only_plans() {
+        let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let adv = AdversaryT::with_backward(pb);
+        let plan = quantified_plan(&adv, 1.0, 10).unwrap();
+        // First point boosted to α; all others equal; no trailing boost.
+        assert!((plan.budgets[0] - 1.0).abs() < 1e-9);
+        assert!((plan.budgets[9] - plan.budgets[1]).abs() < 1e-12);
+        let tpl = verify_plan_tpl(&adv, &plan, 10, 1.0);
+        for &v in &tpl {
+            assert!((v - 1.0).abs() < 1e-7, "exact α expected, got {v}");
+        }
+    }
+
+    #[test]
+    fn forward_only_plans() {
+        let pf = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let adv = AdversaryT::with_forward(pf);
+        let plan = quantified_plan(&adv, 1.0, 10).unwrap();
+        assert!((plan.budgets[9] - 1.0).abs() < 1e-9);
+        assert!((plan.budgets[0] - plan.budgets[1]).abs() < 1e-12);
+        verify_plan_tpl(&adv, &plan, 10, 1.0);
+    }
+
+    #[test]
+    fn traditional_adversary_gets_full_budget() {
+        let adv = AdversaryT::traditional();
+        let plan = upper_bound_plan(&adv, 0.7).unwrap();
+        assert!((plan.budget_at(0) - 0.7).abs() < 1e-12);
+        let q = quantified_plan(&adv, 0.7, 5).unwrap();
+        assert!(q.budgets.iter().all(|&b| (b - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn strongest_correlation_is_rejected() {
+        let adv = AdversaryT::with_both(
+            TransitionMatrix::identity(2).unwrap(),
+            TransitionMatrix::identity(2).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(upper_bound_plan(&adv, 1.0).unwrap_err(), TplError::UnboundableCorrelation);
+        assert_eq!(
+            quantified_plan(&adv, 1.0, 10).unwrap_err(),
+            TplError::UnboundableCorrelation
+        );
+        // But a single release is always fine.
+        assert!(quantified_plan(&adv, 1.0, 1).is_ok());
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let adv = fig7_adversary();
+        assert!(upper_bound_plan(&adv, 0.0).is_err());
+        assert!(upper_bound_plan(&adv, -1.0).is_err());
+        assert!(upper_bound_plan(&adv, f64::NAN).is_err());
+        assert!(quantified_plan(&adv, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn population_plan_takes_minimum() {
+        let adv_weak = AdversaryT::with_both(
+            TransitionMatrix::from_rows(vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap(),
+            TransitionMatrix::from_rows(vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap(),
+        )
+        .unwrap();
+        let adv_strong = fig7_adversary();
+        let p_weak = quantified_plan(&adv_weak, 1.0, 10).unwrap();
+        let p_strong = quantified_plan(&adv_strong, 1.0, 10).unwrap();
+        let combined = population_plan(&[p_weak.clone(), p_strong.clone()]).unwrap();
+        for t in 0..10 {
+            assert!(
+                (combined.budget_at(t) - p_weak.budget_at(t).min(p_strong.budget_at(t))).abs()
+                    < 1e-12
+            );
+        }
+        // The combined plan protects both users.
+        verify_plan_tpl(&adv_weak, &combined, 10, 1.0);
+        verify_plan_tpl(&adv_strong, &combined, 10, 1.0);
+        assert!(population_plan(&[]).is_err());
+        assert!(population_plan(&[p_weak, upper_bound_plan(&adv_strong, 1.0).unwrap()]).is_err());
+    }
+
+    #[test]
+    fn dpt_releaser_end_to_end() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let adv = fig7_adversary();
+        let plan = quantified_plan(&adv, 1.0, 5).unwrap();
+        let mut rel = DptReleaser::new(2, &adv, plan, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let db = Database::new(2, vec![0, 1, 1, 0, 1]).unwrap();
+        for _ in 0..5 {
+            rel.release_next(&db, &mut rng).unwrap();
+        }
+        assert_eq!(rel.remaining(), 0);
+        assert!(rel.release_next(&db, &mut rng).is_err());
+        assert!(rel.max_tpl().unwrap() <= 1.0 + 1e-7);
+        assert_eq!(rel.accountant().len(), 5);
+    }
+}

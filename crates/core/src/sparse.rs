@@ -1,0 +1,131 @@
+//! Subsampled (every k-th step) release analysis (extension).
+//!
+//! A common folk remedy for temporal leakage is to publish less often.
+//! This module quantifies exactly what that buys: if the server releases
+//! only every `k`-th snapshot, the adversary's effective correlation
+//! between *consecutive releases* is the `k`-step transition matrix `P^k`,
+//! which is closer to the chain's stationary kernel — usually weaker, so
+//! the leakage supremum drops. "Usually" matters: for a periodic chain
+//! (e.g. a deterministic cycle with period `p`), `P^{mp}` is the identity
+//! and subsampling at the period is *maximally* harmful. The
+//! [`subsampling_profile`] makes both effects measurable, and the
+//! `ablation_sparse` harness plots them.
+
+use crate::supremum::{supremum_of_matrix, Supremum};
+use crate::{check_epsilon, Result, TplError};
+use tcdp_markov::TransitionMatrix;
+
+/// The correlation an adversary holds between consecutive releases when
+/// only every `k`-th snapshot is published: `P^k`.
+pub fn subsampled_correlation(matrix: &TransitionMatrix, k: usize) -> Result<TransitionMatrix> {
+    if k == 0 {
+        return Err(TplError::HorizonTooShort { minimum: 1 });
+    }
+    matrix.power(k).map_err(TplError::from)
+}
+
+/// Leakage supremum of a uniform-ε release of every `k`-th snapshot.
+pub fn subsampled_supremum(matrix: &TransitionMatrix, eps: f64, k: usize) -> Result<Supremum> {
+    check_epsilon(eps)?;
+    let effective = subsampled_correlation(matrix, k)?;
+    supremum_of_matrix(&effective, eps)
+}
+
+/// Supremum for every release period `k = 1..=max_k`.
+pub fn subsampling_profile(
+    matrix: &TransitionMatrix,
+    eps: f64,
+    max_k: usize,
+) -> Result<Vec<(usize, Supremum)>> {
+    (1..=max_k)
+        .map(|k| Ok((k, subsampled_supremum(matrix, eps, k)?)))
+        .collect()
+}
+
+/// The smallest release period whose leakage supremum exists and is below
+/// `target` (a deployment helper: "how sparse must I publish to afford
+/// this α with uniform ε?"). Returns `None` if no period up to `max_k`
+/// suffices.
+pub fn min_period_for_target(
+    matrix: &TransitionMatrix,
+    eps: f64,
+    target: f64,
+    max_k: usize,
+) -> Result<Option<usize>> {
+    crate::check_alpha(target)?;
+    for k in 1..=max_k {
+        if let Supremum::Finite(v) = subsampled_supremum(matrix, eps, k)? {
+            if v <= target {
+                return Ok(Some(k));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sticky() -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap()
+    }
+
+    #[test]
+    fn k1_is_plain_analysis() {
+        let m = sticky();
+        let direct = supremum_of_matrix(&m, 0.3).unwrap();
+        let sub = subsampled_supremum(&m, 0.3, 1).unwrap();
+        assert_eq!(direct, sub);
+    }
+
+    #[test]
+    fn subsampling_weakens_aperiodic_correlations() {
+        let m = sticky();
+        let profile = subsampling_profile(&m, 0.3, 8).unwrap();
+        let sups: Vec<f64> = profile.iter().map(|(_, s)| s.finite().unwrap()).collect();
+        for w in sups.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "supremum must not grow with k: {sups:?}");
+        }
+        // And it approaches the no-correlation floor ε.
+        assert!(sups[7] < sups[0]);
+        assert!(sups[7] >= 0.3 - 1e-12);
+        assert!(sups[7] < 0.3 + 0.05, "P^8 is near-stationary: {}", sups[7]);
+    }
+
+    #[test]
+    fn periodic_chain_has_harmful_periods() {
+        // A deterministic 3-cycle: P^3 = I, so releasing every 3rd step is
+        // exactly the strongest correlation — sparser is NOT safer here.
+        let cycle = TransitionMatrix::strongest_shift(3).unwrap();
+        assert_eq!(subsampled_supremum(&cycle, 0.2, 3).unwrap(), Supremum::Divergent);
+        assert_eq!(subsampled_supremum(&cycle, 0.2, 6).unwrap(), Supremum::Divergent);
+        // Off-period the correlation is still a permutation (deterministic)
+        // — also unbounded. Every period is bad for a deterministic cycle.
+        assert_eq!(subsampled_supremum(&cycle, 0.2, 2).unwrap(), Supremum::Divergent);
+    }
+
+    #[test]
+    fn min_period_finds_affordable_k() {
+        let m = sticky();
+        // Direct release leaks more than the target...
+        let sup1 = subsampled_supremum(&m, 0.3, 1).unwrap().finite().unwrap();
+        let target = 0.33;
+        assert!(sup1 > target);
+        // ...but some sparser period gets under it.
+        let k = min_period_for_target(&m, 0.3, target, 20).unwrap().unwrap();
+        assert!(k > 1);
+        let sup_k = subsampled_supremum(&m, 0.3, k).unwrap().finite().unwrap();
+        assert!(sup_k <= target);
+        // An unreachable target returns None (ε itself is the floor).
+        assert_eq!(min_period_for_target(&m, 0.3, 0.2, 20).unwrap(), None);
+    }
+
+    #[test]
+    fn validation() {
+        let m = sticky();
+        assert!(subsampled_correlation(&m, 0).is_err());
+        assert!(subsampled_supremum(&m, 0.0, 2).is_err());
+        assert!(min_period_for_target(&m, 0.3, f64::NAN, 5).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! A web click-stream scenario.
+//!
+//! The paper's introduction motivates continual aggregate release with web
+//! page click streams alongside location data. This module models a user
+//! browsing over `n` page categories with *session stickiness*: with
+//! probability `stickiness` the next click stays in the current category,
+//! otherwise it jumps according to a category-popularity distribution.
+//! The resulting forward matrix is a classic "sticky categorical" chain —
+//! probabilistic, never deterministic, so leakage is bounded (Theorem 5
+//! case 1) yet clearly above the no-correlation baseline.
+
+use crate::{DataError, Result};
+use tcdp_markov::{distribution, TransitionMatrix};
+
+/// Builder for sticky click-stream correlations.
+#[derive(Debug, Clone)]
+pub struct ClickstreamModel {
+    stickiness: f64,
+    popularity: Vec<f64>,
+}
+
+impl ClickstreamModel {
+    /// `stickiness ∈ [0, 1)` and a popularity distribution over categories.
+    pub fn new(stickiness: f64, popularity: Vec<f64>) -> Result<Self> {
+        if !(0.0..1.0).contains(&stickiness) {
+            return Err(DataError::InvalidParameter { what: "stickiness", value: stickiness });
+        }
+        distribution::validate(&popularity)?;
+        Ok(Self { stickiness, popularity })
+    }
+
+    /// Uniform popularity over `n` categories.
+    pub fn uniform(stickiness: f64, n: usize) -> Result<Self> {
+        Self::new(stickiness, distribution::uniform(n))
+    }
+
+    /// Zipf-like popularity (`weight ∝ 1/rank`) over `n` categories —
+    /// heavy-tailed, like real page popularity.
+    pub fn zipf(stickiness: f64, n: usize) -> Result<Self> {
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / r as f64).collect();
+        let popularity = distribution::normalize(&weights)?;
+        Self::new(stickiness, popularity)
+    }
+
+    /// Number of categories.
+    pub fn n(&self) -> usize {
+        self.popularity.len()
+    }
+
+    /// The forward transition matrix:
+    /// `P(i, j) = stickiness·[i = j] + (1 − stickiness)·popularity[j]`.
+    pub fn forward(&self) -> Result<TransitionMatrix> {
+        let n = self.n();
+        let rows = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        let stay = if i == j { self.stickiness } else { 0.0 };
+                        stay + (1.0 - self.stickiness) * self.popularity[j]
+                    })
+                    .collect()
+            })
+            .collect();
+        TransitionMatrix::from_rows(rows).map_err(DataError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcdp_core::loss::TemporalLossFunction;
+
+    #[test]
+    fn construction_validates() {
+        assert!(ClickstreamModel::uniform(1.0, 3).is_err());
+        assert!(ClickstreamModel::uniform(-0.1, 3).is_err());
+        assert!(ClickstreamModel::new(0.5, vec![0.6, 0.6]).is_err());
+        let m = ClickstreamModel::uniform(0.7, 4).unwrap();
+        assert_eq!(m.n(), 4);
+    }
+
+    #[test]
+    fn zero_stickiness_is_memoryless() {
+        let m = ClickstreamModel::zipf(0.0, 5).unwrap().forward().unwrap();
+        assert!(m.rows_all_equal(), "iid clicks leak nothing temporally");
+        let loss = TemporalLossFunction::new(m);
+        assert!(loss.is_null());
+    }
+
+    #[test]
+    fn stickiness_increases_leakage() {
+        let weak = ClickstreamModel::uniform(0.3, 5).unwrap().forward().unwrap();
+        let strong = ClickstreamModel::uniform(0.9, 5).unwrap().forward().unwrap();
+        let l_weak = tcdp_core::temporal_loss(&weak, 1.0).unwrap();
+        let l_strong = tcdp_core::temporal_loss(&strong, 1.0).unwrap();
+        assert!(l_strong > l_weak, "{l_strong} !> {l_weak}");
+        assert!(l_weak > 0.0);
+    }
+
+    #[test]
+    fn sticky_chain_is_never_strongest() {
+        let m = ClickstreamModel::zipf(0.95, 6).unwrap().forward().unwrap();
+        let loss = TemporalLossFunction::new(m);
+        assert!(!loss.is_strongest(), "probabilistic jumps keep leakage bounded");
+    }
+
+    #[test]
+    fn zipf_popularity_is_heavy_headed() {
+        let m = ClickstreamModel::zipf(0.5, 4).unwrap();
+        let f = m.forward().unwrap();
+        // From any page, jumping to category 0 is more likely than to 3.
+        assert!(f.get(1, 0) > f.get(1, 3));
+    }
+}

@@ -1,0 +1,85 @@
+//! # tcdp-data — synthetic workload generation
+//!
+//! The paper evaluates on synthetic data: temporal correlations of
+//! controllable strength (Laplacian smoothing, Section VI) driving
+//! simulated users whose aggregate counts are released continually. This
+//! crate builds those workloads end-to-end:
+//!
+//! * [`population`] — a set of users, each with her own Markov mobility
+//!   model and the corresponding [`tcdp_core::AdversaryT`];
+//! * [`roadnet`] — the Example 1 / Figure 1 road-network scenario with its
+//!   deterministic `loc4 → loc5` edge;
+//! * [`clickstream`] — a web-browsing scenario (session stickiness over
+//!   page categories), the second application domain the paper's
+//!   introduction motivates;
+//! * [`stream`] — turning simulated trajectories into the per-time
+//!   [`tcdp_mech::Database`] snapshots a server would hold;
+//! * [`metrics`] — utility metrics (mean absolute error, mean absolute
+//!   noise) used by the Figure 8 experiments and EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clickstream;
+pub mod metrics;
+pub mod population;
+pub mod roadnet;
+pub mod stream;
+pub mod traces;
+
+pub use population::{Population, UserModel};
+pub use roadnet::RoadNetwork;
+
+/// Errors produced while generating workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A generation parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An error from the Markov substrate.
+    Markov(tcdp_markov::MarkovError),
+    /// An error from the mechanism substrate.
+    Mech(tcdp_mech::MechError),
+    /// An error from the temporal-privacy core.
+    Tpl(tcdp_core::TplError),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            DataError::Markov(e) => write!(f, "markov error: {e}"),
+            DataError::Mech(e) => write!(f, "mechanism error: {e}"),
+            DataError::Tpl(e) => write!(f, "tpl error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<tcdp_markov::MarkovError> for DataError {
+    fn from(e: tcdp_markov::MarkovError) -> Self {
+        DataError::Markov(e)
+    }
+}
+
+impl From<tcdp_mech::MechError> for DataError {
+    fn from(e: tcdp_mech::MechError) -> Self {
+        DataError::Mech(e)
+    }
+}
+
+impl From<tcdp_core::TplError> for DataError {
+    fn from(e: tcdp_core::TplError) -> Self {
+        DataError::Tpl(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,79 @@
+//! Utility metrics for released streams.
+//!
+//! Figure 8 reports "the absolute value of the Laplace noise" under the
+//! budgets allocated by Algorithms 2 and 3 — i.e. the expected per-value
+//! error `Δ/ε_t` averaged over the horizon. These helpers compute both the
+//! analytic expectation and the empirical error of actual releases, plus
+//! the series-shape statistics EXPERIMENTS.md records.
+
+use tcdp_mech::stream::Release;
+
+/// Mean absolute error between truth and noisy values across a whole
+/// released stream.
+pub fn stream_mae(releases: &[Release]) -> f64 {
+    if releases.is_empty() {
+        return 0.0;
+    }
+    releases.iter().map(Release::mean_abs_error).sum::<f64>() / releases.len() as f64
+}
+
+/// Analytic expected absolute Laplace noise for a budget sequence and
+/// query sensitivity: `mean_t (Δ/ε_t)` — Figure 8's y-axis.
+pub fn expected_abs_noise(budgets: &[f64], sensitivity: f64) -> f64 {
+    if budgets.is_empty() {
+        return 0.0;
+    }
+    budgets.iter().map(|e| sensitivity / e).sum::<f64>() / budgets.len() as f64
+}
+
+/// Relative series error `max_t |a_t − b_t| / max(|b_t|, 1)` — used when
+/// comparing measured leakage series against the paper's printed values.
+pub fn series_max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / y.abs().max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// Does the series increase sharply first and then flatten (the Figure 6
+/// growth shape)? Checks that the first-step increment exceeds the
+/// last-step increment by `factor`.
+pub fn is_fast_then_flat(series: &[f64], factor: f64) -> bool {
+    if series.len() < 3 {
+        return false;
+    }
+    let first = series[1] - series[0];
+    let last = series[series.len() - 1] - series[series.len() - 2];
+    last >= -1e-12 && first > factor * last.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_noise_matches_hand_values() {
+        assert_eq!(expected_abs_noise(&[1.0, 0.5], 1.0), 1.5);
+        assert_eq!(expected_abs_noise(&[2.0], 2.0), 1.0);
+        assert_eq!(expected_abs_noise(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn series_error_metric() {
+        assert_eq!(series_max_rel_err(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = series_max_rel_err(&[1.1, 2.0], &[1.0, 2.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_detector() {
+        assert!(is_fast_then_flat(&[0.0, 1.0, 1.5, 1.6, 1.61], 5.0));
+        assert!(!is_fast_then_flat(&[0.0, 0.1, 0.2, 0.3, 0.4], 5.0));
+        assert!(!is_fast_then_flat(&[0.0, 1.0], 5.0));
+    }
+
+    #[test]
+    fn stream_mae_empty() {
+        assert_eq!(stream_mae(&[]), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Example 1 / Figure 1 road-network scenario.
+//!
+//! Five locations; the road network forces anyone at `loc4` to arrive at
+//! `loc5` next (`Pr(l^t = loc5 | l^{t−1} = loc4) = 1`). The example also
+//! considers the congestion variant where `loc4` and `loc5` become
+//! absorbing (`Pr(stay) = 1`), under which an ε-DP histogram release leaks
+//! `Tε` by time `T`.
+
+use crate::{DataError, Result};
+use rand::Rng;
+use tcdp_markov::{distribution, TransitionMatrix};
+use tcdp_mech::Database;
+
+/// Number of locations in the Figure 1 scenario.
+pub const NUM_LOCATIONS: usize = 5;
+
+/// Index of `loc4` (0-based).
+pub const LOC4: usize = 3;
+
+/// Index of `loc5` (0-based).
+pub const LOC5: usize = 4;
+
+/// The road network of Figure 1(b) as a forward mobility model.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    forward: TransitionMatrix,
+}
+
+impl RoadNetwork {
+    /// The default network: from `loc4` one must go to `loc5`
+    /// (probability 1); every other location moves uniformly over the
+    /// locations reachable in Figure 1(b)'s sketch (here: anywhere except
+    /// that the deterministic edge is preserved).
+    pub fn example1() -> Self {
+        let n = NUM_LOCATIONS;
+        let mut rows = Vec::with_capacity(n);
+        for from in 0..n {
+            if from == LOC4 {
+                let mut row = vec![0.0; n];
+                row[LOC5] = 1.0;
+                rows.push(row);
+            } else {
+                rows.push(vec![1.0 / n as f64; n]);
+            }
+        }
+        Self { forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic") }
+    }
+
+    /// The congestion variant: `loc4` and `loc5` absorbing, everything
+    /// else uniform — the "extreme case" whose leakage grows as `Tε`.
+    pub fn congested() -> Self {
+        let n = NUM_LOCATIONS;
+        let mut rows = Vec::with_capacity(n);
+        for from in 0..n {
+            if from == LOC4 || from == LOC5 {
+                let mut row = vec![0.0; n];
+                row[from] = 1.0;
+                rows.push(row);
+            } else {
+                rows.push(vec![1.0 / n as f64; n]);
+            }
+        }
+        Self { forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic") }
+    }
+
+    /// The forward temporal correlation `P^F` this network induces.
+    pub fn forward(&self) -> &TransitionMatrix {
+        &self.forward
+    }
+
+    /// Simulate a population of `num_users` walkers for `t_len` steps and
+    /// return the per-time snapshot databases (the columns of Figure 1(a)).
+    pub fn simulate_snapshots<R: Rng + ?Sized>(
+        &self,
+        num_users: usize,
+        t_len: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Database>> {
+        if num_users == 0 || t_len == 0 {
+            return Err(DataError::InvalidParameter {
+                what: "num_users/t_len",
+                value: (num_users.min(t_len)) as f64,
+            });
+        }
+        let n = NUM_LOCATIONS;
+        let mut positions: Vec<usize> =
+            (0..num_users).map(|_| rng.gen_range(0..n)).collect();
+        let mut snapshots = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            if t > 0 {
+                for p in &mut positions {
+                    *p = distribution::sample(self.forward.row(*p), rng);
+                }
+            }
+            snapshots.push(Database::new(n, positions.clone())?);
+        }
+        Ok(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn example1_deterministic_edge() {
+        let net = RoadNetwork::example1();
+        assert_eq!(net.forward().get(LOC4, LOC5), 1.0);
+        assert_eq!(net.forward().get(LOC4, LOC4), 0.0);
+    }
+
+    #[test]
+    fn deterministic_edge_shows_in_snapshots() {
+        // Whoever is at loc4 at time t is at loc5 at time t+1, so the loc5
+        // count at t+1 is at least the loc4 count at t — the inference
+        // Example 1's adversary performs on the counts.
+        let net = RoadNetwork::example1();
+        let mut rng = StdRng::seed_from_u64(7);
+        let snaps = net.simulate_snapshots(50, 20, &mut rng).unwrap();
+        for w in snaps.windows(2) {
+            let loc4_now = w[0].count_at(LOC4).unwrap();
+            let loc5_next = w[1].count_at(LOC5).unwrap();
+            assert!(loc5_next >= loc4_now, "{loc5_next} < {loc4_now}");
+        }
+    }
+
+    #[test]
+    fn congested_variant_is_absorbing() {
+        let net = RoadNetwork::congested();
+        assert_eq!(net.forward().get(LOC4, LOC4), 1.0);
+        assert_eq!(net.forward().get(LOC5, LOC5), 1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let snaps = net.simulate_snapshots(30, 10, &mut rng).unwrap();
+        // Counts at loc4/loc5 never decrease (absorbing).
+        for w in snaps.windows(2) {
+            assert!(w[1].count_at(LOC4).unwrap() >= w[0].count_at(LOC4).unwrap());
+            assert!(w[1].count_at(LOC5).unwrap() >= w[0].count_at(LOC5).unwrap());
+        }
+    }
+
+    #[test]
+    fn congested_forward_correlation_is_strongest_for_tpl() {
+        use tcdp_core::loss::TemporalLossFunction;
+        let net = RoadNetwork::congested();
+        let loss = TemporalLossFunction::new(net.forward().clone());
+        // Rows loc4 vs loc5 have disjoint supports: L(α) = α.
+        assert!(loss.is_strongest());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let net = RoadNetwork::example1();
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(net.simulate_snapshots(0, 5, &mut rng).is_err());
+        assert!(net.simulate_snapshots(5, 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Turning user trajectories into per-time snapshot databases.
+//!
+//! The server of Section II-C holds, at each time `t`, the database
+//! `D^t = {l^t_1, …, l^t_|U|}` — a *column* of the trajectory matrix of
+//! Figure 1(a). These helpers transpose simulated trajectories into that
+//! shape and produce the true count streams the experiments perturb.
+
+use crate::population::Population;
+use crate::{DataError, Result};
+use rand::Rng;
+use tcdp_mech::Database;
+
+/// Transpose per-user trajectories into per-time databases.
+///
+/// `trajectories[i][t]` is user `i`'s value at time `t`; all trajectories
+/// must have equal length and values must fit in `domain`.
+pub fn snapshots_from_trajectories(
+    trajectories: &[Vec<usize>],
+    domain: usize,
+) -> Result<Vec<Database>> {
+    let Some(first) = trajectories.first() else {
+        return Err(DataError::InvalidParameter { what: "num trajectories", value: 0.0 });
+    };
+    let t_len = first.len();
+    if t_len == 0 {
+        return Err(DataError::InvalidParameter { what: "trajectory length", value: 0.0 });
+    }
+    for traj in trajectories {
+        if traj.len() != t_len {
+            return Err(DataError::Mech(tcdp_mech::MechError::DimensionMismatch {
+                expected: t_len,
+                found: traj.len(),
+            }));
+        }
+    }
+    (0..t_len)
+        .map(|t| {
+            let column: Vec<usize> = trajectories.iter().map(|traj| traj[t]).collect();
+            Database::new(domain, column).map_err(DataError::from)
+        })
+        .collect()
+}
+
+/// Simulate a population and return its per-time snapshot databases.
+pub fn simulate_snapshots<R: Rng + ?Sized>(
+    population: &Population,
+    t_len: usize,
+    rng: &mut R,
+) -> Result<Vec<Database>> {
+    let trajectories = population.simulate_trajectories(t_len, rng);
+    snapshots_from_trajectories(&trajectories, population.domain())
+}
+
+/// The true (unperturbed) count stream: one histogram per time point.
+pub fn true_counts(snapshots: &[Database]) -> Vec<Vec<f64>> {
+    snapshots.iter().map(Database::histogram).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transpose_matches_figure1() {
+        // Figure 1(a): u1..u4 over t = 1..3 (0-indexed locations).
+        let trajectories = vec![
+            vec![2, 0, 0], // u1: loc3, loc1, loc1
+            vec![1, 0, 0], // u2: loc2, loc1, loc1
+            vec![1, 3, 4], // u3: loc2, loc4, loc5
+            vec![3, 4, 2], // u4: loc4, loc5, loc3
+        ];
+        let snaps = snapshots_from_trajectories(&trajectories, 5).unwrap();
+        assert_eq!(snaps.len(), 3);
+        // Figure 1(c) true counts: t=1: (0,2,1,1,0); t=2: (2,0,0,1,1);
+        // t=3: (2,0,1,0,1).
+        assert_eq!(snaps[0].histogram(), vec![0.0, 2.0, 1.0, 1.0, 0.0]);
+        assert_eq!(snaps[1].histogram(), vec![2.0, 0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(snaps[2].histogram(), vec![2.0, 0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(snapshots_from_trajectories(&[], 3).is_err());
+        assert!(snapshots_from_trajectories(&[vec![]], 3).is_err());
+        assert!(snapshots_from_trajectories(&[vec![0, 1], vec![0]], 3).is_err());
+        assert!(snapshots_from_trajectories(&[vec![0, 5]], 3).is_err());
+    }
+
+    #[test]
+    fn population_simulation_round_trip() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop = Population::generate(4, 25, 0.1, &mut rng).unwrap();
+        let snaps = simulate_snapshots(&pop, 8, &mut rng).unwrap();
+        assert_eq!(snaps.len(), 8);
+        for db in &snaps {
+            assert_eq!(db.num_users(), 25);
+            assert_eq!(db.domain(), 4);
+            let total: f64 = db.histogram().iter().sum();
+            assert_eq!(total, 25.0, "each user is at exactly one location");
+        }
+        let counts = true_counts(&snaps);
+        assert_eq!(counts.len(), 8);
+        assert_eq!(counts[0].len(), 4);
+    }
+}

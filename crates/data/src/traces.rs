@@ -1,0 +1,216 @@
+//! Plain-text trajectory traces: write, parse, and estimate from files.
+//!
+//! The adversary of Section III-A learns correlations "from user's
+//! historical trajectories"; deployments keep those as trace files. The
+//! format here is deliberately minimal and line-oriented:
+//!
+//! ```text
+//! # tcdp trace, domain=5
+//! 2 1 1 0 3
+//! 1 0 0 0 4
+//! ```
+//!
+//! One trajectory per line, whitespace- or comma-separated state indices,
+//! `#` comments and blank lines ignored. A `domain=N` hint in the first
+//! comment is honored; otherwise the domain is inferred as `max+1`.
+
+use crate::{DataError, Result};
+use std::fmt::Write as _;
+use tcdp_markov::estimate::{mle_backward, mle_transition};
+use tcdp_markov::TransitionMatrix;
+
+/// A parsed trace file: trajectories over a common domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSet {
+    domain: usize,
+    trajectories: Vec<Vec<usize>>,
+}
+
+impl TraceSet {
+    /// Build from trajectories; `domain` must cover every state.
+    pub fn new(domain: usize, trajectories: Vec<Vec<usize>>) -> Result<Self> {
+        if domain == 0 {
+            return Err(DataError::InvalidParameter { what: "domain", value: 0.0 });
+        }
+        if trajectories.is_empty() {
+            return Err(DataError::InvalidParameter { what: "trajectory count", value: 0.0 });
+        }
+        for traj in &trajectories {
+            if traj.is_empty() {
+                return Err(DataError::InvalidParameter {
+                    what: "trajectory length",
+                    value: 0.0,
+                });
+            }
+            if let Some(&bad) = traj.iter().find(|&&s| s >= domain) {
+                return Err(DataError::Mech(tcdp_mech::MechError::ValueOutOfDomain {
+                    value: bad,
+                    domain,
+                }));
+            }
+        }
+        Ok(Self { domain, trajectories })
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// The trajectories.
+    pub fn trajectories(&self) -> &[Vec<usize>] {
+        &self.trajectories
+    }
+
+    /// Number of trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the set is empty (never true after validation).
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Parse the text format described in the module docs.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut domain_hint: Option<usize> = None;
+        let mut trajectories = Vec::new();
+        let mut max_state = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                if domain_hint.is_none() {
+                    if let Some(idx) = comment.find("domain=") {
+                        let tail = &comment[idx + 7..];
+                        let digits: String =
+                            tail.chars().take_while(char::is_ascii_digit).collect();
+                        domain_hint = digits.parse::<usize>().ok();
+                    }
+                }
+                continue;
+            }
+            let states = line
+                .split(|c: char| c.is_whitespace() || c == ',')
+                .filter(|tok| !tok.is_empty())
+                .map(|tok| {
+                    tok.parse::<usize>().map_err(|_| DataError::InvalidParameter {
+                        what: "trace state token",
+                        value: (lineno + 1) as f64,
+                    })
+                })
+                .collect::<Result<Vec<usize>>>()?;
+            if states.is_empty() {
+                continue;
+            }
+            max_state = max_state.max(*states.iter().max().expect("non-empty"));
+            trajectories.push(states);
+        }
+        let domain = domain_hint.unwrap_or(max_state + 1).max(max_state + 1);
+        Self::new(domain, trajectories)
+    }
+
+    /// Render to the text format (round-trips through [`TraceSet::parse`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# tcdp trace, domain={}", self.domain);
+        for traj in &self.trajectories {
+            let line: Vec<String> = traj.iter().map(usize::to_string).collect();
+            let _ = writeln!(out, "{}", line.join(" "));
+        }
+        out
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|_| DataError::InvalidParameter {
+            what: "trace file (unreadable)",
+            value: 0.0,
+        })?;
+        Self::parse(&text)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.render()).map_err(|_| DataError::InvalidParameter {
+            what: "trace file (unwritable)",
+            value: 0.0,
+        })
+    }
+
+    /// MLE of the forward correlation `P^F` from these traces.
+    pub fn estimate_forward(&self, pseudo_count: f64) -> Result<TransitionMatrix> {
+        mle_transition(&self.trajectories, self.domain, pseudo_count).map_err(DataError::from)
+    }
+
+    /// MLE of the backward correlation `P^B` (reversed traces).
+    pub fn estimate_backward(&self, pseudo_count: f64) -> Result<TransitionMatrix> {
+        mle_backward(&self.trajectories, self.domain, pseudo_count).map_err(DataError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_round_trip() {
+        let text = "# tcdp trace, domain=5\n2 1 1 0 3\n1,0,0,0,4\n\n# trailing comment\n";
+        let set = TraceSet::parse(text).unwrap();
+        assert_eq!(set.domain(), 5);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.trajectories()[1], vec![1, 0, 0, 0, 4]);
+        let back = TraceSet::parse(&set.render()).unwrap();
+        assert_eq!(set, back);
+    }
+
+    #[test]
+    fn domain_inferred_when_missing() {
+        let set = TraceSet::parse("0 1 2\n2 2 2\n").unwrap();
+        assert_eq!(set.domain(), 3);
+        // Hint smaller than observed max is corrected upward.
+        let set = TraceSet::parse("# domain=2\n0 1 5\n").unwrap();
+        assert_eq!(set.domain(), 6);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(TraceSet::parse("0 x 2\n").is_err());
+        assert!(TraceSet::parse("").is_err());
+        assert!(TraceSet::parse("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(TraceSet::new(0, vec![vec![0]]).is_err());
+        assert!(TraceSet::new(2, vec![]).is_err());
+        assert!(TraceSet::new(2, vec![vec![]]).is_err());
+        assert!(TraceSet::new(2, vec![vec![0, 2]]).is_err());
+    }
+
+    #[test]
+    fn estimation_from_traces() {
+        // A long alternating trace: P should be the swap matrix.
+        let traj: Vec<usize> = (0..400).map(|t| t % 2).collect();
+        let set = TraceSet::new(2, vec![traj]).unwrap();
+        let pf = set.estimate_forward(0.0).unwrap();
+        assert!((pf.get(0, 1) - 1.0).abs() < 1e-12);
+        assert!((pf.get(1, 0) - 1.0).abs() < 1e-12);
+        let pb = set.estimate_backward(0.0).unwrap();
+        assert!((pb.get(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("tcdp_traces_test.txt");
+        let set = TraceSet::new(3, vec![vec![0, 1, 2, 1], vec![2, 2, 0, 0]]).unwrap();
+        set.save(&path).unwrap();
+        let loaded = TraceSet::load(&path).unwrap();
+        assert_eq!(set, loaded);
+        assert!(TraceSet::load(std::path::Path::new("/no/such/file")).is_err());
+    }
+}

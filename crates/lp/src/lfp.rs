@@ -1,0 +1,399 @@
+//! Linear-fractional programming (LFP).
+//!
+//! Maximizes a ratio of affine functions over a polytope of non-negative
+//! variables:
+//!
+//! ```text
+//! maximize (c·x + c0) / (d·x + d0)
+//! subject to  A x {≤,≥,=} b,   x ≥ 0
+//! ```
+//!
+//! assuming the denominator is strictly positive on the (bounded, non-empty)
+//! feasible region. Two classic solution strategies are provided:
+//!
+//! * [`FractionalProgram::solve_charnes_cooper`] — the Charnes–Cooper
+//!   variable substitution `y = t·x`, `t = 1/(d·x + d0)` reduces the LFP to
+//!   a *single* LP, solved with the crate's simplex method.
+//! * [`FractionalProgram::solve_dinkelbach`] — Dinkelbach's parametric
+//!   method (Theorem 6 of the paper): repeatedly solve the LP
+//!   `max (c − λd)·x + (c0 − λd0)` and update `λ` to the achieved ratio;
+//!   the paper's Appendix A uses exactly this theorem to prove Theorem 4.
+//!
+//! Both paths exist because the paper's Figure 5 compares its polynomial
+//! Algorithm 1 against generic solvers driven in these two manners.
+
+use crate::revised::solve_revised;
+use crate::simplex::{Constraint, LinearProgram, LpOutcome, Relation};
+use crate::{LpError, Result, EPS};
+
+/// Which simplex engine an LFP solve should run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpEngine {
+    /// The dense-tableau simplex of [`crate::simplex`].
+    #[default]
+    Tableau,
+    /// The sparse revised simplex of [`crate::revised`].
+    Revised,
+}
+
+impl LpEngine {
+    fn solve(self, lp: &LinearProgram) -> Result<LpOutcome> {
+        match self {
+            LpEngine::Tableau => lp.solve(),
+            LpEngine::Revised => solve_revised(lp),
+        }
+    }
+}
+
+/// A bounded polytope `{x ≥ 0 : A x {≤,≥,=} b}` shared by LFP solvers.
+#[derive(Debug, Clone, Default)]
+pub struct Polytope {
+    n: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl Polytope {
+    /// Create a polytope over `n` non-negative variables.
+    pub fn new(n: usize) -> Self {
+        Self { n, constraints: Vec::new() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add `coeffs · x ≤ rhs`.
+    pub fn less_eq(&mut self, coeffs: Vec<f64>, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, relation: Relation::LessEq, rhs });
+    }
+
+    /// Add `coeffs · x ≥ rhs`.
+    pub fn greater_eq(&mut self, coeffs: Vec<f64>, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, relation: Relation::GreaterEq, rhs });
+    }
+
+    /// Add `coeffs · x = rhs`.
+    pub fn equal(&mut self, coeffs: Vec<f64>, rhs: f64) {
+        self.constraints.push(Constraint { coeffs, relation: Relation::Equal, rhs });
+    }
+
+    /// Constraints as a slice (used by the solvers).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Build a [`LinearProgram`] maximizing `objective` over this polytope.
+    pub fn lp_maximizing(&self, objective: Vec<f64>) -> LinearProgram {
+        let mut lp = LinearProgram::maximize(objective);
+        for c in &self.constraints {
+            lp.push_constraint(c.clone());
+        }
+        lp
+    }
+}
+
+/// The LFP `maximize (numerator·x + num_const)/(denominator·x + den_const)`.
+#[derive(Debug, Clone)]
+pub struct FractionalProgram {
+    /// Linear part of the numerator.
+    pub numerator: Vec<f64>,
+    /// Constant part of the numerator.
+    pub num_const: f64,
+    /// Linear part of the denominator.
+    pub denominator: Vec<f64>,
+    /// Constant part of the denominator.
+    pub den_const: f64,
+    /// Feasible region.
+    pub polytope: Polytope,
+}
+
+/// A solution to a fractional program.
+#[derive(Debug, Clone)]
+pub struct LfpSolution {
+    /// Maximizing point.
+    pub x: Vec<f64>,
+    /// Maximum ratio value.
+    pub value: f64,
+    /// Outer iterations (1 for Charnes–Cooper; Dinkelbach rounds otherwise).
+    pub iterations: usize,
+    /// Total simplex pivots performed.
+    pub pivots: usize,
+}
+
+/// Outcome of an LFP solve.
+#[derive(Debug, Clone)]
+pub enum LfpOutcome {
+    /// Optimal ratio found.
+    Optimal(LfpSolution),
+    /// Feasible region is empty.
+    Infeasible,
+}
+
+impl FractionalProgram {
+    /// Evaluate the ratio objective at `x`.
+    pub fn ratio_at(&self, x: &[f64]) -> f64 {
+        let num: f64 = self.numerator.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + self.num_const;
+        let den: f64 =
+            self.denominator.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + self.den_const;
+        num / den
+    }
+
+    fn validate(&self) -> Result<()> {
+        let n = self.polytope.num_vars();
+        if n == 0 || self.polytope.num_constraints() == 0 {
+            return Err(LpError::EmptyProblem);
+        }
+        if self.numerator.len() != n {
+            return Err(LpError::DimensionMismatch { expected: n, found: self.numerator.len() });
+        }
+        if self.denominator.len() != n {
+            return Err(LpError::DimensionMismatch { expected: n, found: self.denominator.len() });
+        }
+        let all_finite = self
+            .numerator
+            .iter()
+            .chain(self.denominator.iter())
+            .chain([&self.num_const, &self.den_const])
+            .all(|v| v.is_finite());
+        if !all_finite {
+            return Err(LpError::NotFinite("fractional objective"));
+        }
+        Ok(())
+    }
+
+    /// Solve by the Charnes–Cooper transformation (a single LP) on the
+    /// default tableau engine.
+    pub fn solve_charnes_cooper(&self) -> Result<LfpOutcome> {
+        self.solve_charnes_cooper_with(LpEngine::Tableau)
+    }
+
+    /// Charnes–Cooper on a chosen simplex engine.
+    ///
+    /// Substituting `y = t·x` with `t = 1/(d·x + d0) > 0` yields
+    /// `max c·y + c0·t` subject to `d·y + d0·t = 1`, `A y − b t {≤,≥,=} 0`,
+    /// `y, t ≥ 0`.
+    pub fn solve_charnes_cooper_with(&self, engine: LpEngine) -> Result<LfpOutcome> {
+        self.validate()?;
+        let n = self.polytope.num_vars();
+        // Variables: y_0..y_{n-1}, t at index n.
+        let mut obj = self.numerator.clone();
+        obj.push(self.num_const);
+        let mut lp = LinearProgram::maximize(obj);
+        let mut den_row = self.denominator.clone();
+        den_row.push(self.den_const);
+        lp.push_constraint(Constraint { coeffs: den_row, relation: Relation::Equal, rhs: 1.0 });
+        for c in self.polytope.constraints() {
+            let mut coeffs = c.coeffs.clone();
+            coeffs.push(-c.rhs);
+            lp.push_constraint(Constraint { coeffs, relation: c.relation, rhs: 0.0 });
+        }
+        match engine.solve(&lp)? {
+            LpOutcome::Optimal(sol) => {
+                let t = sol.x[n];
+                if t <= EPS {
+                    // Denominator could not be normalized to 1 with a
+                    // recoverable x; the ratio is attained only in a limit.
+                    return Err(LpError::NonPositiveDenominator);
+                }
+                let x: Vec<f64> = sol.x[..n].iter().map(|y| y / t).collect();
+                Ok(LfpOutcome::Optimal(LfpSolution {
+                    value: self.ratio_at(&x),
+                    x,
+                    iterations: 1,
+                    pivots: sol.pivots,
+                }))
+            }
+            LpOutcome::Infeasible => Ok(LfpOutcome::Infeasible),
+            LpOutcome::Unbounded => Err(LpError::NonPositiveDenominator),
+        }
+    }
+
+    /// Solve by Dinkelbach's parametric algorithm (a sequence of LPs) on
+    /// the default tableau engine.
+    pub fn solve_dinkelbach(&self) -> Result<LfpOutcome> {
+        self.solve_dinkelbach_with(LpEngine::Tableau)
+    }
+
+    /// Dinkelbach on a chosen simplex engine.
+    pub fn solve_dinkelbach_with(&self, engine: LpEngine) -> Result<LfpOutcome> {
+        self.validate()?;
+        let n = self.polytope.num_vars();
+        let feasibility = self.polytope.lp_maximizing(vec![0.0; n]);
+        let Some(x0) = feasibility.find_feasible()? else {
+            return Ok(LfpOutcome::Infeasible);
+        };
+        let den0: f64 =
+            self.denominator.iter().zip(&x0).map(|(c, v)| c * v).sum::<f64>() + self.den_const;
+        if den0 <= EPS {
+            return Err(LpError::NonPositiveDenominator);
+        }
+
+        let mut lambda = self.ratio_at(&x0);
+        let mut pivots = 0usize;
+        const MAX_ROUNDS: usize = 200;
+        for round in 1..=MAX_ROUNDS {
+            // max (c - λ d)·x  + (c0 - λ d0)
+            let obj: Vec<f64> = self
+                .numerator
+                .iter()
+                .zip(&self.denominator)
+                .map(|(c, d)| c - lambda * d)
+                .collect();
+            let lp = self.polytope.lp_maximizing(obj);
+            let sol = match engine.solve(&lp)? {
+                LpOutcome::Optimal(s) => s,
+                LpOutcome::Infeasible => return Ok(LfpOutcome::Infeasible),
+                LpOutcome::Unbounded => return Err(LpError::NonPositiveDenominator),
+            };
+            pivots += sol.pivots;
+            let f_lambda = sol.objective + self.num_const - lambda * self.den_const;
+            let den: f64 = self
+                .denominator
+                .iter()
+                .zip(&sol.x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+                + self.den_const;
+            if den <= EPS {
+                return Err(LpError::NonPositiveDenominator);
+            }
+            // Dinkelbach's theorem: λ is optimal iff max F(λ) = 0.
+            if f_lambda.abs() <= 1e-10 * (1.0 + lambda.abs()) {
+                return Ok(LfpOutcome::Optimal(LfpSolution {
+                    x: sol.x,
+                    value: lambda,
+                    iterations: round,
+                    pivots,
+                }));
+            }
+            lambda = self.ratio_at(&sol.x);
+        }
+        Err(LpError::DinkelbachDiverged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// max (2x + y) / (x + y + 1) over x <= 2, y <= 2, x + y >= 1.
+    fn sample() -> FractionalProgram {
+        let mut p = Polytope::new(2);
+        p.less_eq(vec![1.0, 0.0], 2.0);
+        p.less_eq(vec![0.0, 1.0], 2.0);
+        p.greater_eq(vec![1.0, 1.0], 1.0);
+        FractionalProgram {
+            numerator: vec![2.0, 1.0],
+            num_const: 0.0,
+            denominator: vec![1.0, 1.0],
+            den_const: 1.0,
+            polytope: p,
+        }
+    }
+
+    #[test]
+    fn charnes_cooper_matches_hand_computation() {
+        // Candidates are vertices: (2,0): 4/3; (2,2): 6/5; (0,2): 2/3; (1,0): 2/2=1; (0,1): 1/2.
+        let sol = match sample().solve_charnes_cooper().unwrap() {
+            LfpOutcome::Optimal(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert!((sol.value - 4.0 / 3.0).abs() < 1e-8, "value={}", sol.value);
+        assert!((sol.x[0] - 2.0).abs() < 1e-7);
+        assert!(sol.x[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn revised_engine_agrees_on_both_strategies() {
+        let cc = match sample().solve_charnes_cooper_with(LpEngine::Revised).unwrap() {
+            LfpOutcome::Optimal(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert!((cc.value - 4.0 / 3.0).abs() < 1e-8);
+        let dk = match sample().solve_dinkelbach_with(LpEngine::Revised).unwrap() {
+            LfpOutcome::Optimal(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert!((dk.value - 4.0 / 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dinkelbach_agrees_with_charnes_cooper() {
+        let cc = match sample().solve_charnes_cooper().unwrap() {
+            LfpOutcome::Optimal(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let dk = match sample().solve_dinkelbach().unwrap() {
+            LfpOutcome::Optimal(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert!((cc.value - dk.value).abs() < 1e-7);
+        assert!(dk.iterations >= 1);
+    }
+
+    #[test]
+    fn infeasible_polytope() {
+        let mut p = Polytope::new(1);
+        p.less_eq(vec![1.0], 1.0);
+        p.greater_eq(vec![1.0], 2.0);
+        let fp = FractionalProgram {
+            numerator: vec![1.0],
+            num_const: 0.0,
+            denominator: vec![1.0],
+            den_const: 1.0,
+            polytope: p,
+        };
+        assert!(matches!(fp.solve_charnes_cooper().unwrap(), LfpOutcome::Infeasible));
+        assert!(matches!(fp.solve_dinkelbach().unwrap(), LfpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let mut p = Polytope::new(2);
+        p.less_eq(vec![1.0, 1.0], 1.0);
+        let fp = FractionalProgram {
+            numerator: vec![1.0],
+            num_const: 0.0,
+            denominator: vec![1.0, 1.0],
+            den_const: 0.0,
+            polytope: p,
+        };
+        assert!(matches!(
+            fp.solve_charnes_cooper().unwrap_err(),
+            LpError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn pure_linear_objective_reduces_to_lp() {
+        // denominator constant 1 => plain LP.
+        let mut p = Polytope::new(2);
+        p.less_eq(vec![1.0, 2.0], 4.0);
+        p.less_eq(vec![3.0, 1.0], 6.0);
+        let fp = FractionalProgram {
+            numerator: vec![1.0, 1.0],
+            num_const: 0.0,
+            denominator: vec![0.0, 0.0],
+            den_const: 1.0,
+            polytope: p,
+        };
+        let sol = match fp.solve_charnes_cooper().unwrap() {
+            LfpOutcome::Optimal(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert!((sol.value - 2.8).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ratio_at_evaluates() {
+        let fp = sample();
+        assert!((fp.ratio_at(&[2.0, 0.0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((fp.ratio_at(&[0.0, 2.0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

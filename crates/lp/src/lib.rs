@@ -1,0 +1,98 @@
+//! # tcdp-lp — linear and linear-fractional programming substrate
+//!
+//! A small, dependency-free, dense solver stack used by the `tcdp` workspace:
+//!
+//! * [`simplex`] — a two-phase primal simplex method with Bland's
+//!   anti-cycling rule for general linear programs.
+//! * [`lfp`] — linear-fractional programming (maximize a ratio of affine
+//!   functions over a polytope) via the Charnes–Cooper transformation and
+//!   via Dinkelbach's iterative algorithm.
+//! * [`problem`] — a builder for the specific linear-fractional program
+//!   (18)–(20) of the paper *Quantifying Differential Privacy under Temporal
+//!   Correlations* (Cao et al., ICDE 2017): maximize `q·x / d·x` subject to
+//!   `e^{-α} ≤ x_j/x_k ≤ e^{α}` and `0 < x < 1`.
+//!
+//! The paper benchmarks its Algorithm 1 against Gurobi and lp_solve, two
+//! generic solvers applied to this program. Those are closed-source /
+//! external; this crate is the from-scratch substitute playing their role:
+//! the Charnes–Cooper path stands in for a one-shot LP solver (Gurobi) and
+//! the Dinkelbach path stands in for a solver driven through a sequence of
+//! LPs (the strategy the paper describes for lp_solve). Both have the same
+//! exponential-in-`n` worst-case behaviour that makes the paper's
+//! polynomial-time Algorithm 1 the clear winner in Figure 5.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tcdp_lp::simplex::{LinearProgram, LpOutcome};
+//!
+//! // maximize x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y >= 0
+//! let lp = LinearProgram::maximize(vec![1.0, 1.0])
+//!     .less_eq(vec![1.0, 2.0], 4.0)
+//!     .less_eq(vec![3.0, 1.0], 6.0);
+//! match lp.solve().unwrap() {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.objective - 2.8).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lfp;
+pub mod problem;
+pub mod revised;
+pub mod simplex;
+
+/// Errors produced by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint row has a different arity than the objective.
+    DimensionMismatch {
+        /// Number of variables implied by the objective vector.
+        expected: usize,
+        /// Number of coefficients found in the offending row.
+        found: usize,
+    },
+    /// A coefficient, bound, or parameter was NaN or infinite.
+    NotFinite(&'static str),
+    /// The iteration limit was exceeded (should not happen with Bland's
+    /// rule; indicates numerically hostile input).
+    IterationLimit,
+    /// The linear-fractional denominator is not strictly positive on the
+    /// feasible region, so the ratio objective is ill-posed.
+    NonPositiveDenominator,
+    /// A problem was constructed with zero variables or zero constraints
+    /// where at least one is required.
+    EmptyProblem,
+    /// Dinkelbach's iteration failed to converge within the allowed
+    /// number of outer iterations.
+    DinkelbachDiverged,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected} coefficients, found {found}")
+            }
+            LpError::NotFinite(what) => write!(f, "non-finite value in {what}"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::NonPositiveDenominator => {
+                write!(f, "linear-fractional denominator not strictly positive on feasible region")
+            }
+            LpError::EmptyProblem => write!(f, "problem has no variables or no constraints"),
+            LpError::DinkelbachDiverged => write!(f, "Dinkelbach iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, LpError>;
+
+/// Default numerical tolerance used throughout the solvers.
+pub const EPS: f64 = 1e-9;

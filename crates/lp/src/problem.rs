@@ -1,0 +1,194 @@
+//! Builder for the paper's linear-fractional program (18)–(20).
+//!
+//! For a previous-leakage value `α` and two rows `q`, `d` of a transition
+//! matrix, the temporal loss increment is the logarithm of
+//!
+//! ```text
+//! maximize   (q1·x1 + … + qn·xn) / (d1·x1 + … + dn·xn)
+//! subject to e^{-α} ≤ x_j / x_k ≤ e^{α}   for all j,k
+//!            0 < x_j < 1
+//! ```
+//!
+//! The objective is invariant under scaling of `x`, and the open bounds
+//! `0 < x < 1` never bind at the optimum, so we normalize with `Σ x = 1`
+//! and encode each ratio bound as the homogeneous constraint
+//! `x_j − e^{α} x_k ≤ 0` over all ordered pairs — exactly the feasible
+//! region the paper hands to Gurobi/lp_solve in its Figure 5 baseline.
+
+use crate::lfp::{FractionalProgram, LfpOutcome, LfpSolution, Polytope};
+use crate::{LpError, Result};
+
+/// The feasible region of the paper's program for a fixed `n` and `α`.
+///
+/// Constructing the polytope costs `O(n²)` constraints, so callers solving
+/// the program for many row pairs of one matrix should build this once and
+/// reuse it via [`PaperProgram::fractional`].
+#[derive(Debug, Clone)]
+pub struct PaperProgram {
+    n: usize,
+    alpha: f64,
+    polytope: Polytope,
+}
+
+impl PaperProgram {
+    /// Create the program skeleton for `n` variables and previous leakage
+    /// `alpha ≥ 0`.
+    pub fn new(n: usize, alpha: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(LpError::EmptyProblem);
+        }
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(LpError::NotFinite("alpha"));
+        }
+        let e_alpha = alpha.exp();
+        let mut polytope = Polytope::new(n);
+        // Normalization Σ x = 1 (the ratio objective is scale-invariant).
+        polytope.equal(vec![1.0; n], 1.0);
+        // x_j ≤ e^α x_k for all ordered pairs (covers both ratio bounds).
+        for j in 0..n {
+            for k in 0..n {
+                if j == k {
+                    continue;
+                }
+                let mut row = vec![0.0; n];
+                row[j] = 1.0;
+                row[k] = -e_alpha;
+                polytope.less_eq(row, 0.0);
+            }
+        }
+        Ok(Self { n, alpha, polytope })
+    }
+
+    /// Number of variables (the transition-matrix domain size).
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// The previous-leakage parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Build the fractional program `max q·x / d·x` over this region.
+    pub fn fractional(&self, q: &[f64], d: &[f64]) -> Result<FractionalProgram> {
+        if q.len() != self.n {
+            return Err(LpError::DimensionMismatch { expected: self.n, found: q.len() });
+        }
+        if d.len() != self.n {
+            return Err(LpError::DimensionMismatch { expected: self.n, found: d.len() });
+        }
+        Ok(FractionalProgram {
+            numerator: q.to_vec(),
+            num_const: 0.0,
+            denominator: d.to_vec(),
+            den_const: 0.0,
+            polytope: self.polytope.clone(),
+        })
+    }
+
+    /// Maximum ratio via Charnes–Cooper (the "one-shot LP solver" baseline).
+    pub fn max_ratio_charnes_cooper(&self, q: &[f64], d: &[f64]) -> Result<LfpSolution> {
+        match self.fractional(q, d)?.solve_charnes_cooper()? {
+            LfpOutcome::Optimal(s) => Ok(s),
+            LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
+        }
+    }
+
+    /// Maximum ratio via Dinkelbach (the "sequence of LPs" baseline).
+    pub fn max_ratio_dinkelbach(&self, q: &[f64], d: &[f64]) -> Result<LfpSolution> {
+        match self.fractional(q, d)?.solve_dinkelbach()? {
+            LfpOutcome::Optimal(s) => Ok(s),
+            LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
+        }
+    }
+
+    /// Maximum ratio via Charnes–Cooper on the sparse revised simplex —
+    /// the "tuned generic solver" variant (the paper's constraints have
+    /// two nonzeros each, which the revised engine exploits).
+    pub fn max_ratio_charnes_cooper_revised(&self, q: &[f64], d: &[f64]) -> Result<LfpSolution> {
+        use crate::lfp::LpEngine;
+        match self.fractional(q, d)?.solve_charnes_cooper_with(LpEngine::Revised)? {
+            LfpOutcome::Optimal(s) => Ok(s),
+            LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_rows_give_extreme_ratio() {
+        // q = (1,0), d = (0,1): optimum puts x1 at e^α m and x2 at m,
+        // giving ratio e^α (Lemma 3 / Example 2's strongest correlation).
+        let alpha = 0.7;
+        let p = PaperProgram::new(2, alpha).unwrap();
+        let s = p.max_ratio_charnes_cooper(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((s.value - alpha.exp()).abs() < 1e-7, "value={}", s.value);
+    }
+
+    #[test]
+    fn equal_rows_give_ratio_one() {
+        let p = PaperProgram::new(3, 1.0).unwrap();
+        let q = [0.2, 0.3, 0.5];
+        let s = p.max_ratio_charnes_cooper(&q, &q).unwrap();
+        assert!((s.value - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn moderate_correlation_matches_closed_form() {
+        // Rows q=(0.8, 0.2), d=(0, 1): Theorem 4 predicts the max ratio
+        // (q(e^α − 1) + 1)/(d(e^α − 1) + 1) with q = 0.8, d = 0.
+        let alpha = 0.1_f64;
+        let expected = 0.8 * (alpha.exp() - 1.0) + 1.0;
+        let p = PaperProgram::new(2, alpha).unwrap();
+        let cc = p.max_ratio_charnes_cooper(&[0.8, 0.2], &[0.0, 1.0]).unwrap();
+        let dk = p.max_ratio_dinkelbach(&[0.8, 0.2], &[0.0, 1.0]).unwrap();
+        assert!((cc.value - expected).abs() < 1e-7, "cc={} expected={}", cc.value, expected);
+        assert!((dk.value - expected).abs() < 1e-7, "dk={} expected={}", dk.value, expected);
+    }
+
+    #[test]
+    fn alpha_zero_forces_uniform_x() {
+        // With α = 0 all x_j are equal, so the ratio is Σq/Σd = 1 for
+        // stochastic rows.
+        let p = PaperProgram::new(3, 0.0).unwrap();
+        let s = p
+            .max_ratio_charnes_cooper(&[0.7, 0.2, 0.1], &[0.1, 0.1, 0.8])
+            .unwrap();
+        assert!((s.value - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn revised_engine_matches_tableau_on_paper_program() {
+        let p = PaperProgram::new(4, 1.3).unwrap();
+        let q = [0.5, 0.3, 0.15, 0.05];
+        let d = [0.1, 0.15, 0.35, 0.4];
+        let tab = p.max_ratio_charnes_cooper(&q, &d).unwrap();
+        let rev = p.max_ratio_charnes_cooper_revised(&q, &d).unwrap();
+        assert!((tab.value - rev.value).abs() < 1e-7, "{} vs {}", tab.value, rev.value);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PaperProgram::new(0, 1.0).is_err());
+        assert!(PaperProgram::new(2, f64::NAN).is_err());
+        assert!(PaperProgram::new(2, -0.5).is_err());
+        let p = PaperProgram::new(2, 1.0).unwrap();
+        assert!(p.fractional(&[1.0], &[0.5, 0.5]).is_err());
+        assert!(p.fractional(&[0.5, 0.5], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ratio_bounded_by_exp_alpha() {
+        // For stochastic rows the ratio can never exceed e^α (Remark 1).
+        let alpha = 0.9;
+        let p = PaperProgram::new(4, alpha).unwrap();
+        let q = [0.4, 0.3, 0.2, 0.1];
+        let d = [0.1, 0.2, 0.3, 0.4];
+        let s = p.max_ratio_charnes_cooper(&q, &d).unwrap();
+        assert!(s.value <= alpha.exp() + 1e-7);
+        assert!(s.value >= 1.0 - 1e-9);
+    }
+}

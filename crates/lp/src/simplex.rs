@@ -1,0 +1,570 @@
+//! Two-phase primal simplex method on a dense tableau.
+//!
+//! The solver accepts linear programs in the natural "builder" form
+//! (maximize or minimize a linear objective subject to `≤`, `≥`, and `=`
+//! constraints over non-negative variables) and converts them internally to
+//! equality standard form with slack, surplus, and artificial variables.
+//!
+//! Pivoting uses Bland's smallest-index rule, which guarantees termination
+//! (no cycling) at the cost of speed — an acceptable trade-off for a
+//! baseline solver whose purpose in this workspace is to be *correct*, and
+//! whose measured slowness relative to Algorithm 1 of the paper is itself
+//! part of the reproduced result (Figure 5).
+
+use crate::{LpError, Result, EPS};
+
+/// The sense of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    LessEq,
+    /// `coeffs · x ≥ rhs`
+    GreaterEq,
+    /// `coeffs · x = rhs`
+    Equal,
+}
+
+/// One linear constraint `coeffs · x REL rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients of the decision variables.
+    pub coeffs: Vec<f64>,
+    /// The relation between the left-hand side and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative decision variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    maximize: bool,
+    constraints: Vec<Constraint>,
+}
+
+/// An optimal solution to a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal values of the decision variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the user's orientation: a maximum for
+    /// maximization problems, a minimum for minimization problems).
+    pub objective: f64,
+    /// Number of simplex pivots performed across both phases.
+    pub pivots: usize,
+}
+
+/// Outcome of solving a linear program.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal(LpSolution),
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LinearProgram {
+    /// Start a maximization problem with the given objective coefficients.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self { objective, maximize: true, constraints: Vec::new() }
+    }
+
+    /// Start a minimization problem with the given objective coefficients.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self { objective, maximize: false, constraints: Vec::new() }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add a `coeffs · x ≤ rhs` constraint (builder style).
+    #[must_use]
+    pub fn less_eq(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.constraints.push(Constraint { coeffs, relation: Relation::LessEq, rhs });
+        self
+    }
+
+    /// Add a `coeffs · x ≥ rhs` constraint (builder style).
+    #[must_use]
+    pub fn greater_eq(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.constraints.push(Constraint { coeffs, relation: Relation::GreaterEq, rhs });
+        self
+    }
+
+    /// Add a `coeffs · x = rhs` constraint (builder style).
+    #[must_use]
+    pub fn equal(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
+        self.constraints.push(Constraint { coeffs, relation: Relation::Equal, rhs });
+        self
+    }
+
+    /// Add an already-constructed [`Constraint`].
+    pub fn push_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// The raw objective coefficients (used by alternative engines).
+    pub fn objective_raw(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Whether this is a maximization problem.
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// The raw constraint rows (used by alternative engines).
+    pub fn constraints_raw(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Public validation entry point for alternative engines.
+    pub fn validate_public(&self) -> Result<()> {
+        self.validate()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.objective.is_empty() || self.constraints.is_empty() {
+            return Err(LpError::EmptyProblem);
+        }
+        if self.objective.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::NotFinite("objective"));
+        }
+        let n = self.objective.len();
+        for c in &self.constraints {
+            if c.coeffs.len() != n {
+                return Err(LpError::DimensionMismatch { expected: n, found: c.coeffs.len() });
+            }
+            if c.coeffs.iter().any(|v| !v.is_finite()) || !c.rhs.is_finite() {
+                return Err(LpError::NotFinite("constraint"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Solve the program with the two-phase simplex method.
+    pub fn solve(&self) -> Result<LpOutcome> {
+        self.validate()?;
+        Tableau::build(self)?.run(self)
+    }
+
+    /// Find any feasible point (phase 1 only). Returns `None` if infeasible.
+    pub fn find_feasible(&self) -> Result<Option<Vec<f64>>> {
+        self.validate()?;
+        let mut t = Tableau::build(self)?;
+        Ok(if t.phase1()? { Some(t.extract_x(self.num_vars())) } else { None })
+    }
+}
+
+/// Dense simplex tableau in equality standard form.
+///
+/// Layout: `rows` holds the constraint matrix augmented with the right-hand
+/// side in the final column. `basis[i]` is the index of the variable that is
+/// basic in row `i`. Column order: original variables, then slack/surplus
+/// variables, then artificial variables.
+struct Tableau {
+    rows: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    /// Total number of columns excluding the RHS.
+    total: usize,
+    /// Column index where artificial variables start.
+    art_start: usize,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Result<Self> {
+        let n = lp.num_vars();
+        let m = lp.constraints.len();
+
+        // Count slack/surplus columns and artificial columns.
+        let mut n_slack = 0usize;
+        for c in &lp.constraints {
+            if c.relation != Relation::Equal {
+                n_slack += 1;
+            }
+        }
+        // Every row gets an artificial in the worst case; we allocate one per
+        // row that needs it, determined below after sign normalization.
+        let structural = n + n_slack;
+
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut needs_artificial: Vec<bool> = Vec::with_capacity(m);
+        let mut slack_col_of_row: Vec<Option<usize>> = Vec::with_capacity(m);
+        let mut next_slack = n;
+
+        for c in &lp.constraints {
+            let mut row = vec![0.0; structural + 1];
+            row[..n].copy_from_slice(&c.coeffs);
+            row[structural] = c.rhs;
+            let mut rel = c.relation;
+            // Normalize to rhs >= 0 so the initial basis is feasible.
+            if row[structural] < 0.0 {
+                for v in row.iter_mut() {
+                    *v = -*v;
+                }
+                rel = match rel {
+                    Relation::LessEq => Relation::GreaterEq,
+                    Relation::GreaterEq => Relation::LessEq,
+                    Relation::Equal => Relation::Equal,
+                };
+            }
+            match rel {
+                Relation::LessEq => {
+                    row[next_slack] = 1.0;
+                    slack_col_of_row.push(Some(next_slack));
+                    next_slack += 1;
+                    needs_artificial.push(false);
+                }
+                Relation::GreaterEq => {
+                    row[next_slack] = -1.0;
+                    slack_col_of_row.push(Some(next_slack));
+                    next_slack += 1;
+                    needs_artificial.push(true);
+                }
+                Relation::Equal => {
+                    slack_col_of_row.push(None);
+                    needs_artificial.push(true);
+                }
+            }
+            rows.push(row);
+        }
+        debug_assert_eq!(next_slack, structural);
+
+        let n_art = needs_artificial.iter().filter(|&&b| b).count();
+        let total = structural + n_art;
+        let mut basis = vec![usize::MAX; m];
+        let mut art = structural;
+        for (i, row) in rows.iter_mut().enumerate() {
+            // Extend row with artificial columns + moved RHS.
+            let rhs = row[structural];
+            row.truncate(structural);
+            row.resize(total + 1, 0.0);
+            row[total] = rhs;
+            if needs_artificial[i] {
+                row[art] = 1.0;
+                basis[i] = art;
+                art += 1;
+            } else {
+                basis[i] = slack_col_of_row[i].expect("<= rows always have a slack");
+            }
+        }
+
+        Ok(Self { rows, basis, total, art_start: structural, pivots: 0 })
+    }
+
+    /// Reduced cost of column `j` for minimization cost vector `cost`
+    /// (indexed over all columns, artificials included).
+    fn reduced_cost(&self, cost: &[f64], j: usize) -> f64 {
+        let mut r = cost[j];
+        for (i, row) in self.rows.iter().enumerate() {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                r -= cb * row[j];
+            }
+        }
+        r
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let m = self.rows.len();
+        let piv = self.rows[pr][pc];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in self.rows[pr].iter_mut() {
+            *v *= inv;
+        }
+        for i in 0..m {
+            if i == pr {
+                continue;
+            }
+            let factor = self.rows[i][pc];
+            if factor.abs() <= EPS {
+                self.rows[i][pc] = 0.0;
+                continue;
+            }
+            for j in 0..=self.total {
+                let upd = self.rows[pr][j] * factor;
+                self.rows[i][j] -= upd;
+            }
+            self.rows[i][pc] = 0.0;
+        }
+        self.basis[pr] = pc;
+        self.pivots += 1;
+    }
+
+    /// Run simplex iterations minimizing `cost`. `allowed` limits which
+    /// columns may enter the basis. Returns `Ok(true)` on optimality and
+    /// `Ok(false)` if unbounded.
+    fn iterate(&mut self, cost: &[f64], allow_artificial: bool) -> Result<bool> {
+        let m = self.rows.len();
+        let col_limit = if allow_artificial { self.total } else { self.art_start };
+        let max_iters = 50_000usize.saturating_add(200 * (self.total + m));
+        for _ in 0..max_iters {
+            // Bland's rule: entering column = smallest index with negative
+            // reduced cost.
+            let mut entering = None;
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                if self.reduced_cost(cost, j) < -EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(pc) = entering else { return Ok(true) };
+
+            // Ratio test; Bland tie-break on smallest basis variable index.
+            let mut pr: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for i in 0..m {
+                let a = self.rows[i][pc];
+                if a > EPS {
+                    let ratio = self.rows[i][self.total] / a;
+                    let better = match pr {
+                        None => true,
+                        Some(prev) => {
+                            ratio < best - EPS
+                                || (ratio < best + EPS && self.basis[i] < self.basis[prev])
+                        }
+                    };
+                    if better {
+                        best = ratio;
+                        pr = Some(i);
+                    }
+                }
+            }
+            let Some(pr) = pr else { return Ok(false) };
+            self.pivot(pr, pc);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Phase 1: drive artificial variables to zero. Returns whether the
+    /// program is feasible.
+    fn phase1(&mut self) -> Result<bool> {
+        if self.art_start == self.total {
+            return Ok(true); // no artificials needed
+        }
+        let mut cost = vec![0.0; self.total];
+        for c in cost.iter_mut().skip(self.art_start) {
+            *c = 1.0;
+        }
+        let optimal = self.iterate(&cost, true)?;
+        debug_assert!(optimal, "phase-1 objective is bounded below by 0");
+        // Feasible iff all artificial basics are (numerically) zero.
+        let infeas: f64 = self
+            .basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b >= self.art_start)
+            .map(|(i, _)| self.rows[i][self.total])
+            .sum();
+        if infeas > 1e-7 {
+            return Ok(false);
+        }
+        // Drive any degenerate artificial out of the basis.
+        for i in 0..self.rows.len() {
+            if self.basis[i] >= self.art_start {
+                let mut swapped = false;
+                for j in 0..self.art_start {
+                    if self.rows[i][j].abs() > EPS && !self.basis.contains(&j) {
+                        self.pivot(i, j);
+                        swapped = true;
+                        break;
+                    }
+                }
+                if !swapped {
+                    // Redundant row: zero it out so it can never pivot.
+                    for v in self.rows[i].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn extract_x(&self, n: usize) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < n {
+                x[b] = self.rows[i][self.total];
+            }
+        }
+        x
+    }
+
+    fn run(mut self, lp: &LinearProgram) -> Result<LpOutcome> {
+        if !self.phase1()? {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Phase 2: minimize -objective (for maximization) over structural
+        // columns only.
+        let mut cost = vec![0.0; self.total];
+        for (j, &c) in lp.objective.iter().enumerate() {
+            cost[j] = if lp.maximize { -c } else { c };
+        }
+        if !self.iterate(&cost, false)? {
+            return Ok(LpOutcome::Unbounded);
+        }
+        let x = self.extract_x(lp.num_vars());
+        let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        Ok(LpOutcome::Optimal(LpSolution { x, objective, pivots: self.pivots }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: LpOutcome) -> LpSolution {
+        match outcome {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 => x=2,y=6,obj=36
+        let lp = LinearProgram::maximize(vec![3.0, 5.0])
+            .less_eq(vec![1.0, 0.0], 4.0)
+            .less_eq(vec![0.0, 2.0], 12.0)
+            .less_eq(vec![3.0, 2.0], 18.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 36.0).abs() < 1e-8);
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+        assert!((s.x[1] - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y st x + y >= 4, x >= 1 => x=4 y=0? cost 8 vs x=1,y=3 cost 11
+        let lp = LinearProgram::minimize(vec![2.0, 3.0])
+            .greater_eq(vec![1.0, 1.0], 4.0)
+            .greater_eq(vec![1.0, 0.0], 1.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 8.0).abs() < 1e-8);
+        assert!((s.x[0] - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // max x + 2y st x + y = 3, x <= 2 => y=3-x, obj = x + 2(3-x) = 6 - x -> x=0,y=3,obj=6
+        let lp = LinearProgram::maximize(vec![1.0, 2.0])
+            .equal(vec![1.0, 1.0], 3.0)
+            .less_eq(vec![1.0, 0.0], 2.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let lp = LinearProgram::maximize(vec![1.0])
+            .less_eq(vec![1.0], 1.0)
+            .greater_eq(vec![1.0], 2.0);
+        assert!(matches!(lp.solve().unwrap(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let lp = LinearProgram::maximize(vec![1.0, 0.0]).greater_eq(vec![1.0, 1.0], 1.0);
+        assert!(matches!(lp.solve().unwrap(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -1  (i.e. y >= x + 1), max x st x <= 3 => x=3 feasible with y>=4? y unbounded
+        // but objective only on x, so optimal x=3.
+        let lp = LinearProgram::maximize(vec![1.0, 0.0])
+            .less_eq(vec![1.0, -1.0], -1.0)
+            .less_eq(vec![1.0, 0.0], 3.0)
+            .less_eq(vec![0.0, 1.0], 10.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // Beale's classic cycling example; Bland's rule must terminate.
+        let lp = LinearProgram::maximize(vec![0.75, -150.0, 0.02, -6.0])
+            .less_eq(vec![0.25, -60.0, -0.04, 9.0], 0.0)
+            .less_eq(vec![0.5, -90.0, -0.02, 3.0], 0.0)
+            .less_eq(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        assert_eq!(LinearProgram::maximize(vec![]).solve().unwrap_err(), LpError::EmptyProblem);
+        assert_eq!(
+            LinearProgram::maximize(vec![1.0]).solve().unwrap_err(),
+            LpError::EmptyProblem
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let lp = LinearProgram::maximize(vec![1.0, 1.0]).less_eq(vec![1.0], 1.0);
+        assert!(matches!(lp.solve().unwrap_err(), LpError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let lp = LinearProgram::maximize(vec![f64::NAN]).less_eq(vec![1.0], 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::NotFinite("objective"));
+        let lp = LinearProgram::maximize(vec![1.0]).less_eq(vec![f64::INFINITY], 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::NotFinite("constraint"));
+    }
+
+    #[test]
+    fn find_feasible_returns_point() {
+        let lp = LinearProgram::maximize(vec![0.0, 0.0])
+            .greater_eq(vec![1.0, 1.0], 2.0)
+            .less_eq(vec![1.0, 0.0], 5.0)
+            .less_eq(vec![0.0, 1.0], 5.0);
+        let x = lp.find_feasible().unwrap().expect("feasible");
+        assert!(x[0] + x[1] >= 2.0 - 1e-9);
+        assert!(x[0] <= 5.0 + 1e-9 && x[1] <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn find_feasible_detects_infeasible() {
+        let lp = LinearProgram::maximize(vec![0.0])
+            .less_eq(vec![1.0], 1.0)
+            .greater_eq(vec![1.0], 3.0);
+        assert!(lp.find_feasible().unwrap().is_none());
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 2 stated twice; still solvable.
+        let lp = LinearProgram::maximize(vec![1.0, 0.0])
+            .equal(vec![1.0, 1.0], 2.0)
+            .equal(vec![1.0, 1.0], 2.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ge_with_zero_rhs() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0])
+            .greater_eq(vec![1.0, -1.0], 0.0)
+            .greater_eq(vec![1.0, 1.0], 1.0);
+        let s = optimal(lp.solve().unwrap());
+        assert!((s.objective - 1.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,300 @@
+//! Markov chains: simulation, marginals, stationarity, and time reversal.
+//!
+//! Section III-A of the paper notes that when the initial distribution
+//! `Pr(l¹_i)` is known, the backward temporal correlation `P^B` can be
+//! derived from the forward one `P^F` by Bayesian inference:
+//!
+//! ```text
+//! Pr(l^{t−1} | l^t) = Pr(l^t | l^{t−1}) Pr(l^{t−1}) / Σ_{l^{t−1}} Pr(l^t | l^{t−1}) Pr(l^{t−1})
+//! ```
+//!
+//! [`MarkovChain::reverse`] implements exactly that computation (with the
+//! marginal at the relevant time as the prior), and
+//! [`MarkovChain::reverse_stationary`] specializes it to a chain running at
+//! its stationary distribution, where the reversal becomes time-invariant —
+//! the assumption under which the paper treats `P^B` as time-homogeneous.
+
+use crate::{distribution, MarkovError, Result, TransitionMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A finite Markov chain: initial distribution plus transition matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovChain {
+    initial: Vec<f64>,
+    matrix: TransitionMatrix,
+}
+
+impl MarkovChain {
+    /// Create a chain from an initial distribution and a transition matrix.
+    pub fn new(initial: Vec<f64>, matrix: TransitionMatrix) -> Result<Self> {
+        distribution::validate(&initial)?;
+        if initial.len() != matrix.n() {
+            return Err(MarkovError::DimensionMismatch {
+                expected: matrix.n(),
+                found: initial.len(),
+            });
+        }
+        Ok(Self { initial, matrix })
+    }
+
+    /// Create a chain starting from the uniform distribution.
+    pub fn uniform_start(matrix: TransitionMatrix) -> Self {
+        let initial = distribution::uniform(matrix.n());
+        Self { initial, matrix }
+    }
+
+    /// Create a chain starting deterministically in `state`.
+    pub fn starting_at(matrix: TransitionMatrix, state: usize) -> Result<Self> {
+        let initial = distribution::point_mass(matrix.n(), state)?;
+        Ok(Self { initial, matrix })
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// The initial distribution `Pr(l¹)`.
+    pub fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// The (forward) transition matrix.
+    pub fn matrix(&self) -> &TransitionMatrix {
+        &self.matrix
+    }
+
+    /// Marginal distribution after `t` steps (`t = 0` is the initial one).
+    pub fn marginal_at(&self, t: usize) -> Result<Vec<f64>> {
+        let mut p = self.initial.clone();
+        for _ in 0..t {
+            p = self.matrix.propagate(&p)?;
+        }
+        Ok(p)
+    }
+
+    /// Simulate a trajectory of `len` states (including the initial state).
+    pub fn simulate<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut traj = Vec::with_capacity(len);
+        let mut state = distribution::sample(&self.initial, rng);
+        traj.push(state);
+        for _ in 1..len {
+            state = distribution::sample(self.matrix.row(state), rng);
+            traj.push(state);
+        }
+        traj
+    }
+
+    /// Stationary distribution via power iteration.
+    ///
+    /// Converges for any aperiodic irreducible chain; periodic chains (e.g.
+    /// a deterministic cycle) are handled by damping the iteration with a
+    /// half-step of the identity, which preserves the stationary point.
+    pub fn stationary(&self) -> Result<Vec<f64>> {
+        let n = self.n();
+        let mut p = distribution::uniform(n);
+        const MAX_ITERS: usize = 200_000;
+        for _ in 0..MAX_ITERS {
+            let step = self.matrix.propagate(&p)?;
+            // Damped update: ½p + ½pP — same fixed points, kills periodicity.
+            let next: Vec<f64> =
+                p.iter().zip(&step).map(|(a, b)| 0.5 * a + 0.5 * b).collect();
+            let delta = distribution::total_variation(&p, &next)?;
+            p = next;
+            if delta < 1e-13 {
+                return Ok(p);
+            }
+        }
+        Err(MarkovError::NoConvergence("power iteration for stationary distribution"))
+    }
+
+    /// Time-reverse the chain against an explicit prior `Pr(l^{t−1})`:
+    /// returns the backward matrix with rows indexed by the *current* state,
+    /// i.e. entry `(k, j) = Pr(l^{t−1} = j | l^t = k)`.
+    ///
+    /// Fails with [`MarkovError::ZeroMass`] if some current state `k` is
+    /// unreachable under the prior (its conditional is undefined).
+    pub fn reverse_with_prior(&self, prior: &[f64]) -> Result<TransitionMatrix> {
+        distribution::validate(prior)?;
+        let n = self.n();
+        if prior.len() != n {
+            return Err(MarkovError::DimensionMismatch { expected: n, found: prior.len() });
+        }
+        // marginal of the *next* step under the prior
+        let next = self.matrix.propagate(prior)?;
+        let mut rows = Vec::with_capacity(n);
+        for (k, &next_k) in next.iter().enumerate() {
+            if next_k <= 0.0 {
+                return Err(MarkovError::ZeroMass { state: k });
+            }
+            let mut row = Vec::with_capacity(n);
+            for (j, &prior_j) in prior.iter().enumerate() {
+                row.push(self.matrix.get(j, k) * prior_j / next_k);
+            }
+            rows.push(row);
+        }
+        TransitionMatrix::from_rows(rows)
+    }
+
+    /// Time-reverse the chain at stationarity: the usual definition of the
+    /// reversed chain `P̃(k, j) = π_j P(j, k) / π_k`.
+    pub fn reverse_stationary(&self) -> Result<TransitionMatrix> {
+        let pi = self.stationary()?;
+        self.reverse_with_prior(&pi)
+    }
+
+    /// Log-likelihood of an observed trajectory under this chain.
+    pub fn log_likelihood(&self, traj: &[usize]) -> Result<f64> {
+        let n = self.n();
+        let Some((&first, rest)) = traj.split_first() else {
+            return Err(MarkovError::InsufficientData("empty trajectory"));
+        };
+        if first >= n {
+            return Err(MarkovError::StateOutOfRange { state: first, n });
+        }
+        let mut ll = ln_or_neg_inf(self.initial[first]);
+        let mut prev = first;
+        for &s in rest {
+            if s >= n {
+                return Err(MarkovError::StateOutOfRange { state: s, n });
+            }
+            ll += ln_or_neg_inf(self.matrix.get(prev, s));
+            prev = s;
+        }
+        Ok(ll)
+    }
+}
+
+fn ln_or_neg_inf(p: f64) -> f64 {
+    if p > 0.0 {
+        p.ln()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_state() -> MarkovChain {
+        let m = TransitionMatrix::two_state(0.8, 0.6).unwrap();
+        MarkovChain::uniform_start(m)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let m = TransitionMatrix::two_state(0.8, 0.6).unwrap();
+        assert!(MarkovChain::new(vec![0.5, 0.5], m.clone()).is_ok());
+        assert!(MarkovChain::new(vec![0.5, 0.6], m.clone()).is_err());
+        assert!(MarkovChain::new(vec![1.0], m.clone()).is_err());
+        assert!(MarkovChain::starting_at(m, 5).is_err());
+    }
+
+    #[test]
+    fn marginals_converge_to_stationary() {
+        let c = two_state();
+        // Stationary for [[.8,.2],[.4,.6]]: solve pi = pi P -> pi0 = 2/3.
+        let pi = c.stationary().unwrap();
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-9, "pi={pi:?}");
+        let far = c.marginal_at(200).unwrap();
+        assert!(distribution::total_variation(&pi, &far).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_of_periodic_cycle() {
+        // Deterministic 3-cycle is periodic; damped iteration still finds
+        // the uniform stationary distribution.
+        let m = TransitionMatrix::strongest_shift(3).unwrap();
+        let c = MarkovChain::starting_at(m, 0).unwrap();
+        let pi = c.stationary().unwrap();
+        for v in &pi {
+            assert!((v - 1.0 / 3.0).abs() < 1e-6, "pi={pi:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_respects_absorbing_state() {
+        let m = TransitionMatrix::two_state(0.5, 1.0).unwrap();
+        let c = MarkovChain::starting_at(m, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let traj = c.simulate(50, &mut rng);
+        assert_eq!(traj.len(), 50);
+        assert!(traj.iter().all(|&s| s == 1));
+        assert!(c.simulate(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn simulated_frequencies_match_stationary() {
+        let c = two_state();
+        let mut rng = StdRng::seed_from_u64(11);
+        let traj = c.simulate(300_000, &mut rng);
+        let ones = traj.iter().filter(|&&s| s == 1).count() as f64 / traj.len() as f64;
+        assert!((ones - 1.0 / 3.0).abs() < 0.01, "ones={ones}");
+    }
+
+    #[test]
+    fn reversal_matches_paper_bayes_rule() {
+        // Hand-checkable example: P = [[.8,.2],[.4,.6]], prior = stationary
+        // (2/3, 1/3). Reversed entry (0,1) = pi_1 P(1,0) / pi_0
+        //   = (1/3)(0.4)/(2/3) = 0.2.
+        let c = two_state();
+        let rev = c.reverse_stationary().unwrap();
+        assert!((rev.get(0, 1) - 0.2).abs() < 1e-9);
+        assert!((rev.get(0, 0) - 0.8).abs() < 1e-9);
+        // Row-stochastic by construction (validated type).
+    }
+
+    #[test]
+    fn reversal_detects_unreachable_state() {
+        // From state 0 only state 0 is reachable; prior point mass on 0
+        // makes state 1 unreachable next step.
+        let m = TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]).unwrap();
+        let c = MarkovChain::starting_at(m, 0).unwrap();
+        let err = c.reverse_with_prior(&[1.0, 0.0]).unwrap_err();
+        assert_eq!(err, MarkovError::ZeroMass { state: 1 });
+    }
+
+    #[test]
+    fn double_reversal_is_identity_at_stationarity() {
+        let m = TransitionMatrix::from_rows(vec![
+            vec![0.5, 0.3, 0.2],
+            vec![0.1, 0.7, 0.2],
+            vec![0.3, 0.3, 0.4],
+        ])
+        .unwrap();
+        let c = MarkovChain::uniform_start(m.clone());
+        let pi = c.stationary().unwrap();
+        let rev = c.reverse_with_prior(&pi).unwrap();
+        // Reversing the reversed chain (whose stationary dist is also pi)
+        // recovers the original matrix.
+        let rev_chain = MarkovChain::new(pi.clone(), rev).unwrap();
+        let back = rev_chain.reverse_with_prior(&pi).unwrap();
+        assert!(back.max_abs_diff(&m).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn log_likelihood_orders_models() {
+        let sticky = MarkovChain::uniform_start(TransitionMatrix::two_state(0.9, 0.9).unwrap());
+        let jumpy = MarkovChain::uniform_start(TransitionMatrix::two_state(0.1, 0.1).unwrap());
+        let traj = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        assert!(
+            sticky.log_likelihood(&traj).unwrap() > jumpy.log_likelihood(&traj).unwrap()
+        );
+        assert!(sticky.log_likelihood(&[]).is_err());
+        assert!(sticky.log_likelihood(&[7]).is_err());
+    }
+
+    #[test]
+    fn log_likelihood_of_impossible_path_is_neg_inf() {
+        let m = TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let c = MarkovChain::uniform_start(m);
+        assert_eq!(c.log_likelihood(&[0, 1]).unwrap(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,153 @@
+//! Chain diagnostics: ergodicity coefficients, mixing, contraction.
+//!
+//! These quantities explain *why* temporal privacy leakage saturates at
+//! the speed it does: the leakage recursion's increment is controlled by
+//! how distinguishable two conditional futures remain, which is precisely
+//! what Dobrushin's ergodicity coefficient (the max total-variation
+//! distance between rows) measures, and multi-step correlations decay at
+//! the chain's mixing rate.
+
+use crate::{distribution, MarkovChain, MarkovError, Result, TransitionMatrix};
+
+/// Dobrushin's ergodicity coefficient: `max_{j,k} TV(P(j,·), P(k,·))`.
+///
+/// `0` means one step fully forgets the past (rows equal, zero temporal
+/// leakage amplification); `1` means some pair of pasts is perfectly
+/// distinguishable one step later (deterministic-strength correlation).
+pub fn dobrushin_coefficient(matrix: &TransitionMatrix) -> f64 {
+    matrix.correlation_degree()
+}
+
+/// Total-variation distance to stationarity from the worst starting
+/// state after `t` steps: `max_j TV(e_j P^t, π)`.
+pub fn worst_case_tv_at(matrix: &TransitionMatrix, t: usize) -> Result<f64> {
+    let chain = MarkovChain::uniform_start(matrix.clone());
+    let pi = chain.stationary()?;
+    let pt = matrix.power(t)?;
+    let mut worst = 0.0_f64;
+    for j in 0..matrix.n() {
+        worst = worst.max(distribution::total_variation(pt.row(j), &pi)?);
+    }
+    Ok(worst)
+}
+
+/// Mixing time: the smallest `t ≤ max_t` with worst-case TV ≤ `tol`.
+/// Returns an error if the chain has not mixed by `max_t` (e.g. periodic
+/// chains never mix).
+pub fn mixing_time(matrix: &TransitionMatrix, tol: f64, max_t: usize) -> Result<usize> {
+    if !(0.0..1.0).contains(&tol) {
+        return Err(MarkovError::InvalidProbability { context: "mixing tolerance", value: tol });
+    }
+    // Doubling power computation keeps this O(log max_t) matrix products
+    // per probe; with the small n used here a linear scan is fine and
+    // exact.
+    for t in 0..=max_t {
+        if worst_case_tv_at(matrix, t)? <= tol {
+            return Ok(t);
+        }
+    }
+    Err(MarkovError::NoConvergence("mixing time exceeds max_t"))
+}
+
+/// Empirical geometric contraction rate of the map `p ↦ pP`, estimated
+/// from the decay of `TV(e_0 P^t, e_1 P^t)`. An upper proxy for the
+/// second-largest eigenvalue modulus on two-state chains (where it is
+/// exact) and a useful rate diagnostic generally.
+pub fn contraction_rate(matrix: &TransitionMatrix, steps: usize) -> Result<f64> {
+    if matrix.n() < 2 {
+        return Ok(0.0);
+    }
+    if steps < 2 {
+        return Err(MarkovError::InsufficientData("need >= 2 steps to fit a rate"));
+    }
+    let n = matrix.n();
+    let mut p = distribution::point_mass(n, 0)?;
+    let mut q = distribution::point_mass(n, 1)?;
+    let mut prev = distribution::total_variation(&p, &q)?;
+    let mut rates = Vec::new();
+    for _ in 0..steps {
+        p = matrix.propagate(&p)?;
+        q = matrix.propagate(&q)?;
+        let cur = distribution::total_variation(&p, &q)?;
+        if prev > 1e-14 && cur > 1e-14 {
+            rates.push(cur / prev);
+        }
+        prev = cur;
+    }
+    if rates.is_empty() {
+        return Ok(0.0); // collapsed immediately: rows 0 and 1 identical
+    }
+    // Late-window average: early steps carry transients.
+    let tail = &rates[rates.len() / 2..];
+    Ok(tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dobrushin_extremes() {
+        assert_eq!(dobrushin_coefficient(&TransitionMatrix::uniform(4).unwrap()), 0.0);
+        assert_eq!(dobrushin_coefficient(&TransitionMatrix::identity(4).unwrap()), 1.0);
+        let m = TransitionMatrix::two_state(0.8, 0.7).unwrap();
+        // TV between (0.8, 0.2) and (0.3, 0.7) = 0.5.
+        assert!((dobrushin_coefficient(&m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixing_time_of_fast_chain() {
+        let m = TransitionMatrix::two_state(0.6, 0.6).unwrap();
+        let t = mixing_time(&m, 0.01, 100).unwrap();
+        assert!(t > 0 && t < 10, "t={t}");
+        // Uniform chain mixes instantly from any state... after one step.
+        let u = TransitionMatrix::uniform(3).unwrap();
+        assert!(mixing_time(&u, 0.01, 10).unwrap() <= 1);
+    }
+
+    #[test]
+    fn periodic_chain_never_mixes() {
+        let cycle = TransitionMatrix::strongest_shift(3).unwrap();
+        assert!(mixing_time(&cycle, 0.1, 200).is_err());
+        assert!(mixing_time(&cycle, 1.5, 10).is_err(), "tol must be < 1");
+    }
+
+    #[test]
+    fn contraction_rate_matches_two_state_eigenvalue() {
+        // For [[a, 1-a], [1-b, b]] the second eigenvalue is a + b - 1.
+        let (a, b) = (0.9, 0.8);
+        let m = TransitionMatrix::two_state(a, b).unwrap();
+        let rate = contraction_rate(&m, 30).unwrap();
+        assert!((rate - (a + b - 1.0)).abs() < 1e-6, "rate={rate}");
+        assert!(contraction_rate(&m, 1).is_err());
+    }
+
+    #[test]
+    fn contraction_of_memoryless_chain_is_zero() {
+        let u = TransitionMatrix::uniform(3).unwrap();
+        assert_eq!(contraction_rate(&u, 10).unwrap(), 0.0);
+        let single = TransitionMatrix::from_rows(vec![vec![1.0]]).unwrap();
+        assert_eq!(contraction_rate(&single, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dobrushin_tracks_leakage_amplification() {
+        // Sanity: a chain with a larger Dobrushin coefficient has a larger
+        // worst-case one-step TV; combined with tcdp-core this is the
+        // qualitative driver of L(α)'s size. Checked cross-crate in the
+        // integration tests; here we check the coefficient ordering.
+        let strong = TransitionMatrix::two_state(0.95, 0.95).unwrap();
+        let weak = TransitionMatrix::two_state(0.6, 0.6).unwrap();
+        assert!(dobrushin_coefficient(&strong) > dobrushin_coefficient(&weak));
+    }
+
+    #[test]
+    fn worst_case_tv_decreases() {
+        let m = TransitionMatrix::two_state(0.85, 0.75).unwrap();
+        let tv1 = worst_case_tv_at(&m, 1).unwrap();
+        let tv5 = worst_case_tv_at(&m, 5).unwrap();
+        let tv20 = worst_case_tv_at(&m, 20).unwrap();
+        assert!(tv1 > tv5 && tv5 > tv20);
+        assert!(tv20 < 0.01);
+    }
+}

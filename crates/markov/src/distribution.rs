@@ -1,0 +1,167 @@
+//! Categorical probability distribution helpers.
+//!
+//! These small utilities back the Markov-chain machinery: validating that a
+//! vector is a probability distribution, sampling from it, and comparing
+//! distributions (total-variation distance, used in stationarity tests and
+//! correlation-degree diagnostics).
+
+use crate::{MarkovError, Result, STOCHASTIC_TOL};
+use rand::Rng;
+
+/// Validate that `p` is a probability distribution over `n` states:
+/// non-negative, finite entries summing to 1 within [`STOCHASTIC_TOL`].
+pub fn validate(p: &[f64]) -> Result<()> {
+    if p.is_empty() {
+        return Err(MarkovError::DimensionMismatch { expected: 1, found: 0 });
+    }
+    let mut sum = 0.0;
+    for &v in p {
+        if !v.is_finite() || v < 0.0 {
+            return Err(MarkovError::InvalidProbability { context: "distribution", value: v });
+        }
+        sum += v;
+    }
+    if (sum - 1.0).abs() > STOCHASTIC_TOL.max(1e-6 * p.len() as f64) {
+        return Err(MarkovError::RowNotStochastic { row: 0, sum });
+    }
+    Ok(())
+}
+
+/// The uniform distribution over `n` states.
+pub fn uniform(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+
+/// The point mass on `state` among `n` states.
+pub fn point_mass(n: usize, state: usize) -> Result<Vec<f64>> {
+    if state >= n {
+        return Err(MarkovError::StateOutOfRange { state, n });
+    }
+    let mut p = vec![0.0; n];
+    p[state] = 1.0;
+    Ok(p)
+}
+
+/// Normalize a non-negative weight vector into a distribution.
+///
+/// Returns an error when all weights are zero (or any is invalid).
+pub fn normalize(w: &[f64]) -> Result<Vec<f64>> {
+    let mut sum = 0.0;
+    for &v in w {
+        if !v.is_finite() || v < 0.0 {
+            return Err(MarkovError::InvalidProbability { context: "weights", value: v });
+        }
+        sum += v;
+    }
+    if sum <= 0.0 {
+        return Err(MarkovError::InvalidProbability { context: "weights (all zero)", value: sum });
+    }
+    Ok(w.iter().map(|v| v / sum).collect())
+}
+
+/// Sample a state index from distribution `p` using inverse-CDF sampling.
+///
+/// `p` must be a valid distribution; the final state absorbs any numerical
+/// slack so that sampling never fails.
+pub fn sample<R: Rng + ?Sized>(p: &[f64], rng: &mut R) -> usize {
+    debug_assert!(validate(p).is_ok());
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &v) in p.iter().enumerate() {
+        acc += v;
+        if u < acc {
+            return i;
+        }
+    }
+    p.len() - 1
+}
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two distributions.
+pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64> {
+    if p.len() != q.len() {
+        return Err(MarkovError::DimensionMismatch { expected: p.len(), found: q.len() });
+    }
+    Ok(0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+}
+
+/// Shannon entropy (nats) of a distribution; `0 log 0 = 0`.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validate_accepts_valid() {
+        validate(&[0.2, 0.3, 0.5]).unwrap();
+        validate(&[1.0]).unwrap();
+        validate(&uniform(7)).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad() {
+        assert!(validate(&[]).is_err());
+        assert!(validate(&[0.5, 0.6]).is_err());
+        assert!(validate(&[-0.1, 1.1]).is_err());
+        assert!(validate(&[f64::NAN, 1.0]).is_err());
+        assert!(validate(&[0.3, 0.3]).is_err());
+    }
+
+    #[test]
+    fn point_mass_and_range() {
+        assert_eq!(point_mass(3, 1).unwrap(), vec![0.0, 1.0, 0.0]);
+        assert!(point_mass(3, 3).is_err());
+    }
+
+    #[test]
+    fn normalize_works_and_rejects_zero() {
+        assert_eq!(normalize(&[2.0, 2.0]).unwrap(), vec![0.5, 0.5]);
+        assert!(normalize(&[0.0, 0.0]).is_err());
+        assert!(normalize(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let p = [0.1, 0.6, 0.3];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[sample(&p, &mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!((freq - p[i]).abs() < 0.01, "state {i}: {freq} vs {}", p[i]);
+        }
+    }
+
+    #[test]
+    fn sampling_point_mass_is_deterministic() {
+        let p = point_mass(4, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sample(&p, &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!((total_variation(&p, &q).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p).unwrap(), 0.0);
+        assert!(total_variation(&p, &[0.2, 0.3, 0.5]).is_err());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        let n = 8;
+        let h = entropy(&uniform(n));
+        assert!((h - (n as f64).ln()).abs() < 1e-12);
+    }
+}

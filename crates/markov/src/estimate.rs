@@ -1,0 +1,525 @@
+//! Estimating temporal correlations from data.
+//!
+//! Section III-A of the paper: adversaries "can learn them from user's
+//! historical trajectories (or the reversed trajectories) by well studied
+//! methods such as Maximum Likelihood estimation (supervised) or
+//! Baum-Welch algorithm (unsupervised)". Both methods are implemented
+//! here so that the workspace can run the full pipeline — raw trajectories
+//! → estimated `P^F`/`P^B` → leakage quantification — even though the
+//! paper's own experiments generate correlations synthetically.
+
+use crate::{distribution, MarkovError, Result, TransitionMatrix};
+
+/// Maximum-likelihood estimate of a transition matrix from observed
+/// trajectories (sequences of state indices over `n` states).
+///
+/// `pseudo_count` is an add-k smoothing constant applied to every cell; it
+/// must be positive when some state never occurs as a source, otherwise
+/// that row would be undefined.
+pub fn mle_transition(
+    trajectories: &[Vec<usize>],
+    n: usize,
+    pseudo_count: f64,
+) -> Result<TransitionMatrix> {
+    if n == 0 {
+        return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+    }
+    if !pseudo_count.is_finite() || pseudo_count < 0.0 {
+        return Err(MarkovError::InvalidProbability {
+            context: "pseudo count",
+            value: pseudo_count,
+        });
+    }
+    let mut counts = vec![pseudo_count; n * n];
+    let mut transitions = 0usize;
+    for traj in trajectories {
+        for w in traj.windows(2) {
+            let (from, to) = (w[0], w[1]);
+            if from >= n {
+                return Err(MarkovError::StateOutOfRange { state: from, n });
+            }
+            if to >= n {
+                return Err(MarkovError::StateOutOfRange { state: to, n });
+            }
+            counts[from * n + to] += 1.0;
+            transitions += 1;
+        }
+    }
+    if transitions == 0 && pseudo_count == 0.0 {
+        return Err(MarkovError::InsufficientData("no transitions observed"));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for j in 0..n {
+        let row = &counts[j * n..(j + 1) * n];
+        let sum: f64 = row.iter().sum();
+        if sum <= 0.0 {
+            return Err(MarkovError::InsufficientData(
+                "a state never occurs as a transition source; use a positive pseudo_count",
+            ));
+        }
+        rows.push(row.iter().map(|c| c / sum).collect());
+    }
+    TransitionMatrix::from_rows(rows)
+}
+
+/// Maximum-likelihood estimate of the *backward* correlation `P^B`: simply
+/// the MLE of the time-reversed trajectories, as the paper suggests.
+pub fn mle_backward(
+    trajectories: &[Vec<usize>],
+    n: usize,
+    pseudo_count: f64,
+) -> Result<TransitionMatrix> {
+    let reversed: Vec<Vec<usize>> = trajectories
+        .iter()
+        .map(|t| t.iter().rev().copied().collect())
+        .collect();
+    mle_transition(&reversed, n, pseudo_count)
+}
+
+/// A hidden Markov model over `n` hidden states and `m` observation
+/// symbols, estimated with the Baum–Welch EM algorithm.
+#[derive(Debug, Clone)]
+pub struct HiddenMarkovModel {
+    /// Initial hidden-state distribution.
+    pub initial: Vec<f64>,
+    /// Hidden-state transition matrix.
+    pub transition: TransitionMatrix,
+    /// Emission probabilities: `emission[j][o] = Pr(obs = o | state = j)`,
+    /// each row a distribution over the `m` symbols.
+    pub emission: Vec<Vec<f64>>,
+}
+
+impl HiddenMarkovModel {
+    /// Validate and build an HMM.
+    pub fn new(
+        initial: Vec<f64>,
+        transition: TransitionMatrix,
+        emission: Vec<Vec<f64>>,
+    ) -> Result<Self> {
+        distribution::validate(&initial)?;
+        let n = transition.n();
+        if initial.len() != n {
+            return Err(MarkovError::DimensionMismatch { expected: n, found: initial.len() });
+        }
+        if emission.len() != n {
+            return Err(MarkovError::DimensionMismatch { expected: n, found: emission.len() });
+        }
+        let m = emission[0].len();
+        for row in &emission {
+            if row.len() != m {
+                return Err(MarkovError::DimensionMismatch { expected: m, found: row.len() });
+            }
+            distribution::validate(row)?;
+        }
+        Ok(Self { initial, transition, emission })
+    }
+
+    /// Number of hidden states.
+    pub fn num_states(&self) -> usize {
+        self.transition.n()
+    }
+
+    /// Number of observation symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.emission[0].len()
+    }
+
+    /// Scaled forward pass. Returns (alphas, per-step scales, log-likelihood).
+    fn forward(&self, obs: &[usize]) -> Result<(Vec<Vec<f64>>, Vec<f64>, f64)> {
+        let n = self.num_states();
+        let t_len = obs.len();
+        let mut alphas = vec![vec![0.0; n]; t_len];
+        let mut scales = vec![0.0; t_len];
+        for (t, &o) in obs.iter().enumerate() {
+            if o >= self.num_symbols() {
+                return Err(MarkovError::StateOutOfRange { state: o, n: self.num_symbols() });
+            }
+            for j in 0..n {
+                let prior = if t == 0 {
+                    self.initial[j]
+                } else {
+                    (0..n).map(|i| alphas[t - 1][i] * self.transition.get(i, j)).sum()
+                };
+                alphas[t][j] = prior * self.emission[j][o];
+            }
+            let scale: f64 = alphas[t].iter().sum();
+            if scale <= 0.0 {
+                return Err(MarkovError::InsufficientData(
+                    "observation sequence has zero likelihood under the model",
+                ));
+            }
+            for a in &mut alphas[t] {
+                *a /= scale;
+            }
+            scales[t] = scale;
+        }
+        let ll = scales.iter().map(|s| s.ln()).sum();
+        Ok((alphas, scales, ll))
+    }
+
+    /// Scaled backward pass using the forward scales.
+    fn backward(&self, obs: &[usize], scales: &[f64]) -> Vec<Vec<f64>> {
+        let n = self.num_states();
+        let t_len = obs.len();
+        let mut betas = vec![vec![0.0; n]; t_len];
+        for b in &mut betas[t_len - 1] {
+            *b = 1.0;
+        }
+        for t in (0..t_len - 1).rev() {
+            let o_next = obs[t + 1];
+            let (head, tail) = betas.split_at_mut(t + 1);
+            let beta_next = &tail[0];
+            for (i, slot) in head[t].iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (j, bn) in beta_next.iter().enumerate() {
+                    acc += self.transition.get(i, j) * self.emission[j][o_next] * bn;
+                }
+                *slot = acc / scales[t + 1];
+            }
+        }
+        betas
+    }
+
+    /// Log-likelihood of an observation sequence.
+    pub fn log_likelihood(&self, obs: &[usize]) -> Result<f64> {
+        if obs.is_empty() {
+            return Err(MarkovError::InsufficientData("empty observation sequence"));
+        }
+        Ok(self.forward(obs)?.2)
+    }
+
+    /// One Baum–Welch (EM) re-estimation step over a set of observation
+    /// sequences. Returns the updated model and the total log-likelihood of
+    /// the data under the *current* (pre-update) model.
+    pub fn baum_welch_step(&self, sequences: &[Vec<usize>]) -> Result<(Self, f64)> {
+        let n = self.num_states();
+        let m = self.num_symbols();
+        let mut init_acc = vec![1e-12; n];
+        let mut trans_acc = vec![vec![1e-12; n]; n];
+        let mut emit_acc = vec![vec![1e-12; m]; n];
+        let mut total_ll = 0.0;
+        let mut used = 0usize;
+
+        for obs in sequences {
+            if obs.len() < 2 {
+                continue;
+            }
+            used += 1;
+            let (alphas, scales, ll) = self.forward(obs)?;
+            total_ll += ll;
+            let betas = self.backward(obs, &scales);
+            let t_len = obs.len();
+            for t in 0..t_len {
+                // gamma_t(i) ∝ alpha_t(i) beta_t(i)
+                let gamma_raw: Vec<f64> =
+                    (0..n).map(|i| alphas[t][i] * betas[t][i]).collect();
+                let gsum: f64 = gamma_raw.iter().sum();
+                for i in 0..n {
+                    let g = gamma_raw[i] / gsum;
+                    if t == 0 {
+                        init_acc[i] += g;
+                    }
+                    emit_acc[i][obs[t]] += g;
+                }
+                if t + 1 < t_len {
+                    // xi_t(i,j) ∝ alpha_t(i) a_ij b_j(o_{t+1}) beta_{t+1}(j)
+                    let o_next = obs[t + 1];
+                    let mut xi = vec![0.0; n * n];
+                    let mut xsum = 0.0;
+                    for i in 0..n {
+                        for j in 0..n {
+                            let v = alphas[t][i]
+                                * self.transition.get(i, j)
+                                * self.emission[j][o_next]
+                                * betas[t + 1][j];
+                            xi[i * n + j] = v;
+                            xsum += v;
+                        }
+                    }
+                    if xsum > 0.0 {
+                        for i in 0..n {
+                            for j in 0..n {
+                                trans_acc[i][j] += xi[i * n + j] / xsum;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if used == 0 {
+            return Err(MarkovError::InsufficientData(
+                "Baum-Welch needs at least one sequence of length >= 2",
+            ));
+        }
+
+        let initial = distribution::normalize(&init_acc)?;
+        let trans_rows: Vec<Vec<f64>> = trans_acc
+            .iter()
+            .map(|row| distribution::normalize(row))
+            .collect::<Result<_>>()?;
+        let emission: Vec<Vec<f64>> = emit_acc
+            .iter()
+            .map(|row| distribution::normalize(row))
+            .collect::<Result<_>>()?;
+        let next = Self::new(initial, TransitionMatrix::from_rows(trans_rows)?, emission)?;
+        Ok((next, total_ll))
+    }
+
+    /// Viterbi decoding: the single most likely hidden state path for an
+    /// observation sequence, in log space.
+    pub fn viterbi(&self, obs: &[usize]) -> Result<Vec<usize>> {
+        if obs.is_empty() {
+            return Err(MarkovError::InsufficientData("empty observation sequence"));
+        }
+        let n = self.num_states();
+        let m = self.num_symbols();
+        let ln = |p: f64| if p > 0.0 { p.ln() } else { f64::NEG_INFINITY };
+        let t_len = obs.len();
+        let mut delta = vec![vec![f64::NEG_INFINITY; n]; t_len];
+        let mut back = vec![vec![0usize; n]; t_len];
+        for (t, &o) in obs.iter().enumerate() {
+            if o >= m {
+                return Err(MarkovError::StateOutOfRange { state: o, n: m });
+            }
+            for j in 0..n {
+                let emit = ln(self.emission[j][o]);
+                if t == 0 {
+                    delta[0][j] = ln(self.initial[j]) + emit;
+                } else {
+                    let (best_i, best_v) = (0..n)
+                        .map(|i| (i, delta[t - 1][i] + ln(self.transition.get(i, j))))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("log probs compare"))
+                        .expect("n >= 1");
+                    delta[t][j] = best_v + emit;
+                    back[t][j] = best_i;
+                }
+            }
+        }
+        let (mut state, best) = delta[t_len - 1]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("log probs compare"))
+            .map(|(j, &v)| (j, v))
+            .expect("n >= 1");
+        if best == f64::NEG_INFINITY {
+            return Err(MarkovError::InsufficientData(
+                "observation sequence has zero likelihood under the model",
+            ));
+        }
+        let mut path = vec![0usize; t_len];
+        path[t_len - 1] = state;
+        for t in (1..t_len).rev() {
+            state = back[t][state];
+            path[t - 1] = state;
+        }
+        Ok(path)
+    }
+
+    /// Run Baum–Welch to convergence (or `max_iters`). Returns the fitted
+    /// model and the sequence of log-likelihoods (one per iteration), which
+    /// is non-decreasing up to numerical tolerance — a property tested below.
+    pub fn fit(
+        mut self,
+        sequences: &[Vec<usize>],
+        max_iters: usize,
+        tol: f64,
+    ) -> Result<(Self, Vec<f64>)> {
+        let mut lls = Vec::with_capacity(max_iters);
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..max_iters {
+            let (next, ll) = self.baum_welch_step(sequences)?;
+            lls.push(ll);
+            self = next;
+            if ll - prev_ll < tol && prev_ll.is_finite() {
+                return Ok((self, lls));
+            }
+            prev_ll = ll;
+        }
+        Ok((self, lls))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MarkovChain;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mle_recovers_true_matrix() {
+        let truth = TransitionMatrix::two_state(0.8, 0.6).unwrap();
+        let chain = MarkovChain::uniform_start(truth.clone());
+        let mut rng = StdRng::seed_from_u64(99);
+        let trajs: Vec<Vec<usize>> = (0..20).map(|_| chain.simulate(5_000, &mut rng)).collect();
+        let est = mle_transition(&trajs, 2, 0.0).unwrap();
+        assert!(est.max_abs_diff(&truth).unwrap() < 0.02, "est=\n{est}");
+    }
+
+    #[test]
+    fn mle_backward_matches_reversal_at_stationarity() {
+        let truth = TransitionMatrix::two_state(0.8, 0.6).unwrap();
+        let chain = MarkovChain::uniform_start(truth);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trajs: Vec<Vec<usize>> = (0..20).map(|_| chain.simulate(20_000, &mut rng)).collect();
+        let est_b = mle_backward(&trajs, 2, 0.0).unwrap();
+        let analytic_b = chain.reverse_stationary().unwrap();
+        assert!(est_b.max_abs_diff(&analytic_b).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn mle_input_validation() {
+        assert!(mle_transition(&[vec![0, 3]], 2, 1.0).is_err());
+        assert!(mle_transition(&[], 0, 1.0).is_err());
+        assert!(mle_transition(&[], 2, 0.0).is_err());
+        assert!(mle_transition(&[vec![0, 1]], 2, -1.0).is_err());
+        // State 1 never a source and no smoothing -> error.
+        assert!(mle_transition(&[vec![0, 1]], 2, 0.0).is_err());
+        // With smoothing it works and row 1 is uniform.
+        let m = mle_transition(&[vec![0, 1]], 2, 1.0).unwrap();
+        assert!((m.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_counts_hand_example() {
+        // Transitions: 0->1, 1->1, 1->0 ; row0: [0,1], row1: [1/2,1/2].
+        let m = mle_transition(&[vec![0, 1, 1, 0]], 2, 0.0).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert!((m.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    fn noisy_observation<R: Rng>(traj: &[usize], flip: f64, m: usize, rng: &mut R) -> Vec<usize> {
+        traj.iter()
+            .map(|&s| {
+                if rng.gen::<f64>() < flip {
+                    rng.gen_range(0..m)
+                } else {
+                    s
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baum_welch_likelihood_is_monotone() {
+        let truth = TransitionMatrix::two_state(0.9, 0.8).unwrap();
+        let chain = MarkovChain::uniform_start(truth);
+        let mut rng = StdRng::seed_from_u64(31);
+        let seqs: Vec<Vec<usize>> = (0..5)
+            .map(|_| noisy_observation(&chain.simulate(400, &mut rng), 0.1, 2, &mut rng))
+            .collect();
+        let init = HiddenMarkovModel::new(
+            vec![0.6, 0.4],
+            TransitionMatrix::two_state(0.7, 0.6).unwrap(),
+            vec![vec![0.8, 0.2], vec![0.3, 0.7]],
+        )
+        .unwrap();
+        let (_, lls) = init.fit(&seqs, 40, 1e-7).unwrap();
+        for w in lls.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "EM log-likelihood decreased: {lls:?}");
+        }
+        assert!(lls.len() >= 2);
+    }
+
+    #[test]
+    fn baum_welch_improves_over_initial_model() {
+        let truth = TransitionMatrix::two_state(0.95, 0.9).unwrap();
+        let chain = MarkovChain::uniform_start(truth);
+        let mut rng = StdRng::seed_from_u64(13);
+        let seqs: Vec<Vec<usize>> = (0..4)
+            .map(|_| noisy_observation(&chain.simulate(600, &mut rng), 0.05, 2, &mut rng))
+            .collect();
+        let init = HiddenMarkovModel::new(
+            vec![0.5, 0.5],
+            TransitionMatrix::two_state(0.55, 0.55).unwrap(),
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+        )
+        .unwrap();
+        let ll_before: f64 =
+            seqs.iter().map(|s| init.log_likelihood(s).unwrap()).sum();
+        let (fitted, _) = init.fit(&seqs, 50, 1e-7).unwrap();
+        let ll_after: f64 =
+            seqs.iter().map(|s| fitted.log_likelihood(s).unwrap()).sum();
+        assert!(ll_after > ll_before + 1.0, "before={ll_before} after={ll_after}");
+        // Fitted transition should be "sticky" like the truth (diagonal-heavy
+        // up to state relabeling).
+        let t = fitted.transition;
+        let sticky = t.get(0, 0) + t.get(1, 1);
+        let swapped = t.get(0, 1) + t.get(1, 0);
+        assert!(sticky.max(swapped) > 1.2, "transition not sticky: \n{t}");
+    }
+
+    #[test]
+    fn hmm_validation() {
+        let t = TransitionMatrix::two_state(0.5, 0.5).unwrap();
+        assert!(HiddenMarkovModel::new(vec![0.5, 0.5], t.clone(), vec![vec![1.0]]).is_err());
+        assert!(HiddenMarkovModel::new(
+            vec![0.5, 0.5],
+            t.clone(),
+            vec![vec![0.5, 0.5], vec![0.9, 0.2]]
+        )
+        .is_err());
+        let ok = HiddenMarkovModel::new(
+            vec![0.5, 0.5],
+            t,
+            vec![vec![0.5, 0.5], vec![0.2, 0.8]],
+        )
+        .unwrap();
+        assert_eq!(ok.num_states(), 2);
+        assert_eq!(ok.num_symbols(), 2);
+        assert!(ok.log_likelihood(&[]).is_err());
+        assert!(ok.log_likelihood(&[5]).is_err());
+    }
+
+    #[test]
+    fn viterbi_decodes_noisy_sticky_chain() {
+        // With high stickiness and mild observation noise, Viterbi should
+        // recover most of the hidden path.
+        let truth = TransitionMatrix::two_state(0.95, 0.95).unwrap();
+        let chain = MarkovChain::uniform_start(truth.clone());
+        let mut rng = StdRng::seed_from_u64(41);
+        let hidden = chain.simulate(300, &mut rng);
+        let obs = noisy_observation(&hidden, 0.15, 2, &mut rng);
+        let hmm = HiddenMarkovModel::new(
+            vec![0.5, 0.5],
+            truth,
+            vec![vec![0.85, 0.15], vec![0.15, 0.85]],
+        )
+        .unwrap();
+        let decoded = hmm.viterbi(&obs).unwrap();
+        let acc = decoded.iter().zip(&hidden).filter(|(a, b)| a == b).count() as f64 / 300.0;
+        assert!(acc > 0.9, "accuracy={acc}");
+        // And it beats trusting the raw observations.
+        let raw_acc = obs.iter().zip(&hidden).filter(|(a, b)| a == b).count() as f64 / 300.0;
+        assert!(acc > raw_acc, "viterbi {acc} vs raw {raw_acc}");
+    }
+
+    #[test]
+    fn viterbi_validation_and_exact_case() {
+        let hmm = HiddenMarkovModel::new(
+            vec![1.0, 0.0],
+            TransitionMatrix::permutation(&[1, 0]).unwrap(),
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        // Deterministic alternating chain with perfect observations.
+        assert_eq!(hmm.viterbi(&[0, 1, 0, 1]).unwrap(), vec![0, 1, 0, 1]);
+        assert!(hmm.viterbi(&[]).is_err());
+        assert!(hmm.viterbi(&[5]).is_err());
+        // Impossible sequence under the model: zero likelihood.
+        assert!(hmm.viterbi(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn baum_welch_rejects_too_short_sequences() {
+        let t = TransitionMatrix::two_state(0.5, 0.5).unwrap();
+        let hmm = HiddenMarkovModel::new(
+            vec![0.5, 0.5],
+            t,
+            vec![vec![0.5, 0.5], vec![0.2, 0.8]],
+        )
+        .unwrap();
+        assert!(hmm.baum_welch_step(&[vec![0]]).is_err());
+        assert!(hmm.baum_welch_step(&[]).is_err());
+    }
+}

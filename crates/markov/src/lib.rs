@@ -1,0 +1,129 @@
+//! # tcdp-markov — temporal-correlation modeling substrate
+//!
+//! The paper *Quantifying Differential Privacy under Temporal Correlations*
+//! (Cao et al., ICDE 2017) models an adversary's knowledge of temporal
+//! correlations as a time-homogeneous first-order Markov chain over the
+//! value domain `loc = {loc_1, …, loc_n}` of each user's data. Two
+//! transition matrices per user describe the correlation (Definition 3):
+//!
+//! * the **forward** temporal correlation `P^F_i` with entries
+//!   `Pr(l^t_i | l^{t−1}_i)`, and
+//! * the **backward** temporal correlation `P^B_i` with entries
+//!   `Pr(l^{t−1}_i | l^t_i)`,
+//!
+//! which are related through Bayes' rule given a prior over states.
+//!
+//! This crate provides that substrate from scratch:
+//!
+//! * [`TransitionMatrix`] — validated row-stochastic matrices with the
+//!   constructors used throughout the paper (identity/"strongest"
+//!   correlation, uniform/no correlation, random, two-state examples);
+//! * [`distribution`] — categorical distribution helpers (validation,
+//!   sampling, total-variation distance);
+//! * [`MarkovChain`] — simulation, k-step marginals, stationary
+//!   distributions, and the Bayes-rule time reversal of Section III-A;
+//! * [`smoothing`] — Laplacian smoothing (Equation 25), the paper's knob
+//!   for generating different *degrees* of correlation in Section VI;
+//! * [`estimate`] — maximum-likelihood estimation of transition matrices
+//!   from observed trajectories and a Baum–Welch (EM) estimator for hidden
+//!   state sequences, the two acquisition methods the paper names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod diagnostics;
+pub mod distribution;
+pub mod estimate;
+pub mod graph;
+pub mod smoothing;
+pub mod transition;
+
+pub use chain::MarkovChain;
+pub use transition::TransitionMatrix;
+
+/// Errors produced when building or manipulating Markov models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// The matrix is empty or not square.
+    NotSquare {
+        /// Number of rows found.
+        rows: usize,
+        /// Length of the offending row (or expected column count).
+        cols: usize,
+    },
+    /// A row does not sum to 1 within tolerance.
+    RowNotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The sum that was found.
+        sum: f64,
+    },
+    /// A probability is negative, NaN, or infinite.
+    InvalidProbability {
+        /// Where the bad value was found.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A dimension mismatch between two objects (e.g. prior vs. matrix).
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// A state index is out of range.
+    StateOutOfRange {
+        /// The offending state.
+        state: usize,
+        /// The number of states.
+        n: usize,
+    },
+    /// The operation needs a strictly positive distribution but a zero mass
+    /// was encountered (e.g. reversing a chain onto an unreachable state).
+    ZeroMass {
+        /// Index of the state with zero mass.
+        state: usize,
+    },
+    /// An iterative procedure (power iteration, Baum–Welch) failed to
+    /// converge within its iteration budget.
+    NoConvergence(&'static str),
+    /// Not enough data to estimate the requested model.
+    InsufficientData(&'static str),
+}
+
+impl std::fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkovError::NotSquare { rows, cols } => {
+                write!(f, "matrix not square: {rows} rows, offending width {cols}")
+            }
+            MarkovError::RowNotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            MarkovError::InvalidProbability { context, value } => {
+                write!(f, "invalid probability {value} in {context}")
+            }
+            MarkovError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MarkovError::StateOutOfRange { state, n } => {
+                write!(f, "state {state} out of range for {n} states")
+            }
+            MarkovError::ZeroMass { state } => {
+                write!(f, "state {state} has zero probability mass")
+            }
+            MarkovError::NoConvergence(what) => write!(f, "{what} did not converge"),
+            MarkovError::InsufficientData(what) => write!(f, "insufficient data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MarkovError>;
+
+/// Tolerance used when validating that probabilities sum to one.
+pub const STOCHASTIC_TOL: f64 = 1e-8;

@@ -1,0 +1,166 @@
+//! Laplacian smoothing of transition matrices (Equation 25).
+//!
+//! Section VI of the paper generates temporal correlations of controllable
+//! strength by starting from a "strongest" matrix (a deterministic 1.0 cell
+//! per row, at different columns) and uniformizing it with Laplacian
+//! smoothing:
+//!
+//! ```text
+//! p̂_jk = (p_jk + s) / Σ_u (p_ju + s)
+//! ```
+//!
+//! A smaller `s` keeps the matrix closer to deterministic (stronger
+//! correlation); `s → ∞` approaches the uniform matrix (no correlation).
+//! As the paper notes, degrees parameterized by `s` are only comparable
+//! under the same domain size `n`.
+
+use crate::{MarkovError, Result, TransitionMatrix};
+use rand::Rng;
+
+/// Apply Laplacian smoothing with parameter `s ≥ 0` (Equation 25).
+pub fn laplacian_smooth(matrix: &TransitionMatrix, s: f64) -> Result<TransitionMatrix> {
+    if !s.is_finite() || s < 0.0 {
+        return Err(MarkovError::InvalidProbability { context: "smoothing parameter s", value: s });
+    }
+    let n = matrix.n();
+    let denom_add = s * n as f64;
+    let rows = matrix
+        .rows()
+        .map(|row| {
+            let denom: f64 = row.iter().sum::<f64>() + denom_add;
+            row.iter().map(|&p| (p + s) / denom).collect()
+        })
+        .collect();
+    TransitionMatrix::from_rows(rows)
+}
+
+/// The paper's Section VI correlation generator: a random "strongest"
+/// matrix (one probability-1 cell per row, columns chosen at random but
+/// guaranteed to differ across rows via a random permutation), smoothed
+/// with parameter `s`.
+///
+/// `s = 0` returns the deterministic matrix itself (strongest correlation);
+/// larger `s` weakens the correlation.
+pub fn smoothed_strongest<R: Rng + ?Sized>(
+    n: usize,
+    s: f64,
+    rng: &mut R,
+) -> Result<TransitionMatrix> {
+    let perm = random_permutation(n, rng)?;
+    let strongest = TransitionMatrix::permutation(&perm)?;
+    laplacian_smooth(&strongest, s)
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    Ok(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_s_is_identity_operation() {
+        let m = TransitionMatrix::two_state(0.8, 1.0).unwrap();
+        let sm = laplacian_smooth(&m, 0.0).unwrap();
+        assert!(m.max_abs_diff(&sm).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_moves_toward_uniform() {
+        let m = TransitionMatrix::identity(4).unwrap();
+        let weak = laplacian_smooth(&m, 0.05).unwrap();
+        let weaker = laplacian_smooth(&m, 1.0).unwrap();
+        // Degree of correlation decreases with s.
+        assert!(weak.correlation_degree() > weaker.correlation_degree());
+        assert!(weaker.correlation_degree() > 0.0);
+        // Huge s is essentially uniform.
+        let flat = laplacian_smooth(&m, 1e9).unwrap();
+        let u = TransitionMatrix::uniform(4).unwrap();
+        assert!(flat.max_abs_diff(&u).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_formula_matches_hand_computation() {
+        // Row (1, 0) with s = 0.5 and n = 2: (1.5/2, 0.5/2).
+        let m = TransitionMatrix::permutation(&[0, 1]).unwrap();
+        let sm = laplacian_smooth(&m, 0.5).unwrap();
+        assert!((sm.get(0, 0) - 0.75).abs() < 1e-12);
+        assert!((sm.get(0, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_s() {
+        let m = TransitionMatrix::identity(2).unwrap();
+        assert!(laplacian_smooth(&m, -0.1).is_err());
+        assert!(laplacian_smooth(&m, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn smoothed_strongest_has_expected_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = smoothed_strongest(6, 0.01, &mut rng).unwrap();
+        // Each row has exactly one dominant cell of (1 + s)/(1 + n s).
+        let expect_hi = 1.01 / (1.0 + 6.0 * 0.01);
+        for row in m.rows() {
+            let hi = row.iter().cloned().fold(0.0, f64::max);
+            assert!((hi - expect_hi).abs() < 1e-12);
+            assert_eq!(row.iter().filter(|&&v| (v - hi).abs() < 1e-12).count(), 1);
+        }
+        // s = 0 gives a deterministic matrix.
+        let det = smoothed_strongest(6, 0.0, &mut rng).unwrap();
+        assert_eq!(det.correlation_degree(), 1.0);
+    }
+
+    #[test]
+    fn smoothed_strongest_dominant_cells_hit_every_column() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = smoothed_strongest(8, 0.001, &mut rng).unwrap();
+        let mut cols = [false; 8];
+        for row in m.rows() {
+            let (argmax, _) = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            cols[argmax] = true;
+        }
+        assert!(cols.iter().all(|&c| c), "dominant cells must form a permutation");
+    }
+
+    #[test]
+    fn random_permutation_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [1usize, 2, 5, 33] {
+            let p = random_permutation(n, &mut rng).unwrap();
+            let mut seen = vec![false; n];
+            for &v in &p {
+                assert!(!seen[v]);
+                seen[v] = true;
+            }
+        }
+        assert!(random_permutation(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn paper_comparability_caveat_holds() {
+        // Same s, different n: correlation degrees differ (the paper warns
+        // s values are only comparable under equal n) — larger domains give
+        // weaker smoothed correlations per Figure 6's n=50 vs n=200 lines.
+        let mut rng = StdRng::seed_from_u64(23);
+        let small = smoothed_strongest(5, 0.05, &mut rng).unwrap();
+        let large = smoothed_strongest(50, 0.05, &mut rng).unwrap();
+        assert!(small.correlation_degree() > large.correlation_degree());
+    }
+}

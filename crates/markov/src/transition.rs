@@ -1,0 +1,427 @@
+//! Row-stochastic transition matrices.
+//!
+//! A [`TransitionMatrix`] is the paper's representation of a temporal
+//! correlation (Definition 3): entry `(j, k)` holds the probability of
+//! moving to state `k` given state `j`. For a forward correlation `P^F`
+//! the row index is the state at time `t−1`; for a backward correlation
+//! `P^B` the row index is the state at time `t` (and the column the state
+//! at `t−1`). The same validated type is used for both directions.
+
+use crate::{distribution, MarkovError, Result, STOCHASTIC_TOL};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A validated row-stochastic square matrix.
+///
+/// ```
+/// use tcdp_markov::TransitionMatrix;
+///
+/// let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+/// assert_eq!(p.n(), 2);
+/// assert_eq!(p.get(0, 1), 0.2);
+/// // Rows must be probability distributions:
+/// assert!(TransitionMatrix::from_rows(vec![vec![0.8, 0.3], vec![0.1, 0.9]]).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionMatrix {
+    n: usize,
+    /// Row-major storage; row `j` is `data[j*n .. (j+1)*n]`.
+    data: Vec<f64>,
+}
+
+impl TransitionMatrix {
+    /// Build from explicit rows, validating squareness and stochasticity.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+        }
+        let mut data = Vec::with_capacity(n * n);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(MarkovError::NotSquare { rows: n, cols: row.len() });
+            }
+            let mut sum = 0.0;
+            for &v in row {
+                if !v.is_finite() || !(0.0..=1.0 + STOCHASTIC_TOL).contains(&v) {
+                    return Err(MarkovError::InvalidProbability {
+                        context: "transition matrix",
+                        value: v,
+                    });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > STOCHASTIC_TOL.max(1e-6) {
+                return Err(MarkovError::RowNotStochastic { row: i, sum });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { n, data })
+    }
+
+    /// Build from row-major flat storage.
+    pub fn from_flat(n: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != n * n {
+            return Err(MarkovError::NotSquare { rows: n, cols: data.len() / n.max(1) });
+        }
+        let rows = data.chunks(n).map(<[f64]>::to_vec).collect();
+        Self::from_rows(rows)
+    }
+
+    /// The identity matrix: the paper's "strongest" temporal correlation
+    /// (Examples 2 and 3), under which `l^t = l^{t−1} = … = l^1`.
+    pub fn identity(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+        }
+        let mut data = vec![0.0; n * n];
+        for j in 0..n {
+            data[j * n + j] = 1.0;
+        }
+        Ok(Self { n, data })
+    }
+
+    /// The uniform matrix: "no correlation known to the adversary"
+    /// (every row is the uniform distribution).
+    pub fn uniform(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+        }
+        Ok(Self { n, data: vec![1.0 / n as f64; n * n] })
+    }
+
+    /// A deterministic permutation matrix: row `j` transitions to
+    /// `perm[j]` with probability 1. With `perm` a shift this is the
+    /// paper's "strongest correlation with a 1.0 cell per row at different
+    /// columns" used as the seed of the Section VI generator.
+    pub fn permutation(perm: &[usize]) -> Result<Self> {
+        let n = perm.len();
+        if n == 0 {
+            return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+        }
+        let mut data = vec![0.0; n * n];
+        for (j, &k) in perm.iter().enumerate() {
+            if k >= n {
+                return Err(MarkovError::StateOutOfRange { state: k, n });
+            }
+            data[j * n + k] = 1.0;
+        }
+        Ok(Self { n, data })
+    }
+
+    /// The cyclic-shift "strongest" correlation seed of Section VI:
+    /// state `j` deterministically moves to `(j + 1) mod n`.
+    pub fn strongest_shift(n: usize) -> Result<Self> {
+        let perm: Vec<usize> = (0..n).map(|j| (j + 1) % n).collect();
+        Self::permutation(&perm)
+    }
+
+    /// A matrix with every row drawn independently and uniformly from the
+    /// simplex scaled from `[0,1]` draws (the paper's Figure 5 workload:
+    /// "elements uniformly drawn from [0,1]", rows normalized).
+    pub fn random_uniform<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<Self> {
+        if n == 0 {
+            return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
+        }
+        let mut data = Vec::with_capacity(n * n);
+        for _ in 0..n {
+            let raw: Vec<f64> = (0..n).map(|_| rng.gen::<f64>().max(1e-12)).collect();
+            let row = distribution::normalize(&raw).expect("positive weights");
+            data.extend(row);
+        }
+        Ok(Self { n, data })
+    }
+
+    /// The 2-state matrix `[[stay0, 1−stay0], [1−stay1, stay1]]` used in
+    /// the paper's running examples (e.g. `[[0.8, 0.2], [0, 1]]`).
+    pub fn two_state(stay0: f64, stay1: f64) -> Result<Self> {
+        Self::from_rows(vec![vec![stay0, 1.0 - stay0], vec![1.0 - stay1, stay1]])
+    }
+
+    /// Number of states `n` (the paper's `|loc|`, domain size).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Probability of transitioning from state `j` to state `k`.
+    pub fn get(&self, j: usize, k: usize) -> f64 {
+        assert!(j < self.n && k < self.n, "state out of range");
+        self.data[j * self.n + k]
+    }
+
+    /// Row `j` as a slice (a conditional distribution).
+    pub fn row(&self, j: usize) -> &[f64] {
+        assert!(j < self.n, "row out of range");
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.n)
+    }
+
+    /// Column `k` as an owned vector.
+    pub fn column(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.n, "column out of range");
+        (0..self.n).map(|j| self.get(j, k)).collect()
+    }
+
+    /// Matrix product `self · other` (composition of one more step).
+    pub fn multiply(&self, other: &TransitionMatrix) -> Result<TransitionMatrix> {
+        if self.n != other.n {
+            return Err(MarkovError::DimensionMismatch { expected: self.n, found: other.n });
+        }
+        let n = self.n;
+        let mut data = vec![0.0; n * n];
+        for j in 0..n {
+            for m in 0..n {
+                let a = self.data[j * n + m];
+                if a == 0.0 {
+                    continue;
+                }
+                for k in 0..n {
+                    data[j * n + k] += a * other.data[m * n + k];
+                }
+            }
+        }
+        // Renormalize away accumulated floating error before validation.
+        for j in 0..n {
+            let sum: f64 = data[j * n..(j + 1) * n].iter().sum();
+            for v in &mut data[j * n..(j + 1) * n] {
+                *v /= sum;
+            }
+        }
+        Ok(TransitionMatrix { n, data })
+    }
+
+    /// `k`-step transition matrix `self^k` (`k = 0` gives the identity).
+    pub fn power(&self, k: usize) -> Result<TransitionMatrix> {
+        let mut result = TransitionMatrix::identity(self.n)?;
+        let mut base = self.clone();
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.multiply(&base)?;
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.multiply(&base)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Propagate a distribution one step: `p · self`.
+    pub fn propagate(&self, p: &[f64]) -> Result<Vec<f64>> {
+        if p.len() != self.n {
+            return Err(MarkovError::DimensionMismatch { expected: self.n, found: p.len() });
+        }
+        let mut out = vec![0.0; self.n];
+        for (j, &pj) in p.iter().enumerate() {
+            if pj == 0.0 {
+                continue;
+            }
+            let row = self.row(j);
+            for (slot, &pr) in out.iter_mut().zip(row) {
+                *slot += pj * pr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute entry-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &TransitionMatrix) -> Result<f64> {
+        if self.n != other.n {
+            return Err(MarkovError::DimensionMismatch { expected: self.n, found: other.n });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Whether the matrix is (numerically) the identity — the paper's
+    /// "strongest correlation" special case for which temporal privacy
+    /// leakage grows without bound (Theorem 5, case 4).
+    pub fn is_identity(&self) -> bool {
+        (0..self.n).all(|j| (0..self.n).all(|k| {
+            let expect = if j == k { 1.0 } else { 0.0 };
+            (self.get(j, k) - expect).abs() < 1e-12
+        }))
+    }
+
+    /// Whether every row is identical — under such a matrix yesterday's
+    /// value tells the adversary nothing, i.e. effectively no correlation.
+    pub fn rows_all_equal(&self) -> bool {
+        let first = self.row(0).to_vec();
+        self.rows().all(|r| {
+            r.iter().zip(&first).all(|(a, b)| (a - b).abs() < 1e-12)
+        })
+    }
+
+    /// A crude scalar "degree of correlation" diagnostic: the maximum
+    /// total-variation distance between any two rows. `0` means no usable
+    /// correlation (all rows equal); `1` means some pair of previous states
+    /// produces disjoint futures (deterministic-strength correlation).
+    pub fn correlation_degree(&self) -> f64 {
+        let mut worst = 0.0_f64;
+        for j in 0..self.n {
+            for k in (j + 1)..self.n {
+                let tv = distribution::total_variation(self.row(j), self.row(k))
+                    .expect("rows have equal length");
+                worst = worst.max(tv);
+            }
+        }
+        worst
+    }
+}
+
+impl std::fmt::Display for TransitionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in self.rows() {
+            write!(f, "[")?;
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(TransitionMatrix::from_rows(vec![]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![1.0]]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![0.5, 0.6], vec![0.5, 0.5]]).is_err());
+        assert!(TransitionMatrix::from_rows(vec![vec![-0.1, 1.1], vec![0.5, 0.5]]).is_err());
+        let m = TransitionMatrix::from_rows(vec![vec![0.2, 0.8], vec![0.7, 0.3]]).unwrap();
+        assert_eq!(m.n(), 2);
+        assert_eq!(m.get(0, 1), 0.8);
+    }
+
+    #[test]
+    fn paper_figure2_matrices_are_valid() {
+        // Fig. 2(a): backward temporal correlation P^B.
+        let pb = TransitionMatrix::from_rows(vec![
+            vec![0.1, 0.2, 0.7],
+            vec![0.0, 0.0, 1.0],
+            vec![0.3, 0.3, 0.4],
+        ])
+        .unwrap();
+        // Fig. 2(b): forward temporal correlation P^F.
+        let pf = TransitionMatrix::from_rows(vec![
+            vec![0.2, 0.3, 0.5],
+            vec![0.1, 0.1, 0.8],
+            vec![0.6, 0.2, 0.2],
+        ])
+        .unwrap();
+        assert!((pb.get(0, 2) - 0.7).abs() < 1e-12); // Pr(l^{t-1}=loc3 | l^t=loc1)
+        assert!((pf.get(2, 0) - 0.6).abs() < 1e-12); // Pr(l^t=loc1 | l^{t-1}=loc3)
+    }
+
+    #[test]
+    fn identity_and_uniform() {
+        let i = TransitionMatrix::identity(3).unwrap();
+        assert!(i.is_identity());
+        assert!(!i.rows_all_equal());
+        assert_eq!(i.correlation_degree(), 1.0);
+        let u = TransitionMatrix::uniform(3).unwrap();
+        assert!(u.rows_all_equal());
+        assert!(!u.is_identity());
+        assert_eq!(u.correlation_degree(), 0.0);
+    }
+
+    #[test]
+    fn permutation_and_shift() {
+        let p = TransitionMatrix::permutation(&[1, 2, 0]).unwrap();
+        assert_eq!(p.get(0, 1), 1.0);
+        assert_eq!(p.get(2, 0), 1.0);
+        assert!(TransitionMatrix::permutation(&[3, 0, 1]).is_err());
+        let s = TransitionMatrix::strongest_shift(4).unwrap();
+        assert_eq!(s.get(3, 0), 1.0);
+        assert_eq!(s.correlation_degree(), 1.0);
+    }
+
+    #[test]
+    fn random_uniform_is_stochastic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = TransitionMatrix::random_uniform(10, &mut rng).unwrap();
+        for j in 0..10 {
+            let sum: f64 = m.row(j).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiply_and_power() {
+        let shift = TransitionMatrix::strongest_shift(3).unwrap();
+        let two = shift.power(2).unwrap();
+        assert_eq!(two.get(0, 2), 1.0);
+        let three = shift.power(3).unwrap();
+        assert!(three.is_identity());
+        let zero = shift.power(0).unwrap();
+        assert!(zero.is_identity());
+    }
+
+    #[test]
+    fn propagate_distribution() {
+        let m = TransitionMatrix::two_state(0.8, 1.0).unwrap();
+        let p1 = m.propagate(&[1.0, 0.0]).unwrap();
+        assert!((p1[0] - 0.8).abs() < 1e-12);
+        assert!((p1[1] - 0.2).abs() < 1e-12);
+        // state 1 is absorbing
+        let p = m.propagate(&[0.0, 1.0]).unwrap();
+        assert_eq!(p, vec![0.0, 1.0]);
+        assert!(m.propagate(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = TransitionMatrix::two_state(0.8, 0.9).unwrap();
+        let col = m.column(0);
+        assert!((col[0] - 0.8).abs() < 1e-12 && (col[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_flat_round_trip() {
+        let m = TransitionMatrix::from_flat(2, vec![0.3, 0.7, 0.6, 0.4]).unwrap();
+        assert_eq!(m.get(1, 0), 0.6);
+        assert!(TransitionMatrix::from_flat(2, vec![0.3, 0.7, 0.6]).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_symmetric() {
+        let a = TransitionMatrix::two_state(0.8, 0.9).unwrap();
+        let b = TransitionMatrix::two_state(0.7, 0.9).unwrap();
+        assert!((a.max_abs_diff(&b).unwrap() - 0.1).abs() < 1e-12);
+        assert!((b.max_abs_diff(&a).unwrap() - 0.1).abs() < 1e-12);
+        assert_eq!(a.max_abs_diff(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = TransitionMatrix::two_state(0.8, 1.0).unwrap();
+        let s = format!("{m}");
+        assert!(s.contains("0.8000"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = TransitionMatrix::two_state(0.8, 0.9).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TransitionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

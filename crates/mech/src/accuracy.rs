@@ -1,0 +1,120 @@
+//! Accuracy accounting for Laplace releases.
+//!
+//! Utility in the paper is reported as the expected absolute noise
+//! (Figure 8); deployments usually want the dual view — an
+//! `(error, confidence)` guarantee. For `X ~ Lap(b)`:
+//! `Pr[|X| > b·ln(1/δ)] = δ`, so an ε-DP release of a sensitivity-Δ query
+//! is within `Δ/ε · ln(1/δ)` of the truth with probability `1 − δ`.
+//! These helpers convert in all directions and bound whole histograms via
+//! a union bound.
+
+use crate::budget::Epsilon;
+use crate::{MechError, Result};
+
+fn check_delta(delta: f64) -> Result<()> {
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(MechError::InvalidParameter { what: "failure probability delta", value: delta });
+    }
+    Ok(())
+}
+
+/// The `(1 − δ)`-confidence error bound of one Laplace-perturbed value:
+/// `Δ/ε · ln(1/δ)`.
+pub fn error_bound(epsilon: Epsilon, sensitivity: f64, delta: f64) -> Result<f64> {
+    if !sensitivity.is_finite() || sensitivity <= 0.0 {
+        return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+    }
+    check_delta(delta)?;
+    Ok(sensitivity / epsilon.value() * (1.0 / delta).ln())
+}
+
+/// The budget needed to keep one value within `target_error` of the truth
+/// with probability `1 − δ`.
+pub fn required_epsilon(target_error: f64, sensitivity: f64, delta: f64) -> Result<Epsilon> {
+    if !target_error.is_finite() || target_error <= 0.0 {
+        return Err(MechError::InvalidParameter { what: "target error", value: target_error });
+    }
+    if !sensitivity.is_finite() || sensitivity <= 0.0 {
+        return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+    }
+    check_delta(delta)?;
+    Epsilon::new(sensitivity * (1.0 / delta).ln() / target_error)
+}
+
+/// Simultaneous error bound for an `n`-bucket histogram (union bound:
+/// each bucket gets `δ/n`).
+pub fn histogram_error_bound(
+    epsilon: Epsilon,
+    sensitivity: f64,
+    delta: f64,
+    n: usize,
+) -> Result<f64> {
+    if n == 0 {
+        return Err(MechError::InvalidParameter { what: "bucket count", value: 0.0 });
+    }
+    error_bound(epsilon, sensitivity, delta / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bound_and_inverse_agree() {
+        let eps = Epsilon::new(0.5).unwrap();
+        let bound = error_bound(eps, 2.0, 0.05).unwrap();
+        let back = required_epsilon(bound, 2.0, 0.05).unwrap();
+        assert!((back.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value() {
+        // b = 1, delta = e^{-3}: bound = 3.
+        let eps = Epsilon::new(1.0).unwrap();
+        let b = error_bound(eps, 1.0, (-3.0_f64).exp()).unwrap();
+        assert!((b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_coverage() {
+        let eps = Epsilon::new(0.7).unwrap();
+        let delta = 0.1;
+        let bound = error_bound(eps, 1.0, delta).unwrap();
+        let lap = Laplace::new(1.0 / 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 200_000;
+        let violations =
+            (0..n).filter(|_| lap.sample(&mut rng).abs() > bound).count() as f64 / n as f64;
+        assert!((violations - delta).abs() < 0.005, "violations={violations}");
+    }
+
+    #[test]
+    fn histogram_bound_is_larger_but_simultaneous() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let single = error_bound(eps, 2.0, 0.05).unwrap();
+        let hist = histogram_error_bound(eps, 2.0, 0.05, 50).unwrap();
+        assert!(hist > single);
+        // Empirically: all 50 buckets within the bound ~95% of the time.
+        let lap = Laplace::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let trials = 5_000;
+        let bad = (0..trials)
+            .filter(|_| (0..50).any(|_| lap.sample(&mut rng).abs() > hist))
+            .count() as f64
+            / trials as f64;
+        assert!(bad <= 0.06, "simultaneous failure rate {bad}");
+    }
+
+    #[test]
+    fn validation() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(error_bound(eps, 0.0, 0.05).is_err());
+        assert!(error_bound(eps, 1.0, 0.0).is_err());
+        assert!(error_bound(eps, 1.0, 1.0).is_err());
+        assert!(required_epsilon(0.0, 1.0, 0.05).is_err());
+        assert!(histogram_error_bound(eps, 1.0, 0.05, 0).is_err());
+    }
+}

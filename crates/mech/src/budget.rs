@@ -1,0 +1,271 @@
+//! Privacy budgets, schedules, and composition accounting.
+//!
+//! The budget `ε` is the paper's measure of privacy leakage for a single
+//! release (Definition 2: `M` satisfies ε-DP iff `PL0(M) ≤ ε`). A
+//! [`BudgetSchedule`] assigns one `ε_t` to each time point of a continual
+//! release — the object that the paper's Algorithms 2 and 3 compute. The
+//! [`CompositionLedger`] implements the classic sequential composition
+//! theorem on independent data (the paper's Theorem 3): a combined
+//! mechanism spends the *sum* of its parts.
+
+use crate::{MechError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A validated privacy budget: a finite, strictly positive real.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Construct a budget, rejecting non-positive or non-finite values.
+    pub fn new(value: f64) -> Result<Self> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(MechError::InvalidEpsilon(value));
+        }
+        Ok(Self(value))
+    }
+
+    /// The raw budget value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Sequential composition with another budget (Theorem 3): ε₁ + ε₂.
+    pub fn compose(self, other: Epsilon) -> Epsilon {
+        Epsilon(self.0 + other.0)
+    }
+
+    /// Split the budget evenly over `k ≥ 1` releases.
+    pub fn split(self, k: usize) -> Result<Epsilon> {
+        if k == 0 {
+            return Err(MechError::InvalidParameter { what: "split count", value: 0.0 });
+        }
+        Epsilon::new(self.0 / k as f64)
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// A per-time-point budget assignment for a continual release of length `T`
+/// (possibly open-ended, via [`BudgetSchedule::budget_at`]'s repetition of
+/// the final middle budget).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSchedule {
+    budgets: Vec<Epsilon>,
+}
+
+impl BudgetSchedule {
+    /// A uniform schedule: the same `ε` at each of `t_len` time points.
+    pub fn uniform(eps: Epsilon, t_len: usize) -> Result<Self> {
+        if t_len == 0 {
+            return Err(MechError::DimensionMismatch { expected: 1, found: 0 });
+        }
+        Ok(Self { budgets: vec![eps; t_len] })
+    }
+
+    /// An explicit schedule from raw values.
+    pub fn from_values(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(MechError::DimensionMismatch { expected: 1, found: 0 });
+        }
+        let budgets = values.iter().map(|&v| Epsilon::new(v)).collect::<Result<_>>()?;
+        Ok(Self { budgets })
+    }
+
+    /// The paper's Algorithm 3 shape: a boosted first budget, a constant
+    /// middle budget, and a boosted final budget.
+    pub fn first_middle_last(
+        first: Epsilon,
+        middle: Epsilon,
+        last: Epsilon,
+        t_len: usize,
+    ) -> Result<Self> {
+        if t_len < 2 {
+            return Err(MechError::DimensionMismatch { expected: 2, found: t_len });
+        }
+        let mut budgets = Vec::with_capacity(t_len);
+        budgets.push(first);
+        for _ in 1..t_len - 1 {
+            budgets.push(middle);
+        }
+        budgets.push(last);
+        Ok(Self { budgets })
+    }
+
+    /// Number of scheduled time points.
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Whether the schedule is empty (never true for validated schedules).
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+
+    /// Budget at time index `t` (0-based). Out-of-range indices repeat the
+    /// final budget, supporting open-ended streams whose tail behaves like
+    /// the scheduled "middle".
+    pub fn budget_at(&self, t: usize) -> Epsilon {
+        *self.budgets.get(t).unwrap_or_else(|| {
+            self.budgets.last().expect("schedules are non-empty by construction")
+        })
+    }
+
+    /// All budgets as raw values.
+    pub fn values(&self) -> Vec<f64> {
+        self.budgets.iter().map(|e| e.value()).collect()
+    }
+
+    /// Total budget under sequential composition (Theorem 3): the
+    /// *user-level* guarantee of the whole schedule on independent data.
+    pub fn sequential_total(&self) -> f64 {
+        self.budgets.iter().map(|e| e.value()).sum()
+    }
+
+    /// Largest total over any window of `w` consecutive time points — the
+    /// w-event guarantee of Kellaris et al. discussed next to Table II.
+    pub fn w_event_total(&self, w: usize) -> f64 {
+        if w == 0 {
+            return 0.0;
+        }
+        let vals = self.values();
+        let w = w.min(vals.len());
+        let mut window: f64 = vals[..w].iter().sum();
+        let mut best = window;
+        for i in w..vals.len() {
+            window += vals[i] - vals[i - w];
+            best = best.max(window);
+        }
+        best
+    }
+}
+
+/// A spend-tracking ledger over a total budget, enforcing that sequential
+/// composition never exceeds the granted total.
+#[derive(Debug, Clone)]
+pub struct CompositionLedger {
+    total: f64,
+    spent: f64,
+    releases: usize,
+}
+
+impl CompositionLedger {
+    /// Create a ledger holding `total` budget.
+    pub fn new(total: Epsilon) -> Self {
+        Self { total: total.value(), spent: 0.0, releases: 0 }
+    }
+
+    /// Spend `eps` from the ledger; errors if it would overdraw.
+    pub fn spend(&mut self, eps: Epsilon) -> Result<()> {
+        let req = eps.value();
+        let remaining = self.remaining();
+        if req > remaining + 1e-12 {
+            return Err(MechError::BudgetExhausted { requested: req, remaining });
+        }
+        self.spent += req;
+        self.releases += 1;
+        Ok(())
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Budget spent so far (the sequential-composition guarantee of all
+    /// releases to date).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Number of releases recorded.
+    pub fn releases(&self) -> usize {
+        self.releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(0.1).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn epsilon_compose_and_split() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert_eq!(e.compose(Epsilon::new(0.5).unwrap()).value(), 1.5);
+        assert_eq!(e.split(4).unwrap().value(), 0.25);
+        assert!(e.split(0).is_err());
+    }
+
+    #[test]
+    fn uniform_schedule_totals() {
+        let e = Epsilon::new(0.1).unwrap();
+        let s = BudgetSchedule::uniform(e, 10).unwrap();
+        assert_eq!(s.len(), 10);
+        assert!((s.sequential_total() - 1.0).abs() < 1e-12);
+        // T*eps on user level, w*eps on w-event level (Table II row 1/2).
+        assert!((s.w_event_total(3) - 0.3).abs() < 1e-12);
+        assert_eq!(s.w_event_total(0), 0.0);
+        assert!((s.w_event_total(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_middle_last_shape() {
+        let f = Epsilon::new(1.0).unwrap();
+        let m = Epsilon::new(0.1).unwrap();
+        let l = Epsilon::new(0.8).unwrap();
+        let s = BudgetSchedule::first_middle_last(f, m, l, 5).unwrap();
+        assert_eq!(s.values(), vec![1.0, 0.1, 0.1, 0.1, 0.8]);
+        assert!(BudgetSchedule::first_middle_last(f, m, l, 1).is_err());
+        // T = 2 degenerates to [first, last].
+        let s2 = BudgetSchedule::first_middle_last(f, m, l, 2).unwrap();
+        assert_eq!(s2.values(), vec![1.0, 0.8]);
+    }
+
+    #[test]
+    fn w_event_finds_worst_window() {
+        let s = BudgetSchedule::from_values(&[0.1, 0.9, 0.9, 0.1]).unwrap();
+        assert!((s.w_event_total(2) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_at_repeats_tail() {
+        let s = BudgetSchedule::from_values(&[0.5, 0.2]).unwrap();
+        assert_eq!(s.budget_at(0).value(), 0.5);
+        assert_eq!(s.budget_at(1).value(), 0.2);
+        assert_eq!(s.budget_at(100).value(), 0.2);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(BudgetSchedule::from_values(&[]).is_err());
+        assert!(BudgetSchedule::from_values(&[0.1, 0.0]).is_err());
+        assert!(BudgetSchedule::uniform(Epsilon::new(0.1).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn ledger_enforces_total() {
+        let mut l = CompositionLedger::new(Epsilon::new(1.0).unwrap());
+        let e = Epsilon::new(0.4).unwrap();
+        l.spend(e).unwrap();
+        l.spend(e).unwrap();
+        assert_eq!(l.releases(), 2);
+        assert!((l.spent() - 0.8).abs() < 1e-12);
+        let err = l.spend(e).unwrap_err();
+        assert!(matches!(err, MechError::BudgetExhausted { .. }));
+        // Exact-fit spend succeeds.
+        l.spend(Epsilon::new(l.remaining()).unwrap()).unwrap();
+        assert!(l.remaining() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! The Laplace distribution and the Laplace mechanism (paper's Theorem 1).
+//!
+//! The mechanism releases `Q(D) + Lap(Δ/ε)` noise per coordinate, where
+//! `Δ` is the L1 sensitivity of the query `Q`. The paper's footnote 1
+//! convention is followed: `Lap(b)` denotes the Laplace distribution with
+//! scale `b` (variance `2b²`), density `f(x) = exp(−|x|/b)/(2b)`.
+
+use crate::budget::Epsilon;
+use crate::{MechError, Result};
+use rand::Rng;
+
+/// The zero-centered Laplace distribution with scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Create `Lap(b)`; the scale must be positive and finite.
+    pub fn new(scale: f64) -> Result<Self> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(MechError::InvalidParameter { what: "Laplace scale", value: scale });
+        }
+        Ok(Self { scale })
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(self) -> f64 {
+        self.scale
+    }
+
+    /// Variance `2b²`.
+    pub fn variance(self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Expected absolute value `E|X| = b`.
+    pub fn mean_abs(self) -> f64 {
+        self.scale
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(self, x: f64) -> f64 {
+        (-x.abs() / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// Draw one sample via inverse-CDF: `X = −b · sgn(u) · ln(1 − 2|u|)`
+    /// for `u` uniform on `(−½, ½)`.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        // Uniform in (-0.5, 0.5]; nudge away from the endpoints to keep the
+        // logarithm finite.
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let u = u.clamp(-0.5 + 1e-16, 0.5 - 1e-16);
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+}
+
+/// The Laplace mechanism for a vector-valued query with L1 sensitivity Δ.
+///
+/// ```
+/// use tcdp_mech::{Epsilon, LaplaceMechanism};
+///
+/// // ε = 0.1 for a histogram of sensitivity 2 (one user moves a unit of
+/// // count between two buckets): noise scale Lap(2/0.1) = Lap(20).
+/// let m = LaplaceMechanism::new(Epsilon::new(0.1).unwrap(), 2.0).unwrap();
+/// assert_eq!(m.noise().scale(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    epsilon: Epsilon,
+    sensitivity: f64,
+    noise: Laplace,
+}
+
+impl LaplaceMechanism {
+    /// Build a mechanism achieving `ε`-DP for a query with L1 sensitivity
+    /// `sensitivity` by adding `Lap(sensitivity/ε)` noise per coordinate.
+    pub fn new(epsilon: Epsilon, sensitivity: f64) -> Result<Self> {
+        if !sensitivity.is_finite() || sensitivity <= 0.0 {
+            return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+        }
+        let noise = Laplace::new(sensitivity / epsilon.value())?;
+        Ok(Self { epsilon, sensitivity, noise })
+    }
+
+    /// The privacy budget this mechanism spends per invocation.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The declared query sensitivity.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The noise distribution `Lap(Δ/ε)`.
+    pub fn noise(&self) -> Laplace {
+        self.noise
+    }
+
+    /// Perturb one true answer.
+    pub fn release_scalar<R: Rng + ?Sized>(&self, truth: f64, rng: &mut R) -> f64 {
+        truth + self.noise.sample(rng)
+    }
+
+    /// Perturb a vector of true answers (independent noise per coordinate).
+    pub fn release<R: Rng + ?Sized>(&self, truth: &[f64], rng: &mut R) -> Vec<f64> {
+        truth.iter().map(|&v| v + self.noise.sample(rng)).collect()
+    }
+
+    /// The worst-case log-likelihood ratio this mechanism exposes between
+    /// neighboring truths `v` and `v'` with `|v − v'| ≤ Δ` for a given
+    /// output — exactly ε, the traditional privacy leakage `PL0`
+    /// (Definition 2). Provided for tests and didactic examples.
+    pub fn worst_case_leakage(&self) -> f64 {
+        self.epsilon.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(Laplace::new(1.0).is_ok());
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        let e = Epsilon::new(0.5).unwrap();
+        assert!(LaplaceMechanism::new(e, 1.0).is_ok());
+        assert!(LaplaceMechanism::new(e, 0.0).is_err());
+    }
+
+    #[test]
+    fn pdf_cdf_consistency() {
+        let l = Laplace::new(2.0).unwrap();
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((l.pdf(0.0) - 0.25).abs() < 1e-12);
+        // CDF is symmetric: F(-x) = 1 - F(x).
+        for x in [0.1, 1.0, 3.7] {
+            assert!((l.cdf(-x) - (1.0 - l.cdf(x))).abs() < 1e-12);
+        }
+        // Numeric integral of pdf approximates cdf increments.
+        let (a, b) = (-1.0, 1.5);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let integral: f64 = (0..steps).map(|i| l.pdf(a + (i as f64 + 0.5) * h) * h).sum();
+        assert!((integral - (l.cdf(b) - l.cdf(a))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let l = Laplace::new(1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let n = 400_000;
+        let samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mean_abs = samples.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((mean_abs - l.mean_abs()).abs() < 0.02, "mean_abs={mean_abs}");
+        assert!((var - l.variance()).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn mechanism_scale_is_sensitivity_over_epsilon() {
+        let m = LaplaceMechanism::new(Epsilon::new(0.1).unwrap(), 2.0).unwrap();
+        assert!((m.noise().scale() - 20.0).abs() < 1e-12);
+        assert_eq!(m.worst_case_leakage(), 0.1);
+    }
+
+    #[test]
+    fn release_adds_noise_with_right_spread() {
+        let m = LaplaceMechanism::new(Epsilon::new(1.0).unwrap(), 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let truth = vec![10.0; 50_000];
+        let out = m.release(&truth, &mut rng);
+        assert_eq!(out.len(), truth.len());
+        let mean_err: f64 =
+            out.iter().zip(&truth).map(|(o, t)| (o - t).abs()).sum::<f64>() / truth.len() as f64;
+        assert!((mean_err - 1.0).abs() < 0.03, "mean_err={mean_err}");
+    }
+
+    #[test]
+    fn empirical_dp_bound_holds_for_counts() {
+        // Check log(Pr[r|D]/Pr[r|D']) <= eps by density ratio for
+        // neighboring counts differing by the sensitivity.
+        let eps = 0.7;
+        let m = LaplaceMechanism::new(Epsilon::new(eps).unwrap(), 1.0).unwrap();
+        let l = m.noise();
+        for r in [-4.0, -0.5, 0.0, 0.3, 2.0, 9.0] {
+            let ratio = (l.pdf(r - 5.0) / l.pdf(r - 6.0)).ln().abs();
+            assert!(ratio <= eps + 1e-12, "r={r}: ratio={ratio}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Snapshot databases and aggregate queries.
+//!
+//! A [`Database`] is the paper's `D^t = {l^t_1, …, l^t_|U|}`: one value per
+//! user drawn from the finite domain `loc = {loc_1, …, loc_n}` (Section
+//! II-C, Table I). The published aggregate is the per-location count
+//! histogram of Figure 1(c); its L1 sensitivity under the event-level
+//! neighboring relation (one user changes her value at time `t`) is 2
+//! (one count decreases by one, another increases by one), while the
+//! single-location count query has sensitivity 1.
+
+use crate::{MechError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot database: each user's value at one time point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Database {
+    domain: usize,
+    values: Vec<usize>,
+}
+
+impl Database {
+    /// Build a database over `domain` possible values.
+    pub fn new(domain: usize, values: Vec<usize>) -> Result<Self> {
+        if domain == 0 {
+            return Err(MechError::InvalidParameter { what: "domain size", value: 0.0 });
+        }
+        for &v in &values {
+            if v >= domain {
+                return Err(MechError::ValueOutOfDomain { value: v, domain });
+            }
+        }
+        Ok(Self { domain, values })
+    }
+
+    /// Domain size `n = |loc|`.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of users `|U|`.
+    pub fn num_users(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value of user `i`.
+    pub fn value_of(&self, user: usize) -> Option<usize> {
+        self.values.get(user).copied()
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+
+    /// Replace user `i`'s value, producing the *neighboring database* `D'`
+    /// of Definition 1 (event-level, Section II-C).
+    pub fn with_user_value(&self, user: usize, value: usize) -> Result<Self> {
+        if user >= self.values.len() {
+            return Err(MechError::DimensionMismatch {
+                expected: self.values.len(),
+                found: user,
+            });
+        }
+        if value >= self.domain {
+            return Err(MechError::ValueOutOfDomain { value, domain: self.domain });
+        }
+        let mut values = self.values.clone();
+        values[user] = value;
+        Ok(Self { domain: self.domain, values })
+    }
+
+    /// The count histogram: entry `k` is the number of users at value `k`
+    /// (the paper's Figure 1(c) "true counts" column for time `t`).
+    pub fn histogram(&self) -> Vec<f64> {
+        let mut h = vec![0.0; self.domain];
+        for &v in &self.values {
+            h[v] += 1.0;
+        }
+        h
+    }
+
+    /// Count of users at a single value.
+    pub fn count_at(&self, value: usize) -> Result<f64> {
+        if value >= self.domain {
+            return Err(MechError::ValueOutOfDomain { value, domain: self.domain });
+        }
+        Ok(self.values.iter().filter(|&&v| v == value).count() as f64)
+    }
+}
+
+/// The histogram query with its event-level L1 sensitivity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistogramQuery;
+
+impl HistogramQuery {
+    /// Evaluate the query.
+    pub fn answer(&self, db: &Database) -> Vec<f64> {
+        db.histogram()
+    }
+
+    /// L1 sensitivity: changing one user's value moves one unit of count
+    /// from one bucket to another, so `‖Q(D) − Q(D')‖₁ ≤ 2`.
+    pub fn sensitivity(&self) -> f64 {
+        2.0
+    }
+}
+
+/// The single-location count query (`Q(D) = |{i : l_i = value}|`).
+#[derive(Debug, Clone, Copy)]
+pub struct CountQuery {
+    /// The domain value being counted.
+    pub value: usize,
+}
+
+impl CountQuery {
+    /// Evaluate the query.
+    pub fn answer(&self, db: &Database) -> Result<f64> {
+        db.count_at(self.value)
+    }
+
+    /// L1 sensitivity: one user's change moves this count by at most 1.
+    pub fn sensitivity(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_t1() -> Database {
+        // Figure 1(a) at t=1: u1..u4 at loc3, loc2, loc2, loc4 (0-indexed:
+        // 2, 1, 1, 3) over 5 locations.
+        Database::new(5, vec![2, 1, 1, 3]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Database::new(0, vec![]).is_err());
+        assert!(Database::new(3, vec![0, 3]).is_err());
+        assert!(Database::new(3, vec![]).is_ok());
+        let db = figure1_t1();
+        assert_eq!(db.domain(), 5);
+        assert_eq!(db.num_users(), 4);
+        assert_eq!(db.value_of(0), Some(2));
+        assert_eq!(db.value_of(9), None);
+    }
+
+    #[test]
+    fn histogram_matches_figure1() {
+        // Figure 1(c) column t=1: loc1..loc5 = 0, 2, 1, 1, 0.
+        let db = figure1_t1();
+        assert_eq!(db.histogram(), vec![0.0, 2.0, 1.0, 1.0, 0.0]);
+        assert_eq!(db.count_at(1).unwrap(), 2.0);
+        assert!(db.count_at(5).is_err());
+    }
+
+    #[test]
+    fn neighboring_database_semantics() {
+        let db = figure1_t1();
+        let neighbor = db.with_user_value(0, 4).unwrap();
+        assert_eq!(neighbor.value_of(0), Some(4));
+        assert_eq!(db.value_of(0), Some(2), "original is unchanged");
+        assert!(db.with_user_value(10, 0).is_err());
+        assert!(db.with_user_value(0, 9).is_err());
+    }
+
+    #[test]
+    fn histogram_sensitivity_bound_is_tight() {
+        let q = HistogramQuery;
+        let db = figure1_t1();
+        let mut worst = 0.0_f64;
+        for user in 0..db.num_users() {
+            for value in 0..db.domain() {
+                let d2 = db.with_user_value(user, value).unwrap();
+                let l1: f64 = q
+                    .answer(&db)
+                    .iter()
+                    .zip(q.answer(&d2))
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                worst = worst.max(l1);
+            }
+        }
+        assert_eq!(worst, q.sensitivity());
+    }
+
+    #[test]
+    fn count_sensitivity_bound_is_tight() {
+        let q = CountQuery { value: 1 };
+        let db = figure1_t1();
+        let mut worst = 0.0_f64;
+        for user in 0..db.num_users() {
+            for value in 0..db.domain() {
+                let d2 = db.with_user_value(user, value).unwrap();
+                worst = worst.max((q.answer(&db).unwrap() - q.answer(&d2).unwrap()).abs());
+            }
+        }
+        assert_eq!(worst, q.sensitivity());
+        assert!(CountQuery { value: 7 }.answer(&db).is_err());
+    }
+
+    #[test]
+    fn empty_database_histogram() {
+        let db = Database::new(3, vec![]).unwrap();
+        assert_eq!(db.histogram(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(db.num_users(), 0);
+    }
+}

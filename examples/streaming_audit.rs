@@ -1,0 +1,61 @@
+//! Streaming privacy audit: watch FPL rewrite history as releases arrive.
+//!
+//! ```bash
+//! cargo run --example streaming_audit
+//! ```
+//!
+//! A compliance dashboard for a live release pipeline. Backward leakage is
+//! final the moment a release happens, but *forward* leakage of every past
+//! release grows each time a new one is published (the paper's Example 3).
+//! This example audits a stream release-by-release, flags the moment the
+//! α budget would be breached, and shows what Algorithm 2's open-ended
+//! uniform budget does to the same stream.
+
+use tcdp::core::{upper_bound_plan, AdversaryT, TplAccountant};
+use tcdp::markov::TransitionMatrix;
+
+const ALPHA: f64 = 1.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pb = TransitionMatrix::from_rows(vec![vec![0.85, 0.15], vec![0.25, 0.75]])?;
+    let pf = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]])?;
+    let adversary = AdversaryT::with_both(pb, pf)?;
+
+    // An ops team ships eps = 0.3 per release "because it sounded safe".
+    println!("auditing a live stream at eps = 0.3/release, α budget = {ALPHA}:\n");
+    let mut acc = TplAccountant::new(&adversary);
+    let mut breach_at = None;
+    for t in 0..12 {
+        acc.observe_release(0.3)?;
+        let tpl = acc.tpl_series()?;
+        let worst = acc.max_tpl()?;
+        // FPL of release 0 keeps growing as the stream continues.
+        let fpl0 = acc.fpl_series()?[0];
+        println!(
+            "  after release {t:>2}: TPL(0)={:.3}  FPL(0)={fpl0:.3}  worst TPL={worst:.3}{}",
+            tpl[0],
+            if worst > ALPHA && breach_at.is_none() { "  <-- α breached" } else { "" }
+        );
+        if worst > ALPHA && breach_at.is_none() {
+            breach_at = Some(t);
+        }
+    }
+    let breach = breach_at.expect("0.3/step must eventually breach α=1 here");
+    println!("\nthe α = {ALPHA} budget was breached after release {breach}.");
+
+    // What the team should have shipped: Algorithm 2's uniform budget,
+    // safe for an endless stream.
+    let plan = upper_bound_plan(&adversary, ALPHA)?;
+    let eps = plan.budget_at(0);
+    println!("Algorithm 2 says the sustainable per-release budget is eps = {eps:.4}.");
+    let mut safe = TplAccountant::new(&adversary);
+    safe.observe_uniform(eps, 500)?;
+    println!(
+        "  after 500 releases: worst TPL = {:.6} (sup α^B={:.4}, α^F={:.4})",
+        safe.max_tpl()?,
+        plan.alpha_backward,
+        plan.alpha_forward
+    );
+    assert!(safe.max_tpl()? <= ALPHA + 1e-7);
+    Ok(())
+}

@@ -1,0 +1,278 @@
+//! `tcdp-cli` — quantify, plan, and audit temporal privacy from the shell.
+//!
+//! Matrices are JSON arrays of rows, either inline or `@path/to/file.json`:
+//!
+//! ```bash
+//! # How much does eps = 0.1/step leak over 10 steps under this pattern?
+//! tcdp-cli quantify --pb '[[0.8,0.2],[0,1]]' --pf '[[0.8,0.2],[0,1]]' \
+//!          --eps 0.1 --t 10
+//!
+//! # Does the leakage of a uniform-eps stream stay bounded forever?
+//! tcdp-cli supremum --matrix '[[0.8,0.2],[0.1,0.9]]' --eps 0.23
+//!
+//! # Budgets guaranteeing 1-DP_T (Algorithm 3 with --horizon, else Alg. 2).
+//! tcdp-cli plan --pb @pb.json --pf @pf.json --alpha 1.0 --horizon 30
+//!
+//! # Audit an existing budget trail.
+//! tcdp-cli audit --pb @pb.json --budgets 0.5,0.1,0.1,0.4
+//! ```
+
+use std::process::ExitCode;
+use tcdp::core::supremum::{supremum_of_matrix, Supremum};
+use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, TplAccountant};
+use tcdp::markov::TransitionMatrix;
+
+const USAGE: &str = "\
+tcdp-cli — temporal privacy leakage toolkit (Cao et al., ICDE 2017)
+
+USAGE:
+  tcdp-cli quantify [--pb M] [--pf M] --eps E --t T
+  tcdp-cli supremum --matrix M --eps E
+  tcdp-cli plan     [--pb M] [--pf M] --alpha A [--horizon T]
+  tcdp-cli audit    [--pb M] [--pf M] --budgets E1,E2,...
+  tcdp-cli estimate --traces FILE [--pseudo C]
+  tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
+
+  M is a row-stochastic matrix as JSON rows, inline ('[[0.9,0.1],[0.2,0.8]]')
+  or from a file ('@correlations.json'). --pb is the backward correlation,
+  --pf the forward one; omit either if the adversary lacks it.
+  `estimate` fits P^F/P^B from a trace file (one trajectory per line) and
+  prints them as JSON usable with --pb/--pf. `report` is a one-shot audit:
+  actual leakage of an eps-per-step stream plus the plans that would meet
+  --alpha.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let opts = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "quantify" => quantify(&opts),
+        "supremum" => supremum(&opts),
+        "plan" => plan(&opts),
+        "audit" => audit(&opts),
+        "estimate" => estimate(&opts),
+        "report" => report(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+struct Opts {
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn get_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        self.get(name)
+            .map(|v| v.parse::<f64>().map_err(|e| format!("--{name}: {e}")))
+            .transpose()
+    }
+
+    fn require_f64(&self, name: &str) -> Result<f64, String> {
+        self.get_f64(name)?.ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn get_usize(&self, name: &str) -> Result<Option<usize>, String> {
+        self.get(name)
+            .map(|v| v.parse::<usize>().map_err(|e| format!("--{name}: {e}")))
+            .transpose()
+    }
+
+    fn matrix(&self, name: &str) -> Result<Option<TransitionMatrix>, String> {
+        let Some(spec) = self.get(name) else { return Ok(None) };
+        let json = if let Some(path) = spec.strip_prefix('@') {
+            std::fs::read_to_string(path).map_err(|e| format!("--{name}: {path}: {e}"))?
+        } else {
+            spec.to_string()
+        };
+        let rows: Vec<Vec<f64>> =
+            serde_json::from_str(&json).map_err(|e| format!("--{name}: bad JSON: {e}"))?;
+        TransitionMatrix::from_rows(rows).map(Some).map_err(|e| format!("--{name}: {e}"))
+    }
+
+    fn adversary(&self) -> Result<AdversaryT, String> {
+        let pb = self.matrix("pb")?;
+        let pf = self.matrix("pf")?;
+        Ok(match (pb, pf) {
+            (Some(b), Some(f)) => AdversaryT::with_both(b, f).map_err(|e| e.to_string())?,
+            (Some(b), None) => AdversaryT::with_backward(b),
+            (None, Some(f)) => AdversaryT::with_forward(f),
+            (None, None) => AdversaryT::traditional(),
+        })
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Opts, String> {
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.push((name.to_string(), value.clone()));
+    }
+    Ok(Opts { flags })
+}
+
+fn print_series(label: &str, series: &[f64]) {
+    let body: Vec<String> = series.iter().map(|v| format!("{v:.4}")).collect();
+    println!("{label:<8} {}", body.join(" "));
+}
+
+fn quantify(opts: &Opts) -> Result<(), String> {
+    let eps = opts.require_f64("eps")?;
+    let t_len = opts.get_usize("t")?.ok_or("--t is required")?;
+    let adv = opts.adversary()?;
+    let mut acc = TplAccountant::new(&adv);
+    acc.observe_uniform(eps, t_len).map_err(|e| e.to_string())?;
+    print_series("BPL", acc.bpl_series());
+    print_series("FPL", &acc.fpl_series().map_err(|e| e.to_string())?);
+    let tpl = acc.tpl_series().map_err(|e| e.to_string())?;
+    print_series("TPL", &tpl);
+    println!(
+        "worst event-level TPL: {:.4}  (promised per step: {eps})",
+        acc.max_tpl().map_err(|e| e.to_string())?
+    );
+    println!("user-level (Corollary 1): {:.4}", acc.user_level());
+    Ok(())
+}
+
+fn supremum(opts: &Opts) -> Result<(), String> {
+    let eps = opts.require_f64("eps")?;
+    let m = opts.matrix("matrix")?.ok_or("--matrix is required")?;
+    match supremum_of_matrix(&m, eps).map_err(|e| e.to_string())? {
+        Supremum::Finite(v) => println!("supremum: {v:.6}"),
+        Supremum::Divergent => println!("supremum: does not exist (leakage grows forever)"),
+    }
+    Ok(())
+}
+
+fn plan(opts: &Opts) -> Result<(), String> {
+    let alpha = opts.require_f64("alpha")?;
+    let adv = opts.adversary()?;
+    let plan = match opts.get_usize("horizon")? {
+        Some(t_len) => quantified_plan(&adv, alpha, t_len).map_err(|e| e.to_string())?,
+        None => upper_bound_plan(&adv, alpha).map_err(|e| e.to_string())?,
+    };
+    match plan.horizon() {
+        Some(t_len) => {
+            println!("Algorithm 3 plan for {alpha}-DP_T over T = {t_len}:");
+            let budgets: Vec<f64> = (0..t_len).map(|t| plan.budget_at(t)).collect();
+            print_series("eps", &budgets);
+        }
+        None => {
+            println!("Algorithm 2 plan for {alpha}-DP_T over an unbounded stream:");
+            println!("eps (every step): {:.6}", plan.budget_at(0));
+        }
+    }
+    println!("sup BPL = {:.4}, sup FPL = {:.4}", plan.alpha_backward, plan.alpha_forward);
+    Ok(())
+}
+
+fn estimate(opts: &Opts) -> Result<(), String> {
+    use tcdp::data::traces::TraceSet;
+    let path = opts.get("traces").ok_or("--traces is required")?;
+    let pseudo = opts.get_f64("pseudo")?.unwrap_or(1.0);
+    let set =
+        TraceSet::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "loaded {} trajectories over {} states from {path}",
+        set.len(),
+        set.domain()
+    );
+    let pf = set.estimate_forward(pseudo).map_err(|e| e.to_string())?;
+    let pb = set.estimate_backward(pseudo).map_err(|e| e.to_string())?;
+    let as_json = |m: &TransitionMatrix| -> String {
+        let rows: Vec<Vec<f64>> = (0..m.n()).map(|j| m.row(j).to_vec()).collect();
+        serde_json::to_string(&rows).expect("matrices serialize")
+    };
+    println!("forward  (use as --pf): {}", as_json(&pf));
+    println!("backward (use as --pb): {}", as_json(&pb));
+    Ok(())
+}
+
+fn report(opts: &Opts) -> Result<(), String> {
+    let alpha = opts.require_f64("alpha")?;
+    let eps = opts.require_f64("eps")?;
+    let t_len = opts.get_usize("t")?.ok_or("--t is required")?;
+    let adv = opts.adversary()?;
+
+    println!("=== temporal privacy audit ===");
+    println!("stream: eps = {eps} per release, T = {t_len}; target: {alpha}-DP_T\n");
+
+    let mut acc = TplAccountant::new(&adv);
+    acc.observe_uniform(eps, t_len).map_err(|e| e.to_string())?;
+    let worst = acc.max_tpl().map_err(|e| e.to_string())?;
+    println!("[leakage] worst event-level TPL : {worst:.4}");
+    println!("[leakage] user-level (Σ eps)    : {:.4}", acc.user_level());
+    let verdict = if worst <= alpha + 1e-9 { "WITHIN target" } else { "EXCEEDS target" };
+    println!("[verdict] {verdict}\n");
+
+    // One representative horizon line is enough for the report.
+    if let Some(m) = adv.backward().or_else(|| adv.forward()) {
+        match supremum_of_matrix(m, eps).map_err(|e| e.to_string())? {
+            Supremum::Finite(v) => {
+                println!("[horizon] leakage supremum under eps = {eps}: {v:.4} (bounded)");
+            }
+            Supremum::Divergent => {
+                println!("[horizon] leakage under eps = {eps} grows without bound");
+            }
+        }
+    }
+
+    match upper_bound_plan(&adv, alpha) {
+        Ok(p) => println!(
+            "[plan] Algorithm 2 (any horizon): eps = {:.4} per release",
+            p.budget_at(0)
+        ),
+        Err(e) => println!("[plan] Algorithm 2: {e}"),
+    }
+    match quantified_plan(&adv, alpha, t_len) {
+        Ok(p) => {
+            let budgets: Vec<f64> = (0..t_len).map(|t| p.budget_at(t)).collect();
+            println!("[plan] Algorithm 3 (T = {t_len}):");
+            print_series("  eps", &budgets);
+        }
+        Err(e) => println!("[plan] Algorithm 3: {e}"),
+    }
+    Ok(())
+}
+
+fn audit(opts: &Opts) -> Result<(), String> {
+    let budgets_raw = opts.get("budgets").ok_or("--budgets is required")?;
+    let budgets: Vec<f64> = budgets_raw
+        .split(',')
+        .map(|v| v.trim().parse::<f64>().map_err(|e| format!("--budgets: {e}")))
+        .collect::<Result<_, _>>()?;
+    let adv = opts.adversary()?;
+    let mut acc = TplAccountant::new(&adv);
+    for &b in &budgets {
+        acc.observe_release(b).map_err(|e| e.to_string())?;
+    }
+    let tpl = acc.tpl_series().map_err(|e| e.to_string())?;
+    print_series("TPL", &tpl);
+    println!("worst: {:.4}", acc.max_tpl().map_err(|e| e.to_string())?);
+    Ok(())
+}

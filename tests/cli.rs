@@ -1,0 +1,184 @@
+//! Integration tests for the `tcdp-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tcdp-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("binary runs");
+    assert!(!out.status.success(), "expected failure for {args:?}");
+    String::from_utf8(out.stderr).expect("utf8")
+}
+
+#[test]
+fn quantify_reproduces_figure3() {
+    let stdout = run_ok(&[
+        "quantify",
+        "--pb",
+        "[[0.8,0.2],[0,1]]",
+        "--pf",
+        "[[0.8,0.2],[0,1]]",
+        "--eps",
+        "0.1",
+        "--t",
+        "10",
+    ]);
+    assert!(stdout.contains("0.1808"), "BPL t=2 from Figure 3: {stdout}");
+    assert!(stdout.contains("worst event-level TPL: 0.6368"), "{stdout}");
+    assert!(stdout.contains("user-level (Corollary 1): 1.0000"), "{stdout}");
+}
+
+#[test]
+fn supremum_matches_theorem5() {
+    let stdout =
+        run_ok(&["supremum", "--matrix", "[[0.8,0.2],[0.1,0.9]]", "--eps", "0.23"]);
+    assert!(stdout.contains("0.7923"), "{stdout}");
+    let divergent =
+        run_ok(&["supremum", "--matrix", "[[1,0],[0,1]]", "--eps", "0.23"]);
+    assert!(divergent.contains("does not exist"), "{divergent}");
+}
+
+#[test]
+fn plan_both_algorithms() {
+    let alg2 = run_ok(&[
+        "plan",
+        "--pb",
+        "[[0.8,0.2],[0.2,0.8]]",
+        "--pf",
+        "[[0.8,0.2],[0.1,0.9]]",
+        "--alpha",
+        "1.0",
+    ]);
+    assert!(alg2.contains("Algorithm 2"), "{alg2}");
+    assert!(alg2.contains("eps (every step): 0.2038"), "{alg2}");
+    let alg3 = run_ok(&[
+        "plan",
+        "--pb",
+        "[[0.8,0.2],[0.2,0.8]]",
+        "--pf",
+        "[[0.8,0.2],[0.1,0.9]]",
+        "--alpha",
+        "1.0",
+        "--horizon",
+        "5",
+    ]);
+    assert!(alg3.contains("Algorithm 3"), "{alg3}");
+    assert!(alg3.contains("0.4998"), "boosted first budget: {alg3}");
+}
+
+#[test]
+fn audit_budget_trail() {
+    let stdout = run_ok(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.5,0.1,0.1",
+    ]);
+    assert!(stdout.starts_with("TPL"), "{stdout}");
+    assert!(stdout.contains("worst:"), "{stdout}");
+}
+
+#[test]
+fn matrix_from_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("tcdp_cli_test_matrix.json");
+    std::fs::write(&path, "[[0.8,0.2],[0.1,0.9]]").expect("write temp file");
+    let stdout = run_ok(&[
+        "supremum",
+        "--matrix",
+        &format!("@{}", path.display()),
+        "--eps",
+        "0.23",
+    ]);
+    assert!(stdout.contains("0.7923"), "{stdout}");
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(run_err(&[]).contains("missing subcommand"));
+    assert!(run_err(&["frobnicate"]).contains("unknown subcommand"));
+    assert!(run_err(&["quantify", "--eps", "0.1"]).contains("--t is required"));
+    assert!(run_err(&["supremum", "--eps", "0.1"]).contains("--matrix is required"));
+    assert!(run_err(&["supremum", "--matrix", "[[0.8,0.3],[0.1,0.9]]", "--eps", "0.1"])
+        .contains("row 0"));
+    assert!(run_err(&["supremum", "--matrix", "not json", "--eps", "0.1"])
+        .contains("bad JSON"));
+    assert!(run_err(&["quantify", "--eps"]).contains("needs a value"));
+    // Unbounded correlation is reported, not panicked.
+    let err = run_err(&["plan", "--pb", "[[1,0],[0,1]]", "--alpha", "1.0"]);
+    assert!(err.contains("deterministic-strength"), "{err}");
+}
+
+#[test]
+fn estimate_from_trace_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("tcdp_cli_traces.txt");
+    // Long alternating trajectory: P^F should be close to the swap matrix.
+    let traj: Vec<String> = (0..500).map(|t| (t % 2).to_string()).collect();
+    std::fs::write(&path, format!("# domain=2\n{}\n", traj.join(" "))).expect("write");
+    let stdout = run_ok(&["estimate", "--traces", &path.display().to_string()]);
+    assert!(stdout.contains("500") || stdout.contains("1 trajectories"), "{stdout}");
+    assert!(stdout.contains("forward"), "{stdout}");
+    assert!(stdout.contains("backward"), "{stdout}");
+    // The printed JSON should be loadable back as a --pf argument: the
+    // off-diagonal dominates.
+    let pf_line = stdout.lines().find(|l| l.starts_with("forward")).expect("pf line");
+    let json = pf_line.split(": ").nth(1).expect("json part");
+    let rows: Vec<Vec<f64>> = serde_json::from_str(json).expect("valid JSON");
+    assert!(rows[0][1] > 0.9, "{rows:?}");
+}
+
+#[test]
+fn report_audits_and_plans() {
+    let stdout = run_ok(&[
+        "report",
+        "--pb",
+        "[[0.8,0.2],[0.2,0.8]]",
+        "--pf",
+        "[[0.8,0.2],[0.1,0.9]]",
+        "--alpha",
+        "1.0",
+        "--eps",
+        "0.3",
+        "--t",
+        "10",
+    ]);
+    assert!(stdout.contains("EXCEEDS target"), "0.3/step breaches alpha=1: {stdout}");
+    assert!(stdout.contains("Algorithm 2"), "{stdout}");
+    assert!(stdout.contains("Algorithm 3"), "{stdout}");
+    // A compliant stream is recognized too.
+    let ok = run_ok(&[
+        "report",
+        "--pb",
+        "[[0.8,0.2],[0.2,0.8]]",
+        "--pf",
+        "[[0.8,0.2],[0.1,0.9]]",
+        "--alpha",
+        "1.0",
+        "--eps",
+        "0.1",
+        "--t",
+        "5",
+    ]);
+    assert!(ok.contains("WITHIN target"), "{ok}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let stdout = run_ok(&["help"]);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("quantify"));
+}

@@ -1,0 +1,163 @@
+//! End-to-end integration tests spanning every crate: synthetic
+//! populations (tcdp-data) → adversary models (tcdp-markov / tcdp-core) →
+//! budget plans (tcdp-core) → private releases (tcdp-mech) → utility and
+//! leakage verification.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcdp::core::personalized::PopulationAccountant;
+use tcdp::core::release::{population_plan, PlanKind};
+use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, DptReleaser, TplAccountant};
+use tcdp::data::metrics::{expected_abs_noise, stream_mae};
+use tcdp::data::population::Population;
+use tcdp::data::roadnet::RoadNetwork;
+use tcdp::data::stream::simulate_snapshots;
+use tcdp::markov::MarkovChain;
+use tcdp::mech::budget::{BudgetSchedule, Epsilon};
+use tcdp::mech::stream::ContinualReleaser;
+
+#[test]
+fn full_pipeline_population_to_guaranteed_release() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t_len = 8;
+    let alpha = 1.5;
+
+    // Workload: 40 users over 6 locations, moderately correlated.
+    let pop = Population::generate(6, 40, 0.1, &mut rng).unwrap();
+    let snapshots = simulate_snapshots(&pop, t_len, &mut rng).unwrap();
+    assert_eq!(snapshots.len(), t_len);
+
+    // Plan: per-user Algorithm 3 plans combined for the population.
+    let plans: Vec<_> = pop
+        .adversaries()
+        .iter()
+        .map(|adv| quantified_plan(adv, alpha, t_len).unwrap())
+        .collect();
+    let shared = population_plan(&plans).unwrap();
+    assert_eq!(shared.kind, PlanKind::Quantified);
+
+    // Release with the worst-case user's adversary wired into the releaser.
+    let mut pop_acc = PopulationAccountant::new(&pop.adversaries()).unwrap();
+    let schedule = shared.schedule(t_len).unwrap();
+    let mut releaser = ContinualReleaser::new(6, schedule).unwrap();
+    let mut releases = Vec::new();
+    for db in &snapshots {
+        let r = releaser.release_next(db, &mut rng).unwrap();
+        pop_acc.observe_release(r.epsilon).unwrap();
+        releases.push(r);
+    }
+
+    // Every user's TPL stays within alpha; the releases carry real noise.
+    assert!(pop_acc.max_tpl().unwrap() <= alpha + 1e-7);
+    let mae = stream_mae(&releases);
+    assert!(mae > 0.0, "noise must actually be added");
+    // Empirical error should be within a factor ~3 of the analytic noise.
+    let analytic = expected_abs_noise(
+        &(0..t_len).map(|t| shared.budget_at(t)).collect::<Vec<_>>(),
+        2.0,
+    );
+    assert!(mae < 3.0 * analytic, "mae={mae} analytic={analytic}");
+}
+
+#[test]
+fn roadnet_naive_release_leaks_more_than_promised() {
+    let network = RoadNetwork::example1();
+    let chain = MarkovChain::uniform_start(network.forward().clone());
+    let adv = AdversaryT::from_forward_chain(&chain).unwrap();
+    let mut acc = TplAccountant::new(&adv);
+    acc.observe_uniform(0.5, 10).unwrap();
+    let worst = acc.max_tpl().unwrap();
+    assert!(worst > 0.5, "the road network must amplify leakage: {worst}");
+    assert!(worst < 5.0, "event-level TPL stays below user-level T*eps");
+}
+
+#[test]
+fn dpt_releaser_protects_roadnet_stream() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let network = RoadNetwork::example1();
+    let chain = MarkovChain::uniform_start(network.forward().clone());
+    let adv = AdversaryT::from_forward_chain(&chain).unwrap();
+    let t_len = 10;
+    let plan = quantified_plan(&adv, 1.0, t_len).unwrap();
+    let snaps = network.simulate_snapshots(60, t_len, &mut rng).unwrap();
+    let mut rel = DptReleaser::new(5, &adv, plan, t_len).unwrap();
+    for db in &snaps {
+        rel.release_next(db, &mut rng).unwrap();
+    }
+    assert!(rel.max_tpl().unwrap() <= 1.0 + 1e-7);
+}
+
+#[test]
+fn algorithm2_survives_horizon_overrun_algorithm3_does_not() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let pop = Population::generate(4, 5, 0.2, &mut rng).unwrap();
+    let adv = pop.adversaries()[0].clone();
+
+    // Algorithm 3 plans exactly T steps and refuses more.
+    let plan3 = quantified_plan(&adv, 1.0, 5).unwrap();
+    let mut rel3 = DptReleaser::new(4, &adv, plan3, 5).unwrap();
+    let snaps = simulate_snapshots(&pop, 6, &mut rng).unwrap();
+    for db in snaps.iter().take(5) {
+        rel3.release_next(db, &mut rng).unwrap();
+    }
+    assert!(rel3.release_next(&snaps[5], &mut rng).is_err());
+
+    // Algorithm 2 keeps going: run it 3x longer and verify the bound.
+    let plan2 = upper_bound_plan(&adv, 1.0).unwrap();
+    let mut acc = TplAccountant::new(&adv);
+    for _ in 0..15 {
+        acc.observe_release(plan2.budget_at(0)).unwrap();
+    }
+    assert!(acc.max_tpl().unwrap() <= 1.0 + 1e-7);
+}
+
+#[test]
+fn estimated_correlations_flow_through_planning() {
+    // Learn a correlation from simulated data, then plan against it.
+    use tcdp::markov::estimate::mle_transition;
+    let mut rng = StdRng::seed_from_u64(5);
+    let truth = tcdp::markov::TransitionMatrix::two_state(0.9, 0.7).unwrap();
+    let chain = MarkovChain::uniform_start(truth);
+    let trace = chain.simulate(20_000, &mut rng);
+    let est = mle_transition(&[trace], 2, 1.0).unwrap();
+    let est_chain = MarkovChain::uniform_start(est);
+    let adv = AdversaryT::from_forward_chain(&est_chain).unwrap();
+    let plan = quantified_plan(&adv, 1.0, 10).unwrap();
+    let mut acc = TplAccountant::new(&adv);
+    for t in 0..10 {
+        acc.observe_release(plan.budget_at(t)).unwrap();
+    }
+    assert!((acc.max_tpl().unwrap() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn budget_schedules_interoperate_across_crates() {
+    // A core-made plan materializes as a mech schedule whose composition
+    // numbers match the plan's own accounting.
+    let pb = tcdp::markov::TransitionMatrix::two_state(0.8, 0.9).unwrap();
+    let adv = AdversaryT::with_backward(pb);
+    let plan = quantified_plan(&adv, 2.0, 6).unwrap();
+    let schedule = plan.schedule(6).unwrap();
+    assert_eq!(schedule.len(), 6);
+    let total: f64 = (0..6).map(|t| plan.budget_at(t)).sum();
+    assert!((schedule.sequential_total() - total).abs() < 1e-12);
+    // And an arbitrary uniform schedule is accepted by the releaser.
+    let uniform = BudgetSchedule::uniform(Epsilon::new(0.3).unwrap(), 4).unwrap();
+    assert!(ContinualReleaser::new(3, uniform).is_ok());
+}
+
+#[test]
+fn stronger_populations_cost_more_noise() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let strong = Population::generate(8, 10, 0.01, &mut rng).unwrap();
+    let weak = Population::generate(8, 10, 0.5, &mut rng).unwrap();
+    let plan_for = |pop: &Population| {
+        let plans: Vec<_> = pop
+            .adversaries()
+            .iter()
+            .map(|a| quantified_plan(a, 2.0, 10).unwrap())
+            .collect();
+        population_plan(&plans).unwrap().mean_abs_noise(10, 1.0)
+    };
+    assert!(plan_for(&strong) > plan_for(&weak));
+}

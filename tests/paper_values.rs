@@ -1,0 +1,135 @@
+//! Integration tests asserting the concrete numbers printed in the paper.
+//!
+//! Every value here is read off the paper's text or figures: the Figure 3
+//! leakage series, the Figure 4 suprema, the Example 1 degradations, and
+//! Table II's analytic rows.
+
+use tcdp::core::composition::{table_ii, w_event_guarantee};
+use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
+use tcdp::core::{temporal_loss, TplAccountant};
+use tcdp::markov::TransitionMatrix;
+
+fn moderate() -> TransitionMatrix {
+    TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap()
+}
+
+#[test]
+fn figure3_all_three_panels() {
+    let bpl_expect = [0.10, 0.18, 0.25, 0.30, 0.35, 0.39, 0.42, 0.45, 0.48, 0.50];
+    let tpl_expect = [0.50, 0.56, 0.60, 0.62, 0.64, 0.64, 0.62, 0.60, 0.56, 0.50];
+    let mut acc = TplAccountant::with_both(moderate(), moderate()).unwrap();
+    acc.observe_uniform(0.1, 10).unwrap();
+    let bpl = acc.bpl_series();
+    let fpl = acc.fpl_series().unwrap();
+    let tpl = acc.tpl_series().unwrap();
+    for t in 0..10 {
+        assert!((bpl[t] - bpl_expect[t]).abs() < 0.005, "BPL t={t}");
+        assert!((fpl[t] - bpl_expect[9 - t]).abs() < 0.005, "FPL t={t}");
+        assert!((tpl[t] - tpl_expect[t]).abs() < 0.005, "TPL t={t}");
+    }
+}
+
+#[test]
+fn figure4_suprema() {
+    // (c) q=0.8, d=0, eps=0.15: sup = log(0.2 e^0.15/(1-0.8 e^0.15)).
+    let sup_c = supremum_of_matrix(&moderate(), 0.15).unwrap().finite().unwrap();
+    assert!((sup_c - 1.19225).abs() < 1e-4, "sup_c={sup_c}");
+    // (d) q=0.8, d=0.1, eps=0.23: closed form ≈ 0.79235.
+    let md = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+    let sup_d = supremum_of_matrix(&md, 0.23).unwrap().finite().unwrap();
+    assert!((sup_d - 0.7923).abs() < 1e-3, "sup_d={sup_d}");
+    // (a)/(b) divergent.
+    assert_eq!(
+        supremum_of_matrix(&TransitionMatrix::identity(2).unwrap(), 0.23).unwrap(),
+        Supremum::Divergent
+    );
+    assert_eq!(supremum_of_matrix(&moderate(), 0.23).unwrap(), Supremum::Divergent);
+}
+
+#[test]
+fn example1_pairwise_correlation_doubles_leakage() {
+    // "adding Lap(1/eps) noise to each count guarantees 2eps-DP at the
+    // time point" for the deterministic loc4->loc5 correlation: two
+    // consecutive releases of (effectively) the same value.
+    let det = TransitionMatrix::identity(2).unwrap();
+    let mut acc = TplAccountant::backward_only(det).unwrap();
+    let eps = 0.4;
+    acc.observe_uniform(eps, 2).unwrap();
+    let bpl = acc.bpl_series();
+    assert!((bpl[1] - 2.0 * eps).abs() < 1e-12);
+}
+
+#[test]
+fn example1_self_sustaining_correlation_gives_t_eps() {
+    // "adding Lap(1/eps) noise to each count guarantees T*eps-DP at time
+    // point T."
+    let det = TransitionMatrix::identity(2).unwrap();
+    let mut acc = TplAccountant::backward_only(det).unwrap();
+    let (eps, t_len) = (0.25, 8);
+    acc.observe_uniform(eps, t_len).unwrap();
+    let last = *acc.bpl_series().last().unwrap();
+    assert!((last - eps * t_len as f64).abs() < 1e-12);
+}
+
+#[test]
+fn figure4_series_consistency_with_algorithm1() {
+    // "The results are in line with the ones from computing BPL step by
+    // step at each time point using Algorithm 1."
+    let md = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+    let series = leakage_series(&md, 0.23, 200).unwrap();
+    let sup = supremum_of_matrix(&md, 0.23).unwrap().finite().unwrap();
+    assert!(series.iter().all(|&v| v <= sup + 1e-9));
+    assert!((series[199] - sup).abs() < 1e-9, "recursion converges to the supremum");
+}
+
+#[test]
+fn table_ii_rows() {
+    let mut acc = TplAccountant::with_both(moderate(), moderate()).unwrap();
+    acc.observe_uniform(0.1, 10).unwrap();
+    let rows = table_ii(&acc, 3).unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].notion, "event-level");
+    assert!((rows[0].independent - 0.1).abs() < 1e-12);
+    assert!((rows[0].correlated - 0.6368).abs() < 1e-3);
+    assert!((rows[1].independent - 0.3).abs() < 1e-12);
+    assert!(rows[1].correlated > rows[1].independent);
+    assert!((rows[2].independent - 1.0).abs() < 1e-12);
+    assert_eq!(rows[2].independent, rows[2].correlated);
+}
+
+#[test]
+fn remark1_bounds_hold_for_figure2_matrices() {
+    let pb = TransitionMatrix::from_rows(vec![
+        vec![0.1, 0.2, 0.7],
+        vec![0.0, 0.0, 1.0],
+        vec![0.3, 0.3, 0.4],
+    ])
+    .unwrap();
+    let pf = TransitionMatrix::from_rows(vec![
+        vec![0.2, 0.3, 0.5],
+        vec![0.1, 0.1, 0.8],
+        vec![0.6, 0.2, 0.2],
+    ])
+    .unwrap();
+    for alpha in [0.1, 0.5, 1.0, 5.0] {
+        for m in [&pb, &pf] {
+            let l = temporal_loss(m, alpha).unwrap();
+            assert!(l >= 0.0 && l <= alpha + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn w_event_interpolates_between_event_and_user_level() {
+    let mut acc = TplAccountant::with_both(moderate(), moderate()).unwrap();
+    acc.observe_uniform(0.1, 10).unwrap();
+    let event = acc.max_tpl().unwrap();
+    let user = acc.user_level();
+    let mut prev = event;
+    for w in 2..=10 {
+        let g = w_event_guarantee(&acc, w).unwrap();
+        assert!(g >= prev - 1e-9, "w-event guarantee grows with w");
+        prev = g;
+    }
+    assert!((prev - user).abs() < 1e-9, "w = T recovers the user level");
+}

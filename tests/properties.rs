@@ -1,0 +1,187 @@
+//! Property-based tests over the whole workspace.
+//!
+//! The central invariants (strategy: random stochastic matrices of modest
+//! size so the exponential reference solvers stay cheap):
+//!
+//! * Algorithm 1 == Lemma-3 brute force == Charnes–Cooper == Dinkelbach;
+//! * Remark 1: `0 ≤ L(α) ≤ α`, and `L` is monotone in `α`;
+//! * Theorem 5's closed form is a fixed point of the recursion and an
+//!   upper bound on every finite prefix;
+//! * release plans never let TPL exceed the target α;
+//! * Bayes reversal produces a valid stochastic matrix whose reversal
+//!   round-trips at stationarity.
+
+use proptest::prelude::*;
+use tcdp::core::alg1::{
+    temporal_loss, temporal_loss_brute_force, temporal_loss_lp, LpBaseline,
+};
+use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
+use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, TplAccountant};
+use tcdp::markov::{MarkovChain, TransitionMatrix};
+
+/// Strategy: a random row-stochastic matrix with strictly positive cells.
+fn stochastic_matrix(n: usize) -> impl Strategy<Value = TransitionMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), n).prop_map(|rows| {
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                let sum: f64 = row.iter().sum();
+                row.into_iter().map(|v| v / sum).collect::<Vec<_>>()
+            })
+            .collect();
+        TransitionMatrix::from_rows(rows).expect("normalized rows are stochastic")
+    })
+}
+
+/// Strategy: a matrix that may contain exact zeros (sparser, harsher for
+/// the active-set logic).
+fn sparse_stochastic_matrix(n: usize) -> impl Strategy<Value = TransitionMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n), n).prop_map(|rows| {
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                let sum: f64 = row.iter().sum();
+                if sum <= 0.0 {
+                    let mut r = vec![0.0; row.len()];
+                    r[0] = 1.0;
+                    r
+                } else {
+                    row.into_iter().map(|v| v / sum).collect()
+                }
+            })
+            .collect();
+        TransitionMatrix::from_rows(rows).expect("normalized rows are stochastic")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn alg1_matches_brute_force(m in sparse_stochastic_matrix(5), alpha in 0.01f64..6.0) {
+        let fast = temporal_loss(&m, alpha).unwrap();
+        let brute = temporal_loss_brute_force(&m, alpha).unwrap();
+        prop_assert!((fast - brute).abs() < 1e-9, "fast={fast} brute={brute}\n{m}");
+    }
+
+    #[test]
+    fn alg1_matches_lp_baselines(m in stochastic_matrix(4), alpha in 0.05f64..3.0) {
+        let fast = temporal_loss(&m, alpha).unwrap();
+        let dk = temporal_loss_lp(&m, alpha, LpBaseline::Dinkelbach).unwrap();
+        prop_assert!((fast - dk).abs() < 1e-6, "fast={fast} dk={dk}");
+        let cc = temporal_loss_lp(&m, alpha, LpBaseline::CharnesCooper).unwrap();
+        prop_assert!((fast - cc).abs() < 1e-5, "fast={fast} cc={cc}");
+        let rev = temporal_loss_lp(&m, alpha, LpBaseline::CharnesCooperRevised).unwrap();
+        prop_assert!((fast - rev).abs() < 1e-5, "fast={fast} rev={rev}");
+    }
+
+    #[test]
+    fn remark1_bounds(m in sparse_stochastic_matrix(6), alpha in 0.0f64..20.0) {
+        let l = temporal_loss(&m, alpha).unwrap();
+        prop_assert!(l >= 0.0);
+        prop_assert!(l <= alpha + 1e-9, "L(α) must not exceed α: {l} > {alpha}");
+    }
+
+    #[test]
+    fn loss_is_monotone(m in stochastic_matrix(5), a in 0.01f64..5.0, delta in 0.01f64..5.0) {
+        let l1 = temporal_loss(&m, a).unwrap();
+        let l2 = temporal_loss(&m, a + delta).unwrap();
+        prop_assert!(l2 >= l1 - 1e-10, "L must be monotone: L({a})={l1} > L({})={l2}", a + delta);
+    }
+
+    #[test]
+    fn finite_supremum_dominates_series(m in stochastic_matrix(4), eps in 0.01f64..0.8) {
+        if let Supremum::Finite(sup) = supremum_of_matrix(&m, eps).unwrap() {
+            let series = leakage_series(&m, eps, 60).unwrap();
+            for (t, &v) in series.iter().enumerate() {
+                prop_assert!(v <= sup + 1e-7, "t={t}: {v} > sup {sup}");
+            }
+            // And the supremum is a fixed point: sup = L(sup) + eps.
+            let resid = temporal_loss(&m, sup).unwrap() + eps - sup;
+            prop_assert!(resid.abs() < 1e-7, "residual {resid}");
+        }
+    }
+
+    #[test]
+    fn bpl_series_is_monotone_under_uniform_budget(
+        m in sparse_stochastic_matrix(4),
+        eps in 0.01f64..1.0,
+    ) {
+        let series = leakage_series(&m, eps, 30).unwrap();
+        for w in series.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-10);
+        }
+        prop_assert!((series[0] - eps).abs() < 1e-12, "BPL(1) = ε");
+    }
+
+    #[test]
+    fn release_plans_bound_tpl(
+        pb in stochastic_matrix(3),
+        pf in stochastic_matrix(3),
+        alpha in 0.2f64..3.0,
+        t_len in 2usize..25,
+    ) {
+        let adv = AdversaryT::with_both(pb, pf).unwrap();
+        for plan in [
+            upper_bound_plan(&adv, alpha).unwrap(),
+            quantified_plan(&adv, alpha, t_len).unwrap(),
+        ] {
+            let mut acc = TplAccountant::new(&adv);
+            for t in 0..t_len {
+                acc.observe_release(plan.budget_at(t)).unwrap();
+            }
+            let worst = acc.max_tpl().unwrap();
+            prop_assert!(worst <= alpha + 1e-6, "worst={worst} alpha={alpha} kind={:?}", plan.kind);
+        }
+    }
+
+    #[test]
+    fn quantified_plan_is_exact_with_both_correlations(
+        pb in stochastic_matrix(3),
+        pf in stochastic_matrix(3),
+        alpha in 0.2f64..2.0,
+    ) {
+        let adv = AdversaryT::with_both(pb, pf).unwrap();
+        let t_len = 12;
+        let plan = quantified_plan(&adv, alpha, t_len).unwrap();
+        let mut acc = TplAccountant::new(&adv);
+        for t in 0..t_len {
+            acc.observe_release(plan.budget_at(t)).unwrap();
+        }
+        let tpl = acc.tpl_series().unwrap();
+        // Exactness needs a genuinely binding correlation on both sides;
+        // when a side is null the plan degenerates (still bounded, checked
+        // above). Only assert exactness when both losses are non-null.
+        let binding = !adv.backward_loss().unwrap().is_null()
+            && !adv.forward_loss().unwrap().is_null();
+        if binding {
+            for (t, &v) in tpl.iter().enumerate() {
+                prop_assert!((v - alpha).abs() < 1e-6, "t={t}: TPL={v} != α={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_is_stochastic_and_round_trips(m in stochastic_matrix(4)) {
+        let chain = MarkovChain::uniform_start(m.clone());
+        let pi = chain.stationary().unwrap();
+        let rev = chain.reverse_with_prior(&pi).unwrap(); // validated type
+        let back = MarkovChain::new(pi.clone(), rev).unwrap().reverse_with_prior(&pi).unwrap();
+        prop_assert!(back.max_abs_diff(&m).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn user_level_is_budget_sum_regardless_of_correlation(
+        m in stochastic_matrix(3),
+        budgets in proptest::collection::vec(0.01f64..1.0, 1..15),
+    ) {
+        let mut acc = TplAccountant::with_both(m.clone(), m).unwrap();
+        for &b in &budgets {
+            acc.observe_release(b).unwrap();
+        }
+        let sum: f64 = budgets.iter().sum();
+        prop_assert!((acc.user_level() - sum).abs() < 1e-9);
+        // Event-level TPL never exceeds the user-level guarantee.
+        prop_assert!(acc.max_tpl().unwrap() <= sum + 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Randomized cross-engine stress tests for the LP substrate: the dense
+//! tableau simplex and the sparse revised simplex must agree on feasible
+//! bounded problems, and must classify infeasible/unbounded inputs the
+//! same way.
+
+use proptest::prelude::*;
+use tcdp::lp::revised::solve_revised;
+use tcdp::lp::simplex::{LinearProgram, LpOutcome};
+
+/// A random bounded-feasible LP: maximize c·x subject to x_i ≤ u_i and a
+/// few random ≤ constraints with non-negative coefficients (so x = 0 is
+/// always feasible and the box keeps it bounded).
+fn bounded_lp() -> impl Strategy<Value = LinearProgram> {
+    (2usize..5).prop_flat_map(|n| {
+        let c = proptest::collection::vec(-2.0f64..3.0, n);
+        let u = proptest::collection::vec(0.5f64..4.0, n);
+        let extra_rows = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..1.5, n), 1.0f64..5.0),
+            0..4,
+        );
+        (c, u, extra_rows).prop_map(move |(c, u, extra)| {
+            let mut lp = LinearProgram::maximize(c);
+            for (i, &ub) in u.iter().enumerate() {
+                let mut row = vec![0.0; n];
+                row[i] = 1.0;
+                lp = lp.less_eq(row, ub);
+            }
+            for (coeffs, rhs) in extra {
+                lp = lp.less_eq(coeffs, rhs);
+            }
+            lp
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engines_agree_on_bounded_feasible_lps(lp in bounded_lp()) {
+        let tab = lp.solve().unwrap();
+        let rev = solve_revised(&lp).unwrap();
+        match (tab, rev) {
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-7,
+                    "tableau {} vs revised {}",
+                    a.objective,
+                    b.objective
+                );
+                // Both solutions must be feasible for the original LP.
+                for c in lp.constraints_raw() {
+                    let lhs_a: f64 = c.coeffs.iter().zip(&a.x).map(|(c, v)| c * v).sum();
+                    let lhs_b: f64 = c.coeffs.iter().zip(&b.x).map(|(c, v)| c * v).sum();
+                    prop_assert!(lhs_a <= c.rhs + 1e-7);
+                    prop_assert!(lhs_b <= c.rhs + 1e-7);
+                }
+            }
+            other => prop_assert!(false, "expected optimal from both, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_infeasibility(
+        n in 1usize..4,
+        bound in 0.5f64..2.0,
+        gap in 0.1f64..2.0,
+    ) {
+        // sum x_i <= bound AND sum x_i >= bound + gap: always infeasible.
+        let lp = LinearProgram::maximize(vec![1.0; n])
+            .less_eq(vec![1.0; n], bound)
+            .greater_eq(vec![1.0; n], bound + gap);
+        prop_assert!(matches!(lp.solve().unwrap(), LpOutcome::Infeasible));
+        prop_assert!(matches!(solve_revised(&lp).unwrap(), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn engines_agree_on_unboundedness(n in 2usize..5, c0 in 0.5f64..2.0) {
+        // Maximize a positive objective with only lower bounds.
+        let lp = LinearProgram::maximize(vec![c0; n]).greater_eq(vec![1.0; n], 1.0);
+        prop_assert!(matches!(lp.solve().unwrap(), LpOutcome::Unbounded));
+        prop_assert!(matches!(solve_revised(&lp).unwrap(), LpOutcome::Unbounded));
+    }
+}
