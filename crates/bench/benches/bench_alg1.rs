@@ -1,16 +1,28 @@
 //! Criterion micro-benchmarks for Algorithm 1 (Figure 5's fast path).
 //!
-//! `alg1/n/*` sweeps the domain size at α = 10 (Figure 5(a)'s x-axis);
-//! `alg1/alpha/*` sweeps the previous-leakage input at n = 50 (Figure
-//! 5(b)'s x-axis). The expected profile: polynomial growth in `n`; mild
-//! growth in `α` that stabilizes past α ≈ 10 (more Inequality-(21)
-//! update sweeps fire at large α, but at most n−1 of them).
+//! * `alg1/n/*` sweeps the domain size at α = 10 (Figure 5(a)'s x-axis);
+//! * `alg1/alpha/*` sweeps the previous-leakage input at n = 50 (Figure
+//!   5(b)'s x-axis);
+//! * `alg1/pruned/*` ablates the pair-pruning index: the engine's pruned
+//!   sweep versus the naive unpruned row-major sweep at n = 50;
+//! * `alg1/seq/*` measures a T-step BPL recursion at n = 50 two ways —
+//!   `warm` drives one [`TemporalLossFunction`] (cached pruning index +
+//!   witness warm-start across steps) while `cold` makes T independent
+//!   `temporal_loss` calls — and prints the resulting speedup factor.
+//!
+//! The expected profile: polynomial growth in `n`; mild growth in `α`
+//! that stabilizes past α ≈ 10 (more Inequality-(21) update sweeps fire
+//! at large α, but at most n−1 of them); and a warm/cold seq ratio well
+//! above 5× — the `O(n⁴) + T·O(n)` versus `T·O(n⁴)` claim made in
+//! `tcdp_core::alg1`'s module docs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use tcdp_core::alg1::temporal_loss;
+use std::time::Instant;
+use tcdp_core::alg1::{temporal_loss, temporal_loss_witness_unpruned};
+use tcdp_core::TemporalLossFunction;
 use tcdp_markov::TransitionMatrix;
 
 fn bench_vs_n(c: &mut Criterion) {
@@ -37,5 +49,92 @@ fn bench_vs_alpha(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vs_n, bench_vs_alpha);
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let m = TransitionMatrix::random_uniform(50, &mut rng).expect("matrix");
+    let mut group = c.benchmark_group("alg1/pruned");
+    for alpha in [1.0, 10.0] {
+        group.bench_with_input(BenchmarkId::new("pruned", alpha), &alpha, |b, &alpha| {
+            b.iter(|| black_box(temporal_loss(&m, black_box(alpha)).expect("loss")));
+        });
+        group.bench_with_input(BenchmarkId::new("unpruned", alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                black_box(temporal_loss_witness_unpruned(&m, black_box(alpha)).expect("loss"))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One T-step BPL recursion through a fresh warm-started loss function.
+fn run_warm(m: &TransitionMatrix, eps: f64, t_len: usize) -> f64 {
+    let loss = TemporalLossFunction::new(m.clone());
+    let mut alpha = eps;
+    for _ in 1..t_len {
+        alpha = loss.eval(alpha).expect("loss") + eps;
+    }
+    alpha
+}
+
+/// The same recursion via T independent cold `temporal_loss` calls.
+fn run_cold(m: &TransitionMatrix, eps: f64, t_len: usize) -> f64 {
+    let mut alpha = eps;
+    for _ in 1..t_len {
+        alpha = temporal_loss(m, alpha).expect("loss") + eps;
+    }
+    alpha
+}
+
+fn bench_sequences(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let m = TransitionMatrix::random_uniform(50, &mut rng).expect("matrix");
+    let eps = 0.01;
+    let mut group = c.benchmark_group("alg1/seq");
+    for t_len in [10usize, 100, 1000] {
+        // Warm and cold must agree bit-for-bit before the numbers mean
+        // anything.
+        assert_eq!(
+            run_warm(&m, eps, t_len).to_bits(),
+            run_cold(&m, eps, t_len).to_bits(),
+            "warm/cold divergence at T={t_len}"
+        );
+        group.bench_with_input(BenchmarkId::new("warm", t_len), &t_len, |b, &t_len| {
+            b.iter(|| black_box(run_warm(&m, eps, t_len)));
+        });
+        group.bench_with_input(BenchmarkId::new("cold", t_len), &t_len, |b, &t_len| {
+            b.iter(|| black_box(run_cold(&m, eps, t_len)));
+        });
+    }
+    group.finish();
+
+    // Headline number: direct wall-clock ratio at T = 1000, n = 50
+    // (averaged over a few rounds), independent of the group timings.
+    let t_len = 1000;
+    let rounds = 3;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        black_box(run_warm(&m, eps, t_len));
+    }
+    let warm = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        black_box(run_cold(&m, eps, t_len));
+    }
+    let cold = start.elapsed();
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "alg1/seq warm-start speedup @ n=50, T=1000: {speedup:.1}x \
+         (cold {:.2?} vs warm {:.2?} per sequence)",
+        cold / rounds,
+        warm / rounds,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_vs_n,
+    bench_vs_alpha,
+    bench_pruning_ablation,
+    bench_sequences
+);
 criterion_main!(benches);

@@ -24,7 +24,11 @@ fn bench_pair_solvers(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("charnes_cooper_revised", n), &n, |b, _| {
             b.iter(|| {
-                black_box(program.max_ratio_charnes_cooper_revised(&q, &d).expect("rev"))
+                black_box(
+                    program
+                        .max_ratio_charnes_cooper_revised(&q, &d)
+                        .expect("rev"),
+                )
             });
         });
         group.bench_with_input(BenchmarkId::new("dinkelbach", n), &n, |b, _| {
@@ -43,9 +47,7 @@ fn bench_full_matrix(c: &mut Criterion) {
         b.iter(|| black_box(temporal_loss(&m, 10.0).expect("loss")));
     });
     group.bench_function("charnes_cooper", |b| {
-        b.iter(|| {
-            black_box(temporal_loss_lp(&m, 10.0, LpBaseline::CharnesCooper).expect("cc"))
-        });
+        b.iter(|| black_box(temporal_loss_lp(&m, 10.0, LpBaseline::CharnesCooper).expect("cc")));
     });
     group.bench_function("dinkelbach", |b| {
         b.iter(|| black_box(temporal_loss_lp(&m, 10.0, LpBaseline::Dinkelbach).expect("dk")));

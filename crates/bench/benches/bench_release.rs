@@ -7,8 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use tcdp_core::{
-    quantified_plan, upper_bound_plan, w_event_plan, AdaptiveReleaser, AdversaryT,
-    TplAccountant,
+    quantified_plan, upper_bound_plan, w_event_plan, AdaptiveReleaser, AdversaryT, TplAccountant,
 };
 use tcdp_markov::{smoothing, TransitionMatrix};
 
@@ -37,13 +36,17 @@ fn bench_accountant(c: &mut Criterion) {
     let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).expect("m");
     let mut group = c.benchmark_group("release/accountant");
     for t_len in [10usize, 100] {
-        group.bench_with_input(BenchmarkId::new("observe+tpl", t_len), &t_len, |b, &t_len| {
-            b.iter(|| {
-                let mut acc = TplAccountant::with_both(p.clone(), p.clone()).expect("acc");
-                acc.observe_uniform(0.1, t_len).expect("observe");
-                black_box(acc.tpl_series().expect("tpl"))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("observe+tpl", t_len),
+            &t_len,
+            |b, &t_len| {
+                b.iter(|| {
+                    let mut acc = TplAccountant::with_both(p.clone(), p.clone()).expect("acc");
+                    acc.observe_uniform(0.1, t_len).expect("observe");
+                    black_box(acc.tpl_series().expect("tpl"))
+                });
+            },
+        );
     }
     group.finish();
 }

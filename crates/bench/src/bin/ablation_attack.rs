@@ -35,7 +35,9 @@ fn chain(stick: f64) -> MarkovChain {
 
 fn mean_accuracy(c: &MarkovChain, budgets: &[f64], seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..RUNS).map(|_| simulate_attack(c, budgets, &mut rng).expect("attack")).sum::<f64>()
+    (0..RUNS)
+        .map(|_| simulate_attack(c, budgets, &mut rng).expect("attack"))
+        .sum::<f64>()
         / RUNS as f64
 }
 
@@ -63,14 +65,21 @@ fn main() {
             let tpl = analytic_tpl(&c, &budgets);
             let acc = mean_accuracy(&c, &budgets, (stick * 100.0) as u64 + eps as u64);
             println!("{stick:<12} {eps:<10} {tpl:>14.3} {acc:>16.3}");
-            rows.push(Row { stickiness: stick, epsilon: eps, analytic_tpl: tpl, attack_accuracy: acc });
+            rows.push(Row {
+                stickiness: stick,
+                epsilon: eps,
+                analytic_tpl: tpl,
+                attack_accuracy: acc,
+            });
         }
     }
 
     // Ordering checks within each eps level: accuracy tracks TPL.
     for &eps in &[0.2, 1.0] {
-        let lvl: Vec<&Row> =
-            rows.iter().filter(|r| (r.epsilon - eps).abs() < 1e-12).collect();
+        let lvl: Vec<&Row> = rows
+            .iter()
+            .filter(|r| (r.epsilon - eps).abs() < 1e-12)
+            .collect();
         assert!(lvl[2].analytic_tpl > lvl[0].analytic_tpl);
         assert!(
             lvl[2].attack_accuracy > lvl[0].attack_accuracy,
@@ -89,7 +98,10 @@ fn main() {
         let plan = upper_bound_plan(&adv, 1.0).expect("plan");
         let budgets: Vec<f64> = (0..T).map(|t| plan.budget_at(t)).collect();
         let acc = mean_accuracy(&c, &budgets, 7 + (stick * 10.0) as u64);
-        println!("  stickiness {stick}: eps/step={:.3}, attack accuracy {acc:.3}", budgets[0]);
+        println!(
+            "  stickiness {stick}: eps/step={:.3}, attack accuracy {acc:.3}",
+            budgets[0]
+        );
         planned.push(acc);
     }
     let fixed_gap = rows

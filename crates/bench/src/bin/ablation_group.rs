@@ -39,7 +39,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(99);
     println!("Ablation: per-step |Laplace noise| to guarantee {ALPHA}-DP_T over T = {T}");
     println!("no-correlation floor: {:.2}\n", 1.0 / ALPHA);
-    println!("{:<8} {:>12} {:>12} {:>12}", "s", "group-DP", "Algorithm 2", "Algorithm 3");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "s", "group-DP", "Algorithm 2", "Algorithm 3"
+    );
 
     let group_eps =
         per_step_budget_for_horizon(Epsilon::new(ALPHA).expect("eps"), T).expect("split");
@@ -50,10 +53,19 @@ fn main() {
         let pb = smoothing::smoothed_strongest(N, s, &mut rng).expect("pb");
         let pf = smoothing::smoothed_strongest(N, s, &mut rng).expect("pf");
         let adv = AdversaryT::with_both(pb, pf).expect("adv");
-        let a2 = upper_bound_plan(&adv, ALPHA).expect("plan").mean_abs_noise(T, 1.0);
-        let a3 = quantified_plan(&adv, ALPHA, T).expect("plan").mean_abs_noise(T, 1.0);
+        let a2 = upper_bound_plan(&adv, ALPHA)
+            .expect("plan")
+            .mean_abs_noise(T, 1.0);
+        let a3 = quantified_plan(&adv, ALPHA, T)
+            .expect("plan")
+            .mean_abs_noise(T, 1.0);
         println!("{s:<8} {group_noise:>12.2} {a2:>12.2} {a3:>12.2}");
-        rows.push(Row { s, group_dp_noise: group_noise, alg2_noise: a2, alg3_noise: a3 });
+        rows.push(Row {
+            s,
+            group_dp_noise: group_noise,
+            alg2_noise: a2,
+            alg3_noise: a3,
+        });
     }
 
     // The paper's claim: for weak correlations the fine-grained methods

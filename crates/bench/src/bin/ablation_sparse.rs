@@ -23,8 +23,8 @@ struct Row {
 }
 
 fn main() {
-    let sticky = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]])
-        .expect("stochastic");
+    let sticky =
+        TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]).expect("stochastic");
     let ring = graph::ring_road(6, 1.0, 0.0).expect("ring"); // deterministic cycle
     let lazy_ring = graph::ring_road(6, 0.9, 0.1).expect("ring");
 
@@ -43,7 +43,11 @@ fn main() {
                 Some(v) => println!("{name:<22} {k:>4} {v:>12.4}"),
                 None => println!("{name:<22} {k:>4} {:>12}", "unbounded"),
             }
-            rows.push(Row { chain: name, k, supremum: value });
+            rows.push(Row {
+                chain: name,
+                k,
+                supremum: value,
+            });
         }
         println!();
     }

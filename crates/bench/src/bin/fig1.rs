@@ -44,11 +44,15 @@ fn main() {
     let schedule = BudgetSchedule::uniform(eps, 3).expect("schedule");
     let mut releaser = ContinualReleaser::new(5, schedule).expect("releaser");
     let mut rng = StdRng::seed_from_u64(1);
-    let releases = releaser.release_stream(&snapshots, &mut rng).expect("releases");
+    let releases = releaser
+        .release_stream(&snapshots, &mut rng)
+        .expect("releases");
     println!("\nFigure 1(d) — private counts (Laplace, eps = 1):");
     for loc in 0..5 {
-        let row: Vec<String> =
-            releases.iter().map(|r| format!("{:.0}", r.noisy[loc].max(0.0))).collect();
+        let row: Vec<String> = releases
+            .iter()
+            .map(|r| format!("{:.0}", r.noisy[loc].max(0.0)))
+            .collect();
         println!("  loc{}: {}", loc + 1, row.join("  "));
     }
 
@@ -57,7 +61,13 @@ fn main() {
     for t in 0..2 {
         let c4 = snapshots[t].count_at(3).expect("loc4");
         let c5 = snapshots[t + 1].count_at(4).expect("loc5");
-        println!("  count(loc4, t={}) = {} -> count(loc5, t={}) = {}", t + 1, c4, t + 2, c5);
+        println!(
+            "  count(loc4, t={}) = {} -> count(loc5, t={}) = {}",
+            t + 1,
+            c4,
+            t + 2,
+            c5
+        );
         assert!(c5 >= c4);
     }
 

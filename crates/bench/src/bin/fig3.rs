@@ -33,8 +33,14 @@ fn main() {
 
     let mut all = Vec::new();
     for (name, acc) in [
-        ("(i) strongest", TplAccountant::with_both(strongest.clone(), strongest).expect("acc")),
-        ("(ii) moderate", TplAccountant::with_both(moderate.clone(), moderate).expect("acc")),
+        (
+            "(i) strongest",
+            TplAccountant::with_both(strongest.clone(), strongest).expect("acc"),
+        ),
+        (
+            "(ii) moderate",
+            TplAccountant::with_both(moderate.clone(), moderate).expect("acc"),
+        ),
         ("(iii) none", TplAccountant::traditional()),
     ] {
         let mut acc = acc;

@@ -16,7 +16,11 @@ use tcdp_markov::TransitionMatrix;
 
 fn main() {
     let cases = [
-        ("(a) q=1.0 d=0.0 eps=0.23", TransitionMatrix::identity(2).expect("m"), 0.23),
+        (
+            "(a) q=1.0 d=0.0 eps=0.23",
+            TransitionMatrix::identity(2).expect("m"),
+            0.23,
+        ),
         (
             "(b) q=0.8 d=0.0 eps=0.23",
             TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).expect("m"),

@@ -50,9 +50,7 @@ fn pair_baseline_seconds(
         let sol = match baseline {
             LpBaseline::CharnesCooper => program.max_ratio_charnes_cooper(&qr, &dr),
             LpBaseline::Dinkelbach => program.max_ratio_dinkelbach(&qr, &dr),
-            LpBaseline::CharnesCooperRevised => {
-                program.max_ratio_charnes_cooper_revised(&qr, &dr)
-            }
+            LpBaseline::CharnesCooperRevised => program.max_ratio_charnes_cooper_revised(&qr, &dr),
         };
         std::hint::black_box(sol.expect("solvable"));
     })
@@ -63,13 +61,23 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
 
     println!("Figure 5(a): runtime vs n (alpha = 10)");
-    println!("{:<6} {:>14} {:>18} {:>18}", "n", "Algorithm 1", "CC-simplex*", "Dinkelbach*");
+    println!(
+        "{:<6} {:>14} {:>18} {:>18}",
+        "n", "Algorithm 1", "CC-simplex*", "Dinkelbach*"
+    );
     for n in [50usize, 100, 150, 200, 250] {
         let m = TransitionMatrix::random_uniform(n, &mut rng).expect("matrix");
         let alg1 = median_seconds(3, || {
             std::hint::black_box(temporal_loss(&m, 10.0).expect("loss"));
         });
-        rows.push(Row { panel: "a", n, alpha: 10.0, algorithm: "alg1", seconds: alg1, estimated: false });
+        rows.push(Row {
+            panel: "a",
+            n,
+            alpha: 10.0,
+            algorithm: "alg1",
+            seconds: alg1,
+            estimated: false,
+        });
         // Baselines: per-pair time extrapolated to all n(n-1) pairs. Keep
         // the measured n small enough to finish.
         let (cc, dk) = if n <= 50 {
@@ -81,11 +89,28 @@ fn main() {
             (None, None)
         };
         if let (Some(cc), Some(dk)) = (cc, dk) {
-            rows.push(Row { panel: "a", n, alpha: 10.0, algorithm: "cc", seconds: cc, estimated: true });
-            rows.push(Row { panel: "a", n, alpha: 10.0, algorithm: "dinkelbach", seconds: dk, estimated: true });
+            rows.push(Row {
+                panel: "a",
+                n,
+                alpha: 10.0,
+                algorithm: "cc",
+                seconds: cc,
+                estimated: true,
+            });
+            rows.push(Row {
+                panel: "a",
+                n,
+                alpha: 10.0,
+                algorithm: "dinkelbach",
+                seconds: dk,
+                estimated: true,
+            });
             println!("{n:<6} {alg1:>13.4}s {:>17.1}s {:>17.1}s", cc, dk);
         } else {
-            println!("{n:<6} {alg1:>13.4}s {:>18} {:>18}", "(skipped)", "(skipped)");
+            println!(
+                "{n:<6} {alg1:>13.4}s {:>18} {:>18}",
+                "(skipped)", "(skipped)"
+            );
         }
     }
     println!("* estimated: per-pair median × n(n−1) pairs (see module docs)\n");
@@ -103,18 +128,25 @@ fn main() {
     let v_alg1 = temporal_loss(&small, 10.0).expect("loss");
     let v_cc = temporal_loss_lp(&small, 10.0, LpBaseline::CharnesCooper).expect("cc");
     let v_dk = temporal_loss_lp(&small, 10.0, LpBaseline::Dinkelbach).expect("dk");
-    println!(
-        "  optimal values agree: alg1={v_alg1:.6} cc={v_cc:.6} dinkelbach={v_dk:.6}\n"
-    );
+    println!("  optimal values agree: alg1={v_alg1:.6} cc={v_cc:.6} dinkelbach={v_dk:.6}\n");
     // Dinkelbach tracks Algorithm 1 tightly; the one-shot Charnes–Cooper
     // LP loses some precision at large α (coefficients span e^10 ≈ 2.2e4),
     // mirroring the paper's own observation that lp_solve develops "a
     // precision problem when α ≥ 10".
-    assert!((v_alg1 - v_dk).abs() < 1e-6, "dinkelbach drifted: {v_dk} vs {v_alg1}");
-    assert!((v_alg1 - v_cc).abs() < 1e-2, "charnes-cooper drifted: {v_cc} vs {v_alg1}");
+    assert!(
+        (v_alg1 - v_dk).abs() < 1e-6,
+        "dinkelbach drifted: {v_dk} vs {v_alg1}"
+    );
+    assert!(
+        (v_alg1 - v_cc).abs() < 1e-2,
+        "charnes-cooper drifted: {v_cc} vs {v_alg1}"
+    );
 
     println!("Figure 5(b): runtime vs alpha (n = 50)");
-    println!("{:<8} {:>14} {:>18} {:>18}", "alpha", "Algorithm 1", "CC-simplex*", "Dinkelbach*");
+    println!(
+        "{:<8} {:>14} {:>18} {:>18}",
+        "alpha", "Algorithm 1", "CC-simplex*", "Dinkelbach*"
+    );
     let m50 = TransitionMatrix::random_uniform(50, &mut rng).expect("matrix");
     for alpha in [0.001, 0.01, 0.1, 1.0, 10.0, 20.0] {
         let alg1 = median_seconds(3, || {
@@ -124,9 +156,30 @@ fn main() {
         let cc = pair_baseline_seconds(&m50, alpha, LpBaseline::CharnesCooper, 1) * pairs;
         let dk = pair_baseline_seconds(&m50, alpha, LpBaseline::Dinkelbach, 1) * pairs;
         println!("{alpha:<8} {alg1:>13.4}s {:>17.1}s {:>17.1}s", cc, dk);
-        rows.push(Row { panel: "b", n: 50, alpha, algorithm: "alg1", seconds: alg1, estimated: false });
-        rows.push(Row { panel: "b", n: 50, alpha, algorithm: "cc", seconds: cc, estimated: true });
-        rows.push(Row { panel: "b", n: 50, alpha, algorithm: "dinkelbach", seconds: dk, estimated: true });
+        rows.push(Row {
+            panel: "b",
+            n: 50,
+            alpha,
+            algorithm: "alg1",
+            seconds: alg1,
+            estimated: false,
+        });
+        rows.push(Row {
+            panel: "b",
+            n: 50,
+            alpha,
+            algorithm: "cc",
+            seconds: cc,
+            estimated: true,
+        });
+        rows.push(Row {
+            panel: "b",
+            n: 50,
+            alpha,
+            algorithm: "dinkelbach",
+            seconds: dk,
+            estimated: true,
+        });
     }
 
     write_json("fig5", &rows);

@@ -24,7 +24,11 @@ fn bpl_series(matrix: &TransitionMatrix, eps: f64, t_len: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(t_len);
     let mut alpha = 0.0;
     for t in 0..t_len {
-        alpha = if t == 0 { eps } else { loss.eval(alpha).expect("loss") + eps };
+        alpha = if t == 0 {
+            eps
+        } else {
+            loss.eval(alpha).expect("loss") + eps
+        };
         out.push(alpha);
     }
     out
@@ -33,11 +37,26 @@ fn bpl_series(matrix: &TransitionMatrix, eps: f64, t_len: usize) -> Vec<f64> {
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let cases: Vec<(&str, TransitionMatrix)> = vec![
-        ("s=0.0 (n=50)", smoothing::smoothed_strongest(50, 0.0, &mut rng).expect("m")),
-        ("s=0.001 (n=50)", smoothing::smoothed_strongest(50, 0.001, &mut rng).expect("m")),
-        ("s=0.005 (n=50)", smoothing::smoothed_strongest(50, 0.005, &mut rng).expect("m")),
-        ("s=0.005 (n=200)", smoothing::smoothed_strongest(200, 0.005, &mut rng).expect("m")),
-        ("s=0.05 (n=50)", smoothing::smoothed_strongest(50, 0.05, &mut rng).expect("m")),
+        (
+            "s=0.0 (n=50)",
+            smoothing::smoothed_strongest(50, 0.0, &mut rng).expect("m"),
+        ),
+        (
+            "s=0.001 (n=50)",
+            smoothing::smoothed_strongest(50, 0.001, &mut rng).expect("m"),
+        ),
+        (
+            "s=0.005 (n=50)",
+            smoothing::smoothed_strongest(50, 0.005, &mut rng).expect("m"),
+        ),
+        (
+            "s=0.005 (n=200)",
+            smoothing::smoothed_strongest(200, 0.005, &mut rng).expect("m"),
+        ),
+        (
+            "s=0.05 (n=50)",
+            smoothing::smoothed_strongest(50, 0.05, &mut rng).expect("m"),
+        ),
     ];
 
     let mut out = Vec::new();
@@ -47,7 +66,10 @@ fn main() {
             let series = bpl_series(matrix, eps, t_len);
             let mid = series[t_len / 2];
             let last = *series.last().expect("non-empty");
-            println!("  {name:<18} BPL(t={})={mid:.3}  BPL(t={t_len})={last:.3}", t_len / 2 + 1);
+            println!(
+                "  {name:<18} BPL(t={})={mid:.3}  BPL(t={t_len})={last:.3}",
+                t_len / 2 + 1
+            );
             out.push(Series::new(format!("{panel} {name}"), series));
         }
         println!();
@@ -73,7 +95,11 @@ fn main() {
     // Paper's "Privacy Leakage vs ε" finding: the small budget delays the
     // growth, but under strong correlation (s = 0.001) the eventual leakage
     // at ε = 0.1 is not an order of magnitude below the ε = 1 one.
-    let a001_eps1 = find("s=0.001 (n=50)").values.last().copied().expect("value");
+    let a001_eps1 = find("s=0.001 (n=50)")
+        .values
+        .last()
+        .copied()
+        .expect("value");
     let b001 = out
         .iter()
         .find(|s| s.label.starts_with("(b)") && s.label.contains("s=0.001 (n=50)"))
@@ -84,7 +110,10 @@ fn main() {
          (ratio {:.1}x, far below the 10x budget ratio)",
         a001_eps1 / a001_eps01
     );
-    assert!(a001_eps1 / a001_eps01 < 4.0, "strong correlation erodes the small-eps advantage");
+    assert!(
+        a001_eps1 / a001_eps01 < 4.0,
+        "strong correlation erodes the small-eps advantage"
+    );
     println!("shape checks passed: smaller s leaks more; larger n leaks less");
 
     write_json("fig6", &out);

@@ -23,8 +23,14 @@ fn main() {
 
     let mut out = Vec::new();
     let plans = [
-        ("(a) Algorithm 2", upper_bound_plan(&adv, ALPHA).expect("plan")),
-        ("(b) Algorithm 3", quantified_plan(&adv, ALPHA, T).expect("plan")),
+        (
+            "(a) Algorithm 2",
+            upper_bound_plan(&adv, ALPHA).expect("plan"),
+        ),
+        (
+            "(b) Algorithm 3",
+            quantified_plan(&adv, ALPHA, T).expect("plan"),
+        ),
     ];
     for (name, plan) in plans {
         let budgets: Vec<f64> = (0..T).map(|t| plan.budget_at(t)).collect();
@@ -35,7 +41,10 @@ fn main() {
         let tpl = acc.tpl_series().expect("tpl");
         let bpl = acc.bpl_series().to_vec();
         let fpl = acc.fpl_series().expect("fpl");
-        println!("{name}: alpha_B={:.4} alpha_F={:.4}", plan.alpha_backward, plan.alpha_forward);
+        println!(
+            "{name}: alpha_B={:.4} alpha_F={:.4}",
+            plan.alpha_backward, plan.alpha_forward
+        );
         print_series("  budget", &budgets);
         print_series("  BPL", &bpl);
         print_series("  FPL", &fpl);

@@ -51,7 +51,13 @@ fn main() {
         let n3 = a3.mean_abs_noise(t_len, 1.0);
         println!("  T={t_len:<4} Algorithm 2: {n2:8.2}   Algorithm 3: {n3:8.2}");
         assert!(n3 <= n2 + 1e-9, "Algorithm 3 must not be worse");
-        rows.push(Row { panel: "a", t_len, s: 0.001, alg2_noise: n2, alg3_noise: n3 });
+        rows.push(Row {
+            panel: "a",
+            t_len,
+            s: 0.001,
+            alg2_noise: n2,
+            alg3_noise: n3,
+        });
     }
 
     println!("\nFigure 8(b): mean |Laplace noise| vs s  (n={N}, T=10, alpha={ALPHA})");
@@ -63,14 +69,26 @@ fn main() {
         let n2 = a2.mean_abs_noise(10, 1.0);
         let n3 = a3.mean_abs_noise(10, 1.0);
         println!("  s={s:<6} Algorithm 2: {n2:8.2}   Algorithm 3: {n3:8.2}");
-        rows.push(Row { panel: "b", t_len: 10, s, alg2_noise: n2, alg3_noise: n3 });
+        rows.push(Row {
+            panel: "b",
+            t_len: 10,
+            s,
+            alg2_noise: n2,
+            alg3_noise: n3,
+        });
     }
 
     // Shape checks: utility decays as correlations strengthen, and the
     // weakest correlation approaches the no-correlation reference.
     let b: Vec<&Row> = rows.iter().filter(|r| r.panel == "b").collect();
-    assert!(b[0].alg3_noise > b[2].alg3_noise, "s=0.01 must be noisier than s=1");
-    assert!(b[2].alg3_noise < 4.0 / ALPHA, "weak correlation should be near 1/alpha");
+    assert!(
+        b[0].alg3_noise > b[2].alg3_noise,
+        "s=0.01 must be noisier than s=1"
+    );
+    assert!(
+        b[2].alg3_noise < 4.0 / ALPHA,
+        "weak correlation should be near 1/alpha"
+    );
     println!("\nshape checks passed: noise decreases with s; alg3 <= alg2 at short T");
 
     write_json("fig8", &rows);

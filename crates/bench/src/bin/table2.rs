@@ -26,14 +26,23 @@ fn main() {
     let rows = table_ii(&correlated, w).expect("table");
 
     println!("Table II: privacy guarantee of {eps}-DP mechanisms (T = {t_len}, w = {w})");
-    println!("{:<14} {:>14} {:>24}", "notion", "independent", "temporally correlated");
+    println!(
+        "{:<14} {:>14} {:>24}",
+        "notion", "independent", "temporally correlated"
+    );
     for row in &rows {
-        println!("{:<14} {:>11.4}-DP {:>19.4}-DP_T", row.notion, row.independent, row.correlated);
+        println!(
+            "{:<14} {:>11.4}-DP {:>19.4}-DP_T",
+            row.notion, row.independent, row.correlated
+        );
     }
 
     // Paper's analytic claims.
     assert!((rows[0].independent - eps).abs() < 1e-12);
-    assert!(rows[0].correlated > rows[0].independent, "alpha >= eps at event level");
+    assert!(
+        rows[0].correlated > rows[0].independent,
+        "alpha >= eps at event level"
+    );
     assert!((rows[1].independent - w as f64 * eps).abs() < 1e-12);
     assert!((rows[2].independent - t_len as f64 * eps).abs() < 1e-12);
     assert_eq!(rows[2].independent, rows[2].correlated, "Corollary 1");

@@ -24,7 +24,11 @@ use std::time::Instant;
 
 /// Format a numeric series the way the paper prints figures' data points.
 pub fn fmt_series(series: &[f64]) -> String {
-    series.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", ")
+    series
+        .iter()
+        .map(|v| format!("{v:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Print a labeled series row.
@@ -87,7 +91,10 @@ pub struct Series {
 impl Series {
     /// Build a labeled series.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        Self { label: label.into(), values }
+        Self {
+            label: label.into(),
+            values,
+        }
     }
 }
 

@@ -1,0 +1,279 @@
+//! Minimal in-repo stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the workspace's `benches/` use:
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `bench_function`, and `Bencher::iter`. Each
+//! benchmark warms up briefly, then auto-scales the iteration count to a
+//! fixed measurement window and reports the mean, best, and worst
+//! per-iteration time. No statistics machinery, plots, or baselines —
+//! just honest wall-clock numbers printed one line per benchmark.
+//!
+//! Environment knobs: `CRITERION_MEASURE_MS` (measurement window per
+//! benchmark, default 300) and `CRITERION_WARMUP_MS` (default 60).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `"{name}/{parameter}"`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Filled in by [`Bencher::iter`].
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    best: Duration,
+    worst: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time a closure: brief warmup, then as many batches as fit in the
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(body());
+            warm_iters += 1;
+        }
+        let est = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        // Batch size targeting ~20 batches over the measurement window.
+        let batch = if est.is_zero() {
+            1024
+        } else {
+            (self.measure.as_nanos() / est.as_nanos().max(1) / 20).clamp(1, 1 << 24) as u64
+        };
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure || iters == 0 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            let dt = t0.elapsed() / batch as u32;
+            best = best.min(dt);
+            worst = worst.max(dt);
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.result = Some(Sample {
+            mean: total.checked_div(iters as u32).unwrap_or_default(),
+            best,
+            worst,
+            iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(full_name: &str, warmup: Duration, measure: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        warmup,
+        measure,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => println!(
+            "{full_name:<48} time: [{} {} {}]  ({} iters)",
+            fmt_duration(s.best),
+            fmt_duration(s.mean),
+            fmt_duration(s.worst),
+            s.iters
+        ),
+        None => println!("{full_name:<48} (no measurement: body never called iter)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a body parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.warmup, self.criterion.measure, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark a plain body.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(&full, self.criterion.warmup, self.criterion.measure, |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Override the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// End the group (restores the default measurement window).
+    pub fn finish(self) {
+        self.criterion.measure = env_ms("CRITERION_MEASURE_MS", 300);
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 60),
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmark a plain body outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().0, self.warmup, self.measure, |b| f(b));
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("toplevel", |b| b.iter(|| black_box(2) * 2));
+        std::env::remove_var("CRITERION_MEASURE_MS");
+        std::env::remove_var("CRITERION_WARMUP_MS");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("a", 5).0, "a/5");
+        assert_eq!(BenchmarkId::from_parameter(0.5).0, "0.5");
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal in-repo stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the real serde cannot be
+//! fetched. This crate exposes exactly the surface the `tcdp` workspace
+//! consumes: `Serialize` / `Deserialize` traits (routed through an owned
+//! JSON-like [`Value`] data model rather than serde's visitor machinery)
+//! and derive macros for named-field structs, newtype structs, and
+//! unit-variant enums. `serde_json` (also stubbed) renders [`Value`] to
+//! and from JSON text.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value — the data model both traits route through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (all numbers are carried as `f64`).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A required map key was absent.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// The value had the wrong shape.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to an owned [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a borrowed [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $t::from_value(
+                                it.next().ok_or_else(|| DeError("tuple too short".into()))?,
+                            )?,
+                        )+))
+                    }
+                    other => Err(DeError::expected("array (tuple)", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));

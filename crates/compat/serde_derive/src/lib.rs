@@ -1,0 +1,253 @@
+//! Derive macros for the in-repo `serde` stand-in.
+//!
+//! Supports the three shapes the `tcdp` workspace actually derives on:
+//! named-field structs, tuple structs (newtype included), and enums with
+//! unit variants only. Anything else produces a `compile_error!`. The
+//! macros are written against the bare `proc_macro` API (no `syn`/`quote`
+//! — the build container is offline) by parsing the token stream by hand
+//! and emitting generated impls as source strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// `struct Name { a: T, b: U }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T, ...);`
+    Tuple { name: String, arity: usize },
+    /// `enum Name { A, B }`
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas, tracking `<...>` depth
+/// so generic argument lists do not split a chunk.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(tok);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// First identifier of a chunk after attributes/visibility: the field or
+/// variant name.
+fn leading_ident(chunk: &[TokenTree]) -> Option<String> {
+    let mut toks = chunk.iter().cloned().peekable();
+    skip_attrs_and_vis(&mut toks);
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the serde stand-in".into());
+        }
+    }
+    match (kind.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let fields = split_top_level(g.stream())
+                .iter()
+                .map(|c| leading_ident(c).ok_or_else(|| "unnamed field".to_string()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Item::Struct { name, fields })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::Tuple {
+                name,
+                arity: split_top_level(g.stream()).len(),
+            })
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let chunks = split_top_level(g.stream());
+            let mut variants = Vec::new();
+            for chunk in &chunks {
+                if chunk.iter().any(|t| matches!(t, TokenTree::Group(_)))
+                    && leading_ident(chunk).is_some()
+                {
+                    // A group after the name means the variant carries data
+                    // (attributes were already skipped by leading_ident).
+                    let mut toks = chunk.iter().cloned().peekable();
+                    skip_attrs_and_vis(&mut toks);
+                    toks.next(); // variant name
+                    if toks.any(|t| matches!(t, TokenTree::Group(_))) {
+                        return Err("enum variants with data are not supported".into());
+                    }
+                }
+                variants.push(leading_ident(chunk).ok_or("unnamed variant")?);
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        _ => Err("unsupported item shape".into()),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Derive `serde::Serialize` (stand-in: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct { fields, .. } => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        Item::Tuple { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::Tuple { arity, .. } => {
+            let entries = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(vec![{entries}])")
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Tuple { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (stand-in: `fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).ok_or_else(|| ::serde::DeError::missing({f:?}))?\
+                         )?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Item::Tuple { name, arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::Tuple { name, arity } => {
+            let inits = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(\
+                             items.get({i}).ok_or_else(|| \
+                                 ::serde::DeError(\"tuple struct too short\".to_string()))?\
+                         )?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) => Ok({name}({inits})),\n\
+                     other => Err(::serde::DeError::expected(\"array\", other)),\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => Err(::serde::DeError(\
+                             format!(\"unknown variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => Err(::serde::DeError::expected(\"variant string\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Tuple { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -120,7 +120,13 @@ impl TplAccountant {
         };
         self.budgets.push(eps);
         self.bpl.push(bpl_t);
-        Ok(TplReport { t, epsilon: eps, backward: bpl_t, forward: eps, total: bpl_t })
+        Ok(TplReport {
+            t,
+            epsilon: eps,
+            backward: bpl_t,
+            forward: eps,
+            total: bpl_t,
+        })
     }
 
     /// Record `t_len` releases with the same budget.
@@ -180,7 +186,9 @@ impl TplAccountant {
         let series = self.tpl_series()?;
         series
             .into_iter()
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
             .ok_or(TplError::EmptyTimeline)
     }
 
@@ -209,7 +217,11 @@ mod tests {
         acc.observe_uniform(0.1, 10).unwrap();
         for (t, &e) in expected.iter().enumerate() {
             let got = acc.bpl_series()[t];
-            assert!((got - e).abs() < 0.005, "t={}: got {got}, paper says {e}", t + 1);
+            assert!(
+                (got - e).abs() < 0.005,
+                "t={}: got {got}, paper says {e}",
+                t + 1
+            );
         }
     }
 
@@ -221,7 +233,12 @@ mod tests {
         acc.observe_uniform(0.1, 10).unwrap();
         let fpl = acc.fpl_series().unwrap();
         for (t, &e) in expected.iter().enumerate() {
-            assert!((fpl[t] - e).abs() < 0.005, "t={}: got {}, paper says {e}", t + 1, fpl[t]);
+            assert!(
+                (fpl[t] - e).abs() < 0.005,
+                "t={}: got {}, paper says {e}",
+                t + 1,
+                fpl[t]
+            );
         }
     }
 
@@ -233,7 +250,12 @@ mod tests {
         acc.observe_uniform(0.1, 10).unwrap();
         let tpl = acc.tpl_series().unwrap();
         for (t, &e) in expected.iter().enumerate() {
-            assert!((tpl[t] - e).abs() < 0.005, "t={}: got {}, paper says {e}", t + 1, tpl[t]);
+            assert!(
+                (tpl[t] - e).abs() < 0.005,
+                "t={}: got {}, paper says {e}",
+                t + 1,
+                tpl[t]
+            );
         }
         assert!((acc.max_tpl().unwrap() - 0.64).abs() < 0.005);
         // Symmetric because P^B = P^F here.
@@ -255,7 +277,10 @@ mod tests {
         }
         let tpl = acc.tpl_series().unwrap();
         for v in &tpl {
-            assert!((v - 1.0).abs() < 1e-9, "event-level TPL equals user-level Tε");
+            assert!(
+                (v - 1.0).abs() < 1e-9,
+                "event-level TPL equals user-level Tε"
+            );
         }
         assert!((acc.user_level() - 1.0).abs() < 1e-12);
     }

@@ -53,7 +53,9 @@ pub struct AdaptiveReleaser {
 }
 
 impl AdaptiveReleaser {
-    /// Plan the stream: runs the Algorithm 2/3 balance search once.
+    /// Plan the stream: runs the Algorithm 2/3 balance search once (each
+    /// side's loss function caches its Algorithm 1 pruning index and
+    /// warm-started witness across the search's ~200 bisection probes).
     pub fn new(adversary: &AdversaryT, alpha: f64) -> Result<Self> {
         check_alpha(alpha)?;
         let base = upper_bound_plan(adversary, alpha)?;
@@ -123,7 +125,11 @@ impl AdaptiveReleaser {
                 "stream already finalized",
             )));
         }
-        let eps = if self.accountant.is_empty() { self.alpha } else { self.alpha_forward };
+        let eps = if self.accountant.is_empty() {
+            self.alpha
+        } else {
+            self.alpha_forward
+        };
         self.accountant.observe_release(eps)?;
         self.finalized = true;
         Ok(eps)

@@ -27,17 +27,26 @@ pub struct AdversaryT {
 impl AdversaryT {
     /// The traditional DP adversary `A_i = A^T_i(∅, ∅)`.
     pub fn traditional() -> Self {
-        Self { backward: None, forward: None }
+        Self {
+            backward: None,
+            forward: None,
+        }
     }
 
     /// `A^T_i(P^B)`: knows only the backward correlation.
     pub fn with_backward(backward: TransitionMatrix) -> Self {
-        Self { backward: Some(backward), forward: None }
+        Self {
+            backward: Some(backward),
+            forward: None,
+        }
     }
 
     /// `A^T_i(P^F)`: knows only the forward correlation.
     pub fn with_forward(forward: TransitionMatrix) -> Self {
-        Self { backward: None, forward: Some(forward) }
+        Self {
+            backward: None,
+            forward: Some(forward),
+        }
     }
 
     /// `A^T_i(P^B, P^F)`: knows both correlations. The two matrices must
@@ -49,7 +58,10 @@ impl AdversaryT {
                 found: forward.n(),
             });
         }
-        Ok(Self { backward: Some(backward), forward: Some(forward) })
+        Ok(Self {
+            backward: Some(backward),
+            forward: Some(forward),
+        })
     }
 
     /// Derive the full adversary from a forward chain and its initial
@@ -58,7 +70,10 @@ impl AdversaryT {
     /// paper's time-homogeneous treatment of `P^B`).
     pub fn from_forward_chain(chain: &MarkovChain) -> Result<Self> {
         let backward = chain.reverse_stationary()?;
-        Ok(Self { backward: Some(backward), forward: Some(chain.matrix().clone()) })
+        Ok(Self {
+            backward: Some(backward),
+            forward: Some(chain.matrix().clone()),
+        })
     }
 
     /// The backward correlation, if known.
@@ -128,7 +143,10 @@ mod tests {
         let pf = TransitionMatrix::identity(3).unwrap();
         assert!(matches!(
             AdversaryT::with_both(pb, pf).unwrap_err(),
-            TplError::DimensionMismatch { expected: 2, found: 3 }
+            TplError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            }
         ));
     }
 

@@ -1,4 +1,4 @@
-//! Algorithm 1 — polynomial-time temporal loss evaluation.
+//! Algorithm 1 — polynomial-time temporal loss evaluation, fast engine.
 //!
 //! Given a transition matrix `P` (backward or forward) and the previous
 //! BPL / next FPL value `α`, the temporal loss functions of Equations (23)
@@ -24,6 +24,62 @@
 //! pairs — the polynomial bound claimed in Section IV-B, versus the
 //! exponential worst case of the simplex baselines in [`tcdp_lp`].
 //!
+//! # The fast engine
+//!
+//! On top of the textbook algorithm this module layers three
+//! optimizations that leave results **bit-identical** to the naive sweep:
+//!
+//! * **Zero-allocation inner loop** — [`solve_pair`] works over three
+//!   reusable scratch buffers (candidate indices and their `q`/`d`
+//!   coefficients) compacted in place each discard sweep, instead of
+//!   building a fresh `Vec<(usize, f64, f64)>` per row pair.
+//! * **Pair pruning** — [`PairIndex`] precomputes two α-independent upper
+//!   bounds per ordered pair `(a, b)` with candidate set
+//!   `C = {j : q_j > d_j}`:
+//!
+//!   * the *gap bound*: with `g₀ = Σ_{j∈C} (q_j − d_j)` (the total
+//!     variation distance between the rows), every subset `S ⊆ C` has
+//!     `q_S − d_S ≤ g₀`, so
+//!     `obj = 1 + (q_S−d_S)(e^α−1)/(d_S(e^α−1)+1) ≤ 1 + g₀(e^α−1)`.
+//!     This refines the coarser mass bound `q₀(e^α−1)+1` from the
+//!     issue sketch (`g₀ ≤ q₀ = Σ_{j∈C} q_j`) and is tight exactly in
+//!     the small-α regime where the leakage recursions operate;
+//!   * the *ratio bound* `r_max = max_{j∈C} q_j/d_j` (`∞` when some
+//!     `d_j = 0`): the objective is a mediant of the component ratios
+//!     `q_j/d_j` and `1/1`, hence `obj ≤ max(r_max, 1)`. This one is
+//!     tight in the large-α regime, where the objective saturates at
+//!     `q_S/d_S`.
+//!
+//!   A pair is excluded as soon as *either* bound falls below the best
+//!   objective found. Pairs are sorted by `g₀` descending, so the gap
+//!   bound decreases monotonically along the sweep and the first pair
+//!   whose gap bound is beaten ends the sweep outright; pairs surviving
+//!   the gap test are skipped in `O(1)` when their ratio bound is
+//!   beaten. Pairs with `g₀ = 0` can never exceed `L = 0` and are
+//!   dropped from the index at build time.
+//! * **Witness warm-start** — the recursions that drive this kernel
+//!   (`BPL(t) = L(BPL(t−1)) + ε_t` and friends) evaluate `L` at a slowly
+//!   moving sequence of α values under one fixed matrix, and the
+//!   maximizing pair and its active subset are usually stable from step
+//!   to step. [`temporal_loss_witness_indexed`] therefore accepts the
+//!   previous step's [`LossWitness`] (with its active index set) and
+//!   re-validates it against Theorem 4's sufficient optimality conditions
+//!   (21)/(22) in `O(n)`: the subset's sums are α-independent, so only
+//!   the inequalities need re-checking at the new α. A validated witness
+//!   seeds the pruned sweep, which then typically terminates after a
+//!   handful of bound comparisons — turning a T-step recursion from
+//!   `T·O(n⁴)` into roughly `O(n⁴) + T·O(n)`. When validation fails the
+//!   pair is re-solved from scratch and the full pruned sweep runs.
+//!
+//! With the (default-on) `parallel` feature the row-pair sweep fans out
+//! across threads via `std::thread::scope` (the offline build container
+//! cannot fetch rayon; the fan-out shape is the same `par_iter`-style
+//! contiguous chunking). Each worker prunes against its own local best
+//! seeded from the warm witness, and the final merge uses the same
+//! deterministic total order as the serial path — maximum value, ties
+//! broken toward the lowest `(q_row, d_row)` — so parallel results are
+//! bit-identical to serial ones.
+//!
 //! The module also contains a brute-force reference solver built on
 //! Lemma 3 (the optimum places each `x_j` at either `m` or `e^α m`, so it
 //! suffices to enumerate the `2^n` splits) and adapters to the generic LP
@@ -46,6 +102,11 @@ pub struct LossWitness {
     pub d_sum: f64,
     /// The loss value `L(α)` (natural log).
     pub value: f64,
+    /// The active index subset behind `q_sum`/`d_sum`, ascending. Stored
+    /// so a later evaluation at a different α can re-validate this
+    /// witness against Inequalities (21)/(22) in `O(n)` (the sums are
+    /// α-independent; only the inequalities move).
+    pub active: Vec<usize>,
 }
 
 impl LossWitness {
@@ -57,81 +118,575 @@ impl LossWitness {
     pub fn value_at(&self, alpha: f64) -> f64 {
         objective(self.q_sum, self.d_sum, alpha).ln()
     }
+
+    /// The zero witness (`L = 0`): returned for `α = 0`, single-state
+    /// matrices, and matrices with no informative row pair.
+    fn zero() -> Self {
+        LossWitness {
+            q_row: 0,
+            d_row: 0,
+            q_sum: 0.0,
+            d_sum: 0.0,
+            value: 0.0,
+            active: Vec::new(),
+        }
+    }
 }
 
 /// The objective `(q(e^α−1)+1)/(d(e^α−1)+1)` of Theorem 4.
 #[inline]
 pub(crate) fn objective(q: f64, d: f64, alpha: f64) -> f64 {
-    let em1 = alpha.exp_m1();
+    objective_em1(q, d, alpha.exp_m1())
+}
+
+/// [`objective`] with `e^α − 1` precomputed (the sweep hot path).
+#[inline]
+fn objective_em1(q: f64, d: f64, em1: f64) -> f64 {
     (q * em1 + 1.0) / (d * em1 + 1.0)
+}
+
+/// Reusable buffers for the per-pair active-set iteration: candidate
+/// indices and their `q`/`d` coefficients, compacted in place on each
+/// discard sweep. One instance serves an entire row-pair sweep, so the
+/// inner loop allocates nothing after the first pair.
+#[derive(Debug, Default)]
+struct SweepScratch {
+    idx: Vec<usize>,
+    q: Vec<f64>,
+    d: Vec<f64>,
+}
+
+impl SweepScratch {
+    fn with_capacity(n: usize) -> Self {
+        SweepScratch {
+            idx: Vec::with_capacity(n),
+            q: Vec::with_capacity(n),
+            d: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Algorithm 1 lines 3–11 for one ordered row pair, writing the active
+/// set into `scratch` (which retains the surviving indices on return).
+/// Returns `(q_sum, d_sum)` of the active subset.
+fn solve_pair_into(q_row: &[f64], d_row: &[f64], em1: f64, s: &mut SweepScratch) -> (f64, f64) {
+    debug_assert_eq!(q_row.len(), d_row.len());
+    s.idx.clear();
+    s.q.clear();
+    s.d.clear();
+    // Corollary 2: only indices with q_j > d_j can be active.
+    for (j, (&qj, &dj)) in q_row.iter().zip(d_row).enumerate() {
+        if qj > dj {
+            s.idx.push(j);
+            s.q.push(qj);
+            s.d.push(dj);
+        }
+    }
+    loop {
+        let q: f64 = s.q.iter().sum();
+        let d: f64 = s.d.iter().sum();
+        let before = s.idx.len();
+        // Inequality (21), cross-multiplied to stay well-defined at d_j = 0
+        // and rearranged for numerical stability at large α (avoids adding
+        // 1 to q·e^α, which swamps f64 precision past α ≈ 55):
+        // q_j/d_j > (q·em1+1)/(d·em1+1) ⇔ em1·(q_j·d − d_j·q) > d_j − q_j.
+        // Survivors are compacted to the front of the scratch buffers.
+        let mut keep = 0;
+        for r in 0..before {
+            let (qj, dj) = (s.q[r], s.d[r]);
+            if em1 * (qj * d - dj * q) > dj - qj {
+                s.idx[keep] = s.idx[r];
+                s.q[keep] = qj;
+                s.d[keep] = dj;
+                keep += 1;
+            }
+        }
+        s.idx.truncate(keep);
+        s.q.truncate(keep);
+        s.d.truncate(keep);
+        if keep == before {
+            return (q, d);
+        }
+    }
 }
 
 /// Solve the program (18)–(20) for one ordered row pair via Algorithm 1
 /// lines 3–11. Returns `(q_sum, d_sum)` of the active subset.
+#[cfg(test)]
 pub(crate) fn solve_pair(q_row: &[f64], d_row: &[f64], alpha: f64) -> (f64, f64) {
-    let (q, d, _) = solve_pair_active(q_row, d_row, alpha);
-    (q, d)
+    let mut s = SweepScratch::with_capacity(q_row.len());
+    solve_pair_into(q_row, d_row, alpha.exp_m1(), &mut s)
 }
 
 /// As [`solve_pair`], additionally returning the active index set — used
 /// by tests that verify Theorem 4's Inequalities (21)/(22) directly.
+#[cfg(test)]
 pub(crate) fn solve_pair_active(
     q_row: &[f64],
     d_row: &[f64],
     alpha: f64,
 ) -> (f64, f64, Vec<usize>) {
-    debug_assert_eq!(q_row.len(), d_row.len());
-    let em1 = alpha.exp_m1();
-    // Corollary 2: only indices with q_j > d_j can be active.
-    let mut active: Vec<(usize, f64, f64)> = q_row
-        .iter()
-        .zip(d_row)
-        .enumerate()
-        .filter(|(_, (qj, dj))| qj > dj)
-        .map(|(j, (&qj, &dj))| (j, qj, dj))
-        .collect();
-    loop {
-        let q: f64 = active.iter().map(|p| p.1).sum();
-        let d: f64 = active.iter().map(|p| p.2).sum();
-        let before = active.len();
-        // Inequality (21), cross-multiplied to stay well-defined at d_j = 0
-        // and rearranged for numerical stability at large α (avoids adding
-        // 1 to q·e^α, which swamps f64 precision past α ≈ 55):
-        // q_j/d_j > (q·em1+1)/(d·em1+1) ⇔ em1·(q_j·d − d_j·q) > d_j − q_j.
-        active.retain(|&(_, qj, dj)| em1 * (qj * d - dj * q) > dj - qj);
-        if active.len() == before {
-            return (q, d, active.into_iter().map(|p| p.0).collect());
+    let mut s = SweepScratch::with_capacity(q_row.len());
+    let (q, d) = solve_pair_into(q_row, d_row, alpha.exp_m1(), &mut s);
+    (q, d, std::mem::take(&mut s.idx))
+}
+
+/// Per-pair α-independent pruning data: the candidate gap mass `g₀`
+/// (total variation between the rows) and the maximum candidate ratio
+/// `r_max` (see the module docs for the bounds they induce).
+#[derive(Debug, Clone, Copy)]
+struct PairBound {
+    q_row: u32,
+    d_row: u32,
+    g0: f64,
+    rmax: f64,
+}
+
+/// Precomputed pruning index over all informative ordered row pairs of
+/// one matrix, sorted by gap mass `g₀` descending (ties toward the
+/// lowest `(q_row, d_row)` so sweeps visit pairs in a deterministic
+/// order). Building the index is `O(n³)`; it is built once per matrix
+/// (and cached by [`crate::TemporalLossFunction`]) and amortized across
+/// every evaluation of the loss function.
+#[derive(Debug, Clone)]
+pub struct PairIndex {
+    n: usize,
+    pairs: Vec<PairBound>,
+}
+
+impl PairIndex {
+    /// Scan all ordered row pairs of `matrix` and build the sorted bound
+    /// index. Pairs with no Corollary-2 candidate (`g₀ = 0`, so
+    /// `L(a,b) ≡ 0`) are dropped immediately.
+    pub fn new(matrix: &TransitionMatrix) -> Self {
+        let n = matrix.n();
+        let mut pairs = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
+        for a in 0..n {
+            let q_row = matrix.row(a);
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let d_row = matrix.row(b);
+                let mut g0 = 0.0;
+                let mut rmax = 1.0_f64;
+                for (&qj, &dj) in q_row.iter().zip(d_row) {
+                    if qj > dj {
+                        g0 += qj - dj;
+                        rmax = rmax.max(if dj == 0.0 { f64::INFINITY } else { qj / dj });
+                    }
+                }
+                if g0 > 0.0 {
+                    pairs.push(PairBound {
+                        q_row: a as u32,
+                        d_row: b as u32,
+                        g0,
+                        rmax,
+                    });
+                }
+            }
+        }
+        pairs.sort_unstable_by(|x, y| {
+            y.g0.partial_cmp(&x.g0)
+                .expect("g0 is a finite probability sum")
+                .then_with(|| (x.q_row, x.d_row).cmp(&(y.q_row, y.d_row)))
+        });
+        PairIndex { n, pairs }
+    }
+
+    /// Domain size the index was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of informative pairs retained (`≤ n(n−1)`).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair can produce positive loss (`L ≡ 0`).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// A sweep incumbent: the objective is kept in the exponential domain
+/// (`e^L`) so pruning comparisons avoid a `ln` per pair.
+#[derive(Debug, Clone, Copy)]
+struct Incumbent {
+    obj: f64,
+    q_row: usize,
+    d_row: usize,
+    q_sum: f64,
+    d_sum: f64,
+}
+
+impl Incumbent {
+    fn sentinel() -> Self {
+        Incumbent {
+            obj: 1.0,
+            q_row: 0,
+            d_row: 0,
+            q_sum: 0.0,
+            d_sum: 0.0,
         }
     }
+
+    /// The deterministic total order all sweep variants share: maximum
+    /// objective, ties broken toward the lowest `(q_row, d_row)` — which
+    /// is exactly what the naive row-major first-strict-max sweep picks,
+    /// and what makes serial, pruned, and parallel results identical.
+    fn beats(&self, other: &Incumbent) -> bool {
+        self.obj > other.obj
+            || (self.obj == other.obj && (self.q_row, self.d_row) < (other.q_row, other.d_row))
+    }
+}
+
+/// Relative slack applied to both pruning bounds before comparing them
+/// against the incumbent. The bounds hold exactly in real arithmetic,
+/// but the *computed* objective `fl((q·em1+1)/(d·em1+1))` can land a few
+/// ulps above a *computed* bound when the true margin is below f64
+/// precision (e.g. at large α the margin `(q/d − obj)` shrinks like
+/// `1/em1`, far under one ulp of `q/d`). Inflating the bound by a few
+/// ulps keeps pruning strictly conservative, preserving the
+/// bit-identical guarantee versus the unpruned sweep; the perf cost is
+/// re-examining the rare pair sitting within a whisker of the incumbent.
+const BOUND_SLACK: f64 = 1.0 + 8.0 * f64::EPSILON;
+
+/// Sweep a contiguous `range` of the sorted pair index, updating `best`
+/// in place. `skip` marks a pair already accounted for (the warm
+/// witness), which must not be re-solved.
+fn sweep_range(
+    matrix: &TransitionMatrix,
+    index: &PairIndex,
+    range: std::ops::Range<usize>,
+    em1: f64,
+    best: &mut Incumbent,
+    skip: Option<(usize, usize)>,
+    scratch: &mut SweepScratch,
+) {
+    for i in range {
+        let pb = &index.pairs[i];
+        // Pairs are sorted by g₀ descending, so the gap bound only
+        // shrinks from here on: the first pair it excludes ends the
+        // sweep (either bound below the incumbent excludes a pair — the
+        // objective never exceeds min(gap bound, ratio bound)).
+        if (pb.g0 * em1 + 1.0) * BOUND_SLACK < best.obj {
+            break;
+        }
+        let (a, b) = (pb.q_row as usize, pb.d_row as usize);
+        if Some((a, b)) == skip || pb.rmax.max(1.0) * BOUND_SLACK < best.obj {
+            continue;
+        }
+        let (q, d) = solve_pair_into(matrix.row(a), matrix.row(b), em1, scratch);
+        let cand = Incumbent {
+            obj: objective_em1(q, d, em1),
+            q_row: a,
+            d_row: b,
+            q_sum: q,
+            d_sum: d,
+        };
+        if cand.beats(best) {
+            *best = cand;
+        }
+    }
+}
+
+/// Minimum number of informative pairs before the sweep fans out across
+/// threads (below this the spawn overhead dominates).
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_PAIRS: usize = 256;
+
+/// Fan the pruned sweep out over `threads` workers on contiguous chunks
+/// of the sorted index, each pruning against a local incumbent seeded
+/// from `init`, then merge deterministically through
+/// [`Incumbent::beats`] — the same total order the serial sweep applies,
+/// so the result is bit-identical regardless of chunking.
+#[cfg(feature = "parallel")]
+fn sweep_parallel(
+    matrix: &TransitionMatrix,
+    index: &PairIndex,
+    em1: f64,
+    init: Incumbent,
+    skip: Option<(usize, usize)>,
+    threads: usize,
+) -> Incumbent {
+    let threads = threads.min(index.len()).max(1);
+    let chunk = index.len().div_ceil(threads);
+    let locals = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(index.len());
+                scope.spawn(move || {
+                    let mut local = init;
+                    let mut scratch = SweepScratch::with_capacity(index.n());
+                    sweep_range(matrix, index, lo..hi, em1, &mut local, skip, &mut scratch);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut best = init;
+    for local in locals {
+        if local.beats(&best) {
+            best = local;
+        }
+    }
+    best
+}
+
+/// Run the pruned sweep over the whole index, fanning out across threads
+/// when the `parallel` feature is on and the index is large enough.
+/// Deterministic: every variant merges through [`Incumbent::beats`].
+fn sweep_index(
+    matrix: &TransitionMatrix,
+    index: &PairIndex,
+    em1: f64,
+    init: Incumbent,
+    skip: Option<(usize, usize)>,
+) -> Incumbent {
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        // Warm-started sweeps (init above the sentinel) almost always
+        // early-break after a handful of bound checks; the fan-out only
+        // pays for itself on cold sweeps over a large index.
+        if init.obj == 1.0 && index.len() >= PARALLEL_MIN_PAIRS && threads > 1 {
+            return sweep_parallel(matrix, index, em1, init, skip, threads);
+        }
+    }
+    let mut best = init;
+    let mut scratch = SweepScratch::with_capacity(index.n());
+    sweep_range(
+        matrix,
+        index,
+        0..index.len(),
+        em1,
+        &mut best,
+        skip,
+        &mut scratch,
+    );
+    best
+}
+
+/// Check Theorem 4's sufficient optimality conditions for a cached
+/// active subset at a new α in one `O(n)` pass: Inequality (21) must
+/// hold for every member and Inequality (22) for every non-member
+/// candidate (non-candidates satisfy (22) automatically since
+/// `q_j ≤ d_j` forces `q_j·d − d_j·q ≤ 0 ≤ d_j − q_j`). The subset's
+/// sums are α-independent; the caller re-derives them from the rows and
+/// passes them in.
+fn witness_still_optimal(
+    q_row: &[f64],
+    d_row: &[f64],
+    active: &[usize],
+    q_sum: f64,
+    d_sum: f64,
+    em1: f64,
+) -> bool {
+    let mut members = active.iter().copied().peekable();
+    for (j, (&qj, &dj)) in q_row.iter().zip(d_row).enumerate() {
+        let is_member = members.peek() == Some(&j);
+        if is_member {
+            members.next();
+            if em1 * (qj * d_sum - dj * q_sum) <= dj - qj {
+                return false; // (21) violated: the member must leave
+            }
+        } else if qj > dj && em1 * (qj * d_sum - dj * q_sum) > dj - qj {
+            return false; // (22) violated: an outsider must enter
+        }
+    }
+    members.peek().is_none()
+}
+
+/// Evaluate `L(α)` against a prebuilt [`PairIndex`], optionally
+/// warm-started from a previous evaluation's witness.
+///
+/// `index` must have been built by [`PairIndex::new`] from this same
+/// `matrix` (an index of the wrong size is rejected; an index of the
+/// right size but from a different matrix silently mis-prunes —
+/// [`crate::TemporalLossFunction`] is the canonical caller and keeps
+/// the two paired). The warm witness may come from *any* previous
+/// evaluation: its pair and active subset are re-validated against this
+/// matrix's rows in `O(n)` (the subset sums are re-derived from the
+/// rows, not trusted), so a stale witness can never seed a fictitious
+/// incumbent; whether it validates, is re-solved, or is absent, the
+/// pruned sweep always completes the search and the result is identical
+/// to a cold evaluation — only faster.
+pub fn temporal_loss_witness_indexed(
+    matrix: &TransitionMatrix,
+    index: &PairIndex,
+    alpha: f64,
+    warm: Option<&LossWitness>,
+) -> Result<LossWitness> {
+    check_alpha(alpha)?;
+    let n = matrix.n();
+    if index.n() != n {
+        return Err(crate::TplError::DimensionMismatch {
+            expected: n,
+            found: index.n(),
+        });
+    }
+    if n < 2 || alpha == 0.0 || index.is_empty() {
+        return Ok(LossWitness::zero());
+    }
+    let em1 = alpha.exp_m1();
+    let mut init = Incumbent::sentinel();
+    let mut skip = None;
+    if let Some(w) = warm {
+        // The zero witness carries no pair to warm-start from; a
+        // witness whose indices do not fit this matrix is ignored.
+        if w.q_row != w.d_row && w.q_row < n && w.d_row < n && w.active.iter().all(|&j| j < n) {
+            let (q_row, d_row) = (matrix.row(w.q_row), matrix.row(w.d_row));
+            // Re-derive the subset sums from *this* matrix's rows —
+            // bitwise identical to the stored sums for a same-matrix
+            // witness (same coefficients, same ascending order as
+            // `solve_pair_into`'s final sweep), and safe against a
+            // witness carried over from a different matrix.
+            let q_sum: f64 = w.active.iter().map(|&j| q_row[j]).sum();
+            let d_sum: f64 = w.active.iter().map(|&j| d_row[j]).sum();
+            let (q, d) = if witness_still_optimal(q_row, d_row, &w.active, q_sum, d_sum, em1) {
+                (q_sum, d_sum)
+            } else {
+                // The active set shifted: re-solve just this pair.
+                let mut scratch = SweepScratch::with_capacity(n);
+                solve_pair_into(q_row, d_row, em1, &mut scratch)
+            };
+            let cand = Incumbent {
+                obj: objective_em1(q, d, em1),
+                q_row: w.q_row,
+                d_row: w.d_row,
+                q_sum: q,
+                d_sum: d,
+            };
+            if cand.beats(&init) {
+                init = cand;
+            }
+            skip = Some((w.q_row, w.d_row));
+        }
+    }
+    let best = sweep_index(matrix, index, em1, init, skip);
+    Ok(finalize_witness(matrix, em1, best))
+}
+
+/// Turn a sweep incumbent into a full [`LossWitness`], recovering the
+/// winning pair's active set (one extra pair solve) so the witness can
+/// warm-start the next evaluation.
+fn finalize_witness(matrix: &TransitionMatrix, em1: f64, best: Incumbent) -> LossWitness {
+    if best.obj <= 1.0 {
+        return LossWitness::zero();
+    }
+    let mut scratch = SweepScratch::with_capacity(matrix.n());
+    let (q, d) = solve_pair_into(
+        matrix.row(best.q_row),
+        matrix.row(best.d_row),
+        em1,
+        &mut scratch,
+    );
+    debug_assert_eq!((q, d), (best.q_sum, best.d_sum));
+    LossWitness {
+        q_row: best.q_row,
+        d_row: best.d_row,
+        q_sum: best.q_sum,
+        d_sum: best.d_sum,
+        value: best.obj.ln(),
+        active: std::mem::take(&mut scratch.idx),
+    }
+}
+
+/// Evaluate `L(α)` with the parallel sweep forced onto an explicit
+/// worker count, regardless of [`std::thread::available_parallelism`] or
+/// the index-size threshold — the determinism hook the property tests
+/// use to hold parallel results bit-identical to serial ones even on
+/// single-core machines.
+#[cfg(feature = "parallel")]
+pub fn temporal_loss_witness_forced_parallel(
+    matrix: &TransitionMatrix,
+    alpha: f64,
+    threads: usize,
+) -> Result<LossWitness> {
+    check_alpha(alpha)?;
+    let index = PairIndex::new(matrix);
+    if matrix.n() < 2 || alpha == 0.0 || index.is_empty() {
+        return Ok(LossWitness::zero());
+    }
+    let em1 = alpha.exp_m1();
+    let best = sweep_parallel(matrix, &index, em1, Incumbent::sentinel(), None, threads);
+    Ok(finalize_witness(matrix, em1, best))
 }
 
 /// Evaluate `L(α)` over all ordered row pairs of `matrix` (Algorithm 1
 /// lines 2 and 12), returning the maximizing witness.
 ///
+/// Builds a fresh [`PairIndex`] per call; recursions should go through
+/// [`crate::TemporalLossFunction`], which caches the index *and* the
+/// witness across steps.
+///
 /// `α = 0` always yields `L = 0` (no prior leakage to amplify); a matrix
 /// with a single state likewise yields `0`.
 pub fn temporal_loss_witness(matrix: &TransitionMatrix, alpha: f64) -> Result<LossWitness> {
-    check_alpha(alpha)?;
-    let n = matrix.n();
-    let mut best = LossWitness { q_row: 0, d_row: 0, q_sum: 0.0, d_sum: 0.0, value: 0.0 };
-    for a in 0..n {
-        for b in 0..n {
-            if a == b {
-                continue;
-            }
-            let (q, d) = solve_pair(matrix.row(a), matrix.row(b), alpha);
-            let value = objective(q, d, alpha).ln();
-            if value > best.value {
-                best = LossWitness { q_row: a, d_row: b, q_sum: q, d_sum: d, value };
-            }
-        }
-    }
-    Ok(best)
+    let index = PairIndex::new(matrix);
+    temporal_loss_witness_indexed(matrix, &index, alpha, None)
 }
 
 /// Evaluate the temporal loss function `L(α)` (Equations 23/24).
 pub fn temporal_loss(matrix: &TransitionMatrix, alpha: f64) -> Result<f64> {
     temporal_loss_witness(matrix, alpha).map(|w| w.value)
+}
+
+/// The naive unpruned, single-threaded row-major sweep (still with the
+/// zero-allocation inner loop) — the ablation baseline for the pruning
+/// benchmarks, and a second implementation the property tests hold
+/// bit-identical to the fast engine.
+pub fn temporal_loss_witness_unpruned(
+    matrix: &TransitionMatrix,
+    alpha: f64,
+) -> Result<LossWitness> {
+    check_alpha(alpha)?;
+    let n = matrix.n();
+    if n < 2 || alpha == 0.0 {
+        return Ok(LossWitness::zero());
+    }
+    let em1 = alpha.exp_m1();
+    let mut scratch = SweepScratch::with_capacity(n);
+    let mut best = Incumbent::sentinel();
+    let mut best_active = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (q, d) = solve_pair_into(matrix.row(a), matrix.row(b), em1, &mut scratch);
+            let cand = Incumbent {
+                obj: objective_em1(q, d, em1),
+                q_row: a,
+                d_row: b,
+                q_sum: q,
+                d_sum: d,
+            };
+            if cand.beats(&best) {
+                best = cand;
+                best_active.clear();
+                best_active.extend_from_slice(&scratch.idx);
+            }
+        }
+    }
+    if best.obj <= 1.0 {
+        return Ok(LossWitness::zero());
+    }
+    Ok(LossWitness {
+        q_row: best.q_row,
+        d_row: best.d_row,
+        q_sum: best.q_sum,
+        d_sum: best.d_sum,
+        value: best.obj.ln(),
+        active: best_active,
+    })
 }
 
 /// Brute-force reference via Lemma 3: the optimum places each variable at
@@ -141,7 +696,10 @@ pub fn temporal_loss(matrix: &TransitionMatrix, alpha: f64) -> Result<f64> {
 pub fn temporal_loss_brute_force(matrix: &TransitionMatrix, alpha: f64) -> Result<f64> {
     check_alpha(alpha)?;
     let n = matrix.n();
-    assert!(n <= 20, "brute force is exponential; use temporal_loss for large n");
+    assert!(
+        n <= 20,
+        "brute force is exponential; use temporal_loss for large n"
+    );
     let mut best = 0.0_f64;
     for a in 0..n {
         for b in 0..n {
@@ -218,6 +776,8 @@ pub fn temporal_loss_lp(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn m(rows: Vec<Vec<f64>>) -> TransitionMatrix {
         TransitionMatrix::from_rows(rows).unwrap()
@@ -230,12 +790,16 @@ mod tests {
         let p = m(vec![vec![0.8, 0.2], vec![0.0, 1.0]]);
         let expected = (0.8 * 0.1_f64.exp_m1() + 1.0).ln();
         let got = temporal_loss(&p, 0.1).unwrap();
-        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
-        // Witness records q = 0.8, d = 0 on rows (0, 1).
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
+        // Witness records q = 0.8, d = 0 on rows (0, 1), active index {0}.
         let w = temporal_loss_witness(&p, 0.1).unwrap();
         assert_eq!((w.q_row, w.d_row), (0, 1));
         assert!((w.q_sum - 0.8).abs() < 1e-12);
         assert_eq!(w.d_sum, 0.0);
+        assert_eq!(w.active, vec![0]);
     }
 
     #[test]
@@ -257,6 +821,8 @@ mod tests {
         for alpha in [0.1, 1.0, 10.0] {
             assert_eq!(temporal_loss(&p, alpha).unwrap(), 0.0);
         }
+        // ...and the pruning index drops every pair at build time.
+        assert!(PairIndex::new(&p).is_empty());
     }
 
     #[test]
@@ -359,6 +925,128 @@ mod tests {
                             );
                         }
                     }
+                    // The validator must accept exactly this subset...
+                    let em1 = alpha.exp_m1();
+                    assert!(witness_still_optimal(qr, dr, &active, q, d, em1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validator_rejects_stale_active_sets() {
+        // At α = 0.02 both candidates of this pair are active (the
+        // threshold ≈ 1.0102 sits below q_1/d_1 ≈ 1.0294); at α = 3 index
+        // 1 must leave. Each α's active set therefore fails validation at
+        // the other α.
+        let q_row = [0.55, 0.35, 0.10];
+        let d_row = [0.05, 0.34, 0.61];
+        let (q_lo, d_lo, act_lo) = solve_pair_active(&q_row, &d_row, 0.02);
+        let (q_hi, d_hi, act_hi) = solve_pair_active(&q_row, &d_row, 3.0);
+        assert_eq!(act_lo, vec![0, 1]);
+        assert_eq!(act_hi, vec![0]);
+        assert!(!witness_still_optimal(
+            &q_row,
+            &d_row,
+            &act_lo,
+            q_lo,
+            d_lo,
+            3.0_f64.exp_m1()
+        ));
+        assert!(!witness_still_optimal(
+            &q_row,
+            &d_row,
+            &act_hi,
+            q_hi,
+            d_hi,
+            0.02_f64.exp_m1()
+        ));
+    }
+
+    #[test]
+    fn stale_warm_witness_from_another_matrix_is_harmless() {
+        // A witness cached against matrix A, fed into an evaluation of
+        // matrix B, must not change B's result: the subset sums are
+        // re-derived from B's rows before validation.
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = TransitionMatrix::random_uniform(6, &mut rng).unwrap();
+        let b = TransitionMatrix::random_uniform(6, &mut rng).unwrap();
+        let index_b = PairIndex::new(&b);
+        for alpha in [0.05, 0.8, 5.0] {
+            let stale = temporal_loss_witness(&a, alpha).unwrap();
+            let cold = temporal_loss_witness(&b, alpha).unwrap();
+            let warmed = temporal_loss_witness_indexed(&b, &index_b, alpha, Some(&stale)).unwrap();
+            assert_eq!(warmed, cold, "alpha={alpha}");
+        }
+        // A witness whose indices exceed the domain is ignored, not a panic.
+        let big = TransitionMatrix::random_uniform(12, &mut rng).unwrap();
+        let oversized = temporal_loss_witness(&big, 1.0).unwrap();
+        let warmed = temporal_loss_witness_indexed(&b, &index_b, 1.0, Some(&oversized)).unwrap();
+        assert_eq!(warmed, temporal_loss_witness(&b, 1.0).unwrap());
+    }
+
+    #[test]
+    fn mismatched_index_is_rejected() {
+        let p2 = TransitionMatrix::identity(2).unwrap();
+        let p3 = TransitionMatrix::identity(3).unwrap();
+        let index3 = PairIndex::new(&p3);
+        assert!(matches!(
+            temporal_loss_witness_indexed(&p2, &index3, 1.0, None),
+            Err(crate::TplError::DimensionMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn warm_start_matches_cold_across_alpha_jumps() {
+        // Warm-started evaluation must be bit-identical to cold, even when
+        // α jumps around non-monotonically (as in the balance searches).
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [3usize, 6, 12] {
+            let p = TransitionMatrix::random_uniform(n, &mut rng).unwrap();
+            let index = PairIndex::new(&p);
+            let mut warm: Option<LossWitness> = None;
+            for alpha in [0.5, 0.52, 0.6, 5.0, 0.1, 2.0, 2.01, 40.0, 0.01] {
+                let cold = temporal_loss_witness(&p, alpha).unwrap();
+                let warmed =
+                    temporal_loss_witness_indexed(&p, &index, alpha, warm.as_ref()).unwrap();
+                assert_eq!(cold, warmed, "n={n} alpha={alpha}");
+                warm = Some(warmed);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_matches_unpruned_bitwise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2usize, 5, 17, 30] {
+            let p = TransitionMatrix::random_uniform(n, &mut rng).unwrap();
+            for alpha in [0.05, 1.0, 10.0, 80.0] {
+                let fast = temporal_loss_witness(&p, alpha).unwrap();
+                let naive = temporal_loss_witness_unpruned(&p, alpha).unwrap();
+                assert_eq!(fast, naive, "n={n} alpha={alpha}");
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_sweep_is_bit_identical_across_thread_counts() {
+        // Forced onto 1..=7 workers (more workers than this container has
+        // cores is fine — std threads multiplex), every fan-out must
+        // reproduce the serial witness exactly: same value bits, same
+        // maximizing pair, same active set.
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [5usize, 17, 40] {
+            let p = TransitionMatrix::random_uniform(n, &mut rng).unwrap();
+            for alpha in [0.05, 1.0, 10.0, 80.0] {
+                let serial = temporal_loss_witness_unpruned(&p, alpha).unwrap();
+                for threads in [1usize, 2, 3, 7] {
+                    let par = temporal_loss_witness_forced_parallel(&p, alpha, threads).unwrap();
+                    assert_eq!(par, serial, "n={n} alpha={alpha} threads={threads}");
+                    assert_eq!(par.value.to_bits(), serial.value.to_bits());
                 }
             }
         }
@@ -404,9 +1092,18 @@ mod tests {
             let cc = temporal_loss_lp(&p, alpha, LpBaseline::CharnesCooper).unwrap();
             let dk = temporal_loss_lp(&p, alpha, LpBaseline::Dinkelbach).unwrap();
             let rev = temporal_loss_lp(&p, alpha, LpBaseline::CharnesCooperRevised).unwrap();
-            assert!((fast - cc).abs() < 1e-6, "alpha={alpha}: fast={fast} cc={cc}");
-            assert!((fast - dk).abs() < 1e-6, "alpha={alpha}: fast={fast} dk={dk}");
-            assert!((fast - rev).abs() < 1e-6, "alpha={alpha}: fast={fast} rev={rev}");
+            assert!(
+                (fast - cc).abs() < 1e-6,
+                "alpha={alpha}: fast={fast} cc={cc}"
+            );
+            assert!(
+                (fast - dk).abs() < 1e-6,
+                "alpha={alpha}: fast={fast} dk={dk}"
+            );
+            assert!(
+                (fast - rev).abs() < 1e-6,
+                "alpha={alpha}: fast={fast} rev={rev}"
+            );
         }
     }
 
@@ -423,5 +1120,31 @@ mod tests {
         let p = m(vec![vec![0.8, 0.2], vec![0.1, 0.9]]);
         let l = temporal_loss(&p, 60.0).unwrap();
         assert!((l - (0.8_f64 / 0.1).ln()).abs() < 1e-6, "l={l}");
+    }
+
+    #[test]
+    fn pair_index_orders_and_bounds() {
+        let p = m(vec![
+            vec![0.1, 0.2, 0.7],
+            vec![0.0, 0.0, 1.0],
+            vec![0.3, 0.3, 0.4],
+        ]);
+        let index = PairIndex::new(&p);
+        assert_eq!(index.n(), 3);
+        assert!(!index.is_empty() && index.len() <= 6);
+        // Sorted by g0 (gap mass = total variation) descending.
+        for w in index.pairs.windows(2) {
+            assert!(w[0].g0 >= w[1].g0);
+        }
+        // Each pair's bounds genuinely dominate its optimum across α.
+        for alpha in [0.2f64, 1.0, 6.0] {
+            let em1 = alpha.exp_m1();
+            for pb in &index.pairs {
+                let (q, d) = solve_pair(p.row(pb.q_row as usize), p.row(pb.d_row as usize), alpha);
+                let obj = objective(q, d, alpha);
+                assert!(obj <= pb.g0 * em1 + 1.0 + 1e-12);
+                assert!(obj <= pb.rmax.max(1.0) + 1e-12);
+            }
+        }
     }
 }

@@ -30,7 +30,10 @@ pub fn sequence_guarantee(acc: &TplAccountant, t: usize, j: usize) -> Result<f64
     let end = t
         .checked_add(j)
         .filter(|&e| e < t_len)
-        .ok_or(TplError::DimensionMismatch { expected: t_len, found: t + j + 1 })?;
+        .ok_or(TplError::DimensionMismatch {
+            expected: t_len,
+            found: t + j + 1,
+        })?;
     let bpl = acc.bpl_series();
     let fpl = acc.fpl_series()?;
     let eps = acc.budgets();
@@ -57,7 +60,10 @@ pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
         return Err(TplError::EmptyTimeline);
     }
     if w == 0 || w > t_len {
-        return Err(TplError::DimensionMismatch { expected: t_len, found: w });
+        return Err(TplError::DimensionMismatch {
+            expected: t_len,
+            found: w,
+        });
     }
     let mut worst = f64::NEG_INFINITY;
     for t in 0..=(t_len - w) {
@@ -109,7 +115,11 @@ pub fn table_ii(acc: &TplAccountant, w: usize) -> Result<Vec<TableIiRow>> {
             independent: w_independent,
             correlated: w_event_guarantee(acc, w_eff)?,
         },
-        TableIiRow { notion: "user-level".into(), independent: user, correlated: user },
+        TableIiRow {
+            notion: "user-level".into(),
+            independent: user,
+            correlated: user,
+        },
     ])
 }
 
@@ -118,7 +128,12 @@ mod tests {
     use super::*;
     use tcdp_markov::TransitionMatrix;
 
-    fn uniform_timeline(pb: TransitionMatrix, pf: TransitionMatrix, eps: f64, t_len: usize) -> TplAccountant {
+    fn uniform_timeline(
+        pb: TransitionMatrix,
+        pf: TransitionMatrix,
+        eps: f64,
+        t_len: usize,
+    ) -> TplAccountant {
         let mut acc = TplAccountant::with_both(pb, pf).unwrap();
         acc.observe_uniform(eps, t_len).unwrap();
         acc
@@ -167,7 +182,10 @@ mod tests {
         assert!(sequence_guarantee(&acc, 5, 0).is_err());
         assert!(sequence_guarantee(&acc, 0, 4).is_ok());
         let empty = TplAccountant::traditional();
-        assert_eq!(sequence_guarantee(&empty, 0, 0).unwrap_err(), TplError::EmptyTimeline);
+        assert_eq!(
+            sequence_guarantee(&empty, 0, 0).unwrap_err(),
+            TplError::EmptyTimeline
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub fn posterior_trajectory(
     let n = chain.n();
     for obs in observations {
         if obs.residual.len() != n {
-            return Err(TplError::DimensionMismatch { expected: n, found: obs.residual.len() });
+            return Err(TplError::DimensionMismatch {
+                expected: n,
+                found: obs.residual.len(),
+            });
         }
     }
     let t_len = observations.len();
@@ -96,7 +99,9 @@ pub fn posterior_trajectory(
         }
         let sum: f64 = alphas[t].iter().sum();
         if sum <= 0.0 {
-            return Err(TplError::Markov(tcdp_markov::MarkovError::ZeroMass { state: 0 }));
+            return Err(TplError::Markov(tcdp_markov::MarkovError::ZeroMass {
+                state: 0,
+            }));
         }
         for a in &mut alphas[t] {
             *a /= sum;
@@ -149,7 +154,10 @@ pub fn map_states(posteriors: &[Vec<f64>]) -> Vec<usize> {
 /// Fraction of time points where the guess matches the truth.
 pub fn attack_accuracy(truth: &[usize], guesses: &[usize]) -> Result<f64> {
     if truth.len() != guesses.len() || truth.is_empty() {
-        return Err(TplError::DimensionMismatch { expected: truth.len(), found: guesses.len() });
+        return Err(TplError::DimensionMismatch {
+            expected: truth.len(),
+            found: guesses.len(),
+        });
     }
     let hits = truth.iter().zip(guesses).filter(|(a, b)| a == b).count();
     Ok(hits as f64 / truth.len() as f64)
@@ -256,7 +264,10 @@ mod tests {
                 for (k, r) in residual.iter_mut().enumerate() {
                     *r = if s == k { 1.0 } else { 0.0 } + lap.sample(&mut rng);
                 }
-                ResidualObservation { residual, scale: 2.0 }
+                ResidualObservation {
+                    residual,
+                    scale: 2.0,
+                }
             })
             .collect();
         let posts = posterior_trajectory(&chain, &obs).unwrap();
@@ -272,7 +283,10 @@ mod tests {
     fn input_validation() {
         let chain = MarkovChain::uniform_start(TransitionMatrix::uniform(2).unwrap());
         assert!(posterior_trajectory(&chain, &[]).is_err());
-        let bad = ResidualObservation { residual: vec![0.0; 3], scale: 1.0 };
+        let bad = ResidualObservation {
+            residual: vec![0.0; 3],
+            scale: 1.0,
+        };
         assert!(posterior_trajectory(&chain, &[bad]).is_err());
         assert!(ResidualObservation::from_release(&[1.0], &[0.0, 0.0], 1.0).is_err());
         assert!(ResidualObservation::from_release(&[1.0], &[0.0], 0.0).is_err());
@@ -285,8 +299,7 @@ mod tests {
 
     #[test]
     fn residual_from_release_subtracts_others() {
-        let obs =
-            ResidualObservation::from_release(&[5.2, 3.1], &[4.0, 3.0], 1.0).unwrap();
+        let obs = ResidualObservation::from_release(&[5.2, 3.1], &[4.0, 3.0], 1.0).unwrap();
         assert!((obs.residual[0] - 1.2).abs() < 1e-12);
         assert!((obs.residual[1] - 0.1).abs() < 1e-12);
     }

@@ -81,7 +81,7 @@ pub use adversary::AdversaryT;
 pub use alg1::{temporal_loss, LossWitness};
 pub use loss::TemporalLossFunction;
 pub use release::{quantified_plan, upper_bound_plan, DptReleaser, ReleasePlan};
-pub use supremum::{epsilon_for_supremum, supremum_of_matrix, Supremum};
+pub use supremum::{epsilon_for_supremum, supremum_of_loss, supremum_of_matrix, Supremum};
 pub use wevent::{w_event_plan, WEventPlan};
 
 /// Errors produced by the temporal-privacy layer.

@@ -9,10 +9,35 @@
 //! ```text
 //! BPL(t) = L^B(BPL(t−1)) + ε_t        FPL(t) = L^F(FPL(t+1)) + ε_t
 //! ```
+//!
+//! # Caching across recursion steps
+//!
+//! Because one loss function is evaluated at a whole *sequence* of α
+//! values (T-step BPL/FPL recursions, the supremum fixed-point iteration,
+//! the Algorithm 2/3 balance bisections), this type carries two caches:
+//!
+//! * the [`PairIndex`] pruning bounds, built once per matrix on first
+//!   evaluation and reused forever (they are α-independent);
+//! * the previous evaluation's [`LossWitness`] with its active index
+//!   subset — the *warm-start invariant*: the cached witness stays valid
+//!   at a new α exactly while its active subset still satisfies
+//!   Theorem 4's Inequalities (21) (every member's ratio `q_j/d_j`
+//!   exceeds the subset's objective) and (22) (every non-member's ratio
+//!   does not), which [`crate::alg1`] re-checks in `O(n)` since the
+//!   subset's coefficient sums do not depend on α. While the invariant
+//!   holds — the common case along a monotone leakage recursion — each
+//!   step costs `O(n)` validation plus a pruned sweep that terminates
+//!   almost immediately, instead of a fresh `O(n⁴)` scan.
+//!
+//! Both caches are behaviorally invisible: results are bit-identical to
+//! cold evaluation. They are excluded from `PartialEq` and from the
+//! serialized form (a deserialized loss function simply rebuilds them on
+//! first use).
 
-use crate::alg1::{temporal_loss_witness, LossWitness};
+use crate::alg1::{temporal_loss_witness_indexed, LossWitness, PairIndex};
 use crate::{check_alpha, Result};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::{Mutex, OnceLock};
 use tcdp_markov::TransitionMatrix;
 
 /// A temporal privacy loss function built from one transition matrix.
@@ -28,15 +53,23 @@ use tcdp_markov::TransitionMatrix;
 /// let next = loss.step(0.1, 0.1).unwrap();
 /// assert!((next - 0.1808).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct TemporalLossFunction {
     matrix: TransitionMatrix,
+    /// α-independent pruning bounds, built lazily on first evaluation.
+    index: OnceLock<PairIndex>,
+    /// The previous evaluation's witness (warm-start seed).
+    warm: Mutex<Option<LossWitness>>,
 }
 
 impl TemporalLossFunction {
     /// Wrap a transition matrix.
     pub fn new(matrix: TransitionMatrix) -> Self {
-        Self { matrix }
+        Self {
+            matrix,
+            index: OnceLock::new(),
+            warm: Mutex::new(None),
+        }
     }
 
     /// The wrapped matrix.
@@ -55,9 +88,23 @@ impl TemporalLossFunction {
     }
 
     /// Evaluate `L(α)` and return the maximizing rows and subset sums.
+    ///
+    /// Reuses the cached pruning index and warm-starts from the previous
+    /// call's witness; both are transparent (results are bit-identical
+    /// to a cold evaluation).
     pub fn witness(&self, alpha: f64) -> Result<LossWitness> {
         check_alpha(alpha)?;
-        temporal_loss_witness(&self.matrix, alpha)
+        let index = self.index.get_or_init(|| PairIndex::new(&self.matrix));
+        let warm = self.warm.lock().expect("warm cache lock").clone();
+        let witness = temporal_loss_witness_indexed(&self.matrix, index, alpha, warm.as_ref())?;
+        *self.warm.lock().expect("warm cache lock") = Some(witness.clone());
+        Ok(witness)
+    }
+
+    /// The witness cached from the most recent evaluation, if any —
+    /// exposed for diagnostics and tests of the warm-start machinery.
+    pub fn cached_witness(&self) -> Option<LossWitness> {
+        self.warm.lock().expect("warm cache lock").clone()
     }
 
     /// Whether this correlation amplifies *nothing*: `L ≡ 0`, which holds
@@ -101,6 +148,47 @@ impl TemporalLossFunction {
     }
 }
 
+impl Clone for TemporalLossFunction {
+    /// Cloning carries the built pruning index along (it is derived purely
+    /// from the matrix) but starts with a cold witness cache.
+    fn clone(&self) -> Self {
+        let index = OnceLock::new();
+        if let Some(built) = self.index.get() {
+            let _ = index.set(built.clone());
+        }
+        Self {
+            matrix: self.matrix.clone(),
+            index,
+            warm: Mutex::new(None),
+        }
+    }
+}
+
+impl PartialEq for TemporalLossFunction {
+    /// Equality is defined by the wrapped matrix alone; caches are
+    /// derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix
+    }
+}
+
+impl Serialize for TemporalLossFunction {
+    /// Serializes as `{"matrix": ...}` (the derived shape before the
+    /// caches existed); caches are rebuilt on first use after restore.
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("matrix".to_string(), self.matrix.to_value())])
+    }
+}
+
+impl Deserialize for TemporalLossFunction {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let matrix = v.get("matrix").ok_or_else(|| DeError::missing("matrix"))?;
+        Ok(TemporalLossFunction::new(TransitionMatrix::from_value(
+            matrix,
+        )?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,8 +197,56 @@ mod tests {
     fn eval_matches_alg1() {
         let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap();
         let f = TemporalLossFunction::new(p.clone());
-        assert_eq!(f.eval(0.5).unwrap(), crate::alg1::temporal_loss(&p, 0.5).unwrap());
+        assert_eq!(
+            f.eval(0.5).unwrap(),
+            crate::alg1::temporal_loss(&p, 0.5).unwrap()
+        );
         assert_eq!(f.n(), 2);
+    }
+
+    #[test]
+    fn warm_cache_fills_and_stays_transparent() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.1, 0.9]]).unwrap();
+        let f = TemporalLossFunction::new(p.clone());
+        assert!(f.cached_witness().is_none());
+        // A long recursion through the cache...
+        let mut alpha = 0.05;
+        let mut alphas = Vec::new();
+        for _ in 0..50 {
+            alpha = f.eval(alpha).unwrap() + 0.05;
+            alphas.push(alpha);
+        }
+        assert!(f.cached_witness().is_some());
+        // ...is bit-identical to fresh cold evaluations at every step.
+        let mut cold = 0.05;
+        for (t, &warm) in alphas.iter().enumerate() {
+            cold = crate::alg1::temporal_loss(&p, cold).unwrap() + 0.05;
+            assert_eq!(warm.to_bits(), cold.to_bits(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn clone_and_equality_ignore_caches() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let f = TemporalLossFunction::new(p);
+        f.eval(1.0).unwrap();
+        let g = f.clone();
+        assert_eq!(f, g);
+        assert!(g.cached_witness().is_none(), "clones start cold");
+        assert_eq!(g.eval(1.0).unwrap(), f.eval(1.0).unwrap());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_matrix_only() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let f = TemporalLossFunction::new(p);
+        f.eval(0.7).unwrap();
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.starts_with("{\"matrix\":"), "{json}");
+        let back: TemporalLossFunction = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+        assert!(back.cached_witness().is_none());
+        assert_eq!(back.eval(0.7).unwrap(), f.eval(0.7).unwrap());
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl PopulationAccountant {
         if adversaries.is_empty() {
             return Err(TplError::EmptyTimeline);
         }
-        Ok(Self { users: adversaries.iter().map(TplAccountant::new).collect() })
+        Ok(Self {
+            users: adversaries.iter().map(TplAccountant::new).collect(),
+        })
     }
 
     /// Number of users tracked.
@@ -73,7 +75,9 @@ impl PopulationAccountant {
     pub fn max_tpl(&self) -> Result<f64> {
         self.tpl_series()?
             .into_iter()
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
             .ok_or(TplError::EmptyTimeline)
     }
 
@@ -152,7 +156,10 @@ mod tests {
         let weak_tpl = pop.user(1).unwrap().tpl_series().unwrap();
         for t in 0..10 {
             assert!((pop_tpl[t] - strong_tpl[t].max(weak_tpl[t])).abs() < 1e-12);
-            assert!(strong_tpl[t] > weak_tpl[t], "stronger correlation leaks more");
+            assert!(
+                strong_tpl[t] > weak_tpl[t],
+                "stronger correlation leaks more"
+            );
         }
         assert_eq!(pop.most_exposed_user().unwrap(), 0);
         assert!(pop.user(5).is_none());
@@ -166,8 +173,14 @@ mod tests {
     #[test]
     fn personalized_plans_respect_individual_targets() {
         let targets = vec![
-            UserTarget { adversary: strong_user(), alpha: 0.5 },
-            UserTarget { adversary: weak_user(), alpha: 2.0 },
+            UserTarget {
+                adversary: strong_user(),
+                alpha: 0.5,
+            },
+            UserTarget {
+                adversary: weak_user(),
+                alpha: 2.0,
+            },
         ];
         let plans = personalized_plans(&targets, PlanKind::Quantified, 10).unwrap();
         assert_eq!(plans.len(), 2);
@@ -186,8 +199,14 @@ mod tests {
     #[test]
     fn shared_plan_meets_every_target() {
         let targets = vec![
-            UserTarget { adversary: strong_user(), alpha: 0.5 },
-            UserTarget { adversary: weak_user(), alpha: 2.0 },
+            UserTarget {
+                adversary: strong_user(),
+                alpha: 0.5,
+            },
+            UserTarget {
+                adversary: weak_user(),
+                alpha: 2.0,
+            },
         ];
         let shared = shared_plan_for_targets(&targets, PlanKind::Quantified, 10).unwrap();
         for target in &targets {
@@ -196,7 +215,11 @@ mod tests {
                 acc.observe_release(shared.budget_at(t)).unwrap();
             }
             let worst = acc.max_tpl().unwrap();
-            assert!(worst <= target.alpha + 1e-7, "target {} exceeded: {worst}", target.alpha);
+            assert!(
+                worst <= target.alpha + 1e-7,
+                "target {} exceeded: {worst}",
+                target.alpha
+            );
         }
     }
 }

@@ -61,7 +61,9 @@ impl ReleasePlan {
     /// Budget at time index `t` (0-based; uniform plans repeat forever).
     pub fn budget_at(&self, t: usize) -> f64 {
         *self.budgets.get(t).unwrap_or_else(|| {
-            self.budgets.last().expect("plans always carry at least one budget")
+            self.budgets
+                .last()
+                .expect("plans always carry at least one budget")
         })
     }
 
@@ -80,7 +82,10 @@ impl ReleasePlan {
         }
         if let Some(h) = self.horizon() {
             if t_len != h {
-                return Err(TplError::DimensionMismatch { expected: h, found: t_len });
+                return Err(TplError::DimensionMismatch {
+                    expected: h,
+                    found: t_len,
+                });
             }
         }
         let values: Vec<f64> = (0..t_len).map(|t| self.budget_at(t)).collect();
@@ -104,7 +109,10 @@ impl ReleasePlan {
         if t_len == 0 {
             return 0.0;
         }
-        (0..t_len).map(|t| sensitivity / self.budget_at(t)).sum::<f64>() / t_len as f64
+        (0..t_len)
+            .map(|t| sensitivity / self.budget_at(t))
+            .sum::<f64>()
+            / t_len as f64
     }
 }
 
@@ -118,6 +126,11 @@ struct Balance {
 
 /// `ε = a − L(a)` for one side; `a` itself when that side has no
 /// correlation (then L ≡ 0 conceptually).
+///
+/// Each side's [`TemporalLossFunction`] is built once per balance search
+/// and probed ~200 times by the bisection below, so the Algorithm 1
+/// pruning index is amortized and the witness warm-start makes every
+/// probe after the first roughly `O(n)`.
 fn side_epsilon(loss: Option<&TemporalLossFunction>, a: f64) -> Result<f64> {
     Ok(match loss {
         Some(l) => a - l.eval(a)?,
@@ -140,14 +153,26 @@ fn balance(
         }
     }
     let result = match (backward, forward) {
-        (None, None) => Balance { alpha_b: alpha, alpha_f: alpha, eps: alpha },
+        (None, None) => Balance {
+            alpha_b: alpha,
+            alpha_f: alpha,
+            eps: alpha,
+        },
         (Some(lb), None) => {
             let eps = side_epsilon(Some(lb), alpha)?;
-            Balance { alpha_b: alpha, alpha_f: eps, eps }
+            Balance {
+                alpha_b: alpha,
+                alpha_f: eps,
+                eps,
+            }
         }
         (None, Some(lf)) => {
             let eps = side_epsilon(Some(lf), alpha)?;
-            Balance { alpha_b: eps, alpha_f: alpha, eps }
+            Balance {
+                alpha_b: eps,
+                alpha_f: alpha,
+                eps,
+            }
         }
         (Some(lb), Some(lf)) => {
             // Binary search on α^B for the root of
@@ -165,7 +190,11 @@ fn balance(
             for _ in 0..200 {
                 let mid = 0.5 * (lo + hi);
                 let (diff, eb, af) = f(mid)?;
-                best = Some(Balance { alpha_b: mid, alpha_f: af, eps: eb });
+                best = Some(Balance {
+                    alpha_b: mid,
+                    alpha_f: af,
+                    eps: eb,
+                });
                 if diff.abs() < 1e-13 {
                     break;
                 }
@@ -280,7 +309,10 @@ pub fn population_plan(plans: &[ReleasePlan]) -> Result<ReleasePlan> {
     let mut combined = first.clone();
     for plan in &plans[1..] {
         if plan.kind != combined.kind {
-            return Err(TplError::DimensionMismatch { expected: 0, found: 1 });
+            return Err(TplError::DimensionMismatch {
+                expected: 0,
+                found: 1,
+            });
         }
         let len = combined.budgets.len().max(plan.budgets.len());
         combined.budgets = (0..len)
@@ -315,7 +347,12 @@ impl DptReleaser {
     ) -> Result<Self> {
         let schedule = plan.schedule(t_len)?;
         let releaser = ContinualReleaser::new(domain, schedule)?;
-        Ok(Self { plan, releaser, accountant: crate::TplAccountant::new(adversary), t_len })
+        Ok(Self {
+            plan,
+            releaser,
+            accountant: crate::TplAccountant::new(adversary),
+            t_len,
+        })
     }
 
     /// The plan driving this releaser.
@@ -484,7 +521,10 @@ mod tests {
             TransitionMatrix::identity(2).unwrap(),
         )
         .unwrap();
-        assert_eq!(upper_bound_plan(&adv, 1.0).unwrap_err(), TplError::UnboundableCorrelation);
+        assert_eq!(
+            upper_bound_plan(&adv, 1.0).unwrap_err(),
+            TplError::UnboundableCorrelation
+        );
         assert_eq!(
             quantified_plan(&adv, 1.0, 10).unwrap_err(),
             TplError::UnboundableCorrelation

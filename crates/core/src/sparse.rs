@@ -85,7 +85,10 @@ mod tests {
         let profile = subsampling_profile(&m, 0.3, 8).unwrap();
         let sups: Vec<f64> = profile.iter().map(|(_, s)| s.finite().unwrap()).collect();
         for w in sups.windows(2) {
-            assert!(w[1] <= w[0] + 1e-12, "supremum must not grow with k: {sups:?}");
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "supremum must not grow with k: {sups:?}"
+            );
         }
         // And it approaches the no-correlation floor ε.
         assert!(sups[7] < sups[0]);
@@ -98,11 +101,20 @@ mod tests {
         // A deterministic 3-cycle: P^3 = I, so releasing every 3rd step is
         // exactly the strongest correlation — sparser is NOT safer here.
         let cycle = TransitionMatrix::strongest_shift(3).unwrap();
-        assert_eq!(subsampled_supremum(&cycle, 0.2, 3).unwrap(), Supremum::Divergent);
-        assert_eq!(subsampled_supremum(&cycle, 0.2, 6).unwrap(), Supremum::Divergent);
+        assert_eq!(
+            subsampled_supremum(&cycle, 0.2, 3).unwrap(),
+            Supremum::Divergent
+        );
+        assert_eq!(
+            subsampled_supremum(&cycle, 0.2, 6).unwrap(),
+            Supremum::Divergent
+        );
         // Off-period the correlation is still a permutation (deterministic)
         // — also unbounded. Every period is bad for a deterministic cycle.
-        assert_eq!(subsampled_supremum(&cycle, 0.2, 2).unwrap(), Supremum::Divergent);
+        assert_eq!(
+            subsampled_supremum(&cycle, 0.2, 2).unwrap(),
+            Supremum::Divergent
+        );
     }
 
     #[test]

@@ -105,8 +105,17 @@ pub const DIVERGENCE_CAP: f64 = 150.0;
 /// plain iteration otherwise, declaring divergence past
 /// [`DIVERGENCE_CAP`].
 pub fn supremum_of_matrix(matrix: &TransitionMatrix, eps: f64) -> Result<Supremum> {
+    supremum_of_loss(&TemporalLossFunction::new(matrix.clone()), eps)
+}
+
+/// As [`supremum_of_matrix`], but reusing an existing loss function —
+/// the fixed-point iteration evaluates `L` at a long monotone α sequence,
+/// so a caller-held [`TemporalLossFunction`] lets the witness warm-start
+/// carry across both this iteration *and* the caller's other queries
+/// (e.g. the w-event planner's bisection re-enters here hundreds of
+/// times with the same matrices).
+pub fn supremum_of_loss(loss: &TemporalLossFunction, eps: f64) -> Result<Supremum> {
     check_epsilon(eps)?;
-    let loss = TemporalLossFunction::new(matrix.clone());
     if loss.is_null() {
         return Ok(Supremum::Finite(eps));
     }
@@ -198,7 +207,10 @@ mod tests {
         // q = 0.8, d = 0.1 and sup ≈ 0.7924.
         let p = m(vec![vec![0.8, 0.2], vec![0.1, 0.9]]);
         let sup = supremum_of_matrix(&p, 0.23).unwrap().finite().unwrap();
-        let closed = supremum_closed_form(0.8, 0.1, 0.23).unwrap().finite().unwrap();
+        let closed = supremum_closed_form(0.8, 0.1, 0.23)
+            .unwrap()
+            .finite()
+            .unwrap();
         assert!((sup - closed).abs() < 1e-9);
         assert!((sup - 0.7924).abs() < 1e-3, "sup={sup}");
         assert!(is_fixed_point(&p, sup, 0.23).unwrap());
@@ -211,8 +223,14 @@ mod tests {
         let p = m(vec![vec![0.8, 0.2], vec![0.0, 1.0]]);
         let sup = supremum_of_matrix(&p, 0.15).unwrap().finite().unwrap();
         let expected = (0.2 * 0.15_f64.exp() / (1.0 - 0.8 * 0.15_f64.exp())).ln();
-        assert!((sup - expected).abs() < 1e-9, "sup={sup} expected={expected}");
-        assert!((sup - 1.1922).abs() < 1e-3, "matches the ≈1.2 plateau of Fig. 4(c)");
+        assert!(
+            (sup - expected).abs() < 1e-9,
+            "sup={sup} expected={expected}"
+        );
+        assert!(
+            (sup - 1.1922).abs() < 1e-3,
+            "matches the ≈1.2 plateau of Fig. 4(c)"
+        );
         assert!(is_fixed_point(&p, sup, 0.15).unwrap());
     }
 
@@ -234,18 +252,28 @@ mod tests {
         // Fig. 4(a): identity correlation grows as ε·t forever.
         let p = TransitionMatrix::identity(2).unwrap();
         assert_eq!(supremum_of_matrix(&p, 0.23).unwrap(), Supremum::Divergent);
-        assert_eq!(supremum_closed_form(1.0, 0.0, 0.23).unwrap(), Supremum::Divergent);
+        assert_eq!(
+            supremum_closed_form(1.0, 0.0, 0.23).unwrap(),
+            Supremum::Divergent
+        );
     }
 
     #[test]
     fn closed_form_is_fixed_point_of_pair_objective() {
         // α* must satisfy α* = log objective(q, d, α*) + ε in both cases.
-        for (q, d, eps) in [(0.8, 0.1, 0.23), (0.9, 0.3, 1.0), (0.8, 0.0, 0.15), (0.6, 0.0, 0.4)]
-        {
+        for (q, d, eps) in [
+            (0.8, 0.1, 0.23),
+            (0.9, 0.3, 1.0),
+            (0.8, 0.0, 0.15),
+            (0.6, 0.0, 0.4),
+        ] {
             let sup = supremum_closed_form(q, d, eps).unwrap();
             if let Supremum::Finite(a) = sup {
                 let rhs = objective(q, d, a).ln() + eps;
-                assert!((rhs - a).abs() < 1e-9, "q={q} d={d} eps={eps}: {a} vs {rhs}");
+                assert!(
+                    (rhs - a).abs() < 1e-9,
+                    "q={q} d={d} eps={eps}: {a} vs {rhs}"
+                );
             }
         }
         // (0.6, 0, 0.4): log(1/0.6) ≈ 0.51 > 0.4 so this one is finite.
@@ -260,7 +288,10 @@ mod tests {
 
     #[test]
     fn equal_pair_degenerates_to_eps() {
-        assert_eq!(supremum_closed_form(0.4, 0.4, 0.3).unwrap(), Supremum::Finite(0.3));
+        assert_eq!(
+            supremum_closed_form(0.4, 0.4, 0.3).unwrap(),
+            Supremum::Finite(0.3)
+        );
     }
 
     #[test]
@@ -268,7 +299,10 @@ mod tests {
         assert!(supremum_closed_form(0.5, 0.1, 0.0).is_err());
         assert!(supremum_closed_form(0.5, 0.1, -1.0).is_err());
         assert!(supremum_closed_form(1.2, 0.1, 0.1).is_err());
-        assert!(supremum_closed_form(0.1, 0.5, 0.1).is_err(), "q < d violates Corollary 2");
+        assert!(
+            supremum_closed_form(0.1, 0.5, 0.1).is_err(),
+            "q < d violates Corollary 2"
+        );
     }
 
     #[test]

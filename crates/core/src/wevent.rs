@@ -16,11 +16,11 @@
 //! event-level Algorithm 2.
 
 use crate::adversary::AdversaryT;
+use crate::loss::TemporalLossFunction;
 use crate::release::upper_bound_plan;
-use crate::supremum::{supremum_of_matrix, Supremum};
+use crate::supremum::{supremum_of_loss, Supremum};
 use crate::{check_alpha, Result, TplError};
 use serde::{Deserialize, Serialize};
-use tcdp_markov::TransitionMatrix;
 
 /// A uniform-budget plan guaranteeing α-DP_T over every w-window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,11 +38,14 @@ pub struct WEventPlan {
 }
 
 /// Supremum of one side's recursion under uniform `eps`; `eps` itself when
-/// the side has no correlation (leakage does not accumulate).
-fn side_supremum(matrix: Option<&TransitionMatrix>, eps: f64) -> Result<Option<f64>> {
-    match matrix {
+/// the side has no correlation (leakage does not accumulate). Takes the
+/// loss function (not the bare matrix) so repeated calls — the planner's
+/// bisection probes each side hundreds of times — share one pruning
+/// index and warm-started witness.
+fn side_supremum(loss: Option<&TemporalLossFunction>, eps: f64) -> Result<Option<f64>> {
+    match loss {
         None => Ok(Some(eps)),
-        Some(m) => Ok(match supremum_of_matrix(m, eps)? {
+        Some(l) => Ok(match supremum_of_loss(l, eps)? {
             Supremum::Finite(v) => Some(v),
             Supremum::Divergent => None,
         }),
@@ -52,14 +55,30 @@ fn side_supremum(matrix: Option<&TransitionMatrix>, eps: f64) -> Result<Option<f
 /// The w-window guarantee `G_w(ε)` (Theorem 2 with suprema), or `None`
 /// when either side diverges under `eps`.
 pub fn w_window_guarantee(adversary: &AdversaryT, eps: f64, w: usize) -> Result<Option<f64>> {
+    let lb = adversary.backward_loss();
+    let lf = adversary.forward_loss();
+    w_window_guarantee_with(lb.as_ref(), lf.as_ref(), eps, w)
+}
+
+/// [`w_window_guarantee`] over caller-held loss functions (so a search
+/// loop reuses their caches across probes).
+fn w_window_guarantee_with(
+    lb: Option<&TemporalLossFunction>,
+    lf: Option<&TemporalLossFunction>,
+    eps: f64,
+    w: usize,
+) -> Result<Option<f64>> {
     crate::check_epsilon(eps)?;
     if w == 0 {
-        return Err(TplError::DimensionMismatch { expected: 1, found: 0 });
+        return Err(TplError::DimensionMismatch {
+            expected: 1,
+            found: 0,
+        });
     }
-    let Some(ab) = side_supremum(adversary.backward(), eps)? else {
+    let Some(ab) = side_supremum(lb, eps)? else {
         return Ok(None);
     };
-    let Some(af) = side_supremum(adversary.forward(), eps)? else {
+    let Some(af) = side_supremum(lf, eps)? else {
         return Ok(None);
     };
     Ok(Some(match w {
@@ -87,7 +106,10 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
         return Err(TplError::TargetUnreachable { alpha });
     }
     if w == 0 {
-        return Err(TplError::DimensionMismatch { expected: 1, found: 0 });
+        return Err(TplError::DimensionMismatch {
+            expected: 1,
+            found: 0,
+        });
     }
     if w == 1 {
         // Event level: exactly Algorithm 2.
@@ -100,7 +122,11 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
             alpha_forward: plan.alpha_forward,
         });
     }
-    for side in [adversary.backward_loss(), adversary.forward_loss()].into_iter().flatten() {
+    // Build both loss functions once: every bisection probe below then
+    // reuses their pruning indexes and warm-started witnesses.
+    let lb = adversary.backward_loss();
+    let lf = adversary.forward_loss();
+    for side in [lb.as_ref(), lf.as_ref()].into_iter().flatten() {
         if side.is_strongest() {
             return Err(TplError::UnboundableCorrelation);
         }
@@ -117,10 +143,10 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
         if mid <= 0.0 {
             break;
         }
-        match w_window_guarantee(adversary, mid, w)? {
+        match w_window_guarantee_with(lb.as_ref(), lf.as_ref(), mid, w)? {
             Some(g) if g <= alpha => {
-                let ab = side_supremum(adversary.backward(), mid)?.expect("finite above");
-                let af = side_supremum(adversary.forward(), mid)?.expect("finite above");
+                let ab = side_supremum(lb.as_ref(), mid)?.expect("finite above");
+                let af = side_supremum(lf.as_ref(), mid)?.expect("finite above");
                 best = Some(WEventPlan {
                     w,
                     alpha,
@@ -144,6 +170,7 @@ mod tests {
     use super::*;
     use crate::accountant::TplAccountant;
     use crate::composition::w_event_guarantee;
+    use tcdp_markov::TransitionMatrix;
 
     fn adversary() -> AdversaryT {
         let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();

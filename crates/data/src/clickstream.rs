@@ -23,10 +23,16 @@ impl ClickstreamModel {
     /// `stickiness ∈ [0, 1)` and a popularity distribution over categories.
     pub fn new(stickiness: f64, popularity: Vec<f64>) -> Result<Self> {
         if !(0.0..1.0).contains(&stickiness) {
-            return Err(DataError::InvalidParameter { what: "stickiness", value: stickiness });
+            return Err(DataError::InvalidParameter {
+                what: "stickiness",
+                value: stickiness,
+            });
         }
         distribution::validate(&popularity)?;
-        Ok(Self { stickiness, popularity })
+        Ok(Self {
+            stickiness,
+            popularity,
+        })
     }
 
     /// Uniform popularity over `n` categories.
@@ -89,8 +95,14 @@ mod tests {
 
     #[test]
     fn stickiness_increases_leakage() {
-        let weak = ClickstreamModel::uniform(0.3, 5).unwrap().forward().unwrap();
-        let strong = ClickstreamModel::uniform(0.9, 5).unwrap().forward().unwrap();
+        let weak = ClickstreamModel::uniform(0.3, 5)
+            .unwrap()
+            .forward()
+            .unwrap();
+        let strong = ClickstreamModel::uniform(0.9, 5)
+            .unwrap()
+            .forward()
+            .unwrap();
         let l_weak = tcdp_core::temporal_loss(&weak, 1.0).unwrap();
         let l_strong = tcdp_core::temporal_loss(&strong, 1.0).unwrap();
         assert!(l_strong > l_weak, "{l_strong} !> {l_weak}");
@@ -101,7 +113,10 @@ mod tests {
     fn sticky_chain_is_never_strongest() {
         let m = ClickstreamModel::zipf(0.95, 6).unwrap().forward().unwrap();
         let loss = TemporalLossFunction::new(m);
-        assert!(!loss.is_strongest(), "probabilistic jumps keep leakage bounded");
+        assert!(
+            !loss.is_strongest(),
+            "probabilistic jumps keep leakage bounded"
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl RoadNetwork {
                 rows.push(vec![1.0 / n as f64; n]);
             }
         }
-        Self { forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic") }
+        Self {
+            forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic"),
+        }
     }
 
     /// The congestion variant: `loc4` and `loc5` absorbing, everything
@@ -60,7 +62,9 @@ impl RoadNetwork {
                 rows.push(vec![1.0 / n as f64; n]);
             }
         }
-        Self { forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic") }
+        Self {
+            forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic"),
+        }
     }
 
     /// The forward temporal correlation `P^F` this network induces.
@@ -83,8 +87,7 @@ impl RoadNetwork {
             });
         }
         let n = NUM_LOCATIONS;
-        let mut positions: Vec<usize> =
-            (0..num_users).map(|_| rng.gen_range(0..n)).collect();
+        let mut positions: Vec<usize> = (0..num_users).map(|_| rng.gen_range(0..n)).collect();
         let mut snapshots = Vec::with_capacity(t_len);
         for t in 0..t_len {
             if t > 0 {

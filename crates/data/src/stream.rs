@@ -19,11 +19,17 @@ pub fn snapshots_from_trajectories(
     domain: usize,
 ) -> Result<Vec<Database>> {
     let Some(first) = trajectories.first() else {
-        return Err(DataError::InvalidParameter { what: "num trajectories", value: 0.0 });
+        return Err(DataError::InvalidParameter {
+            what: "num trajectories",
+            value: 0.0,
+        });
     };
     let t_len = first.len();
     if t_len == 0 {
-        return Err(DataError::InvalidParameter { what: "trajectory length", value: 0.0 });
+        return Err(DataError::InvalidParameter {
+            what: "trajectory length",
+            value: 0.0,
+        });
     }
     for traj in trajectories {
         if traj.len() != t_len {

@@ -30,10 +30,16 @@ impl TraceSet {
     /// Build from trajectories; `domain` must cover every state.
     pub fn new(domain: usize, trajectories: Vec<Vec<usize>>) -> Result<Self> {
         if domain == 0 {
-            return Err(DataError::InvalidParameter { what: "domain", value: 0.0 });
+            return Err(DataError::InvalidParameter {
+                what: "domain",
+                value: 0.0,
+            });
         }
         if trajectories.is_empty() {
-            return Err(DataError::InvalidParameter { what: "trajectory count", value: 0.0 });
+            return Err(DataError::InvalidParameter {
+                what: "trajectory count",
+                value: 0.0,
+            });
         }
         for traj in &trajectories {
             if traj.is_empty() {
@@ -49,7 +55,10 @@ impl TraceSet {
                 }));
             }
         }
-        Ok(Self { domain, trajectories })
+        Ok(Self {
+            domain,
+            trajectories,
+        })
     }
 
     /// Domain size.
@@ -97,10 +106,11 @@ impl TraceSet {
                 .split(|c: char| c.is_whitespace() || c == ',')
                 .filter(|tok| !tok.is_empty())
                 .map(|tok| {
-                    tok.parse::<usize>().map_err(|_| DataError::InvalidParameter {
-                        what: "trace state token",
-                        value: (lineno + 1) as f64,
-                    })
+                    tok.parse::<usize>()
+                        .map_err(|_| DataError::InvalidParameter {
+                            what: "trace state token",
+                            value: (lineno + 1) as f64,
+                        })
                 })
                 .collect::<Result<Vec<usize>>>()?;
             if states.is_empty() {

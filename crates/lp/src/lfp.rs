@@ -55,7 +55,10 @@ pub struct Polytope {
 impl Polytope {
     /// Create a polytope over `n` non-negative variables.
     pub fn new(n: usize) -> Self {
-        Self { n, constraints: Vec::new() }
+        Self {
+            n,
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -70,17 +73,29 @@ impl Polytope {
 
     /// Add `coeffs · x ≤ rhs`.
     pub fn less_eq(&mut self, coeffs: Vec<f64>, rhs: f64) {
-        self.constraints.push(Constraint { coeffs, relation: Relation::LessEq, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation: Relation::LessEq,
+            rhs,
+        });
     }
 
     /// Add `coeffs · x ≥ rhs`.
     pub fn greater_eq(&mut self, coeffs: Vec<f64>, rhs: f64) {
-        self.constraints.push(Constraint { coeffs, relation: Relation::GreaterEq, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation: Relation::GreaterEq,
+            rhs,
+        });
     }
 
     /// Add `coeffs · x = rhs`.
     pub fn equal(&mut self, coeffs: Vec<f64>, rhs: f64) {
-        self.constraints.push(Constraint { coeffs, relation: Relation::Equal, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation: Relation::Equal,
+            rhs,
+        });
     }
 
     /// Constraints as a slice (used by the solvers).
@@ -138,9 +153,20 @@ pub enum LfpOutcome {
 impl FractionalProgram {
     /// Evaluate the ratio objective at `x`.
     pub fn ratio_at(&self, x: &[f64]) -> f64 {
-        let num: f64 = self.numerator.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + self.num_const;
-        let den: f64 =
-            self.denominator.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() + self.den_const;
+        let num: f64 = self
+            .numerator
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            + self.num_const;
+        let den: f64 = self
+            .denominator
+            .iter()
+            .zip(x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            + self.den_const;
         num / den
     }
 
@@ -150,10 +176,16 @@ impl FractionalProgram {
             return Err(LpError::EmptyProblem);
         }
         if self.numerator.len() != n {
-            return Err(LpError::DimensionMismatch { expected: n, found: self.numerator.len() });
+            return Err(LpError::DimensionMismatch {
+                expected: n,
+                found: self.numerator.len(),
+            });
         }
         if self.denominator.len() != n {
-            return Err(LpError::DimensionMismatch { expected: n, found: self.denominator.len() });
+            return Err(LpError::DimensionMismatch {
+                expected: n,
+                found: self.denominator.len(),
+            });
         }
         let all_finite = self
             .numerator
@@ -187,11 +219,19 @@ impl FractionalProgram {
         let mut lp = LinearProgram::maximize(obj);
         let mut den_row = self.denominator.clone();
         den_row.push(self.den_const);
-        lp.push_constraint(Constraint { coeffs: den_row, relation: Relation::Equal, rhs: 1.0 });
+        lp.push_constraint(Constraint {
+            coeffs: den_row,
+            relation: Relation::Equal,
+            rhs: 1.0,
+        });
         for c in self.polytope.constraints() {
             let mut coeffs = c.coeffs.clone();
             coeffs.push(-c.rhs);
-            lp.push_constraint(Constraint { coeffs, relation: c.relation, rhs: 0.0 });
+            lp.push_constraint(Constraint {
+                coeffs,
+                relation: c.relation,
+                rhs: 0.0,
+            });
         }
         match engine.solve(&lp)? {
             LpOutcome::Optimal(sol) => {
@@ -228,8 +268,13 @@ impl FractionalProgram {
         let Some(x0) = feasibility.find_feasible()? else {
             return Ok(LfpOutcome::Infeasible);
         };
-        let den0: f64 =
-            self.denominator.iter().zip(&x0).map(|(c, v)| c * v).sum::<f64>() + self.den_const;
+        let den0: f64 = self
+            .denominator
+            .iter()
+            .zip(&x0)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+            + self.den_const;
         if den0 <= EPS {
             return Err(LpError::NonPositiveDenominator);
         }
@@ -311,7 +356,10 @@ mod tests {
 
     #[test]
     fn revised_engine_agrees_on_both_strategies() {
-        let cc = match sample().solve_charnes_cooper_with(LpEngine::Revised).unwrap() {
+        let cc = match sample()
+            .solve_charnes_cooper_with(LpEngine::Revised)
+            .unwrap()
+        {
             LfpOutcome::Optimal(s) => s,
             other => panic!("{other:?}"),
         };
@@ -349,8 +397,14 @@ mod tests {
             den_const: 1.0,
             polytope: p,
         };
-        assert!(matches!(fp.solve_charnes_cooper().unwrap(), LfpOutcome::Infeasible));
-        assert!(matches!(fp.solve_dinkelbach().unwrap(), LfpOutcome::Infeasible));
+        assert!(matches!(
+            fp.solve_charnes_cooper().unwrap(),
+            LfpOutcome::Infeasible
+        ));
+        assert!(matches!(
+            fp.solve_dinkelbach().unwrap(),
+            LfpOutcome::Infeasible
+        ));
     }
 
     #[test]

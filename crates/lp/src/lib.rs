@@ -76,12 +76,18 @@ impl std::fmt::Display for LpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LpError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: expected {expected} coefficients, found {found}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} coefficients, found {found}"
+                )
             }
             LpError::NotFinite(what) => write!(f, "non-finite value in {what}"),
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::NonPositiveDenominator => {
-                write!(f, "linear-fractional denominator not strictly positive on feasible region")
+                write!(
+                    f,
+                    "linear-fractional denominator not strictly positive on feasible region"
+                )
             }
             LpError::EmptyProblem => write!(f, "problem has no variables or no constraints"),
             LpError::DinkelbachDiverged => write!(f, "Dinkelbach iteration did not converge"),

@@ -72,10 +72,16 @@ impl PaperProgram {
     /// Build the fractional program `max q·x / d·x` over this region.
     pub fn fractional(&self, q: &[f64], d: &[f64]) -> Result<FractionalProgram> {
         if q.len() != self.n {
-            return Err(LpError::DimensionMismatch { expected: self.n, found: q.len() });
+            return Err(LpError::DimensionMismatch {
+                expected: self.n,
+                found: q.len(),
+            });
         }
         if d.len() != self.n {
-            return Err(LpError::DimensionMismatch { expected: self.n, found: d.len() });
+            return Err(LpError::DimensionMismatch {
+                expected: self.n,
+                found: d.len(),
+            });
         }
         Ok(FractionalProgram {
             numerator: q.to_vec(),
@@ -107,7 +113,10 @@ impl PaperProgram {
     /// two nonzeros each, which the revised engine exploits).
     pub fn max_ratio_charnes_cooper_revised(&self, q: &[f64], d: &[f64]) -> Result<LfpSolution> {
         use crate::lfp::LpEngine;
-        match self.fractional(q, d)?.solve_charnes_cooper_with(LpEngine::Revised)? {
+        match self
+            .fractional(q, d)?
+            .solve_charnes_cooper_with(LpEngine::Revised)?
+        {
             LfpOutcome::Optimal(s) => Ok(s),
             LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
         }
@@ -124,7 +133,9 @@ mod tests {
         // giving ratio e^α (Lemma 3 / Example 2's strongest correlation).
         let alpha = 0.7;
         let p = PaperProgram::new(2, alpha).unwrap();
-        let s = p.max_ratio_charnes_cooper(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        let s = p
+            .max_ratio_charnes_cooper(&[1.0, 0.0], &[0.0, 1.0])
+            .unwrap();
         assert!((s.value - alpha.exp()).abs() < 1e-7, "value={}", s.value);
     }
 
@@ -143,10 +154,22 @@ mod tests {
         let alpha = 0.1_f64;
         let expected = 0.8 * (alpha.exp() - 1.0) + 1.0;
         let p = PaperProgram::new(2, alpha).unwrap();
-        let cc = p.max_ratio_charnes_cooper(&[0.8, 0.2], &[0.0, 1.0]).unwrap();
+        let cc = p
+            .max_ratio_charnes_cooper(&[0.8, 0.2], &[0.0, 1.0])
+            .unwrap();
         let dk = p.max_ratio_dinkelbach(&[0.8, 0.2], &[0.0, 1.0]).unwrap();
-        assert!((cc.value - expected).abs() < 1e-7, "cc={} expected={}", cc.value, expected);
-        assert!((dk.value - expected).abs() < 1e-7, "dk={} expected={}", dk.value, expected);
+        assert!(
+            (cc.value - expected).abs() < 1e-7,
+            "cc={} expected={}",
+            cc.value,
+            expected
+        );
+        assert!(
+            (dk.value - expected).abs() < 1e-7,
+            "dk={} expected={}",
+            dk.value,
+            expected
+        );
     }
 
     #[test]
@@ -167,7 +190,12 @@ mod tests {
         let d = [0.1, 0.15, 0.35, 0.4];
         let tab = p.max_ratio_charnes_cooper(&q, &d).unwrap();
         let rev = p.max_ratio_charnes_cooper_revised(&q, &d).unwrap();
-        assert!((tab.value - rev.value).abs() < 1e-7, "{} vs {}", tab.value, rev.value);
+        assert!(
+            (tab.value - rev.value).abs() < 1e-7,
+            "{} vs {}",
+            tab.value,
+            rev.value
+        );
     }
 
     #[test]

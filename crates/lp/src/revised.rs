@@ -24,7 +24,10 @@ pub struct SparseColumns {
 impl SparseColumns {
     /// An empty matrix with `m` rows and no columns.
     pub fn new(m: usize) -> Self {
-        Self { m, cols: Vec::new() }
+        Self {
+            m,
+            cols: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -136,7 +139,11 @@ fn normalize_rows(lp: &LinearProgram) -> Vec<NormalizedRow> {
                     rhs: -c.rhs,
                 }
             } else {
-                NormalizedRow { coeffs: c.coeffs.clone(), relation: c.relation, rhs: c.rhs }
+                NormalizedRow {
+                    coeffs: c.coeffs.clone(),
+                    relation: c.relation,
+                    rhs: c.rhs,
+                }
             }
         })
         .collect()
@@ -164,7 +171,13 @@ impl Engine {
             b_inv[i * m + i] = 1.0;
         }
         let x_b = std.b.clone();
-        Self { std, b_inv, basis, x_b, pivots: 0 }
+        Self {
+            std,
+            b_inv,
+            basis,
+            x_b,
+            pivots: 0,
+        }
     }
 
     /// `y = c_B^T B^{-1}` (dense, O(m²) but skipping zero costs).
@@ -229,8 +242,11 @@ impl Engine {
     /// Returns true on optimality, false if unbounded.
     fn iterate(&mut self, cost: &[f64], allow_artificial: bool) -> Result<bool> {
         let m = self.x_b.len();
-        let col_limit =
-            if allow_artificial { self.std.a.num_cols() } else { self.std.art_start };
+        let col_limit = if allow_artificial {
+            self.std.a.num_cols()
+        } else {
+            self.std.art_start
+        };
         let max_iters = 50_000usize.saturating_add(200 * (self.std.a.num_cols() + m));
         for _ in 0..max_iters {
             let y = self.duals(cost);
@@ -346,7 +362,11 @@ pub fn solve_revised(lp: &LinearProgram) -> Result<LpOutcome> {
         }
     }
     let objective: f64 = lp.objective_raw().iter().zip(&x).map(|(c, v)| c * v).sum();
-    Ok(LpOutcome::Optimal(LpSolution { x, objective, pivots: engine.pivots }))
+    Ok(LpOutcome::Optimal(LpSolution {
+        x,
+        objective,
+        pivots: engine.pivots,
+    }))
 }
 
 #[cfg(test)]
@@ -381,7 +401,12 @@ mod tests {
             .less_eq(vec![-1.0, 0.0, 0.0], -1.0); // x1 >= 1 in disguise
         let rev = optimal(solve_revised(&lp).unwrap());
         let tab = optimal(lp.solve().unwrap());
-        assert!((rev.objective - tab.objective).abs() < 1e-8, "{} vs {}", rev.objective, tab.objective);
+        assert!(
+            (rev.objective - tab.objective).abs() < 1e-8,
+            "{} vs {}",
+            rev.objective,
+            tab.objective
+        );
     }
 
     #[test]
@@ -389,10 +414,15 @@ mod tests {
         let infeasible = LinearProgram::maximize(vec![1.0])
             .less_eq(vec![1.0], 1.0)
             .greater_eq(vec![1.0], 2.0);
-        assert!(matches!(solve_revised(&infeasible).unwrap(), LpOutcome::Infeasible));
-        let unbounded =
-            LinearProgram::maximize(vec![1.0, 0.0]).greater_eq(vec![1.0, 1.0], 1.0);
-        assert!(matches!(solve_revised(&unbounded).unwrap(), LpOutcome::Unbounded));
+        assert!(matches!(
+            solve_revised(&infeasible).unwrap(),
+            LpOutcome::Infeasible
+        ));
+        let unbounded = LinearProgram::maximize(vec![1.0, 0.0]).greater_eq(vec![1.0, 1.0], 1.0);
+        assert!(matches!(
+            solve_revised(&unbounded).unwrap(),
+            LpOutcome::Unbounded
+        ));
     }
 
     #[test]

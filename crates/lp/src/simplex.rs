@@ -69,12 +69,20 @@ pub enum LpOutcome {
 impl LinearProgram {
     /// Start a maximization problem with the given objective coefficients.
     pub fn maximize(objective: Vec<f64>) -> Self {
-        Self { objective, maximize: true, constraints: Vec::new() }
+        Self {
+            objective,
+            maximize: true,
+            constraints: Vec::new(),
+        }
     }
 
     /// Start a minimization problem with the given objective coefficients.
     pub fn minimize(objective: Vec<f64>) -> Self {
-        Self { objective, maximize: false, constraints: Vec::new() }
+        Self {
+            objective,
+            maximize: false,
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of decision variables.
@@ -90,21 +98,33 @@ impl LinearProgram {
     /// Add a `coeffs · x ≤ rhs` constraint (builder style).
     #[must_use]
     pub fn less_eq(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
-        self.constraints.push(Constraint { coeffs, relation: Relation::LessEq, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation: Relation::LessEq,
+            rhs,
+        });
         self
     }
 
     /// Add a `coeffs · x ≥ rhs` constraint (builder style).
     #[must_use]
     pub fn greater_eq(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
-        self.constraints.push(Constraint { coeffs, relation: Relation::GreaterEq, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation: Relation::GreaterEq,
+            rhs,
+        });
         self
     }
 
     /// Add a `coeffs · x = rhs` constraint (builder style).
     #[must_use]
     pub fn equal(mut self, coeffs: Vec<f64>, rhs: f64) -> Self {
-        self.constraints.push(Constraint { coeffs, relation: Relation::Equal, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation: Relation::Equal,
+            rhs,
+        });
         self
     }
 
@@ -143,7 +163,10 @@ impl LinearProgram {
         let n = self.objective.len();
         for c in &self.constraints {
             if c.coeffs.len() != n {
-                return Err(LpError::DimensionMismatch { expected: n, found: c.coeffs.len() });
+                return Err(LpError::DimensionMismatch {
+                    expected: n,
+                    found: c.coeffs.len(),
+                });
             }
             if c.coeffs.iter().any(|v| !v.is_finite()) || !c.rhs.is_finite() {
                 return Err(LpError::NotFinite("constraint"));
@@ -162,7 +185,11 @@ impl LinearProgram {
     pub fn find_feasible(&self) -> Result<Option<Vec<f64>>> {
         self.validate()?;
         let mut t = Tableau::build(self)?;
-        Ok(if t.phase1()? { Some(t.extract_x(self.num_vars())) } else { None })
+        Ok(if t.phase1()? {
+            Some(t.extract_x(self.num_vars()))
+        } else {
+            None
+        })
     }
 }
 
@@ -260,7 +287,13 @@ impl Tableau {
             }
         }
 
-        Ok(Self { rows, basis, total, art_start: structural, pivots: 0 })
+        Ok(Self {
+            rows,
+            basis,
+            total,
+            art_start: structural,
+            pivots: 0,
+        })
     }
 
     /// Reduced cost of column `j` for minimization cost vector `cost`
@@ -308,7 +341,11 @@ impl Tableau {
     /// `Ok(false)` if unbounded.
     fn iterate(&mut self, cost: &[f64], allow_artificial: bool) -> Result<bool> {
         let m = self.rows.len();
-        let col_limit = if allow_artificial { self.total } else { self.art_start };
+        let col_limit = if allow_artificial {
+            self.total
+        } else {
+            self.art_start
+        };
         let max_iters = 50_000usize.saturating_add(200 * (self.total + m));
         for _ in 0..max_iters {
             // Bland's rule: entering column = smallest index with negative
@@ -421,7 +458,11 @@ impl Tableau {
         }
         let x = self.extract_x(lp.num_vars());
         let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-        Ok(LpOutcome::Optimal(LpSolution { x, objective, pivots: self.pivots }))
+        Ok(LpOutcome::Optimal(LpSolution {
+            x,
+            objective,
+            pivots: self.pivots,
+        }))
     }
 }
 
@@ -509,7 +550,10 @@ mod tests {
 
     #[test]
     fn empty_problem_rejected() {
-        assert_eq!(LinearProgram::maximize(vec![]).solve().unwrap_err(), LpError::EmptyProblem);
+        assert_eq!(
+            LinearProgram::maximize(vec![]).solve().unwrap_err(),
+            LpError::EmptyProblem
+        );
         assert_eq!(
             LinearProgram::maximize(vec![1.0]).solve().unwrap_err(),
             LpError::EmptyProblem
@@ -519,7 +563,10 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         let lp = LinearProgram::maximize(vec![1.0, 1.0]).less_eq(vec![1.0], 1.0);
-        assert!(matches!(lp.solve().unwrap_err(), LpError::DimensionMismatch { .. }));
+        assert!(matches!(
+            lp.solve().unwrap_err(),
+            LpError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

@@ -101,15 +101,20 @@ impl MarkovChain {
         for _ in 0..MAX_ITERS {
             let step = self.matrix.propagate(&p)?;
             // Damped update: ½p + ½pP — same fixed points, kills periodicity.
-            let next: Vec<f64> =
-                p.iter().zip(&step).map(|(a, b)| 0.5 * a + 0.5 * b).collect();
+            let next: Vec<f64> = p
+                .iter()
+                .zip(&step)
+                .map(|(a, b)| 0.5 * a + 0.5 * b)
+                .collect();
             let delta = distribution::total_variation(&p, &next)?;
             p = next;
             if delta < 1e-13 {
                 return Ok(p);
             }
         }
-        Err(MarkovError::NoConvergence("power iteration for stationary distribution"))
+        Err(MarkovError::NoConvergence(
+            "power iteration for stationary distribution",
+        ))
     }
 
     /// Time-reverse the chain against an explicit prior `Pr(l^{t−1})`:
@@ -122,7 +127,10 @@ impl MarkovChain {
         distribution::validate(prior)?;
         let n = self.n();
         if prior.len() != n {
-            return Err(MarkovError::DimensionMismatch { expected: n, found: prior.len() });
+            return Err(MarkovError::DimensionMismatch {
+                expected: n,
+                found: prior.len(),
+            });
         }
         // marginal of the *next* step under the prior
         let next = self.matrix.propagate(prior)?;
@@ -284,9 +292,7 @@ mod tests {
         let sticky = MarkovChain::uniform_start(TransitionMatrix::two_state(0.9, 0.9).unwrap());
         let jumpy = MarkovChain::uniform_start(TransitionMatrix::two_state(0.1, 0.1).unwrap());
         let traj = vec![0, 0, 0, 0, 1, 1, 1, 1];
-        assert!(
-            sticky.log_likelihood(&traj).unwrap() > jumpy.log_likelihood(&traj).unwrap()
-        );
+        assert!(sticky.log_likelihood(&traj).unwrap() > jumpy.log_likelihood(&traj).unwrap());
         assert!(sticky.log_likelihood(&[]).is_err());
         assert!(sticky.log_likelihood(&[7]).is_err());
     }

@@ -36,7 +36,10 @@ pub fn worst_case_tv_at(matrix: &TransitionMatrix, t: usize) -> Result<f64> {
 /// chains never mix).
 pub fn mixing_time(matrix: &TransitionMatrix, tol: f64, max_t: usize) -> Result<usize> {
     if !(0.0..1.0).contains(&tol) {
-        return Err(MarkovError::InvalidProbability { context: "mixing tolerance", value: tol });
+        return Err(MarkovError::InvalidProbability {
+            context: "mixing tolerance",
+            value: tol,
+        });
     }
     // Doubling power computation keeps this O(log max_t) matrix products
     // per probe; with the small n used here a linear scan is fine and
@@ -58,7 +61,9 @@ pub fn contraction_rate(matrix: &TransitionMatrix, steps: usize) -> Result<f64> 
         return Ok(0.0);
     }
     if steps < 2 {
-        return Err(MarkovError::InsufficientData("need >= 2 steps to fit a rate"));
+        return Err(MarkovError::InsufficientData(
+            "need >= 2 steps to fit a rate",
+        ));
     }
     let n = matrix.n();
     let mut p = distribution::point_mass(n, 0)?;
@@ -88,8 +93,14 @@ mod tests {
 
     #[test]
     fn dobrushin_extremes() {
-        assert_eq!(dobrushin_coefficient(&TransitionMatrix::uniform(4).unwrap()), 0.0);
-        assert_eq!(dobrushin_coefficient(&TransitionMatrix::identity(4).unwrap()), 1.0);
+        assert_eq!(
+            dobrushin_coefficient(&TransitionMatrix::uniform(4).unwrap()),
+            0.0
+        );
+        assert_eq!(
+            dobrushin_coefficient(&TransitionMatrix::identity(4).unwrap()),
+            1.0
+        );
         let m = TransitionMatrix::two_state(0.8, 0.7).unwrap();
         // TV between (0.8, 0.2) and (0.3, 0.7) = 0.5.
         assert!((dobrushin_coefficient(&m) - 0.5).abs() < 1e-12);

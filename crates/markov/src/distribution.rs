@@ -12,12 +12,18 @@ use rand::Rng;
 /// non-negative, finite entries summing to 1 within [`STOCHASTIC_TOL`].
 pub fn validate(p: &[f64]) -> Result<()> {
     if p.is_empty() {
-        return Err(MarkovError::DimensionMismatch { expected: 1, found: 0 });
+        return Err(MarkovError::DimensionMismatch {
+            expected: 1,
+            found: 0,
+        });
     }
     let mut sum = 0.0;
     for &v in p {
         if !v.is_finite() || v < 0.0 {
-            return Err(MarkovError::InvalidProbability { context: "distribution", value: v });
+            return Err(MarkovError::InvalidProbability {
+                context: "distribution",
+                value: v,
+            });
         }
         sum += v;
     }
@@ -49,12 +55,18 @@ pub fn normalize(w: &[f64]) -> Result<Vec<f64>> {
     let mut sum = 0.0;
     for &v in w {
         if !v.is_finite() || v < 0.0 {
-            return Err(MarkovError::InvalidProbability { context: "weights", value: v });
+            return Err(MarkovError::InvalidProbability {
+                context: "weights",
+                value: v,
+            });
         }
         sum += v;
     }
     if sum <= 0.0 {
-        return Err(MarkovError::InvalidProbability { context: "weights (all zero)", value: sum });
+        return Err(MarkovError::InvalidProbability {
+            context: "weights (all zero)",
+            value: sum,
+        });
     }
     Ok(w.iter().map(|v| v / sum).collect())
 }
@@ -79,7 +91,10 @@ pub fn sample<R: Rng + ?Sized>(p: &[f64], rng: &mut R) -> usize {
 /// Total-variation distance `½ Σ |p_i − q_i|` between two distributions.
 pub fn total_variation(p: &[f64], q: &[f64]) -> Result<f64> {
     if p.len() != q.len() {
-        return Err(MarkovError::DimensionMismatch { expected: p.len(), found: q.len() });
+        return Err(MarkovError::DimensionMismatch {
+            expected: p.len(),
+            found: q.len(),
+        });
     }
     Ok(0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>())
 }

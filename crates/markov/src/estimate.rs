@@ -99,19 +99,32 @@ impl HiddenMarkovModel {
         distribution::validate(&initial)?;
         let n = transition.n();
         if initial.len() != n {
-            return Err(MarkovError::DimensionMismatch { expected: n, found: initial.len() });
+            return Err(MarkovError::DimensionMismatch {
+                expected: n,
+                found: initial.len(),
+            });
         }
         if emission.len() != n {
-            return Err(MarkovError::DimensionMismatch { expected: n, found: emission.len() });
+            return Err(MarkovError::DimensionMismatch {
+                expected: n,
+                found: emission.len(),
+            });
         }
         let m = emission[0].len();
         for row in &emission {
             if row.len() != m {
-                return Err(MarkovError::DimensionMismatch { expected: m, found: row.len() });
+                return Err(MarkovError::DimensionMismatch {
+                    expected: m,
+                    found: row.len(),
+                });
             }
             distribution::validate(row)?;
         }
-        Ok(Self { initial, transition, emission })
+        Ok(Self {
+            initial,
+            transition,
+            emission,
+        })
     }
 
     /// Number of hidden states.
@@ -132,13 +145,18 @@ impl HiddenMarkovModel {
         let mut scales = vec![0.0; t_len];
         for (t, &o) in obs.iter().enumerate() {
             if o >= self.num_symbols() {
-                return Err(MarkovError::StateOutOfRange { state: o, n: self.num_symbols() });
+                return Err(MarkovError::StateOutOfRange {
+                    state: o,
+                    n: self.num_symbols(),
+                });
             }
             for j in 0..n {
                 let prior = if t == 0 {
                     self.initial[j]
                 } else {
-                    (0..n).map(|i| alphas[t - 1][i] * self.transition.get(i, j)).sum()
+                    (0..n)
+                        .map(|i| alphas[t - 1][i] * self.transition.get(i, j))
+                        .sum()
                 };
                 alphas[t][j] = prior * self.emission[j][o];
             }
@@ -211,8 +229,7 @@ impl HiddenMarkovModel {
             let t_len = obs.len();
             for t in 0..t_len {
                 // gamma_t(i) ∝ alpha_t(i) beta_t(i)
-                let gamma_raw: Vec<f64> =
-                    (0..n).map(|i| alphas[t][i] * betas[t][i]).collect();
+                let gamma_raw: Vec<f64> = (0..n).map(|i| alphas[t][i] * betas[t][i]).collect();
                 let gsum: f64 = gamma_raw.iter().sum();
                 for i in 0..n {
                     let g = gamma_raw[i] / gsum;
@@ -435,12 +452,13 @@ mod tests {
             vec![vec![0.7, 0.3], vec![0.4, 0.6]],
         )
         .unwrap();
-        let ll_before: f64 =
-            seqs.iter().map(|s| init.log_likelihood(s).unwrap()).sum();
+        let ll_before: f64 = seqs.iter().map(|s| init.log_likelihood(s).unwrap()).sum();
         let (fitted, _) = init.fit(&seqs, 50, 1e-7).unwrap();
-        let ll_after: f64 =
-            seqs.iter().map(|s| fitted.log_likelihood(s).unwrap()).sum();
-        assert!(ll_after > ll_before + 1.0, "before={ll_before} after={ll_after}");
+        let ll_after: f64 = seqs.iter().map(|s| fitted.log_likelihood(s).unwrap()).sum();
+        assert!(
+            ll_after > ll_before + 1.0,
+            "before={ll_before} after={ll_after}"
+        );
         // Fitted transition should be "sticky" like the truth (diagonal-heavy
         // up to state relabeling).
         let t = fitted.transition;
@@ -459,12 +477,8 @@ mod tests {
             vec![vec![0.5, 0.5], vec![0.9, 0.2]]
         )
         .is_err());
-        let ok = HiddenMarkovModel::new(
-            vec![0.5, 0.5],
-            t,
-            vec![vec![0.5, 0.5], vec![0.2, 0.8]],
-        )
-        .unwrap();
+        let ok = HiddenMarkovModel::new(vec![0.5, 0.5], t, vec![vec![0.5, 0.5], vec![0.2, 0.8]])
+            .unwrap();
         assert_eq!(ok.num_states(), 2);
         assert_eq!(ok.num_symbols(), 2);
         assert!(ok.log_likelihood(&[]).is_err());
@@ -513,12 +527,8 @@ mod tests {
     #[test]
     fn baum_welch_rejects_too_short_sequences() {
         let t = TransitionMatrix::two_state(0.5, 0.5).unwrap();
-        let hmm = HiddenMarkovModel::new(
-            vec![0.5, 0.5],
-            t,
-            vec![vec![0.5, 0.5], vec![0.2, 0.8]],
-        )
-        .unwrap();
+        let hmm = HiddenMarkovModel::new(vec![0.5, 0.5], t, vec![vec![0.5, 0.5], vec![0.2, 0.8]])
+            .unwrap();
         assert!(hmm.baum_welch_step(&[vec![0]]).is_err());
         assert!(hmm.baum_welch_step(&[]).is_err());
     }

@@ -24,7 +24,10 @@ impl WeightedDigraph {
         if n == 0 {
             return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
         }
-        Ok(Self { n, weights: vec![0.0; n * n] })
+        Ok(Self {
+            n,
+            weights: vec![0.0; n * n],
+        })
     }
 
     /// Number of nodes.
@@ -35,13 +38,22 @@ impl WeightedDigraph {
     /// Add (accumulate) a directed edge `u → v` with positive weight.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> Result<()> {
         if u >= self.n {
-            return Err(MarkovError::StateOutOfRange { state: u, n: self.n });
+            return Err(MarkovError::StateOutOfRange {
+                state: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(MarkovError::StateOutOfRange { state: v, n: self.n });
+            return Err(MarkovError::StateOutOfRange {
+                state: v,
+                n: self.n,
+            });
         }
         if !weight.is_finite() || weight <= 0.0 {
-            return Err(MarkovError::InvalidProbability { context: "edge weight", value: weight });
+            return Err(MarkovError::InvalidProbability {
+                context: "edge weight",
+                value: weight,
+            });
         }
         self.weights[u * self.n + v] += weight;
         Ok(())
@@ -68,7 +80,10 @@ impl WeightedDigraph {
     /// be undefined).
     pub fn random_walk(&self, laziness: f64) -> Result<TransitionMatrix> {
         if !(0.0..=1.0).contains(&laziness) || !laziness.is_finite() {
-            return Err(MarkovError::InvalidProbability { context: "laziness", value: laziness });
+            return Err(MarkovError::InvalidProbability {
+                context: "laziness",
+                value: laziness,
+            });
         }
         let n = self.n;
         let mut rows = Vec::with_capacity(n);
@@ -199,7 +214,10 @@ mod tests {
     fn dead_end_needs_laziness() {
         let mut g = WeightedDigraph::new(2).unwrap();
         g.add_edge(0, 1, 1.0).unwrap(); // node 1 has no out-edge
-        assert_eq!(g.random_walk(0.0).unwrap_err(), MarkovError::ZeroMass { state: 1 });
+        assert_eq!(
+            g.random_walk(0.0).unwrap_err(),
+            MarkovError::ZeroMass { state: 1 }
+        );
         let m = g.random_walk(0.2).unwrap();
         assert_eq!(m.get(1, 1), 1.0, "dead end becomes absorbing");
     }

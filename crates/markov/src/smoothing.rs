@@ -20,7 +20,10 @@ use rand::Rng;
 /// Apply Laplacian smoothing with parameter `s ≥ 0` (Equation 25).
 pub fn laplacian_smooth(matrix: &TransitionMatrix, s: f64) -> Result<TransitionMatrix> {
     if !s.is_finite() || s < 0.0 {
-        return Err(MarkovError::InvalidProbability { context: "smoothing parameter s", value: s });
+        return Err(MarkovError::InvalidProbability {
+            context: "smoothing parameter s",
+            value: s,
+        });
     }
     let n = matrix.n();
     let denom_add = s * n as f64;
@@ -136,7 +139,10 @@ mod tests {
                 .unwrap();
             cols[argmax] = true;
         }
-        assert!(cols.iter().all(|&c| c), "dominant cells must form a permutation");
+        assert!(
+            cols.iter().all(|&c| c),
+            "dominant cells must form a permutation"
+        );
     }
 
     #[test]

@@ -30,6 +30,24 @@ pub struct TransitionMatrix {
 }
 
 impl TransitionMatrix {
+    /// Validate one row slice: entries are probabilities and sum to 1.
+    fn validate_row(i: usize, row: &[f64]) -> Result<()> {
+        let mut sum = 0.0;
+        for &v in row {
+            if !v.is_finite() || !(0.0..=1.0 + STOCHASTIC_TOL).contains(&v) {
+                return Err(MarkovError::InvalidProbability {
+                    context: "transition matrix",
+                    value: v,
+                });
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > STOCHASTIC_TOL.max(1e-6) {
+            return Err(MarkovError::RowNotStochastic { row: i, sum });
+        }
+        Ok(())
+    }
+
     /// Build from explicit rows, validating squareness and stochasticity.
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self> {
         let n = rows.len();
@@ -39,33 +57,31 @@ impl TransitionMatrix {
         let mut data = Vec::with_capacity(n * n);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != n {
-                return Err(MarkovError::NotSquare { rows: n, cols: row.len() });
+                return Err(MarkovError::NotSquare {
+                    rows: n,
+                    cols: row.len(),
+                });
             }
-            let mut sum = 0.0;
-            for &v in row {
-                if !v.is_finite() || !(0.0..=1.0 + STOCHASTIC_TOL).contains(&v) {
-                    return Err(MarkovError::InvalidProbability {
-                        context: "transition matrix",
-                        value: v,
-                    });
-                }
-                sum += v;
-            }
-            if (sum - 1.0).abs() > STOCHASTIC_TOL.max(1e-6) {
-                return Err(MarkovError::RowNotStochastic { row: i, sum });
-            }
+            Self::validate_row(i, row)?;
             data.extend_from_slice(row);
         }
         Ok(Self { n, data })
     }
 
-    /// Build from row-major flat storage.
+    /// Build from row-major flat storage, validating in place (the
+    /// constructor hot callers use: no per-row allocation, the input
+    /// buffer becomes the matrix storage directly).
     pub fn from_flat(n: usize, data: Vec<f64>) -> Result<Self> {
-        if data.len() != n * n {
-            return Err(MarkovError::NotSquare { rows: n, cols: data.len() / n.max(1) });
+        if n == 0 || data.len() != n * n {
+            return Err(MarkovError::NotSquare {
+                rows: n,
+                cols: data.len() / n.max(1),
+            });
         }
-        let rows = data.chunks(n).map(<[f64]>::to_vec).collect();
-        Self::from_rows(rows)
+        for (i, row) in data.chunks(n).enumerate() {
+            Self::validate_row(i, row)?;
+        }
+        Ok(Self { n, data })
     }
 
     /// The identity matrix: the paper's "strongest" temporal correlation
@@ -87,7 +103,10 @@ impl TransitionMatrix {
         if n == 0 {
             return Err(MarkovError::NotSquare { rows: 0, cols: 0 });
         }
-        Ok(Self { n, data: vec![1.0 / n as f64; n * n] })
+        Ok(Self {
+            n,
+            data: vec![1.0 / n as f64; n * n],
+        })
     }
 
     /// A deterministic permutation matrix: row `j` transitions to
@@ -155,6 +174,12 @@ impl TransitionMatrix {
         &self.data[j * self.n..(j + 1) * self.n]
     }
 
+    /// The full row-major storage as one flat slice — the zero-copy
+    /// accessor the Algorithm 1 fast path iterates over.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Iterate over rows.
     pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks(self.n)
@@ -169,7 +194,10 @@ impl TransitionMatrix {
     /// Matrix product `self · other` (composition of one more step).
     pub fn multiply(&self, other: &TransitionMatrix) -> Result<TransitionMatrix> {
         if self.n != other.n {
-            return Err(MarkovError::DimensionMismatch { expected: self.n, found: other.n });
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.n,
+                found: other.n,
+            });
         }
         let n = self.n;
         let mut data = vec![0.0; n * n];
@@ -214,7 +242,10 @@ impl TransitionMatrix {
     /// Propagate a distribution one step: `p · self`.
     pub fn propagate(&self, p: &[f64]) -> Result<Vec<f64>> {
         if p.len() != self.n {
-            return Err(MarkovError::DimensionMismatch { expected: self.n, found: p.len() });
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.n,
+                found: p.len(),
+            });
         }
         let mut out = vec![0.0; self.n];
         for (j, &pj) in p.iter().enumerate() {
@@ -232,7 +263,10 @@ impl TransitionMatrix {
     /// Maximum absolute entry-wise difference to another matrix.
     pub fn max_abs_diff(&self, other: &TransitionMatrix) -> Result<f64> {
         if self.n != other.n {
-            return Err(MarkovError::DimensionMismatch { expected: self.n, found: other.n });
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.n,
+                found: other.n,
+            });
         }
         Ok(self
             .data
@@ -246,19 +280,20 @@ impl TransitionMatrix {
     /// "strongest correlation" special case for which temporal privacy
     /// leakage grows without bound (Theorem 5, case 4).
     pub fn is_identity(&self) -> bool {
-        (0..self.n).all(|j| (0..self.n).all(|k| {
-            let expect = if j == k { 1.0 } else { 0.0 };
-            (self.get(j, k) - expect).abs() < 1e-12
-        }))
+        (0..self.n).all(|j| {
+            (0..self.n).all(|k| {
+                let expect = if j == k { 1.0 } else { 0.0 };
+                (self.get(j, k) - expect).abs() < 1e-12
+            })
+        })
     }
 
     /// Whether every row is identical — under such a matrix yesterday's
     /// value tells the adversary nothing, i.e. effectively no correlation.
     pub fn rows_all_equal(&self) -> bool {
         let first = self.row(0).to_vec();
-        self.rows().all(|r| {
-            r.iter().zip(&first).all(|(a, b)| (a - b).abs() < 1e-12)
-        })
+        self.rows()
+            .all(|r| r.iter().zip(&first).all(|(a, b)| (a - b).abs() < 1e-12))
     }
 
     /// A crude scalar "degree of correlation" diagnostic: the maximum
@@ -399,6 +434,12 @@ mod tests {
         let m = TransitionMatrix::from_flat(2, vec![0.3, 0.7, 0.6, 0.4]).unwrap();
         assert_eq!(m.get(1, 0), 0.6);
         assert!(TransitionMatrix::from_flat(2, vec![0.3, 0.7, 0.6]).is_err());
+        // In-place validation catches the same errors from_rows does.
+        assert!(TransitionMatrix::from_flat(0, vec![]).is_err());
+        assert!(TransitionMatrix::from_flat(2, vec![0.3, 0.8, 0.6, 0.4]).is_err());
+        assert!(TransitionMatrix::from_flat(2, vec![-0.1, 1.1, 0.6, 0.4]).is_err());
+        // And the storage is adopted as-is (row-major).
+        assert_eq!(m.as_flat(), &[0.3, 0.7, 0.6, 0.4]);
     }
 
     #[test]

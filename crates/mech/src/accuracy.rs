@@ -13,7 +13,10 @@ use crate::{MechError, Result};
 
 fn check_delta(delta: f64) -> Result<()> {
     if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
-        return Err(MechError::InvalidParameter { what: "failure probability delta", value: delta });
+        return Err(MechError::InvalidParameter {
+            what: "failure probability delta",
+            value: delta,
+        });
     }
     Ok(())
 }
@@ -22,7 +25,10 @@ fn check_delta(delta: f64) -> Result<()> {
 /// `Δ/ε · ln(1/δ)`.
 pub fn error_bound(epsilon: Epsilon, sensitivity: f64, delta: f64) -> Result<f64> {
     if !sensitivity.is_finite() || sensitivity <= 0.0 {
-        return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+        return Err(MechError::InvalidParameter {
+            what: "sensitivity",
+            value: sensitivity,
+        });
     }
     check_delta(delta)?;
     Ok(sensitivity / epsilon.value() * (1.0 / delta).ln())
@@ -32,10 +38,16 @@ pub fn error_bound(epsilon: Epsilon, sensitivity: f64, delta: f64) -> Result<f64
 /// with probability `1 − δ`.
 pub fn required_epsilon(target_error: f64, sensitivity: f64, delta: f64) -> Result<Epsilon> {
     if !target_error.is_finite() || target_error <= 0.0 {
-        return Err(MechError::InvalidParameter { what: "target error", value: target_error });
+        return Err(MechError::InvalidParameter {
+            what: "target error",
+            value: target_error,
+        });
     }
     if !sensitivity.is_finite() || sensitivity <= 0.0 {
-        return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+        return Err(MechError::InvalidParameter {
+            what: "sensitivity",
+            value: sensitivity,
+        });
     }
     check_delta(delta)?;
     Epsilon::new(sensitivity * (1.0 / delta).ln() / target_error)
@@ -50,7 +62,10 @@ pub fn histogram_error_bound(
     n: usize,
 ) -> Result<f64> {
     if n == 0 {
-        return Err(MechError::InvalidParameter { what: "bucket count", value: 0.0 });
+        return Err(MechError::InvalidParameter {
+            what: "bucket count",
+            value: 0.0,
+        });
     }
     error_bound(epsilon, sensitivity, delta / n as f64)
 }
@@ -86,9 +101,14 @@ mod tests {
         let lap = Laplace::new(1.0 / 0.7).unwrap();
         let mut rng = StdRng::seed_from_u64(21);
         let n = 200_000;
-        let violations =
-            (0..n).filter(|_| lap.sample(&mut rng).abs() > bound).count() as f64 / n as f64;
-        assert!((violations - delta).abs() < 0.005, "violations={violations}");
+        let violations = (0..n)
+            .filter(|_| lap.sample(&mut rng).abs() > bound)
+            .count() as f64
+            / n as f64;
+        assert!(
+            (violations - delta).abs() < 0.005,
+            "violations={violations}"
+        );
     }
 
     #[test]

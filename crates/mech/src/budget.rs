@@ -37,7 +37,10 @@ impl Epsilon {
     /// Split the budget evenly over `k ≥ 1` releases.
     pub fn split(self, k: usize) -> Result<Epsilon> {
         if k == 0 {
-            return Err(MechError::InvalidParameter { what: "split count", value: 0.0 });
+            return Err(MechError::InvalidParameter {
+                what: "split count",
+                value: 0.0,
+            });
         }
         Epsilon::new(self.0 / k as f64)
     }
@@ -61,17 +64,28 @@ impl BudgetSchedule {
     /// A uniform schedule: the same `ε` at each of `t_len` time points.
     pub fn uniform(eps: Epsilon, t_len: usize) -> Result<Self> {
         if t_len == 0 {
-            return Err(MechError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(MechError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
-        Ok(Self { budgets: vec![eps; t_len] })
+        Ok(Self {
+            budgets: vec![eps; t_len],
+        })
     }
 
     /// An explicit schedule from raw values.
     pub fn from_values(values: &[f64]) -> Result<Self> {
         if values.is_empty() {
-            return Err(MechError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(MechError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
-        let budgets = values.iter().map(|&v| Epsilon::new(v)).collect::<Result<_>>()?;
+        let budgets = values
+            .iter()
+            .map(|&v| Epsilon::new(v))
+            .collect::<Result<_>>()?;
         Ok(Self { budgets })
     }
 
@@ -84,7 +98,10 @@ impl BudgetSchedule {
         t_len: usize,
     ) -> Result<Self> {
         if t_len < 2 {
-            return Err(MechError::DimensionMismatch { expected: 2, found: t_len });
+            return Err(MechError::DimensionMismatch {
+                expected: 2,
+                found: t_len,
+            });
         }
         let mut budgets = Vec::with_capacity(t_len);
         budgets.push(first);
@@ -110,7 +127,9 @@ impl BudgetSchedule {
     /// the scheduled "middle".
     pub fn budget_at(&self, t: usize) -> Epsilon {
         *self.budgets.get(t).unwrap_or_else(|| {
-            self.budgets.last().expect("schedules are non-empty by construction")
+            self.budgets
+                .last()
+                .expect("schedules are non-empty by construction")
         })
     }
 
@@ -155,7 +174,11 @@ pub struct CompositionLedger {
 impl CompositionLedger {
     /// Create a ledger holding `total` budget.
     pub fn new(total: Epsilon) -> Self {
-        Self { total: total.value(), spent: 0.0, releases: 0 }
+        Self {
+            total: total.value(),
+            spent: 0.0,
+            releases: 0,
+        }
     }
 
     /// Spend `eps` from the ledger; errors if it would overdraw.
@@ -163,7 +186,10 @@ impl CompositionLedger {
         let req = eps.value();
         let remaining = self.remaining();
         if req > remaining + 1e-12 {
-            return Err(MechError::BudgetExhausted { requested: req, remaining });
+            return Err(MechError::BudgetExhausted {
+                requested: req,
+                remaining,
+            });
         }
         self.spent += req;
         self.releases += 1;

@@ -22,7 +22,10 @@ impl TwoSidedGeometric {
     /// Build from a privacy budget and L1 sensitivity.
     pub fn new(epsilon: Epsilon, sensitivity: f64) -> Result<Self> {
         if !sensitivity.is_finite() || sensitivity <= 0.0 {
-            return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+            return Err(MechError::InvalidParameter {
+                what: "sensitivity",
+                value: sensitivity,
+            });
         }
         let ratio = (-epsilon.value() / sensitivity).exp();
         Ok(Self { ratio })
@@ -78,7 +81,10 @@ pub struct GeometricMechanism {
 impl GeometricMechanism {
     /// ε-DP for integer queries with L1 sensitivity `sensitivity`.
     pub fn new(epsilon: Epsilon, sensitivity: f64) -> Result<Self> {
-        Ok(Self { epsilon, noise: TwoSidedGeometric::new(epsilon, sensitivity)? })
+        Ok(Self {
+            epsilon,
+            noise: TwoSidedGeometric::new(epsilon, sensitivity)?,
+        })
     }
 
     /// The budget spent per invocation.
@@ -138,11 +144,22 @@ mod tests {
         let n = 300_000;
         let samples: Vec<i64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<i64>() as f64 / n as f64;
-        let var = samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         let mean_abs = samples.iter().map(|&v| v.abs()).sum::<i64>() as f64 / n as f64;
         assert!(mean.abs() < 0.02, "mean={mean}");
-        assert!((var - d.variance()).abs() < 0.05, "var={var} vs {}", d.variance());
-        assert!((mean_abs - d.mean_abs()).abs() < 0.02, "mean_abs={mean_abs}");
+        assert!(
+            (var - d.variance()).abs() < 0.05,
+            "var={var} vs {}",
+            d.variance()
+        );
+        assert!(
+            (mean_abs - d.mean_abs()).abs() < 0.02,
+            "mean_abs={mean_abs}"
+        );
     }
 
     #[test]

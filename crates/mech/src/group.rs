@@ -34,10 +34,16 @@ impl GroupMechanism {
     /// a query with per-record L1 sensitivity `sensitivity`.
     pub fn new(epsilon: Epsilon, sensitivity: f64, group_size: usize) -> Result<Self> {
         if group_size == 0 {
-            return Err(MechError::InvalidParameter { what: "group size", value: 0.0 });
+            return Err(MechError::InvalidParameter {
+                what: "group size",
+                value: 0.0,
+            });
         }
         let mechanism = LaplaceMechanism::new(epsilon, sensitivity * group_size as f64)?;
-        Ok(Self { mechanism, group_size })
+        Ok(Self {
+            mechanism,
+            group_size,
+        })
     }
 
     /// The underlying amplified Laplace mechanism.
@@ -63,7 +69,10 @@ impl GroupMechanism {
 /// `ε/T`.
 pub fn per_step_budget_for_horizon(total: Epsilon, t_len: usize) -> Result<Epsilon> {
     if t_len == 0 {
-        return Err(MechError::InvalidParameter { what: "horizon length", value: 0.0 });
+        return Err(MechError::InvalidParameter {
+            what: "horizon length",
+            value: 0.0,
+        });
     }
     total.split(t_len)
 }
@@ -92,7 +101,9 @@ mod tests {
         assert!((per.value() - 0.1).abs() < 1e-12);
         assert!(per_step_budget_for_horizon(eps, 0).is_err());
         // Equivalent noise either way: Lap(T/eps) == Lap(1/(eps/T)).
-        let grouped = GroupMechanism::new(eps, 1.0, 10).unwrap().expected_abs_noise();
+        let grouped = GroupMechanism::new(eps, 1.0, 10)
+            .unwrap()
+            .expected_abs_noise();
         let split = LaplaceMechanism::new(per, 1.0).unwrap().noise().mean_abs();
         assert!((grouped - split).abs() < 1e-9);
     }
@@ -108,8 +119,12 @@ mod tests {
         // matter how weak the correlation is (the paper's Pr = 1 vs 0.1
         // remark) — both "strengths" map to the same group size.
         let eps = Epsilon::new(1.0).unwrap();
-        let strong = GroupMechanism::new(eps, 1.0, 2).unwrap().expected_abs_noise();
-        let weak_but_same_group = GroupMechanism::new(eps, 1.0, 2).unwrap().expected_abs_noise();
+        let strong = GroupMechanism::new(eps, 1.0, 2)
+            .unwrap()
+            .expected_abs_noise();
+        let weak_but_same_group = GroupMechanism::new(eps, 1.0, 2)
+            .unwrap()
+            .expected_abs_noise();
         assert_eq!(strong, weak_but_same_group);
     }
 }

@@ -19,7 +19,10 @@ impl Laplace {
     /// Create `Lap(b)`; the scale must be positive and finite.
     pub fn new(scale: f64) -> Result<Self> {
         if !scale.is_finite() || scale <= 0.0 {
-            return Err(MechError::InvalidParameter { what: "Laplace scale", value: scale });
+            return Err(MechError::InvalidParameter {
+                what: "Laplace scale",
+                value: scale,
+            });
         }
         Ok(Self { scale })
     }
@@ -86,10 +89,17 @@ impl LaplaceMechanism {
     /// `sensitivity` by adding `Lap(sensitivity/ε)` noise per coordinate.
     pub fn new(epsilon: Epsilon, sensitivity: f64) -> Result<Self> {
         if !sensitivity.is_finite() || sensitivity <= 0.0 {
-            return Err(MechError::InvalidParameter { what: "sensitivity", value: sensitivity });
+            return Err(MechError::InvalidParameter {
+                what: "sensitivity",
+                value: sensitivity,
+            });
         }
         let noise = Laplace::new(sensitivity / epsilon.value())?;
-        Ok(Self { epsilon, sensitivity, noise })
+        Ok(Self {
+            epsilon,
+            sensitivity,
+            noise,
+        })
     }
 
     /// The privacy budget this mechanism spends per invocation.
@@ -156,7 +166,9 @@ mod tests {
         let (a, b) = (-1.0, 1.5);
         let steps = 20_000;
         let h = (b - a) / steps as f64;
-        let integral: f64 = (0..steps).map(|i| l.pdf(a + (i as f64 + 0.5) * h) * h).sum();
+        let integral: f64 = (0..steps)
+            .map(|i| l.pdf(a + (i as f64 + 0.5) * h) * h)
+            .sum();
         assert!((integral - (l.cdf(b) - l.cdf(a))).abs() < 1e-6);
     }
 
@@ -170,7 +182,10 @@ mod tests {
         let mean_abs = samples.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
         let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean={mean}");
-        assert!((mean_abs - l.mean_abs()).abs() < 0.02, "mean_abs={mean_abs}");
+        assert!(
+            (mean_abs - l.mean_abs()).abs() < 0.02,
+            "mean_abs={mean_abs}"
+        );
         assert!((var - l.variance()).abs() < 0.1, "var={var}");
     }
 
@@ -188,8 +203,12 @@ mod tests {
         let truth = vec![10.0; 50_000];
         let out = m.release(&truth, &mut rng);
         assert_eq!(out.len(), truth.len());
-        let mean_err: f64 =
-            out.iter().zip(&truth).map(|(o, t)| (o - t).abs()).sum::<f64>() / truth.len() as f64;
+        let mean_err: f64 = out
+            .iter()
+            .zip(&truth)
+            .map(|(o, t)| (o - t).abs())
+            .sum::<f64>()
+            / truth.len() as f64;
         assert!((mean_err - 1.0).abs() < 0.03, "mean_err={mean_err}");
     }
 

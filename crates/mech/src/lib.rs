@@ -87,8 +87,14 @@ impl std::fmt::Display for MechError {
             MechError::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
             }
-            MechError::BudgetExhausted { requested, remaining } => {
-                write!(f, "budget exhausted: requested {requested}, remaining {remaining}")
+            MechError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "budget exhausted: requested {requested}, remaining {remaining}"
+                )
             }
             MechError::StreamState(msg) => write!(f, "stream state error: {msg}"),
         }

@@ -22,7 +22,10 @@ impl Database {
     /// Build a database over `domain` possible values.
     pub fn new(domain: usize, values: Vec<usize>) -> Result<Self> {
         if domain == 0 {
-            return Err(MechError::InvalidParameter { what: "domain size", value: 0.0 });
+            return Err(MechError::InvalidParameter {
+                what: "domain size",
+                value: 0.0,
+            });
         }
         for &v in &values {
             if v >= domain {
@@ -62,11 +65,17 @@ impl Database {
             });
         }
         if value >= self.domain {
-            return Err(MechError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(MechError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         let mut values = self.values.clone();
         values[user] = value;
-        Ok(Self { domain: self.domain, values })
+        Ok(Self {
+            domain: self.domain,
+            values,
+        })
     }
 
     /// The count histogram: entry `k` is the number of users at value `k`
@@ -82,7 +91,10 @@ impl Database {
     /// Count of users at a single value.
     pub fn count_at(&self, value: usize) -> Result<f64> {
         if value >= self.domain {
-            return Err(MechError::ValueOutOfDomain { value, domain: self.domain });
+            return Err(MechError::ValueOutOfDomain {
+                value,
+                domain: self.domain,
+            });
         }
         Ok(self.values.iter().filter(|&&v| v == value).count() as f64)
     }

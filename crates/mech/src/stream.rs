@@ -58,9 +58,17 @@ impl ContinualReleaser {
     /// given per-time budget schedule.
     pub fn new(domain: usize, schedule: BudgetSchedule) -> Result<Self> {
         if domain == 0 {
-            return Err(MechError::InvalidParameter { what: "domain size", value: 0.0 });
+            return Err(MechError::InvalidParameter {
+                what: "domain size",
+                value: 0.0,
+            });
         }
-        Ok(Self { schedule, query: HistogramQuery, domain, t: 0 })
+        Ok(Self {
+            schedule,
+            query: HistogramQuery,
+            domain,
+            t: 0,
+        })
     }
 
     /// The current time index (number of releases performed so far).
@@ -74,11 +82,7 @@ impl ContinualReleaser {
     }
 
     /// Release the histogram of `db` for the current time step.
-    pub fn release_next<R: Rng + ?Sized>(
-        &mut self,
-        db: &Database,
-        rng: &mut R,
-    ) -> Result<Release> {
+    pub fn release_next<R: Rng + ?Sized>(&mut self, db: &Database, rng: &mut R) -> Result<Release> {
         if db.domain() != self.domain {
             return Err(MechError::DimensionMismatch {
                 expected: self.domain,
@@ -89,7 +93,12 @@ impl ContinualReleaser {
         let mech = LaplaceMechanism::new(epsilon, self.query.sensitivity())?;
         let truth = self.query.answer(db);
         let noisy = mech.release(&truth, rng);
-        let release = Release { t: self.t, epsilon: epsilon.value(), truth, noisy };
+        let release = Release {
+            t: self.t,
+            epsilon: epsilon.value(),
+            truth,
+            noisy,
+        };
         self.t += 1;
         Ok(release)
     }
@@ -212,8 +221,7 @@ mod tests {
         let db = Database::new(2, vec![0; 10]).unwrap();
         let mut err = [0.0_f64; 2];
         for (i, eps) in [1.0, 0.05].iter().enumerate() {
-            let schedule =
-                BudgetSchedule::uniform(Epsilon::new(*eps).unwrap(), 1).unwrap();
+            let schedule = BudgetSchedule::uniform(Epsilon::new(*eps).unwrap(), 1).unwrap();
             let mut total = 0.0;
             for _ in 0..400 {
                 let mut rel = ContinualReleaser::new(2, schedule.clone()).unwrap();

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adversary = AdversaryT::from_forward_chain(&chain)?;
 
     let mut stream = AdaptiveReleaser::new(&adversary, ALPHA)?;
-    println!("adaptive {ALPHA}-DP_T stream; middle budget = {:.4}\n", stream.middle_budget());
+    println!(
+        "adaptive {ALPHA}-DP_T stream; middle budget = {:.4}\n",
+        stream.middle_budget()
+    );
 
     // Simulate 14 hours of data; the campaign is cancelled after hour 14,
     // which nobody knew at hour 1.
@@ -47,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *p = tcdp::markov::distribution::sample(chain.matrix().row(*p), &mut rng);
         }
         let db = Database::new(9, positions.clone())?;
-        let eps = if hour < 13 { stream.next_budget()? } else { stream.finalize()? };
+        let eps = if hour < 13 {
+            stream.next_budget()?
+        } else {
+            stream.finalize()?
+        };
         let mech = LaplaceMechanism::new(Epsilon::new(eps)?, 2.0)?;
         let noisy = mech.release(&db.histogram(), &mut rng);
         published += 1;
@@ -62,16 +69,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\npublished {published} releases; worst TPL = {:.6}", stream.max_tpl()?);
+    println!(
+        "\npublished {published} releases; worst TPL = {:.6}",
+        stream.max_tpl()?
+    );
     assert!(stream.max_tpl()? <= ALPHA + 1e-7);
 
     // Exactly what Algorithm 3 would have done with perfect foresight:
     let oracle = quantified_plan(&adversary, ALPHA, 14)?;
     let adaptive_mean = stream.accountant().budgets().iter().sum::<f64>() / 14.0;
     let oracle_mean = oracle.mean_budget(14);
-    println!(
-        "mean budget: adaptive {adaptive_mean:.4} vs oracle Algorithm 3 {oracle_mean:.4}"
-    );
+    println!("mean budget: adaptive {adaptive_mean:.4} vs oracle Algorithm 3 {oracle_mean:.4}");
     assert!((adaptive_mean - oracle_mean).abs() < 1e-9);
     Ok(())
 }

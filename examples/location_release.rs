@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let c4 = w[0].count_at(LOC4)?;
         let c5 = w[1].count_at(LOC5)?;
         if t < 3 {
-            println!("  t={t}: count(loc4)={c4:>3}   t={}: count(loc5)={c5:>3}", t + 1);
+            println!(
+                "  t={t}: count(loc4)={c4:>3}   t={}: count(loc5)={c5:>3}",
+                t + 1
+            );
         }
         assert!(c5 >= c4);
     }
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut naive = TplAccountant::new(&adversary);
     naive.observe_uniform(0.5, T)?;
     println!("\nnaive Lap(2/0.5) histogram release over T = {T}:");
-    println!("  worst event-level TPL = {:.3} (promised 0.5)", naive.max_tpl()?);
+    println!(
+        "  worst event-level TPL = {:.3} (promised 0.5)",
+        naive.max_tpl()?
+    );
 
     // (4) Release with a 1-DP_T guarantee instead.
     let plan = quantified_plan(&adversary, ALPHA, T)?;
@@ -59,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nDP_T release with α = {ALPHA}:");
     println!("  worst TPL observed   = {:.6}", releaser.max_tpl()?);
-    println!("  mean absolute error  = {:.2} counts/location", total_mae / T as f64);
+    println!(
+        "  mean absolute error  = {:.2} counts/location",
+        total_mae / T as f64
+    );
     assert!(releaser.max_tpl()? <= ALPHA + 1e-7);
 
     // The congested variant is deterministic-strength: no positive budget

@@ -24,22 +24,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     naive.observe_uniform(0.5, 20)?;
     println!("naive release, eps = 0.5 per step:");
     println!("  intended per-step guarantee : 0.5-DP");
-    println!("  actual worst leakage (TPL)  : {:.3}-DP_T", naive.max_tpl()?);
-    println!("  user-level (Corollary 1)    : {:.3}-DP", naive.user_level());
+    println!(
+        "  actual worst leakage (TPL)  : {:.3}-DP_T",
+        naive.max_tpl()?
+    );
+    println!(
+        "  user-level (Corollary 1)    : {:.3}-DP",
+        naive.user_level()
+    );
 
     // 3. Bound it: ask Algorithm 3 for budgets that guarantee 0.5-DP_T
     //    at every time point over the same horizon.
     let plan = quantified_plan(&adversary, 0.5, 20)?;
     println!("\nAlgorithm 3 plan for 0.5-DP_T over T = 20:");
-    println!("  first budget  : {:.4} (boosted: no past to leak from)", plan.budget_at(0));
+    println!(
+        "  first budget  : {:.4} (boosted: no past to leak from)",
+        plan.budget_at(0)
+    );
     println!("  middle budget : {:.4}", plan.budget_at(10));
-    println!("  last budget   : {:.4} (boosted: no future to leak to)", plan.budget_at(19));
+    println!(
+        "  last budget   : {:.4} (boosted: no future to leak to)",
+        plan.budget_at(19)
+    );
 
     let mut bounded = TplAccountant::new(&adversary);
     for t in 0..20 {
         bounded.observe_release(plan.budget_at(t))?;
     }
-    println!("  achieved worst TPL : {:.6} (target 0.5)", bounded.max_tpl()?);
+    println!(
+        "  achieved worst TPL : {:.6} (target 0.5)",
+        bounded.max_tpl()?
+    );
     assert!(bounded.max_tpl()? <= 0.5 + 1e-7);
     Ok(())
 }

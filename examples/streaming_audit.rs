@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  after release {t:>2}: TPL(0)={:.3}  FPL(0)={fpl0:.3}  worst TPL={worst:.3}{}",
             tpl[0],
-            if worst > ALPHA && breach_at.is_none() { "  <-- α breached" } else { "" }
+            if worst > ALPHA && breach_at.is_none() {
+                "  <-- α breached"
+            } else {
+                ""
+            }
         );
         if worst > ALPHA && breach_at.is_none() {
             breach_at = Some(t);

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              L(1.0)={:.4}",
             adversary.forward_loss().expect("forward known").eval(1.0)?
         );
-        targets.push(UserTarget { adversary, alpha: ALPHA });
+        targets.push(UserTarget {
+            adversary,
+            alpha: ALPHA,
+        });
     }
 
     // One shared release must protect everyone: combine per-user plans
@@ -59,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.budget_at(T / 2),
         plan.budget_at(T - 1)
     );
-    println!("  mean |Laplace noise| per count: {:.2}", plan.mean_abs_noise(T, 2.0));
+    println!(
+        "  mean |Laplace noise| per count: {:.2}",
+        plan.mean_abs_noise(T, 2.0)
+    );
 
     // Verify every user individually.
     for (i, target) in targets.iter().enumerate() {

@@ -80,7 +80,10 @@ struct Opts {
 
 impl Opts {
     fn get(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn get_f64(&self, name: &str) -> Result<Option<f64>, String> {
@@ -90,7 +93,8 @@ impl Opts {
     }
 
     fn require_f64(&self, name: &str) -> Result<f64, String> {
-        self.get_f64(name)?.ok_or_else(|| format!("--{name} is required"))
+        self.get_f64(name)?
+            .ok_or_else(|| format!("--{name} is required"))
     }
 
     fn get_usize(&self, name: &str) -> Result<Option<usize>, String> {
@@ -100,7 +104,9 @@ impl Opts {
     }
 
     fn matrix(&self, name: &str) -> Result<Option<TransitionMatrix>, String> {
-        let Some(spec) = self.get(name) else { return Ok(None) };
+        let Some(spec) = self.get(name) else {
+            return Ok(None);
+        };
         let json = if let Some(path) = spec.strip_prefix('@') {
             std::fs::read_to_string(path).map_err(|e| format!("--{name}: {path}: {e}"))?
         } else {
@@ -108,7 +114,9 @@ impl Opts {
         };
         let rows: Vec<Vec<f64>> =
             serde_json::from_str(&json).map_err(|e| format!("--{name}: bad JSON: {e}"))?;
-        TransitionMatrix::from_rows(rows).map(Some).map_err(|e| format!("--{name}: {e}"))
+        TransitionMatrix::from_rows(rows)
+            .map(Some)
+            .map_err(|e| format!("--{name}: {e}"))
     }
 
     fn adversary(&self) -> Result<AdversaryT, String> {
@@ -187,7 +195,10 @@ fn plan(opts: &Opts) -> Result<(), String> {
             println!("eps (every step): {:.6}", plan.budget_at(0));
         }
     }
-    println!("sup BPL = {:.4}, sup FPL = {:.4}", plan.alpha_backward, plan.alpha_forward);
+    println!(
+        "sup BPL = {:.4}, sup FPL = {:.4}",
+        plan.alpha_backward, plan.alpha_forward
+    );
     Ok(())
 }
 
@@ -195,8 +206,7 @@ fn estimate(opts: &Opts) -> Result<(), String> {
     use tcdp::data::traces::TraceSet;
     let path = opts.get("traces").ok_or("--traces is required")?;
     let pseudo = opts.get_f64("pseudo")?.unwrap_or(1.0);
-    let set =
-        TraceSet::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let set = TraceSet::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
     println!(
         "loaded {} trajectories over {} states from {path}",
         set.len(),
@@ -227,7 +237,11 @@ fn report(opts: &Opts) -> Result<(), String> {
     let worst = acc.max_tpl().map_err(|e| e.to_string())?;
     println!("[leakage] worst event-level TPL : {worst:.4}");
     println!("[leakage] user-level (Σ eps)    : {:.4}", acc.user_level());
-    let verdict = if worst <= alpha + 1e-9 { "WITHIN target" } else { "EXCEEDS target" };
+    let verdict = if worst <= alpha + 1e-9 {
+        "WITHIN target"
+    } else {
+        "EXCEEDS target"
+    };
     println!("[verdict] {verdict}\n");
 
     // One representative horizon line is enough for the report.
@@ -264,7 +278,11 @@ fn audit(opts: &Opts) -> Result<(), String> {
     let budgets_raw = opts.get("budgets").ok_or("--budgets is required")?;
     let budgets: Vec<f64> = budgets_raw
         .split(',')
-        .map(|v| v.trim().parse::<f64>().map_err(|e| format!("--budgets: {e}")))
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("--budgets: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     let adv = opts.adversary()?;
     let mut acc = TplAccountant::new(&adv);

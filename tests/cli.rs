@@ -37,16 +37,23 @@ fn quantify_reproduces_figure3() {
     ]);
     assert!(stdout.contains("0.1808"), "BPL t=2 from Figure 3: {stdout}");
     assert!(stdout.contains("worst event-level TPL: 0.6368"), "{stdout}");
-    assert!(stdout.contains("user-level (Corollary 1): 1.0000"), "{stdout}");
+    assert!(
+        stdout.contains("user-level (Corollary 1): 1.0000"),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn supremum_matches_theorem5() {
-    let stdout =
-        run_ok(&["supremum", "--matrix", "[[0.8,0.2],[0.1,0.9]]", "--eps", "0.23"]);
+    let stdout = run_ok(&[
+        "supremum",
+        "--matrix",
+        "[[0.8,0.2],[0.1,0.9]]",
+        "--eps",
+        "0.23",
+    ]);
     assert!(stdout.contains("0.7923"), "{stdout}");
-    let divergent =
-        run_ok(&["supremum", "--matrix", "[[1,0],[0,1]]", "--eps", "0.23"]);
+    let divergent = run_ok(&["supremum", "--matrix", "[[1,0],[0,1]]", "--eps", "0.23"]);
     assert!(divergent.contains("does not exist"), "{divergent}");
 }
 
@@ -112,10 +119,15 @@ fn helpful_errors() {
     assert!(run_err(&["frobnicate"]).contains("unknown subcommand"));
     assert!(run_err(&["quantify", "--eps", "0.1"]).contains("--t is required"));
     assert!(run_err(&["supremum", "--eps", "0.1"]).contains("--matrix is required"));
-    assert!(run_err(&["supremum", "--matrix", "[[0.8,0.3],[0.1,0.9]]", "--eps", "0.1"])
-        .contains("row 0"));
-    assert!(run_err(&["supremum", "--matrix", "not json", "--eps", "0.1"])
-        .contains("bad JSON"));
+    assert!(run_err(&[
+        "supremum",
+        "--matrix",
+        "[[0.8,0.3],[0.1,0.9]]",
+        "--eps",
+        "0.1"
+    ])
+    .contains("row 0"));
+    assert!(run_err(&["supremum", "--matrix", "not json", "--eps", "0.1"]).contains("bad JSON"));
     assert!(run_err(&["quantify", "--eps"]).contains("needs a value"));
     // Unbounded correlation is reported, not panicked.
     let err = run_err(&["plan", "--pb", "[[1,0],[0,1]]", "--alpha", "1.0"]);
@@ -130,12 +142,18 @@ fn estimate_from_trace_file() {
     let traj: Vec<String> = (0..500).map(|t| (t % 2).to_string()).collect();
     std::fs::write(&path, format!("# domain=2\n{}\n", traj.join(" "))).expect("write");
     let stdout = run_ok(&["estimate", "--traces", &path.display().to_string()]);
-    assert!(stdout.contains("500") || stdout.contains("1 trajectories"), "{stdout}");
+    assert!(
+        stdout.contains("500") || stdout.contains("1 trajectories"),
+        "{stdout}"
+    );
     assert!(stdout.contains("forward"), "{stdout}");
     assert!(stdout.contains("backward"), "{stdout}");
     // The printed JSON should be loadable back as a --pf argument: the
     // off-diagonal dominates.
-    let pf_line = stdout.lines().find(|l| l.starts_with("forward")).expect("pf line");
+    let pf_line = stdout
+        .lines()
+        .find(|l| l.starts_with("forward"))
+        .expect("pf line");
     let json = pf_line.split(": ").nth(1).expect("json part");
     let rows: Vec<Vec<f64>> = serde_json::from_str(json).expect("valid JSON");
     assert!(rows[0][1] > 0.9, "{rows:?}");
@@ -156,7 +174,10 @@ fn report_audits_and_plans() {
         "--t",
         "10",
     ]);
-    assert!(stdout.contains("EXCEEDS target"), "0.3/step breaches alpha=1: {stdout}");
+    assert!(
+        stdout.contains("EXCEEDS target"),
+        "0.3/step breaches alpha=1: {stdout}"
+    );
     assert!(stdout.contains("Algorithm 2"), "{stdout}");
     assert!(stdout.contains("Algorithm 3"), "{stdout}");
     // A compliant stream is recognized too.

@@ -67,7 +67,10 @@ fn roadnet_naive_release_leaks_more_than_promised() {
     let mut acc = TplAccountant::new(&adv);
     acc.observe_uniform(0.5, 10).unwrap();
     let worst = acc.max_tpl().unwrap();
-    assert!(worst > 0.5, "the road network must amplify leakage: {worst}");
+    assert!(
+        worst > 0.5,
+        "the road network must amplify leakage: {worst}"
+    );
     assert!(worst < 5.0, "event-level TPL stays below user-level T*eps");
 }
 

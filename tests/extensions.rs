@@ -8,9 +8,7 @@ use tcdp::core::composition::w_event_guarantee;
 use tcdp::core::inference::simulate_attack;
 use tcdp::core::sparse::{subsampled_correlation, subsampled_supremum};
 use tcdp::core::supremum::Supremum;
-use tcdp::core::{
-    temporal_loss, w_event_plan, AdaptiveReleaser, AdversaryT, TplAccountant,
-};
+use tcdp::core::{temporal_loss, w_event_plan, AdaptiveReleaser, AdversaryT, TplAccountant};
 use tcdp::markov::diagnostics::{contraction_rate, dobrushin_coefficient, mixing_time};
 use tcdp::markov::{graph, smoothing, MarkovChain, TransitionMatrix};
 
@@ -34,8 +32,8 @@ fn adaptive_stream_is_always_safe_and_exact_when_closed() {
 #[test]
 fn w_event_plan_verified_on_structured_mobility() {
     // Grid-world mobility (smoothed) planned for 3-event privacy.
-    let mobility = smoothing::laplacian_smooth(&graph::grid_world(2, 2, 0.5).unwrap(), 0.05)
-        .unwrap();
+    let mobility =
+        smoothing::laplacian_smooth(&graph::grid_world(2, 2, 0.5).unwrap(), 0.05).unwrap();
     let chain = MarkovChain::uniform_start(mobility);
     let adv = AdversaryT::from_forward_chain(&chain).unwrap();
     let plan = w_event_plan(&adv, 1.0, 3).unwrap();
@@ -78,7 +76,9 @@ fn attack_accuracy_tracks_diagnostics() {
     let runs = 60;
     let mean = |m: &TransitionMatrix, rng: &mut StdRng| {
         let c = MarkovChain::uniform_start(m.clone());
-        (0..runs).map(|_| simulate_attack(&c, &budgets, rng).unwrap()).sum::<f64>()
+        (0..runs)
+            .map(|_| simulate_attack(&c, &budgets, rng).unwrap())
+            .sum::<f64>()
             / runs as f64
     };
     let acc_strong = mean(&strong, &mut rng);
@@ -92,9 +92,7 @@ fn diagnostics_explain_leakage_saturation_speed() {
     // slow-mixing chain's, measured in steps to 99% of the supremum.
     let fast = TransitionMatrix::two_state(0.7, 0.7).unwrap(); // rate 0.4
     let slow = TransitionMatrix::two_state(0.95, 0.95).unwrap(); // rate 0.9
-    assert!(
-        contraction_rate(&fast, 20).unwrap() < contraction_rate(&slow, 20).unwrap()
-    );
+    assert!(contraction_rate(&fast, 20).unwrap() < contraction_rate(&slow, 20).unwrap());
     let steps_to_saturate = |m: &TransitionMatrix| {
         let sup = match tcdp::core::supremum_of_matrix(m, 0.2).unwrap() {
             Supremum::Finite(v) => v,
@@ -105,9 +103,7 @@ fn diagnostics_explain_leakage_saturation_speed() {
     };
     assert!(steps_to_saturate(&fast) < steps_to_saturate(&slow));
     // Mixing time ordering agrees.
-    assert!(
-        mixing_time(&fast, 0.01, 500).unwrap() < mixing_time(&slow, 0.01, 500).unwrap()
-    );
+    assert!(mixing_time(&fast, 0.01, 500).unwrap() < mixing_time(&slow, 0.01, 500).unwrap());
 }
 
 #[test]
@@ -118,8 +114,7 @@ fn ring_road_periodicity_warning_end_to_end() {
     let adv = AdversaryT::with_forward(det);
     assert!(tcdp::core::upper_bound_plan(&adv, 1.0).is_err());
 
-    let lazy = smoothing::laplacian_smooth(&graph::ring_road(5, 0.8, 0.2).unwrap(), 0.01)
-        .unwrap();
+    let lazy = smoothing::laplacian_smooth(&graph::ring_road(5, 0.8, 0.2).unwrap(), 0.01).unwrap();
     let adv = AdversaryT::with_forward(lazy);
     let plan = tcdp::core::upper_bound_plan(&adv, 1.0).unwrap();
     assert!(plan.budget_at(0) > 0.0);

@@ -32,7 +32,10 @@ fn figure3_all_three_panels() {
 #[test]
 fn figure4_suprema() {
     // (c) q=0.8, d=0, eps=0.15: sup = log(0.2 e^0.15/(1-0.8 e^0.15)).
-    let sup_c = supremum_of_matrix(&moderate(), 0.15).unwrap().finite().unwrap();
+    let sup_c = supremum_of_matrix(&moderate(), 0.15)
+        .unwrap()
+        .finite()
+        .unwrap();
     assert!((sup_c - 1.19225).abs() < 1e-4, "sup_c={sup_c}");
     // (d) q=0.8, d=0.1, eps=0.23: closed form ≈ 0.79235.
     let md = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
@@ -43,7 +46,10 @@ fn figure4_suprema() {
         supremum_of_matrix(&TransitionMatrix::identity(2).unwrap(), 0.23).unwrap(),
         Supremum::Divergent
     );
-    assert_eq!(supremum_of_matrix(&moderate(), 0.23).unwrap(), Supremum::Divergent);
+    assert_eq!(
+        supremum_of_matrix(&moderate(), 0.23).unwrap(),
+        Supremum::Divergent
+    );
 }
 
 #[test]
@@ -79,7 +85,10 @@ fn figure4_series_consistency_with_algorithm1() {
     let series = leakage_series(&md, 0.23, 200).unwrap();
     let sup = supremum_of_matrix(&md, 0.23).unwrap().finite().unwrap();
     assert!(series.iter().all(|&v| v <= sup + 1e-9));
-    assert!((series[199] - sup).abs() < 1e-9, "recursion converges to the supremum");
+    assert!(
+        (series[199] - sup).abs() < 1e-9,
+        "recursion converges to the supremum"
+    );
 }
 
 #[test]

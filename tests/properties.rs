@@ -13,10 +13,13 @@
 
 use proptest::prelude::*;
 use tcdp::core::alg1::{
-    temporal_loss, temporal_loss_brute_force, temporal_loss_lp, LpBaseline,
+    temporal_loss, temporal_loss_brute_force, temporal_loss_lp,
+    temporal_loss_witness_forced_parallel, temporal_loss_witness_unpruned, LpBaseline,
 };
 use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
-use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, TplAccountant};
+use tcdp::core::{
+    quantified_plan, upper_bound_plan, AdversaryT, TemporalLossFunction, TplAccountant,
+};
 use tcdp::markov::{MarkovChain, TransitionMatrix};
 
 /// Strategy: a random row-stochastic matrix with strictly positive cells.
@@ -162,6 +165,25 @@ proptest! {
     }
 
     #[test]
+    fn parallel_and_pruned_sweeps_are_bit_identical(
+        m in sparse_stochastic_matrix(24),
+        alpha in 0.01f64..30.0,
+        threads in 2usize..5,
+    ) {
+        // Three independent engine paths — naive serial, pruned
+        // (possibly parallel via the default feature), and the fan-out
+        // forced onto an explicit worker count — must agree exactly:
+        // same value bits, same maximizing pair, same active subset.
+        let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
+        let pruned = tcdp::core::alg1::temporal_loss_witness(&m, alpha).unwrap();
+        let forced = temporal_loss_witness_forced_parallel(&m, alpha, threads).unwrap();
+        prop_assert_eq!(&pruned, &naive, "pruned vs naive at alpha={}", alpha);
+        prop_assert_eq!(&forced, &naive, "{} threads vs naive at alpha={}", threads, alpha);
+        prop_assert_eq!(pruned.value.to_bits(), naive.value.to_bits());
+        prop_assert_eq!(forced.value.to_bits(), naive.value.to_bits());
+    }
+
+    #[test]
     fn reversal_is_stochastic_and_round_trips(m in stochastic_matrix(4)) {
         let chain = MarkovChain::uniform_start(m.clone());
         let pi = chain.stationary().unwrap();
@@ -183,5 +205,52 @@ proptest! {
         prop_assert!((acc.user_level() - sum).abs() < 1e-9);
         // Event-level TPL never exceeds the user-level guarantee.
         prop_assert!(acc.max_tpl().unwrap() <= sum + 1e-9);
+    }
+}
+
+// The fast-engine equivalence corpus: heavier per case (brute force is
+// exponential in n, the recursions run 50 steps), so it gets its own,
+// smaller case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fast_engine_matches_brute_force_up_to_n12(
+        m in (2usize..13).prop_flat_map(sparse_stochastic_matrix),
+        base in 0.01f64..4.0,
+    ) {
+        // A sweep of α per matrix, reaching into the large-α saturation
+        // regime where the ratio bound binds.
+        for mult in [1.0, 2.5, 40.0] {
+            let alpha = base * mult;
+            let brute = temporal_loss_brute_force(&m, alpha).unwrap();
+            let fast = temporal_loss(&m, alpha).unwrap();
+            prop_assert!(
+                (fast - brute).abs() < 1e-9,
+                "alpha={alpha}: fast={fast} brute={brute}\n{m}"
+            );
+            // The engine variants agree with each other exactly.
+            let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
+            let forced = temporal_loss_witness_forced_parallel(&m, alpha, 3).unwrap();
+            prop_assert_eq!(fast.to_bits(), naive.value.to_bits());
+            prop_assert_eq!(&forced, &naive);
+        }
+    }
+
+    #[test]
+    fn warm_recursion_matches_cold_calls_for_t50(
+        m in (2usize..13).prop_flat_map(sparse_stochastic_matrix),
+        eps in 0.005f64..0.25,
+    ) {
+        // A full T=50 BPL recursion through one warm-started loss
+        // function is bit-identical to 50 independent cold evaluations.
+        let loss = TemporalLossFunction::new(m.clone());
+        let mut warm = eps;
+        let mut cold = eps;
+        for t in 0..50 {
+            warm = loss.eval(warm).unwrap() + eps;
+            cold = temporal_loss(&m, cold).unwrap() + eps;
+            prop_assert_eq!(warm.to_bits(), cold.to_bits(), "diverged at t={}", t);
+        }
     }
 }
