@@ -1,23 +1,42 @@
-//! The temporal privacy leakage accountant.
+//! The temporal privacy leakage accountant — a streaming engine.
 //!
 //! Tracks a continual release against one adversary and evaluates the
 //! paper's three leakage quantities at every time point:
 //!
 //! * **BPL** (Definition 6, Equation 13) — computed *incrementally* as
 //!   releases arrive: `BPL(t) = L^B(BPL(t−1)) + ε_t`;
-//! * **FPL** (Definition 7, Equation 15) — recomputed *backward over the
-//!   whole timeline* on demand, because (as Example 3 stresses) every new
-//!   release updates the FPL of all earlier time points:
+//! * **FPL** (Definition 7, Equation 15) — computed *backward over the
+//!   whole timeline*, because (as Example 3 stresses) every new release
+//!   updates the FPL of all earlier time points:
 //!   `FPL(t) = L^F(FPL(t+1)) + ε_t`, anchored at `FPL(T) = ε_T`;
 //! * **TPL** (Equation 10) — `TPL(t) = BPL(t) + FPL(t) − ε_t`.
 //!
 //! A mechanism timeline satisfies α-DP_T (Definition 8) iff
 //! [`TplAccountant::max_tpl`] never exceeds α.
+//!
+//! # Caching and complexity
+//!
+//! The FPL/TPL series, their maximum, and the prefix-summed budgets are
+//! cached behind a version stamp (the release count): observing a new
+//! release invalidates the cache once, and then *any* number of queries
+//! — [`TplAccountant::tpl_series`], [`TplAccountant::tpl_at`],
+//! [`TplAccountant::max_tpl`], [`TplAccountant::fpl_at`], the Theorem 2
+//! window guarantees in [`crate::composition`] — share a single `O(T)`
+//! recomputation (one backward pass through a checked-out
+//! [`crate::loss::LossEvaluator`]). A full w-event audit therefore
+//! performs `O(T)` loss-function evaluations instead of the `O(T²)` a
+//! per-window recompute costs; [`TplAccountant::loss_eval_count`] is the
+//! test hook asserting exactly that. The cache is behaviorally
+//! invisible: every cached value is bit-identical to a fresh recompute
+//! (warm-started Algorithm 1 results are bit-identical to cold ones),
+//! and it is excluded from `PartialEq`-free equality semantics, `Clone`
+//! sharing, and the serialized form alike.
 
 use crate::adversary::AdversaryT;
 use crate::loss::TemporalLossFunction;
 use crate::{check_epsilon, Result, TplError};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::{Arc, Mutex};
 use tcdp_markov::TransitionMatrix;
 
 /// Snapshot of the leakage at the moment a release happens.
@@ -56,22 +75,70 @@ pub struct TplReport {
 /// assert!((bpl[1] - 0.18).abs() < 0.005);
 /// assert!((bpl[2] - 0.25).abs() < 0.005);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct TplAccountant {
-    backward: Option<TemporalLossFunction>,
-    forward: Option<TemporalLossFunction>,
+    backward: Option<Arc<TemporalLossFunction>>,
+    forward: Option<Arc<TemporalLossFunction>>,
     budgets: Vec<f64>,
     bpl: Vec<f64>,
+    /// Version-stamped derived series; see the module docs.
+    cache: Mutex<SeriesCache>,
+}
+
+/// The derived series shared by every post-observation query. Valid iff
+/// `len` equals the accountant's release count ([`TplAccountant::observe_release`]
+/// is the only mutation, so the count doubles as the version stamp).
+#[derive(Debug, Clone)]
+struct SeriesCache {
+    len: usize,
+    /// FPL series (Equation 15).
+    fpl: Vec<f64>,
+    /// TPL series (Equation 10).
+    tpl: Vec<f64>,
+    /// `eps_prefix[k] = Σ budgets[..k]` (`len + 1` entries) — O(1)
+    /// window budget sums for the Theorem 2 machinery.
+    eps_prefix: Vec<f64>,
+    /// Maximum of `tpl` (`−∞` when empty).
+    max_tpl: f64,
+}
+
+impl SeriesCache {
+    fn empty() -> Self {
+        SeriesCache {
+            len: 0,
+            fpl: Vec::new(),
+            tpl: Vec::new(),
+            eps_prefix: vec![0.0],
+            max_tpl: f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl TplAccountant {
     /// Build an accountant for the given adversary.
     pub fn new(adversary: &AdversaryT) -> Self {
+        Self::with_shared_losses(
+            adversary.backward_loss().map(Arc::new),
+            adversary.forward_loss().map(Arc::new),
+        )
+    }
+
+    /// Build an accountant over *shared* loss functions. Accountants
+    /// built from the same `Arc`s share one pruning index and one
+    /// warm-witness cache (both behaviorally invisible), which is how
+    /// [`crate::personalized::PopulationAccountant`] avoids rebuilding
+    /// identical Algorithm 1 state for every user with the same
+    /// adversary.
+    pub fn with_shared_losses(
+        backward: Option<Arc<TemporalLossFunction>>,
+        forward: Option<Arc<TemporalLossFunction>>,
+    ) -> Self {
         Self {
-            backward: adversary.backward_loss(),
-            forward: adversary.forward_loss(),
+            backward,
+            forward,
             budgets: Vec::new(),
             bpl: Vec::new(),
+            cache: Mutex::new(SeriesCache::empty()),
         }
     }
 
@@ -143,53 +210,125 @@ impl TplAccountant {
         &self.bpl
     }
 
-    /// The FPL series (Equation 15) given everything observed so far.
-    /// Recomputed backward from the last release; earlier entries grow as
-    /// more releases arrive.
-    pub fn fpl_series(&self) -> Result<Vec<f64>> {
-        let t_len = self.budgets.len();
-        let mut fpl = vec![0.0; t_len];
-        if t_len == 0 {
-            return Ok(fpl);
+    /// Run `f` over the (validated) series cache, rebuilding it first if
+    /// a release arrived since the last query — the single `O(T)`
+    /// recomputation every query shares.
+    fn with_cache<R>(&self, f: impl FnOnce(&SeriesCache) -> R) -> Result<R> {
+        let mut cache = self.cache.lock().expect("series cache lock");
+        if cache.len != self.budgets.len() {
+            self.rebuild(&mut cache)?;
         }
-        fpl[t_len - 1] = self.budgets[t_len - 1];
-        for t in (0..t_len - 1).rev() {
-            fpl[t] = match &self.forward {
-                Some(l) => l.eval(fpl[t + 1])? + self.budgets[t],
-                None => self.budgets[t],
-            };
-        }
-        Ok(fpl)
+        Ok(f(&cache))
     }
 
-    /// The TPL series (Equation 10): `BPL + FPL − ε` per time point.
-    pub fn tpl_series(&self) -> Result<Vec<f64>> {
-        let fpl = self.fpl_series()?;
-        Ok(self
+    /// One backward FPL pass (through a checked-out evaluator, so the
+    /// `O(T)` evaluations share one scratch set and warm chain), then the
+    /// derived TPL/extremum/prefix series.
+    fn rebuild(&self, cache: &mut SeriesCache) -> Result<()> {
+        let t_len = self.budgets.len();
+        let mut fpl = vec![0.0; t_len];
+        if t_len > 0 {
+            fpl[t_len - 1] = self.budgets[t_len - 1];
+            match &self.forward {
+                Some(l) => {
+                    let mut ev = l.evaluator();
+                    for t in (0..t_len - 1).rev() {
+                        fpl[t] = ev.eval(fpl[t + 1])? + self.budgets[t];
+                    }
+                }
+                None => fpl[..t_len - 1].copy_from_slice(&self.budgets[..t_len - 1]),
+            }
+        }
+        let tpl: Vec<f64> = self
             .bpl
             .iter()
             .zip(&fpl)
             .zip(&self.budgets)
             .map(|((b, f), e)| b + f - e)
-            .collect())
+            .collect();
+        let mut eps_prefix = Vec::with_capacity(t_len + 1);
+        let mut run = 0.0;
+        eps_prefix.push(0.0);
+        for &e in &self.budgets {
+            run += e;
+            eps_prefix.push(run);
+        }
+        cache.max_tpl = tpl.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        cache.fpl = fpl;
+        cache.tpl = tpl;
+        cache.eps_prefix = eps_prefix;
+        cache.len = t_len;
+        Ok(())
     }
 
-    /// TPL at a single time point.
+    /// Map a time index to [`TplError::EmptyTimeline`] (nothing observed)
+    /// or [`TplError::TimeOutOfRange`] (observed, but `t` is past the end).
+    fn index_error(&self, t: usize) -> TplError {
+        if self.budgets.is_empty() {
+            TplError::EmptyTimeline
+        } else {
+            TplError::TimeOutOfRange {
+                t,
+                len: self.budgets.len(),
+            }
+        }
+    }
+
+    /// The FPL series (Equation 15) given everything observed so far;
+    /// earlier entries grow as more releases arrive. Served from the
+    /// shared cache (recomputed at most once per release).
+    pub fn fpl_series(&self) -> Result<Vec<f64>> {
+        self.with_cache(|c| c.fpl.clone())
+    }
+
+    /// The TPL series (Equation 10): `BPL + FPL − ε` per time point.
+    pub fn tpl_series(&self) -> Result<Vec<f64>> {
+        self.with_cache(|c| c.tpl.clone())
+    }
+
+    /// BPL at a single time point (`O(1)` — BPL values are final).
+    pub fn bpl_at(&self, t: usize) -> Result<f64> {
+        self.bpl.get(t).copied().ok_or_else(|| self.index_error(t))
+    }
+
+    /// FPL at a single time point (`O(1)` amortized from the cache).
+    pub fn fpl_at(&self, t: usize) -> Result<f64> {
+        self.with_cache(|c| c.fpl.get(t).copied())?
+            .ok_or_else(|| self.index_error(t))
+    }
+
+    /// TPL at a single time point (`O(1)` amortized from the cache).
     pub fn tpl_at(&self, t: usize) -> Result<f64> {
-        let series = self.tpl_series()?;
-        series.get(t).copied().ok_or(TplError::EmptyTimeline)
+        self.with_cache(|c| c.tpl.get(t).copied())?
+            .ok_or_else(|| self.index_error(t))
+    }
+
+    /// `Σ ε_k` over the window `[t, t + w)` of observed budgets, from the
+    /// cached prefix sums (`O(1)` amortized; the result may differ from a
+    /// naive slice sum in the last ulp, as any prefix-difference does).
+    pub fn window_budget_sum(&self, t: usize, w: usize) -> Result<f64> {
+        let t_len = self.budgets.len();
+        if t_len == 0 {
+            return Err(TplError::EmptyTimeline);
+        }
+        if w == 0 || w > t_len {
+            return Err(TplError::InvalidWindow { w });
+        }
+        let end = t
+            .checked_add(w)
+            .filter(|&e| e <= t_len)
+            .ok_or_else(|| self.index_error(t.saturating_add(w).saturating_sub(1)))?;
+        self.with_cache(|c| c.eps_prefix[end] - c.eps_prefix[t])
     }
 
     /// The worst TPL across the timeline — the α for which the observed
     /// mechanism sequence currently satisfies α-DP_T at event level.
+    /// `O(1)` amortized from the cache.
     pub fn max_tpl(&self) -> Result<f64> {
-        let series = self.tpl_series()?;
-        series
-            .into_iter()
-            .fold(None, |acc: Option<f64>, v| {
-                Some(acc.map_or(v, |a| a.max(v)))
-            })
-            .ok_or(TplError::EmptyTimeline)
+        if self.budgets.is_empty() {
+            return Err(TplError::EmptyTimeline);
+        }
+        self.with_cache(|c| c.max_tpl)
     }
 
     /// Corollary 1: the user-level guarantee of the whole timeline is the
@@ -197,6 +336,65 @@ impl TplAccountant {
     /// not worsen user-level privacy.
     pub fn user_level(&self) -> f64 {
         self.budgets.iter().sum()
+    }
+
+    /// Total Algorithm 1 evaluations performed by this accountant's loss
+    /// functions — the complexity test hook (e.g. a w-event audit of a
+    /// T-step timeline must stay `O(T)`). Counts are shared with any
+    /// other accountant holding the same loss `Arc`s.
+    pub fn loss_eval_count(&self) -> u64 {
+        self.backward.as_ref().map_or(0, |l| l.eval_count())
+            + self.forward.as_ref().map_or(0, |l| l.eval_count())
+    }
+}
+
+impl Clone for TplAccountant {
+    /// Cloning shares the loss functions (their caches are behaviorally
+    /// invisible) and copies the observed timeline plus the current
+    /// series cache.
+    fn clone(&self) -> Self {
+        Self {
+            backward: self.backward.clone(),
+            forward: self.forward.clone(),
+            budgets: self.budgets.clone(),
+            bpl: self.bpl.clone(),
+            cache: Mutex::new(self.cache.lock().expect("series cache lock").clone()),
+        }
+    }
+}
+
+impl Serialize for TplAccountant {
+    /// Serializes the pre-cache derived shape
+    /// `{"backward", "forward", "budgets", "bpl"}`; the series cache and
+    /// the loss functions' internal caches are rebuilt on first use
+    /// after restore.
+    fn to_value(&self) -> Value {
+        let side = |l: &Option<Arc<TemporalLossFunction>>| match l {
+            Some(l) => l.to_value(),
+            None => Value::Null,
+        };
+        Value::Map(vec![
+            ("backward".to_string(), side(&self.backward)),
+            ("forward".to_string(), side(&self.forward)),
+            ("budgets".to_string(), self.budgets.to_value()),
+            ("bpl".to_string(), self.bpl.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TplAccountant {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let field = |k: &str| v.get(k).ok_or_else(|| DeError::missing(k));
+        let side = |k: &str| -> std::result::Result<_, DeError> {
+            Ok(Option::<TemporalLossFunction>::from_value(field(k)?)?.map(Arc::new))
+        };
+        Ok(TplAccountant {
+            backward: side("backward")?,
+            forward: side("forward")?,
+            budgets: Vec::from_value(field("budgets")?)?,
+            bpl: Vec::from_value(field("bpl")?)?,
+            cache: Mutex::new(SeriesCache::empty()),
+        })
     }
 }
 
@@ -354,7 +552,81 @@ mod tests {
         assert!(acc.is_empty());
         assert_eq!(acc.max_tpl().unwrap_err(), TplError::EmptyTimeline);
         assert_eq!(acc.tpl_at(0).unwrap_err(), TplError::EmptyTimeline);
+        assert_eq!(
+            acc.window_budget_sum(0, 1).unwrap_err(),
+            TplError::EmptyTimeline
+        );
         assert!(acc.fpl_series().unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_time_is_reported_honestly() {
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 3).unwrap();
+        for query in [
+            TplAccountant::tpl_at,
+            TplAccountant::fpl_at,
+            TplAccountant::bpl_at,
+        ] {
+            assert!(query(&acc, 2).is_ok());
+            assert_eq!(
+                query(&acc, 3).unwrap_err(),
+                TplError::TimeOutOfRange { t: 3, len: 3 }
+            );
+        }
+        assert!(acc.window_budget_sum(0, 3).is_ok());
+        assert_eq!(
+            acc.window_budget_sum(0, 4).unwrap_err(),
+            TplError::InvalidWindow { w: 4 }
+        );
+        assert_eq!(
+            acc.window_budget_sum(2, 2).unwrap_err(),
+            TplError::TimeOutOfRange { t: 3, len: 3 }
+        );
+    }
+
+    #[test]
+    fn cached_series_stay_fresh_across_interleaved_queries() {
+        // The streaming invariant: query, observe, query again — every
+        // answer matches a from-scratch accountant bit for bit.
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        for t in 0..20 {
+            acc.observe_release(0.05 + 0.01 * (t % 3) as f64).unwrap();
+            let mut fresh = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+            for &e in acc.budgets() {
+                fresh.observe_release(e).unwrap();
+            }
+            assert_eq!(acc.tpl_series().unwrap(), fresh.tpl_series().unwrap());
+            assert_eq!(acc.fpl_series().unwrap(), fresh.fpl_series().unwrap());
+            assert_eq!(
+                acc.max_tpl().unwrap().to_bits(),
+                fresh.max_tpl().unwrap().to_bits()
+            );
+            assert_eq!(acc.tpl_at(t).unwrap(), fresh.tpl_at(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn one_recomputation_is_shared_by_many_queries() {
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        acc.observe_uniform(0.1, 50).unwrap();
+        acc.tpl_series().unwrap();
+        let after_first_query = acc.loss_eval_count();
+        // Fifty further queries must not evaluate the loss again.
+        for t in 0..50 {
+            acc.tpl_at(t).unwrap();
+            acc.max_tpl().unwrap();
+            acc.fpl_at(t).unwrap();
+        }
+        acc.tpl_series().unwrap();
+        assert_eq!(acc.loss_eval_count(), after_first_query);
+        // A new release invalidates once: the next query pays one O(T)
+        // pass, the ones after it are free again.
+        acc.observe_release(0.1).unwrap();
+        acc.max_tpl().unwrap();
+        let after_rebuild = acc.loss_eval_count();
+        acc.tpl_series().unwrap();
+        assert_eq!(acc.loss_eval_count(), after_rebuild);
     }
 
     #[test]

@@ -70,6 +70,12 @@
 //!   handful of bound comparisons — turning a T-step recursion from
 //!   `T·O(n⁴)` into roughly `O(n⁴) + T·O(n)`. When validation fails the
 //!   pair is re-solved from scratch and the full pruned sweep runs.
+//! * **Batched sessions** — [`EvalSession`] (and its checked-out form,
+//!   [`crate::loss::LossEvaluator`]) pins one scratch set and the warm
+//!   witness across a whole α batch or search loop, so the recursions,
+//!   bisections, and multi-ε grids above allocate nothing and touch no
+//!   lock per probe. [`temporal_loss_many_indexed`] is the one-call
+//!   batched API on top of it.
 //!
 //! With the (default-on) `parallel` feature the row-pair sweep fans out
 //! across threads via `std::thread::scope` (the offline build container
@@ -443,12 +449,15 @@ fn sweep_parallel(
 /// Run the pruned sweep over the whole index, fanning out across threads
 /// when the `parallel` feature is on and the index is large enough.
 /// Deterministic: every variant merges through [`Incumbent::beats`].
+/// `scratch` is the caller's reusable buffer set (the serial path sweeps
+/// through it; parallel workers bring their own).
 fn sweep_index(
     matrix: &TransitionMatrix,
     index: &PairIndex,
     em1: f64,
     init: Incumbent,
     skip: Option<(usize, usize)>,
+    scratch: &mut SweepScratch,
 ) -> Incumbent {
     #[cfg(feature = "parallel")]
     {
@@ -461,16 +470,7 @@ fn sweep_index(
         }
     }
     let mut best = init;
-    let mut scratch = SweepScratch::with_capacity(index.n());
-    sweep_range(
-        matrix,
-        index,
-        0..index.len(),
-        em1,
-        &mut best,
-        skip,
-        &mut scratch,
-    );
+    sweep_range(matrix, index, 0..index.len(), em1, &mut best, skip, scratch);
     best
 }
 
@@ -524,6 +524,21 @@ pub fn temporal_loss_witness_indexed(
     alpha: f64,
     warm: Option<&LossWitness>,
 ) -> Result<LossWitness> {
+    let mut scratch = SweepScratch::with_capacity(matrix.n());
+    eval_indexed(matrix, index, alpha, warm, &mut scratch)
+}
+
+/// The single-evaluation core behind every public entry point: the warm
+/// revalidation, the pruned sweep, and the witness finalization all work
+/// through the caller's `scratch` so batched callers ([`EvalSession`])
+/// allocate nothing per evaluation.
+fn eval_indexed(
+    matrix: &TransitionMatrix,
+    index: &PairIndex,
+    alpha: f64,
+    warm: Option<&LossWitness>,
+    scratch: &mut SweepScratch,
+) -> Result<LossWitness> {
     check_alpha(alpha)?;
     let n = matrix.n();
     if index.n() != n {
@@ -554,8 +569,7 @@ pub fn temporal_loss_witness_indexed(
                 (q_sum, d_sum)
             } else {
                 // The active set shifted: re-solve just this pair.
-                let mut scratch = SweepScratch::with_capacity(n);
-                solve_pair_into(q_row, d_row, em1, &mut scratch)
+                solve_pair_into(q_row, d_row, em1, scratch)
             };
             let cand = Incumbent {
                 obj: objective_em1(q, d, em1),
@@ -570,24 +584,23 @@ pub fn temporal_loss_witness_indexed(
             skip = Some((w.q_row, w.d_row));
         }
     }
-    let best = sweep_index(matrix, index, em1, init, skip);
-    Ok(finalize_witness(matrix, em1, best))
+    let best = sweep_index(matrix, index, em1, init, skip, scratch);
+    Ok(finalize_witness(matrix, em1, best, scratch))
 }
 
 /// Turn a sweep incumbent into a full [`LossWitness`], recovering the
 /// winning pair's active set (one extra pair solve) so the witness can
 /// warm-start the next evaluation.
-fn finalize_witness(matrix: &TransitionMatrix, em1: f64, best: Incumbent) -> LossWitness {
+fn finalize_witness(
+    matrix: &TransitionMatrix,
+    em1: f64,
+    best: Incumbent,
+    scratch: &mut SweepScratch,
+) -> LossWitness {
     if best.obj <= 1.0 {
         return LossWitness::zero();
     }
-    let mut scratch = SweepScratch::with_capacity(matrix.n());
-    let (q, d) = solve_pair_into(
-        matrix.row(best.q_row),
-        matrix.row(best.d_row),
-        em1,
-        &mut scratch,
-    );
+    let (q, d) = solve_pair_into(matrix.row(best.q_row), matrix.row(best.d_row), em1, scratch);
     debug_assert_eq!((q, d), (best.q_sum, best.d_sum));
     LossWitness {
         q_row: best.q_row,
@@ -595,8 +608,105 @@ fn finalize_witness(matrix: &TransitionMatrix, em1: f64, best: Incumbent) -> Los
         q_sum: best.q_sum,
         d_sum: best.d_sum,
         value: best.obj.ln(),
-        active: std::mem::take(&mut scratch.idx),
+        // The scratch indices are *copied* (not taken) so the buffers
+        // keep their capacity for the session's next evaluation.
+        active: scratch.idx.clone(),
     }
+}
+
+/// A batched evaluation session over one `(matrix, index)` pair.
+///
+/// The engine's per-evaluation state — the three sweep scratch buffers
+/// and the warm-start witness — lives in the session instead of being
+/// allocated (scratch) or mutex-cloned (witness) per call, so driving a
+/// whole α grid or a long recursion through one session costs one
+/// allocation set total. Results are bit-identical to independent
+/// [`temporal_loss_witness_indexed`] calls: the warm chain is the same
+/// behaviorally-invisible Theorem-4 revalidation.
+///
+/// This is the substrate of [`crate::TemporalLossFunction::eval_many`]
+/// and of the supremum/bisection loops in [`crate::supremum`],
+/// [`crate::release`], and [`crate::wevent`].
+#[derive(Debug)]
+pub struct EvalSession<'a> {
+    matrix: &'a TransitionMatrix,
+    index: &'a PairIndex,
+    scratch: SweepScratch,
+    warm: Option<LossWitness>,
+    evals: u64,
+}
+
+impl<'a> EvalSession<'a> {
+    /// Open a session. `index` must come from [`PairIndex::new`] on this
+    /// same `matrix` (checked by size on every evaluation, as in
+    /// [`temporal_loss_witness_indexed`]).
+    pub fn new(matrix: &'a TransitionMatrix, index: &'a PairIndex) -> Self {
+        EvalSession {
+            matrix,
+            index,
+            scratch: SweepScratch::with_capacity(matrix.n()),
+            warm: None,
+            evals: 0,
+        }
+    }
+
+    /// Seed the warm chain (e.g. from a cache persisted outside the
+    /// session). A stale or foreign witness is safe — it is revalidated
+    /// against the matrix rows before use.
+    pub fn seed(&mut self, warm: Option<LossWitness>) {
+        self.warm = warm;
+    }
+
+    /// Evaluate `L(α)` and expose the maximizing witness by reference
+    /// (it doubles as the warm seed of the next evaluation).
+    pub fn witness(&mut self, alpha: f64) -> Result<&LossWitness> {
+        let w = eval_indexed(
+            self.matrix,
+            self.index,
+            alpha,
+            self.warm.as_ref(),
+            &mut self.scratch,
+        )?;
+        self.evals += 1;
+        self.warm = Some(w);
+        Ok(self.warm.as_ref().expect("witness just stored"))
+    }
+
+    /// Evaluate `L(α)`.
+    pub fn eval(&mut self, alpha: f64) -> Result<f64> {
+        self.witness(alpha).map(|w| w.value)
+    }
+
+    /// Number of loss evaluations performed through this session.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Close the session, handing back the final warm witness so it can
+    /// be stored for a future session.
+    pub fn into_warm(self) -> Option<LossWitness> {
+        self.warm
+    }
+}
+
+/// Evaluate `L` at every α of a batch against a prebuilt index, sharing
+/// one scratch set and chaining the witness warm-start from probe to
+/// probe — the batched multi-α API. Sorted (or otherwise slowly-moving)
+/// grids warm-start best, but any order is correct: each result is
+/// bit-identical to an independent [`temporal_loss_witness_indexed`]
+/// call at the same α.
+pub fn temporal_loss_many_indexed(
+    matrix: &TransitionMatrix,
+    index: &PairIndex,
+    alphas: &[f64],
+    warm: Option<&LossWitness>,
+) -> Result<Vec<LossWitness>> {
+    let mut session = EvalSession::new(matrix, index);
+    session.seed(warm.cloned());
+    alphas
+        .iter()
+        .map(|&a| session.witness(a).cloned())
+        .collect()
 }
 
 /// Evaluate `L(α)` with the parallel sweep forced onto an explicit
@@ -617,7 +727,8 @@ pub fn temporal_loss_witness_forced_parallel(
     }
     let em1 = alpha.exp_m1();
     let best = sweep_parallel(matrix, &index, em1, Incumbent::sentinel(), None, threads);
-    Ok(finalize_witness(matrix, em1, best))
+    let mut scratch = SweepScratch::with_capacity(matrix.n());
+    Ok(finalize_witness(matrix, em1, best, &mut scratch))
 }
 
 /// Evaluate `L(α)` over all ordered row pairs of `matrix` (Algorithm 1

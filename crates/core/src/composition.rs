@@ -15,6 +15,18 @@
 //! temporal correlations do **not** worsen user-level privacy, because the
 //! strongest correlation merely lets the adversary infer the other time
 //! points that user-level DP already protects as a bundle.
+//!
+//! # Complexity
+//!
+//! Every function here reads the accountant's cached series
+//! (`O(T)` recomputed at most once per release — see
+//! [`crate::accountant`]), so a single window guarantee is `O(w)` in
+//! budget additions and `O(1)` amortized in loss evaluations, and the
+//! full [`w_event_guarantee`] sweep over all `T − w + 1` windows of a
+//! timeline performs `O(T)` loss-function evaluations total — not the
+//! `O(T²)` of a per-window FPL recompute. (The middle-budget window sums
+//! deliberately stay plain slice sums rather than prefix differences so
+//! results remain bit-identical to the pre-cache implementation.)
 
 use crate::accountant::TplAccountant;
 use crate::{Result, TplError};
@@ -30,17 +42,17 @@ pub fn sequence_guarantee(acc: &TplAccountant, t: usize, j: usize) -> Result<f64
     let end = t
         .checked_add(j)
         .filter(|&e| e < t_len)
-        .ok_or(TplError::DimensionMismatch {
-            expected: t_len,
-            found: t + j + 1,
+        .ok_or(TplError::TimeOutOfRange {
+            t: t.saturating_add(j),
+            len: t_len,
         })?;
-    let bpl = acc.bpl_series();
-    let fpl = acc.fpl_series()?;
-    let eps = acc.budgets();
     Ok(match j {
-        0 => bpl[t] + fpl[t] - eps[t],
-        1 => bpl[t] + fpl[end],
-        _ => bpl[t] + fpl[end] + eps[t + 1..end].iter().sum::<f64>(),
+        0 => acc.tpl_at(t)?,
+        1 => acc.bpl_at(t)? + acc.fpl_at(end)?,
+        _ => {
+            let middle: f64 = acc.budgets()[t + 1..end].iter().sum();
+            acc.bpl_at(t)? + acc.fpl_at(end)? + middle
+        }
     })
 }
 
@@ -53,17 +65,15 @@ pub fn user_level_guarantee(acc: &TplAccountant) -> Result<f64> {
 }
 
 /// The worst w-event guarantee: Theorem 2 maximized over all windows of
-/// `w` consecutive releases.
+/// `w` consecutive releases. `O(T)` loss evaluations for the whole
+/// audit (all windows share the accountant's one cached series pass).
 pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
     let t_len = acc.len();
     if t_len == 0 {
         return Err(TplError::EmptyTimeline);
     }
     if w == 0 || w > t_len {
-        return Err(TplError::DimensionMismatch {
-            expected: t_len,
-            found: w,
-        });
+        return Err(TplError::InvalidWindow { w });
     }
     let mut worst = f64::NEG_INFINITY;
     for t in 0..=(t_len - w) {
@@ -87,20 +97,26 @@ pub struct TableIiRow {
 
 /// Compute Table II for a uniform-budget timeline observed by `acc`
 /// (which carries the correlation knowledge), with window length `w`.
+///
+/// `w` is validated exactly as [`w_event_guarantee`] validates it
+/// (`1 ≤ w ≤ T`): a `w` that does not fit the timeline is an error, not
+/// a silently clamped different question.
 pub fn table_ii(acc: &TplAccountant, w: usize) -> Result<Vec<TableIiRow>> {
     let t_len = acc.len();
     if t_len == 0 {
         return Err(TplError::EmptyTimeline);
     }
+    if w == 0 || w > t_len {
+        return Err(TplError::InvalidWindow { w });
+    }
     let eps = acc.budgets();
     let event_independent = eps.iter().cloned().fold(f64::MIN, f64::max);
     let user = user_level_guarantee(acc)?;
-    let w_eff = w.clamp(1, t_len);
     let w_independent: f64 = {
         // Worst window sum of budgets (Theorem 3 on the window).
         let mut best = f64::NEG_INFINITY;
-        for t in 0..=(t_len - w_eff) {
-            best = best.max(eps[t..t + w_eff].iter().sum::<f64>());
+        for t in 0..=(t_len - w) {
+            best = best.max(eps[t..t + w].iter().sum::<f64>());
         }
         best
     };
@@ -111,9 +127,9 @@ pub fn table_ii(acc: &TplAccountant, w: usize) -> Result<Vec<TableIiRow>> {
             correlated: acc.max_tpl()?,
         },
         TableIiRow {
-            notion: format!("{w_eff}-event"),
+            notion: format!("{w}-event"),
             independent: w_independent,
-            correlated: w_event_guarantee(acc, w_eff)?,
+            correlated: w_event_guarantee(acc, w)?,
         },
         TableIiRow {
             notion: "user-level".into(),
@@ -227,6 +243,49 @@ mod tests {
         // Row 3: user-level — identical Tε on both (Corollary 1).
         assert!((rows[2].independent - 1.0).abs() < 1e-12);
         assert_eq!(rows[2].independent, rows[2].correlated);
+    }
+
+    #[test]
+    fn window_length_validated_consistently() {
+        // table_ii must reject exactly what w_event_guarantee rejects —
+        // no silent clamping to a different window.
+        let acc = strongest(5, 0.1);
+        for w in [0usize, 6, 100] {
+            assert_eq!(
+                w_event_guarantee(&acc, w).unwrap_err(),
+                TplError::InvalidWindow { w }
+            );
+            assert_eq!(
+                table_ii(&acc, w).unwrap_err(),
+                TplError::InvalidWindow { w }
+            );
+        }
+        for w in 1..=5 {
+            assert!(table_ii(&acc, w).is_ok());
+        }
+    }
+
+    #[test]
+    fn w_event_audit_is_linear_in_loss_evaluations() {
+        // The streaming-engine guarantee: auditing every w-window of a
+        // T-step timeline costs O(T) loss evaluations (one BPL recursion
+        // while observing + one cached FPL pass), not O(T²).
+        let pb = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+        let t_len = 10_000;
+        let acc = uniform_timeline(pb.clone(), pb, 0.01, t_len);
+        let before = acc.loss_eval_count();
+        let g = w_event_guarantee(&acc, 20).unwrap();
+        assert!(g.is_finite());
+        let spent = acc.loss_eval_count() - before;
+        assert!(
+            spent <= 2 * t_len as u64,
+            "w-event audit used {spent} loss evaluations for T={t_len}"
+        );
+        // And further audits at other window lengths are free.
+        for w in [2usize, 100, 5000] {
+            w_event_guarantee(&acc, w).unwrap();
+        }
+        assert_eq!(acc.loss_eval_count() - before, spent);
     }
 
     #[test]

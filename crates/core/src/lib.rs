@@ -17,7 +17,9 @@
 //!   built from one transition matrix.
 //! * [`accountant`] — [`TplAccountant`]: the BPL recursion (Equation 13),
 //!   the FPL recursion (Equation 15, re-evaluated backward whenever a new
-//!   release arrives), and TPL (Equation 10) for a whole release timeline.
+//!   release arrives), and TPL (Equation 10) for a whole release
+//!   timeline, cached behind a release-count version stamp so any number
+//!   of queries share one O(T) series pass (streaming-service hot path).
 //! * [`supremum`] — **Theorem 5**: the four-case supremum of BPL/FPL over
 //!   an infinite horizon, its fixed-point characterization, and the
 //!   inversion `ε = α − L(α)` used by the release algorithms.
@@ -78,10 +80,13 @@ pub mod wevent;
 pub use accountant::{TplAccountant, TplReport};
 pub use adaptive::AdaptiveReleaser;
 pub use adversary::AdversaryT;
-pub use alg1::{temporal_loss, LossWitness};
-pub use loss::TemporalLossFunction;
+pub use alg1::{temporal_loss, EvalSession, LossWitness};
+pub use loss::{LossEvaluator, TemporalLossFunction};
 pub use release::{quantified_plan, upper_bound_plan, DptReleaser, ReleasePlan};
-pub use supremum::{epsilon_for_supremum, supremum_of_loss, supremum_of_matrix, Supremum};
+pub use supremum::{
+    epsilon_for_supremum, supremum_of_evaluator, supremum_of_loss, supremum_of_loss_many,
+    supremum_of_matrix, Supremum,
+};
 pub use wevent::{w_event_plan, WEventPlan};
 
 /// Errors produced by the temporal-privacy layer.
@@ -114,6 +119,18 @@ pub enum TplError {
         /// Minimum supported horizon.
         minimum: usize,
     },
+    /// A w-event window length must satisfy `1 ≤ w ≤ T`.
+    InvalidWindow {
+        /// The rejected window length.
+        w: usize,
+    },
+    /// A time index points outside the observed timeline.
+    TimeOutOfRange {
+        /// The rejected time index (0-based).
+        t: usize,
+        /// Number of releases observed.
+        len: usize,
+    },
     /// No releases have been observed yet; the requested statistic is
     /// undefined.
     EmptyTimeline,
@@ -143,6 +160,18 @@ impl std::fmt::Display for TplError {
             }
             TplError::HorizonTooShort { minimum } => {
                 write!(f, "release horizon must be at least {minimum}")
+            }
+            TplError::InvalidWindow { w } => {
+                write!(
+                    f,
+                    "invalid w-event window length w = {w} (need 1 <= w <= T)"
+                )
+            }
+            TplError::TimeOutOfRange { t, len } => {
+                write!(
+                    f,
+                    "time index {t} is outside the observed timeline of length {len}"
+                )
             }
             TplError::EmptyTimeline => write!(f, "no releases observed yet"),
             TplError::Lp(e) => write!(f, "LP baseline error: {e}"),

@@ -34,9 +34,10 @@
 //! serialized form (a deserialized loss function simply rebuilds them on
 //! first use).
 
-use crate::alg1::{temporal_loss_witness_indexed, LossWitness, PairIndex};
+use crate::alg1::{temporal_loss_witness_indexed, EvalSession, LossWitness, PairIndex};
 use crate::{check_alpha, Result};
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use tcdp_markov::TransitionMatrix;
 
@@ -60,6 +61,10 @@ pub struct TemporalLossFunction {
     index: OnceLock<PairIndex>,
     /// The previous evaluation's witness (warm-start seed).
     warm: Mutex<Option<LossWitness>>,
+    /// Number of Algorithm 1 evaluations performed through this loss
+    /// function — a diagnostics/test hook (complexity assertions), not
+    /// part of the value semantics.
+    evals: AtomicU64,
 }
 
 impl TemporalLossFunction {
@@ -69,6 +74,7 @@ impl TemporalLossFunction {
             matrix,
             index: OnceLock::new(),
             warm: Mutex::new(None),
+            evals: AtomicU64::new(0),
         }
     }
 
@@ -97,8 +103,52 @@ impl TemporalLossFunction {
         let index = self.index.get_or_init(|| PairIndex::new(&self.matrix));
         let warm = self.warm.lock().expect("warm cache lock").clone();
         let witness = temporal_loss_witness_indexed(&self.matrix, index, alpha, warm.as_ref())?;
+        self.evals.fetch_add(1, Ordering::Relaxed);
         *self.warm.lock().expect("warm cache lock") = Some(witness.clone());
         Ok(witness)
+    }
+
+    /// Open a batched [`LossEvaluator`] over this loss function: it
+    /// checks the warm witness out of the shared cache once, drives any
+    /// number of evaluations through one private scratch set with the
+    /// witness chained probe-to-probe, and checks the final witness back
+    /// in when dropped. Results are bit-identical to the same sequence
+    /// of [`TemporalLossFunction::eval`] calls — only the per-call mutex
+    /// round-trips and witness clones are gone.
+    pub fn evaluator(&self) -> LossEvaluator<'_> {
+        let index = self.index.get_or_init(|| PairIndex::new(&self.matrix));
+        let mut session = EvalSession::new(&self.matrix, index);
+        session.seed(self.warm.lock().expect("warm cache lock").clone());
+        LossEvaluator {
+            loss: self,
+            session: Some(session),
+        }
+    }
+
+    /// Evaluate `L` at every α of a batch through one [`LossEvaluator`]
+    /// (one PairIndex pass, one scratch set, warm-started across
+    /// adjacent probes). Bit-identical to mapping
+    /// [`TemporalLossFunction::eval`] over the same grid; sorted grids
+    /// warm-start best. This is the batched multi-ε API the planners'
+    /// bisections are routed through.
+    pub fn eval_many(&self, alphas: &[f64]) -> Result<Vec<f64>> {
+        let mut ev = self.evaluator();
+        alphas.iter().map(|&a| ev.eval(a)).collect()
+    }
+
+    /// As [`TemporalLossFunction::eval_many`], returning full witnesses.
+    pub fn witness_many(&self, alphas: &[f64]) -> Result<Vec<LossWitness>> {
+        let mut ev = self.evaluator();
+        alphas.iter().map(|&a| ev.witness(a).cloned()).collect()
+    }
+
+    /// Total number of Algorithm 1 evaluations performed through this
+    /// loss function (direct calls and closed [`LossEvaluator`]
+    /// sessions. A live evaluator's count is folded in when it drops).
+    /// Test hook for complexity assertions — e.g. that a w-event audit
+    /// of a T-step timeline performs O(T) evaluations.
+    pub fn eval_count(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
     }
 
     /// The witness cached from the most recent evaluation, if any —
@@ -148,9 +198,69 @@ impl TemporalLossFunction {
     }
 }
 
+/// A checked-out batched evaluation session over one
+/// [`TemporalLossFunction`] — see [`TemporalLossFunction::evaluator`].
+///
+/// The supremum fixed-point iteration, the Algorithm 2/3 balance
+/// bisection, and the w-event planner all hold one of these per side for
+/// the whole search, so every probe after the first costs `O(n)`
+/// revalidation with zero allocation and zero lock traffic.
+#[derive(Debug)]
+pub struct LossEvaluator<'a> {
+    loss: &'a TemporalLossFunction,
+    /// `Some` until dropped (taken in `drop` to hand the warm witness
+    /// back to the shared cache).
+    session: Option<EvalSession<'a>>,
+}
+
+impl LossEvaluator<'_> {
+    /// Evaluate `L(α)`.
+    pub fn eval(&mut self, alpha: f64) -> Result<f64> {
+        self.session
+            .as_mut()
+            .expect("session lives until drop")
+            .eval(alpha)
+    }
+
+    /// Evaluate `L(α)` and borrow the maximizing witness.
+    pub fn witness(&mut self, alpha: f64) -> Result<&LossWitness> {
+        self.session
+            .as_mut()
+            .expect("session lives until drop")
+            .witness(alpha)
+    }
+
+    /// One step of the leakage recurrence: `L(prev) + ε`.
+    pub fn step(&mut self, prev: f64, epsilon: f64) -> Result<f64> {
+        crate::check_epsilon(epsilon)?;
+        Ok(self.eval(prev)? + epsilon)
+    }
+
+    /// The loss function this evaluator was checked out of.
+    pub fn loss(&self) -> &TemporalLossFunction {
+        self.loss
+    }
+}
+
+impl Drop for LossEvaluator<'_> {
+    /// Hand the final warm witness back to the shared cache and fold the
+    /// session's evaluation count into the loss function's counter.
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.loss
+                .evals
+                .fetch_add(session.evals(), Ordering::Relaxed);
+            if let Some(w) = session.into_warm() {
+                *self.loss.warm.lock().expect("warm cache lock") = Some(w);
+            }
+        }
+    }
+}
+
 impl Clone for TemporalLossFunction {
     /// Cloning carries the built pruning index along (it is derived purely
-    /// from the matrix) but starts with a cold witness cache.
+    /// from the matrix) but starts with a cold witness cache and a zero
+    /// evaluation counter.
     fn clone(&self) -> Self {
         let index = OnceLock::new();
         if let Some(built) = self.index.get() {
@@ -160,6 +270,7 @@ impl Clone for TemporalLossFunction {
             matrix: self.matrix.clone(),
             index,
             warm: Mutex::new(None),
+            evals: AtomicU64::new(0),
         }
     }
 }

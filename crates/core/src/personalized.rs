@@ -18,24 +18,57 @@
 
 use crate::accountant::TplAccountant;
 use crate::adversary::AdversaryT;
+use crate::loss::TemporalLossFunction;
 use crate::release::{population_plan, quantified_plan, upper_bound_plan, PlanKind, ReleasePlan};
 use crate::{Result, TplError};
+use std::sync::Arc;
 
 /// Per-user leakage accounting over one shared release timeline.
+///
+/// Users with the *same* adversary model share one
+/// [`TemporalLossFunction`] per side (via
+/// [`TplAccountant::with_shared_losses`]): a population of N users over
+/// k distinct mobility patterns builds k Algorithm 1 pruning indexes,
+/// not N, and identical per-user recursions hit the shared warm-witness
+/// cache. Behaviorally invisible — every user's series is bit-identical
+/// to a standalone [`TplAccountant`].
 #[derive(Debug, Clone)]
 pub struct PopulationAccountant {
     users: Vec<TplAccountant>,
 }
 
 impl PopulationAccountant {
-    /// One accountant per user, from their adversary models.
+    /// One accountant per user, from their adversary models; loss
+    /// functions are deduplicated across users with equal adversaries.
     pub fn new(adversaries: &[AdversaryT]) -> Result<Self> {
         if adversaries.is_empty() {
             return Err(TplError::EmptyTimeline);
         }
-        Ok(Self {
-            users: adversaries.iter().map(TplAccountant::new).collect(),
-        })
+        // One shared loss pair per distinct adversary (linear-scan dedup:
+        // real populations have few distinct correlation patterns).
+        type SharedLosses = (
+            Option<Arc<TemporalLossFunction>>,
+            Option<Arc<TemporalLossFunction>>,
+        );
+        let mut distinct: Vec<(&AdversaryT, SharedLosses)> = Vec::new();
+        let users = adversaries
+            .iter()
+            .map(|adv| {
+                let shared = match distinct.iter().find(|(a, _)| *a == adv) {
+                    Some((_, losses)) => losses.clone(),
+                    None => {
+                        let losses = (
+                            adv.backward_loss().map(Arc::new),
+                            adv.forward_loss().map(Arc::new),
+                        );
+                        distinct.push((adv, losses.clone()));
+                        losses
+                    }
+                };
+                TplAccountant::with_shared_losses(shared.0, shared.1)
+            })
+            .collect();
+        Ok(Self { users })
     }
 
     /// Number of users tracked.
@@ -168,6 +201,44 @@ mod tests {
     #[test]
     fn empty_population_rejected() {
         assert!(PopulationAccountant::new(&[]).is_err());
+    }
+
+    #[test]
+    fn equal_adversaries_share_one_loss_function() {
+        let mut pop =
+            PopulationAccountant::new(&[strong_user(), strong_user(), weak_user()]).unwrap();
+        for _ in 0..6 {
+            pop.observe_release(0.1).unwrap();
+        }
+        let series = pop.tpl_series().unwrap();
+        // Sharing is behaviorally invisible: each user matches a
+        // standalone accountant bit for bit.
+        for (i, adv) in [strong_user(), strong_user(), weak_user()]
+            .iter()
+            .enumerate()
+        {
+            let mut solo = TplAccountant::new(adv);
+            for _ in 0..6 {
+                solo.observe_release(0.1).unwrap();
+            }
+            assert_eq!(
+                pop.user(i).unwrap().tpl_series().unwrap(),
+                solo.tpl_series().unwrap(),
+                "user {i}"
+            );
+        }
+        assert_eq!(series.len(), 6);
+        // ...but the two equal-adversary users drive one shared eval
+        // counter (both users' recursions land on the same object), so
+        // their counts coincide and exceed the lone weak user's.
+        let c0 = pop.user(0).unwrap().loss_eval_count();
+        let c1 = pop.user(1).unwrap().loss_eval_count();
+        let c2 = pop.user(2).unwrap().loss_eval_count();
+        assert_eq!(c0, c1);
+        assert!(
+            c0 > c2,
+            "shared counter aggregates both users: {c0} vs {c2}"
+        );
     }
 
     #[test]

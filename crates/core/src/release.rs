@@ -23,7 +23,7 @@
 //!   utility for short `T` (Figures 7 and 8).
 
 use crate::adversary::AdversaryT;
-use crate::loss::TemporalLossFunction;
+use crate::loss::{LossEvaluator, TemporalLossFunction};
 use crate::{check_alpha, Result, TplError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -127,13 +127,13 @@ struct Balance {
 /// `ε = a − L(a)` for one side; `a` itself when that side has no
 /// correlation (then L ≡ 0 conceptually).
 ///
-/// Each side's [`TemporalLossFunction`] is built once per balance search
-/// and probed ~200 times by the bisection below, so the Algorithm 1
-/// pruning index is amortized and the witness warm-start makes every
-/// probe after the first roughly `O(n)`.
-fn side_epsilon(loss: Option<&TemporalLossFunction>, a: f64) -> Result<f64> {
-    Ok(match loss {
-        Some(l) => a - l.eval(a)?,
+/// Each side's evaluator is checked out once per balance search and
+/// probed ~200 times by the bisection below, so the Algorithm 1 pruning
+/// index, the sweep scratch, and the warm-started witness are all shared
+/// and every probe after the first costs roughly `O(n)`.
+fn side_epsilon(ev: &mut Option<LossEvaluator<'_>>, a: f64) -> Result<f64> {
+    Ok(match ev {
+        Some(ev) => a - ev.eval(a)?,
         None => a,
     })
 }
@@ -152,36 +152,38 @@ fn balance(
             return Err(TplError::UnboundableCorrelation);
         }
     }
+    let mut backward_ev = backward.map(TemporalLossFunction::evaluator);
+    let mut forward_ev = forward.map(TemporalLossFunction::evaluator);
     let result = match (backward, forward) {
         (None, None) => Balance {
             alpha_b: alpha,
             alpha_f: alpha,
             eps: alpha,
         },
-        (Some(lb), None) => {
-            let eps = side_epsilon(Some(lb), alpha)?;
+        (Some(_), None) => {
+            let eps = side_epsilon(&mut backward_ev, alpha)?;
             Balance {
                 alpha_b: alpha,
                 alpha_f: eps,
                 eps,
             }
         }
-        (None, Some(lf)) => {
-            let eps = side_epsilon(Some(lf), alpha)?;
+        (None, Some(_)) => {
+            let eps = side_epsilon(&mut forward_ev, alpha)?;
             Balance {
                 alpha_b: eps,
                 alpha_f: alpha,
                 eps,
             }
         }
-        (Some(lb), Some(lf)) => {
+        (Some(_), Some(_)) => {
             // Binary search on α^B for the root of
             // f(α^B) = ε^B(α^B) − ε^F(α − α^B + ε^B(α^B)),
             // which is strictly increasing (dε^B/dα^B ∈ (0,1]).
-            let f = |ab: f64| -> Result<(f64, f64, f64)> {
-                let eb = side_epsilon(Some(lb), ab)?;
+            let mut f = |ab: f64| -> Result<(f64, f64, f64)> {
+                let eb = side_epsilon(&mut backward_ev, ab)?;
                 let af = alpha - ab + eb;
-                let ef = side_epsilon(Some(lf), af)?;
+                let ef = side_epsilon(&mut forward_ev, af)?;
                 Ok((eb - ef, eb, af))
             };
             let mut lo = alpha * 1e-12;

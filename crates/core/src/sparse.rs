@@ -31,21 +31,48 @@ pub fn subsampled_supremum(matrix: &TransitionMatrix, eps: f64, k: usize) -> Res
     supremum_of_matrix(&effective, eps)
 }
 
-/// Supremum for every release period `k = 1..=max_k`.
+/// Walk the running powers `P, P², …, P^max_k` with one matrix multiply
+/// per step (instead of a fresh `matrix.power(k)` per `k`, whose
+/// repeated-squaring multiplies add up to an `O(max_k · log k)` blowup
+/// across the sweep), feeding each power to `step`. Stops early when
+/// `step` returns `Some`.
+fn scan_powers<R>(
+    matrix: &TransitionMatrix,
+    max_k: usize,
+    mut step: impl FnMut(usize, &TransitionMatrix) -> Result<Option<R>>,
+) -> Result<Option<R>> {
+    let mut power = matrix.clone();
+    for k in 1..=max_k {
+        if k > 1 {
+            power = power.multiply(matrix).map_err(TplError::from)?;
+        }
+        if let Some(out) = step(k, &power)? {
+            return Ok(Some(out));
+        }
+    }
+    Ok(None)
+}
+
+/// Supremum for every release period `k = 1..=max_k`. The k-step
+/// correlations are maintained incrementally (one multiply per step).
 pub fn subsampling_profile(
     matrix: &TransitionMatrix,
     eps: f64,
     max_k: usize,
 ) -> Result<Vec<(usize, Supremum)>> {
-    (1..=max_k)
-        .map(|k| Ok((k, subsampled_supremum(matrix, eps, k)?)))
-        .collect()
+    check_epsilon(eps)?;
+    let mut profile = Vec::with_capacity(max_k);
+    scan_powers(matrix, max_k, |k, power| {
+        profile.push((k, supremum_of_matrix(power, eps)?));
+        Ok(None::<()>)
+    })?;
+    Ok(profile)
 }
 
 /// The smallest release period whose leakage supremum exists and is below
 /// `target` (a deployment helper: "how sparse must I publish to afford
 /// this α with uniform ε?"). Returns `None` if no period up to `max_k`
-/// suffices.
+/// suffices. Incremental like [`subsampling_profile`].
 pub fn min_period_for_target(
     matrix: &TransitionMatrix,
     eps: f64,
@@ -53,14 +80,13 @@ pub fn min_period_for_target(
     max_k: usize,
 ) -> Result<Option<usize>> {
     crate::check_alpha(target)?;
-    for k in 1..=max_k {
-        if let Supremum::Finite(v) = subsampled_supremum(matrix, eps, k)? {
-            if v <= target {
-                return Ok(Some(k));
-            }
-        }
-    }
-    Ok(None)
+    check_epsilon(eps)?;
+    scan_powers(matrix, max_k, |k, power| {
+        Ok(match supremum_of_matrix(power, eps)? {
+            Supremum::Finite(v) if v <= target => Some(k),
+            _ => None,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +157,23 @@ mod tests {
         assert!(sup_k <= target);
         // An unreachable target returns None (ε itself is the floor).
         assert_eq!(min_period_for_target(&m, 0.3, 0.2, 20).unwrap(), None);
+    }
+
+    #[test]
+    fn incremental_powers_match_direct_exponentiation() {
+        // The running-product profile must agree with computing each
+        // `P^k` from scratch (different multiply associations can differ
+        // only far below this tolerance).
+        let m = sticky();
+        for (k, sup) in subsampling_profile(&m, 0.3, 9).unwrap() {
+            let direct = subsampled_supremum(&m, 0.3, k).unwrap();
+            match (sup, direct) {
+                (Supremum::Finite(a), Supremum::Finite(b)) => {
+                    assert!((a - b).abs() < 1e-9, "k={k}: {a} vs {b}")
+                }
+                (a, b) => assert_eq!(a, b, "k={k}"),
+            }
+        }
     }
 
     #[test]

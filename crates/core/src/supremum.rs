@@ -22,7 +22,7 @@
 //! the recursion, while growing ever slower, is unbounded; we therefore
 //! classify the boundary as divergent.
 
-use crate::loss::TemporalLossFunction;
+use crate::loss::{LossEvaluator, TemporalLossFunction};
 use crate::{check_alpha, check_epsilon, Result, TplError};
 use tcdp_markov::TransitionMatrix;
 
@@ -115,23 +115,32 @@ pub fn supremum_of_matrix(matrix: &TransitionMatrix, eps: f64) -> Result<Supremu
 /// (e.g. the w-event planner's bisection re-enters here hundreds of
 /// times with the same matrices).
 pub fn supremum_of_loss(loss: &TemporalLossFunction, eps: f64) -> Result<Supremum> {
+    supremum_of_evaluator(&mut loss.evaluator(), eps)
+}
+
+/// The fixed-point iteration over a checked-out [`LossEvaluator`] — the
+/// form the planners' bisections use so that hundreds of supremum probes
+/// share one scratch set and one witness warm-chain. Bit-identical to
+/// [`supremum_of_loss`] (which delegates here with a fresh evaluator).
+pub fn supremum_of_evaluator(ev: &mut LossEvaluator<'_>, eps: f64) -> Result<Supremum> {
     check_epsilon(eps)?;
-    if loss.is_null() {
+    if ev.loss().is_null() {
         return Ok(Supremum::Finite(eps));
     }
     let mut alpha = eps; // BPL(1) = PL0(M^1) = ε
     const MAX_ROUNDS: usize = 100_000;
     for _ in 0..MAX_ROUNDS {
-        let w = loss.witness(alpha)?;
-        if let Supremum::Finite(candidate) = supremum_closed_form(w.q_sum, w.d_sum, eps)? {
+        let w = ev.witness(alpha)?;
+        let (q_sum, d_sum, value) = (w.q_sum, w.d_sum, w.value);
+        if let Supremum::Finite(candidate) = supremum_closed_form(q_sum, d_sum, eps)? {
             if candidate >= alpha - 1e-9 {
-                let residual = loss.eval(candidate)? + eps - candidate;
+                let residual = ev.eval(candidate)? + eps - candidate;
                 if residual.abs() < 1e-9 {
                     return Ok(Supremum::Finite(candidate));
                 }
             }
         }
-        let next = w.value + eps; // = L(alpha) + eps, witness already computed
+        let next = value + eps; // = L(alpha) + eps, witness already computed
         if next > DIVERGENCE_CAP {
             return Ok(Supremum::Divergent);
         }
@@ -143,6 +152,22 @@ pub fn supremum_of_loss(loss: &TemporalLossFunction, eps: f64) -> Result<Supremu
     // The recursion is monotone and bounded by the cap, so reaching here
     // means convergence slower than the tolerance; report the current value.
     Ok(Supremum::Finite(alpha))
+}
+
+/// Supremum of the recursion at every ε of a batch — the batched multi-ε
+/// probe API. All probes run through one [`LossEvaluator`] (one pruning
+/// index, one scratch set, witness warm-started across adjacent probes),
+/// so a sorted ε grid costs little more than its first entry. Each
+/// result is bit-identical to an independent [`supremum_of_loss`] call.
+pub fn supremum_of_loss_many(
+    loss: &TemporalLossFunction,
+    eps_grid: &[f64],
+) -> Result<Vec<Supremum>> {
+    let mut ev = loss.evaluator();
+    eps_grid
+        .iter()
+        .map(|&eps| supremum_of_evaluator(&mut ev, eps))
+        .collect()
 }
 
 /// Invert the fixed point: the per-step budget `ε = α − L(α)` under which
@@ -175,10 +200,11 @@ fn temporal_loss_value(matrix: &TransitionMatrix, alpha: f64) -> Result<f64> {
 pub fn leakage_series(matrix: &TransitionMatrix, eps: f64, t_len: usize) -> Result<Vec<f64>> {
     check_epsilon(eps)?;
     let loss = TemporalLossFunction::new(matrix.clone());
+    let mut ev = loss.evaluator();
     let mut series = Vec::with_capacity(t_len);
     let mut alpha = 0.0;
     for t in 0..t_len {
-        alpha = if t == 0 { eps } else { loss.eval(alpha)? + eps };
+        alpha = if t == 0 { eps } else { ev.eval(alpha)? + eps };
         series.push(alpha);
     }
     Ok(series)

@@ -16,9 +16,9 @@
 //! event-level Algorithm 2.
 
 use crate::adversary::AdversaryT;
-use crate::loss::TemporalLossFunction;
+use crate::loss::{LossEvaluator, TemporalLossFunction};
 use crate::release::upper_bound_plan;
-use crate::supremum::{supremum_of_loss, Supremum};
+use crate::supremum::{supremum_of_evaluator, Supremum};
 use crate::{check_alpha, Result, TplError};
 use serde::{Deserialize, Serialize};
 
@@ -37,15 +37,25 @@ pub struct WEventPlan {
     pub alpha_forward: f64,
 }
 
+/// One evaluated probe of the window guarantee: the guarantee itself
+/// plus the side suprema it was assembled from, so an accepting search
+/// never recomputes a supremum pass it already paid for.
+#[derive(Debug, Clone, Copy)]
+struct WindowProbe {
+    guarantee: f64,
+    alpha_backward: f64,
+    alpha_forward: f64,
+}
+
 /// Supremum of one side's recursion under uniform `eps`; `eps` itself when
-/// the side has no correlation (leakage does not accumulate). Takes the
-/// loss function (not the bare matrix) so repeated calls — the planner's
-/// bisection probes each side hundreds of times — share one pruning
-/// index and warm-started witness.
-fn side_supremum(loss: Option<&TemporalLossFunction>, eps: f64) -> Result<Option<f64>> {
-    match loss {
+/// the side has no correlation (leakage does not accumulate). Takes a
+/// checked-out evaluator (not the bare loss function) so repeated calls
+/// — the planner's bisection probes each side hundreds of times — share
+/// one pruning index, one scratch set, and the warm-started witness.
+fn side_supremum(ev: &mut Option<LossEvaluator<'_>>, eps: f64) -> Result<Option<f64>> {
+    match ev {
         None => Ok(Some(eps)),
-        Some(l) => Ok(match supremum_of_loss(l, eps)? {
+        Some(ev) => Ok(match supremum_of_evaluator(ev, eps)? {
             Supremum::Finite(v) => Some(v),
             Supremum::Divergent => None,
         }),
@@ -57,23 +67,23 @@ fn side_supremum(loss: Option<&TemporalLossFunction>, eps: f64) -> Result<Option
 pub fn w_window_guarantee(adversary: &AdversaryT, eps: f64, w: usize) -> Result<Option<f64>> {
     let lb = adversary.backward_loss();
     let lf = adversary.forward_loss();
-    w_window_guarantee_with(lb.as_ref(), lf.as_ref(), eps, w)
+    let mut lb_ev = lb.as_ref().map(TemporalLossFunction::evaluator);
+    let mut lf_ev = lf.as_ref().map(TemporalLossFunction::evaluator);
+    Ok(probe_window(&mut lb_ev, &mut lf_ev, eps, w)?.map(|p| p.guarantee))
 }
 
-/// [`w_window_guarantee`] over caller-held loss functions (so a search
-/// loop reuses their caches across probes).
-fn w_window_guarantee_with(
-    lb: Option<&TemporalLossFunction>,
-    lf: Option<&TemporalLossFunction>,
+/// [`w_window_guarantee`] over caller-held evaluators (so a search loop
+/// reuses their scratch and warm chain across probes), returning the
+/// side suprema alongside the guarantee.
+fn probe_window(
+    lb: &mut Option<LossEvaluator<'_>>,
+    lf: &mut Option<LossEvaluator<'_>>,
     eps: f64,
     w: usize,
-) -> Result<Option<f64>> {
+) -> Result<Option<WindowProbe>> {
     crate::check_epsilon(eps)?;
     if w == 0 {
-        return Err(TplError::DimensionMismatch {
-            expected: 1,
-            found: 0,
-        });
+        return Err(TplError::InvalidWindow { w });
     }
     let Some(ab) = side_supremum(lb, eps)? else {
         return Ok(None);
@@ -81,13 +91,18 @@ fn w_window_guarantee_with(
     let Some(af) = side_supremum(lf, eps)? else {
         return Ok(None);
     };
-    Ok(Some(match w {
+    let guarantee = match w {
         // j = 0: event level, Equation (10).
         1 => ab + af - eps,
         // j = 1: α^B_t + α^F_{t+1}.
         2 => ab + af,
         // j ≥ 2: α^B_t + α^F_{t+j} + (w−2)ε middle budgets.
         _ => ab + af + (w as f64 - 2.0) * eps,
+    };
+    Ok(Some(WindowProbe {
+        guarantee,
+        alpha_backward: ab,
+        alpha_forward: af,
     }))
 }
 
@@ -106,10 +121,7 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
         return Err(TplError::TargetUnreachable { alpha });
     }
     if w == 0 {
-        return Err(TplError::DimensionMismatch {
-            expected: 1,
-            found: 0,
-        });
+        return Err(TplError::InvalidWindow { w });
     }
     if w == 1 {
         // Event level: exactly Algorithm 2.
@@ -122,8 +134,10 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
             alpha_forward: plan.alpha_forward,
         });
     }
-    // Build both loss functions once: every bisection probe below then
-    // reuses their pruning indexes and warm-started witnesses.
+    // Build both loss functions once and check their evaluators out for
+    // the whole search: every bisection probe below then shares one
+    // pruning index, one scratch set, and the warm-started witness per
+    // side.
     let lb = adversary.backward_loss();
     let lf = adversary.forward_loss();
     for side in [lb.as_ref(), lf.as_ref()].into_iter().flatten() {
@@ -131,6 +145,8 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
             return Err(TplError::UnboundableCorrelation);
         }
     }
+    let mut lb_ev = lb.as_ref().map(TemporalLossFunction::evaluator);
+    let mut lf_ev = lf.as_ref().map(TemporalLossFunction::evaluator);
     // G_w(ε) ≥ wε, so ε ≤ α/w bounds the search from above; G_w is
     // increasing and G_w(0+) = 0, so bisection converges.
     let mut lo = 0.0_f64;
@@ -143,18 +159,18 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
         if mid <= 0.0 {
             break;
         }
-        match w_window_guarantee_with(lb.as_ref(), lf.as_ref(), mid, w)? {
-            Some(g) if g <= alpha => {
-                let ab = side_supremum(lb.as_ref(), mid)?.expect("finite above");
-                let af = side_supremum(lf.as_ref(), mid)?.expect("finite above");
+        match probe_window(&mut lb_ev, &mut lf_ev, mid, w)? {
+            // The probe already carries both side suprema — accepting it
+            // costs one supremum pass per side, not two.
+            Some(p) if p.guarantee <= alpha => {
                 best = Some(WEventPlan {
                     w,
                     alpha,
                     epsilon: mid,
-                    alpha_backward: ab,
-                    alpha_forward: af,
+                    alpha_backward: p.alpha_backward,
+                    alpha_forward: p.alpha_forward,
                 });
-                if (g - alpha).abs() < 1e-12 {
+                if (p.guarantee - alpha).abs() < 1e-12 {
                     break;
                 }
                 lo = mid;
@@ -239,7 +255,10 @@ mod tests {
     #[test]
     fn invalid_inputs_rejected() {
         let adv = adversary();
-        assert!(w_event_plan(&adv, 1.0, 0).is_err());
+        assert_eq!(
+            w_event_plan(&adv, 1.0, 0).unwrap_err(),
+            TplError::InvalidWindow { w: 0 }
+        );
         assert!(w_event_plan(&adv, 0.0, 3).is_err());
         assert!(w_event_plan(&adv, -1.0, 3).is_err());
         let strongest = AdversaryT::with_backward(TransitionMatrix::identity(2).unwrap());

@@ -13,11 +13,18 @@
 //! # Budgets guaranteeing 1-DP_T (Algorithm 3 with --horizon, else Alg. 2).
 //! tcdp-cli plan --pb @pb.json --pf @pf.json --alpha 1.0 --horizon 30
 //!
-//! # Audit an existing budget trail.
-//! tcdp-cli audit --pb @pb.json --budgets 0.5,0.1,0.1,0.4
+//! # Audit an existing budget trail, with per-window w-event guarantees.
+//! tcdp-cli audit --pb @pb.json --budgets 0.5,0.1,0.1,0.4 --w 2,3
+//!
+//! # Stream budgets from stdin (one per line, or a JSON array) or a
+//! # JSON file, printing the running leakage as releases arrive.
+//! printf '0.1\n0.1\n0.1\n' | tcdp-cli audit --pb @pb.json --budgets - --stream
+//! tcdp-cli audit --pb @pb.json --budgets @trail.json --w 5
 //! ```
 
+use std::io::BufRead;
 use std::process::ExitCode;
+use tcdp::core::composition::w_event_guarantee;
 use tcdp::core::supremum::{supremum_of_matrix, Supremum};
 use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, TplAccountant};
 use tcdp::markov::TransitionMatrix;
@@ -29,13 +36,19 @@ USAGE:
   tcdp-cli quantify [--pb M] [--pf M] --eps E --t T
   tcdp-cli supremum --matrix M --eps E
   tcdp-cli plan     [--pb M] [--pf M] --alpha A [--horizon T]
-  tcdp-cli audit    [--pb M] [--pf M] --budgets E1,E2,...
+  tcdp-cli audit    [--pb M] [--pf M] --budgets SPEC [--w W1,W2,...] [--stream]
   tcdp-cli estimate --traces FILE [--pseudo C]
   tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
 
   M is a row-stochastic matrix as JSON rows, inline ('[[0.9,0.1],[0.2,0.8]]')
   or from a file ('@correlations.json'). --pb is the backward correlation,
   --pf the forward one; omit either if the adversary lacks it.
+  `audit` replays a budget trail through the streaming accountant. SPEC is
+  an inline CSV ('0.5,0.1,0.1'), a JSON-array file ('@trail.json'), or '-'
+  to stream from stdin (one budget per line, '#' comments allowed, or one
+  JSON array). --w emits the Theorem 2 w-event guarantee per window length
+  next to the independent-composition window sum; --stream prints each
+  release's running report as it is observed.
   `estimate` fits P^F/P^B from a trace file (one trajectory per line) and
   prints them as JSON usable with --pb/--pf. `report` is a one-shot audit:
   actual leakage of an eps-per-step stream plus the plans that would meet
@@ -131,6 +144,9 @@ impl Opts {
     }
 }
 
+/// Flags that stand alone (no value): present means "on".
+const SWITCH_FLAGS: &[&str] = &["stream"];
+
 fn parse_flags(args: &[String]) -> Result<Opts, String> {
     let mut flags = Vec::new();
     let mut it = args.iter();
@@ -138,6 +154,10 @@ fn parse_flags(args: &[String]) -> Result<Opts, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument '{arg}'"));
         };
+        if SWITCH_FLAGS.contains(&name) {
+            flags.push((name.to_string(), "true".to_string()));
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.push((name.to_string(), value.clone()));
     }
@@ -274,23 +294,107 @@ fn report(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn audit(opts: &Opts) -> Result<(), String> {
-    let budgets_raw = opts.get("budgets").ok_or("--budgets is required")?;
-    let budgets: Vec<f64> = budgets_raw
-        .split(',')
+/// Resolve a non-stdin `--budgets` spec: inline CSV or a `@file.json`
+/// JSON array.
+fn read_budget_list(spec: &str) -> Result<Vec<f64>, String> {
+    if let Some(path) = spec.strip_prefix('@') {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--budgets: {path}: {e}"))?;
+        return serde_json::from_str::<Vec<f64>>(&text)
+            .map_err(|e| format!("--budgets: {path}: bad JSON: {e}"));
+    }
+    spec.split(',')
         .map(|v| {
             v.trim()
                 .parse::<f64>()
                 .map_err(|e| format!("--budgets: {e}"))
         })
-        .collect::<Result<_, _>>()?;
+        .collect()
+}
+
+fn audit(opts: &Opts) -> Result<(), String> {
+    let spec = opts
+        .get("budgets")
+        .ok_or("--budgets is required (inline CSV, @file.json, or '-' for stdin)")?;
+    let windows: Vec<usize> = match opts.get("w") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .map(|v| v.trim().parse::<usize>().map_err(|e| format!("--w: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let stream = opts.get("stream").is_some();
     let adv = opts.adversary()?;
     let mut acc = TplAccountant::new(&adv);
-    for &b in &budgets {
-        acc.observe_release(b).map_err(|e| e.to_string())?;
+    let observe = |acc: &mut TplAccountant, b: f64| -> Result<(), String> {
+        let report = acc.observe_release(b).map_err(|e| e.to_string())?;
+        if stream {
+            // The O(1) per-release view: BPL is final at observation
+            // time; FPL/TPL of earlier points keep growing and are
+            // summarized below once the trail ends.
+            println!(
+                "t={:<5} eps={:.4}  bpl={:.4}",
+                report.t, report.epsilon, report.backward
+            );
+        }
+        Ok(())
+    };
+    if spec == "-" {
+        // Genuinely streamed: each stdin line is observed (and reported
+        // under --stream) as it arrives, without waiting for EOF. A
+        // trail that opens with '[' is instead collected to EOF and
+        // parsed as one JSON array.
+        let stdin = std::io::stdin();
+        let mut lines = stdin.lock().lines();
+        let mut json_head: Option<String> = None;
+        for line in &mut lines {
+            let line = line.map_err(|e| format!("--budgets: stdin: {e}"))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if trimmed.starts_with('[') {
+                json_head = Some(line);
+                break;
+            }
+            let b = trimmed
+                .parse::<f64>()
+                .map_err(|e| format!("--budgets: line '{trimmed}': {e}"))?;
+            observe(&mut acc, b)?;
+        }
+        if let Some(mut text) = json_head {
+            for line in lines {
+                let line = line.map_err(|e| format!("--budgets: stdin: {e}"))?;
+                text.push('\n');
+                text.push_str(&line);
+            }
+            let budgets = serde_json::from_str::<Vec<f64>>(text.trim())
+                .map_err(|e| format!("--budgets: bad JSON on stdin: {e}"))?;
+            for b in budgets {
+                observe(&mut acc, b)?;
+            }
+        }
+    } else {
+        for b in read_budget_list(spec)? {
+            observe(&mut acc, b)?;
+        }
+    }
+    if acc.is_empty() {
+        return Err("--budgets: no budgets provided".into());
     }
     let tpl = acc.tpl_series().map_err(|e| e.to_string())?;
     print_series("TPL", &tpl);
     println!("worst: {:.4}", acc.max_tpl().map_err(|e| e.to_string())?);
+    println!("user-level (Corollary 1): {:.4}", acc.user_level());
+    for &w in &windows {
+        let g = w_event_guarantee(&acc, w).map_err(|e| format!("--w {w}: {e}"))?;
+        // Independent-composition baseline: the worst window budget sum
+        // (Theorem 3), via the accountant's prefix sums.
+        let mut independent = f64::NEG_INFINITY;
+        for t in 0..=(acc.len() - w) {
+            let sum = acc.window_budget_sum(t, w).map_err(|e| e.to_string())?;
+            independent = independent.max(sum);
+        }
+        println!("{w}-event guarantee: {g:.4}  (independent composition: {independent:.4})");
+    }
     Ok(())
 }

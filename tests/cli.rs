@@ -96,6 +96,96 @@ fn audit_budget_trail() {
     ]);
     assert!(stdout.starts_with("TPL"), "{stdout}");
     assert!(stdout.contains("worst:"), "{stdout}");
+    assert!(stdout.contains("user-level (Corollary 1): 0.7"), "{stdout}");
+}
+
+#[test]
+fn audit_emits_per_window_guarantees() {
+    let stdout = run_ok(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--pf",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.1,0.1,0.1,0.1,0.1",
+        "--w",
+        "2,5",
+    ]);
+    assert!(stdout.contains("2-event guarantee:"), "{stdout}");
+    assert!(stdout.contains("5-event guarantee:"), "{stdout}");
+    // Independent composition over the full 5-window is Σ ε = 0.5, and
+    // correlation can only worsen it.
+    assert!(
+        stdout.contains("(independent composition: 0.5000)"),
+        "{stdout}"
+    );
+    // A window longer than the timeline is an honest error.
+    let err = run_err(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.1,0.1",
+        "--w",
+        "3",
+    ]);
+    assert!(err.contains("invalid w-event window length"), "{err}");
+}
+
+#[test]
+fn audit_streams_budgets_from_stdin() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = cli()
+        .args([
+            "audit",
+            "--pb",
+            "[[0.9,0.1],[0.2,0.8]]",
+            "--budgets",
+            "-",
+            "--stream",
+            "--w",
+            "2",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"# release trail\n0.5\n0.1\n\n0.1\n")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    // One running line per release, then the summary.
+    assert!(stdout.contains("t=0     eps=0.5000"), "{stdout}");
+    assert!(stdout.contains("t=2     eps=0.1000"), "{stdout}");
+    assert!(stdout.contains("worst:"), "{stdout}");
+    assert!(stdout.contains("2-event guarantee:"), "{stdout}");
+}
+
+#[test]
+fn audit_reads_json_budget_files() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("tcdp_cli_trail.json");
+    std::fs::write(&path, "[0.2, 0.2, 0.2]").expect("write temp file");
+    let stdout = run_ok(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        &format!("@{}", path.display()),
+    ]);
+    assert!(stdout.contains("user-level (Corollary 1): 0.6"), "{stdout}");
 }
 
 #[test]

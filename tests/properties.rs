@@ -254,3 +254,116 @@ proptest! {
         }
     }
 }
+
+// Streaming-engine invariants (PR 2): the accountant's version-stamped
+// series cache and the batched multi-ε APIs must be behaviorally
+// invisible — bit-identical to fresh recomputation — under arbitrary
+// interleavings of observation, queries, audits, and serde round-trips.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cached_accountant_matches_fresh_recompute_under_interleaving(
+        m in stochastic_matrix(3),
+        budgets in proptest::collection::vec(0.01f64..1.0, 1..16),
+        ops in proptest::collection::vec(0usize..4, 4..24),
+    ) {
+        use tcdp::core::composition::w_event_guarantee;
+        let adv = AdversaryT::with_both(m.clone(), m).unwrap();
+        let mut acc = TplAccountant::new(&adv);
+        for (i, &op) in ops.iter().enumerate() {
+            let observed = acc.len();
+            match op {
+                0 => {
+                    acc.observe_release(budgets[observed % budgets.len()]).unwrap();
+                }
+                1 if observed > 0 => {
+                    acc.tpl_at(i % observed).unwrap();
+                }
+                2 if observed > 0 => {
+                    w_event_guarantee(&acc, 1 + i % observed).unwrap();
+                }
+                3 => {
+                    // A restored accountant starts with cold caches and
+                    // must continue the stream seamlessly.
+                    let json = serde_json::to_string(&acc).unwrap();
+                    acc = serde_json::from_str(&json).unwrap();
+                }
+                _ => {}
+            }
+            // Replay everything observed so far into a fresh accountant:
+            // every cached answer must match the recompute bit for bit.
+            let mut fresh = TplAccountant::new(&adv);
+            for &b in acc.budgets() {
+                fresh.observe_release(b).unwrap();
+            }
+            let to_bits = |v: Vec<f64>| v.into_iter().map(f64::to_bits).collect::<Vec<_>>();
+            prop_assert_eq!(
+                to_bits(acc.tpl_series().unwrap()),
+                to_bits(fresh.tpl_series().unwrap())
+            );
+            prop_assert_eq!(
+                to_bits(acc.fpl_series().unwrap()),
+                to_bits(fresh.fpl_series().unwrap())
+            );
+            if !acc.is_empty() {
+                prop_assert_eq!(
+                    acc.max_tpl().unwrap().to_bits(),
+                    fresh.max_tpl().unwrap().to_bits()
+                );
+                let w = 1 + i % acc.len();
+                prop_assert_eq!(
+                    w_event_guarantee(&acc, w).unwrap().to_bits(),
+                    w_event_guarantee(&fresh, w).unwrap().to_bits()
+                );
+                let t = i % acc.len();
+                prop_assert_eq!(
+                    acc.tpl_at(t).unwrap().to_bits(),
+                    fresh.tpl_at(t).unwrap().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_many_is_bit_equal_to_mapped_eval(
+        m in sparse_stochastic_matrix(5),
+        grid in proptest::collection::vec(0.0f64..20.0, 1..16),
+    ) {
+        let loss = TemporalLossFunction::new(m.clone());
+        // Random probe order...
+        let batched = loss.eval_many(&grid).unwrap();
+        for (&alpha, &b) in grid.iter().zip(&batched) {
+            let cold = temporal_loss(&m, alpha).unwrap();
+            prop_assert_eq!(cold.to_bits(), b.to_bits(), "alpha={}", alpha);
+        }
+        // ...and the sorted grid (the intended warm-start fast path).
+        let mut sorted = grid.clone();
+        sorted.sort_by(f64::total_cmp);
+        for (&alpha, &b) in sorted.iter().zip(&loss.eval_many(&sorted).unwrap()) {
+            let cold = temporal_loss(&m, alpha).unwrap();
+            prop_assert_eq!(cold.to_bits(), b.to_bits(), "sorted alpha={}", alpha);
+        }
+    }
+
+    #[test]
+    fn supremum_many_is_bit_equal_to_single_probes(
+        m in stochastic_matrix(4),
+        grid in proptest::collection::vec(0.01f64..0.8, 1..8),
+    ) {
+        use tcdp::core::supremum_of_loss_many;
+        let loss = TemporalLossFunction::new(m.clone());
+        let mut sorted = grid.clone();
+        sorted.sort_by(f64::total_cmp);
+        let many = supremum_of_loss_many(&loss, &sorted).unwrap();
+        for (&eps, &s) in sorted.iter().zip(&many) {
+            let single = supremum_of_matrix(&m, eps).unwrap();
+            match (s, single) {
+                (Supremum::Finite(a), Supremum::Finite(b)) => {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "eps={}", eps)
+                }
+                (a, b) => prop_assert_eq!(a, b, "eps={}", eps),
+            }
+        }
+    }
+}
