@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the sharded population accountant.
+//!
+//! * `pop/users/*` — a full observe-then-audit cycle (T = 50 releases,
+//!   then `tpl_series` + `max_tpl` + `most_exposed_user`) at N ∈ {100,
+//!   1 000, 10 000} users drawn from 8 distinct adversary patterns. The
+//!   sharded accountant's cost is governed by the 8 shards, not N, so
+//!   the sweep should stay near-flat in N.
+//! * `pop/naive/*` — the same cycle through the naive per-user path
+//!   (one accountant per user, losses shared per distinct adversary —
+//!   exactly the pre-sharding behavior), which is linear in N. Only run
+//!   to N = 1 000; its cost is rather the point.
+//!
+//! The headline number printed at the end is the direct wall-clock
+//! ratio naive/sharded at N = 1 000.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use tcdp_core::personalized::PopulationAccountant;
+use tcdp_core::{AdversaryT, TplAccountant};
+use tcdp_markov::TransitionMatrix;
+
+const T_LEN: usize = 50;
+const EPS: f64 = 0.02;
+
+/// Eight distinct two-state mobility patterns.
+fn patterns() -> Vec<AdversaryT> {
+    let mut out = Vec::new();
+    for k in 0..8u32 {
+        let stay = 0.55 + 0.05 * k as f64;
+        let back = 0.10 + 0.03 * k as f64;
+        let p = TransitionMatrix::from_rows(vec![vec![stay, 1.0 - stay], vec![back, 1.0 - back]])
+            .expect("matrix");
+        out.push(match k % 3 {
+            0 => AdversaryT::with_both(p.clone(), p).expect("adversary"),
+            1 => AdversaryT::with_backward(p),
+            _ => AdversaryT::with_forward(p),
+        });
+    }
+    out
+}
+
+fn population(n: usize) -> Vec<AdversaryT> {
+    let pats = patterns();
+    (0..n).map(|i| pats[i % pats.len()].clone()).collect()
+}
+
+/// One full sharded cycle: observe T releases, then audit.
+fn sharded_cycle(adversaries: &[AdversaryT]) -> (f64, usize) {
+    let mut pop = PopulationAccountant::new(adversaries).expect("population");
+    for _ in 0..T_LEN {
+        pop.observe_release(EPS).expect("observe");
+    }
+    black_box(pop.tpl_series().expect("series"));
+    (
+        pop.max_tpl().expect("max"),
+        pop.most_exposed_user().expect("argmax"),
+    )
+}
+
+/// The pre-sharding path: one accountant per user (losses still shared
+/// per distinct adversary, as PR 2 did), every user's series computed.
+fn naive_cycle(adversaries: &[AdversaryT]) -> (f64, usize) {
+    let mut distinct: Vec<(AdversaryT, TplAccountant)> = Vec::new();
+    let mut users: Vec<TplAccountant> = Vec::new();
+    for adv in adversaries {
+        let template = match distinct.iter().position(|(a, _)| a == adv) {
+            Some(p) => &distinct[p].1,
+            None => {
+                let acc = TplAccountant::with_shared_losses(
+                    adv.backward_loss().map(Arc::new),
+                    adv.forward_loss().map(Arc::new),
+                );
+                distinct.push((adv.clone(), acc));
+                &distinct.last().expect("just pushed").1
+            }
+        };
+        users.push(template.clone());
+    }
+    for acc in &mut users {
+        for _ in 0..T_LEN {
+            acc.observe_release(EPS).expect("observe");
+        }
+    }
+    let mut merged: Option<Vec<f64>> = None;
+    for acc in &users {
+        let series = acc.tpl_series().expect("series");
+        merged = Some(match merged {
+            None => series,
+            Some(prev) => prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect(),
+        });
+    }
+    let merged = merged.expect("nonempty");
+    let max = merged.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, acc) in users.iter().enumerate() {
+        let v = acc.max_tpl().expect("max");
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    (max, best.0)
+}
+
+fn bench_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pop/users");
+    for n in [100usize, 1_000, 10_000] {
+        let adversaries = population(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adversaries, |b, advs| {
+            b.iter(|| sharded_cycle(black_box(advs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pop/naive");
+    for n in [100usize, 1_000] {
+        let adversaries = population(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adversaries, |b, advs| {
+            b.iter(|| naive_cycle(black_box(advs)))
+        });
+    }
+    group.finish();
+}
+
+fn headline() {
+    let adversaries = population(1_000);
+    // Agreement first: the sharded audit must match the naive one.
+    let sharded = sharded_cycle(&adversaries);
+    let naive = naive_cycle(&adversaries);
+    assert_eq!(sharded.0.to_bits(), naive.0.to_bits(), "max TPL must agree");
+    assert_eq!(sharded.1, naive.1, "most exposed user must agree");
+
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        black_box(sharded_cycle(&adversaries));
+    }
+    let sharded_time = t0.elapsed().as_secs_f64() / 3.0;
+    let t1 = Instant::now();
+    black_box(naive_cycle(&adversaries));
+    let naive_time = t1.elapsed().as_secs_f64();
+    println!(
+        "headline: N=1000 users over 8 shards: sharded {:.3} ms vs naive per-user {:.3} ms ({:.0}x)",
+        sharded_time * 1e3,
+        naive_time * 1e3,
+        naive_time / sharded_time
+    );
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let _ = c;
+    headline();
+}
+
+criterion_group!(benches, bench_users, bench_naive, bench_headline);
+criterion_main!(benches);

@@ -93,6 +93,18 @@ macro_rules! impl_num {
 
 impl_num!(f64, f32, usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

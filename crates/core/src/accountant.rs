@@ -246,7 +246,16 @@ impl TplAccountant {
             .zip(&self.budgets)
             .map(|((b, f), e)| b + f - e)
             .collect();
-        let mut eps_prefix = Vec::with_capacity(t_len + 1);
+        self.install_series(cache, fpl, tpl);
+        Ok(())
+    }
+
+    /// Install a complete `(fpl, tpl)` pair into the cache, deriving the
+    /// prefix sums and maximum. Shared by [`Self::rebuild`] and the
+    /// checkpoint-restore path, so a restored cache is bit-identical to
+    /// a rebuilt one by construction (same folds, same order).
+    fn install_series(&self, cache: &mut SeriesCache, fpl: Vec<f64>, tpl: Vec<f64>) {
+        let mut eps_prefix = Vec::with_capacity(self.budgets.len() + 1);
         let mut run = 0.0;
         eps_prefix.push(0.0);
         for &e in &self.budgets {
@@ -257,8 +266,7 @@ impl TplAccountant {
         cache.fpl = fpl;
         cache.tpl = tpl;
         cache.eps_prefix = eps_prefix;
-        cache.len = t_len;
-        Ok(())
+        cache.len = self.budgets.len();
     }
 
     /// Map a time index to [`TplError::EmptyTimeline`] (nothing observed)
@@ -345,6 +353,36 @@ impl TplAccountant {
     pub fn loss_eval_count(&self) -> u64 {
         self.backward.as_ref().map_or(0, |l| l.eval_count())
             + self.forward.as_ref().map_or(0, |l| l.eval_count())
+    }
+
+    /// The backward loss function, if any ([`crate::checkpoint`] hook).
+    pub(crate) fn backward_loss_fn(&self) -> Option<&Arc<TemporalLossFunction>> {
+        self.backward.as_ref()
+    }
+
+    /// The forward loss function, if any ([`crate::checkpoint`] hook).
+    pub(crate) fn forward_loss_fn(&self) -> Option<&Arc<TemporalLossFunction>> {
+        self.forward.as_ref()
+    }
+
+    /// The cached derived series `(fpl, tpl)` — `Some` only if the cache
+    /// is valid for the current release count ([`crate::checkpoint`]
+    /// snapshots it so a resumed audit does not pay the `O(T)` rebuild).
+    pub(crate) fn series_snapshot(&self) -> Option<(Vec<f64>, Vec<f64>)> {
+        let cache = self.cache.lock().expect("series cache lock");
+        (cache.len == self.budgets.len() && !self.budgets.is_empty())
+            .then(|| (cache.fpl.clone(), cache.tpl.clone()))
+    }
+
+    /// Restore a checkpointed `(fpl, tpl)` pair into the series cache.
+    /// The caller ([`crate::checkpoint`]) has validated the lengths
+    /// against the budget trail; [`Self::install_series`] re-derives the
+    /// prefix sums and maximum with the exact folds `rebuild` uses, so
+    /// the restored cache is bit-identical to one the accountant would
+    /// have computed itself.
+    pub(crate) fn restore_series(&self, fpl: Vec<f64>, tpl: Vec<f64>) {
+        let mut cache = self.cache.lock().expect("series cache lock");
+        self.install_series(&mut cache, fpl, tpl);
     }
 }
 

@@ -92,6 +92,7 @@
 //! solvers, used by tests, property tests, and the Figure 5 benchmark.
 
 use crate::{check_alpha, Result};
+use serde::{DeError, Deserialize, Serialize, Value};
 use tcdp_lp::problem::PaperProgram;
 use tcdp_markov::TransitionMatrix;
 
@@ -113,6 +114,35 @@ pub struct LossWitness {
     /// witness against Inequalities (21)/(22) in `O(n)` (the sums are
     /// α-independent; only the inequalities move).
     pub active: Vec<usize>,
+}
+
+impl Serialize for LossWitness {
+    /// Serializes every field — a checkpointed witness re-seeds the
+    /// warm-start chain exactly where the saved run left off.
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("q_row".to_string(), self.q_row.to_value()),
+            ("d_row".to_string(), self.d_row.to_value()),
+            ("q_sum".to_string(), self.q_sum.to_value()),
+            ("d_sum".to_string(), self.d_sum.to_value()),
+            ("value".to_string(), self.value.to_value()),
+            ("active".to_string(), self.active.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LossWitness {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let field = |k: &str| v.get(k).ok_or_else(|| DeError::missing(k));
+        Ok(LossWitness {
+            q_row: usize::from_value(field("q_row")?)?,
+            d_row: usize::from_value(field("d_row")?)?,
+            q_sum: f64::from_value(field("q_sum")?)?,
+            d_sum: f64::from_value(field("d_sum")?)?,
+            value: f64::from_value(field("value")?)?,
+            active: Vec::from_value(field("active")?)?,
+        })
+    }
 }
 
 impl LossWitness {

@@ -1,0 +1,567 @@
+//! Versioned, resumable audit checkpoints.
+//!
+//! A continual release over a very long timeline (`T` in the millions)
+//! cannot assume the auditing process survives end to end: the service
+//! restarts, the batch job is preempted, the compliance review happens
+//! on another machine. This module serializes the complete state of a
+//! [`TplAccountant`] or a [`PopulationAccountant`] to a **versioned JSON
+//! envelope** so an audit can stop mid-timeline and continue later with
+//! results **bit-identical** to an uninterrupted run:
+//!
+//! * the observed budget trail and the final BPL recursion state
+//!   (the paper's Equation 13 values — they cannot be reconstructed
+//!   from budgets without replaying every release);
+//! * the cached FPL/TPL series, when valid at save time, so the resumed
+//!   accountant serves its first queries without re-paying the `O(T)`
+//!   rebuild;
+//! * each loss function's warm [`LossWitness`], so the resumed
+//!   recursion re-enters Algorithm 1's warm-start fast path exactly
+//!   where the saved run left off (a restored witness is re-validated
+//!   against Theorem 4 before every use, so staleness is impossible by
+//!   construction);
+//! * for populations, the shard structure (distinct adversaries and
+//!   their member lists) of [`PopulationAccountant`].
+//!
+//! # Format
+//!
+//! ```json
+//! {
+//!   "format": "tcdp-checkpoint",
+//!   "version": 1,
+//!   "kind": "tpl-accountant" | "population-accountant",
+//!   "payload": { ... }
+//! }
+//! ```
+//!
+//! Corrupt or version-mismatched input is reported through honest error
+//! variants — [`TplError::CorruptCheckpoint`] and
+//! [`TplError::CheckpointVersion`] — never a panic: payload shapes,
+//! series lengths, witness row indices, budget finiteness, and the
+//! population's shard partition are all validated before any state is
+//! restored.
+//!
+//! # Example
+//!
+//! ```
+//! use tcdp_core::{Checkpoint, TplAccountant};
+//! use tcdp_markov::TransitionMatrix;
+//!
+//! let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+//! let mut acc = TplAccountant::with_both(p.clone(), p).unwrap();
+//! acc.observe_uniform(0.1, 5).unwrap();
+//!
+//! // Stop: persist the audit...
+//! let json = acc.checkpoint().to_json();
+//!
+//! // ...and continue elsewhere, bit-identically.
+//! let mut resumed = TplAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
+//! resumed.observe_release(0.1).unwrap();
+//! acc.observe_release(0.1).unwrap();
+//! assert_eq!(
+//!     resumed.tpl_series().unwrap(),
+//!     acc.tpl_series().unwrap(),
+//! );
+//! ```
+
+use crate::accountant::TplAccountant;
+use crate::adversary::AdversaryT;
+use crate::alg1::LossWitness;
+use crate::loss::TemporalLossFunction;
+use crate::personalized::PopulationAccountant;
+use crate::{Result, TplError};
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The checkpoint format version this build reads and writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The envelope's format discriminator.
+const FORMAT_TAG: &str = "tcdp-checkpoint";
+
+/// What kind of accountant a [`Checkpoint`] holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// A single-adversary [`TplAccountant`].
+    TplAccountant,
+    /// A sharded [`PopulationAccountant`].
+    PopulationAccountant,
+}
+
+impl CheckpointKind {
+    fn tag(self) -> &'static str {
+        match self {
+            CheckpointKind::TplAccountant => "tpl-accountant",
+            CheckpointKind::PopulationAccountant => "population-accountant",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self> {
+        match tag {
+            "tpl-accountant" => Ok(CheckpointKind::TplAccountant),
+            "population-accountant" => Ok(CheckpointKind::PopulationAccountant),
+            other => Err(corrupt(format!("unknown checkpoint kind `{other}`"))),
+        }
+    }
+}
+
+/// A validated, versioned snapshot of accountant state.
+///
+/// Produced by [`TplAccountant::checkpoint`] /
+/// [`PopulationAccountant::checkpoint`]; consumed by the matching
+/// `resume` constructors. The JSON form round-trips bit-exactly (the
+/// stand-in `serde_json` prints floats with shortest round-trip
+/// formatting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    kind: CheckpointKind,
+    payload: Value,
+}
+
+fn corrupt(reason: impl Into<String>) -> TplError {
+    TplError::CorruptCheckpoint(reason.into())
+}
+
+impl Checkpoint {
+    /// What kind of accountant this checkpoint holds.
+    pub fn kind(&self) -> CheckpointKind {
+        self.kind
+    }
+
+    fn envelope(&self) -> Value {
+        Value::Map(vec![
+            ("format".to_string(), Value::Str(FORMAT_TAG.to_string())),
+            ("version".to_string(), CHECKPOINT_VERSION.to_value()),
+            ("kind".to_string(), Value::Str(self.kind.tag().to_string())),
+            ("payload".to_string(), self.payload.clone()),
+        ])
+    }
+
+    /// Render the versioned envelope as compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.envelope()).expect("value serialization is total")
+    }
+
+    /// Render the versioned envelope as indented JSON (the on-disk
+    /// form [`Checkpoint::save`] writes).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.envelope()).expect("value serialization is total")
+    }
+
+    /// Parse and validate an envelope. Bad JSON, a foreign format tag,
+    /// an unknown kind, or a missing payload is
+    /// [`TplError::CorruptCheckpoint`]; a version this build does not
+    /// support is [`TplError::CheckpointVersion`].
+    pub fn from_json(text: &str) -> Result<Self> {
+        let v: Value = serde_json::from_str(text).map_err(|e| corrupt(format!("bad JSON: {e}")))?;
+        let format = match v.get("format") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => return Err(corrupt("missing `format` tag — not a tcdp checkpoint")),
+        };
+        if format != FORMAT_TAG {
+            return Err(corrupt(format!("foreign format tag `{format}`")));
+        }
+        let version = match v.get("version") {
+            Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u32,
+            _ => return Err(corrupt("missing or non-integer `version`")),
+        };
+        if version != CHECKPOINT_VERSION {
+            return Err(TplError::CheckpointVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let kind = match v.get("kind") {
+            Some(Value::Str(s)) => CheckpointKind::from_tag(s)?,
+            _ => return Err(corrupt("missing `kind`")),
+        };
+        let payload = v
+            .get("payload")
+            .ok_or_else(|| corrupt("missing `payload`"))?;
+        Ok(Checkpoint {
+            kind,
+            payload: payload.clone(),
+        })
+    }
+
+    /// Write the pretty-printed envelope to `path` atomically: the text
+    /// goes to a sibling temp file first and is renamed over the target,
+    /// so a crash mid-write — the exact failure checkpoints exist to
+    /// survive, including `--resume X --checkpoint X` overwriting the
+    /// file being resumed — can never leave a truncated checkpoint.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let io_err = |e: std::io::Error| TplError::CheckpointIo(format!("{}: {e}", path.display()));
+        let mut text = self.to_json_pretty();
+        text.push('\n');
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, text).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Read and validate a checkpoint file written by [`Checkpoint::save`].
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TplError::CheckpointIo(format!("{}: {e}", path.display())))?;
+        Self::from_json(&text)
+    }
+}
+
+/// Serialize one accountant's full state: the pre-cache shape
+/// (`TplAccountant`'s own serde form) plus the valid series cache and
+/// the per-side warm witnesses.
+fn tpl_payload(acc: &TplAccountant) -> Value {
+    let witness = |l: Option<&Arc<TemporalLossFunction>>| match l.and_then(|l| l.cached_witness()) {
+        Some(w) => w.to_value(),
+        None => Value::Null,
+    };
+    let series = match acc.series_snapshot() {
+        Some((fpl, tpl)) => Value::Map(vec![
+            ("fpl".to_string(), fpl.to_value()),
+            ("tpl".to_string(), tpl.to_value()),
+        ]),
+        None => Value::Null,
+    };
+    Value::Map(vec![
+        ("accountant".to_string(), acc.to_value()),
+        ("series".to_string(), series),
+        ("warm_backward".to_string(), witness(acc.backward_loss_fn())),
+        ("warm_forward".to_string(), witness(acc.forward_loss_fn())),
+    ])
+}
+
+/// Validate a deserialized witness against its loss function's domain
+/// and seed the warm cache. Out-of-range row/subset indices are corrupt
+/// (they would index past matrix rows); a *behaviorally* stale witness
+/// is fine — Theorem 4 revalidation runs before every use.
+fn restore_witness(
+    loss: Option<&Arc<TemporalLossFunction>>,
+    v: Option<&Value>,
+    field: &str,
+) -> Result<()> {
+    let Some(v) = v else { return Ok(()) };
+    if matches!(v, Value::Null) {
+        return Ok(());
+    }
+    let w = LossWitness::from_value(v).map_err(|e| corrupt(format!("{field}: {e}")))?;
+    let Some(loss) = loss else {
+        return Err(corrupt(format!(
+            "{field}: witness present but the correlation side is absent"
+        )));
+    };
+    let n = loss.n();
+    if w.q_row >= n || w.d_row >= n || w.active.iter().any(|&j| j >= n) {
+        return Err(corrupt(format!("{field}: witness indices out of range")));
+    }
+    if !(w.q_sum.is_finite() && w.d_sum.is_finite() && w.value.is_finite()) {
+        return Err(corrupt(format!("{field}: non-finite witness sums")));
+    }
+    loss.restore_warm(Some(w));
+    Ok(())
+}
+
+/// Rebuild one accountant from its payload, validating everything the
+/// type system cannot.
+fn tpl_restore(payload: &Value) -> Result<TplAccountant> {
+    let acc_v = payload
+        .get("accountant")
+        .ok_or_else(|| corrupt("missing `accountant`"))?;
+    let acc = TplAccountant::from_value(acc_v).map_err(|e| corrupt(e.to_string()))?;
+    if acc.budgets().iter().any(|&e| !(e.is_finite() && e > 0.0)) {
+        return Err(corrupt(
+            "budget trail contains non-positive or non-finite entries",
+        ));
+    }
+    if acc.bpl_series().len() != acc.len() {
+        return Err(corrupt(format!(
+            "bpl length {} does not match budget trail length {}",
+            acc.bpl_series().len(),
+            acc.len()
+        )));
+    }
+    // BPL values are fed back into `L(α)` as α, which must be finite and
+    // non-negative — reject state that would understate leakage now and
+    // fail the next observation later.
+    if acc
+        .bpl_series()
+        .iter()
+        .any(|v| !(v.is_finite() && *v >= 0.0))
+    {
+        return Err(corrupt(
+            "bpl series contains negative or non-finite entries",
+        ));
+    }
+    match payload.get("series") {
+        None | Some(Value::Null) => {}
+        Some(series) => {
+            let get = |k: &str| -> Result<Vec<f64>> {
+                let v = series
+                    .get(k)
+                    .ok_or_else(|| corrupt(format!("series missing `{k}`")))?;
+                Vec::<f64>::from_value(v).map_err(|e| corrupt(format!("series.{k}: {e}")))
+            };
+            let fpl = get("fpl")?;
+            let tpl = get("tpl")?;
+            if fpl.len() != acc.len() || tpl.len() != acc.len() {
+                return Err(corrupt(format!(
+                    "cached series lengths ({}, {}) do not match the budget trail ({})",
+                    fpl.len(),
+                    tpl.len(),
+                    acc.len()
+                )));
+            }
+            if fpl.iter().chain(&tpl).any(|v| !v.is_finite()) {
+                return Err(corrupt("cached series contain non-finite entries"));
+            }
+            acc.restore_series(fpl, tpl);
+        }
+    }
+    restore_witness(
+        acc.backward_loss_fn(),
+        payload.get("warm_backward"),
+        "warm_backward",
+    )?;
+    restore_witness(
+        acc.forward_loss_fn(),
+        payload.get("warm_forward"),
+        "warm_forward",
+    )?;
+    Ok(acc)
+}
+
+impl TplAccountant {
+    /// Snapshot this accountant into a versioned [`Checkpoint`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            kind: CheckpointKind::TplAccountant,
+            payload: tpl_payload(self),
+        }
+    }
+
+    /// Rebuild an accountant from a [`Checkpoint`] produced by
+    /// [`TplAccountant::checkpoint`]. The resumed accountant continues
+    /// the stream bit-identically to the saved one: same budgets, same
+    /// BPL state, same cached series, same warm-start seed.
+    pub fn resume(cp: &Checkpoint) -> Result<Self> {
+        if cp.kind != CheckpointKind::TplAccountant {
+            return Err(corrupt(format!(
+                "checkpoint holds a {}, not a {}",
+                cp.kind.tag(),
+                CheckpointKind::TplAccountant.tag()
+            )));
+        }
+        tpl_restore(&cp.payload)
+    }
+}
+
+impl PopulationAccountant {
+    /// Snapshot the whole sharded population into a versioned
+    /// [`Checkpoint`]: per shard, its member indices and its
+    /// accountant's full state (the adversary matrices ride along inside
+    /// the accountant's loss functions).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let groups: Vec<Value> = self
+            .parts()
+            .map(|(_, members, acc)| {
+                Value::Map(vec![
+                    ("members".to_string(), members.to_value()),
+                    ("state".to_string(), tpl_payload(acc)),
+                ])
+            })
+            .collect();
+        Checkpoint {
+            kind: CheckpointKind::PopulationAccountant,
+            payload: Value::Map(vec![
+                ("num_users".to_string(), self.num_users().to_value()),
+                ("groups".to_string(), Value::Seq(groups)),
+            ]),
+        }
+    }
+
+    /// Rebuild a population from a [`Checkpoint`] produced by
+    /// [`PopulationAccountant::checkpoint`]. Validates that the shards
+    /// partition the user set (every index in `0..num_users` appears in
+    /// exactly one ascending member list) and that all shards agree on
+    /// the shared budget timeline.
+    pub fn resume(cp: &Checkpoint) -> Result<Self> {
+        if cp.kind != CheckpointKind::PopulationAccountant {
+            return Err(corrupt(format!(
+                "checkpoint holds a {}, not a {}",
+                cp.kind.tag(),
+                CheckpointKind::PopulationAccountant.tag()
+            )));
+        }
+        let num_users = match cp.payload.get("num_users") {
+            Some(v) => usize::from_value(v).map_err(|e| corrupt(format!("num_users: {e}")))?,
+            None => return Err(corrupt("missing `num_users`")),
+        };
+        if num_users == 0 {
+            return Err(corrupt("population checkpoint with zero users"));
+        }
+        let groups = match cp.payload.get("groups") {
+            Some(Value::Seq(groups)) if !groups.is_empty() => groups,
+            Some(Value::Seq(_)) => return Err(corrupt("population checkpoint with no shards")),
+            _ => return Err(corrupt("missing `groups`")),
+        };
+        let mut seen = vec![false; num_users];
+        let mut parts = Vec::with_capacity(groups.len());
+        let mut prev_min: Option<usize> = None;
+        for (g, group) in groups.iter().enumerate() {
+            let members = match group.get("members") {
+                Some(v) => Vec::<usize>::from_value(v)
+                    .map_err(|e| corrupt(format!("groups[{g}].members: {e}")))?,
+                None => return Err(corrupt(format!("groups[{g}]: missing `members`"))),
+            };
+            if members.is_empty() {
+                return Err(corrupt(format!("groups[{g}]: empty member list")));
+            }
+            if !members.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt(format!(
+                    "groups[{g}]: member list must be strictly ascending"
+                )));
+            }
+            // Group order must be ascending in minimum member index —
+            // the invariant `most_exposed_user`'s documented
+            // lowest-index tie-break relies on; a reordered checkpoint
+            // would silently flip exact-tie winners.
+            if let Some(prev) = prev_min {
+                if members[0] <= prev {
+                    return Err(corrupt(format!(
+                        "groups[{g}]: shards must be ordered by ascending first member \
+                         ({} after {prev})",
+                        members[0]
+                    )));
+                }
+            }
+            prev_min = Some(members[0]);
+            for &i in &members {
+                if i >= num_users {
+                    return Err(corrupt(format!(
+                        "groups[{g}]: member index {i} out of range for {num_users} users"
+                    )));
+                }
+                if seen[i] {
+                    return Err(corrupt(format!(
+                        "groups[{g}]: user {i} appears in more than one shard"
+                    )));
+                }
+                seen[i] = true;
+            }
+            let state = group
+                .get("state")
+                .ok_or_else(|| corrupt(format!("groups[{g}]: missing `state`")))?;
+            let acc = tpl_restore(state)?;
+            let adversary = adversary_of(&acc)?;
+            parts.push((adversary, members, acc));
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(corrupt(format!("user {missing} is assigned to no shard")));
+        }
+        // The timeline is population-wide: every shard must hold the
+        // same budget trail, bit for bit.
+        if let Some((_, _, first)) = parts.first() {
+            let reference = first.budgets().to_vec();
+            for (g, (_, _, acc)) in parts.iter().enumerate().skip(1) {
+                if acc.budgets().len() != reference.len()
+                    || acc
+                        .budgets()
+                        .iter()
+                        .zip(&reference)
+                        .any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    return Err(corrupt(format!(
+                        "groups[{g}]: budget trail disagrees with shard 0 — the population \
+                         timeline is shared"
+                    )));
+                }
+            }
+        }
+        Ok(PopulationAccountant::from_parts(parts, num_users))
+    }
+}
+
+/// Recover the adversary model from a restored accountant's loss
+/// functions (they wrap exactly the correlation matrices).
+fn adversary_of(acc: &TplAccountant) -> Result<AdversaryT> {
+    let matrix = |l: Option<&Arc<TemporalLossFunction>>| l.map(|l| l.matrix().clone());
+    Ok(
+        match (
+            matrix(acc.backward_loss_fn()),
+            matrix(acc.forward_loss_fn()),
+        ) {
+            (Some(pb), Some(pf)) => {
+                AdversaryT::with_both(pb, pf).map_err(|e| corrupt(e.to_string()))?
+            }
+            (Some(pb), None) => AdversaryT::with_backward(pb),
+            (None, Some(pf)) => AdversaryT::with_forward(pf),
+            (None, None) => AdversaryT::traditional(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcdp_markov::TransitionMatrix;
+
+    fn matrix() -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap()
+    }
+
+    #[test]
+    fn tpl_round_trip_preserves_series_and_witness() {
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 8).unwrap();
+        acc.tpl_series().unwrap(); // fill the cache and warm witnesses
+        let cp = acc.checkpoint();
+        assert_eq!(cp.kind(), CheckpointKind::TplAccountant);
+        let resumed =
+            TplAccountant::resume(&Checkpoint::from_json(&cp.to_json()).unwrap()).unwrap();
+        // The cached series was restored: first query costs zero evals.
+        let before = resumed.loss_eval_count();
+        assert_eq!(resumed.tpl_series().unwrap(), acc.tpl_series().unwrap());
+        assert_eq!(resumed.loss_eval_count(), before);
+        // The warm witness came along too.
+        assert_eq!(
+            resumed.forward_loss_fn().unwrap().cached_witness(),
+            acc.forward_loss_fn().unwrap().cached_witness()
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_reported() {
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 3).unwrap();
+        let cp = acc.checkpoint();
+        assert!(matches!(
+            PopulationAccountant::resume(&cp),
+            Err(TplError::CorruptCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn version_and_format_are_enforced() {
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 2).unwrap();
+        let json = acc.checkpoint().to_json();
+        let bumped = json
+            .replace("\"version\":1.0", "\"version\":999")
+            .replace("\"version\":1,", "\"version\":999,");
+        assert!(matches!(
+            Checkpoint::from_json(&bumped),
+            Err(TplError::CheckpointVersion {
+                found: 999,
+                supported: CHECKPOINT_VERSION
+            })
+        ));
+        assert!(matches!(
+            Checkpoint::from_json("{\"format\":\"something-else\",\"version\":1}"),
+            Err(TplError::CorruptCheckpoint(_))
+        ));
+        assert!(matches!(
+            Checkpoint::from_json("not json at all"),
+            Err(TplError::CorruptCheckpoint(_))
+        ));
+    }
+}

@@ -31,8 +31,13 @@
 //!   budgets (uniform with a supremum bound, or boosted-endpoint exact
 //!   quantification), plus the end-to-end [`release::DptReleaser`].
 //! * [`personalized`] — the Section III-D observation that leakage is
-//!   personal: per-user accounting and per-user budget plans compatible
+//!   personal: per-user accounting (sharded by distinct adversary and
+//!   fanned out across threads) and per-user budget plans compatible
 //!   with personalized DP.
+//! * [`checkpoint`] — versioned JSON checkpoints of [`TplAccountant`]
+//!   and [`personalized::PopulationAccountant`] state (budgets, BPL,
+//!   cached FPL/TPL series, warm witnesses) so very long audits can
+//!   stop and resume mid-timeline with bit-identical results.
 //!
 //! Verified extensions grounded in the paper's discussion:
 //!
@@ -68,6 +73,7 @@ pub mod accountant;
 pub mod adaptive;
 pub mod adversary;
 pub mod alg1;
+pub mod checkpoint;
 pub mod composition;
 pub mod inference;
 pub mod loss;
@@ -81,6 +87,7 @@ pub use accountant::{TplAccountant, TplReport};
 pub use adaptive::AdaptiveReleaser;
 pub use adversary::AdversaryT;
 pub use alg1::{temporal_loss, EvalSession, LossWitness};
+pub use checkpoint::{Checkpoint, CheckpointKind, CHECKPOINT_VERSION};
 pub use loss::{LossEvaluator, TemporalLossFunction};
 pub use release::{quantified_plan, upper_bound_plan, DptReleaser, ReleasePlan};
 pub use supremum::{
@@ -134,6 +141,19 @@ pub enum TplError {
     /// No releases have been observed yet; the requested statistic is
     /// undefined.
     EmptyTimeline,
+    /// A checkpoint was written by an incompatible format version.
+    CheckpointVersion {
+        /// Version stamped into the checkpoint file.
+        found: u32,
+        /// Version this build reads and writes
+        /// ([`checkpoint::CHECKPOINT_VERSION`]).
+        supported: u32,
+    },
+    /// A checkpoint failed structural validation (bad JSON, wrong kind,
+    /// missing fields, or internally inconsistent state).
+    CorruptCheckpoint(String),
+    /// A checkpoint file could not be read or written.
+    CheckpointIo(String),
     /// An error bubbled up from the generic LP baseline solvers.
     Lp(tcdp_lp::LpError),
     /// An error bubbled up from the Markov substrate.
@@ -174,6 +194,17 @@ impl std::fmt::Display for TplError {
                 )
             }
             TplError::EmptyTimeline => write!(f, "no releases observed yet"),
+            TplError::CheckpointVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint version {found} is not supported (this build reads version \
+                     {supported})"
+                )
+            }
+            TplError::CorruptCheckpoint(reason) => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
+            TplError::CheckpointIo(reason) => write!(f, "checkpoint io error: {reason}"),
             TplError::Lp(e) => write!(f, "LP baseline error: {e}"),
             TplError::Markov(e) => write!(f, "markov substrate error: {e}"),
             TplError::Mech(e) => write!(f, "mechanism substrate error: {e}"),

@@ -157,6 +157,14 @@ impl TemporalLossFunction {
         self.warm.lock().expect("warm cache lock").clone()
     }
 
+    /// Seed the warm-witness cache, e.g. from a resumed checkpoint. The
+    /// caller ([`crate::checkpoint`]) validates the witness shape against
+    /// the matrix first; a behaviorally stale witness is harmless — it is
+    /// revalidated against Theorem 4 before every use.
+    pub(crate) fn restore_warm(&self, witness: Option<LossWitness>) {
+        *self.warm.lock().expect("warm cache lock") = witness;
+    }
+
     /// Whether this correlation amplifies *nothing*: `L ≡ 0`, which holds
     /// exactly when all rows are equal (the previous/next value carries no
     /// information about the current one).

@@ -9,95 +9,283 @@
 //!
 //! This module provides both views:
 //!
-//! * [`PopulationAccountant`] — one [`TplAccountant`] per user over a
-//!   *shared* budget timeline; the population leakage is the per-time
-//!   maximum over users.
+//! * [`PopulationAccountant`] — per-user accounting over a *shared*
+//!   budget timeline, **sharded by distinct adversary**: users with equal
+//!   adversary models share one [`TplAccountant`] (their series are
+//!   identical by construction), so cost scales with the number of
+//!   distinct mobility patterns, not the number of users, and shards fan
+//!   out across threads behind the default-on `parallel` feature. The
+//!   population leakage is the per-time maximum over users, merged in
+//!   deterministic group order (bit-identical to serial and to naive
+//!   per-user accounting).
 //! * [`personalized_plans`] — per-user Algorithm 2/3 plans for per-user
 //!   targets, plus the paper's line-11 combination (minimum budget) when a
 //!   single shared mechanism must serve everyone.
 
 use crate::accountant::TplAccountant;
 use crate::adversary::AdversaryT;
-use crate::loss::TemporalLossFunction;
 use crate::release::{population_plan, quantified_plan, upper_bound_plan, PlanKind, ReleasePlan};
-use crate::{Result, TplError};
+use crate::{check_epsilon, Result, TplError};
 use std::sync::Arc;
 
-/// Per-user leakage accounting over one shared release timeline.
+/// Minimum number of distinct-adversary shards before a population
+/// operation fans out across threads (below this the spawn overhead
+/// dominates the per-shard work).
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_GROUPS: usize = 4;
+
+/// One accounting shard: every user whose adversary model equals
+/// `adversary`, sharing a single [`TplAccountant`]. The release timeline
+/// is population-wide, so all members of a shard have *identical*
+/// leakage series — one recursion serves them all.
+#[derive(Debug, Clone)]
+struct UserGroup {
+    adversary: AdversaryT,
+    /// Original user indices, ascending (construction scans users in
+    /// order, so `members[0]` is the group's lowest index and group
+    /// order is first-seen order — both facts the deterministic
+    /// tie-breaking below relies on).
+    members: Vec<usize>,
+    acc: TplAccountant,
+}
+
+/// Per-user leakage accounting over one shared release timeline, sharded
+/// by distinct adversary.
 ///
-/// Users with the *same* adversary model share one
-/// [`TemporalLossFunction`] per side (via
-/// [`TplAccountant::with_shared_losses`]): a population of N users over
-/// k distinct mobility patterns builds k Algorithm 1 pruning indexes,
-/// not N, and identical per-user recursions hit the shared warm-witness
-/// cache. Behaviorally invisible — every user's series is bit-identical
-/// to a standalone [`TplAccountant`].
+/// Users with the *same* adversary model are grouped into one shard
+/// holding a single [`TplAccountant`]: because the budget timeline is
+/// shared population-wide, every member of a shard has a bit-identical
+/// leakage series, so a population of N users over k distinct mobility
+/// patterns performs k leakage recursions (and builds k Algorithm 1
+/// pruning indexes), not N. Observation and queries fan the shards out
+/// across threads via `std::thread::scope` behind the default-on
+/// `parallel` feature; shard results are merged in deterministic group
+/// order, so sharded answers are bit-identical to the serial path (and
+/// to naive per-user accounting — property-tested in
+/// `tests/properties.rs`).
 #[derive(Debug, Clone)]
 pub struct PopulationAccountant {
-    users: Vec<TplAccountant>,
+    /// Shards in first-seen order of their adversary: `groups[g]`'s
+    /// minimum member index is strictly increasing in `g`.
+    groups: Vec<UserGroup>,
+    /// `membership[i]` is the shard of user `i`.
+    membership: Vec<usize>,
 }
 
 impl PopulationAccountant {
-    /// One accountant per user, from their adversary models; loss
-    /// functions are deduplicated across users with equal adversaries.
+    /// Build the sharded accountant from per-user adversary models;
+    /// users with equal adversaries share one shard (linear-scan dedup:
+    /// real populations have few distinct correlation patterns).
     pub fn new(adversaries: &[AdversaryT]) -> Result<Self> {
         if adversaries.is_empty() {
             return Err(TplError::EmptyTimeline);
         }
-        // One shared loss pair per distinct adversary (linear-scan dedup:
-        // real populations have few distinct correlation patterns).
-        type SharedLosses = (
-            Option<Arc<TemporalLossFunction>>,
-            Option<Arc<TemporalLossFunction>>,
-        );
-        let mut distinct: Vec<(&AdversaryT, SharedLosses)> = Vec::new();
-        let users = adversaries
-            .iter()
-            .map(|adv| {
-                let shared = match distinct.iter().find(|(a, _)| *a == adv) {
-                    Some((_, losses)) => losses.clone(),
-                    None => {
-                        let losses = (
+        let mut groups: Vec<UserGroup> = Vec::new();
+        let mut membership = Vec::with_capacity(adversaries.len());
+        for (i, adv) in adversaries.iter().enumerate() {
+            match groups.iter_mut().position(|g| g.adversary == *adv) {
+                Some(g) => {
+                    groups[g].members.push(i);
+                    membership.push(g);
+                }
+                None => {
+                    membership.push(groups.len());
+                    groups.push(UserGroup {
+                        adversary: adv.clone(),
+                        members: vec![i],
+                        acc: TplAccountant::with_shared_losses(
                             adv.backward_loss().map(Arc::new),
                             adv.forward_loss().map(Arc::new),
-                        );
-                        distinct.push((adv, losses.clone()));
-                        losses
-                    }
-                };
-                TplAccountant::with_shared_losses(shared.0, shared.1)
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Self { groups, membership })
+    }
+
+    /// Rebuild from checkpointed parts; `groups` must partition
+    /// `0..num_users` (validated by the caller in [`crate::checkpoint`]).
+    pub(crate) fn from_parts(
+        parts: Vec<(AdversaryT, Vec<usize>, TplAccountant)>,
+        num_users: usize,
+    ) -> Self {
+        let mut membership = vec![0usize; num_users];
+        let groups = parts
+            .into_iter()
+            .enumerate()
+            .map(|(g, (adversary, members, acc))| {
+                for &i in &members {
+                    membership[i] = g;
+                }
+                UserGroup {
+                    adversary,
+                    members,
+                    acc,
+                }
             })
             .collect();
-        Ok(Self { users })
+        Self { groups, membership }
+    }
+
+    /// The checkpointable parts: per shard, its adversary, its member
+    /// indices, and its accountant.
+    pub(crate) fn parts(&self) -> impl Iterator<Item = (&AdversaryT, &[usize], &TplAccountant)> {
+        self.groups
+            .iter()
+            .map(|g| (&g.adversary, g.members.as_slice(), &g.acc))
     }
 
     /// Number of users tracked.
     pub fn num_users(&self) -> usize {
-        self.users.len()
+        self.membership.len()
     }
 
-    /// Record a shared release of budget `eps` for every user.
-    pub fn observe_release(&mut self, eps: f64) -> Result<()> {
-        for acc in &mut self.users {
-            acc.observe_release(eps)?;
+    /// Number of distinct-adversary shards — the quantity observation
+    /// and query cost actually scales with.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The thread count the default entry points fan out over: 1 (serial)
+    /// unless the `parallel` feature is on and there are enough shards.
+    fn default_threads(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        if self.groups.len() >= PARALLEL_MIN_GROUPS {
+            return std::thread::available_parallelism().map_or(1, usize::from);
         }
+        1
+    }
+
+    /// Run `f` over every shard (immutably), fanning contiguous chunks
+    /// of the group list out over at most `threads` workers, and return
+    /// the per-shard results *in group order* — the deterministic merge
+    /// order every query folds over. With `threads <= 1` this is a plain
+    /// serial loop over the same order.
+    fn map_groups<T: Send>(
+        groups: &[UserGroup],
+        threads: usize,
+        f: impl Fn(&UserGroup) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = threads.clamp(1, groups.len().max(1));
+            if threads > 1 {
+                let chunk = groups.len().div_ceil(threads);
+                let f = &f;
+                let collected = std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .chunks(chunk)
+                        .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<_>>()))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("population shard worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                return collected.into_iter().collect();
+            }
+        }
+        let _ = threads;
+        groups.iter().map(f).collect()
+    }
+
+    /// Mutable counterpart of [`Self::map_groups`], for `observe_release`.
+    ///
+    /// Unlike the immutable variant, the serial path here attempts
+    /// *every* shard before reporting the first error (in group order) —
+    /// exactly what the parallel fan-out does — so an error leaves the
+    /// same shards advanced regardless of the thread count.
+    fn map_groups_mut<T: Send>(
+        groups: &mut [UserGroup],
+        threads: usize,
+        f: impl Fn(&mut UserGroup) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        #[cfg(feature = "parallel")]
+        {
+            let threads = threads.clamp(1, groups.len().max(1));
+            if threads > 1 {
+                let chunk = groups.len().div_ceil(threads);
+                let f = &f;
+                let collected = std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .chunks_mut(chunk)
+                        .map(|part| scope.spawn(move || part.iter_mut().map(f).collect::<Vec<_>>()))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("population shard worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                return collected.into_iter().collect();
+            }
+        }
+        let _ = threads;
+        let attempted: Vec<Result<T>> = groups.iter_mut().map(f).collect();
+        attempted.into_iter().collect()
+    }
+
+    /// Record a shared release of budget `eps` for every user: one BPL
+    /// recursion step per *distinct adversary*, fanned out across shards.
+    pub fn observe_release(&mut self, eps: f64) -> Result<()> {
+        let threads = self.default_threads();
+        self.observe_release_sharded(eps, threads)
+    }
+
+    /// [`Self::observe_release`] forced onto an explicit worker count —
+    /// the differential-test hook holding sharded observation
+    /// bit-identical to serial regardless of the host's parallelism.
+    #[cfg(feature = "parallel")]
+    pub fn observe_release_forced_parallel(&mut self, eps: f64, threads: usize) -> Result<()> {
+        self.observe_release_sharded(eps, threads)
+    }
+
+    fn observe_release_sharded(&mut self, eps: f64, threads: usize) -> Result<()> {
+        // Validate once up front so a bad budget cannot advance a prefix
+        // of the shards before the error surfaces.
+        check_epsilon(eps)?;
+        Self::map_groups_mut(&mut self.groups, threads, |g| g.acc.observe_release(eps))?;
         Ok(())
     }
 
-    /// Per-user accountants.
+    /// The accountant serving user `i` (shared by every user with the
+    /// same adversary — their series are identical by construction).
     pub fn user(&self, i: usize) -> Option<&TplAccountant> {
-        self.users.get(i)
+        self.membership.get(i).map(|&g| &self.groups[g].acc)
     }
 
     /// The population TPL series: per-time maximum over users
-    /// (Definition 5's `max_{∀A^T_i}`).
+    /// (Definition 5's `max_{∀A^T_i}`), computed per shard and merged in
+    /// group order.
     pub fn tpl_series(&self) -> Result<Vec<f64>> {
+        self.tpl_series_sharded(self.default_threads())
+    }
+
+    /// [`Self::tpl_series`] forced onto an explicit worker count.
+    #[cfg(feature = "parallel")]
+    pub fn tpl_series_forced_parallel(&self, threads: usize) -> Result<Vec<f64>> {
+        self.tpl_series_sharded(threads)
+    }
+
+    fn tpl_series_sharded(&self, threads: usize) -> Result<Vec<f64>> {
+        let per_group = Self::map_groups(&self.groups, threads, |g| g.acc.tpl_series())?;
         let mut out: Option<Vec<f64>> = None;
-        for acc in &self.users {
-            let series = acc.tpl_series()?;
+        for series in per_group {
             out = Some(match out {
                 None => series,
-                Some(prev) => prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect(),
+                Some(prev) => {
+                    // Shards share one timeline; unequal lengths mean the
+                    // population state is inconsistent (e.g. a shard
+                    // failed mid-observation) — report it instead of
+                    // letting `zip` silently truncate the series.
+                    if prev.len() != series.len() {
+                        return Err(TplError::DimensionMismatch {
+                            expected: prev.len(),
+                            found: series.len(),
+                        });
+                    }
+                    prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect()
+                }
             });
         }
         out.ok_or(TplError::EmptyTimeline)
@@ -106,24 +294,51 @@ impl PopulationAccountant {
     /// Worst TPL over all users and times — the α in the population's
     /// α-DP_T guarantee.
     pub fn max_tpl(&self) -> Result<f64> {
-        self.tpl_series()?
-            .into_iter()
-            .fold(None, |acc: Option<f64>, v| {
-                Some(acc.map_or(v, |a| a.max(v)))
-            })
-            .ok_or(TplError::EmptyTimeline)
+        self.max_tpl_sharded(self.default_threads())
+    }
+
+    /// [`Self::max_tpl`] forced onto an explicit worker count.
+    #[cfg(feature = "parallel")]
+    pub fn max_tpl_forced_parallel(&self, threads: usize) -> Result<f64> {
+        self.max_tpl_sharded(threads)
+    }
+
+    fn max_tpl_sharded(&self, threads: usize) -> Result<f64> {
+        let per_group = Self::map_groups(&self.groups, threads, |g| g.acc.max_tpl())?;
+        Ok(per_group.into_iter().fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Index of the user with the highest current leakage.
+    ///
+    /// Tie-breaking is deterministic and documented: among users whose
+    /// worst TPL is *exactly* equal (every member of a shard, and any
+    /// shards whose maxima coincide bit-for-bit), the **lowest user
+    /// index wins**. The sharded merge preserves this because shards are
+    /// scanned in group order (ascending minimum member index) and a
+    /// later shard replaces the incumbent only on a strictly greater
+    /// value — so thread fan-out can never flip the winner.
     pub fn most_exposed_user(&self) -> Result<usize> {
-        let mut best = (0usize, f64::NEG_INFINITY);
-        for (i, acc) in self.users.iter().enumerate() {
-            let v = acc.max_tpl()?;
-            if v > best.1 {
-                best = (i, v);
-            }
+        self.most_exposed_user_sharded(self.default_threads())
+    }
+
+    /// [`Self::most_exposed_user`] forced onto an explicit worker count.
+    #[cfg(feature = "parallel")]
+    pub fn most_exposed_user_forced_parallel(&self, threads: usize) -> Result<usize> {
+        self.most_exposed_user_sharded(threads)
+    }
+
+    fn most_exposed_user_sharded(&self, threads: usize) -> Result<usize> {
+        let per_group = Self::map_groups(&self.groups, threads, |g| {
+            Ok((g.members[0], g.acc.max_tpl()?))
+        })?;
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, v) in per_group {
+            best = Some(match best {
+                Some(b) if v <= b.1 => b,
+                _ => (idx, v),
+            });
         }
-        Ok(best.0)
+        best.map(|(idx, _)| idx).ok_or(TplError::EmptyTimeline)
     }
 }
 
@@ -204,14 +419,88 @@ mod tests {
     }
 
     #[test]
-    fn equal_adversaries_share_one_loss_function() {
+    fn most_exposed_tie_breaks_to_lowest_index() {
+        // Users 1 and 2 share one shard (exact tie within the shard); the
+        // documented winner is the lowest index, 1.
+        let mut pop =
+            PopulationAccountant::new(&[weak_user(), strong_user(), strong_user()]).unwrap();
+        for _ in 0..5 {
+            pop.observe_release(0.1).unwrap();
+        }
+        assert_eq!(pop.most_exposed_user().unwrap(), 1);
+
+        // A *cross-shard* exact tie: under a uniform budget, a
+        // backward-only and a forward-only adversary over the same matrix
+        // run the same recursion (FPL is BPL reversed), so their worst
+        // TPL coincides bit for bit. Lowest index still wins.
+        let p = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.05, 0.95]]).unwrap();
+        let mut tied = PopulationAccountant::new(&[
+            AdversaryT::with_backward(p.clone()),
+            AdversaryT::with_forward(p),
+        ])
+        .unwrap();
+        for _ in 0..7 {
+            tied.observe_release(0.2).unwrap();
+        }
+        assert_eq!(tied.num_groups(), 2);
+        let m0 = tied.user(0).unwrap().max_tpl().unwrap();
+        let m1 = tied.user(1).unwrap().max_tpl().unwrap();
+        assert_eq!(m0.to_bits(), m1.to_bits(), "the tie must be exact");
+        assert_eq!(tied.most_exposed_user().unwrap(), 0);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn forced_parallel_matches_serial_bitwise() {
+        let adversaries: Vec<AdversaryT> = (0..40)
+            .map(|i| match i % 5 {
+                0 => strong_user(),
+                1 => weak_user(),
+                2 => AdversaryT::traditional(),
+                3 => AdversaryT::with_backward(
+                    TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.4, 0.6]]).unwrap(),
+                ),
+                _ => AdversaryT::with_forward(
+                    TransitionMatrix::from_rows(vec![vec![0.6, 0.4], vec![0.1, 0.9]]).unwrap(),
+                ),
+            })
+            .collect();
+        let mut serial = PopulationAccountant::new(&adversaries).unwrap();
+        let mut sharded = PopulationAccountant::new(&adversaries).unwrap();
+        for t in 0..12 {
+            let eps = 0.05 + 0.01 * (t % 4) as f64;
+            serial.observe_release_forced_parallel(eps, 1).unwrap();
+            sharded.observe_release_forced_parallel(eps, 3).unwrap();
+            for threads in [2, 3, 5] {
+                let a = serial.tpl_series_forced_parallel(1).unwrap();
+                let b = sharded.tpl_series_forced_parallel(threads).unwrap();
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    serial.max_tpl_forced_parallel(1).unwrap().to_bits(),
+                    sharded.max_tpl_forced_parallel(threads).unwrap().to_bits()
+                );
+                assert_eq!(
+                    serial.most_exposed_user_forced_parallel(1).unwrap(),
+                    sharded.most_exposed_user_forced_parallel(threads).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_adversaries_share_one_shard() {
         let mut pop =
             PopulationAccountant::new(&[strong_user(), strong_user(), weak_user()]).unwrap();
+        assert_eq!(pop.num_users(), 3);
+        assert_eq!(pop.num_groups(), 2, "two distinct adversaries");
         for _ in 0..6 {
             pop.observe_release(0.1).unwrap();
         }
         let series = pop.tpl_series().unwrap();
-        // Sharing is behaviorally invisible: each user matches a
+        // Sharding is behaviorally invisible: each user matches a
         // standalone accountant bit for bit.
         for (i, adv) in [strong_user(), strong_user(), weak_user()]
             .iter()
@@ -228,17 +517,30 @@ mod tests {
             );
         }
         assert_eq!(series.len(), 6);
-        // ...but the two equal-adversary users drive one shared eval
-        // counter (both users' recursions land on the same object), so
-        // their counts coincide and exceed the lone weak user's.
+        // The two equal-adversary users are literally the same shard, so
+        // their eval counters are one and the same object...
         let c0 = pop.user(0).unwrap().loss_eval_count();
         let c1 = pop.user(1).unwrap().loss_eval_count();
-        let c2 = pop.user(2).unwrap().loss_eval_count();
         assert_eq!(c0, c1);
-        assert!(
-            c0 > c2,
-            "shared counter aggregates both users: {c0} vs {c2}"
-        );
+        // ...and the cost of the whole population scales with distinct
+        // adversaries, not users: a 100-user population over the same two
+        // patterns performs exactly the same evaluations.
+        let many: Vec<AdversaryT> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    strong_user()
+                } else {
+                    weak_user()
+                }
+            })
+            .collect();
+        let mut big = PopulationAccountant::new(&many).unwrap();
+        assert_eq!(big.num_groups(), 2);
+        for _ in 0..6 {
+            big.observe_release(0.1).unwrap();
+        }
+        big.tpl_series().unwrap();
+        assert_eq!(big.user(0).unwrap().loss_eval_count(), c0);
     }
 
     #[test]

@@ -20,13 +20,22 @@
 //! # JSON file, printing the running leakage as releases arrive.
 //! printf '0.1\n0.1\n0.1\n' | tcdp-cli audit --pb @pb.json --budgets - --stream
 //! tcdp-cli audit --pb @pb.json --budgets @trail.json --w 5
+//!
+//! # Stop and resume a very long audit mid-timeline. The checkpoint
+//! # carries the adversary, the budget trail, the BPL recursion state,
+//! # the cached FPL/TPL series, and the Algorithm 1 warm witnesses, so
+//! # the resumed audit is bit-identical to an uninterrupted one.
+//! tcdp-cli audit --pb @pb.json --budgets @jan.json --checkpoint state.json
+//! tcdp-cli audit --resume state.json --budgets @feb.json --w 24 \
+//!          --checkpoint state.json
 //! ```
 
 use std::io::BufRead;
+use std::path::Path;
 use std::process::ExitCode;
 use tcdp::core::composition::w_event_guarantee;
 use tcdp::core::supremum::{supremum_of_matrix, Supremum};
-use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, TplAccountant};
+use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, TplAccountant};
 use tcdp::markov::TransitionMatrix;
 
 const USAGE: &str = "\
@@ -36,7 +45,8 @@ USAGE:
   tcdp-cli quantify [--pb M] [--pf M] --eps E --t T
   tcdp-cli supremum --matrix M --eps E
   tcdp-cli plan     [--pb M] [--pf M] --alpha A [--horizon T]
-  tcdp-cli audit    [--pb M] [--pf M] --budgets SPEC [--w W1,W2,...] [--stream]
+  tcdp-cli audit    [--pb M] [--pf M] [--budgets SPEC] [--w W1,W2,...]
+                    [--stream] [--checkpoint FILE] [--resume FILE]
   tcdp-cli estimate --traces FILE [--pseudo C]
   tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
 
@@ -49,6 +59,11 @@ USAGE:
   JSON array). --w emits the Theorem 2 w-event guarantee per window length
   next to the independent-composition window sum; --stream prints each
   release's running report as it is observed.
+  `audit --checkpoint FILE` saves the accountant state after the audit;
+  `audit --resume FILE` restores it and continues the same timeline (the
+  checkpoint carries the adversary, so drop --pb/--pf; --budgets becomes
+  optional — omit it to just re-summarize). A stopped-and-resumed audit
+  emits byte-identical guarantees to an uninterrupted one.
   `estimate` fits P^F/P^B from a trace file (one trajectory per line) and
   prints them as JSON usable with --pb/--pf. `report` is a one-shot audit:
   actual leakage of an eps-per-step stream plus the plans that would meet
@@ -312,9 +327,20 @@ fn read_budget_list(spec: &str) -> Result<Vec<f64>, String> {
 }
 
 fn audit(opts: &Opts) -> Result<(), String> {
-    let spec = opts
-        .get("budgets")
-        .ok_or("--budgets is required (inline CSV, @file.json, or '-' for stdin)")?;
+    let resume = opts.get("resume");
+    let spec = match (opts.get("budgets"), resume) {
+        (Some(spec), _) => Some(spec),
+        // Resuming without new budgets just re-summarizes the restored
+        // timeline.
+        (None, Some(_)) => None,
+        (None, None) => {
+            return Err(
+                "--budgets is required (inline CSV, @file.json, or '-' for stdin) \
+                 unless --resume restores a trail"
+                    .into(),
+            )
+        }
+    };
     let windows: Vec<usize> = match opts.get("w") {
         None => Vec::new(),
         Some(raw) => raw
@@ -323,8 +349,21 @@ fn audit(opts: &Opts) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
     };
     let stream = opts.get("stream").is_some();
-    let adv = opts.adversary()?;
-    let mut acc = TplAccountant::new(&adv);
+    let mut acc = match resume {
+        Some(path) => {
+            if opts.get("pb").is_some() || opts.get("pf").is_some() {
+                return Err(
+                    "--resume restores the adversary from the checkpoint; drop --pb/--pf".into(),
+                );
+            }
+            let cp = Checkpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
+            TplAccountant::resume(&cp).map_err(|e| e.to_string())?
+        }
+        None => TplAccountant::new(&opts.adversary()?),
+    };
+    if let (Some(path), true) = (resume, stream) {
+        println!("resumed {} releases from {path}", acc.len());
+    }
     let observe = |acc: &mut TplAccountant, b: f64| -> Result<(), String> {
         let report = acc.observe_release(b).map_err(|e| e.to_string())?;
         if stream {
@@ -338,7 +377,7 @@ fn audit(opts: &Opts) -> Result<(), String> {
         }
         Ok(())
     };
-    if spec == "-" {
+    if spec == Some("-") {
         // Genuinely streamed: each stdin line is observed (and reported
         // under --stream) as it arrives, without waiting for EOF. A
         // trail that opens with '[' is instead collected to EOF and
@@ -373,7 +412,7 @@ fn audit(opts: &Opts) -> Result<(), String> {
                 observe(&mut acc, b)?;
             }
         }
-    } else {
+    } else if let Some(spec) = spec {
         for b in read_budget_list(spec)? {
             observe(&mut acc, b)?;
         }
@@ -395,6 +434,15 @@ fn audit(opts: &Opts) -> Result<(), String> {
             independent = independent.max(sum);
         }
         println!("{w}-event guarantee: {g:.4}  (independent composition: {independent:.4})");
+    }
+    if let Some(path) = opts.get("checkpoint") {
+        // Saved after the queries above, so the checkpoint carries the
+        // freshly-filled series cache and warm witnesses: the resumed
+        // audit's first answers cost zero loss evaluations.
+        acc.checkpoint()
+            .save(Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("checkpoint saved to {path} (T = {})", acc.len());
     }
     Ok(())
 }

@@ -1,0 +1,299 @@
+//! Integration tests for the resumable-audit checkpoint subsystem: a
+//! stopped-and-resumed accountant must be indistinguishable — bit for
+//! bit, and in loss-evaluation behavior — from one that never stopped.
+
+use tcdp::core::checkpoint::{Checkpoint, CheckpointKind, CHECKPOINT_VERSION};
+use tcdp::core::personalized::PopulationAccountant;
+use tcdp::core::{AdversaryT, TplAccountant, TplError};
+use tcdp::markov::TransitionMatrix;
+
+fn moderate() -> TransitionMatrix {
+    TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.0, 1.0]]).unwrap()
+}
+
+fn mixed() -> TransitionMatrix {
+    TransitionMatrix::from_rows(vec![vec![0.85, 0.15], vec![0.1, 0.9]]).unwrap()
+}
+
+fn to_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Observe `budgets[..cut]`, checkpoint through JSON, resume, observe the
+/// rest — then compare against the uninterrupted run.
+fn stop_and_resume(budgets: &[f64], cut: usize) -> (TplAccountant, TplAccountant) {
+    let mut uninterrupted = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    let mut first_half = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    for &b in &budgets[..cut] {
+        first_half.observe_release(b).unwrap();
+        uninterrupted.observe_release(b).unwrap();
+    }
+    // Query both so the checkpoint carries a warm cache — and the
+    // uninterrupted accountant is in the same cache state.
+    if cut > 0 {
+        first_half.tpl_series().unwrap();
+        uninterrupted.tpl_series().unwrap();
+    }
+    let json = first_half.checkpoint().to_json();
+    let mut resumed = TplAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
+    for &b in &budgets[cut..] {
+        resumed.observe_release(b).unwrap();
+        uninterrupted.observe_release(b).unwrap();
+    }
+    (resumed, uninterrupted)
+}
+
+#[test]
+fn resume_mid_timeline_is_bit_identical() {
+    let budgets = [0.3, 0.1, 0.2, 0.1, 0.25, 0.15, 0.05, 0.4];
+    for cut in [0, 3, budgets.len()] {
+        let (resumed, uninterrupted) = stop_and_resume(&budgets, cut);
+        assert_eq!(resumed.len(), uninterrupted.len(), "cut={cut}");
+        assert_eq!(
+            to_bits(resumed.bpl_series()),
+            to_bits(uninterrupted.bpl_series()),
+            "cut={cut}"
+        );
+        assert_eq!(
+            to_bits(&resumed.tpl_series().unwrap()),
+            to_bits(&uninterrupted.tpl_series().unwrap()),
+            "cut={cut}"
+        );
+        assert_eq!(
+            to_bits(&resumed.fpl_series().unwrap()),
+            to_bits(&uninterrupted.fpl_series().unwrap()),
+            "cut={cut}"
+        );
+        assert_eq!(
+            resumed.max_tpl().unwrap().to_bits(),
+            uninterrupted.max_tpl().unwrap().to_bits(),
+            "cut={cut}"
+        );
+    }
+}
+
+#[test]
+fn resume_preserves_loss_eval_count_behavior() {
+    let budgets = [0.1, 0.2, 0.1, 0.15, 0.1, 0.3];
+    let cut = 4;
+
+    // Uninterrupted: record how many evaluations the continuation costs.
+    let mut uninterrupted = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    for &b in &budgets[..cut] {
+        uninterrupted.observe_release(b).unwrap();
+    }
+    uninterrupted.tpl_series().unwrap();
+    let uninterrupted_before = uninterrupted.loss_eval_count();
+    for &b in &budgets[cut..] {
+        uninterrupted.observe_release(b).unwrap();
+    }
+    uninterrupted.tpl_series().unwrap();
+    uninterrupted.max_tpl().unwrap();
+    let uninterrupted_delta = uninterrupted.loss_eval_count() - uninterrupted_before;
+
+    // Stopped and resumed: the restored cache and warm witnesses mean
+    // the continuation costs *exactly* the same number of evaluations.
+    let mut saved = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    for &b in &budgets[..cut] {
+        saved.observe_release(b).unwrap();
+    }
+    saved.tpl_series().unwrap();
+    let json = saved.checkpoint().to_json();
+    let mut resumed = TplAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
+
+    // First: queries on the restored state are free (the series cache
+    // came back with the checkpoint).
+    resumed.tpl_series().unwrap();
+    resumed.max_tpl().unwrap();
+    assert_eq!(
+        resumed.loss_eval_count(),
+        0,
+        "restored cache must serve queries without re-evaluation"
+    );
+
+    for &b in &budgets[cut..] {
+        resumed.observe_release(b).unwrap();
+    }
+    resumed.tpl_series().unwrap();
+    resumed.max_tpl().unwrap();
+    assert_eq!(resumed.loss_eval_count(), uninterrupted_delta);
+}
+
+#[test]
+fn checkpoint_survives_file_round_trip() {
+    let mut acc = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    acc.observe_uniform(0.1, 12).unwrap();
+    acc.tpl_series().unwrap();
+    let path = std::env::temp_dir().join("tcdp_checkpoint_roundtrip.json");
+    acc.checkpoint().save(&path).unwrap();
+    let resumed = TplAccountant::resume(&Checkpoint::load(&path).unwrap()).unwrap();
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&acc.tpl_series().unwrap())
+    );
+    assert!(matches!(
+        Checkpoint::load(std::path::Path::new("/nonexistent/tcdp.json")),
+        Err(TplError::CheckpointIo(_))
+    ));
+}
+
+#[test]
+fn population_checkpoint_round_trips_with_shards() {
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+        AdversaryT::with_both(moderate(), moderate()).unwrap(), // same shard as 0
+        AdversaryT::with_backward(mixed()),
+        AdversaryT::with_forward(mixed()),
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    let mut uninterrupted = PopulationAccountant::new(&adversaries).unwrap();
+    let budgets = [0.3, 0.1, 0.2, 0.15];
+    for &b in &budgets[..2] {
+        pop.observe_release(b).unwrap();
+        uninterrupted.observe_release(b).unwrap();
+    }
+    pop.tpl_series().unwrap();
+    let cp = pop.checkpoint();
+    assert_eq!(cp.kind(), CheckpointKind::PopulationAccountant);
+    let mut resumed =
+        PopulationAccountant::resume(&Checkpoint::from_json(&cp.to_json()).unwrap()).unwrap();
+    assert_eq!(resumed.num_users(), 5);
+    assert_eq!(resumed.num_groups(), 4);
+    for &b in &budgets[2..] {
+        resumed.observe_release(b).unwrap();
+        uninterrupted.observe_release(b).unwrap();
+    }
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&uninterrupted.tpl_series().unwrap())
+    );
+    assert_eq!(
+        resumed.max_tpl().unwrap().to_bits(),
+        uninterrupted.max_tpl().unwrap().to_bits()
+    );
+    assert_eq!(
+        resumed.most_exposed_user().unwrap(),
+        uninterrupted.most_exposed_user().unwrap()
+    );
+    // Per-user views too.
+    for i in 0..5 {
+        assert_eq!(
+            to_bits(&resumed.user(i).unwrap().tpl_series().unwrap()),
+            to_bits(&uninterrupted.user(i).unwrap().tpl_series().unwrap()),
+            "user {i}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_checkpoints_error_honestly() {
+    // Bad JSON.
+    assert!(matches!(
+        Checkpoint::from_json("][ garbage"),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // Valid JSON, wrong format tag.
+    assert!(matches!(
+        Checkpoint::from_json(r#"{"format":"other","version":1,"kind":"tpl-accountant"}"#),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // Unsupported version.
+    let future = format!(
+        r#"{{"format":"tcdp-checkpoint","version":{},"kind":"tpl-accountant","payload":{{}}}}"#,
+        CHECKPOINT_VERSION + 7
+    );
+    match Checkpoint::from_json(&future) {
+        Err(TplError::CheckpointVersion { found, supported }) => {
+            assert_eq!(found, CHECKPOINT_VERSION + 7);
+            assert_eq!(supported, CHECKPOINT_VERSION);
+        }
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+    // Unknown kind.
+    assert!(matches!(
+        Checkpoint::from_json(
+            r#"{"format":"tcdp-checkpoint","version":1,"kind":"mystery","payload":{}}"#
+        ),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // Structurally valid envelope, hollow payload.
+    let hollow = r#"{"format":"tcdp-checkpoint","version":1,"kind":"tpl-accountant","payload":{}}"#;
+    let cp = Checkpoint::from_json(hollow).unwrap();
+    assert!(matches!(
+        TplAccountant::resume(&cp),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+}
+
+#[test]
+fn doctored_payloads_are_rejected_not_panicked() {
+    let mut acc = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    acc.observe_uniform(0.1, 4).unwrap();
+    acc.tpl_series().unwrap();
+    let json = acc.checkpoint().to_json();
+
+    // A witness pointing past the matrix rows must be rejected (it
+    // would otherwise index out of bounds inside Algorithm 1). The
+    // prefix-replace turns whatever row index was stored into a huge one
+    // (e.g. `0.0` → `990.0`).
+    let doctored = json.replace("\"q_row\":", "\"q_row\":99");
+    match TplAccountant::resume(&Checkpoint::from_json(&doctored).unwrap()) {
+        Err(TplError::CorruptCheckpoint(reason)) => {
+            assert!(reason.contains("out of range"), "{reason}")
+        }
+        other => panic!("expected corrupt-checkpoint error, got {other:?}"),
+    }
+
+    // A negative budget smuggled into the trail is rejected.
+    let doctored = json.replace("\"budgets\":[0.1", "\"budgets\":[-0.1");
+    assert_ne!(doctored, json, "the budget trail must have been doctored");
+    let cp = Checkpoint::from_json(&doctored).unwrap();
+    assert!(matches!(
+        TplAccountant::resume(&cp),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+
+    // A negative BPL value is rejected too: it would be fed back into
+    // `L(α)` as α and understate leakage until then.
+    let doctored = json.replace("\"bpl\":[0.1", "\"bpl\":[-0.1");
+    assert_ne!(doctored, json, "the bpl series must have been doctored");
+    let cp = Checkpoint::from_json(&doctored).unwrap();
+    assert!(matches!(
+        TplAccountant::resume(&cp),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+}
+
+#[test]
+fn population_partition_is_validated() {
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    pop.observe_release(0.2).unwrap();
+    let json = pop.checkpoint().to_json();
+    // Claiming one more user than the shards cover must fail.
+    let doctored = json.replace("\"num_users\":2.0", "\"num_users\":3.0");
+    match PopulationAccountant::resume(&Checkpoint::from_json(&doctored).unwrap()) {
+        Err(TplError::CorruptCheckpoint(reason)) => {
+            assert!(reason.contains("no shard"), "{reason}")
+        }
+        other => panic!("expected corrupt-checkpoint error, got {other:?}"),
+    }
+
+    // Reordering the shards would silently flip the documented
+    // lowest-index tie-break of `most_exposed_user`; resume rejects it.
+    let swapped = json
+        .replace("\"members\":[0.0]", "\"members\":[SWAP]")
+        .replace("\"members\":[1.0]", "\"members\":[0.0]")
+        .replace("\"members\":[SWAP]", "\"members\":[1.0]");
+    assert_ne!(swapped, json, "the shard order must have been doctored");
+    match PopulationAccountant::resume(&Checkpoint::from_json(&swapped).unwrap()) {
+        Err(TplError::CorruptCheckpoint(reason)) => {
+            assert!(reason.contains("ascending first member"), "{reason}")
+        }
+        other => panic!("expected corrupt-checkpoint error, got {other:?}"),
+    }
+}

@@ -189,6 +189,109 @@ fn audit_reads_json_budget_files() {
 }
 
 #[test]
+fn audit_checkpoint_then_resume_is_byte_identical() {
+    let dir = std::env::temp_dir();
+    let cp = dir.join("tcdp_cli_checkpoint.json");
+    let cp_arg = cp.display().to_string();
+    let pb = "[[0.9,0.1],[0.2,0.8]]";
+    let pf = "[[0.85,0.15],[0.1,0.9]]";
+    // The uninterrupted reference audit over the whole trail.
+    let full = run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--pf",
+        pf,
+        "--budgets",
+        "0.3,0.1,0.2,0.1,0.25,0.15",
+        "--w",
+        "2,3,6",
+    ]);
+    // The same trail audited in two halves with a stop in the middle.
+    run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--pf",
+        pf,
+        "--budgets",
+        "0.3,0.1,0.2",
+        "--checkpoint",
+        &cp_arg,
+    ]);
+    let resumed = run_ok(&[
+        "audit",
+        "--resume",
+        &cp_arg,
+        "--budgets",
+        "0.1,0.25,0.15",
+        "--w",
+        "2,3,6",
+    ]);
+    // Every per-window guarantee — and the whole summary — must be
+    // byte-identical to the uninterrupted run.
+    let summary = |s: &str| {
+        s.lines()
+            .filter(|l| {
+                l.starts_with("TPL")
+                    || l.starts_with("worst:")
+                    || l.starts_with("user-level")
+                    || l.contains("-event guarantee:")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        summary(&full),
+        summary(&resumed),
+        "\nfull:\n{full}\nresumed:\n{resumed}"
+    );
+    let guarantees = resumed
+        .lines()
+        .filter(|l| l.contains("-event guarantee:"))
+        .count();
+    assert_eq!(guarantees, 3, "{resumed}");
+
+    // Resuming without new budgets re-summarizes the restored timeline.
+    let cp2 = dir.join("tcdp_cli_checkpoint2.json");
+    let cp2_arg = cp2.display().to_string();
+    run_ok(&[
+        "audit",
+        "--resume",
+        &cp_arg,
+        "--budgets",
+        "0.1,0.25,0.15",
+        "--checkpoint",
+        &cp2_arg,
+    ]);
+    let summarized = run_ok(&["audit", "--resume", &cp2_arg, "--w", "2,3,6"]);
+    assert_eq!(summary(&full), summary(&summarized), "{summarized}");
+}
+
+#[test]
+fn audit_resume_rejects_bad_checkpoints() {
+    let dir = std::env::temp_dir();
+    // Corrupt file: honest error, no panic.
+    let bad = dir.join("tcdp_cli_bad_checkpoint.json");
+    std::fs::write(&bad, "{\"not\": \"a checkpoint\"}").expect("write temp file");
+    let err = run_err(&["audit", "--resume", &bad.display().to_string()]);
+    assert!(err.contains("corrupt checkpoint"), "{err}");
+    // Missing file: honest io error.
+    let err = run_err(&["audit", "--resume", "/nonexistent/tcdp.json"]);
+    assert!(err.contains("checkpoint io error"), "{err}");
+    // --resume and --pb conflict.
+    std::fs::write(&bad, "{}").expect("write temp file");
+    let err = run_err(&[
+        "audit",
+        "--resume",
+        &bad.display().to_string(),
+        "--pb",
+        "[[1,0],[0,1]]",
+    ]);
+    assert!(err.contains("drop --pb/--pf"), "{err}");
+}
+
+#[test]
 fn matrix_from_file() {
     let dir = std::env::temp_dir();
     let path = dir.join("tcdp_cli_test_matrix.json");

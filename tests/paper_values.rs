@@ -5,8 +5,9 @@
 //! Table II's analytic rows.
 
 use tcdp::core::composition::{table_ii, w_event_guarantee};
+use tcdp::core::personalized::PopulationAccountant;
 use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
-use tcdp::core::{temporal_loss, TplAccountant};
+use tcdp::core::{temporal_loss, AdversaryT, TplAccountant};
 use tcdp::markov::TransitionMatrix;
 
 fn moderate() -> TransitionMatrix {
@@ -126,6 +127,126 @@ fn remark1_bounds_hold_for_figure2_matrices() {
             assert!(l >= 0.0 && l <= alpha + 1e-12);
         }
     }
+}
+
+/// Population-level golden values over a heterogeneous mix: the paper's
+/// Figure 3 user (moderate correlation on both sides) dominates a
+/// traditional-DP user and a backward-only user at every time point, so
+/// the population TPL series is exactly Figure 3(c)(ii).
+#[test]
+fn population_tpl_over_heterogeneous_adversaries_is_figure3_worst_user() {
+    let tpl_expect = [0.50, 0.56, 0.60, 0.62, 0.64, 0.64, 0.62, 0.60, 0.56, 0.50];
+    let adversaries = vec![
+        AdversaryT::traditional(),
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::with_backward(moderate()),
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    for _ in 0..10 {
+        pop.observe_release(0.1).unwrap();
+    }
+    let series = pop.tpl_series().unwrap();
+    for t in 0..10 {
+        assert!(
+            (series[t] - tpl_expect[t]).abs() < 0.005,
+            "population TPL t={t}: {} vs Figure 3's {}",
+            series[t],
+            tpl_expect[t]
+        );
+    }
+    assert!((pop.max_tpl().unwrap() - 0.64).abs() < 0.005);
+    // The Figure 3 user is the most exposed; the traditional user (index
+    // 0) sees only ε per step and never wins.
+    assert_eq!(pop.most_exposed_user().unwrap(), 1);
+    // The backward-only user's worst leakage is the final BPL value 0.50
+    // (Figure 3(a)(ii)) — strictly between traditional and both-sides.
+    let backward_only = pop.user(2).unwrap().max_tpl().unwrap();
+    assert!((backward_only - 0.50).abs() < 0.005, "{backward_only}");
+}
+
+/// Population golden values under *varying* budgets with a
+/// deterministic-correlation user: Example 1's self-sustaining
+/// correlation pins that user's TPL at Σ ε everywhere (Corollary 1's
+/// user level), which dominates the whole population.
+#[test]
+fn population_with_deterministic_user_pins_user_level_sum() {
+    let det = TransitionMatrix::identity(2).unwrap();
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::with_both(det.clone(), det).unwrap(),
+        AdversaryT::traditional(),
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    // Mixed trail: Σ ε = 2.0 exactly.
+    for eps in [1.0, 0.1, 0.1, 0.8] {
+        pop.observe_release(eps).unwrap();
+    }
+    let series = pop.tpl_series().unwrap();
+    for (t, &v) in series.iter().enumerate() {
+        assert!(
+            (v - 2.0).abs() < 1e-9,
+            "t={t}: deterministic user pins population TPL at Σε = 2.0, got {v}"
+        );
+    }
+    assert!((pop.max_tpl().unwrap() - 2.0).abs() < 1e-9);
+    assert_eq!(pop.most_exposed_user().unwrap(), 1);
+
+    // Under a *uniform* trail the same mix reproduces Figure 3's extreme
+    // (i): TPL constant at T·ε = 1.0.
+    let adversaries = vec![
+        AdversaryT::traditional(),
+        AdversaryT::with_both(
+            TransitionMatrix::identity(2).unwrap(),
+            TransitionMatrix::identity(2).unwrap(),
+        )
+        .unwrap(),
+    ];
+    let mut uniform = PopulationAccountant::new(&adversaries).unwrap();
+    for _ in 0..10 {
+        uniform.observe_release(0.1).unwrap();
+    }
+    for (t, &v) in uniform.tpl_series().unwrap().iter().enumerate() {
+        assert!((v - 1.0).abs() < 1e-9, "t={t}: {v}");
+    }
+    assert_eq!(uniform.most_exposed_user().unwrap(), 1);
+}
+
+/// Mixed uniform/varying-budget golden case with two equally-exposed
+/// users: the backward-only and forward-only views of the same matrix
+/// peak at the same value (the series are mirror images under a uniform
+/// trail), and the documented tie-break elects the lower index.
+#[test]
+fn population_mirror_users_tie_and_break_deterministically() {
+    let adversaries = vec![
+        AdversaryT::with_backward(moderate()),
+        AdversaryT::with_forward(moderate()),
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    for _ in 0..10 {
+        pop.observe_release(0.1).unwrap();
+    }
+    // Both users' worst leakage is Figure 3's 0.50 endpoint.
+    for i in 0..2 {
+        let worst = pop.user(i).unwrap().max_tpl().unwrap();
+        assert!((worst - 0.50).abs() < 0.005, "user {i}: {worst}");
+    }
+    // The population series is the elementwise max of Figure 3(a)(ii)
+    // and its reverse — symmetric, endpoints at 0.50.
+    let series = pop.tpl_series().unwrap();
+    let bpl_expect: [f64; 10] = [0.10, 0.18, 0.25, 0.30, 0.35, 0.39, 0.42, 0.45, 0.48, 0.50];
+    for t in 0..10 {
+        let expect = bpl_expect[t].max(bpl_expect[9 - t]);
+        assert!(
+            (series[t] - expect).abs() < 0.005,
+            "t={t}: {} vs {expect}",
+            series[t]
+        );
+    }
+    assert_eq!(
+        pop.most_exposed_user().unwrap(),
+        0,
+        "lowest index wins the tie"
+    );
 }
 
 #[test]

@@ -12,13 +12,16 @@
 //!   round-trips at stationarity.
 
 use proptest::prelude::*;
+#[cfg(feature = "parallel")]
+use tcdp::core::alg1::temporal_loss_witness_forced_parallel;
 use tcdp::core::alg1::{
-    temporal_loss, temporal_loss_brute_force, temporal_loss_lp,
-    temporal_loss_witness_forced_parallel, temporal_loss_witness_unpruned, LpBaseline,
+    temporal_loss, temporal_loss_brute_force, temporal_loss_lp, temporal_loss_witness_unpruned,
+    LpBaseline,
 };
+use tcdp::core::personalized::PopulationAccountant;
 use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
 use tcdp::core::{
-    quantified_plan, upper_bound_plan, AdversaryT, TemporalLossFunction, TplAccountant,
+    quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, TemporalLossFunction, TplAccountant,
 };
 use tcdp::markov::{MarkovChain, TransitionMatrix};
 
@@ -170,17 +173,22 @@ proptest! {
         alpha in 0.01f64..30.0,
         threads in 2usize..5,
     ) {
-        // Three independent engine paths — naive serial, pruned
-        // (possibly parallel via the default feature), and the fan-out
-        // forced onto an explicit worker count — must agree exactly:
-        // same value bits, same maximizing pair, same active subset.
+        // Independent engine paths — naive serial, pruned (possibly
+        // parallel via the default feature), and (feature-gated below)
+        // the fan-out forced onto an explicit worker count — must agree
+        // exactly: same value bits, same maximizing pair, same active
+        // subset.
         let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
         let pruned = tcdp::core::alg1::temporal_loss_witness(&m, alpha).unwrap();
-        let forced = temporal_loss_witness_forced_parallel(&m, alpha, threads).unwrap();
         prop_assert_eq!(&pruned, &naive, "pruned vs naive at alpha={}", alpha);
-        prop_assert_eq!(&forced, &naive, "{} threads vs naive at alpha={}", threads, alpha);
         prop_assert_eq!(pruned.value.to_bits(), naive.value.to_bits());
-        prop_assert_eq!(forced.value.to_bits(), naive.value.to_bits());
+        #[cfg(feature = "parallel")]
+        {
+            let forced = temporal_loss_witness_forced_parallel(&m, alpha, threads).unwrap();
+            prop_assert_eq!(&forced, &naive, "{} threads vs naive at alpha={}", threads, alpha);
+            prop_assert_eq!(forced.value.to_bits(), naive.value.to_bits());
+        }
+        let _ = threads;
     }
 
     #[test]
@@ -231,9 +239,12 @@ proptest! {
             );
             // The engine variants agree with each other exactly.
             let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
-            let forced = temporal_loss_witness_forced_parallel(&m, alpha, 3).unwrap();
             prop_assert_eq!(fast.to_bits(), naive.value.to_bits());
-            prop_assert_eq!(&forced, &naive);
+            #[cfg(feature = "parallel")]
+            {
+                let forced = temporal_loss_witness_forced_parallel(&m, alpha, 3).unwrap();
+                prop_assert_eq!(&forced, &naive);
+            }
         }
     }
 
@@ -266,7 +277,7 @@ proptest! {
     fn cached_accountant_matches_fresh_recompute_under_interleaving(
         m in stochastic_matrix(3),
         budgets in proptest::collection::vec(0.01f64..1.0, 1..16),
-        ops in proptest::collection::vec(0usize..4, 4..24),
+        ops in proptest::collection::vec(0usize..5, 4..24),
     ) {
         use tcdp::core::composition::w_event_guarantee;
         let adv = AdversaryT::with_both(m.clone(), m).unwrap();
@@ -288,6 +299,13 @@ proptest! {
                     // must continue the stream seamlessly.
                     let json = serde_json::to_string(&acc).unwrap();
                     acc = serde_json::from_str(&json).unwrap();
+                }
+                4 => {
+                    // A checkpointed-and-resumed accountant carries its
+                    // caches and warm witnesses along and must also
+                    // continue the stream seamlessly.
+                    let json = acc.checkpoint().to_json();
+                    acc = TplAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
                 }
                 _ => {}
             }
@@ -347,6 +365,51 @@ proptest! {
     }
 
     #[test]
+    fn population_checkpoint_resume_is_transparent_mid_stream(
+        m in stochastic_matrix(3),
+        m2 in stochastic_matrix(3),
+        budgets in proptest::collection::vec(0.01f64..0.8, 2..12),
+        cut in 0usize..12,
+    ) {
+        // A population stopped at an arbitrary point and resumed from
+        // its checkpoint finishes the stream bit-identically to one that
+        // never stopped.
+        let adversaries = vec![
+            AdversaryT::with_both(m.clone(), m2.clone()).unwrap(),
+            AdversaryT::with_backward(m2),
+            AdversaryT::traditional(),
+            AdversaryT::with_both(m.clone(), m).unwrap(),
+        ];
+        let cut = cut % budgets.len();
+        let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+        let mut uninterrupted = PopulationAccountant::new(&adversaries).unwrap();
+        for &b in &budgets[..cut] {
+            pop.observe_release(b).unwrap();
+            uninterrupted.observe_release(b).unwrap();
+        }
+        let json = pop.checkpoint().to_json();
+        let mut resumed =
+            PopulationAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
+        for &b in &budgets[cut..] {
+            resumed.observe_release(b).unwrap();
+            uninterrupted.observe_release(b).unwrap();
+        }
+        let to_bits = |v: Vec<f64>| v.into_iter().map(f64::to_bits).collect::<Vec<_>>();
+        prop_assert_eq!(
+            to_bits(resumed.tpl_series().unwrap()),
+            to_bits(uninterrupted.tpl_series().unwrap())
+        );
+        prop_assert_eq!(
+            resumed.max_tpl().unwrap().to_bits(),
+            uninterrupted.max_tpl().unwrap().to_bits()
+        );
+        prop_assert_eq!(
+            resumed.most_exposed_user().unwrap(),
+            uninterrupted.most_exposed_user().unwrap()
+        );
+    }
+
+    #[test]
     fn supremum_many_is_bit_equal_to_single_probes(
         m in stochastic_matrix(4),
         grid in proptest::collection::vec(0.01f64..0.8, 1..8),
@@ -365,5 +428,158 @@ proptest! {
                 (a, b) => prop_assert_eq!(a, b, "eps={}", eps),
             }
         }
+    }
+}
+
+// The sharded-population differential harness (PR 3): the grouped,
+// thread-fanned PopulationAccountant must be bit-identical to the naive
+// per-user reference — every per-user series, the population series, the
+// maximum, and the argmax winner — across random adversary mixes and
+// release interleavings, at the acceptance scale (≥ 200 users over ≥ 8
+// distinct adversaries). Heavier per case, so it gets a small case
+// budget of its own.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_population_is_bit_identical_to_naive_reference(
+        patterns in proptest::collection::vec(stochastic_matrix(3), 8usize..11),
+        kinds in proptest::collection::vec(0usize..4, 200..241),
+        budgets in proptest::collection::vec(0.01f64..0.5, 4..10),
+        query_at in 0usize..4,
+    ) {
+        // Random mix: the first |patterns| users pin one both-sides
+        // adversary per pattern (guaranteeing ≥ 8 distinct shards); the
+        // rest draw a random kind over a pattern cycle.
+        let adversaries: Vec<AdversaryT> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let p = patterns[i % patterns.len()].clone();
+                match if i < patterns.len() { 0 } else { kind } {
+                    0 => AdversaryT::with_both(p.clone(), p).unwrap(),
+                    1 => AdversaryT::with_backward(p),
+                    2 => AdversaryT::with_forward(p),
+                    _ => AdversaryT::traditional(),
+                }
+            })
+            .collect();
+        let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+        prop_assert!(pop.num_users() >= 200);
+        prop_assert!(
+            pop.num_groups() >= patterns.len(),
+            "expected at least {} shards, got {}",
+            patterns.len(),
+            pop.num_groups()
+        );
+        // The naive reference: one standalone accountant per user, no
+        // sharing, no sharding.
+        let mut naive: Vec<TplAccountant> =
+            adversaries.iter().map(TplAccountant::new).collect();
+
+        let to_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (t, &b) in budgets.iter().enumerate() {
+            pop.observe_release(b).unwrap();
+            for acc in &mut naive {
+                acc.observe_release(b).unwrap();
+            }
+            // Interleave a full audit mid-stream and at the end.
+            if t != query_at && t + 1 != budgets.len() {
+                continue;
+            }
+            let mut merged: Option<Vec<f64>> = None;
+            let mut naive_max = f64::NEG_INFINITY;
+            let mut naive_argmax = (0usize, f64::NEG_INFINITY);
+            for (i, acc) in naive.iter().enumerate() {
+                let series = acc.tpl_series().unwrap();
+                let user_max = acc.max_tpl().unwrap();
+                naive_max = naive_max.max(user_max);
+                if user_max > naive_argmax.1 {
+                    naive_argmax = (i, user_max);
+                }
+                merged = Some(match merged {
+                    None => series,
+                    Some(prev) => {
+                        prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect()
+                    }
+                });
+            }
+            let merged = merged.unwrap();
+            prop_assert_eq!(
+                to_bits(&pop.tpl_series().unwrap()),
+                to_bits(&merged),
+                "population series diverged at t={}",
+                t
+            );
+            prop_assert_eq!(pop.max_tpl().unwrap().to_bits(), naive_max.to_bits());
+            prop_assert_eq!(pop.most_exposed_user().unwrap(), naive_argmax.0);
+            // Spot-check per-user views across every shard.
+            for i in (0..naive.len()).step_by(17) {
+                prop_assert_eq!(
+                    to_bits(&pop.user(i).unwrap().tpl_series().unwrap()),
+                    to_bits(&naive[i].tpl_series().unwrap()),
+                    "user {} diverged at t={}",
+                    i,
+                    t
+                );
+            }
+            // Fan-out widths (including over-subscription) against the
+            // serial path: all bit-identical.
+            #[cfg(feature = "parallel")]
+            for threads in [1usize, 2, 5, 13] {
+                prop_assert_eq!(
+                    to_bits(&pop.tpl_series_forced_parallel(threads).unwrap()),
+                    to_bits(&merged)
+                );
+                prop_assert_eq!(
+                    pop.max_tpl_forced_parallel(threads).unwrap().to_bits(),
+                    naive_max.to_bits()
+                );
+                prop_assert_eq!(
+                    pop.most_exposed_user_forced_parallel(threads).unwrap(),
+                    naive_argmax.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_observation_is_bit_identical_across_thread_counts(
+        patterns in proptest::collection::vec(stochastic_matrix(3), 8usize..10),
+        budgets in proptest::collection::vec(0.01f64..0.5, 3..8),
+        threads in 2usize..6,
+    ) {
+        // Observation itself fanned out over shards: populations driven
+        // with different worker counts agree bit for bit at every step.
+        let adversaries: Vec<AdversaryT> = (0..220)
+            .map(|i| {
+                let p = patterns[i % patterns.len()].clone();
+                AdversaryT::with_both(p.clone(), p).unwrap()
+            })
+            .collect();
+        let mut serial = PopulationAccountant::new(&adversaries).unwrap();
+        let mut fanned = PopulationAccountant::new(&adversaries).unwrap();
+        let to_bits = |v: Vec<f64>| v.into_iter().map(f64::to_bits).collect::<Vec<_>>();
+        for &b in &budgets {
+            #[cfg(feature = "parallel")]
+            {
+                serial.observe_release_forced_parallel(b, 1).unwrap();
+                fanned.observe_release_forced_parallel(b, threads).unwrap();
+            }
+            #[cfg(not(feature = "parallel"))]
+            {
+                serial.observe_release(b).unwrap();
+                fanned.observe_release(b).unwrap();
+            }
+            prop_assert_eq!(
+                to_bits(serial.tpl_series().unwrap()),
+                to_bits(fanned.tpl_series().unwrap())
+            );
+            prop_assert_eq!(
+                serial.most_exposed_user().unwrap(),
+                fanned.most_exposed_user().unwrap()
+            );
+        }
+        let _ = threads;
     }
 }
