@@ -9,20 +9,33 @@
 //!   (one accountant per user, losses shared per distinct adversary —
 //!   exactly the pre-sharding behavior), which is linear in N. Only run
 //!   to N = 1 000; its cost is rather the point.
+//! * `pop/hetero/*` — the *heterogeneous-timeline* cycle: the same
+//!   adversary mix, but the population is cut into 8 contiguous budget
+//!   tiers whose ε differs per release
+//!   (`observe_release_personalized`). Cost is governed by the
+//!   (adversary × timeline) shard classes — 64 here — not N, so this
+//!   sweep should stay near-flat in N too.
 //!
-//! The headline number printed at the end is the direct wall-clock
-//! ratio naive/sharded at N = 1 000.
+//! The homogeneous sweep doubles as the perf-regression guard for the
+//! per-user-timeline refactor: with every user on one timeline the shard
+//! count still equals the number of distinct adversaries (asserted
+//! below), and the cycle cost is unchanged from the adversary-sharded
+//! engine. The headline number printed at the end is the direct
+//! wall-clock ratio naive/sharded at N = 1 000.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
 use tcdp_core::personalized::PopulationAccountant;
 use tcdp_core::{AdversaryT, TplAccountant};
+use tcdp_data::population::tier_ranges;
 use tcdp_markov::TransitionMatrix;
 
 const T_LEN: usize = 50;
 const EPS: f64 = 0.02;
+const TIERS: usize = 8;
 
 /// Eight distinct two-state mobility patterns.
 fn patterns() -> Vec<AdversaryT> {
@@ -46,17 +59,90 @@ fn population(n: usize) -> Vec<AdversaryT> {
     (0..n).map(|i| pats[i % pats.len()].clone()).collect()
 }
 
-/// One full sharded cycle: observe T releases, then audit.
+/// One full sharded cycle: observe T releases, then audit. With every
+/// user on one timeline the shard count must stay at the distinct
+/// adversary count — the homogeneous perf-regression guard.
 fn sharded_cycle(adversaries: &[AdversaryT]) -> (f64, usize) {
     let mut pop = PopulationAccountant::new(adversaries).expect("population");
     for _ in 0..T_LEN {
         pop.observe_release(EPS).expect("observe");
     }
+    assert_eq!(
+        pop.num_groups(),
+        patterns().len(),
+        "homogeneous timelines must not add shards"
+    );
+    assert_eq!(pop.num_timelines(), 1);
     black_box(pop.tpl_series().expect("series"));
     (
         pop.max_tpl().expect("max"),
         pop.most_exposed_user().expect("argmax"),
     )
+}
+
+/// The per-tier budget at time `t` (varies per release and per tier, so
+/// all 8 tiers hold genuinely distinct timelines).
+fn tier_eps(t: usize, k: usize) -> f64 {
+    EPS + 0.005 * ((t + k) % TIERS) as f64
+}
+
+/// One heterogeneous cycle: the population is cut into [`TIERS`]
+/// contiguous budget tiers, every release assigns each tier its own ε.
+fn hetero_cycle(adversaries: &[AdversaryT]) -> (f64, usize) {
+    let ranges = tier_ranges(adversaries.len(), TIERS).expect("tiers");
+    let mut pop = PopulationAccountant::new(adversaries).expect("population");
+    for t in 0..T_LEN {
+        let assignments: Vec<(Range<usize>, f64)> = ranges
+            .iter()
+            .enumerate()
+            .map(|(k, r)| (r.clone(), tier_eps(t, k)))
+            .collect();
+        pop.observe_release_personalized(&assignments)
+            .expect("observe");
+    }
+    assert_eq!(pop.num_timelines(), TIERS);
+    assert!(
+        pop.num_groups() <= patterns().len() * TIERS,
+        "shards are bounded by adversaries x timelines"
+    );
+    black_box(pop.tpl_series().expect("series"));
+    (
+        pop.max_tpl().expect("max"),
+        pop.most_exposed_user().expect("argmax"),
+    )
+}
+
+/// The naive per-user reference for the heterogeneous cycle.
+fn hetero_naive_cycle(adversaries: &[AdversaryT]) -> (f64, usize) {
+    let ranges = tier_ranges(adversaries.len(), TIERS).expect("tiers");
+    let mut users: Vec<TplAccountant> = adversaries.iter().map(TplAccountant::new).collect();
+    for t in 0..T_LEN {
+        for (k, r) in ranges.iter().enumerate() {
+            let eps = tier_eps(t, k);
+            for acc in &mut users[r.clone()] {
+                acc.observe_release(eps).expect("observe");
+            }
+        }
+    }
+    let mut merged: Option<Vec<f64>> = None;
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, acc) in users.iter().enumerate() {
+        let series = acc.tpl_series().expect("series");
+        merged = Some(match merged {
+            None => series,
+            Some(prev) => prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect(),
+        });
+        let v = acc.max_tpl().expect("max");
+        if v > best.1 {
+            best = (i, v);
+        }
+    }
+    let max = merged
+        .expect("nonempty")
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    (max, best.0)
 }
 
 /// The pre-sharding path: one accountant per user (losses still shared
@@ -125,6 +211,17 @@ fn bench_naive(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hetero(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pop/hetero");
+    for n in [100usize, 1_000, 10_000] {
+        let adversaries = population(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adversaries, |b, advs| {
+            b.iter(|| hetero_cycle(black_box(advs)))
+        });
+    }
+    group.finish();
+}
+
 fn headline() {
     let adversaries = population(1_000);
     // Agreement first: the sharded audit must match the naive one.
@@ -132,6 +229,15 @@ fn headline() {
     let naive = naive_cycle(&adversaries);
     assert_eq!(sharded.0.to_bits(), naive.0.to_bits(), "max TPL must agree");
     assert_eq!(sharded.1, naive.1, "most exposed user must agree");
+    // ...and so must the heterogeneous-timeline audit.
+    let hetero = hetero_cycle(&adversaries);
+    let hetero_naive = hetero_naive_cycle(&adversaries);
+    assert_eq!(
+        hetero.0.to_bits(),
+        hetero_naive.0.to_bits(),
+        "heterogeneous max TPL must agree"
+    );
+    assert_eq!(hetero.1, hetero_naive.1, "most exposed user must agree");
 
     let t0 = Instant::now();
     for _ in 0..3 {
@@ -154,5 +260,11 @@ fn bench_headline(c: &mut Criterion) {
     headline();
 }
 
-criterion_group!(benches, bench_users, bench_naive, bench_headline);
+criterion_group!(
+    benches,
+    bench_users,
+    bench_naive,
+    bench_hetero,
+    bench_headline
+);
 criterion_main!(benches);

@@ -14,16 +14,30 @@
 //! A mechanism timeline satisfies α-DP_T (Definition 8) iff
 //! [`TplAccountant::max_tpl`] never exceeds α.
 //!
+//! # The budget timeline
+//!
+//! The observed ε trail lives in a shared [`BudgetTimeline`]
+//! (`tcdp-mech::budget`): the accountant holds it through an `Arc`, so a
+//! coordinator tracking many users — [`crate::personalized::PopulationAccountant`]
+//! — can give every accountant on the *same* budget sequence one
+//! timeline object, record each shared release exactly once, and split
+//! timelines copy-on-write the moment two users' budgets diverge. A solo
+//! accountant owns its timeline exclusively and behaves exactly as
+//! before. [`TplAccountant::sync_with_timeline`] absorbs entries a
+//! coordinator appended on the shared object into this accountant's BPL
+//! recursion.
+//!
 //! # Caching and complexity
 //!
-//! The FPL/TPL series, their maximum, and the prefix-summed budgets are
-//! cached behind a version stamp (the release count): observing a new
-//! release invalidates the cache once, and then *any* number of queries
+//! The FPL/TPL series and their maximum are cached behind the timeline's
+//! revision stamp: observing a new release bumps the revision and
+//! invalidates the cache once, and then *any* number of queries
 //! — [`TplAccountant::tpl_series`], [`TplAccountant::tpl_at`],
 //! [`TplAccountant::max_tpl`], [`TplAccountant::fpl_at`], the Theorem 2
 //! window guarantees in [`crate::composition`] — share a single `O(T)`
 //! recomputation (one backward pass through a checked-out
-//! [`crate::loss::LossEvaluator`]). A full w-event audit therefore
+//! [`crate::loss::LossEvaluator`]); window budget sums come from the
+//! timeline's own prefix sums. A full w-event audit therefore
 //! performs `O(T)` loss-function evaluations instead of the `O(T²)` a
 //! per-window recompute costs; [`TplAccountant::loss_eval_count`] is the
 //! test hook asserting exactly that. The cache is behaviorally
@@ -38,6 +52,7 @@ use crate::{check_epsilon, Result, TplError};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::{Arc, Mutex};
 use tcdp_markov::TransitionMatrix;
+use tcdp_mech::budget::BudgetTimeline;
 
 /// Snapshot of the leakage at the moment a release happens.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,25 +94,25 @@ pub struct TplReport {
 pub struct TplAccountant {
     backward: Option<Arc<TemporalLossFunction>>,
     forward: Option<Arc<TemporalLossFunction>>,
-    budgets: Vec<f64>,
+    /// The observed ε trail — possibly shared with other accountants on
+    /// the same budget sequence (see the module docs).
+    timeline: Arc<BudgetTimeline>,
     bpl: Vec<f64>,
     /// Version-stamped derived series; see the module docs.
     cache: Mutex<SeriesCache>,
 }
 
 /// The derived series shared by every post-observation query. Valid iff
-/// `len` equals the accountant's release count ([`TplAccountant::observe_release`]
-/// is the only mutation, so the count doubles as the version stamp).
+/// `revision` equals the timeline's current revision stamp (every push
+/// bumps it, so a cache built at one revision can never serve a longer
+/// or swapped trail).
 #[derive(Debug, Clone)]
 struct SeriesCache {
-    len: usize,
+    revision: u64,
     /// FPL series (Equation 15).
     fpl: Vec<f64>,
     /// TPL series (Equation 10).
     tpl: Vec<f64>,
-    /// `eps_prefix[k] = Σ budgets[..k]` (`len + 1` entries) — O(1)
-    /// window budget sums for the Theorem 2 machinery.
-    eps_prefix: Vec<f64>,
     /// Maximum of `tpl` (`−∞` when empty).
     max_tpl: f64,
 }
@@ -105,10 +120,9 @@ struct SeriesCache {
 impl SeriesCache {
     fn empty() -> Self {
         SeriesCache {
-            len: 0,
+            revision: 0,
             fpl: Vec::new(),
             tpl: Vec::new(),
-            eps_prefix: vec![0.0],
             max_tpl: f64::NEG_INFINITY,
         }
     }
@@ -136,10 +150,37 @@ impl TplAccountant {
         Self {
             backward,
             forward,
-            budgets: Vec::new(),
+            timeline: Arc::new(BudgetTimeline::new()),
             bpl: Vec::new(),
             cache: Mutex::new(SeriesCache::empty()),
         }
+    }
+
+    /// Build an accountant over an existing (possibly shared, possibly
+    /// non-empty) [`BudgetTimeline`]: the BPL recursion is replayed over
+    /// every entry already on the timeline, so the accountant joins the
+    /// stream exactly where the timeline stands.
+    pub fn with_timeline(adversary: &AdversaryT, timeline: Arc<BudgetTimeline>) -> Result<Self> {
+        let mut acc = Self::with_shared_losses(
+            adversary.backward_loss().map(Arc::new),
+            adversary.forward_loss().map(Arc::new),
+        );
+        acc.timeline = timeline;
+        acc.sync_with_timeline()?;
+        Ok(acc)
+    }
+
+    /// As [`Self::with_shared_losses`], but joining an existing timeline
+    /// (the population accountant's shard constructor).
+    pub(crate) fn with_shared_losses_and_timeline(
+        backward: Option<Arc<TemporalLossFunction>>,
+        forward: Option<Arc<TemporalLossFunction>>,
+        timeline: Arc<BudgetTimeline>,
+    ) -> Result<Self> {
+        let mut acc = Self::with_shared_losses(backward, forward);
+        acc.timeline = timeline;
+        acc.sync_with_timeline()?;
+        Ok(acc)
     }
 
     /// Adversary type `A^T_i(P^B)`: backward correlation only.
@@ -164,35 +205,74 @@ impl TplAccountant {
 
     /// Number of releases observed so far.
     pub fn len(&self) -> usize {
-        self.budgets.len()
+        self.timeline.len()
     }
 
     /// Whether no release has been observed.
     pub fn is_empty(&self) -> bool {
-        self.budgets.is_empty()
+        self.timeline.is_empty()
     }
 
-    /// Budgets observed so far.
-    pub fn budgets(&self) -> &[f64] {
-        &self.budgets
+    /// A snapshot of the budgets observed so far. For zero-copy access
+    /// use [`Self::with_budgets`] or [`Self::timeline`].
+    pub fn budgets(&self) -> Vec<f64> {
+        self.timeline.values()
+    }
+
+    /// Run `f` over the observed budget trail without copying it. The
+    /// timeline's shared lock is held for the duration of `f`; do not
+    /// call accountant methods from inside.
+    pub fn with_budgets<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        self.timeline.with_values(f)
+    }
+
+    /// The budget timeline this accountant observes. Accountants built
+    /// over one shared timeline (see [`Self::with_timeline`] and the
+    /// population accountant) return the same object here.
+    pub fn timeline(&self) -> &Arc<BudgetTimeline> {
+        &self.timeline
     }
 
     /// Record a release of budget `eps` at the next time point.
+    ///
+    /// The budget is appended to the (possibly shared) timeline; any
+    /// other accountant on the same timeline observes it at its next
+    /// [`Self::sync_with_timeline`].
     pub fn observe_release(&mut self, eps: f64) -> Result<TplReport> {
         check_epsilon(eps)?;
-        let t = self.budgets.len();
-        let bpl_t = match (&self.backward, self.bpl.last()) {
-            (Some(l), Some(&prev)) => l.eval(prev)? + eps,
-            _ => eps, // t = 0, or no backward correlation known
-        };
-        self.budgets.push(eps);
-        self.bpl.push(bpl_t);
+        self.timeline.push(eps)?;
+        self.sync_with_timeline()?;
+        let t = self.bpl.len() - 1;
+        let bpl_t = self.bpl[t];
         Ok(TplReport {
             t,
             epsilon: eps,
             backward: bpl_t,
             forward: eps,
             total: bpl_t,
+        })
+    }
+
+    /// Advance the BPL recursion (Equation 13) over timeline entries not
+    /// yet absorbed — the ones a coordinator sharing this accountant's
+    /// timeline appended since the last observation. A no-op when the
+    /// accountant is already caught up.
+    pub fn sync_with_timeline(&mut self) -> Result<()> {
+        if self.bpl.len() >= self.timeline.len() {
+            return Ok(());
+        }
+        let backward = &self.backward;
+        let bpl = &mut self.bpl;
+        self.timeline.with_values(|budgets| {
+            while bpl.len() < budgets.len() {
+                let eps = budgets[bpl.len()];
+                let bpl_t = match (backward, bpl.last()) {
+                    (Some(l), Some(&prev)) => l.eval(prev)? + eps,
+                    _ => eps, // t = 0, or no backward correlation known
+                };
+                bpl.push(bpl_t);
+            }
+            Ok(())
         })
     }
 
@@ -211,11 +291,11 @@ impl TplAccountant {
     }
 
     /// Run `f` over the (validated) series cache, rebuilding it first if
-    /// a release arrived since the last query — the single `O(T)`
-    /// recomputation every query shares.
+    /// the timeline's revision moved since the last query — the single
+    /// `O(T)` recomputation every query shares.
     fn with_cache<R>(&self, f: impl FnOnce(&SeriesCache) -> R) -> Result<R> {
         let mut cache = self.cache.lock().expect("series cache lock");
-        if cache.len != self.budgets.len() {
+        if cache.revision != self.timeline.revision() {
             self.rebuild(&mut cache)?;
         }
         Ok(f(&cache))
@@ -223,62 +303,66 @@ impl TplAccountant {
 
     /// One backward FPL pass (through a checked-out evaluator, so the
     /// `O(T)` evaluations share one scratch set and warm chain), then the
-    /// derived TPL/extremum/prefix series.
+    /// derived TPL/extremum series.
     fn rebuild(&self, cache: &mut SeriesCache) -> Result<()> {
-        let t_len = self.budgets.len();
-        let mut fpl = vec![0.0; t_len];
-        if t_len > 0 {
-            fpl[t_len - 1] = self.budgets[t_len - 1];
-            match &self.forward {
-                Some(l) => {
-                    let mut ev = l.evaluator();
-                    for t in (0..t_len - 1).rev() {
-                        fpl[t] = ev.eval(fpl[t + 1])? + self.budgets[t];
-                    }
-                }
-                None => fpl[..t_len - 1].copy_from_slice(&self.budgets[..t_len - 1]),
+        let revision = self.timeline.revision();
+        let forward = &self.forward;
+        let bpl = &self.bpl;
+        let (fpl, tpl) = self.timeline.with_values(|budgets| {
+            let t_len = budgets.len();
+            if bpl.len() != t_len {
+                // A coordinator pushed to the shared timeline without
+                // syncing this accountant — report it instead of zipping
+                // a truncated TPL series.
+                return Err(TplError::DimensionMismatch {
+                    expected: t_len,
+                    found: bpl.len(),
+                });
             }
-        }
-        let tpl: Vec<f64> = self
-            .bpl
-            .iter()
-            .zip(&fpl)
-            .zip(&self.budgets)
-            .map(|((b, f), e)| b + f - e)
-            .collect();
-        self.install_series(cache, fpl, tpl);
+            let mut fpl = vec![0.0; t_len];
+            if t_len > 0 {
+                fpl[t_len - 1] = budgets[t_len - 1];
+                match forward {
+                    Some(l) => {
+                        let mut ev = l.evaluator();
+                        for t in (0..t_len - 1).rev() {
+                            fpl[t] = ev.eval(fpl[t + 1])? + budgets[t];
+                        }
+                    }
+                    None => fpl[..t_len - 1].copy_from_slice(&budgets[..t_len - 1]),
+                }
+            }
+            let tpl: Vec<f64> = bpl
+                .iter()
+                .zip(&fpl)
+                .zip(budgets)
+                .map(|((b, f), e)| b + f - e)
+                .collect();
+            Ok((fpl, tpl))
+        })?;
+        Self::install_series(cache, revision, fpl, tpl);
         Ok(())
     }
 
     /// Install a complete `(fpl, tpl)` pair into the cache, deriving the
-    /// prefix sums and maximum. Shared by [`Self::rebuild`] and the
-    /// checkpoint-restore path, so a restored cache is bit-identical to
-    /// a rebuilt one by construction (same folds, same order).
-    fn install_series(&self, cache: &mut SeriesCache, fpl: Vec<f64>, tpl: Vec<f64>) {
-        let mut eps_prefix = Vec::with_capacity(self.budgets.len() + 1);
-        let mut run = 0.0;
-        eps_prefix.push(0.0);
-        for &e in &self.budgets {
-            run += e;
-            eps_prefix.push(run);
-        }
+    /// maximum. Shared by [`Self::rebuild`] and the checkpoint-restore
+    /// path, so a restored cache is bit-identical to a rebuilt one by
+    /// construction (same fold, same order).
+    fn install_series(cache: &mut SeriesCache, revision: u64, fpl: Vec<f64>, tpl: Vec<f64>) {
         cache.max_tpl = tpl.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         cache.fpl = fpl;
         cache.tpl = tpl;
-        cache.eps_prefix = eps_prefix;
-        cache.len = self.budgets.len();
+        cache.revision = revision;
     }
 
     /// Map a time index to [`TplError::EmptyTimeline`] (nothing observed)
     /// or [`TplError::TimeOutOfRange`] (observed, but `t` is past the end).
     fn index_error(&self, t: usize) -> TplError {
-        if self.budgets.is_empty() {
+        let len = self.timeline.len();
+        if len == 0 {
             TplError::EmptyTimeline
         } else {
-            TplError::TimeOutOfRange {
-                t,
-                len: self.budgets.len(),
-            }
+            TplError::TimeOutOfRange { t, len }
         }
     }
 
@@ -312,28 +396,26 @@ impl TplAccountant {
     }
 
     /// `Σ ε_k` over the window `[t, t + w)` of observed budgets, from the
-    /// cached prefix sums (`O(1)` amortized; the result may differ from a
+    /// timeline's prefix sums (`O(1)`; the result may differ from a
     /// naive slice sum in the last ulp, as any prefix-difference does).
     pub fn window_budget_sum(&self, t: usize, w: usize) -> Result<f64> {
-        let t_len = self.budgets.len();
+        let t_len = self.timeline.len();
         if t_len == 0 {
             return Err(TplError::EmptyTimeline);
         }
         if w == 0 || w > t_len {
             return Err(TplError::InvalidWindow { w });
         }
-        let end = t
-            .checked_add(w)
-            .filter(|&e| e <= t_len)
-            .ok_or_else(|| self.index_error(t.saturating_add(w).saturating_sub(1)))?;
-        self.with_cache(|c| c.eps_prefix[end] - c.eps_prefix[t])
+        self.timeline
+            .window_sum(t, w)
+            .ok_or_else(|| self.index_error(t.saturating_add(w).saturating_sub(1)))
     }
 
     /// The worst TPL across the timeline — the α for which the observed
     /// mechanism sequence currently satisfies α-DP_T at event level.
     /// `O(1)` amortized from the cache.
     pub fn max_tpl(&self) -> Result<f64> {
-        if self.budgets.is_empty() {
+        if self.timeline.is_empty() {
             return Err(TplError::EmptyTimeline);
         }
         self.with_cache(|c| c.max_tpl)
@@ -343,7 +425,7 @@ impl TplAccountant {
     /// plain sequential-composition sum `Σ ε_k` — temporal correlations do
     /// not worsen user-level privacy.
     pub fn user_level(&self) -> f64 {
-        self.budgets.iter().sum()
+        self.with_budgets(|b| b.iter().sum())
     }
 
     /// Total Algorithm 1 evaluations performed by this accountant's loss
@@ -366,44 +448,61 @@ impl TplAccountant {
     }
 
     /// The cached derived series `(fpl, tpl)` — `Some` only if the cache
-    /// is valid for the current release count ([`crate::checkpoint`]
+    /// is valid for the current timeline revision ([`crate::checkpoint`]
     /// snapshots it so a resumed audit does not pay the `O(T)` rebuild).
     pub(crate) fn series_snapshot(&self) -> Option<(Vec<f64>, Vec<f64>)> {
         let cache = self.cache.lock().expect("series cache lock");
-        (cache.len == self.budgets.len() && !self.budgets.is_empty())
+        (cache.revision == self.timeline.revision() && !self.timeline.is_empty())
             .then(|| (cache.fpl.clone(), cache.tpl.clone()))
     }
 
     /// Restore a checkpointed `(fpl, tpl)` pair into the series cache.
     /// The caller ([`crate::checkpoint`]) has validated the lengths
     /// against the budget trail; [`Self::install_series`] re-derives the
-    /// prefix sums and maximum with the exact folds `rebuild` uses, so
-    /// the restored cache is bit-identical to one the accountant would
-    /// have computed itself.
+    /// maximum with the exact fold `rebuild` uses, so the restored cache
+    /// is bit-identical to one the accountant would have computed itself.
     pub(crate) fn restore_series(&self, fpl: Vec<f64>, tpl: Vec<f64>) {
         let mut cache = self.cache.lock().expect("series cache lock");
-        self.install_series(&mut cache, fpl, tpl);
+        Self::install_series(&mut cache, self.timeline.revision(), fpl, tpl);
     }
-}
 
-impl Clone for TplAccountant {
-    /// Cloning shares the loss functions (their caches are behaviorally
-    /// invisible) and copies the observed timeline plus the current
-    /// series cache.
-    fn clone(&self) -> Self {
+    /// Swap the timeline object without touching the absorbed BPL state —
+    /// the copy-on-write seam. The caller guarantees the new timeline's
+    /// first `bpl.len()` entries are bit-identical to the old one's
+    /// (population splits push diverging budgets only *past* that point;
+    /// checkpoint resume re-shares bitwise-equal trails).
+    pub(crate) fn set_timeline(&mut self, timeline: Arc<BudgetTimeline>) {
+        self.timeline = timeline;
+    }
+
+    /// Clone everything except the timeline, which is taken from the
+    /// caller — the shard-split/clone primitive of
+    /// [`crate::personalized::PopulationAccountant`]. Subject to
+    /// [`Self::set_timeline`]'s prefix-consistency contract.
+    pub(crate) fn clone_with_timeline(&self, timeline: Arc<BudgetTimeline>) -> Self {
         Self {
             backward: self.backward.clone(),
             forward: self.forward.clone(),
-            budgets: self.budgets.clone(),
+            timeline,
             bpl: self.bpl.clone(),
             cache: Mutex::new(self.cache.lock().expect("series cache lock").clone()),
         }
     }
 }
 
+impl Clone for TplAccountant {
+    /// Cloning shares the loss functions (their caches are behaviorally
+    /// invisible) and *deep-copies* the budget timeline — a clone never
+    /// observes the original's future releases — plus the current series
+    /// cache.
+    fn clone(&self) -> Self {
+        self.clone_with_timeline(Arc::new((*self.timeline).clone()))
+    }
+}
+
 impl Serialize for TplAccountant {
     /// Serializes the pre-cache derived shape
-    /// `{"backward", "forward", "budgets", "bpl"}`; the series cache and
+    /// `{"backward", "forward", "timeline", "bpl"}`; the series cache and
     /// the loss functions' internal caches are rebuilt on first use
     /// after restore.
     fn to_value(&self) -> Value {
@@ -414,7 +513,7 @@ impl Serialize for TplAccountant {
         Value::Map(vec![
             ("backward".to_string(), side(&self.backward)),
             ("forward".to_string(), side(&self.forward)),
-            ("budgets".to_string(), self.budgets.to_value()),
+            ("timeline".to_string(), self.timeline.to_value()),
             ("bpl".to_string(), self.bpl.to_value()),
         ])
     }
@@ -429,7 +528,7 @@ impl Deserialize for TplAccountant {
         Ok(TplAccountant {
             backward: side("backward")?,
             forward: side("forward")?,
-            budgets: Vec::from_value(field("budgets")?)?,
+            timeline: Arc::new(BudgetTimeline::from_value(field("timeline")?)?),
             bpl: Vec::from_value(field("bpl")?)?,
             cache: Mutex::new(SeriesCache::empty()),
         })
@@ -631,7 +730,7 @@ mod tests {
         for t in 0..20 {
             acc.observe_release(0.05 + 0.01 * (t % 3) as f64).unwrap();
             let mut fresh = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
-            for &e in acc.budgets() {
+            for &e in &acc.budgets() {
                 fresh.observe_release(e).unwrap();
             }
             assert_eq!(acc.tpl_series().unwrap(), fresh.tpl_series().unwrap());

@@ -19,19 +19,31 @@
 //!   where the saved run left off (a restored witness is re-validated
 //!   against Theorem 4 before every use, so staleness is impossible by
 //!   construction);
-//! * for populations, the shard structure (distinct adversaries and
-//!   their member lists) of [`PopulationAccountant`].
+//! * for populations, the shard structure (distinct `(adversary,
+//!   timeline)` classes and their member lists) of
+//!   [`PopulationAccountant`] — each shard's budget timeline is
+//!   serialized **once per shard** (inside its accountant state, never
+//!   per user), and on resume shards with bit-identical trails are
+//!   re-pointed at one shared timeline object, restoring the
+//!   copy-on-write sharing the saved population had.
 //!
 //! # Format
 //!
 //! ```json
 //! {
 //!   "format": "tcdp-checkpoint",
-//!   "version": 1,
+//!   "version": 2,
 //!   "kind": "tpl-accountant" | "population-accountant",
 //!   "payload": { ... }
 //! }
 //! ```
+//!
+//! Version 2 (this build) renamed the accountant's budget-trail field to
+//! `timeline` and allows the shards of a population to carry *different*
+//! budget trails (per-user timelines); version-1 checkpoints — whose
+//! shards were guaranteed a population-wide trail — are rejected with
+//! the honest [`TplError::CheckpointVersion`] error rather than being
+//! reinterpreted.
 //!
 //! Corrupt or version-mismatched input is reported through honest error
 //! variants — [`TplError::CorruptCheckpoint`] and
@@ -72,9 +84,10 @@ use crate::{Result, TplError};
 use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
 use std::sync::Arc;
+use tcdp_mech::budget::BudgetTimeline;
 
 /// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The envelope's format discriminator.
 const FORMAT_TAG: &str = "tcdp-checkpoint";
@@ -458,23 +471,32 @@ impl PopulationAccountant {
         if let Some(missing) = seen.iter().position(|s| !s) {
             return Err(corrupt(format!("user {missing} is assigned to no shard")));
         }
-        // The timeline is population-wide: every shard must hold the
-        // same budget trail, bit for bit.
+        // Timelines are per-shard (personalized budgets may diverge), but
+        // every user has observed the same *number* of releases: unequal
+        // lengths mean the population was not saved atomically.
         if let Some((_, _, first)) = parts.first() {
-            let reference = first.budgets().to_vec();
+            let reference = first.len();
             for (g, (_, _, acc)) in parts.iter().enumerate().skip(1) {
-                if acc.budgets().len() != reference.len()
-                    || acc
-                        .budgets()
-                        .iter()
-                        .zip(&reference)
-                        .any(|(a, b)| a.to_bits() != b.to_bits())
-                {
+                if acc.len() != reference {
                     return Err(corrupt(format!(
-                        "groups[{g}]: budget trail disagrees with shard 0 — the population \
-                         timeline is shared"
+                        "groups[{g}]: budget trail has {} releases where shard 0 has \
+                         {reference} — every user observes each release exactly once",
+                        acc.len()
                     )));
                 }
+            }
+        }
+        // Restore copy-on-write sharing: shards whose trails are
+        // bit-identical re-join one timeline object (first such shard in
+        // group order is the class representative), so the resumed
+        // population records shared releases once per distinct timeline,
+        // exactly as the saved one did.
+        let mut classes: Vec<(Vec<u64>, Arc<BudgetTimeline>)> = Vec::new();
+        for (_, _, acc) in parts.iter_mut() {
+            let bits: Vec<u64> = acc.with_budgets(|b| b.iter().map(|v| v.to_bits()).collect());
+            match classes.iter().find(|(k, _)| *k == bits) {
+                Some((_, shared)) => acc.set_timeline(Arc::clone(shared)),
+                None => classes.push((bits, Arc::clone(acc.timeline()))),
             }
         }
         Ok(PopulationAccountant::from_parts(parts, num_users))
@@ -546,12 +568,24 @@ mod tests {
         acc.observe_uniform(0.1, 2).unwrap();
         let json = acc.checkpoint().to_json();
         let bumped = json
-            .replace("\"version\":1.0", "\"version\":999")
-            .replace("\"version\":1,", "\"version\":999,");
+            .replace("\"version\":2.0", "\"version\":999")
+            .replace("\"version\":2,", "\"version\":999,");
         assert!(matches!(
             Checkpoint::from_json(&bumped),
             Err(TplError::CheckpointVersion {
                 found: 999,
+                supported: CHECKPOINT_VERSION
+            })
+        ));
+        // A version-1 envelope (the pre-per-user-timeline format) is
+        // rejected with the honest version error, not reinterpreted.
+        let old = json
+            .replace("\"version\":2.0", "\"version\":1")
+            .replace("\"version\":2,", "\"version\":1,");
+        assert!(matches!(
+            Checkpoint::from_json(&old),
+            Err(TplError::CheckpointVersion {
+                found: 1,
                 supported: CHECKPOINT_VERSION
             })
         ));

@@ -50,7 +50,7 @@ pub fn sequence_guarantee(acc: &TplAccountant, t: usize, j: usize) -> Result<f64
         0 => acc.tpl_at(t)?,
         1 => acc.bpl_at(t)? + acc.fpl_at(end)?,
         _ => {
-            let middle: f64 = acc.budgets()[t + 1..end].iter().sum();
+            let middle: f64 = acc.with_budgets(|eps| eps[t + 1..end].iter().sum());
             acc.bpl_at(t)? + acc.fpl_at(end)? + middle
         }
     })
@@ -109,17 +109,15 @@ pub fn table_ii(acc: &TplAccountant, w: usize) -> Result<Vec<TableIiRow>> {
     if w == 0 || w > t_len {
         return Err(TplError::InvalidWindow { w });
     }
-    let eps = acc.budgets();
-    let event_independent = eps.iter().cloned().fold(f64::MIN, f64::max);
-    let user = user_level_guarantee(acc)?;
-    let w_independent: f64 = {
+    let (event_independent, w_independent) = acc.with_budgets(|eps| {
         // Worst window sum of budgets (Theorem 3 on the window).
         let mut best = f64::NEG_INFINITY;
         for t in 0..=(t_len - w) {
             best = best.max(eps[t..t + w].iter().sum::<f64>());
         }
-        best
-    };
+        (eps.iter().cloned().fold(f64::MIN, f64::max), best)
+    });
+    let user = user_level_guarantee(acc)?;
     Ok(vec![
         TableIiRow {
             notion: "event-level".into(),

@@ -94,6 +94,7 @@ pub use supremum::{
     epsilon_for_supremum, supremum_of_evaluator, supremum_of_loss, supremum_of_loss_many,
     supremum_of_matrix, Supremum,
 };
+pub use tcdp_mech::budget::BudgetTimeline;
 pub use wevent::{w_event_plan, WEventPlan};
 
 /// Errors produced by the temporal-privacy layer.
@@ -141,6 +142,10 @@ pub enum TplError {
     /// No releases have been observed yet; the requested statistic is
     /// undefined.
     EmptyTimeline,
+    /// A personalized budget assignment failed validation: its user
+    /// ranges must be disjoint, non-empty, and cover every user exactly
+    /// once.
+    BudgetAssignment(String),
     /// A checkpoint was written by an incompatible format version.
     CheckpointVersion {
         /// Version stamped into the checkpoint file.
@@ -194,6 +199,9 @@ impl std::fmt::Display for TplError {
                 )
             }
             TplError::EmptyTimeline => write!(f, "no releases observed yet"),
+            TplError::BudgetAssignment(reason) => {
+                write!(f, "invalid personalized budget assignment: {reason}")
+            }
             TplError::CheckpointVersion { found, supported } => {
                 write!(
                     f,

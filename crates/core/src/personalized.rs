@@ -9,13 +9,21 @@
 //!
 //! This module provides both views:
 //!
-//! * [`PopulationAccountant`] — per-user accounting over a *shared*
-//!   budget timeline, **sharded by distinct adversary**: users with equal
-//!   adversary models share one [`TplAccountant`] (their series are
-//!   identical by construction), so cost scales with the number of
-//!   distinct mobility patterns, not the number of users, and shards fan
-//!   out across threads behind the default-on `parallel` feature. The
-//!   population leakage is the per-time maximum over users, merged in
+//! * [`PopulationAccountant`] — per-user accounting, **sharded by
+//!   `(adversary, budget timeline)` equivalence class**: users with equal
+//!   adversary models *and* equal budget timelines share one
+//!   [`TplAccountant`] (their series are identical by construction), so
+//!   cost scales with the number of distinct (pattern, timeline) classes,
+//!   not the number of users, and shards fan out across threads behind
+//!   the default-on `parallel` feature. On a population-wide budget
+//!   stream ([`PopulationAccountant::observe_release`]) the shard count
+//!   equals the number of distinct adversaries, exactly as before;
+//!   [`PopulationAccountant::observe_release_personalized`] lets user
+//!   ranges receive *different* budgets, splitting shards copy-on-write
+//!   the first time their members' timelines diverge. Shards on the same
+//!   budget sequence keep sharing one [`tcdp_mech::budget::BudgetTimeline`]
+//!   object, so a shared release is recorded once per distinct timeline.
+//!   The population leakage is the per-time maximum over users, merged in
 //!   deterministic group order (bit-identical to serial and to naive
 //!   per-user accounting).
 //! * [`personalized_plans`] — per-user Algorithm 2/3 plans for per-user
@@ -26,7 +34,9 @@ use crate::accountant::TplAccountant;
 use crate::adversary::AdversaryT;
 use crate::release::{population_plan, quantified_plan, upper_bound_plan, PlanKind, ReleasePlan};
 use crate::{check_epsilon, Result, TplError};
+use std::ops::Range;
 use std::sync::Arc;
+use tcdp_mech::budget::BudgetTimeline;
 
 /// Minimum number of distinct-adversary shards before a population
 /// operation fans out across threads (below this the spawn overhead
@@ -35,37 +45,45 @@ use std::sync::Arc;
 const PARALLEL_MIN_GROUPS: usize = 4;
 
 /// One accounting shard: every user whose adversary model equals
-/// `adversary`, sharing a single [`TplAccountant`]. The release timeline
-/// is population-wide, so all members of a shard have *identical*
-/// leakage series — one recursion serves them all.
+/// `adversary` *and* whose budget timeline is the shard's, sharing a
+/// single [`TplAccountant`]. Within a shard both the adversary and the
+/// observed ε trail coincide, so all members have *identical* leakage
+/// series — one recursion serves them all.
 #[derive(Debug, Clone)]
 struct UserGroup {
     adversary: AdversaryT,
-    /// Original user indices, ascending (construction scans users in
-    /// order, so `members[0]` is the group's lowest index and group
-    /// order is first-seen order — both facts the deterministic
-    /// tie-breaking below relies on).
+    /// Original user indices, ascending (`members[0]` is the group's
+    /// lowest index; the group list is kept sorted by that lowest index —
+    /// both facts the deterministic tie-breaking below relies on).
     members: Vec<usize>,
     acc: TplAccountant,
 }
 
-/// Per-user leakage accounting over one shared release timeline, sharded
-/// by distinct adversary.
+/// Per-user leakage accounting, sharded by `(adversary, budget timeline)`
+/// equivalence class.
 ///
-/// Users with the *same* adversary model are grouped into one shard
-/// holding a single [`TplAccountant`]: because the budget timeline is
-/// shared population-wide, every member of a shard has a bit-identical
-/// leakage series, so a population of N users over k distinct mobility
-/// patterns performs k leakage recursions (and builds k Algorithm 1
-/// pruning indexes), not N. Observation and queries fan the shards out
-/// across threads via `std::thread::scope` behind the default-on
-/// `parallel` feature; shard results are merged in deterministic group
-/// order, so sharded answers are bit-identical to the serial path (and
-/// to naive per-user accounting — property-tested in
-/// `tests/properties.rs`).
-#[derive(Debug, Clone)]
+/// Users with the *same* adversary model and the *same* budget timeline
+/// are grouped into one shard holding a single [`TplAccountant`]: every
+/// member of a shard has a bit-identical leakage series, so a population
+/// of N users over k distinct mobility patterns and m distinct budget
+/// timelines performs at most k·m leakage recursions (and builds k
+/// Algorithm 1 pruning indexes), not N. On a population-wide stream the
+/// shard count is exactly the number of distinct adversaries, as it was
+/// before per-user timelines existed. Shards whose members share a
+/// budget sequence share one [`BudgetTimeline`] *object* (copy-on-write:
+/// [`Self::observe_release_personalized`] clones a timeline only at the
+/// moment budgets actually diverge), so a shared release is pushed once
+/// per distinct timeline, not once per shard member.
+///
+/// Observation and queries fan the shards out across threads via
+/// `std::thread::scope` behind the default-on `parallel` feature; shard
+/// results are merged in deterministic group order, so sharded answers
+/// are bit-identical to the serial path (and to naive per-user
+/// accounting — property-tested in `tests/properties.rs`, including
+/// heterogeneous-timeline populations).
+#[derive(Debug)]
 pub struct PopulationAccountant {
-    /// Shards in first-seen order of their adversary: `groups[g]`'s
+    /// Shards sorted by ascending minimum member index: `groups[g]`'s
     /// minimum member index is strictly increasing in `g`.
     groups: Vec<UserGroup>,
     /// `membership[i]` is the shard of user `i`.
@@ -75,11 +93,14 @@ pub struct PopulationAccountant {
 impl PopulationAccountant {
     /// Build the sharded accountant from per-user adversary models;
     /// users with equal adversaries share one shard (linear-scan dedup:
-    /// real populations have few distinct correlation patterns).
+    /// real populations have few distinct correlation patterns). All
+    /// shards start on one shared, empty [`BudgetTimeline`]; they stay
+    /// on it until [`Self::observe_release_personalized`] diverges them.
     pub fn new(adversaries: &[AdversaryT]) -> Result<Self> {
         if adversaries.is_empty() {
             return Err(TplError::EmptyTimeline);
         }
+        let timeline = Arc::new(BudgetTimeline::new());
         let mut groups: Vec<UserGroup> = Vec::new();
         let mut membership = Vec::with_capacity(adversaries.len());
         for (i, adv) in adversaries.iter().enumerate() {
@@ -93,10 +114,11 @@ impl PopulationAccountant {
                     groups.push(UserGroup {
                         adversary: adv.clone(),
                         members: vec![i],
-                        acc: TplAccountant::with_shared_losses(
+                        acc: TplAccountant::with_shared_losses_and_timeline(
                             adv.backward_loss().map(Arc::new),
                             adv.forward_loss().map(Arc::new),
-                        ),
+                            Arc::clone(&timeline),
+                        )?,
                     });
                 }
             }
@@ -141,10 +163,56 @@ impl PopulationAccountant {
         self.membership.len()
     }
 
-    /// Number of distinct-adversary shards — the quantity observation
-    /// and query cost actually scales with.
+    /// Number of `(adversary, timeline)` shards — the quantity
+    /// observation and query cost actually scales with. Equals the
+    /// number of distinct adversaries until budgets diverge.
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of distinct budget-timeline *objects* across shards — 1
+    /// until [`Self::observe_release_personalized`] splits one, and the
+    /// number a shared release is recorded once per.
+    pub fn num_timelines(&self) -> usize {
+        Self::timeline_classes(&self.groups).1.len()
+    }
+
+    /// Number of releases every user has observed (shards always agree:
+    /// every observe path covers each user exactly once, and checkpoint
+    /// resume validates it).
+    pub fn num_releases(&self) -> usize {
+        self.groups.first().map_or(0, |g| g.acc.len())
+    }
+
+    /// The timeline-identity classification every sharing-aware path
+    /// keys on: `class_of[g]` is the timeline class of shard `g`, and
+    /// `reps[c]` the class's shared [`BudgetTimeline`] object (classes
+    /// in deterministic first-seen group order). Timelines are the same
+    /// class iff they are the same `Arc` object — the copy-on-write
+    /// invariant [`Self::observe_release_personalized`] maintains.
+    fn timeline_classes(groups: &[UserGroup]) -> (Vec<usize>, Vec<Arc<BudgetTimeline>>) {
+        let mut reps: Vec<Arc<BudgetTimeline>> = Vec::new();
+        let class_of = groups
+            .iter()
+            .map(|g| {
+                let timeline = g.acc.timeline();
+                match reps.iter().position(|r| Arc::ptr_eq(r, timeline)) {
+                    Some(c) => c,
+                    None => {
+                        reps.push(Arc::clone(timeline));
+                        reps.len() - 1
+                    }
+                }
+            })
+            .collect();
+        (class_of, reps)
+    }
+
+    /// Shard views in deterministic group order: each item is the
+    /// shard's ascending member indices and the [`TplAccountant`] they
+    /// all share. Read-only; useful for per-group reporting.
+    pub fn shards(&self) -> impl Iterator<Item = (&[usize], &TplAccountant)> {
+        self.groups.iter().map(|g| (g.members.as_slice(), &g.acc))
     }
 
     /// The thread count the default entry points fan out over: 1 (serial)
@@ -225,8 +293,9 @@ impl PopulationAccountant {
         attempted.into_iter().collect()
     }
 
-    /// Record a shared release of budget `eps` for every user: one BPL
-    /// recursion step per *distinct adversary*, fanned out across shards.
+    /// Record a shared release of budget `eps` for every user: one push
+    /// per *distinct timeline*, then one BPL recursion step per shard,
+    /// fanned out across threads.
     pub fn observe_release(&mut self, eps: f64) -> Result<()> {
         let threads = self.default_threads();
         self.observe_release_sharded(eps, threads)
@@ -242,9 +311,217 @@ impl PopulationAccountant {
 
     fn observe_release_sharded(&mut self, eps: f64, threads: usize) -> Result<()> {
         // Validate once up front so a bad budget cannot advance a prefix
-        // of the shards before the error surfaces.
+        // of the timelines before the error surfaces.
         check_epsilon(eps)?;
-        Self::map_groups_mut(&mut self.groups, threads, |g| g.acc.observe_release(eps))?;
+        // One push per distinct timeline object: shards sharing a
+        // timeline observe the release exactly once.
+        for timeline in Self::timeline_classes(&self.groups).1 {
+            timeline.push(eps)?;
+        }
+        // Advance every shard's BPL recursion, fanned out across threads.
+        Self::map_groups_mut(&mut self.groups, threads, |g| g.acc.sync_with_timeline())?;
+        Ok(())
+    }
+
+    /// Record one release with *personalized* budgets: each
+    /// `(user_range, eps)` assignment gives every user in the (0-based,
+    /// half-open) range the budget `eps` at this time point. The ranges
+    /// must be disjoint, non-empty, and cover every user exactly once —
+    /// the paper's PDP setting, where each user may consume a different
+    /// ε per release.
+    ///
+    /// Sharding is maintained copy-on-write: a shard whose members all
+    /// receive the same budget stays intact (and keeps *sharing* its
+    /// timeline object with other shards receiving that budget), while a
+    /// shard straddling two budgets splits into per-budget shards, each
+    /// cloning the common history once. Uniform assignments therefore
+    /// keep the flat distinct-adversary scaling, and heterogeneous
+    /// populations pay per `(adversary, timeline)` class, never per user.
+    pub fn observe_release_personalized(
+        &mut self,
+        assignments: &[(Range<usize>, f64)],
+    ) -> Result<()> {
+        let threads = self.default_threads();
+        self.observe_personalized_sharded(assignments, threads)
+    }
+
+    /// [`Self::observe_release_personalized`] forced onto an explicit
+    /// worker count (differential-test hook).
+    #[cfg(feature = "parallel")]
+    pub fn observe_release_personalized_forced_parallel(
+        &mut self,
+        assignments: &[(Range<usize>, f64)],
+        threads: usize,
+    ) -> Result<()> {
+        self.observe_personalized_sharded(assignments, threads)
+    }
+
+    fn observe_personalized_sharded(
+        &mut self,
+        assignments: &[(Range<usize>, f64)],
+        threads: usize,
+    ) -> Result<()> {
+        let bad = |reason: String| TplError::BudgetAssignment(reason);
+        // Validate the assignment up front: sorted, disjoint, non-empty
+        // ranges covering 0..num_users exactly, every budget valid —
+        // nothing is mutated before the whole assignment checks out.
+        let mut ranges: Vec<(Range<usize>, f64)> = assignments.to_vec();
+        ranges.sort_by_key(|(r, _)| r.start);
+        let mut expect = 0usize;
+        for (r, eps) in &ranges {
+            check_epsilon(*eps)?;
+            if r.end <= r.start {
+                return Err(bad(format!("empty user range {}..{}", r.start, r.end)));
+            }
+            if r.start > expect {
+                return Err(bad(format!("users {expect}..{} have no budget", r.start)));
+            }
+            if r.start < expect {
+                return Err(bad(format!(
+                    "user ranges overlap at user {} (ranges must be disjoint)",
+                    r.start
+                )));
+            }
+            expect = r.end;
+        }
+        if expect != self.num_users() {
+            return Err(bad(format!(
+                "assignments cover users 0..{expect} but the population has {} users",
+                self.num_users()
+            )));
+        }
+        // All budgets equal: this *is* the uniform release (and must stay
+        // on its flat fast path — no per-user work at all).
+        let first_eps = ranges[0].1;
+        if ranges
+            .iter()
+            .all(|(_, e)| e.to_bits() == first_eps.to_bits())
+        {
+            return self.observe_release_sharded(first_eps, threads);
+        }
+
+        // Partition each group's members by assigned budget. Members are
+        // ascending and ranges are sorted, so each range holds one
+        // contiguous slice of the member list (binary search, no
+        // per-user scan); slices land in per-budget buckets in ascending
+        // member order, keyed by first occurrence.
+        let group_buckets: Vec<Vec<(f64, Vec<usize>)>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut buckets: Vec<(f64, Vec<usize>)> = Vec::new();
+                for (r, eps) in &ranges {
+                    let lo = g.members.partition_point(|&m| m < r.start);
+                    let hi = g.members.partition_point(|&m| m < r.end);
+                    if lo == hi {
+                        continue;
+                    }
+                    match buckets
+                        .iter_mut()
+                        .find(|(e, _)| e.to_bits() == eps.to_bits())
+                    {
+                        Some((_, members)) => members.extend_from_slice(&g.members[lo..hi]),
+                        None => buckets.push((*eps, g.members[lo..hi].to_vec())),
+                    }
+                }
+                buckets
+            })
+            .collect();
+
+        // Per distinct timeline object, the distinct budgets its shards
+        // receive this release, in deterministic first-occurrence order
+        // (groups ascending, buckets in creation order).
+        let (class_of, class_base) = Self::timeline_classes(&self.groups);
+        let mut class_eps: Vec<Vec<f64>> = vec![Vec::new(); class_base.len()];
+        for (g, buckets) in group_buckets.iter().enumerate() {
+            let c = class_of[g];
+            for (eps, _) in buckets {
+                if !class_eps[c].iter().any(|e| e.to_bits() == eps.to_bits()) {
+                    class_eps[c].push(*eps);
+                }
+            }
+        }
+
+        // Copy-on-write: the first budget of a class is pushed in place
+        // on the shared timeline (every shard keeping it sees the push);
+        // every further budget forks the pre-push history once and is
+        // shared by all of the class's shards receiving it.
+        let mut class_arcs: Vec<Vec<Arc<BudgetTimeline>>> = Vec::with_capacity(class_eps.len());
+        for (c, eps_list) in class_eps.iter().enumerate() {
+            let base = &class_base[c];
+            let pre_push = (eps_list.len() > 1).then(|| (**base).clone());
+            let mut arcs = Vec::with_capacity(eps_list.len());
+            for (k, &eps) in eps_list.iter().enumerate() {
+                if k == 0 {
+                    base.push(eps)?;
+                    arcs.push(Arc::clone(base));
+                } else {
+                    let fork = pre_push.as_ref().expect("pre-push snapshot exists").clone();
+                    fork.push(eps)?;
+                    arcs.push(Arc::new(fork));
+                }
+            }
+            class_arcs.push(arcs);
+        }
+
+        // Rebuild the shard list: intact groups keep their accountant
+        // (re-pointed at their budget's timeline when it forked), split
+        // groups clone the shared history once per extra budget.
+        let any_split = group_buckets.iter().any(|b| b.len() > 1);
+        let old_groups = std::mem::take(&mut self.groups);
+        let mut new_groups: Vec<UserGroup> = Vec::with_capacity(
+            old_groups.len() + group_buckets.iter().map(|b| b.len() - 1).sum::<usize>(),
+        );
+        for ((g, old), buckets) in old_groups.into_iter().enumerate().zip(group_buckets) {
+            let c = class_of[g];
+            let arc_for = |eps: f64| -> Arc<BudgetTimeline> {
+                let k = class_eps[c]
+                    .iter()
+                    .position(|e| e.to_bits() == eps.to_bits())
+                    .expect("bucket budget was registered for its class");
+                Arc::clone(&class_arcs[c][k])
+            };
+            // Clones first (they need `&old.acc`), then the in-place
+            // re-use of the original accountant for the first bucket.
+            let split_accs: Vec<TplAccountant> = buckets[1..]
+                .iter()
+                .map(|(eps, _)| old.acc.clone_with_timeline(arc_for(*eps)))
+                .collect();
+            let mut first_acc = old.acc;
+            let first_arc = arc_for(buckets[0].0);
+            if !Arc::ptr_eq(first_acc.timeline(), &first_arc) {
+                first_acc.set_timeline(first_arc);
+            }
+            let mut first_acc = Some(first_acc);
+            let mut split_accs = split_accs.into_iter();
+            for (k, (_, members)) in buckets.into_iter().enumerate() {
+                let acc = if k == 0 {
+                    first_acc.take().expect("first bucket taken once")
+                } else {
+                    split_accs.next().expect("one clone per extra bucket")
+                };
+                new_groups.push(UserGroup {
+                    adversary: old.adversary.clone(),
+                    members,
+                    acc,
+                });
+            }
+        }
+        if any_split {
+            // Restore the ascending-minimum-member group order the
+            // deterministic tie-breaking (and the checkpoint format)
+            // relies on, and remap users to their shards.
+            new_groups.sort_by_key(|g| g.members[0]);
+            for (gi, g) in new_groups.iter().enumerate() {
+                for &m in &g.members {
+                    self.membership[m] = gi;
+                }
+            }
+        }
+        self.groups = new_groups;
+
+        // Advance every shard's BPL recursion, fanned out across threads.
+        Self::map_groups_mut(&mut self.groups, threads, |g| g.acc.sync_with_timeline())?;
         Ok(())
     }
 
@@ -339,6 +616,32 @@ impl PopulationAccountant {
             });
         }
         best.map(|(idx, _)| idx).ok_or(TplError::EmptyTimeline)
+    }
+}
+
+impl Clone for PopulationAccountant {
+    /// Cloning preserves the copy-on-write timeline topology: shards that
+    /// shared one timeline object in the original share one (fresh) object
+    /// in the clone, so the clone observes shared releases once per
+    /// distinct timeline exactly as the original does.
+    fn clone(&self) -> Self {
+        let (class_of, reps) = Self::timeline_classes(&self.groups);
+        let fresh: Vec<Arc<BudgetTimeline>> =
+            reps.iter().map(|r| Arc::new((**r).clone())).collect();
+        let groups = self
+            .groups
+            .iter()
+            .zip(&class_of)
+            .map(|(g, &c)| UserGroup {
+                adversary: g.adversary.clone(),
+                members: g.members.clone(),
+                acc: g.acc.clone_with_timeline(Arc::clone(&fresh[c])),
+            })
+            .collect();
+        Self {
+            groups,
+            membership: self.membership.clone(),
+        }
     }
 }
 
@@ -541,6 +844,186 @@ mod tests {
         }
         big.tpl_series().unwrap();
         assert_eq!(big.user(0).unwrap().loss_eval_count(), c0);
+    }
+
+    #[test]
+    fn personalized_observe_splits_shards_copy_on_write() {
+        // Four users, two adversaries, interleaved: shards {0,2} and
+        // {1,3}. After a uniform prefix, users 0..2 and 2..4 diverge —
+        // both shards straddle the cut, so each splits in two.
+        let advs = [strong_user(), weak_user(), strong_user(), weak_user()];
+        let mut pop = PopulationAccountant::new(&advs).unwrap();
+        assert_eq!(pop.num_groups(), 2);
+        assert_eq!(pop.num_timelines(), 1);
+        for _ in 0..3 {
+            pop.observe_release(0.1).unwrap();
+        }
+        assert_eq!(pop.num_timelines(), 1, "uniform stream never splits");
+
+        pop.observe_release_personalized(&[(0..2, 0.05), (2..4, 0.3)])
+            .unwrap();
+        assert_eq!(pop.num_groups(), 4, "both shards straddle the cut");
+        assert_eq!(
+            pop.num_timelines(),
+            2,
+            "one timeline per distinct budget sequence, shared across adversaries"
+        );
+        // Another personalized release along the same cut: no further
+        // splits, pushes land once per timeline.
+        pop.observe_release_personalized(&[(0..2, 0.05), (2..4, 0.3)])
+            .unwrap();
+        assert_eq!(pop.num_groups(), 4);
+        assert_eq!(pop.num_timelines(), 2);
+        // ...and a uniform release on the diverged population still works.
+        pop.observe_release(0.2).unwrap();
+
+        // Every user matches a standalone accountant fed their own trail.
+        for (i, adv) in advs.iter().enumerate() {
+            let mut solo = TplAccountant::new(adv);
+            for _ in 0..3 {
+                solo.observe_release(0.1).unwrap();
+            }
+            let personal = if i < 2 { 0.05 } else { 0.3 };
+            solo.observe_release(personal).unwrap();
+            solo.observe_release(personal).unwrap();
+            solo.observe_release(0.2).unwrap();
+            assert_eq!(
+                pop.user(i).unwrap().tpl_series().unwrap(),
+                solo.tpl_series().unwrap(),
+                "user {i}"
+            );
+            assert_eq!(
+                pop.user(i).unwrap().budgets(),
+                solo.budgets(),
+                "user {i} trail"
+            );
+        }
+    }
+
+    #[test]
+    fn personalized_observe_with_equal_budgets_is_the_uniform_path() {
+        let advs = [strong_user(), weak_user(), strong_user()];
+        let mut split_form = PopulationAccountant::new(&advs).unwrap();
+        let mut uniform_form = PopulationAccountant::new(&advs).unwrap();
+        for _ in 0..4 {
+            split_form
+                .observe_release_personalized(&[(0..1, 0.1), (1..3, 0.1)])
+                .unwrap();
+            uniform_form.observe_release(0.1).unwrap();
+        }
+        // Equal budgets across all ranges must not split anything.
+        assert_eq!(split_form.num_groups(), uniform_form.num_groups());
+        assert_eq!(split_form.num_timelines(), 1);
+        assert_eq!(
+            split_form.tpl_series().unwrap(),
+            uniform_form.tpl_series().unwrap()
+        );
+    }
+
+    #[test]
+    fn personalized_observe_validates_coverage() {
+        let mut pop = PopulationAccountant::new(&[strong_user(), weak_user()]).unwrap();
+        let bad = |assignments: &[(std::ops::Range<usize>, f64)]| {
+            matches!(
+                pop.clone().observe_release_personalized(assignments),
+                Err(TplError::BudgetAssignment(_))
+            )
+        };
+        assert!(bad(&[(0..1, 0.1)]), "gap at the end");
+        assert!(bad(&[(1..2, 0.1)]), "gap at the start");
+        assert!(bad(&[(0..2, 0.1), (1..2, 0.2)]), "overlap");
+        assert!(bad(&[(0..2, 0.1), (2..3, 0.2)]), "past the population");
+        assert!(bad(&[(0..0, 0.1), (0..2, 0.2)]), "empty range");
+        assert!(matches!(
+            pop.observe_release_personalized(&[(0..2, -1.0)]),
+            Err(TplError::InvalidEpsilon(_))
+        ));
+        // Nothing was observed by any failed attempt.
+        assert!(pop.user(0).unwrap().is_empty());
+        // A valid assignment in any order works.
+        pop.observe_release_personalized(&[(1..2, 0.2), (0..1, 0.1)])
+            .unwrap();
+        assert_eq!(pop.user(0).unwrap().budgets(), vec![0.1]);
+        assert_eq!(pop.user(1).unwrap().budgets(), vec![0.2]);
+    }
+
+    #[test]
+    fn population_clone_preserves_timeline_sharing() {
+        let mut pop =
+            PopulationAccountant::new(&[strong_user(), weak_user(), strong_user()]).unwrap();
+        pop.observe_release(0.1).unwrap();
+        pop.observe_release_personalized(&[(0..1, 0.2), (1..3, 0.3)])
+            .unwrap();
+        let clone = pop.clone();
+        assert_eq!(clone.num_groups(), pop.num_groups());
+        assert_eq!(clone.num_timelines(), pop.num_timelines());
+        // Advancing the clone must not advance the original.
+        let mut clone = clone;
+        clone.observe_release(0.1).unwrap();
+        assert_eq!(pop.user(0).unwrap().len(), 2);
+        assert_eq!(clone.user(0).unwrap().len(), 3);
+    }
+
+    /// Satellite check: [`personalized_plans`] output round-trips through
+    /// the per-user observe API — each user is audited under her own plan
+    /// budgets by the *same* population accountant, and the result is
+    /// bit-identical to a standalone per-user audit while meeting each
+    /// personal target.
+    #[test]
+    fn personalized_plans_round_trip_through_personalized_observe() {
+        let targets = vec![
+            UserTarget {
+                adversary: strong_user(),
+                alpha: 0.5,
+            },
+            UserTarget {
+                adversary: weak_user(),
+                alpha: 2.0,
+            },
+        ];
+        let t_len = 10;
+        let plans = personalized_plans(&targets, PlanKind::Quantified, t_len).unwrap();
+        let adversaries: Vec<AdversaryT> = targets.iter().map(|u| u.adversary.clone()).collect();
+        let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+        for t in 0..t_len {
+            pop.observe_release_personalized(&[
+                (0..1, plans[0].budget_at(t)),
+                (1..2, plans[1].budget_at(t)),
+            ])
+            .unwrap();
+        }
+        assert_eq!(pop.num_timelines(), 2, "the plans differ per user");
+        for (i, target) in targets.iter().enumerate() {
+            let mut solo = TplAccountant::new(&target.adversary);
+            for t in 0..t_len {
+                solo.observe_release(plans[i].budget_at(t)).unwrap();
+            }
+            let pop_worst = pop.user(i).unwrap().max_tpl().unwrap();
+            assert_eq!(
+                pop_worst.to_bits(),
+                solo.max_tpl().unwrap().to_bits(),
+                "user {i}"
+            );
+            assert!(
+                pop_worst <= target.alpha + 1e-7,
+                "user {i}: {pop_worst} > {}",
+                target.alpha
+            );
+        }
+        // The population-level guarantee is the worst personal target's
+        // audit, and the most exposed user is found across plans.
+        let worst = pop.max_tpl().unwrap();
+        assert!(worst <= 2.0 + 1e-7);
+        // The shared single-mechanism plan keeps the uniform path flat.
+        let shared = shared_plan_for_targets(&targets, PlanKind::Quantified, t_len).unwrap();
+        let mut shared_pop = PopulationAccountant::new(&adversaries).unwrap();
+        for t in 0..t_len {
+            shared_pop.observe_release(shared.budget_at(t)).unwrap();
+        }
+        assert_eq!(shared_pop.num_timelines(), 1);
+        for target in &targets {
+            assert!(shared_pop.max_tpl().unwrap() <= target.alpha.max(0.5) + 1e-7);
+        }
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! Privacy budgets, schedules, and composition accounting.
+//! Privacy budgets, schedules, timelines, and composition accounting.
 //!
 //! The budget `ε` is the paper's measure of privacy leakage for a single
 //! release (Definition 2: `M` satisfies ε-DP iff `PL0(M) ≤ ε`). A
 //! [`BudgetSchedule`] assigns one `ε_t` to each time point of a continual
-//! release — the object that the paper's Algorithms 2 and 3 compute. The
-//! [`CompositionLedger`] implements the classic sequential composition
-//! theorem on independent data (the paper's Theorem 3): a combined
-//! mechanism spends the *sum* of its parts.
+//! release — the object that the paper's Algorithms 2 and 3 compute. A
+//! [`BudgetTimeline`] is the *observed* counterpart: the ε trail a
+//! mechanism has actually spent, growing release by release, shareable
+//! between accountants. The [`CompositionLedger`] implements the classic
+//! sequential composition theorem on independent data (the paper's
+//! Theorem 3): a combined mechanism spends the *sum* of its parts.
 
 use crate::{MechError, Result};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::RwLock;
 
 /// A validated privacy budget: a finite, strictly positive real.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
@@ -162,6 +165,217 @@ impl BudgetSchedule {
     }
 }
 
+/// The state behind a [`BudgetTimeline`]: the observed ε trail plus its
+/// incrementally maintained prefix sums.
+#[derive(Debug, Clone)]
+struct TimelineInner {
+    budgets: Vec<f64>,
+    /// `prefix[k] = Σ budgets[..k]` (`len + 1` entries), maintained one
+    /// addition per push — the same left fold a from-scratch scan
+    /// performs, so prefix values are bit-identical to a fresh
+    /// recomputation at any point.
+    prefix: Vec<f64>,
+    /// Bumped by every mutation; the version stamp consumers key derived
+    /// series caches on. Append-only timelines keep `revision == len`.
+    revision: u64,
+}
+
+impl TimelineInner {
+    fn push_unchecked(&mut self, eps: f64) {
+        let run = self.prefix.last().copied().unwrap_or(0.0);
+        self.budgets.push(eps);
+        self.prefix.push(run + eps);
+        self.revision += 1;
+    }
+}
+
+/// A per-user (or per-shard) release budget timeline: the ε sequence a
+/// mechanism has actually *spent*, one entry per observed release.
+///
+/// This is the observed-trail counterpart of [`BudgetSchedule`] (a
+/// schedule is the plan fixed ahead of time; [`BudgetTimeline::from_schedule`]
+/// seeds a timeline from one). The timeline is **append-only** and
+/// interior-mutable behind an `RwLock`, so several accountants can hold
+/// one timeline through an `Arc` and a shared release is recorded
+/// exactly once for all of them: readers take the shared lock
+/// ([`BudgetTimeline::with_values`] and the query surface), the
+/// appending coordinator takes the exclusive lock briefly per
+/// [`BudgetTimeline::push`]. Besides the raw trail it maintains the
+/// prefix sums (O(1) window budget totals) and a [`BudgetTimeline::revision`]
+/// stamp that derived-series caches key on.
+#[derive(Debug)]
+pub struct BudgetTimeline {
+    inner: RwLock<TimelineInner>,
+}
+
+impl BudgetTimeline {
+    /// An empty timeline (no releases observed yet).
+    pub fn new() -> Self {
+        BudgetTimeline {
+            inner: RwLock::new(TimelineInner {
+                budgets: Vec::new(),
+                prefix: vec![0.0],
+                revision: 0,
+            }),
+        }
+    }
+
+    /// A timeline seeded with an explicit trail; every entry is validated
+    /// as a budget ([`Epsilon::new`]'s rules).
+    pub fn from_values(values: &[f64]) -> Result<Self> {
+        let timeline = BudgetTimeline::new();
+        for &v in values {
+            timeline.push(v)?;
+        }
+        Ok(timeline)
+    }
+
+    /// A timeline that has already spent every budget of `schedule`
+    /// (valid by the schedule's own construction).
+    pub fn from_schedule(schedule: &BudgetSchedule) -> Self {
+        let timeline = BudgetTimeline::new();
+        {
+            let mut inner = timeline.write();
+            for v in schedule.values() {
+                inner.push_unchecked(v);
+            }
+        }
+        timeline
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, TimelineInner> {
+        self.inner.read().expect("budget timeline lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, TimelineInner> {
+        self.inner.write().expect("budget timeline lock poisoned")
+    }
+
+    /// Append one release's budget; returns the new length. Rejects
+    /// non-finite or non-positive budgets, leaving the trail untouched.
+    pub fn push(&self, eps: f64) -> Result<usize> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(MechError::InvalidEpsilon(eps));
+        }
+        let mut inner = self.write();
+        inner.push_unchecked(eps);
+        Ok(inner.budgets.len())
+    }
+
+    /// Number of releases recorded.
+    pub fn len(&self) -> usize {
+        self.read().budgets.len()
+    }
+
+    /// Whether no release has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.read().budgets.is_empty()
+    }
+
+    /// The revision stamp: bumped by every push. Derived-series caches
+    /// compare their recorded revision against this to decide validity.
+    pub fn revision(&self) -> u64 {
+        self.read().revision
+    }
+
+    /// Budget at time index `t` (0-based), if recorded.
+    pub fn budget_at(&self, t: usize) -> Option<f64> {
+        self.read().budgets.get(t).copied()
+    }
+
+    /// A snapshot copy of the whole trail.
+    pub fn values(&self) -> Vec<f64> {
+        self.read().budgets.clone()
+    }
+
+    /// Run `f` over the trail without copying it. The shared lock is
+    /// held for the duration of `f`; do not push from inside.
+    pub fn with_values<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        f(&self.read().budgets)
+    }
+
+    /// `Σ ε_k` over the window `[t, t + w)` from the prefix sums, or
+    /// `None` when the window does not fit the trail. O(1); the result
+    /// may differ from a naive slice sum in the last ulp, as any
+    /// prefix-difference does.
+    pub fn window_sum(&self, t: usize, w: usize) -> Option<f64> {
+        let inner = self.read();
+        let end = t.checked_add(w)?;
+        if end >= inner.prefix.len() {
+            return None;
+        }
+        Some(inner.prefix[end] - inner.prefix[t])
+    }
+
+    /// Total spent budget `Σ ε_k` — the user-level sequential-composition
+    /// guarantee of the whole trail (Theorem 3 / the paper's Corollary 1).
+    pub fn total(&self) -> f64 {
+        let inner = self.read();
+        *inner
+            .prefix
+            .last()
+            .expect("prefix always has a zeroth entry")
+    }
+
+    /// Whether two timelines hold bit-identical trails — the equivalence
+    /// the population accountant's copy-on-write sharing is keyed on.
+    pub fn series_eq(&self, other: &BudgetTimeline) -> bool {
+        if std::ptr::eq(self, other) {
+            // Same object: a second read of the same RwLock on this
+            // thread could deadlock against a queued writer.
+            return true;
+        }
+        let a = self.read();
+        let b = other.read();
+        a.budgets.len() == b.budgets.len()
+            && a.budgets
+                .iter()
+                .zip(&b.budgets)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+}
+
+impl Default for BudgetTimeline {
+    fn default() -> Self {
+        BudgetTimeline::new()
+    }
+}
+
+impl Clone for BudgetTimeline {
+    /// A deep snapshot: the clone shares nothing with the original (the
+    /// copy-on-write seam population accounting splits timelines along).
+    fn clone(&self) -> Self {
+        BudgetTimeline {
+            inner: RwLock::new(self.read().clone()),
+        }
+    }
+}
+
+impl Serialize for BudgetTimeline {
+    /// Serializes the raw trail; prefix sums and revision are rebuilt on
+    /// restore (push-by-push, so they are bit-identical by construction).
+    fn to_value(&self) -> Value {
+        self.with_values(|budgets| Value::Seq(budgets.iter().map(|b| Value::Num(*b)).collect()))
+    }
+}
+
+impl Deserialize for BudgetTimeline {
+    /// Rebuilds the trail without budget-validity checks (consumers such
+    /// as `tcdp-core`'s checkpoint layer validate and report in their own
+    /// error vocabulary); the prefix sums are re-derived entry by entry.
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let values = Vec::<f64>::from_value(v)?;
+        let timeline = BudgetTimeline::new();
+        {
+            let mut inner = timeline.write();
+            for v in values {
+                inner.push_unchecked(v);
+            }
+        }
+        Ok(timeline)
+    }
+}
+
 /// A spend-tracking ledger over a total budget, enforcing that sequential
 /// composition never exceeds the granted total.
 #[derive(Debug, Clone)]
@@ -278,6 +492,74 @@ mod tests {
         assert!(BudgetSchedule::from_values(&[]).is_err());
         assert!(BudgetSchedule::from_values(&[0.1, 0.0]).is_err());
         assert!(BudgetSchedule::uniform(Epsilon::new(0.1).unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn timeline_push_and_prefix_sums() {
+        let t = BudgetTimeline::new();
+        assert!(t.is_empty());
+        assert_eq!(t.revision(), 0);
+        assert_eq!(t.push(0.5).unwrap(), 1);
+        assert_eq!(t.push(0.2).unwrap(), 2);
+        assert_eq!(t.push(0.3).unwrap(), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.revision(), 3);
+        assert_eq!(t.budget_at(1), Some(0.2));
+        assert_eq!(t.budget_at(3), None);
+        assert_eq!(t.values(), vec![0.5, 0.2, 0.3]);
+        // Prefix-sum windows match the sequential left fold bit for bit.
+        let manual: f64 = 0.5 + 0.2;
+        assert_eq!(t.window_sum(0, 2).unwrap().to_bits(), manual.to_bits());
+        assert_eq!(t.window_sum(1, 2), Some(t.total() - 0.5));
+        assert_eq!(t.window_sum(2, 2), None);
+        assert_eq!(t.window_sum(usize::MAX, 2), None);
+        assert!((t.total() - 1.0).abs() < 1e-12);
+        assert_eq!(t.with_values(|b| b.len()), 3);
+    }
+
+    #[test]
+    fn timeline_rejects_invalid_budgets() {
+        let t = BudgetTimeline::new();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(t.push(bad).is_err());
+        }
+        assert!(t.is_empty(), "failed pushes must not be recorded");
+        assert!(BudgetTimeline::from_values(&[0.1, 0.0]).is_err());
+        assert_eq!(BudgetTimeline::from_values(&[0.1]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn timeline_sharing_and_snapshots() {
+        use std::sync::Arc;
+        let shared = Arc::new(BudgetTimeline::from_values(&[0.1, 0.2]).unwrap());
+        let view = Arc::clone(&shared);
+        shared.push(0.3).unwrap();
+        // The Arc-shared view sees the push; a clone taken before does not.
+        assert_eq!(view.len(), 3);
+        let snapshot = (*shared).clone();
+        shared.push(0.4).unwrap();
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(shared.len(), 4);
+        assert!(!snapshot.series_eq(&shared));
+        let twin = BudgetTimeline::from_values(&[0.1, 0.2, 0.3]).unwrap();
+        assert!(snapshot.series_eq(&twin));
+        assert!(snapshot.series_eq(&snapshot));
+    }
+
+    #[test]
+    fn timeline_from_schedule_and_serde() {
+        let s = BudgetSchedule::from_values(&[0.5, 0.1, 0.4]).unwrap();
+        let t = BudgetTimeline::from_schedule(&s);
+        assert_eq!(t.values(), s.values());
+        assert_eq!(t.revision(), 3);
+        let v = t.to_value();
+        let back = BudgetTimeline::from_value(&v).unwrap();
+        assert!(back.series_eq(&t));
+        assert_eq!(back.revision(), 3);
+        assert_eq!(
+            back.window_sum(0, 3).unwrap().to_bits(),
+            t.window_sum(0, 3).unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! implemented from scratch:
 //!
 //! * [`budget`] — the privacy budget `ε` as a validated type, per-time
-//!   budget schedules, and a composition ledger implementing McSherry's
-//!   sequential composition (the paper's Theorem 3) and parallel
-//!   composition;
+//!   budget schedules, shareable observed-budget timelines
+//!   ([`BudgetTimeline`]), and a composition ledger implementing
+//!   McSherry's sequential composition (the paper's Theorem 3) and
+//!   parallel composition;
 //! * [`laplace`] — the Laplace distribution and the Laplace mechanism of
 //!   Dwork et al. (the paper's Theorem 1), plus the geometric mechanism as
 //!   an integer-valued alternative;
@@ -33,7 +34,7 @@ pub mod laplace;
 pub mod query;
 pub mod stream;
 
-pub use budget::{BudgetSchedule, Epsilon};
+pub use budget::{BudgetSchedule, BudgetTimeline, Epsilon};
 pub use laplace::{Laplace, LaplaceMechanism};
 pub use query::{Database, HistogramQuery};
 

@@ -31,11 +31,15 @@
 //! ```
 
 use std::io::BufRead;
+use std::ops::Range;
 use std::path::Path;
 use std::process::ExitCode;
 use tcdp::core::composition::w_event_guarantee;
+use tcdp::core::personalized::PopulationAccountant;
 use tcdp::core::supremum::{supremum_of_matrix, Supremum};
-use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, TplAccountant};
+use tcdp::core::{
+    quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, CheckpointKind, TplAccountant,
+};
 use tcdp::markov::TransitionMatrix;
 
 const USAGE: &str = "\
@@ -45,8 +49,9 @@ USAGE:
   tcdp-cli quantify [--pb M] [--pf M] --eps E --t T
   tcdp-cli supremum --matrix M --eps E
   tcdp-cli plan     [--pb M] [--pf M] --alpha A [--horizon T]
-  tcdp-cli audit    [--pb M] [--pf M] [--budgets SPEC] [--w W1,W2,...]
-                    [--stream] [--checkpoint FILE] [--resume FILE]
+  tcdp-cli audit    [--pb M] [--pf M] [--population SPEC] [--budgets SPEC]
+                    [--w W1,W2,...] [--stream] [--checkpoint FILE]
+                    [--resume FILE]
   tcdp-cli estimate --traces FILE [--pseudo C]
   tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
 
@@ -59,11 +64,30 @@ USAGE:
   JSON array). --w emits the Theorem 2 w-event guarantee per window length
   next to the independent-composition window sum; --stream prints each
   release's running report as it is observed.
+
+  `audit --population SPEC` audits a whole *population* with per-user
+  budget timelines (personalized DP). SPEC is a JSON array of group
+  objects, inline or '@groups.json':
+      '[{\"count\": 5000, \"pb\": M, \"pf\": M}, {\"count\": 5000}, ...]'
+  Users are numbered 0.. in group order. --budgets then carries ONE
+  RELEASE PER LINE (stdin via '-', a '@file' of lines, or inline CSV of
+  uniform budgets), each line in one of three forms:
+      0.1                        every user spends 0.1;
+      {\"0\": 0.1, \"1\": 0.2}       group index -> eps (every group listed);
+      [[0,5000,0.1],[5000,10000,0.2]]
+                                 [start,end,eps) user ranges, covering
+                                 every user exactly once.
+  The audit reports per-group guarantees (worst TPL, user-level, per-
+  window w-event) next to the population summary; accounting cost scales
+  with distinct (correlation, timeline) classes, not users.
+
   `audit --checkpoint FILE` saves the accountant state after the audit;
   `audit --resume FILE` restores it and continues the same timeline (the
-  checkpoint carries the adversary, so drop --pb/--pf; --budgets becomes
-  optional — omit it to just re-summarize). A stopped-and-resumed audit
-  emits byte-identical guarantees to an uninterrupted one.
+  checkpoint carries the adversaries and, for populations, the per-shard
+  budget timelines, so drop --pb/--pf/--population; --budgets becomes
+  optional — omit it to just re-summarize, and use the bare-eps or
+  user-range line forms to continue a population stream). A stopped-and-
+  resumed audit emits byte-identical guarantees to an uninterrupted one.
   `estimate` fits P^F/P^B from a trace file (one trajectory per line) and
   prints them as JSON usable with --pb/--pf. `report` is a one-shot audit:
   actual leakage of an eps-per-step stream plus the plans that would meet
@@ -326,14 +350,388 @@ fn read_budget_list(spec: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+fn parse_windows(opts: &Opts) -> Result<Vec<usize>, String> {
+    match opts.get("w") {
+        None => Ok(Vec::new()),
+        Some(raw) => raw
+            .split(',')
+            .map(|v| v.trim().parse::<usize>().map_err(|e| format!("--w: {e}")))
+            .collect(),
+    }
+}
+
+/// One group of a `--population` spec: a contiguous user range sharing
+/// one adversary model.
+struct GroupSpec {
+    users: Range<usize>,
+    adversary: AdversaryT,
+}
+
+/// Resolve an inline-or-`@file` spec into its text.
+fn spec_text(name: &str, spec: &str) -> Result<String, String> {
+    if let Some(path) = spec.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| format!("--{name}: {path}: {e}"))
+    } else {
+        Ok(spec.to_string())
+    }
+}
+
+/// Parse a `--population` spec (inline JSON or `@file`): an array of
+/// `{"count": N, "pb": M?, "pf": M?}` objects; users are numbered 0.. in
+/// group order.
+fn parse_population_spec(spec: &str) -> Result<Vec<GroupSpec>, String> {
+    use serde::{Deserialize as _, Value};
+    let text = spec_text("population", spec)?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| format!("--population: bad JSON: {e}"))?;
+    let Value::Seq(entries) = &v else {
+        return Err("--population: expected a JSON array of group objects".into());
+    };
+    if entries.is_empty() {
+        return Err("--population: at least one group is required".into());
+    }
+    let mut groups = Vec::with_capacity(entries.len());
+    let mut start = 0usize;
+    for (g, entry) in entries.iter().enumerate() {
+        let count = match entry.get("count") {
+            Some(Value::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
+            _ => {
+                return Err(format!(
+                    "--population: groups[{g}]: `count` must be a positive integer"
+                ))
+            }
+        };
+        let side = |k: &str| -> Result<Option<TransitionMatrix>, String> {
+            match entry.get(k) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => {
+                    let rows = Vec::<Vec<f64>>::from_value(v)
+                        .map_err(|e| format!("--population: groups[{g}].{k}: {e}"))?;
+                    TransitionMatrix::from_rows(rows)
+                        .map(Some)
+                        .map_err(|e| format!("--population: groups[{g}].{k}: {e}"))
+                }
+            }
+        };
+        let adversary = match (side("pb")?, side("pf")?) {
+            (Some(b), Some(f)) => AdversaryT::with_both(b, f)
+                .map_err(|e| format!("--population: groups[{g}]: {e}"))?,
+            (Some(b), None) => AdversaryT::with_backward(b),
+            (None, Some(f)) => AdversaryT::with_forward(f),
+            (None, None) => AdversaryT::traditional(),
+        };
+        groups.push(GroupSpec {
+            users: start..start + count,
+            adversary,
+        });
+        start += count;
+    }
+    Ok(groups)
+}
+
+/// One parsed `--budgets` line of a population audit.
+enum ReleaseLine {
+    /// A bare ε: every user spends it.
+    Uniform(f64),
+    /// Personalized `(user_range, ε)` assignments.
+    Ranges(Vec<(Range<usize>, f64)>),
+}
+
+/// Parse one population budget line: a bare ε, a `{"group": eps}` object
+/// (group indices from the `--population` spec), or a
+/// `[[start,end,eps],...]` user-range array.
+fn parse_release_line(line: &str, groups: Option<&[GroupSpec]>) -> Result<ReleaseLine, String> {
+    use serde::{Deserialize as _, Value};
+    let t = line.trim();
+    if t.starts_with('[') {
+        let triples: Vec<Vec<f64>> =
+            serde_json::from_str(t).map_err(|e| format!("--budgets: line '{t}': {e}"))?;
+        let mut out = Vec::with_capacity(triples.len());
+        for (i, tr) in triples.iter().enumerate() {
+            let [s, e, eps] = tr.as_slice() else {
+                return Err(format!(
+                    "--budgets: range entry {i} must be [start, end, eps]"
+                ));
+            };
+            if s.fract() != 0.0 || e.fract() != 0.0 || *s < 0.0 || *e < 0.0 {
+                return Err(format!(
+                    "--budgets: range entry {i}: bounds must be non-negative integers"
+                ));
+            }
+            out.push((*s as usize..*e as usize, *eps));
+        }
+        Ok(ReleaseLine::Ranges(out))
+    } else if t.starts_with('{') {
+        let Some(groups) = groups else {
+            return Err(
+                "--budgets: group-indexed lines need a --population spec; use \
+                 [[start,end,eps],...] ranges when resuming from a checkpoint"
+                    .into(),
+            );
+        };
+        let v: Value =
+            serde_json::from_str(t).map_err(|e| format!("--budgets: line '{t}': {e}"))?;
+        let Value::Map(entries) = &v else {
+            return Err(format!("--budgets: line '{t}': expected an object"));
+        };
+        let mut out = Vec::with_capacity(groups.len());
+        let mut covered = vec![false; groups.len()];
+        for (key, val) in entries {
+            let g: usize = key
+                .parse()
+                .map_err(|e| format!("--budgets: group key '{key}': {e}"))?;
+            if g >= groups.len() {
+                return Err(format!(
+                    "--budgets: group {g} does not exist (the spec has {} groups)",
+                    groups.len()
+                ));
+            }
+            if covered[g] {
+                return Err(format!("--budgets: group {g} is assigned twice"));
+            }
+            covered[g] = true;
+            let eps = f64::from_value(val).map_err(|e| format!("--budgets: group {g}: {e}"))?;
+            out.push((groups[g].users.clone(), eps));
+        }
+        if let Some(missing) = covered.iter().position(|c| !c) {
+            return Err(format!(
+                "--budgets: group {missing} has no budget on this line (every group \
+                 must be listed)"
+            ));
+        }
+        Ok(ReleaseLine::Ranges(out))
+    } else {
+        t.parse::<f64>()
+            .map(ReleaseLine::Uniform)
+            .map_err(|e| format!("--budgets: line '{t}': {e}"))
+    }
+}
+
+/// The population audit: observe the per-release budget lines, then
+/// report per-group and population-level guarantees.
+fn audit_population(
+    opts: &Opts,
+    mut pop: PopulationAccountant,
+    groups: Option<Vec<GroupSpec>>,
+    resumed: bool,
+) -> Result<(), String> {
+    let spec = match (opts.get("budgets"), resumed) {
+        (Some(spec), _) => Some(spec),
+        (None, true) => None,
+        (None, false) => {
+            return Err(
+                "--budgets is required with --population: one release per line — a bare \
+                 eps, {\"group\": eps}, or [[start,end,eps],...]"
+                    .into(),
+            )
+        }
+    };
+    let windows = parse_windows(opts)?;
+    let stream = opts.get("stream").is_some();
+    if resumed && stream {
+        println!(
+            "resumed {} users over {} shards at T = {}",
+            pop.num_users(),
+            pop.num_groups(),
+            pop.num_releases()
+        );
+    }
+    let observe = |pop: &mut PopulationAccountant, line: &str| -> Result<(), String> {
+        match parse_release_line(line, groups.as_deref())? {
+            ReleaseLine::Uniform(eps) => pop.observe_release(eps).map_err(|e| e.to_string())?,
+            ReleaseLine::Ranges(assignments) => pop
+                .observe_release_personalized(&assignments)
+                .map_err(|e| e.to_string())?,
+        }
+        if stream {
+            let t = pop.num_releases();
+            println!(
+                "t={:<5} observed  ({} shards over {} timelines)",
+                t - 1,
+                pop.num_groups(),
+                pop.num_timelines()
+            );
+        }
+        Ok(())
+    };
+    match spec {
+        Some("-") => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| format!("--budgets: stdin: {e}"))?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    continue;
+                }
+                observe(&mut pop, trimmed)?;
+            }
+        }
+        Some(spec) => {
+            if let Some(path) = spec.strip_prefix('@') {
+                // A file of release lines, one per line (same grammar as
+                // stdin).
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("--budgets: {path}: {e}"))?;
+                for line in text.lines() {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    observe(&mut pop, trimmed)?;
+                }
+            } else if spec.trim_start().starts_with('[') || spec.trim_start().starts_with('{') {
+                // One inline release line in JSON form.
+                observe(&mut pop, spec.trim())?;
+            } else {
+                // Inline CSV of uniform per-release budgets.
+                for part in spec.split(',') {
+                    observe(&mut pop, part.trim())?;
+                }
+            }
+        }
+        None => {}
+    }
+    let t_len = pop.num_releases();
+    if t_len == 0 {
+        return Err("--budgets: no budgets provided".into());
+    }
+    let tpl = pop.tpl_series().map_err(|e| e.to_string())?;
+    print_series("TPL", &tpl);
+    println!(
+        "worst: {:.4}  (user {} is most exposed)",
+        pop.max_tpl().map_err(|e| e.to_string())?,
+        pop.most_exposed_user().map_err(|e| e.to_string())?
+    );
+    println!(
+        "population: {} users, {} shards, {} distinct timelines",
+        pop.num_users(),
+        pop.num_groups(),
+        pop.num_timelines()
+    );
+    // Per-group guarantees: from the spec's groups when present, else
+    // (on resume) per accounting shard.
+    let report_ranges: Vec<(String, Range<usize>)> = match &groups {
+        Some(groups) => groups
+            .iter()
+            .enumerate()
+            .map(|(g, spec)| {
+                (
+                    format!("group {g} (users {}..{})", spec.users.start, spec.users.end),
+                    spec.users.clone(),
+                )
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    if !report_ranges.is_empty() {
+        for (label, range) in &report_ranges {
+            let (worst, user_level, guarantees) =
+                group_guarantees(&pop, range, &windows).map_err(|e| e.to_string())?;
+            let mut line = format!("{label}: worst TPL {worst:.4}, user-level {user_level:.4}");
+            for (w, g) in windows.iter().zip(&guarantees) {
+                line.push_str(&format!(", {w}-event {g:.4}"));
+            }
+            println!("{line}");
+        }
+    } else {
+        for (s, (members, acc)) in pop.shards().enumerate() {
+            let mut line = format!(
+                "shard {s} ({} users, first user {}): worst TPL {:.4}, user-level {:.4}",
+                members.len(),
+                members[0],
+                acc.max_tpl().map_err(|e| e.to_string())?,
+                acc.user_level()
+            );
+            for &w in &windows {
+                let g = w_event_guarantee(acc, w).map_err(|e| format!("--w {w}: {e}"))?;
+                line.push_str(&format!(", {w}-event {g:.4}"));
+            }
+            println!("{line}");
+        }
+    }
+    if let Some(path) = opts.get("checkpoint") {
+        pop.checkpoint()
+            .save(Path::new(path))
+            .map_err(|e| e.to_string())?;
+        println!("checkpoint saved to {path} (T = {t_len})");
+    }
+    Ok(())
+}
+
+/// Worst TPL, worst user-level total, and per-window w-event guarantees
+/// over the users of `range` — computed once per accounting shard that
+/// intersects the range (shard members share one series).
+fn group_guarantees(
+    pop: &PopulationAccountant,
+    range: &Range<usize>,
+    windows: &[usize],
+) -> Result<(f64, f64, Vec<f64>), tcdp::core::TplError> {
+    let mut worst = f64::NEG_INFINITY;
+    let mut user_level = f64::NEG_INFINITY;
+    let mut guarantees = vec![f64::NEG_INFINITY; windows.len()];
+    for (members, acc) in pop.shards() {
+        let lo = members.partition_point(|&m| m < range.start);
+        let hi = members.partition_point(|&m| m < range.end);
+        if lo == hi {
+            continue;
+        }
+        worst = worst.max(acc.max_tpl()?);
+        user_level = user_level.max(acc.user_level());
+        for (slot, &w) in guarantees.iter_mut().zip(windows) {
+            *slot = slot.max(w_event_guarantee(acc, w)?);
+        }
+    }
+    Ok((worst, user_level, guarantees))
+}
+
 fn audit(opts: &Opts) -> Result<(), String> {
-    let resume = opts.get("resume");
-    let spec = match (opts.get("budgets"), resume) {
+    if let Some(path) = opts.get("resume") {
+        if opts.get("pb").is_some() || opts.get("pf").is_some() {
+            return Err(
+                "--resume restores the adversary from the checkpoint; drop --pb/--pf".into(),
+            );
+        }
+        if opts.get("population").is_some() {
+            return Err(
+                "--resume restores the population (adversaries, shards, and per-shard \
+                 timelines) from the checkpoint; drop --population"
+                    .into(),
+            );
+        }
+        let cp = Checkpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
+        return match cp.kind() {
+            CheckpointKind::TplAccountant => {
+                let acc = TplAccountant::resume(&cp).map_err(|e| e.to_string())?;
+                audit_single(opts, acc, true)
+            }
+            CheckpointKind::PopulationAccountant => {
+                let pop = PopulationAccountant::resume(&cp).map_err(|e| e.to_string())?;
+                audit_population(opts, pop, None, true)
+            }
+        };
+    }
+    if let Some(spec) = opts.get("population") {
+        if opts.get("pb").is_some() || opts.get("pf").is_some() {
+            return Err("--population carries each group's correlations; drop --pb/--pf".into());
+        }
+        let groups = parse_population_spec(spec)?;
+        let adversaries: Vec<AdversaryT> = groups
+            .iter()
+            .flat_map(|g| std::iter::repeat_n(g.adversary.clone(), g.users.len()))
+            .collect();
+        let pop = PopulationAccountant::new(&adversaries).map_err(|e| e.to_string())?;
+        return audit_population(opts, pop, Some(groups), false);
+    }
+    audit_single(opts, TplAccountant::new(&opts.adversary()?), false)
+}
+
+fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<(), String> {
+    let spec = match (opts.get("budgets"), resumed) {
         (Some(spec), _) => Some(spec),
         // Resuming without new budgets just re-summarizes the restored
         // timeline.
-        (None, Some(_)) => None,
-        (None, None) => {
+        (None, true) => None,
+        (None, false) => {
             return Err(
                 "--budgets is required (inline CSV, @file.json, or '-' for stdin) \
                  unless --resume restores a trail"
@@ -341,28 +739,10 @@ fn audit(opts: &Opts) -> Result<(), String> {
             )
         }
     };
-    let windows: Vec<usize> = match opts.get("w") {
-        None => Vec::new(),
-        Some(raw) => raw
-            .split(',')
-            .map(|v| v.trim().parse::<usize>().map_err(|e| format!("--w: {e}")))
-            .collect::<Result<_, _>>()?,
-    };
+    let windows = parse_windows(opts)?;
     let stream = opts.get("stream").is_some();
-    let mut acc = match resume {
-        Some(path) => {
-            if opts.get("pb").is_some() || opts.get("pf").is_some() {
-                return Err(
-                    "--resume restores the adversary from the checkpoint; drop --pb/--pf".into(),
-                );
-            }
-            let cp = Checkpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
-            TplAccountant::resume(&cp).map_err(|e| e.to_string())?
-        }
-        None => TplAccountant::new(&opts.adversary()?),
-    };
-    if let (Some(path), true) = (resume, stream) {
-        println!("resumed {} releases from {path}", acc.len());
+    if resumed && stream {
+        println!("resumed {} releases from checkpoint", acc.len());
     }
     let observe = |acc: &mut TplAccountant, b: f64| -> Result<(), String> {
         let report = acc.observe_release(b).map_err(|e| e.to_string())?;

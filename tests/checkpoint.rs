@@ -195,7 +195,7 @@ fn corrupt_checkpoints_error_honestly() {
     ));
     // Valid JSON, wrong format tag.
     assert!(matches!(
-        Checkpoint::from_json(r#"{"format":"other","version":1,"kind":"tpl-accountant"}"#),
+        Checkpoint::from_json(r#"{"format":"other","version":2,"kind":"tpl-accountant"}"#),
         Err(TplError::CorruptCheckpoint(_))
     ));
     // Unsupported version.
@@ -213,13 +213,51 @@ fn corrupt_checkpoints_error_honestly() {
     // Unknown kind.
     assert!(matches!(
         Checkpoint::from_json(
-            r#"{"format":"tcdp-checkpoint","version":1,"kind":"mystery","payload":{}}"#
+            r#"{"format":"tcdp-checkpoint","version":2,"kind":"mystery","payload":{}}"#
         ),
         Err(TplError::CorruptCheckpoint(_))
     ));
     // Structurally valid envelope, hollow payload.
-    let hollow = r#"{"format":"tcdp-checkpoint","version":1,"kind":"tpl-accountant","payload":{}}"#;
+    let hollow = r#"{"format":"tcdp-checkpoint","version":2,"kind":"tpl-accountant","payload":{}}"#;
     let cp = Checkpoint::from_json(hollow).unwrap();
+    assert!(matches!(
+        TplAccountant::resume(&cp),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+}
+
+/// Version migration: a version-1 envelope — the pre-per-user-timeline
+/// format whose population shards were guaranteed one population-wide
+/// budget trail (and whose accountants stored it under `budgets`) — must
+/// be rejected with the honest [`TplError::CheckpointVersion`] error, in
+/// both the default and `--no-default-features` builds (this test is
+/// feature-independent by construction).
+#[test]
+fn old_version_envelope_is_rejected_honestly() {
+    assert_eq!(CHECKPOINT_VERSION, 2, "bump this test alongside the format");
+    let v1 = r#"{
+      "format": "tcdp-checkpoint",
+      "version": 1,
+      "kind": "tpl-accountant",
+      "payload": {
+        "accountant": {"backward": null, "forward": null,
+                       "budgets": [0.1, 0.1], "bpl": [0.1, 0.1]},
+        "series": null, "warm_backward": null, "warm_forward": null
+      }
+    }"#;
+    match Checkpoint::from_json(v1) {
+        Err(TplError::CheckpointVersion { found, supported }) => {
+            assert_eq!(found, 1);
+            assert_eq!(supported, CHECKPOINT_VERSION);
+        }
+        other => panic!("expected version mismatch, got {other:?}"),
+    }
+    // A current-version envelope that smuggles the *old* field name is
+    // structurally corrupt, not silently empty.
+    let renamed = r#"{"format":"tcdp-checkpoint","version":2,"kind":"tpl-accountant",
+      "payload":{"accountant":{"backward":null,"forward":null,
+                 "budgets":[0.1],"bpl":[0.1]}}}"#;
+    let cp = Checkpoint::from_json(renamed).unwrap();
     assert!(matches!(
         TplAccountant::resume(&cp),
         Err(TplError::CorruptCheckpoint(_))
@@ -246,7 +284,7 @@ fn doctored_payloads_are_rejected_not_panicked() {
     }
 
     // A negative budget smuggled into the trail is rejected.
-    let doctored = json.replace("\"budgets\":[0.1", "\"budgets\":[-0.1");
+    let doctored = json.replace("\"timeline\":[0.1", "\"timeline\":[-0.1");
     assert_ne!(doctored, json, "the budget trail must have been doctored");
     let cp = Checkpoint::from_json(&doctored).unwrap();
     assert!(matches!(

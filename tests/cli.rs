@@ -292,6 +292,175 @@ fn audit_resume_rejects_bad_checkpoints() {
 }
 
 #[test]
+fn audit_population_reports_per_group_guarantees() {
+    // Two groups: a strongly-correlated one (leaks more) and a
+    // traditional one, on diverging budget timelines — every release
+    // line form exercised once.
+    let spec = r#"[
+        {"count": 3, "pb": [[0.9,0.1],[0.05,0.95]], "pf": [[0.9,0.1],[0.05,0.95]]},
+        {"count": 2}
+    ]"#;
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = cli()
+        .args(["audit", "--population", spec, "--budgets", "-", "--w", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(
+            b"# one release per line\n0.1\n{\"0\": 0.05, \"1\": 0.2}\n[[0,3,0.05],[3,5,0.2]]\n",
+        )
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("TPL"), "{stdout}");
+    assert!(
+        stdout.contains("5 users, 2 shards, 2 distinct timelines"),
+        "the budget cut aligns with the adversary groups, so shards fork \
+         timelines without splitting: {stdout}"
+    );
+    assert!(
+        stdout.contains("group 0 (users 0..3): worst TPL"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("group 1 (users 3..5): worst TPL"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("2-event"), "{stdout}");
+    // Group 0 spent 0.1 + 0.05 + 0.05 = 0.2, group 1 spent 0.5.
+    assert!(
+        stdout.contains("group 0 (users 0..3): worst TPL"),
+        "{stdout}"
+    );
+    let g0 = stdout
+        .lines()
+        .find(|l| l.starts_with("group 0"))
+        .expect("group 0 line");
+    assert!(g0.contains("user-level 0.2000"), "{g0}");
+    let g1 = stdout
+        .lines()
+        .find(|l| l.starts_with("group 1"))
+        .expect("group 1 line");
+    assert!(g1.contains("user-level 0.5000"), "{g1}");
+}
+
+#[test]
+fn audit_population_checkpoint_and_resume() {
+    let dir = std::env::temp_dir();
+    let cp = dir.join("tcdp_cli_population_checkpoint.json");
+    let cp_arg = cp.display().to_string();
+    let spec = r#"[{"count": 2, "pb": [[0.9,0.1],[0.2,0.8]]}, {"count": 2}]"#;
+    // Uninterrupted reference.
+    let budgets = dir.join("tcdp_cli_population_trail.txt");
+    std::fs::write(&budgets, "0.1\n{\"0\": 0.05, \"1\": 0.3}\n0.2\n").expect("write");
+    let full = run_ok(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        &format!("@{}", budgets.display()),
+        "--w",
+        "2",
+    ]);
+    // Stop after two releases, then resume with a user-range line
+    // (group-indexed lines need the spec, ranges do not).
+    let head = dir.join("tcdp_cli_population_head.txt");
+    std::fs::write(&head, "0.1\n{\"0\": 0.05, \"1\": 0.3}\n").expect("write");
+    run_ok(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        &format!("@{}", head.display()),
+        "--checkpoint",
+        &cp_arg,
+    ]);
+    let resumed = run_ok(&["audit", "--resume", &cp_arg, "--budgets", "0.2", "--w", "2"]);
+    let summary = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("TPL") || l.starts_with("worst:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        summary(&full),
+        summary(&resumed),
+        "\n{full}\n---\n{resumed}"
+    );
+    // The resumed audit reports per-shard guarantees (no spec present).
+    assert!(resumed.contains("shard 0 ("), "{resumed}");
+    assert!(resumed.contains("2-event"), "{resumed}");
+    // --resume with --population is an honest conflict.
+    let err = run_err(&[
+        "audit",
+        "--resume",
+        &cp_arg,
+        "--population",
+        spec,
+        "--budgets",
+        "0.1",
+    ]);
+    assert!(err.contains("drop --population"), "{err}");
+}
+
+#[test]
+fn audit_population_rejects_bad_lines() {
+    let spec = r#"[{"count": 2}, {"count": 1}]"#;
+    // A group-indexed line missing a group.
+    let err = run_err(&["audit", "--population", spec, "--budgets", "{\"0\": 0.1}"]);
+    assert!(err.contains("group 1 has no budget"), "{err}");
+    // Ranges that do not cover the population.
+    let err = run_err(&["audit", "--population", spec, "--budgets", "[[0,2,0.1]]"]);
+    assert!(
+        err.contains("invalid personalized budget assignment"),
+        "{err}"
+    );
+    // Unknown group index.
+    let err = run_err(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        "{\"0\": 0.1, \"7\": 0.2}",
+    ]);
+    assert!(err.contains("group 7 does not exist"), "{err}");
+    // Bad spec.
+    let err = run_err(&["audit", "--population", "{}", "--budgets", "0.1"]);
+    assert!(err.contains("expected a JSON array"), "{err}");
+    let err = run_err(&[
+        "audit",
+        "--population",
+        r#"[{"count": 0}]"#,
+        "--budgets",
+        "0.1",
+    ]);
+    assert!(err.contains("positive integer"), "{err}");
+    // --population with --pb conflicts.
+    let err = run_err(&[
+        "audit",
+        "--population",
+        spec,
+        "--pb",
+        "[[1,0],[0,1]]",
+        "--budgets",
+        "0.1",
+    ]);
+    assert!(err.contains("drop --pb/--pf"), "{err}");
+}
+
+#[test]
 fn matrix_from_file() {
     let dir = std::env::temp_dir();
     let path = dir.join("tcdp_cli_test_matrix.json");

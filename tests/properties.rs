@@ -312,7 +312,7 @@ proptest! {
             // Replay everything observed so far into a fresh accountant:
             // every cached answer must match the recompute bit for bit.
             let mut fresh = TplAccountant::new(&adv);
-            for &b in acc.budgets() {
+            for &b in &acc.budgets() {
                 fresh.observe_release(b).unwrap();
             }
             let to_bits = |v: Vec<f64>| v.into_iter().map(f64::to_bits).collect::<Vec<_>>();
@@ -544,6 +544,130 @@ proptest! {
     }
 
     #[test]
+    fn heterogeneous_timelines_are_bit_identical_to_naive_reference(
+        patterns in proptest::collection::vec(stochastic_matrix(3), 8usize..10),
+        kinds in proptest::collection::vec(0usize..4, 200..221),
+        tiers in 2usize..5,
+        tier_eps in proptest::collection::vec(
+            proptest::collection::vec(0.01f64..0.5, 4), 4..9),
+        threads in 2usize..6,
+        checkpoint_at in 0usize..4,
+    ) {
+        // Users with *distinct* per-user budget timelines: the population
+        // is cut into contiguous tiers (one ε per tier per release,
+        // drawn independently each step), across ≥ 8 distinct-adversary
+        // mixed groups. The sharded engine must stay bit-identical to
+        // the naive per-user reference — per-user series, population
+        // series, max, argmax — under forced serial and parallel paths,
+        // with a checkpoint round-trip spliced into the stream.
+        let adversaries: Vec<AdversaryT> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let p = patterns[i % patterns.len()].clone();
+                match if i < patterns.len() { 0 } else { kind } {
+                    0 => AdversaryT::with_both(p.clone(), p).unwrap(),
+                    1 => AdversaryT::with_backward(p),
+                    2 => AdversaryT::with_forward(p),
+                    _ => AdversaryT::traditional(),
+                }
+            })
+            .collect();
+        let num_users = adversaries.len();
+        let ranges = tcdp::data::population::tier_ranges(num_users, tiers).unwrap();
+        let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+        prop_assert!(pop.num_users() >= 200);
+        prop_assert!(pop.num_groups() >= patterns.len());
+        let mut naive: Vec<TplAccountant> =
+            adversaries.iter().map(TplAccountant::new).collect();
+        let to_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (t, eps_of_tier) in tier_eps.iter().enumerate() {
+            let assignments: Vec<(std::ops::Range<usize>, f64)> = ranges
+                .iter()
+                .enumerate()
+                .map(|(k, r)| (r.clone(), eps_of_tier[k % eps_of_tier.len()]))
+                .collect();
+            #[cfg(feature = "parallel")]
+            pop.observe_release_personalized_forced_parallel(&assignments, threads)
+                .unwrap();
+            #[cfg(not(feature = "parallel"))]
+            pop.observe_release_personalized(&assignments).unwrap();
+            for (i, acc) in naive.iter_mut().enumerate() {
+                let eps = assignments
+                    .iter()
+                    .find(|(r, _)| r.contains(&i))
+                    .expect("ranges cover every user")
+                    .1;
+                acc.observe_release(eps).unwrap();
+            }
+            if t == checkpoint_at {
+                // Mid-stream checkpoint round-trip of the heterogeneous
+                // population: the resumed accountant must keep matching
+                // the naive reference (and keep its timeline sharing).
+                let timelines = pop.num_timelines();
+                let json = pop.checkpoint().to_json();
+                pop = PopulationAccountant::resume(
+                    &Checkpoint::from_json(&json).unwrap()).unwrap();
+                prop_assert_eq!(pop.num_timelines(), timelines);
+            }
+            // Timeline classes never exceed the distinct budget
+            // sequences the tiers can produce.
+            prop_assert!(pop.num_timelines() <= tiers);
+            let mut merged: Option<Vec<f64>> = None;
+            let mut naive_max = f64::NEG_INFINITY;
+            let mut naive_argmax = (0usize, f64::NEG_INFINITY);
+            for (i, acc) in naive.iter().enumerate() {
+                let series = acc.tpl_series().unwrap();
+                let user_max = acc.max_tpl().unwrap();
+                naive_max = naive_max.max(user_max);
+                if user_max > naive_argmax.1 {
+                    naive_argmax = (i, user_max);
+                }
+                merged = Some(match merged {
+                    None => series,
+                    Some(prev) => {
+                        prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect()
+                    }
+                });
+            }
+            let merged = merged.unwrap();
+            prop_assert_eq!(
+                to_bits(&pop.tpl_series().unwrap()),
+                to_bits(&merged),
+                "population series diverged at t={}",
+                t
+            );
+            prop_assert_eq!(pop.max_tpl().unwrap().to_bits(), naive_max.to_bits());
+            prop_assert_eq!(pop.most_exposed_user().unwrap(), naive_argmax.0);
+            for i in (0..naive.len()).step_by(13) {
+                prop_assert_eq!(
+                    to_bits(&pop.user(i).unwrap().tpl_series().unwrap()),
+                    to_bits(&naive[i].tpl_series().unwrap()),
+                    "user {} diverged at t={}",
+                    i,
+                    t
+                );
+            }
+            #[cfg(feature = "parallel")]
+            for threads in [1usize, 2, 5, 13] {
+                prop_assert_eq!(
+                    to_bits(&pop.tpl_series_forced_parallel(threads).unwrap()),
+                    to_bits(&merged)
+                );
+                prop_assert_eq!(
+                    pop.max_tpl_forced_parallel(threads).unwrap().to_bits(),
+                    naive_max.to_bits()
+                );
+                prop_assert_eq!(
+                    pop.most_exposed_user_forced_parallel(threads).unwrap(),
+                    naive_argmax.0
+                );
+            }
+        }
+        let _ = threads;
+    }
+
+    #[test]
     fn sharded_observation_is_bit_identical_across_thread_counts(
         patterns in proptest::collection::vec(stochastic_matrix(3), 8usize..10),
         budgets in proptest::collection::vec(0.01f64..0.5, 3..8),
@@ -581,5 +705,106 @@ proptest! {
             );
         }
         let _ = threads;
+    }
+}
+
+/// Acceptance guard for per-user budget timelines at scale: a
+/// 10 000-user population over 8 distinct adversaries and 8 distinct
+/// budget timelines audits **bit-identically** to the naive per-user
+/// reference, under the serial path and forced thread fan-outs alike,
+/// and a checkpoint stop/resume in the middle of the stream changes
+/// nothing. Shard count stays at (adversaries × timelines), never O(N).
+#[test]
+fn ten_thousand_users_with_eight_timelines_match_naive_reference() {
+    const USERS: usize = 10_000;
+    const TIERS: usize = 8;
+    let patterns: Vec<TransitionMatrix> = (0..8u32)
+        .map(|k| {
+            let stay = 0.55 + 0.05 * f64::from(k);
+            let back = 0.10 + 0.03 * f64::from(k);
+            TransitionMatrix::from_rows(vec![vec![stay, 1.0 - stay], vec![back, 1.0 - back]])
+                .unwrap()
+        })
+        .collect();
+    let adversaries: Vec<AdversaryT> = (0..USERS)
+        .map(|i| {
+            let p = patterns[i % patterns.len()].clone();
+            AdversaryT::with_both(p.clone(), p).unwrap()
+        })
+        .collect();
+    let ranges = tcdp::data::population::tier_ranges(USERS, TIERS).unwrap();
+    let tier_eps = |t: usize, k: usize| 0.02 + 0.01 * ((t + k) % TIERS) as f64;
+
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    assert_eq!(pop.num_groups(), 8, "sharded by distinct adversary");
+    // The naive reference: one standalone accountant per user.
+    let mut naive: Vec<TplAccountant> = adversaries.iter().map(TplAccountant::new).collect();
+    let to_bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    let t_len = 5;
+    for t in 0..t_len {
+        let assignments: Vec<(std::ops::Range<usize>, f64)> = ranges
+            .iter()
+            .enumerate()
+            .map(|(k, r)| (r.clone(), tier_eps(t, k)))
+            .collect();
+        pop.observe_release_personalized(&assignments).unwrap();
+        for (k, r) in ranges.iter().enumerate() {
+            for i in r.clone() {
+                naive[i].observe_release(tier_eps(t, k)).unwrap();
+            }
+        }
+        if t == 2 {
+            // Stop and resume mid-stream; the audit must not notice.
+            let json = pop.checkpoint().to_json();
+            pop = PopulationAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
+        }
+    }
+    assert_eq!(pop.num_timelines(), TIERS, "8 distinct budget timelines");
+    assert_eq!(
+        pop.num_groups(),
+        8 * TIERS,
+        "shards = adversaries × timelines, not users"
+    );
+
+    let mut merged: Option<Vec<f64>> = None;
+    let mut naive_max = f64::NEG_INFINITY;
+    let mut naive_argmax = (0usize, f64::NEG_INFINITY);
+    for (i, acc) in naive.iter().enumerate() {
+        let series = acc.tpl_series().unwrap();
+        let user_max = acc.max_tpl().unwrap();
+        naive_max = naive_max.max(user_max);
+        if user_max > naive_argmax.1 {
+            naive_argmax = (i, user_max);
+        }
+        merged = Some(match merged {
+            None => series,
+            Some(prev) => prev.iter().zip(&series).map(|(a, b)| a.max(*b)).collect(),
+        });
+    }
+    let merged = merged.unwrap();
+    assert_eq!(to_bits(&pop.tpl_series().unwrap()), to_bits(&merged));
+    assert_eq!(pop.max_tpl().unwrap().to_bits(), naive_max.to_bits());
+    assert_eq!(pop.most_exposed_user().unwrap(), naive_argmax.0);
+    for i in (0..USERS).step_by(997) {
+        assert_eq!(
+            to_bits(&pop.user(i).unwrap().tpl_series().unwrap()),
+            to_bits(&naive[i].tpl_series().unwrap()),
+            "user {i}"
+        );
+    }
+    #[cfg(feature = "parallel")]
+    for threads in [1usize, 3, 7, 16] {
+        assert_eq!(
+            to_bits(&pop.tpl_series_forced_parallel(threads).unwrap()),
+            to_bits(&merged)
+        );
+        assert_eq!(
+            pop.max_tpl_forced_parallel(threads).unwrap().to_bits(),
+            naive_max.to_bits()
+        );
+        assert_eq!(
+            pop.most_exposed_user_forced_parallel(threads).unwrap(),
+            naive_argmax.0
+        );
     }
 }
