@@ -1,0 +1,162 @@
+//! Checkpoint encoding benchmarks: full JSON vs full binary (v3)
+//! snapshots at T = 10⁵, and the incremental delta append.
+//!
+//! * `ckpt/json_snapshot` — pretty-printed JSON of the full accountant
+//!   (the original on-disk form): re-serializes every float, `O(T)`
+//!   text formatting per save.
+//! * `ckpt/bin_snapshot` — the v3 binary envelope: raw `f64` sections,
+//!   `O(T)` bytes but a plain memory copy.
+//! * `ckpt/delta_1000` — a delta record covering 1 000 releases
+//!   appended since the last snapshot: `O(appended)` work and bytes,
+//!   independent of `T`.
+//!
+//! The headline asserts the replay is bit-identical to the live
+//! accountant and that delta records actually cost `O(appended)` bytes
+//! (proportional to the appended count, orders of magnitude below the
+//! snapshot), then prints the measured sizes and times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use tcdp_core::checkpoint::{resume_bytes, SavedState};
+use tcdp_core::TplAccountant;
+use tcdp_markov::TransitionMatrix;
+
+const T_LEN: usize = 100_000;
+const APPEND: usize = 1_000;
+const EPS: f64 = 0.01;
+
+fn matrix() -> TransitionMatrix {
+    TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).expect("matrix")
+}
+
+/// A warmed accountant at `t` releases (series cache filled, so the
+/// snapshot carries FPL/TPL sections — the worst case for save size).
+fn accountant(t: usize) -> TplAccountant {
+    let mut acc = TplAccountant::with_both(matrix(), matrix()).expect("accountant");
+    acc.observe_uniform(EPS, t).expect("observe");
+    acc.tpl_series().expect("series");
+    acc
+}
+
+fn bench_json_snapshot(c: &mut Criterion) {
+    let acc = accountant(T_LEN);
+    c.bench_function("ckpt/json_snapshot", |b| {
+        b.iter(|| black_box(acc.checkpoint().to_json_pretty().len()))
+    });
+}
+
+fn bench_bin_snapshot(c: &mut Criterion) {
+    let acc = accountant(T_LEN);
+    c.bench_function("ckpt/bin_snapshot", |b| {
+        b.iter(|| black_box(acc.checkpoint_binary().len()))
+    });
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut acc = accountant(T_LEN);
+    let cursor = acc.delta_cursor();
+    acc.observe_uniform(EPS, APPEND).expect("observe");
+    c.bench_function("ckpt/delta_1000", |b| {
+        b.iter(|| {
+            let delta = acc.checkpoint_delta(black_box(&cursor)).expect("delta");
+            black_box(delta.to_bytes().len())
+        })
+    });
+}
+
+/// Size/time sweep + the acceptance assertions: delta checkpoints write
+/// `O(appended)` bytes, not `O(T)`, and snapshot+delta replays land on
+/// the live state bit for bit.
+fn headline() {
+    let mut acc = accountant(T_LEN);
+    let snapshot = acc.checkpoint_binary();
+    let cursor = acc.delta_cursor();
+    acc.observe_uniform(EPS, APPEND).expect("observe");
+    let delta = acc.checkpoint_delta(&cursor).expect("delta");
+    let delta_bytes = delta.to_bytes();
+
+    // Replay correctness first: snapshot + delta == live, bit for bit.
+    let resumed = match resume_bytes(&snapshot, Some(&delta_bytes)).expect("resume") {
+        SavedState::Tpl(a) => a,
+        _ => unreachable!("tpl snapshot"),
+    };
+    assert_eq!(resumed.len(), acc.len());
+    let live_bits: Vec<u64> = acc
+        .tpl_series()
+        .expect("series")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let resumed_bits: Vec<u64> = resumed
+        .tpl_series()
+        .expect("series")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(live_bits, resumed_bits, "replay must be bit-identical");
+
+    // O(appended) bytes: the delta is proportional to what was appended
+    // (two f64 tails plus a small witness/meta constant) and far below
+    // the full snapshot, and doubling the appended span roughly doubles
+    // the record instead of re-paying O(T).
+    let json_len = acc.checkpoint().to_json_pretty().len();
+    let bin_len = acc.checkpoint_binary().len();
+    assert!(
+        delta_bytes.len() < bin_len / 20,
+        "delta ({} B) must be far below the snapshot ({bin_len} B)",
+        delta_bytes.len()
+    );
+    let cursor2 = {
+        let mut probe = accountant(T_LEN);
+        let cur = probe.delta_cursor();
+        probe.observe_uniform(EPS, 2 * APPEND).expect("observe");
+        probe
+            .checkpoint_delta(&cur)
+            .expect("delta")
+            .to_bytes()
+            .len()
+    };
+    assert!(
+        cursor2 < 3 * delta_bytes.len(),
+        "2x appends must cost ~2x bytes ({cursor2} vs {})",
+        delta_bytes.len()
+    );
+
+    let timed = |f: &mut dyn FnMut() -> usize| {
+        let t0 = Instant::now();
+        let len = f();
+        (len, t0.elapsed().as_secs_f64() * 1e3)
+    };
+    let (json_size, json_ms) = timed(&mut || acc.checkpoint().to_json_pretty().len());
+    let (bin_size, bin_ms) = timed(&mut || acc.checkpoint_binary().len());
+    let (delta_size, delta_ms) = timed(&mut || {
+        acc.checkpoint_delta(&cursor)
+            .expect("delta")
+            .to_bytes()
+            .len()
+    });
+    let _ = json_len;
+    println!(
+        "headline: T={T_LEN}: json snapshot {:.2} MB in {json_ms:.2} ms, \
+         binary snapshot {:.2} MB in {bin_ms:.2} ms, \
+         delta (+{APPEND}) {:.1} KB in {delta_ms:.3} ms",
+        json_size as f64 / 1e6,
+        bin_size as f64 / 1e6,
+        delta_size as f64 / 1e3,
+    );
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let _ = c;
+    headline();
+}
+
+criterion_group!(
+    benches,
+    bench_json_snapshot,
+    bench_bin_snapshot,
+    bench_delta,
+    bench_headline
+);
+criterion_main!(benches);

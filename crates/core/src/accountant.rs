@@ -466,6 +466,36 @@ impl TplAccountant {
         Self::install_series(&mut cache, self.timeline.revision(), fpl, tpl);
     }
 
+    /// Build an accountant directly from restored state — the
+    /// checkpoint-restore constructor ([`crate::checkpoint`] has already
+    /// validated every part; the series cache starts cold and is filled
+    /// by `restore_series` when the checkpoint carried one).
+    pub(crate) fn from_restored_parts(
+        backward: Option<Arc<TemporalLossFunction>>,
+        forward: Option<Arc<TemporalLossFunction>>,
+        timeline: Arc<BudgetTimeline>,
+        bpl: Vec<f64>,
+    ) -> Self {
+        Self {
+            backward,
+            forward,
+            timeline,
+            bpl,
+            cache: Mutex::new(SeriesCache::empty()),
+        }
+    }
+
+    /// Splice a delta checkpoint's BPL tail onto the recursion state —
+    /// the values were computed by the identical recursion in the saved
+    /// run, so installing them verbatim is bit-identical to replaying it
+    /// (without re-paying the loss evaluations the saved run already
+    /// performed). The caller ([`crate::checkpoint`]) has validated the
+    /// tail and already appended the matching budgets to the timeline.
+    pub(crate) fn extend_bpl(&mut self, tail: &[f64]) {
+        self.bpl.extend_from_slice(tail);
+        debug_assert_eq!(self.bpl.len(), self.timeline.len());
+    }
+
     /// Swap the timeline object without touching the absorbed BPL state —
     /// the copy-on-write seam. The caller guarantees the new timeline's
     /// first `bpl.len()` entries are bit-identical to the old one's

@@ -1,12 +1,13 @@
-//! Versioned, resumable audit checkpoints.
+//! Versioned, resumable audit checkpoints — JSON and binary, full and
+//! incremental.
 //!
 //! A continual release over a very long timeline (`T` in the millions)
 //! cannot assume the auditing process survives end to end: the service
 //! restarts, the batch job is preempted, the compliance review happens
 //! on another machine. This module serializes the complete state of a
-//! [`TplAccountant`] or a [`PopulationAccountant`] to a **versioned JSON
-//! envelope** so an audit can stop mid-timeline and continue later with
-//! results **bit-identical** to an uninterrupted run:
+//! [`TplAccountant`] or a [`PopulationAccountant`] so an audit can stop
+//! mid-timeline and continue later with results **bit-identical** to an
+//! uninterrupted run:
 //!
 //! * the observed budget trail and the final BPL recursion state
 //!   (the paper's Equation 13 values — they cannot be reconstructed
@@ -21,36 +22,79 @@
 //!   construction);
 //! * for populations, the shard structure (distinct `(adversary,
 //!   timeline)` classes and their member lists) of
-//!   [`PopulationAccountant`] — each shard's budget timeline is
-//!   serialized **once per shard** (inside its accountant state, never
-//!   per user), and on resume shards with bit-identical trails are
-//!   re-pointed at one shared timeline object, restoring the
-//!   copy-on-write sharing the saved population had.
+//!   [`PopulationAccountant`] — each distinct budget timeline is
+//!   serialized **once** (never per user), and on resume shards with
+//!   bit-identical trails are re-pointed at one shared timeline object,
+//!   restoring the copy-on-write sharing the saved population had.
 //!
-//! # Format
+//! # Encodings
 //!
-//! ```json
-//! {
-//!   "format": "tcdp-checkpoint",
-//!   "version": 2,
-//!   "kind": "tpl-accountant" | "population-accountant",
-//!   "payload": { ... }
-//! }
-//! ```
+//! Two encodings carry the same logical state and restore through the
+//! same validation path, so they are interchangeable bit for bit:
 //!
-//! Version 2 (this build) renamed the accountant's budget-trail field to
-//! `timeline` and allows the shards of a population to carry *different*
-//! budget trails (per-user timelines); version-1 checkpoints — whose
-//! shards were guaranteed a population-wide trail — are rejected with
-//! the honest [`TplError::CheckpointVersion`] error rather than being
-//! reinterpreted.
+//! * **JSON envelope** (the original encoding; human-inspectable):
 //!
-//! Corrupt or version-mismatched input is reported through honest error
-//! variants — [`TplError::CorruptCheckpoint`] and
-//! [`TplError::CheckpointVersion`] — never a panic: payload shapes,
-//! series lengths, witness row indices, budget finiteness, and the
-//! population's shard partition are all validated before any state is
-//! restored.
+//!   ```json
+//!   {
+//!     "format": "tcdp-checkpoint",
+//!     "version": 3,
+//!     "kind": "tpl-accountant" | "population-accountant",
+//!     "payload": { ... }
+//!   }
+//!   ```
+//!
+//!   Version 3 (this build) is written; versions 1 and 2 are still
+//!   *read* — a v1 envelope (whose accountants stored the budget trail
+//!   under `budgets` and whose population shards were guaranteed one
+//!   population-wide trail) is migrated in place, and a v2 envelope
+//!   (identical payload shape) is accepted as-is. Versions this build
+//!   does not know are rejected with the honest
+//!   [`TplError::CheckpointVersion`] error.
+//!
+//! * **Binary envelope** (`CHECKPOINT_VERSION` 3, see [`format`]): a
+//!   fixed-width, length-prefixed little-endian container — an 8-byte
+//!   magic, the version, a section table — whose series and timeline
+//!   sections are raw `f64` arrays at 8-byte-aligned offsets, laid out
+//!   for zero-copy (mmap-friendly) reads. Pretty-printed JSON
+//!   re-serializes every float on each save; the binary writer copies
+//!   the arrays, which is what makes checkpointing a `T` in the
+//!   hundreds of millions practical.
+//!
+//! # Incremental (delta) checkpoints
+//!
+//! A full snapshot costs `O(T)` per save. For a long-running audit that
+//! stops every `N` releases, [`TplAccountant::checkpoint_delta`] /
+//! [`PopulationAccountant::checkpoint_delta`] instead write only the
+//! state **appended since a [`DeltaCursor`]** — the budget and BPL
+//! tails per shard, plus the current warm witnesses — as a record that
+//! [`CheckpointDelta::append_to`] appends to an append-only log
+//! (`<snapshot>.delta`, see [`delta_log_path`]). [`resume_file`] /
+//! [`resume_bytes`] replay snapshot + deltas to a state bit-identical
+//! (series *and* loss-evaluation counts) to the live accountant at the
+//! moment the last delta was written: BPL tails are installed verbatim
+//! (the saved run already paid those evaluations), and population
+//! timeline forks are re-applied copy-on-write in the same first-seen
+//! order the live fork used. A delta can only describe appends — when
+//! the shard topology changed (a personalized release split a shard),
+//! `checkpoint_delta` returns `None` and the caller writes a fresh full
+//! snapshot.
+//!
+//! Failure honesty over silent recovery: a delta log that does not
+//! chain onto its snapshot (a crash between rewriting the snapshot and
+//! truncating the log, or a log truncated mid-append) is a hard
+//! [`TplError::CorruptCheckpoint`] naming the mismatch — never a
+//! silent resume at an earlier stop point, which would under-report
+//! every release the lost records carried. The recovery is explicit:
+//! delete (or truncate, at the byte offset the error names) the stale
+//! log and resume from the snapshot.
+//!
+//! Corrupt or version-mismatched input — truncated containers, foreign
+//! magic, doctored section lengths, out-of-range witness indices,
+//! non-chaining delta records — is reported through honest error
+//! variants ([`TplError::CorruptCheckpoint`] and
+//! [`TplError::CheckpointVersion`]), never a panic: payload shapes,
+//! series lengths, budget finiteness, and the population's shard
+//! partition are all validated before any state is restored.
 //!
 //! # Example
 //!
@@ -73,7 +117,19 @@
 //!     resumed.tpl_series().unwrap(),
 //!     acc.tpl_series().unwrap(),
 //! );
+//!
+//! // The binary encoding restores the very same state — and a delta
+//! // record carries a later stop point in O(appended) bytes.
+//! let snapshot = acc.checkpoint_binary();
+//! let cursor = acc.delta_cursor();
+//! acc.observe_release(0.2).unwrap();
+//! let delta = acc.checkpoint_delta(&cursor).unwrap();
+//! let resumed = tcdp_core::checkpoint::resume_bytes(&snapshot, Some(&delta.to_bytes())).unwrap();
+//! let tcdp_core::checkpoint::SavedState::Tpl(resumed) = resumed else { unreachable!() };
+//! assert_eq!(resumed.tpl_series().unwrap(), acc.tpl_series().unwrap());
 //! ```
+
+pub mod format;
 
 use crate::accountant::TplAccountant;
 use crate::adversary::AdversaryT;
@@ -82,12 +138,18 @@ use crate::loss::TemporalLossFunction;
 use crate::personalized::PopulationAccountant;
 use crate::{Result, TplError};
 use serde::{Deserialize, Serialize, Value};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tcdp_mech::budget::BudgetTimeline;
 
-/// The checkpoint format version this build reads and writes.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// The checkpoint format version this build writes (JSON and binary
+/// alike). JSON versions back to [`MIN_SUPPORTED_VERSION`] are still
+/// readable; see the module docs for the migration rules.
+pub const CHECKPOINT_VERSION: u32 = 3;
+
+/// The oldest JSON envelope version this build still reads.
+pub const MIN_SUPPORTED_VERSION: u32 = 1;
 
 /// The envelope's format discriminator.
 const FORMAT_TAG: &str = "tcdp-checkpoint";
@@ -164,7 +226,8 @@ impl Checkpoint {
     /// Parse and validate an envelope. Bad JSON, a foreign format tag,
     /// an unknown kind, or a missing payload is
     /// [`TplError::CorruptCheckpoint`]; a version this build does not
-    /// support is [`TplError::CheckpointVersion`].
+    /// support is [`TplError::CheckpointVersion`]. Supported older
+    /// versions (1 and 2) are migrated in place — see the module docs.
     pub fn from_json(text: &str) -> Result<Self> {
         let v: Value = serde_json::from_str(text).map_err(|e| corrupt(format!("bad JSON: {e}")))?;
         let format = match v.get("format") {
@@ -178,7 +241,7 @@ impl Checkpoint {
             Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u32,
             _ => return Err(corrupt("missing or non-integer `version`")),
         };
-        if version != CHECKPOINT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=CHECKPOINT_VERSION).contains(&version) {
             return Err(TplError::CheckpointVersion {
                 found: version,
                 supported: CHECKPOINT_VERSION,
@@ -188,29 +251,22 @@ impl Checkpoint {
             Some(Value::Str(s)) => CheckpointKind::from_tag(s)?,
             _ => return Err(corrupt("missing `kind`")),
         };
-        let payload = v
+        let mut payload = v
             .get("payload")
-            .ok_or_else(|| corrupt("missing `payload`"))?;
-        Ok(Checkpoint {
-            kind,
-            payload: payload.clone(),
-        })
+            .ok_or_else(|| corrupt("missing `payload`"))?
+            .clone();
+        if version == 1 {
+            migrate_v1(kind, &mut payload);
+        }
+        Ok(Checkpoint { kind, payload })
     }
 
-    /// Write the pretty-printed envelope to `path` atomically: the text
-    /// goes to a sibling temp file first and is renamed over the target,
-    /// so a crash mid-write — the exact failure checkpoints exist to
-    /// survive, including `--resume X --checkpoint X` overwriting the
-    /// file being resumed — can never leave a truncated checkpoint.
+    /// Write the pretty-printed envelope to `path` atomically; see
+    /// [`write_atomic`] for the temp-file discipline.
     pub fn save(&self, path: &Path) -> Result<()> {
-        let io_err = |e: std::io::Error| TplError::CheckpointIo(format!("{}: {e}", path.display()));
         let mut text = self.to_json_pretty();
         text.push('\n');
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, text).map_err(io_err)?;
-        std::fs::rename(&tmp, path).map_err(io_err)
+        write_atomic(path, text.as_bytes())
     }
 
     /// Read and validate a checkpoint file written by [`Checkpoint::save`].
@@ -221,14 +277,143 @@ impl Checkpoint {
     }
 }
 
+/// Atomically install `bytes` at `path`: the content goes to a
+/// *uniquely named* sibling temp file first (pid + a process-wide
+/// counter, so concurrent saves to the same target can never clobber
+/// each other's temp file) and is renamed over the target — a crash
+/// mid-write, the exact failure checkpoints exist to survive (including
+/// `--resume X --checkpoint X` overwriting the file being resumed), can
+/// never leave a truncated checkpoint. On any error the temp file is
+/// removed best-effort before the honest [`TplError::CheckpointIo`]
+/// surfaces, so a failed save leaves no `.tmp` litter either.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            TplError::CheckpointIo(format!("{}: {e}", path.display()))
+        })
+}
+
+/// Version 1 stored each accountant's budget trail under `budgets`;
+/// versions ≥ 2 call the field `timeline`. Everything else about the v1
+/// payload already has the current shape (its population shards simply
+/// all carry the same trail), so renaming the field in place is the
+/// whole migration.
+fn migrate_v1(kind: CheckpointKind, payload: &mut Value) {
+    fn rename_in_accountant(state: &mut Value) {
+        if let Value::Map(entries) = state {
+            for (k, v) in entries.iter_mut() {
+                if k == "accountant" {
+                    if let Value::Map(fields) = v {
+                        for (fk, _) in fields.iter_mut() {
+                            if fk == "budgets" {
+                                *fk = "timeline".to_string();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    match kind {
+        CheckpointKind::TplAccountant => rename_in_accountant(payload),
+        CheckpointKind::PopulationAccountant => {
+            if let Value::Map(entries) = payload {
+                for (k, v) in entries.iter_mut() {
+                    if k != "groups" {
+                        continue;
+                    }
+                    if let Value::Seq(groups) = v {
+                        for group in groups.iter_mut() {
+                            if let Value::Map(g) = group {
+                                for (gk, gv) in g.iter_mut() {
+                                    if gk == "state" {
+                                        rename_in_accountant(gv);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One accountant's full state decoded from either encoding, *before*
+/// validation — the common input of [`restore_accountant`], which is
+/// what makes JSON and binary restores bit-identical by construction.
+pub(crate) struct RawAccountantState {
+    pub backward: Option<TemporalLossFunction>,
+    pub forward: Option<TemporalLossFunction>,
+    /// The budget trail, already wrapped as a timeline object. Decoders
+    /// that know about sharing (the binary population reader, whose
+    /// snapshot stores each distinct timeline once) hand the *same*
+    /// `Arc` to every shard of a class, so restoring never copies a
+    /// trail per shard and [`restore_population`] can recover the
+    /// sharing classes by pointer identity instead of `O(T)` bit
+    /// comparisons.
+    pub timeline: Arc<BudgetTimeline>,
+    pub bpl: Vec<f64>,
+    pub series: Option<(Vec<f64>, Vec<f64>)>,
+    pub warm_backward: Option<Value>,
+    pub warm_forward: Option<Value>,
+}
+
+/// A population's full state decoded from either encoding: the user
+/// count and, per shard in group order, the member list and accountant
+/// state.
+pub(crate) struct RawPopulationState {
+    pub num_users: usize,
+    pub shards: Vec<(Vec<usize>, RawAccountantState)>,
+}
+
+/// The witness slot of one correlation side, as a serialized [`Value`]
+/// (`None` when no warm witness was cached at save time).
+fn witness_value(l: Option<&Arc<TemporalLossFunction>>) -> Value {
+    match l.and_then(|l| l.cached_witness()) {
+        Some(w) => w.to_value(),
+        None => Value::Null,
+    }
+}
+
+/// The non-series half of one accountant's state — the loss functions
+/// (wrapping the adversary's correlation matrices) and the warm
+/// witnesses — as one JSON-serializable map. The JSON payload inlines
+/// these next to the series; the binary format stores them as a
+/// compact meta section next to the raw `f64` sections.
+pub(crate) fn tpl_meta_value(acc: &TplAccountant) -> Value {
+    let side = |l: Option<&Arc<TemporalLossFunction>>| match l {
+        Some(l) => l.to_value(),
+        None => Value::Null,
+    };
+    Value::Map(vec![
+        ("backward".to_string(), side(acc.backward_loss_fn())),
+        ("forward".to_string(), side(acc.forward_loss_fn())),
+        (
+            "warm_backward".to_string(),
+            witness_value(acc.backward_loss_fn()),
+        ),
+        (
+            "warm_forward".to_string(),
+            witness_value(acc.forward_loss_fn()),
+        ),
+    ])
+}
+
 /// Serialize one accountant's full state: the pre-cache shape
 /// (`TplAccountant`'s own serde form) plus the valid series cache and
 /// the per-side warm witnesses.
 fn tpl_payload(acc: &TplAccountant) -> Value {
-    let witness = |l: Option<&Arc<TemporalLossFunction>>| match l.and_then(|l| l.cached_witness()) {
-        Some(w) => w.to_value(),
-        None => Value::Null,
-    };
     let series = match acc.series_snapshot() {
         Some((fpl, tpl)) => Value::Map(vec![
             ("fpl".to_string(), fpl.to_value()),
@@ -239,9 +424,64 @@ fn tpl_payload(acc: &TplAccountant) -> Value {
     Value::Map(vec![
         ("accountant".to_string(), acc.to_value()),
         ("series".to_string(), series),
-        ("warm_backward".to_string(), witness(acc.backward_loss_fn())),
-        ("warm_forward".to_string(), witness(acc.forward_loss_fn())),
+        (
+            "warm_backward".to_string(),
+            witness_value(acc.backward_loss_fn()),
+        ),
+        (
+            "warm_forward".to_string(),
+            witness_value(acc.forward_loss_fn()),
+        ),
     ])
+}
+
+/// Decode a JSON payload into the raw state [`restore_accountant`]
+/// consumes (shape errors only; semantic validation happens there).
+fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
+    let acc_v = payload
+        .get("accountant")
+        .ok_or_else(|| corrupt("missing `accountant`"))?;
+    let field = |k: &str| {
+        acc_v
+            .get(k)
+            .ok_or_else(|| corrupt(format!("accountant: missing field `{k}`")))
+    };
+    let side = |k: &str| -> Result<Option<TemporalLossFunction>> {
+        Option::<TemporalLossFunction>::from_value(field(k)?)
+            .map_err(|e| corrupt(format!("accountant.{k}: {e}")))
+    };
+    let timeline = Vec::<f64>::from_value(field("timeline")?)
+        .map_err(|e| corrupt(format!("accountant.timeline: {e}")))?;
+    let timeline = Arc::new(BudgetTimeline::from_raw_trail(&timeline));
+    let bpl = Vec::<f64>::from_value(field("bpl")?)
+        .map_err(|e| corrupt(format!("accountant.bpl: {e}")))?;
+    let series = match payload.get("series") {
+        None | Some(Value::Null) => None,
+        Some(series) => {
+            let get = |k: &str| -> Result<Vec<f64>> {
+                let v = series
+                    .get(k)
+                    .ok_or_else(|| corrupt(format!("series missing `{k}`")))?;
+                Vec::<f64>::from_value(v).map_err(|e| corrupt(format!("series.{k}: {e}")))
+            };
+            Some((get("fpl")?, get("tpl")?))
+        }
+    };
+    let witness = |k: &str| {
+        payload
+            .get(k)
+            .filter(|v| !matches!(v, Value::Null))
+            .cloned()
+    };
+    Ok(RawAccountantState {
+        backward: side("backward")?,
+        forward: side("forward")?,
+        timeline,
+        bpl,
+        series,
+        warm_backward: witness("warm_backward"),
+        warm_forward: witness("warm_forward"),
+    })
 }
 
 /// Validate a deserialized witness against its loss function's domain
@@ -274,82 +514,86 @@ fn restore_witness(
     Ok(())
 }
 
-/// Rebuild one accountant from its payload, validating everything the
-/// type system cannot.
-fn tpl_restore(payload: &Value) -> Result<TplAccountant> {
-    let acc_v = payload
-        .get("accountant")
-        .ok_or_else(|| corrupt("missing `accountant`"))?;
-    let acc = TplAccountant::from_value(acc_v).map_err(|e| corrupt(e.to_string()))?;
-    if acc.budgets().iter().any(|&e| !(e.is_finite() && e > 0.0)) {
+/// Rebuild one accountant from raw state, validating everything the
+/// type system cannot — the single restore path shared by the JSON and
+/// binary encodings.
+pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountant> {
+    let RawAccountantState {
+        backward,
+        forward,
+        timeline,
+        bpl,
+        series,
+        warm_backward,
+        warm_forward,
+    } = raw;
+    if timeline.with_values(|b| b.iter().any(|&e| !(e.is_finite() && e > 0.0))) {
         return Err(corrupt(
             "budget trail contains non-positive or non-finite entries",
         ));
     }
-    if acc.bpl_series().len() != acc.len() {
+    if bpl.len() != timeline.len() {
         return Err(corrupt(format!(
             "bpl length {} does not match budget trail length {}",
-            acc.bpl_series().len(),
-            acc.len()
+            bpl.len(),
+            timeline.len()
         )));
     }
     // BPL values are fed back into `L(α)` as α, which must be finite and
     // non-negative — reject state that would understate leakage now and
     // fail the next observation later.
-    if acc
-        .bpl_series()
-        .iter()
-        .any(|v| !(v.is_finite() && *v >= 0.0))
-    {
+    if bpl.iter().any(|v| !(v.is_finite() && *v >= 0.0)) {
         return Err(corrupt(
             "bpl series contains negative or non-finite entries",
         ));
     }
-    match payload.get("series") {
-        None | Some(Value::Null) => {}
-        Some(series) => {
-            let get = |k: &str| -> Result<Vec<f64>> {
-                let v = series
-                    .get(k)
-                    .ok_or_else(|| corrupt(format!("series missing `{k}`")))?;
-                Vec::<f64>::from_value(v).map_err(|e| corrupt(format!("series.{k}: {e}")))
-            };
-            let fpl = get("fpl")?;
-            let tpl = get("tpl")?;
-            if fpl.len() != acc.len() || tpl.len() != acc.len() {
-                return Err(corrupt(format!(
-                    "cached series lengths ({}, {}) do not match the budget trail ({})",
-                    fpl.len(),
-                    tpl.len(),
-                    acc.len()
-                )));
-            }
-            if fpl.iter().chain(&tpl).any(|v| !v.is_finite()) {
-                return Err(corrupt("cached series contain non-finite entries"));
-            }
-            acc.restore_series(fpl, tpl);
+    let acc = TplAccountant::from_restored_parts(
+        backward.map(Arc::new),
+        forward.map(Arc::new),
+        timeline,
+        bpl,
+    );
+    if let Some((fpl, tpl)) = series {
+        if fpl.len() != acc.len() || tpl.len() != acc.len() {
+            return Err(corrupt(format!(
+                "cached series lengths ({}, {}) do not match the budget trail ({})",
+                fpl.len(),
+                tpl.len(),
+                acc.len()
+            )));
         }
+        if fpl.iter().chain(&tpl).any(|v| !v.is_finite()) {
+            return Err(corrupt("cached series contain non-finite entries"));
+        }
+        acc.restore_series(fpl, tpl);
     }
     restore_witness(
         acc.backward_loss_fn(),
-        payload.get("warm_backward"),
+        warm_backward.as_ref(),
         "warm_backward",
     )?;
-    restore_witness(
-        acc.forward_loss_fn(),
-        payload.get("warm_forward"),
-        "warm_forward",
-    )?;
+    restore_witness(acc.forward_loss_fn(), warm_forward.as_ref(), "warm_forward")?;
     Ok(acc)
 }
 
 impl TplAccountant {
-    /// Snapshot this accountant into a versioned [`Checkpoint`].
+    /// Snapshot this accountant into a versioned [`Checkpoint`] (the
+    /// JSON-encodable form; see [`Self::checkpoint_binary`] for the
+    /// binary envelope).
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             kind: CheckpointKind::TplAccountant,
             payload: tpl_payload(self),
         }
+    }
+
+    /// Snapshot this accountant as a version-3 **binary** envelope (see
+    /// [`format`]): the timeline, BPL, and cached FPL/TPL series are
+    /// raw little-endian `f64` sections. Restore with [`resume_bytes`]
+    /// or [`resume_file`]; the restored state is bit-identical to a
+    /// JSON restore of the same accountant.
+    pub fn checkpoint_binary(&self) -> Vec<u8> {
+        format::write_tpl_snapshot(self)
     }
 
     /// Rebuild an accountant from a [`Checkpoint`] produced by
@@ -364,7 +608,35 @@ impl TplAccountant {
                 CheckpointKind::TplAccountant.tag()
             )));
         }
-        tpl_restore(&cp.payload)
+        restore_accountant(raw_from_payload(&cp.payload)?)
+    }
+
+    /// The cursor a later [`Self::checkpoint_delta`] measures appends
+    /// against — take it at the moment a snapshot (or delta) is
+    /// written.
+    pub fn delta_cursor(&self) -> DeltaCursor {
+        DeltaCursor {
+            kind: CheckpointKind::TplAccountant,
+            num_users: 0,
+            num_groups: 1,
+            len: self.len(),
+        }
+    }
+
+    /// The state appended since `cursor` — budgets, BPL values, and the
+    /// current warm witnesses — as an `O(appended)`-sized record for
+    /// the delta log. Returns `None` when the cursor does not chain
+    /// (wrong kind, or the state is shorter than the cursor); write a
+    /// fresh full snapshot instead.
+    pub fn checkpoint_delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
+        if cursor.kind != CheckpointKind::TplAccountant || cursor.len > self.len() {
+            return None;
+        }
+        Some(CheckpointDelta {
+            kind: CheckpointKind::TplAccountant,
+            base_len: cursor.len,
+            shards: vec![delta_shard_of(self, cursor.len)?],
+        })
     }
 }
 
@@ -392,11 +664,19 @@ impl PopulationAccountant {
         }
     }
 
+    /// Snapshot the population as a version-3 **binary** envelope (see
+    /// [`format`]): each distinct budget timeline is written once as a
+    /// raw `f64` section, shards reference their timeline by class
+    /// index. Restore with [`resume_bytes`] or [`resume_file`].
+    pub fn checkpoint_binary(&self) -> Vec<u8> {
+        format::write_population_snapshot(self)
+    }
+
     /// Rebuild a population from a [`Checkpoint`] produced by
     /// [`PopulationAccountant::checkpoint`]. Validates that the shards
     /// partition the user set (every index in `0..num_users` appears in
     /// exactly one ascending member list) and that all shards agree on
-    /// the shared budget timeline.
+    /// the number of observed releases.
     pub fn resume(cp: &Checkpoint) -> Result<Self> {
         if cp.kind != CheckpointKind::PopulationAccountant {
             return Err(corrupt(format!(
@@ -405,102 +685,172 @@ impl PopulationAccountant {
                 CheckpointKind::PopulationAccountant.tag()
             )));
         }
-        let num_users = match cp.payload.get("num_users") {
-            Some(v) => usize::from_value(v).map_err(|e| corrupt(format!("num_users: {e}")))?,
-            None => return Err(corrupt("missing `num_users`")),
-        };
-        if num_users == 0 {
-            return Err(corrupt("population checkpoint with zero users"));
+        restore_population(population_raw_from_payload(&cp.payload)?)
+    }
+
+    /// The cursor a later [`Self::checkpoint_delta`] measures appends
+    /// against; besides the release count it records the shard topology
+    /// (user and group counts), because a delta can only describe
+    /// appends to an unchanged shard structure.
+    pub fn delta_cursor(&self) -> DeltaCursor {
+        DeltaCursor {
+            kind: CheckpointKind::PopulationAccountant,
+            num_users: self.num_users(),
+            num_groups: self.num_groups(),
+            len: self.num_releases(),
         }
-        let groups = match cp.payload.get("groups") {
-            Some(Value::Seq(groups)) if !groups.is_empty() => groups,
-            Some(Value::Seq(_)) => return Err(corrupt("population checkpoint with no shards")),
-            _ => return Err(corrupt("missing `groups`")),
+    }
+
+    /// The state appended since `cursor`, per shard in group order.
+    /// Returns `None` when the cursor does not chain — wrong kind, a
+    /// shorter state, or a shard topology change (a personalized
+    /// release split a shard since the cursor); write a fresh full
+    /// snapshot instead. Timeline *forks* without splits (the same
+    /// shards, diverging budgets) are fine: the delta records each
+    /// shard's own tail and the replay re-forks copy-on-write.
+    pub fn checkpoint_delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
+        if cursor.kind != CheckpointKind::PopulationAccountant
+            || cursor.num_users != self.num_users()
+            || cursor.num_groups != self.num_groups()
+            || cursor.len > self.num_releases()
+        {
+            return None;
+        }
+        let shards = self
+            .parts()
+            .map(|(_, _, acc)| delta_shard_of(acc, cursor.len))
+            .collect::<Option<Vec<_>>>()?;
+        Some(CheckpointDelta {
+            kind: CheckpointKind::PopulationAccountant,
+            base_len: cursor.len,
+            shards,
+        })
+    }
+}
+
+/// Decode a population JSON payload into raw state (shape errors only).
+fn population_raw_from_payload(payload: &Value) -> Result<RawPopulationState> {
+    let num_users = match payload.get("num_users") {
+        Some(v) => usize::from_value(v).map_err(|e| corrupt(format!("num_users: {e}")))?,
+        None => return Err(corrupt("missing `num_users`")),
+    };
+    let groups = match payload.get("groups") {
+        Some(Value::Seq(groups)) => groups,
+        _ => return Err(corrupt("missing `groups`")),
+    };
+    let mut shards = Vec::with_capacity(groups.len());
+    for (g, group) in groups.iter().enumerate() {
+        let members = match group.get("members") {
+            Some(v) => Vec::<usize>::from_value(v)
+                .map_err(|e| corrupt(format!("groups[{g}].members: {e}")))?,
+            None => return Err(corrupt(format!("groups[{g}]: missing `members`"))),
         };
-        let mut seen = vec![false; num_users];
-        let mut parts = Vec::with_capacity(groups.len());
-        let mut prev_min: Option<usize> = None;
-        for (g, group) in groups.iter().enumerate() {
-            let members = match group.get("members") {
-                Some(v) => Vec::<usize>::from_value(v)
-                    .map_err(|e| corrupt(format!("groups[{g}].members: {e}")))?,
-                None => return Err(corrupt(format!("groups[{g}]: missing `members`"))),
-            };
-            if members.is_empty() {
-                return Err(corrupt(format!("groups[{g}]: empty member list")));
-            }
-            if !members.windows(2).all(|w| w[0] < w[1]) {
+        let state = group
+            .get("state")
+            .ok_or_else(|| corrupt(format!("groups[{g}]: missing `state`")))?;
+        shards.push((members, raw_from_payload(state)?));
+    }
+    Ok(RawPopulationState { num_users, shards })
+}
+
+/// Rebuild a population from raw state — the single restore path shared
+/// by the JSON and binary encodings. Validates the shard partition, the
+/// group ordering invariant, per-shard accountant state, and the
+/// equal-release-count invariant, then re-shares bitwise-equal budget
+/// trails copy-on-write.
+pub(crate) fn restore_population(raw: RawPopulationState) -> Result<PopulationAccountant> {
+    let RawPopulationState { num_users, shards } = raw;
+    if num_users == 0 {
+        return Err(corrupt("population checkpoint with zero users"));
+    }
+    if shards.is_empty() {
+        return Err(corrupt("population checkpoint with no shards"));
+    }
+    let mut seen = vec![false; num_users];
+    let mut parts = Vec::with_capacity(shards.len());
+    let mut prev_min: Option<usize> = None;
+    for (g, (members, state)) in shards.into_iter().enumerate() {
+        if members.is_empty() {
+            return Err(corrupt(format!("groups[{g}]: empty member list")));
+        }
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt(format!(
+                "groups[{g}]: member list must be strictly ascending"
+            )));
+        }
+        // Group order must be ascending in minimum member index —
+        // the invariant `most_exposed_user`'s documented
+        // lowest-index tie-break relies on; a reordered checkpoint
+        // would silently flip exact-tie winners.
+        if let Some(prev) = prev_min {
+            if members[0] <= prev {
                 return Err(corrupt(format!(
-                    "groups[{g}]: member list must be strictly ascending"
+                    "groups[{g}]: shards must be ordered by ascending first member \
+                     ({} after {prev})",
+                    members[0]
                 )));
             }
-            // Group order must be ascending in minimum member index —
-            // the invariant `most_exposed_user`'s documented
-            // lowest-index tie-break relies on; a reordered checkpoint
-            // would silently flip exact-tie winners.
-            if let Some(prev) = prev_min {
-                if members[0] <= prev {
-                    return Err(corrupt(format!(
-                        "groups[{g}]: shards must be ordered by ascending first member \
-                         ({} after {prev})",
-                        members[0]
-                    )));
-                }
-            }
-            prev_min = Some(members[0]);
-            for &i in &members {
-                if i >= num_users {
-                    return Err(corrupt(format!(
-                        "groups[{g}]: member index {i} out of range for {num_users} users"
-                    )));
-                }
-                if seen[i] {
-                    return Err(corrupt(format!(
-                        "groups[{g}]: user {i} appears in more than one shard"
-                    )));
-                }
-                seen[i] = true;
-            }
-            let state = group
-                .get("state")
-                .ok_or_else(|| corrupt(format!("groups[{g}]: missing `state`")))?;
-            let acc = tpl_restore(state)?;
-            let adversary = adversary_of(&acc)?;
-            parts.push((adversary, members, acc));
         }
-        if let Some(missing) = seen.iter().position(|s| !s) {
-            return Err(corrupt(format!("user {missing} is assigned to no shard")));
-        }
-        // Timelines are per-shard (personalized budgets may diverge), but
-        // every user has observed the same *number* of releases: unequal
-        // lengths mean the population was not saved atomically.
-        if let Some((_, _, first)) = parts.first() {
-            let reference = first.len();
-            for (g, (_, _, acc)) in parts.iter().enumerate().skip(1) {
-                if acc.len() != reference {
-                    return Err(corrupt(format!(
-                        "groups[{g}]: budget trail has {} releases where shard 0 has \
-                         {reference} — every user observes each release exactly once",
-                        acc.len()
-                    )));
-                }
+        prev_min = Some(members[0]);
+        for &i in &members {
+            if i >= num_users {
+                return Err(corrupt(format!(
+                    "groups[{g}]: member index {i} out of range for {num_users} users"
+                )));
             }
-        }
-        // Restore copy-on-write sharing: shards whose trails are
-        // bit-identical re-join one timeline object (first such shard in
-        // group order is the class representative), so the resumed
-        // population records shared releases once per distinct timeline,
-        // exactly as the saved one did.
-        let mut classes: Vec<(Vec<u64>, Arc<BudgetTimeline>)> = Vec::new();
-        for (_, _, acc) in parts.iter_mut() {
-            let bits: Vec<u64> = acc.with_budgets(|b| b.iter().map(|v| v.to_bits()).collect());
-            match classes.iter().find(|(k, _)| *k == bits) {
-                Some((_, shared)) => acc.set_timeline(Arc::clone(shared)),
-                None => classes.push((bits, Arc::clone(acc.timeline()))),
+            if seen[i] {
+                return Err(corrupt(format!(
+                    "groups[{g}]: user {i} appears in more than one shard"
+                )));
             }
+            seen[i] = true;
         }
-        Ok(PopulationAccountant::from_parts(parts, num_users))
+        let acc = restore_accountant(state)?;
+        let adversary = adversary_of(&acc)?;
+        parts.push((adversary, members, acc));
     }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(corrupt(format!("user {missing} is assigned to no shard")));
+    }
+    // Timelines are per-shard (personalized budgets may diverge), but
+    // every user has observed the same *number* of releases: unequal
+    // lengths mean the population was not saved atomically.
+    if let Some((_, _, first)) = parts.first() {
+        let reference = first.len();
+        for (g, (_, _, acc)) in parts.iter().enumerate().skip(1) {
+            if acc.len() != reference {
+                return Err(corrupt(format!(
+                    "groups[{g}]: budget trail has {} releases where shard 0 has \
+                     {reference} — every user observes each release exactly once",
+                    acc.len()
+                )));
+            }
+        }
+    }
+    // Restore copy-on-write sharing: shards whose trails are
+    // bit-identical re-join one timeline object (first such shard in
+    // group order is the class representative), so the resumed
+    // population records shared releases once per distinct timeline,
+    // exactly as the saved one did. Shards already pointing at a
+    // representative object (the binary decoder hands one `Arc` per
+    // class) are recognized by pointer identity first, so the `O(T)`
+    // bit comparison only runs once per *class*, not once per shard.
+    let mut reps: Vec<Arc<BudgetTimeline>> = Vec::new();
+    let mut rep_bits: Vec<Vec<u64>> = Vec::new();
+    for (_, _, acc) in parts.iter_mut() {
+        if reps.iter().any(|r| Arc::ptr_eq(r, acc.timeline())) {
+            continue;
+        }
+        let bits: Vec<u64> = acc.with_budgets(|b| b.iter().map(|v| v.to_bits()).collect());
+        match rep_bits.iter().position(|k| *k == bits) {
+            Some(i) => acc.set_timeline(Arc::clone(&reps[i])),
+            None => {
+                reps.push(Arc::clone(acc.timeline()));
+                rep_bits.push(bits);
+            }
+        }
+    }
+    Ok(PopulationAccountant::from_parts(parts, num_users))
 }
 
 /// Recover the adversary model from a restored accountant's loss
@@ -520,6 +870,311 @@ fn adversary_of(acc: &TplAccountant) -> Result<AdversaryT> {
             (None, None) => AdversaryT::traditional(),
         },
     )
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (delta) checkpoints
+// ---------------------------------------------------------------------------
+
+/// Where an accountant's state stood when a snapshot or delta was last
+/// written — the cursor [`TplAccountant::checkpoint_delta`] /
+/// [`PopulationAccountant::checkpoint_delta`] measure appends against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaCursor {
+    kind: CheckpointKind,
+    /// Population topology at cursor time (0 / 1 for a solo accountant).
+    num_users: usize,
+    num_groups: usize,
+    /// Releases observed at cursor time.
+    len: usize,
+}
+
+impl DeltaCursor {
+    /// Releases observed when the cursor was taken.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cursor was taken before any release.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One shard's contribution to a delta record: the budget and BPL tails
+/// appended since the cursor, plus the shard's current warm witnesses
+/// (serialized; the last record's witnesses win on replay).
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaShard {
+    pub budgets: Vec<f64>,
+    pub bpl: Vec<f64>,
+    pub warm_backward: Option<Value>,
+    pub warm_forward: Option<Value>,
+}
+
+/// The state appended since a [`DeltaCursor`] — an `O(appended)`-sized
+/// record for the append-only delta log next to a binary snapshot.
+/// Replayed in order by [`resume_bytes`] / [`resume_file`], each record
+/// chains onto the previous state (`base_len` must equal the state's
+/// release count) and restores it bit-identically to the live
+/// accountant at the moment the record was written.
+#[derive(Debug, Clone)]
+pub struct CheckpointDelta {
+    kind: CheckpointKind,
+    base_len: usize,
+    shards: Vec<DeltaShard>,
+}
+
+impl CheckpointDelta {
+    /// What kind of accountant this delta extends.
+    pub fn kind(&self) -> CheckpointKind {
+        self.kind
+    }
+
+    /// The release count this record chains from.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Releases appended by this record.
+    pub fn appended(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.budgets.len())
+    }
+
+    /// Whether the record appends nothing (skip writing it).
+    pub fn is_empty(&self) -> bool {
+        self.appended() == 0
+    }
+
+    /// Encode as one binary delta-log record (see [`format`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format::write_delta(self)
+    }
+
+    /// Append this record to the delta log at `path` (created if
+    /// absent). Appending is `O(appended)` in both I/O and encoding —
+    /// the whole point of incremental checkpoints.
+    pub fn append_to(&self, path: &Path) -> Result<()> {
+        use std::io::Write as _;
+        let io_err = |e: std::io::Error| TplError::CheckpointIo(format!("{}: {e}", path.display()));
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        f.write_all(&self.to_bytes()).map_err(io_err)
+    }
+
+    pub(crate) fn from_parts(
+        kind: CheckpointKind,
+        base_len: usize,
+        shards: Vec<DeltaShard>,
+    ) -> Self {
+        CheckpointDelta {
+            kind,
+            base_len,
+            shards,
+        }
+    }
+
+    pub(crate) fn shards(&self) -> &[DeltaShard] {
+        &self.shards
+    }
+}
+
+/// One shard's delta tail: everything appended to `acc` since `from`.
+/// `None` when the cursor is stale for this shard (the timeline or BPL
+/// recursion is shorter than the cursor, or mid-sync).
+fn delta_shard_of(acc: &TplAccountant, from: usize) -> Option<DeltaShard> {
+    let budgets = acc.timeline().tail_from(from)?;
+    let bpl = acc.bpl_series().get(from..)?.to_vec();
+    if budgets.len() != bpl.len() {
+        return None;
+    }
+    Some(DeltaShard {
+        budgets,
+        bpl,
+        warm_backward: Some(witness_value(acc.backward_loss_fn())),
+        warm_forward: Some(witness_value(acc.forward_loss_fn())),
+    })
+}
+
+/// Semantic validation of one delta shard (the same rules the snapshot
+/// restore applies to trails and BPL series).
+fn validate_delta_shard(s: &DeltaShard, g: usize) -> Result<()> {
+    if s.budgets.iter().any(|&e| !(e.is_finite() && e > 0.0)) {
+        return Err(corrupt(format!(
+            "delta shard {g}: budget tail contains non-positive or non-finite entries"
+        )));
+    }
+    if s.bpl.len() != s.budgets.len() {
+        return Err(corrupt(format!(
+            "delta shard {g}: bpl tail length {} does not match budget tail length {}",
+            s.bpl.len(),
+            s.budgets.len()
+        )));
+    }
+    if s.bpl.iter().any(|v| !(v.is_finite() && *v >= 0.0)) {
+        return Err(corrupt(format!(
+            "delta shard {g}: bpl tail contains negative or non-finite entries"
+        )));
+    }
+    Ok(())
+}
+
+/// Replay one delta record onto a resumed state.
+fn apply_delta(state: &mut SavedState, delta: &CheckpointDelta) -> Result<()> {
+    match state {
+        SavedState::Tpl(acc) => {
+            if delta.kind != CheckpointKind::TplAccountant {
+                return Err(corrupt("delta kind does not match the snapshot kind"));
+            }
+            let [shard] = delta.shards.as_slice() else {
+                return Err(corrupt(format!(
+                    "delta for a solo accountant carries {} shards",
+                    delta.shards.len()
+                )));
+            };
+            if delta.base_len != acc.len() {
+                return Err(corrupt(format!(
+                    "delta record chains from T = {} but the state is at T = {}",
+                    delta.base_len,
+                    acc.len()
+                )));
+            }
+            validate_delta_shard(shard, 0)?;
+            for &b in &shard.budgets {
+                acc.timeline()
+                    .push(b)
+                    .map_err(|e| corrupt(format!("delta budget: {e}")))?;
+            }
+            acc.extend_bpl(&shard.bpl);
+            restore_witness(
+                acc.backward_loss_fn(),
+                shard.warm_backward.as_ref(),
+                "delta warm_backward",
+            )?;
+            restore_witness(
+                acc.forward_loss_fn(),
+                shard.warm_forward.as_ref(),
+                "delta warm_forward",
+            )?;
+        }
+        SavedState::Population(pop) => {
+            if delta.kind != CheckpointKind::PopulationAccountant {
+                return Err(corrupt("delta kind does not match the snapshot kind"));
+            }
+            if delta.base_len != pop.num_releases() {
+                return Err(corrupt(format!(
+                    "delta record chains from T = {} but the population is at T = {}",
+                    delta.base_len,
+                    pop.num_releases()
+                )));
+            }
+            for (g, shard) in delta.shards.iter().enumerate() {
+                validate_delta_shard(shard, g)?;
+            }
+            let tails: Vec<(Vec<f64>, Vec<f64>)> = delta
+                .shards
+                .iter()
+                .map(|s| (s.budgets.clone(), s.bpl.clone()))
+                .collect();
+            pop.apply_checkpoint_tails(&tails).map_err(corrupt)?;
+            for ((_, _, acc), shard) in pop.parts().zip(&delta.shards) {
+                restore_witness(
+                    acc.backward_loss_fn(),
+                    shard.warm_backward.as_ref(),
+                    "delta warm_backward",
+                )?;
+                restore_witness(
+                    acc.forward_loss_fn(),
+                    shard.warm_forward.as_ref(),
+                    "delta warm_forward",
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Format-agnostic loading
+// ---------------------------------------------------------------------------
+
+/// A resumed accountant of either kind — what [`resume_file`] and
+/// [`resume_bytes`] yield.
+#[derive(Debug)]
+pub enum SavedState {
+    /// A single-adversary accountant.
+    Tpl(TplAccountant),
+    /// A sharded population.
+    Population(PopulationAccountant),
+}
+
+impl SavedState {
+    /// The checkpoint kind this state was restored from.
+    pub fn kind(&self) -> CheckpointKind {
+        match self {
+            SavedState::Tpl(_) => CheckpointKind::TplAccountant,
+            SavedState::Population(_) => CheckpointKind::PopulationAccountant,
+        }
+    }
+}
+
+/// Resume from a version-3 binary snapshot, then replay an optional
+/// delta log (concatenated [`CheckpointDelta`] records) over it. The
+/// result is bit-identical to the live accountant at the moment the
+/// last delta (or, with no log, the snapshot) was written.
+pub fn resume_bytes(snapshot: &[u8], delta_log: Option<&[u8]>) -> Result<SavedState> {
+    let mut state = match format::read_snapshot(snapshot)? {
+        format::RawState::Tpl(raw) => SavedState::Tpl(restore_accountant(*raw)?),
+        format::RawState::Population(raw) => SavedState::Population(restore_population(raw)?),
+    };
+    if let Some(log) = delta_log {
+        for delta in format::read_delta_log(log)? {
+            apply_delta(&mut state, &delta)?;
+        }
+    }
+    Ok(state)
+}
+
+/// The sibling delta-log path of a binary snapshot: `<path>.delta`.
+pub fn delta_log_path(path: &Path) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".delta");
+    PathBuf::from(p)
+}
+
+/// Resume from a checkpoint file in either encoding, sniffed by magic:
+/// a binary snapshot (replaying its sibling `<path>.delta` log when
+/// present) or a JSON envelope of any supported version.
+pub fn resume_file(path: &Path) -> Result<SavedState> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| TplError::CheckpointIo(format!("{}: {e}", path.display())))?;
+    if bytes.starts_with(format::MAGIC) {
+        let log_path = delta_log_path(path);
+        let log = match std::fs::read(&log_path) {
+            Ok(b) => Some(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                return Err(TplError::CheckpointIo(format!(
+                    "{}: {e}",
+                    log_path.display()
+                )))
+            }
+        };
+        resume_bytes(&bytes, log.as_deref())
+    } else {
+        let text = String::from_utf8(bytes)
+            .map_err(|_| corrupt("checkpoint is neither a tcdp binary envelope nor UTF-8 JSON"))?;
+        let cp = Checkpoint::from_json(&text)?;
+        match cp.kind() {
+            CheckpointKind::TplAccountant => Ok(SavedState::Tpl(TplAccountant::resume(&cp)?)),
+            CheckpointKind::PopulationAccountant => {
+                Ok(SavedState::Population(PopulationAccountant::resume(&cp)?))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -568,24 +1223,12 @@ mod tests {
         acc.observe_uniform(0.1, 2).unwrap();
         let json = acc.checkpoint().to_json();
         let bumped = json
-            .replace("\"version\":2.0", "\"version\":999")
-            .replace("\"version\":2,", "\"version\":999,");
+            .replace("\"version\":3.0", "\"version\":999")
+            .replace("\"version\":3,", "\"version\":999,");
         assert!(matches!(
             Checkpoint::from_json(&bumped),
             Err(TplError::CheckpointVersion {
                 found: 999,
-                supported: CHECKPOINT_VERSION
-            })
-        ));
-        // A version-1 envelope (the pre-per-user-timeline format) is
-        // rejected with the honest version error, not reinterpreted.
-        let old = json
-            .replace("\"version\":2.0", "\"version\":1")
-            .replace("\"version\":2,", "\"version\":1,");
-        assert!(matches!(
-            Checkpoint::from_json(&old),
-            Err(TplError::CheckpointVersion {
-                found: 1,
                 supported: CHECKPOINT_VERSION
             })
         ));
@@ -597,5 +1240,77 @@ mod tests {
             Checkpoint::from_json("not json at all"),
             Err(TplError::CorruptCheckpoint(_))
         ));
+    }
+
+    #[test]
+    fn older_json_versions_still_resume() {
+        // A v2 envelope has the current payload shape under an older
+        // version stamp; a v1 envelope additionally stores the trail
+        // under `budgets`. Both must restore bit-identically to the
+        // state they describe.
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 4).unwrap();
+        let json = acc.checkpoint().to_json();
+        let v2 = json
+            .replace("\"version\":3.0", "\"version\":2")
+            .replace("\"version\":3,", "\"version\":2,");
+        assert_ne!(v2, json, "version stamp must have been rewritten");
+        let resumed = TplAccountant::resume(&Checkpoint::from_json(&v2).unwrap()).unwrap();
+        assert_eq!(resumed.tpl_series().unwrap(), acc.tpl_series().unwrap());
+        let v1 = v2
+            .replace("\"timeline\":", "\"budgets\":")
+            .replace("\"version\":2", "\"version\":1");
+        let resumed = TplAccountant::resume(&Checkpoint::from_json(&v1).unwrap()).unwrap();
+        assert_eq!(resumed.tpl_series().unwrap(), acc.tpl_series().unwrap());
+    }
+
+    #[test]
+    fn failed_save_leaves_no_temp_litter() {
+        let dir = std::env::temp_dir().join(format!("tcdp_save_litter_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The target is a directory: the rename must fail, the error be
+        // honest, and the uniquely named temp file be cleaned up.
+        let target = dir.join("occupied");
+        std::fs::create_dir_all(&target).unwrap();
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 2).unwrap();
+        assert!(matches!(
+            acc.checkpoint().save(&target),
+            Err(TplError::CheckpointIo(_))
+        ));
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(litter.is_empty(), "temp litter left behind: {litter:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_to_one_path_never_collide() {
+        // With a fixed `<path>.tmp` sibling, two concurrent saves race
+        // on one temp file: one of the renames finds it already gone.
+        // Unique temp names make every save succeed and the final file
+        // a valid checkpoint.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tcdp_concurrent_saves_{}.json", std::process::id()));
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 3).unwrap();
+        let cp = acc.checkpoint();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cp = &cp;
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        cp.save(path).expect("concurrent save must not collide");
+                    }
+                });
+            }
+        });
+        let resumed = TplAccountant::resume(&Checkpoint::load(&path).unwrap()).unwrap();
+        assert_eq!(resumed.len(), 3);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,597 @@
+//! The version-3 binary checkpoint envelope.
+//!
+//! # Wire layout
+//!
+//! Every file is one or more **containers**. A snapshot file is exactly
+//! one snapshot container; a delta log is a concatenation of delta
+//! containers, each appended in `O(appended)` bytes. All integers are
+//! little-endian; all sections start at 8-byte-aligned offsets, so the
+//! `f64` series sections can be read zero-copy from an mmap'd file.
+//!
+//! ```text
+//! container header (32 bytes):
+//!   0..8    magic            b"TCDPCKPT"
+//!   8..12   version  u32     CHECKPOINT_VERSION (3)
+//!   12..16  role     u32     0 = snapshot, 1 = delta record
+//!   16..20  kind     u32     1 = tpl-accountant, 2 = population-accountant
+//!   20..24  sections u32     number of section-table entries
+//!   24..32  total    u64     container length in bytes (header + table
+//!                            + sections + padding) — the length prefix
+//!                            a log reader skips by
+//! section table (24 bytes per entry):
+//!   tag u32 · shard u32 · offset u64 · length u64
+//! sections: raw bytes, each zero-padded to the next 8-byte boundary
+//! ```
+//!
+//! Section tags (the `shard` field selects the shard — or, for
+//! population `TIMELINE` sections, the timeline *class* — the section
+//! belongs to; 0 for a solo accountant):
+//!
+//! | tag | name         | payload                                        |
+//! |-----|--------------|------------------------------------------------|
+//! | 1   | `META`       | container-level JSON (losses + witnesses for a solo snapshot; `num_users`/`class_of` for a population; `base_len`/`shards` for a delta) |
+//! | 2   | `TIMELINE`   | raw `f64` budget trail (per timeline class) or delta budget tail (per shard) |
+//! | 3   | `BPL`        | raw `f64` BPL series / delta tail (per shard)  |
+//! | 4   | `FPL`        | raw `f64` cached FPL series (optional)         |
+//! | 5   | `TPL`        | raw `f64` cached TPL series (optional)         |
+//! | 6   | `MEMBERS`    | raw `u64` ascending member indices (per shard) |
+//! | 7   | `SHARD_META` | per-shard JSON (losses + witnesses; delta witnesses) |
+//!
+//! The large state — budget timelines, BPL/FPL/TPL series — is stored
+//! as raw arrays (each distinct population timeline exactly once, with
+//! shards referencing it by class index), so writing a snapshot copies
+//! the floats instead of formatting them, and a delta record's size is
+//! proportional to what was appended, not to `T`.
+//!
+//! # Corruption handling
+//!
+//! Every read is bounds-checked before any state is touched: a short
+//! header, a container whose claimed length exceeds the file, a section
+//! reaching past the container, an `f64` section whose length is not a
+//! multiple of 8, bad magic, or an unknown role/kind/tag shape is an
+//! honest [`TplError::CorruptCheckpoint`]; a version other than
+//! [`CHECKPOINT_VERSION`] is [`TplError::CheckpointVersion`]. The
+//! decoded state then passes through exactly the same semantic
+//! validation as a JSON restore.
+
+use super::{
+    corrupt, tpl_meta_value, CheckpointDelta, CheckpointKind, DeltaShard, RawAccountantState,
+    RawPopulationState, CHECKPOINT_VERSION,
+};
+use crate::accountant::TplAccountant;
+use crate::loss::TemporalLossFunction;
+use crate::personalized::PopulationAccountant;
+use crate::{Result, TplError};
+use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
+use tcdp_mech::budget::BudgetTimeline;
+
+/// The 8-byte magic every binary container opens with.
+pub const MAGIC: &[u8; 8] = b"TCDPCKPT";
+
+const ROLE_SNAPSHOT: u32 = 0;
+const ROLE_DELTA: u32 = 1;
+
+const KIND_TPL: u32 = 1;
+const KIND_POPULATION: u32 = 2;
+
+const HEADER_LEN: usize = 32;
+const ENTRY_LEN: usize = 24;
+
+const TAG_META: u32 = 1;
+const TAG_TIMELINE: u32 = 2;
+const TAG_BPL: u32 = 3;
+const TAG_FPL: u32 = 4;
+const TAG_TPL: u32 = 5;
+const TAG_MEMBERS: u32 = 6;
+const TAG_SHARD_META: u32 = 7;
+
+fn kind_code(kind: CheckpointKind) -> u32 {
+    match kind {
+        CheckpointKind::TplAccountant => KIND_TPL,
+        CheckpointKind::PopulationAccountant => KIND_POPULATION,
+    }
+}
+
+fn kind_of_code(code: u32) -> Result<CheckpointKind> {
+    match code {
+        KIND_TPL => Ok(CheckpointKind::TplAccountant),
+        KIND_POPULATION => Ok(CheckpointKind::PopulationAccountant),
+        other => Err(corrupt(format!("unknown checkpoint kind code {other}"))),
+    }
+}
+
+fn align8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Collects sections, then lays the container out in one pass.
+struct Builder {
+    role: u32,
+    kind: u32,
+    sections: Vec<(u32, u32, Vec<u8>)>,
+}
+
+impl Builder {
+    fn new(role: u32, kind: u32) -> Self {
+        Builder {
+            role,
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    fn bytes(&mut self, tag: u32, shard: u32, bytes: Vec<u8>) {
+        self.sections.push((tag, shard, bytes));
+    }
+
+    fn json(&mut self, tag: u32, shard: u32, v: &Value) {
+        let text = serde_json::to_string(v).expect("value serialization is total");
+        self.bytes(tag, shard, text.into_bytes());
+    }
+
+    fn f64s(&mut self, tag: u32, shard: u32, values: &[f64]) {
+        let mut out = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.bytes(tag, shard, out);
+    }
+
+    fn u64s(&mut self, tag: u32, shard: u32, values: &[usize]) {
+        let mut out = Vec::with_capacity(values.len() * 8);
+        for &v in values {
+            out.extend_from_slice(&(v as u64).to_le_bytes());
+        }
+        self.bytes(tag, shard, out);
+    }
+
+    fn finish(self) -> Vec<u8> {
+        let table_len = self.sections.len() * ENTRY_LEN;
+        let mut offset = align8(HEADER_LEN + table_len);
+        let placements: Vec<usize> = self
+            .sections
+            .iter()
+            .map(|(_, _, bytes)| {
+                let at = offset;
+                offset = align8(offset + bytes.len());
+                at
+            })
+            .collect();
+        let total = offset;
+        let mut buf = vec![0u8; total];
+        buf[0..8].copy_from_slice(MAGIC);
+        buf[8..12].copy_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.role.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.kind.to_le_bytes());
+        buf[20..24].copy_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        buf[24..32].copy_from_slice(&(total as u64).to_le_bytes());
+        for (i, ((tag, shard, bytes), at)) in self.sections.iter().zip(&placements).enumerate() {
+            let entry = HEADER_LEN + i * ENTRY_LEN;
+            buf[entry..entry + 4].copy_from_slice(&tag.to_le_bytes());
+            buf[entry + 4..entry + 8].copy_from_slice(&shard.to_le_bytes());
+            buf[entry + 8..entry + 16].copy_from_slice(&(*at as u64).to_le_bytes());
+            buf[entry + 16..entry + 24].copy_from_slice(&(bytes.len() as u64).to_le_bytes());
+            buf[*at..*at + bytes.len()].copy_from_slice(bytes);
+        }
+        buf
+    }
+}
+
+fn shard_u32(g: usize) -> u32 {
+    u32::try_from(g).expect("shard/class count fits the section table")
+}
+
+/// Push one accountant's sections (meta, BPL, optional series) under
+/// shard index `g`; the timeline section is the caller's business (a
+/// solo snapshot writes it directly, a population writes one per
+/// distinct class).
+fn push_accountant_sections(b: &mut Builder, g: usize, meta_tag: u32, acc: &TplAccountant) {
+    b.json(meta_tag, shard_u32(g), &tpl_meta_value(acc));
+    b.f64s(TAG_BPL, shard_u32(g), acc.bpl_series());
+    if let Some((fpl, tpl)) = acc.series_snapshot() {
+        b.f64s(TAG_FPL, shard_u32(g), &fpl);
+        b.f64s(TAG_TPL, shard_u32(g), &tpl);
+    }
+}
+
+/// Encode a solo accountant as one snapshot container.
+pub(crate) fn write_tpl_snapshot(acc: &TplAccountant) -> Vec<u8> {
+    let mut b = Builder::new(ROLE_SNAPSHOT, KIND_TPL);
+    push_accountant_sections(&mut b, 0, TAG_META, acc);
+    acc.with_budgets(|trail| b.f64s(TAG_TIMELINE, 0, trail));
+    b.finish()
+}
+
+/// Encode a population as one snapshot container: each distinct
+/// timeline object once (keyed by `Arc` identity — the copy-on-write
+/// invariant), shards referencing their class by index.
+pub(crate) fn write_population_snapshot(pop: &PopulationAccountant) -> Vec<u8> {
+    let mut b = Builder::new(ROLE_SNAPSHOT, KIND_POPULATION);
+    let mut reps: Vec<Arc<BudgetTimeline>> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::new();
+    for (_, _, acc) in pop.parts() {
+        let timeline = acc.timeline();
+        let c = match reps.iter().position(|r| Arc::ptr_eq(r, timeline)) {
+            Some(c) => c,
+            None => {
+                reps.push(Arc::clone(timeline));
+                reps.len() - 1
+            }
+        };
+        class_of.push(c);
+    }
+    b.json(
+        TAG_META,
+        0,
+        &Value::Map(vec![
+            ("num_users".to_string(), pop.num_users().to_value()),
+            ("class_of".to_string(), class_of.to_value()),
+        ]),
+    );
+    for (c, rep) in reps.iter().enumerate() {
+        rep.with_values(|trail| b.f64s(TAG_TIMELINE, shard_u32(c), trail));
+    }
+    for (g, (_, members, acc)) in pop.parts().enumerate() {
+        b.u64s(TAG_MEMBERS, shard_u32(g), members);
+        push_accountant_sections(&mut b, g, TAG_SHARD_META, acc);
+    }
+    b.finish()
+}
+
+/// Encode one delta record as a delta container.
+pub(crate) fn write_delta(delta: &CheckpointDelta) -> Vec<u8> {
+    let mut b = Builder::new(ROLE_DELTA, kind_code(delta.kind()));
+    b.json(
+        TAG_META,
+        0,
+        &Value::Map(vec![
+            ("base_len".to_string(), delta.base_len().to_value()),
+            ("shards".to_string(), delta.shards().len().to_value()),
+        ]),
+    );
+    for (g, shard) in delta.shards().iter().enumerate() {
+        b.f64s(TAG_TIMELINE, shard_u32(g), &shard.budgets);
+        b.f64s(TAG_BPL, shard_u32(g), &shard.bpl);
+        let w = |v: &Option<Value>| v.clone().unwrap_or(Value::Null);
+        b.json(
+            TAG_SHARD_META,
+            shard_u32(g),
+            &Value::Map(vec![
+                ("warm_backward".to_string(), w(&shard.warm_backward)),
+                ("warm_forward".to_string(), w(&shard.warm_forward)),
+            ]),
+        );
+    }
+    b.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One parsed container: validated header plus bounds-checked section
+/// slices.
+struct Container<'a> {
+    role: u32,
+    kind: u32,
+    total_len: usize,
+    sections: Vec<(u32, u32, &'a [u8])>,
+}
+
+fn parse_container(bytes: &[u8]) -> Result<Container<'_>> {
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!(
+            "truncated binary checkpoint: {} bytes, header needs {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if &bytes[0..8] != MAGIC {
+        return Err(corrupt("bad magic — not a tcdp binary checkpoint"));
+    }
+    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let version = u32_at(8);
+    if version != CHECKPOINT_VERSION {
+        return Err(TplError::CheckpointVersion {
+            found: version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    let role = u32_at(12);
+    if role != ROLE_SNAPSHOT && role != ROLE_DELTA {
+        return Err(corrupt(format!("unknown container role {role}")));
+    }
+    let kind = u32_at(16);
+    let section_count = u32_at(20) as usize;
+    let total_len = usize::try_from(u64_at(24))
+        .map_err(|_| corrupt("container length does not fit this platform"))?;
+    let table_end =
+        HEADER_LEN
+            .checked_add(section_count.checked_mul(ENTRY_LEN).ok_or_else(|| {
+                corrupt(format!("section count {section_count} overflows the table"))
+            })?)
+            .ok_or_else(|| corrupt("section table overflows the container"))?;
+    if total_len < table_end {
+        return Err(corrupt(format!(
+            "container claims {total_len} bytes but its section table needs {table_end}"
+        )));
+    }
+    if total_len > bytes.len() {
+        return Err(corrupt(format!(
+            "truncated binary checkpoint: container claims {total_len} bytes, {} available",
+            bytes.len()
+        )));
+    }
+    let mut sections = Vec::with_capacity(section_count);
+    for i in 0..section_count {
+        let entry = HEADER_LEN + i * ENTRY_LEN;
+        let tag = u32_at(entry);
+        let shard = u32_at(entry + 4);
+        let offset = usize::try_from(u64_at(entry + 8))
+            .map_err(|_| corrupt("section offset does not fit this platform"))?;
+        let len = usize::try_from(u64_at(entry + 16))
+            .map_err(|_| corrupt("section length does not fit this platform"))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| corrupt(format!("section {i}: offset + length overflows")))?;
+        if offset < table_end || end > total_len {
+            return Err(corrupt(format!(
+                "section {i} (tag {tag}, shard {shard}) reaches outside the container \
+                 ({offset}..{end} of {total_len})"
+            )));
+        }
+        sections.push((tag, shard, &bytes[offset..end]));
+    }
+    Ok(Container {
+        role,
+        kind,
+        total_len,
+        sections,
+    })
+}
+
+impl<'a> Container<'a> {
+    fn get(&self, tag: u32, shard: u32) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(t, s, _)| *t == tag && *s == shard)
+            .map(|(_, _, b)| *b)
+    }
+
+    fn require(&self, tag: u32, shard: u32, what: &str) -> Result<&'a [u8]> {
+        self.get(tag, shard)
+            .ok_or_else(|| corrupt(format!("missing {what} section (tag {tag}, shard {shard})")))
+    }
+
+    fn f64s(&self, tag: u32, shard: u32, what: &str) -> Result<Vec<f64>> {
+        decode_f64s(self.require(tag, shard, what)?, what)
+    }
+
+    fn json(&self, tag: u32, shard: u32, what: &str) -> Result<Value> {
+        let bytes = self.require(tag, shard, what)?;
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| corrupt(format!("{what} section is not UTF-8")))?;
+        serde_json::from_str(text).map_err(|e| corrupt(format!("{what} section: bad JSON: {e}")))
+    }
+}
+
+fn decode_f64s(bytes: &[u8], what: &str) -> Result<Vec<f64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(corrupt(format!(
+            "{what} section length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+fn decode_usizes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(corrupt(format!(
+            "{what} section length {} is not a multiple of 8",
+            bytes.len()
+        )));
+    }
+    bytes
+        .chunks_exact(8)
+        .map(|c| {
+            usize::try_from(u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .map_err(|_| corrupt(format!("{what} section: index does not fit this platform")))
+        })
+        .collect()
+}
+
+/// Raw decoded snapshot state, restored by the shared validation path
+/// in the parent module.
+pub(crate) enum RawState {
+    Tpl(Box<RawAccountantState>),
+    Population(RawPopulationState),
+}
+
+/// Decode the meta JSON (losses + witnesses) plus the per-shard raw
+/// sections into one accountant's raw state.
+fn read_accountant_raw(
+    c: &Container<'_>,
+    g: u32,
+    meta: &Value,
+    timeline: Arc<BudgetTimeline>,
+) -> Result<RawAccountantState> {
+    let side = |k: &str| -> Result<Option<TemporalLossFunction>> {
+        let v = meta
+            .get(k)
+            .ok_or_else(|| corrupt(format!("meta missing `{k}`")))?;
+        Option::<TemporalLossFunction>::from_value(v).map_err(|e| corrupt(format!("meta.{k}: {e}")))
+    };
+    let witness = |k: &str| meta.get(k).filter(|v| !matches!(v, Value::Null)).cloned();
+    let bpl = c.f64s(TAG_BPL, g, "bpl")?;
+    let fpl = c.get(TAG_FPL, g);
+    let tpl = c.get(TAG_TPL, g);
+    let series = match (fpl, tpl) {
+        (None, None) => None,
+        (Some(fpl), Some(tpl)) => Some((decode_f64s(fpl, "fpl")?, decode_f64s(tpl, "tpl")?)),
+        _ => {
+            return Err(corrupt(
+                "cached series must carry both fpl and tpl sections or neither",
+            ))
+        }
+    };
+    Ok(RawAccountantState {
+        backward: side("backward")?,
+        forward: side("forward")?,
+        timeline,
+        bpl,
+        series,
+        warm_backward: witness("warm_backward"),
+        warm_forward: witness("warm_forward"),
+    })
+}
+
+/// Decode one snapshot container into raw state.
+pub(crate) fn read_snapshot(bytes: &[u8]) -> Result<RawState> {
+    let c = parse_container(bytes)?;
+    if c.role != ROLE_SNAPSHOT {
+        return Err(corrupt(
+            "expected a snapshot container, found a delta record",
+        ));
+    }
+    if c.total_len != bytes.len() {
+        return Err(corrupt(format!(
+            "trailing bytes after the snapshot container ({} of {})",
+            c.total_len,
+            bytes.len()
+        )));
+    }
+    match kind_of_code(c.kind)? {
+        CheckpointKind::TplAccountant => {
+            let meta = c.json(TAG_META, 0, "meta")?;
+            let timeline = Arc::new(BudgetTimeline::from_raw_trail(&c.f64s(
+                TAG_TIMELINE,
+                0,
+                "timeline",
+            )?));
+            Ok(RawState::Tpl(Box::new(read_accountant_raw(
+                &c, 0, &meta, timeline,
+            )?)))
+        }
+        CheckpointKind::PopulationAccountant => {
+            let meta = c.json(TAG_META, 0, "population meta")?;
+            let num_users = meta
+                .get("num_users")
+                .ok_or_else(|| corrupt("population meta missing `num_users`"))
+                .and_then(|v| {
+                    usize::from_value(v).map_err(|e| corrupt(format!("num_users: {e}")))
+                })?;
+            let class_of = meta
+                .get("class_of")
+                .ok_or_else(|| corrupt("population meta missing `class_of`"))
+                .and_then(|v| {
+                    Vec::<usize>::from_value(v).map_err(|e| corrupt(format!("class_of: {e}")))
+                })?;
+            let num_classes = class_of.iter().max().map_or(0, |m| m + 1);
+            // One timeline *object* per class: every shard of the class
+            // shares the same `Arc`, so decoding never copies a trail
+            // per shard and the restore path recovers the sharing by
+            // pointer identity.
+            let classes: Vec<Arc<BudgetTimeline>> = (0..num_classes)
+                .map(|ci| {
+                    c.f64s(TAG_TIMELINE, shard_u32(ci), "class timeline")
+                        .map(|t| Arc::new(BudgetTimeline::from_raw_trail(&t)))
+                })
+                .collect::<Result<_>>()?;
+            let mut shards = Vec::with_capacity(class_of.len());
+            for (g, &ci) in class_of.iter().enumerate() {
+                let g32 = shard_u32(g);
+                let members = decode_usizes(c.require(TAG_MEMBERS, g32, "members")?, "members")?;
+                let shard_meta = c.json(TAG_SHARD_META, g32, "shard meta")?;
+                let timeline = classes[ci].clone();
+                shards.push((
+                    members,
+                    read_accountant_raw(&c, g32, &shard_meta, timeline)?,
+                ));
+            }
+            Ok(RawState::Population(RawPopulationState {
+                num_users,
+                shards,
+            }))
+        }
+    }
+}
+
+/// Decode a delta log — a concatenation of delta containers — into its
+/// records, in order. A truncated trailing record is an honest
+/// [`TplError::CorruptCheckpoint`] — deliberately a hard error rather
+/// than a silent end-of-log, because quietly resuming at an earlier
+/// stop point would under-report every release the lost record carried;
+/// the message names the byte offset of the last complete record so an
+/// operator can truncate the log there and resume honestly.
+pub(crate) fn read_delta_log(bytes: &[u8]) -> Result<Vec<CheckpointDelta>> {
+    let mut out = Vec::new();
+    let mut rest = bytes;
+    while !rest.is_empty() {
+        let consumed = bytes.len() - rest.len();
+        let c = parse_container(rest).map_err(|e| match e {
+            TplError::CorruptCheckpoint(reason) => corrupt(format!(
+                "delta log record at byte {consumed}: {reason} (a crash mid-append? the log \
+                 is valid up to byte {consumed}; truncate it there to resume from the last \
+                 complete record)"
+            )),
+            other => other,
+        })?;
+        if c.role != ROLE_DELTA {
+            return Err(corrupt("snapshot container inside a delta log"));
+        }
+        out.push(read_delta(&c)?);
+        rest = &rest[c.total_len..];
+    }
+    Ok(out)
+}
+
+fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
+    let kind = kind_of_code(c.kind)?;
+    let meta = c.json(TAG_META, 0, "delta meta")?;
+    let field = |k: &str| -> Result<usize> {
+        meta.get(k)
+            .ok_or_else(|| corrupt(format!("delta meta missing `{k}`")))
+            .and_then(|v| usize::from_value(v).map_err(|e| corrupt(format!("delta meta.{k}: {e}"))))
+    };
+    let base_len = field("base_len")?;
+    let num_shards = field("shards")?;
+    // Bound the claimed shard count by what the container can actually
+    // hold (every shard needs its own budget/bpl/witness sections)
+    // before allocating anything from it — a doctored count must be an
+    // honest error, not an allocator abort.
+    if num_shards > c.sections.len() {
+        return Err(corrupt(format!(
+            "delta claims {num_shards} shards but the container has only {} sections",
+            c.sections.len()
+        )));
+    }
+    let mut shards = Vec::with_capacity(num_shards);
+    for g in 0..num_shards {
+        let g32 = shard_u32(g);
+        let budgets = c.f64s(TAG_TIMELINE, g32, "delta budgets")?;
+        let bpl = c.f64s(TAG_BPL, g32, "delta bpl")?;
+        let witnesses = c.json(TAG_SHARD_META, g32, "delta witnesses")?;
+        let witness = |k: &str| {
+            witnesses
+                .get(k)
+                .filter(|v| !matches!(v, Value::Null))
+                .cloned()
+        };
+        shards.push(DeltaShard {
+            budgets,
+            bpl,
+            warm_backward: witness("warm_backward"),
+            warm_forward: witness("warm_forward"),
+        });
+    }
+    Ok(CheckpointDelta::from_parts(kind, base_len, shards))
+}

@@ -34,10 +34,13 @@
 //!   personal: per-user accounting (sharded by distinct adversary and
 //!   fanned out across threads) and per-user budget plans compatible
 //!   with personalized DP.
-//! * [`checkpoint`] — versioned JSON checkpoints of [`TplAccountant`]
-//!   and [`personalized::PopulationAccountant`] state (budgets, BPL,
-//!   cached FPL/TPL series, warm witnesses) so very long audits can
-//!   stop and resume mid-timeline with bit-identical results.
+//! * [`checkpoint`] — versioned checkpoints of [`TplAccountant`] and
+//!   [`personalized::PopulationAccountant`] state (budgets, BPL, cached
+//!   FPL/TPL series, warm witnesses) so very long audits can stop and
+//!   resume mid-timeline with bit-identical results; two encodings
+//!   (human-inspectable JSON and a zero-copy binary envelope of raw
+//!   `f64` sections) plus an append-only delta log whose records cost
+//!   `O(appended)` bytes instead of `O(T)` per stop point.
 //!
 //! Verified extensions grounded in the paper's discussion:
 //!
@@ -87,7 +90,9 @@ pub use accountant::{TplAccountant, TplReport};
 pub use adaptive::AdaptiveReleaser;
 pub use adversary::AdversaryT;
 pub use alg1::{temporal_loss, EvalSession, LossWitness};
-pub use checkpoint::{Checkpoint, CheckpointKind, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    Checkpoint, CheckpointDelta, CheckpointKind, DeltaCursor, SavedState, CHECKPOINT_VERSION,
+};
 pub use loss::{LossEvaluator, TemporalLossFunction};
 pub use release::{quantified_plan, upper_bound_plan, DptReleaser, ReleasePlan};
 pub use supremum::{

@@ -208,6 +208,78 @@ impl PopulationAccountant {
         (class_of, reps)
     }
 
+    /// Splice a delta checkpoint's per-shard tails onto the population —
+    /// the replay half of incremental checkpoints ([`crate::checkpoint`]).
+    /// `tails[g]` carries shard `g`'s appended `(budgets, bpl)` in group
+    /// order; every shard appends the same number of releases (each user
+    /// observes each release exactly once). Timeline sharing is
+    /// reproduced copy-on-write: shards that shared one timeline object
+    /// and received bit-identical budget tails keep sharing it, while a
+    /// class whose tails diverge forks exactly as the live
+    /// [`Self::observe_release_personalized`] fork did (the first-seen
+    /// tail, in group order, keeps the base object). The caller has
+    /// validated tail contents (finite, positive budgets; finite,
+    /// non-negative BPL values).
+    pub(crate) fn apply_checkpoint_tails(
+        &mut self,
+        tails: &[(Vec<f64>, Vec<f64>)],
+    ) -> std::result::Result<(), String> {
+        if tails.len() != self.groups.len() {
+            return Err(format!(
+                "delta carries {} shard tails for a population of {} shards",
+                tails.len(),
+                self.groups.len()
+            ));
+        }
+        let count = tails.first().map_or(0, |(b, _)| b.len());
+        for (g, (budgets, bpl)) in tails.iter().enumerate() {
+            if budgets.len() != count || bpl.len() != count {
+                return Err(format!(
+                    "shard {g}: tail lengths ({}, {}) disagree with {count} appended releases",
+                    budgets.len(),
+                    bpl.len()
+                ));
+            }
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let (class_of, reps) = Self::timeline_classes(&self.groups);
+        for (c, rep) in reps.iter().enumerate() {
+            // Partition the class's shards by appended-budget bits, in
+            // first-seen group order — the order live forks use.
+            let mut parts: Vec<(Vec<u64>, Vec<usize>)> = Vec::new();
+            for (g, _) in class_of.iter().enumerate().filter(|&(_, cc)| *cc == c) {
+                let bits: Vec<u64> = tails[g].0.iter().map(|v| v.to_bits()).collect();
+                match parts.iter_mut().find(|(k, _)| *k == bits) {
+                    Some((_, ids)) => ids.push(g),
+                    None => parts.push((bits, vec![g])),
+                }
+            }
+            let pre_fork = (parts.len() > 1).then(|| (**rep).clone());
+            for (k, (_, ids)) in parts.iter().enumerate() {
+                if k == 0 {
+                    for &v in &tails[ids[0]].0 {
+                        rep.push(v).map_err(|e| e.to_string())?;
+                    }
+                } else {
+                    let fork = pre_fork.as_ref().expect("pre-fork snapshot exists").clone();
+                    for &v in &tails[ids[0]].0 {
+                        fork.push(v).map_err(|e| e.to_string())?;
+                    }
+                    let arc = Arc::new(fork);
+                    for &g in ids {
+                        self.groups[g].acc.set_timeline(Arc::clone(&arc));
+                    }
+                }
+            }
+        }
+        for (g, (_, bpl)) in tails.iter().enumerate() {
+            self.groups[g].acc.extend_bpl(bpl);
+        }
+        Ok(())
+    }
+
     /// Shard views in deterministic group order: each item is the
     /// shard's ascending member indices and the [`TplAccountant`] they
     /// all share. Read-only; useful for per-group reporting.

@@ -243,6 +243,23 @@ impl BudgetTimeline {
         timeline
     }
 
+    /// Rebuild a timeline from a raw trail **without budget validation**
+    /// — the checkpoint-restore hook (consumers such as `tcdp-core`'s
+    /// checkpoint layer validate entries and report in their own error
+    /// vocabulary). The prefix sums are re-derived entry by entry, the
+    /// same left fold [`BudgetTimeline::push`] performs, so a restored
+    /// timeline is bit-identical to one built push by push.
+    pub fn from_raw_trail(values: &[f64]) -> Self {
+        let timeline = BudgetTimeline::new();
+        {
+            let mut inner = timeline.write();
+            for &v in values {
+                inner.push_unchecked(v);
+            }
+        }
+        timeline
+    }
+
     fn read(&self) -> std::sync::RwLockReadGuard<'_, TimelineInner> {
         self.inner.read().expect("budget timeline lock poisoned")
     }
@@ -292,6 +309,16 @@ impl BudgetTimeline {
     /// held for the duration of `f`; do not push from inside.
     pub fn with_values<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
         f(&self.read().budgets)
+    }
+
+    /// The trail entries from index `start` on — the append-cursor read
+    /// behind incremental (delta) checkpoints: a consumer that recorded
+    /// `len()` at its last snapshot fetches exactly what was appended
+    /// since. Returns `None` when `start` exceeds the current length
+    /// (a stale cursor — e.g. the timeline object was swapped), and an
+    /// empty vector when nothing was appended.
+    pub fn tail_from(&self, start: usize) -> Option<Vec<f64>> {
+        self.read().budgets.get(start..).map(<[f64]>::to_vec)
     }
 
     /// `Σ ε_k` over the window `[t, t + w)` from the prefix sums, or
@@ -515,6 +542,47 @@ mod tests {
         assert_eq!(t.window_sum(usize::MAX, 2), None);
         assert!((t.total() - 1.0).abs() < 1e-12);
         assert_eq!(t.with_values(|b| b.len()), 3);
+    }
+
+    #[test]
+    fn window_sum_survives_adversarial_widths() {
+        // `t + w` near `usize::MAX` must not overflow (panic in debug,
+        // wrap to a bogus `Some` in release): `checked_add` turns every
+        // such window into an honest `None`.
+        let t = BudgetTimeline::from_values(&[0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(t.window_sum(1, usize::MAX), None);
+        assert_eq!(t.window_sum(usize::MAX, usize::MAX), None);
+        assert_eq!(t.window_sum(usize::MAX - 1, 2), None);
+        assert_eq!(t.window_sum(0, usize::MAX), None);
+        // The largest window that fits still works.
+        assert!(t.window_sum(0, 3).is_some());
+        assert_eq!(t.window_sum(0, 4), None);
+    }
+
+    #[test]
+    fn timeline_tail_cursor_reads_appends_only() {
+        let t = BudgetTimeline::from_values(&[0.1, 0.2]).unwrap();
+        let cursor = t.len();
+        assert_eq!(t.tail_from(cursor), Some(vec![]));
+        t.push(0.3).unwrap();
+        t.push(0.4).unwrap();
+        assert_eq!(t.tail_from(cursor), Some(vec![0.3, 0.4]));
+        assert_eq!(t.tail_from(0), Some(vec![0.1, 0.2, 0.3, 0.4]));
+        // A cursor past the end is stale, not a panic.
+        assert_eq!(t.tail_from(5), None);
+    }
+
+    #[test]
+    fn raw_trail_restore_is_bit_identical_to_pushes() {
+        let values = [0.1, 0.25, 0.3, 0.05];
+        let pushed = BudgetTimeline::from_values(&values).unwrap();
+        let raw = BudgetTimeline::from_raw_trail(&values);
+        assert!(raw.series_eq(&pushed));
+        assert_eq!(raw.revision(), pushed.revision());
+        assert_eq!(
+            raw.window_sum(1, 3).unwrap().to_bits(),
+            pushed.window_sum(1, 3).unwrap().to_bits()
+        );
     }
 
     #[test]

@@ -87,5 +87,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         resumed.max_tpl()?,
         resumed.user(exposed).expect("tracked").user_level()
     );
+
+    // Day three runs with *incremental* binary checkpoints: one full
+    // v3 snapshot (raw f64 sections), then every stop point appends
+    // only the releases observed since — O(appended) bytes, not O(T).
+    use tcdp::core::checkpoint::{delta_log_path, resume_file, write_atomic, SavedState};
+    let bin_path = std::env::temp_dir().join("tcdp_population_checkpoint.bin");
+    write_atomic(&bin_path, &resumed.checkpoint_binary())?;
+    let snapshot_bytes = std::fs::metadata(&bin_path)?.len();
+    let mut cursor = resumed.delta_cursor();
+    for stop in 0..3 {
+        for _ in 0..10 {
+            resumed.observe_release(0.02)?;
+            control.observe_release(0.02)?;
+        }
+        let delta = resumed
+            .checkpoint_delta(&cursor)
+            .expect("topology unchanged");
+        delta.append_to(&delta_log_path(&bin_path))?;
+        cursor = resumed.delta_cursor();
+        println!(
+            "day 3 stop {stop}: appended {} releases as a delta record",
+            delta.appended()
+        );
+    }
+    let log_bytes = std::fs::metadata(delta_log_path(&bin_path))?.len();
+    println!(
+        "binary snapshot {snapshot_bytes} B + delta log {log_bytes} B for 30 appended releases"
+    );
+    let SavedState::Population(replayed) = resume_file(&bin_path)? else {
+        unreachable!("population snapshot");
+    };
+    for (a, b) in replayed.tpl_series()?.iter().zip(&control.tpl_series()?) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "delta replay must be bit-identical"
+        );
+    }
+    println!("snapshot + delta replay is bit-identical to the uninterrupted control");
     Ok(())
 }

@@ -34,12 +34,11 @@ use std::io::BufRead;
 use std::ops::Range;
 use std::path::Path;
 use std::process::ExitCode;
+use tcdp::core::checkpoint::{self, CheckpointDelta, DeltaCursor, SavedState};
 use tcdp::core::composition::w_event_guarantee;
 use tcdp::core::personalized::PopulationAccountant;
 use tcdp::core::supremum::{supremum_of_matrix, Supremum};
-use tcdp::core::{
-    quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, CheckpointKind, TplAccountant,
-};
+use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, TplAccountant};
 use tcdp::markov::TransitionMatrix;
 
 const USAGE: &str = "\
@@ -51,6 +50,7 @@ USAGE:
   tcdp-cli plan     [--pb M] [--pf M] --alpha A [--horizon T]
   tcdp-cli audit    [--pb M] [--pf M] [--population SPEC] [--budgets SPEC]
                     [--w W1,W2,...] [--stream] [--checkpoint FILE]
+                    [--checkpoint-format json|bin] [--checkpoint-every N]
                     [--resume FILE]
   tcdp-cli estimate --traces FILE [--pseudo C]
   tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
@@ -88,6 +88,15 @@ USAGE:
   optional — omit it to just re-summarize, and use the bare-eps or
   user-range line forms to continue a population stream). A stopped-and-
   resumed audit emits byte-identical guarantees to an uninterrupted one.
+  `--checkpoint-format bin` writes the v3 binary envelope (raw f64
+  sections; the fast choice for very long timelines) instead of JSON;
+  --resume sniffs the format. `--checkpoint-every N` additionally saves
+  during the stream, every N releases: in binary format the first save
+  is a full snapshot and each further save appends only the releases
+  observed since to an append-only FILE.delta log (O(appended) bytes,
+  not O(T)); in JSON format each save rewrites the full snapshot.
+  Blank and whitespace-only budget lines (and empty CSV fields) are
+  skipped, and a trail without a trailing newline is fine.
   `estimate` fits P^F/P^B from a trace file (one trajectory per line) and
   prints them as JSON usable with --pb/--pf. `report` is a one-shot audit:
   actual leakage of an eps-per-step stream plus the plans that would meet
@@ -334,19 +343,18 @@ fn report(opts: &Opts) -> Result<(), String> {
 }
 
 /// Resolve a non-stdin `--budgets` spec: inline CSV or a `@file.json`
-/// JSON array.
+/// JSON array. Empty CSV fields (a trailing comma, doubled commas,
+/// whitespace-only fields) are skipped rather than failing mid-audit.
 fn read_budget_list(spec: &str) -> Result<Vec<f64>, String> {
     if let Some(path) = spec.strip_prefix('@') {
         let text = std::fs::read_to_string(path).map_err(|e| format!("--budgets: {path}: {e}"))?;
-        return serde_json::from_str::<Vec<f64>>(&text)
+        return serde_json::from_str::<Vec<f64>>(text.trim())
             .map_err(|e| format!("--budgets: {path}: bad JSON: {e}"));
     }
     spec.split(',')
-        .map(|v| {
-            v.trim()
-                .parse::<f64>()
-                .map_err(|e| format!("--budgets: {e}"))
-        })
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .map(|v| v.parse::<f64>().map_err(|e| format!("--budgets: {e}")))
         .collect()
 }
 
@@ -507,6 +515,201 @@ fn parse_release_line(line: &str, groups: Option<&[GroupSpec]>) -> Result<Releas
     }
 }
 
+/// On-disk checkpoint encoding selected by `--checkpoint-format`.
+#[derive(Clone, Copy, PartialEq)]
+enum CkFormat {
+    Json,
+    Bin,
+}
+
+/// Either accountant, seen through the checkpoint surface the sink
+/// drives.
+trait Checkpointable {
+    fn checkpoint_json(&self) -> Checkpoint;
+    fn checkpoint_bin(&self) -> Vec<u8>;
+    fn cursor(&self) -> DeltaCursor;
+    fn delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta>;
+    fn releases(&self) -> usize;
+}
+
+impl Checkpointable for TplAccountant {
+    fn checkpoint_json(&self) -> Checkpoint {
+        self.checkpoint()
+    }
+    fn checkpoint_bin(&self) -> Vec<u8> {
+        self.checkpoint_binary()
+    }
+    fn cursor(&self) -> DeltaCursor {
+        self.delta_cursor()
+    }
+    fn delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
+        self.checkpoint_delta(cursor)
+    }
+    fn releases(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Checkpointable for PopulationAccountant {
+    fn checkpoint_json(&self) -> Checkpoint {
+        self.checkpoint()
+    }
+    fn checkpoint_bin(&self) -> Vec<u8> {
+        self.checkpoint_binary()
+    }
+    fn cursor(&self) -> DeltaCursor {
+        self.delta_cursor()
+    }
+    fn delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
+        self.checkpoint_delta(cursor)
+    }
+    fn releases(&self) -> usize {
+        self.num_releases()
+    }
+}
+
+/// Drives `--checkpoint` / `--checkpoint-format` / `--checkpoint-every`:
+/// full snapshots in either encoding, plus incremental delta appends to
+/// `FILE.delta` in binary mode (the cursor chains save to save; any
+/// save the cursor cannot chain from — e.g. after a population shard
+/// split — falls back to a fresh full snapshot and truncates the log).
+struct CheckpointSink {
+    path: Option<String>,
+    format: CkFormat,
+    every: Option<usize>,
+    since: usize,
+    cursor: Option<DeltaCursor>,
+    stream: bool,
+}
+
+impl CheckpointSink {
+    fn from_opts(opts: &Opts) -> Result<Self, String> {
+        let path = opts.get("checkpoint").map(str::to_string);
+        let format = match opts.get("checkpoint-format") {
+            None | Some("json") => CkFormat::Json,
+            Some("bin") | Some("binary") => CkFormat::Bin,
+            Some(other) => {
+                return Err(format!(
+                    "--checkpoint-format: expected 'json' or 'bin', got '{other}'"
+                ))
+            }
+        };
+        let every = opts.get_usize("checkpoint-every")?;
+        if let Some(every) = every {
+            if every == 0 {
+                return Err("--checkpoint-every must be at least 1".into());
+            }
+            if path.is_none() {
+                return Err("--checkpoint-every needs --checkpoint FILE".into());
+            }
+        }
+        Ok(Self {
+            path,
+            format,
+            every,
+            since: 0,
+            cursor: None,
+            stream: opts.get("stream").is_some(),
+        })
+    }
+
+    /// When the audit resumed from the same binary file it keeps
+    /// checkpointing to, the resumed state is the delta base: later
+    /// saves append to the existing log instead of rewriting `O(T)`.
+    fn adopt_resume_cursor<A: Checkpointable>(&mut self, acc: &A, resume_path: Option<&str>) {
+        if self.format != CkFormat::Bin
+            || self.path.is_none()
+            || self.path.as_deref() != resume_path
+        {
+            return;
+        }
+        // Only a *binary* snapshot can anchor a delta log: if the file
+        // being resumed is a JSON envelope, appending deltas next to it
+        // would write records no future resume ever reads (the JSON
+        // branch ignores the log). A full binary snapshot is written
+        // instead on the first save.
+        let is_binary_snapshot = self
+            .path
+            .as_deref()
+            .and_then(|p| std::fs::read(Path::new(p)).ok())
+            .is_some_and(|bytes| bytes.starts_with(checkpoint::format::MAGIC));
+        if is_binary_snapshot {
+            self.cursor = Some(acc.cursor());
+        }
+    }
+
+    /// Called after every observed release; saves when a full
+    /// `--checkpoint-every` window has accumulated.
+    fn after_release<A: Checkpointable>(&mut self, acc: &A) -> Result<(), String> {
+        let Some(every) = self.every else {
+            return Ok(());
+        };
+        self.since += 1;
+        if self.since >= every {
+            self.since = 0;
+            let how = self.save(acc)?;
+            if self.stream {
+                println!("checkpoint: {how} at T = {}", acc.releases());
+            }
+        }
+        Ok(())
+    }
+
+    fn save<A: Checkpointable>(&mut self, acc: &A) -> Result<&'static str, String> {
+        let path = self.path.clone().expect("save is only called with a path");
+        let path = Path::new(&path);
+        match self.format {
+            CkFormat::Json => {
+                acc.checkpoint_json()
+                    .save(path)
+                    .map_err(|e| e.to_string())?;
+                // A JSON snapshot supersedes any stale binary delta log.
+                remove_delta_log(path)?;
+                Ok("snapshot written")
+            }
+            CkFormat::Bin => {
+                if let Some(cursor) = &self.cursor {
+                    if let Some(delta) = acc.delta(cursor) {
+                        if !delta.is_empty() {
+                            delta
+                                .append_to(&checkpoint::delta_log_path(path))
+                                .map_err(|e| e.to_string())?;
+                        }
+                        self.cursor = Some(acc.cursor());
+                        return Ok("delta appended");
+                    }
+                }
+                checkpoint::write_atomic(path, &acc.checkpoint_bin()).map_err(|e| e.to_string())?;
+                remove_delta_log(path)?;
+                self.cursor = Some(acc.cursor());
+                Ok("snapshot written")
+            }
+        }
+    }
+
+    /// The end-of-audit save (after the summary queries, so a full
+    /// snapshot carries the freshly-filled series cache and warm
+    /// witnesses: the resumed audit's first answers cost zero loss
+    /// evaluations).
+    fn finish<A: Checkpointable>(&mut self, acc: &A) -> Result<(), String> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        let how = self.save(acc)?;
+        println!("checkpoint saved to {path} (T = {}, {how})", acc.releases());
+        Ok(())
+    }
+}
+
+fn remove_delta_log(path: &Path) -> Result<(), String> {
+    let log = checkpoint::delta_log_path(path);
+    match std::fs::remove_file(&log) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(format!("{}: {e}", log.display())),
+    }
+}
+
 /// The population audit: observe the per-release budget lines, then
 /// report per-group and population-level guarantees.
 fn audit_population(
@@ -528,15 +731,22 @@ fn audit_population(
     };
     let windows = parse_windows(opts)?;
     let stream = opts.get("stream").is_some();
-    if resumed && stream {
-        println!(
-            "resumed {} users over {} shards at T = {}",
-            pop.num_users(),
-            pop.num_groups(),
-            pop.num_releases()
-        );
+    let mut sink = CheckpointSink::from_opts(opts)?;
+    if resumed {
+        sink.adopt_resume_cursor(&pop, opts.get("resume"));
+        if stream {
+            println!(
+                "resumed {} users over {} shards at T = {}",
+                pop.num_users(),
+                pop.num_groups(),
+                pop.num_releases()
+            );
+        }
     }
-    let observe = |pop: &mut PopulationAccountant, line: &str| -> Result<(), String> {
+    let observe = |pop: &mut PopulationAccountant,
+                   sink: &mut CheckpointSink,
+                   line: &str|
+     -> Result<(), String> {
         match parse_release_line(line, groups.as_deref())? {
             ReleaseLine::Uniform(eps) => pop.observe_release(eps).map_err(|e| e.to_string())?,
             ReleaseLine::Ranges(assignments) => pop
@@ -552,7 +762,7 @@ fn audit_population(
                 pop.num_timelines()
             );
         }
-        Ok(())
+        sink.after_release(pop)
     };
     match spec {
         Some("-") => {
@@ -563,13 +773,14 @@ fn audit_population(
                 if trimmed.is_empty() || trimmed.starts_with('#') {
                     continue;
                 }
-                observe(&mut pop, trimmed)?;
+                observe(&mut pop, &mut sink, trimmed)?;
             }
         }
         Some(spec) => {
             if let Some(path) = spec.strip_prefix('@') {
                 // A file of release lines, one per line (same grammar as
-                // stdin).
+                // stdin; blank and whitespace-only lines are skipped, and
+                // a missing trailing newline is fine).
                 let text =
                     std::fs::read_to_string(path).map_err(|e| format!("--budgets: {path}: {e}"))?;
                 for line in text.lines() {
@@ -577,15 +788,16 @@ fn audit_population(
                     if trimmed.is_empty() || trimmed.starts_with('#') {
                         continue;
                     }
-                    observe(&mut pop, trimmed)?;
+                    observe(&mut pop, &mut sink, trimmed)?;
                 }
             } else if spec.trim_start().starts_with('[') || spec.trim_start().starts_with('{') {
                 // One inline release line in JSON form.
-                observe(&mut pop, spec.trim())?;
+                observe(&mut pop, &mut sink, spec.trim())?;
             } else {
-                // Inline CSV of uniform per-release budgets.
-                for part in spec.split(',') {
-                    observe(&mut pop, part.trim())?;
+                // Inline CSV of uniform per-release budgets (empty fields
+                // are skipped).
+                for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                    observe(&mut pop, &mut sink, part)?;
                 }
             }
         }
@@ -649,12 +861,7 @@ fn audit_population(
             println!("{line}");
         }
     }
-    if let Some(path) = opts.get("checkpoint") {
-        pop.checkpoint()
-            .save(Path::new(path))
-            .map_err(|e| e.to_string())?;
-        println!("checkpoint saved to {path} (T = {t_len})");
-    }
+    sink.finish(&pop)?;
     Ok(())
 }
 
@@ -698,16 +905,12 @@ fn audit(opts: &Opts) -> Result<(), String> {
                     .into(),
             );
         }
-        let cp = Checkpoint::load(Path::new(path)).map_err(|e| e.to_string())?;
-        return match cp.kind() {
-            CheckpointKind::TplAccountant => {
-                let acc = TplAccountant::resume(&cp).map_err(|e| e.to_string())?;
-                audit_single(opts, acc, true)
-            }
-            CheckpointKind::PopulationAccountant => {
-                let pop = PopulationAccountant::resume(&cp).map_err(|e| e.to_string())?;
-                audit_population(opts, pop, None, true)
-            }
+        // Sniffs the encoding: a v3 binary snapshot (replaying its
+        // FILE.delta log when present) or a JSON envelope of any
+        // supported version.
+        return match checkpoint::resume_file(Path::new(path)).map_err(|e| e.to_string())? {
+            SavedState::Tpl(acc) => audit_single(opts, acc, true),
+            SavedState::Population(pop) => audit_population(opts, pop, None, true),
         };
     }
     if let Some(spec) = opts.get("population") {
@@ -741,22 +944,27 @@ fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<()
     };
     let windows = parse_windows(opts)?;
     let stream = opts.get("stream").is_some();
-    if resumed && stream {
-        println!("resumed {} releases from checkpoint", acc.len());
-    }
-    let observe = |acc: &mut TplAccountant, b: f64| -> Result<(), String> {
-        let report = acc.observe_release(b).map_err(|e| e.to_string())?;
+    let mut sink = CheckpointSink::from_opts(opts)?;
+    if resumed {
+        sink.adopt_resume_cursor(&acc, opts.get("resume"));
         if stream {
-            // The O(1) per-release view: BPL is final at observation
-            // time; FPL/TPL of earlier points keep growing and are
-            // summarized below once the trail ends.
-            println!(
-                "t={:<5} eps={:.4}  bpl={:.4}",
-                report.t, report.epsilon, report.backward
-            );
+            println!("resumed {} releases from checkpoint", acc.len());
         }
-        Ok(())
-    };
+    }
+    let observe =
+        |acc: &mut TplAccountant, sink: &mut CheckpointSink, b: f64| -> Result<(), String> {
+            let report = acc.observe_release(b).map_err(|e| e.to_string())?;
+            if stream {
+                // The O(1) per-release view: BPL is final at observation
+                // time; FPL/TPL of earlier points keep growing and are
+                // summarized below once the trail ends.
+                println!(
+                    "t={:<5} eps={:.4}  bpl={:.4}",
+                    report.t, report.epsilon, report.backward
+                );
+            }
+            sink.after_release(acc)
+        };
     if spec == Some("-") {
         // Genuinely streamed: each stdin line is observed (and reported
         // under --stream) as it arrives, without waiting for EOF. A
@@ -778,7 +986,7 @@ fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<()
             let b = trimmed
                 .parse::<f64>()
                 .map_err(|e| format!("--budgets: line '{trimmed}': {e}"))?;
-            observe(&mut acc, b)?;
+            observe(&mut acc, &mut sink, b)?;
         }
         if let Some(mut text) = json_head {
             for line in lines {
@@ -789,12 +997,12 @@ fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<()
             let budgets = serde_json::from_str::<Vec<f64>>(text.trim())
                 .map_err(|e| format!("--budgets: bad JSON on stdin: {e}"))?;
             for b in budgets {
-                observe(&mut acc, b)?;
+                observe(&mut acc, &mut sink, b)?;
             }
         }
     } else if let Some(spec) = spec {
         for b in read_budget_list(spec)? {
-            observe(&mut acc, b)?;
+            observe(&mut acc, &mut sink, b)?;
         }
     }
     if acc.is_empty() {
@@ -815,14 +1023,6 @@ fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<()
         }
         println!("{w}-event guarantee: {g:.4}  (independent composition: {independent:.4})");
     }
-    if let Some(path) = opts.get("checkpoint") {
-        // Saved after the queries above, so the checkpoint carries the
-        // freshly-filled series cache and warm witnesses: the resumed
-        // audit's first answers cost zero loss evaluations.
-        acc.checkpoint()
-            .save(Path::new(path))
-            .map_err(|e| e.to_string())?;
-        println!("checkpoint saved to {path} (T = {})", acc.len());
-    }
+    sink.finish(&acc)?;
     Ok(())
 }

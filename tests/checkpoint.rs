@@ -227,14 +227,15 @@ fn corrupt_checkpoints_error_honestly() {
 }
 
 /// Version migration: a version-1 envelope — the pre-per-user-timeline
-/// format whose population shards were guaranteed one population-wide
-/// budget trail (and whose accountants stored it under `budgets`) — must
-/// be rejected with the honest [`TplError::CheckpointVersion`] error, in
-/// both the default and `--no-default-features` builds (this test is
-/// feature-independent by construction).
+/// format whose accountants stored the budget trail under `budgets` —
+/// and a version-2 envelope (current payload shape, older stamp) must
+/// both still *resume*, continuing the stream bit-identically; only
+/// versions this build does not know are rejected with the honest
+/// [`TplError::CheckpointVersion`] error. Feature-independent by
+/// construction (runs in the `--no-default-features` lane too).
 #[test]
-fn old_version_envelope_is_rejected_honestly() {
-    assert_eq!(CHECKPOINT_VERSION, 2, "bump this test alongside the format");
+fn old_version_envelopes_still_resume() {
+    assert_eq!(CHECKPOINT_VERSION, 3, "bump this test alongside the format");
     let v1 = r#"{
       "format": "tcdp-checkpoint",
       "version": 1,
@@ -245,22 +246,75 @@ fn old_version_envelope_is_rejected_honestly() {
         "series": null, "warm_backward": null, "warm_forward": null
       }
     }"#;
-    match Checkpoint::from_json(v1) {
-        Err(TplError::CheckpointVersion { found, supported }) => {
-            assert_eq!(found, 1);
-            assert_eq!(supported, CHECKPOINT_VERSION);
-        }
-        other => panic!("expected version mismatch, got {other:?}"),
+    let mut resumed = TplAccountant::resume(&Checkpoint::from_json(v1).unwrap()).unwrap();
+    assert_eq!(resumed.budgets(), vec![0.1, 0.1]);
+    resumed.observe_release(0.2).unwrap();
+    let mut live = TplAccountant::traditional();
+    for &b in &[0.1, 0.1, 0.2] {
+        live.observe_release(b).unwrap();
     }
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&live.tpl_series().unwrap())
+    );
+
+    // A v2 envelope restores through the same path, bit-identically to
+    // the v3 form of the same state.
+    let mut acc = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    acc.observe_uniform(0.1, 5).unwrap();
+    acc.tpl_series().unwrap();
+    let v3 = acc.checkpoint().to_json();
+    let v2 = v3
+        .replace("\"version\":3.0", "\"version\":2")
+        .replace("\"version\":3,", "\"version\":2,");
+    assert_ne!(v2, v3, "the version stamp must have been rewritten");
+    let from_v2 = TplAccountant::resume(&Checkpoint::from_json(&v2).unwrap()).unwrap();
+    let from_v3 = TplAccountant::resume(&Checkpoint::from_json(&v3).unwrap()).unwrap();
+    assert_eq!(
+        to_bits(&from_v2.tpl_series().unwrap()),
+        to_bits(&from_v3.tpl_series().unwrap())
+    );
+
+    // A population v1 envelope migrates per shard.
+    let mut pop = PopulationAccountant::new(&[
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+    ])
+    .unwrap();
+    pop.observe_release(0.2).unwrap();
+    let pop_v1 = pop
+        .checkpoint()
+        .to_json()
+        .replace("\"timeline\":", "\"budgets\":")
+        .replace("\"version\":3.0", "\"version\":1")
+        .replace("\"version\":3,", "\"version\":1,");
+    let resumed_pop =
+        PopulationAccountant::resume(&Checkpoint::from_json(&pop_v1).unwrap()).unwrap();
+    assert_eq!(
+        to_bits(&resumed_pop.tpl_series().unwrap()),
+        to_bits(&pop.tpl_series().unwrap())
+    );
+
     // A current-version envelope that smuggles the *old* field name is
     // structurally corrupt, not silently empty.
-    let renamed = r#"{"format":"tcdp-checkpoint","version":2,"kind":"tpl-accountant",
+    let renamed = r#"{"format":"tcdp-checkpoint","version":3,"kind":"tpl-accountant",
       "payload":{"accountant":{"backward":null,"forward":null,
                  "budgets":[0.1],"bpl":[0.1]}}}"#;
     let cp = Checkpoint::from_json(renamed).unwrap();
     assert!(matches!(
         TplAccountant::resume(&cp),
         Err(TplError::CorruptCheckpoint(_))
+    ));
+    // A future version is still an honest rejection.
+    let future = v3
+        .replace("\"version\":3.0", "\"version\":9")
+        .replace("\"version\":3,", "\"version\":9,");
+    assert!(matches!(
+        Checkpoint::from_json(&future),
+        Err(TplError::CheckpointVersion {
+            found: 9,
+            supported: CHECKPOINT_VERSION
+        })
     ));
 }
 
@@ -334,4 +388,353 @@ fn population_partition_is_validated() {
         }
         other => panic!("expected corrupt-checkpoint error, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Binary (v3) snapshots, the corruption matrix, and delta replay
+// ---------------------------------------------------------------------------
+
+use tcdp::core::checkpoint::{delta_log_path, resume_bytes, resume_file, SavedState};
+
+fn tpl_of(state: SavedState) -> TplAccountant {
+    match state {
+        SavedState::Tpl(acc) => acc,
+        other => panic!("expected a solo accountant, got {:?}", other.kind()),
+    }
+}
+
+fn pop_of(state: SavedState) -> PopulationAccountant {
+    match state {
+        SavedState::Population(pop) => pop,
+        other => panic!("expected a population, got {:?}", other.kind()),
+    }
+}
+
+/// JSON and binary encodings restore the very same state: identical
+/// series bits, identical witness, identical (zero) eval cost for the
+/// first queries, identical continuation.
+#[test]
+fn binary_and_json_snapshots_restore_identically() {
+    let mut acc = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    for &b in &[0.3, 0.1, 0.2, 0.1, 0.25] {
+        acc.observe_release(b).unwrap();
+    }
+    acc.tpl_series().unwrap(); // warm cache + witnesses ride along
+    let from_json =
+        TplAccountant::resume(&Checkpoint::from_json(&acc.checkpoint().to_json()).unwrap())
+            .unwrap();
+    let mut from_bin = tpl_of(resume_bytes(&acc.checkpoint_binary(), None).unwrap());
+    // Restored series serve without evaluations, in both encodings.
+    assert_eq!(from_bin.loss_eval_count(), 0);
+    assert_eq!(
+        to_bits(&from_bin.tpl_series().unwrap()),
+        to_bits(&from_json.tpl_series().unwrap())
+    );
+    assert_eq!(from_bin.loss_eval_count(), 0);
+    // Continuations agree bit for bit with the live accountant.
+    let mut from_json = from_json;
+    for &b in &[0.15, 0.05] {
+        acc.observe_release(b).unwrap();
+        from_bin.observe_release(b).unwrap();
+        from_json.observe_release(b).unwrap();
+    }
+    assert_eq!(
+        to_bits(&from_bin.tpl_series().unwrap()),
+        to_bits(&acc.tpl_series().unwrap())
+    );
+    assert_eq!(
+        to_bits(&from_json.tpl_series().unwrap()),
+        to_bits(&acc.tpl_series().unwrap())
+    );
+}
+
+#[test]
+fn binary_population_round_trips_with_sharing() {
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+        AdversaryT::with_backward(mixed()),
+        AdversaryT::with_both(moderate(), moderate()).unwrap(), // same shard as 0
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    let mut uninterrupted = PopulationAccountant::new(&adversaries).unwrap();
+    pop.observe_release(0.1).unwrap();
+    uninterrupted.observe_release(0.1).unwrap();
+    // Fork timelines along the shard boundary so the snapshot carries
+    // two distinct classes.
+    pop.observe_release_personalized(&[(0..2, 0.05), (2..4, 0.3)])
+        .unwrap();
+    uninterrupted
+        .observe_release_personalized(&[(0..2, 0.05), (2..4, 0.3)])
+        .unwrap();
+    pop.tpl_series().unwrap();
+    let mut resumed = pop_of(resume_bytes(&pop.checkpoint_binary(), None).unwrap());
+    assert_eq!(resumed.num_users(), 4);
+    assert_eq!(resumed.num_groups(), pop.num_groups());
+    assert_eq!(
+        resumed.num_timelines(),
+        pop.num_timelines(),
+        "copy-on-write sharing survives the binary round trip"
+    );
+    resumed.observe_release(0.2).unwrap();
+    uninterrupted.observe_release(0.2).unwrap();
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&uninterrupted.tpl_series().unwrap())
+    );
+    assert_eq!(
+        resumed.most_exposed_user().unwrap(),
+        uninterrupted.most_exposed_user().unwrap()
+    );
+}
+
+/// The corruption matrix: every byte-level way a binary checkpoint can
+/// be damaged yields an honest error, never a panic or silent state.
+#[test]
+fn binary_corruption_matrix_errors_honestly() {
+    let mut acc = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    acc.observe_uniform(0.1, 6).unwrap();
+    acc.tpl_series().unwrap();
+    let good = acc.checkpoint_binary();
+    assert!(resume_bytes(&good, None).is_ok());
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        resume_bytes(&bad, None),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+
+    // Version skew (future version) is a version error, not corruption.
+    let mut skewed = good.clone();
+    skewed[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        resume_bytes(&skewed, None),
+        Err(TplError::CheckpointVersion {
+            found: 99,
+            supported: CHECKPOINT_VERSION
+        })
+    ));
+
+    // Truncations: mid-header, mid-table, mid-section.
+    for cut in [4usize, 16, 40, good.len() / 2, good.len() - 1] {
+        assert!(
+            matches!(
+                resume_bytes(&good[..cut], None),
+                Err(TplError::CorruptCheckpoint(_))
+            ),
+            "truncation at {cut} must be corrupt"
+        );
+    }
+
+    // Doctored section length: the first table entry's length field is
+    // inflated past the container.
+    let mut doctored = good.clone();
+    let len_at = 32 + 16; // first entry's length field
+    doctored[len_at..len_at + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    assert!(matches!(
+        resume_bytes(&doctored, None),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+
+    // Unknown kind code.
+    let mut unknown = good.clone();
+    unknown[16..20].copy_from_slice(&77u32.to_le_bytes());
+    assert!(matches!(
+        resume_bytes(&unknown, None),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+
+    // Trailing garbage after the one snapshot container.
+    let mut trailing = good.clone();
+    trailing.extend_from_slice(b"junk");
+    assert!(matches!(
+        resume_bytes(&trailing, None),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+
+    // A delta log whose record chains from the wrong base.
+    let cursor = acc.delta_cursor();
+    acc.observe_release(0.1).unwrap();
+    let delta = acc.checkpoint_delta(&cursor).unwrap();
+    let mut log = delta.to_bytes();
+    // Applying to the snapshot taken *before* the cursor is fine...
+    assert!(resume_bytes(&good, Some(&log)).is_ok());
+    // ...but a doubled record no longer chains.
+    let twice: Vec<u8> = [log.clone(), log.clone()].concat();
+    assert!(matches!(
+        resume_bytes(&good, Some(&twice)),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // A doctored delta shard count is an honest error, not an
+    // allocator abort (the claimed count is bounded by the container's
+    // section table before anything is allocated from it).
+    let needle = b"\"shards\":1.0";
+    let at = log
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("delta meta holds the shard count");
+    let mut counted = log.clone();
+    counted[at..at + needle.len()].copy_from_slice(b"\"shards\":9.0");
+    assert!(matches!(
+        resume_bytes(&good, Some(&counted)),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // A truncated trailing record is honest corruption.
+    log.truncate(log.len() - 3);
+    assert!(matches!(
+        resume_bytes(&good, Some(&log)),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // A snapshot container inside the delta log is rejected.
+    assert!(matches!(
+        resume_bytes(&good, Some(&good)),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+}
+
+/// Incremental resume: snapshot + delta log replays to a state
+/// bit-identical to the uninterrupted run — series, continuation, and
+/// loss-evaluation behavior alike.
+#[test]
+fn delta_resume_is_bit_identical_and_eval_preserving() {
+    let budgets = [0.3, 0.1, 0.2, 0.1, 0.25, 0.15, 0.05, 0.4];
+    let mut live = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    // Snapshot after 3, deltas after 5 and 8.
+    for &b in &budgets[..3] {
+        live.observe_release(b).unwrap();
+    }
+    let snapshot = live.checkpoint_binary();
+    let mut cursor = live.delta_cursor();
+    let mut log = Vec::new();
+    for &b in &budgets[3..5] {
+        live.observe_release(b).unwrap();
+    }
+    let d1 = live.checkpoint_delta(&cursor).unwrap();
+    assert_eq!(d1.appended(), 2);
+    log.extend_from_slice(&d1.to_bytes());
+    cursor = live.delta_cursor();
+    for &b in &budgets[5..] {
+        live.observe_release(b).unwrap();
+    }
+    let d2 = live.checkpoint_delta(&cursor).unwrap();
+    assert_eq!(d2.base_len(), 5);
+    log.extend_from_slice(&d2.to_bytes());
+
+    let resumed = tpl_of(resume_bytes(&snapshot, Some(&log)).unwrap());
+    assert_eq!(resumed.len(), live.len());
+    assert_eq!(to_bits(resumed.bpl_series()), to_bits(live.bpl_series()));
+    assert_eq!(resumed.loss_eval_count(), 0, "no evaluation was replayed");
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&live.tpl_series().unwrap())
+    );
+
+    // Eval-count equivalence of the first post-resume query: the live
+    // accountant pays one O(T) FPL pass at its next query after
+    // observing; the resumed accountant pays exactly the same.
+    let mut live2 = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    for &b in &budgets {
+        live2.observe_release(b).unwrap();
+    }
+    let live_before = live2.loss_eval_count();
+    live2.tpl_series().unwrap();
+    let live_cost = live2.loss_eval_count() - live_before;
+    let resumed2 = tpl_of(resume_bytes(&snapshot, Some(&log)).unwrap());
+    resumed2.tpl_series().unwrap();
+    assert_eq!(resumed2.loss_eval_count(), live_cost);
+
+    // An empty delta is detectable and skippable.
+    let noop = live.checkpoint_delta(&live.delta_cursor()).unwrap();
+    assert!(noop.is_empty());
+}
+
+/// Population deltas: shared timelines push once, forks replay
+/// copy-on-write, and a shard *split* refuses the delta (the caller
+/// writes a full snapshot instead).
+#[test]
+fn population_delta_replays_forks_and_refuses_splits() {
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+    ];
+    let mut live = PopulationAccountant::new(&adversaries).unwrap();
+    live.observe_release(0.1).unwrap();
+    live.observe_release(0.2).unwrap();
+    let snapshot = live.checkpoint_binary();
+    let cursor = live.delta_cursor();
+    // A uniform release and a fork along the shard boundary (no split:
+    // group count is unchanged, timelines diverge).
+    live.observe_release(0.15).unwrap();
+    live.observe_release_personalized(&[(0..1, 0.05), (1..2, 0.3)])
+        .unwrap();
+    assert_eq!(live.num_groups(), 2);
+    assert_eq!(live.num_timelines(), 2);
+    let delta = live
+        .checkpoint_delta(&cursor)
+        .expect("no split happened, the delta must chain");
+    let resumed = pop_of(resume_bytes(&snapshot, Some(&delta.to_bytes())).unwrap());
+    assert_eq!(
+        resumed.num_timelines(),
+        2,
+        "the fork replayed copy-on-write"
+    );
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&live.tpl_series().unwrap())
+    );
+    for i in 0..2 {
+        assert_eq!(
+            resumed.user(i).unwrap().budgets(),
+            live.user(i).unwrap().budgets(),
+            "user {i}"
+        );
+    }
+
+    // Now force a *split*: the budget cut crosses shard 0's members.
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+    ];
+    let mut split = PopulationAccountant::new(&adversaries).unwrap();
+    split.observe_release(0.1).unwrap();
+    let cursor = split.delta_cursor();
+    split
+        .observe_release_personalized(&[(0..1, 0.05), (1..3, 0.3)])
+        .unwrap();
+    assert!(split.num_groups() > 2, "the shard split");
+    assert!(
+        split.checkpoint_delta(&cursor).is_none(),
+        "a topology change cannot be expressed as a delta"
+    );
+}
+
+/// `resume_file` sniffs the encoding and replays the sibling delta log.
+#[test]
+fn resume_file_sniffs_format_and_replays_log() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tcdp_resume_file_{}.bin", std::process::id()));
+    let mut live = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    live.observe_uniform(0.1, 4).unwrap();
+    tcdp::core::checkpoint::write_atomic(&path, &live.checkpoint_binary()).unwrap();
+    let cursor = live.delta_cursor();
+    live.observe_release(0.2).unwrap();
+    live.checkpoint_delta(&cursor)
+        .unwrap()
+        .append_to(&delta_log_path(&path))
+        .unwrap();
+    let resumed = tpl_of(resume_file(&path).unwrap());
+    assert_eq!(resumed.len(), 5);
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&live.tpl_series().unwrap())
+    );
+    // The same path holding JSON resumes through the JSON path.
+    live.checkpoint().save(&path).unwrap();
+    std::fs::remove_file(delta_log_path(&path)).unwrap();
+    let resumed = tpl_of(resume_file(&path).unwrap());
+    assert_eq!(resumed.len(), 5);
+    std::fs::remove_file(&path).ok();
 }

@@ -565,3 +565,341 @@ fn help_prints_usage() {
     assert!(stdout.contains("USAGE"));
     assert!(stdout.contains("quantify"));
 }
+
+#[test]
+fn audit_binary_incremental_checkpoint_resume_is_byte_identical() {
+    let dir = std::env::temp_dir();
+    let cp = dir.join(format!(
+        "tcdp_cli_bin_checkpoint_{}.bin",
+        std::process::id()
+    ));
+    let cp_arg = cp.display().to_string();
+    let delta = dir.join(format!(
+        "tcdp_cli_bin_checkpoint_{}.bin.delta",
+        std::process::id()
+    ));
+    let pb = "[[0.9,0.1],[0.2,0.8]]";
+    let pf = "[[0.85,0.15],[0.1,0.9]]";
+    // The uninterrupted reference audit over the whole trail.
+    let full = run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--pf",
+        pf,
+        "--budgets",
+        "0.3,0.1,0.2,0.1,0.25,0.15",
+        "--w",
+        "2,3,6",
+    ]);
+    // First half with in-stream incremental binary checkpoints: the
+    // save at T=2 is a full snapshot, the final save at T=3 appends a
+    // delta record to the sibling log.
+    run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--pf",
+        pf,
+        "--budgets",
+        "0.3,0.1,0.2",
+        "--checkpoint",
+        &cp_arg,
+        "--checkpoint-format",
+        "bin",
+        "--checkpoint-every",
+        "2",
+    ]);
+    assert!(cp.exists(), "binary snapshot written");
+    assert!(delta.exists(), "delta log written by the incremental save");
+    // Resume replays snapshot + deltas and keeps appending to the log.
+    let resumed = run_ok(&[
+        "audit",
+        "--resume",
+        &cp_arg,
+        "--budgets",
+        "0.1,0.25,0.15",
+        "--w",
+        "2,3,6",
+        "--checkpoint",
+        &cp_arg,
+        "--checkpoint-format",
+        "bin",
+    ]);
+    let summary = |s: &str| {
+        s.lines()
+            .filter(|l| {
+                l.starts_with("TPL")
+                    || l.starts_with("worst:")
+                    || l.starts_with("user-level")
+                    || l.contains("-event guarantee:")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        summary(&full),
+        summary(&resumed),
+        "\nfull:\n{full}\nresumed:\n{resumed}"
+    );
+    assert!(resumed.contains("delta appended"), "{resumed}");
+    // And the JSON-checkpoint flow over the same split emits the very
+    // same summary (cross-format equivalence at the CLI surface).
+    let cp_json = dir.join(format!("tcdp_cli_bin_vs_json_{}.json", std::process::id()));
+    let cp_json_arg = cp_json.display().to_string();
+    run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--pf",
+        pf,
+        "--budgets",
+        "0.3,0.1,0.2",
+        "--checkpoint",
+        &cp_json_arg,
+    ]);
+    let resumed_json = run_ok(&[
+        "audit",
+        "--resume",
+        &cp_json_arg,
+        "--budgets",
+        "0.1,0.25,0.15",
+        "--w",
+        "2,3,6",
+    ]);
+    assert_eq!(summary(&resumed), summary(&resumed_json));
+    // A third resume of the final binary state re-summarizes it.
+    let resummarized = run_ok(&["audit", "--resume", &cp_arg, "--w", "2,3,6"]);
+    assert_eq!(summary(&full), summary(&resummarized));
+    std::fs::remove_file(&cp).ok();
+    std::fs::remove_file(&delta).ok();
+    std::fs::remove_file(&cp_json).ok();
+}
+
+#[test]
+fn audit_population_binary_checkpoint_round_trips() {
+    let dir = std::env::temp_dir();
+    let cp = dir.join(format!("tcdp_cli_pop_bin_{}.bin", std::process::id()));
+    let cp_arg = cp.display().to_string();
+    let spec = r#"[{"count": 2, "pb": [[0.9,0.1],[0.2,0.8]]}, {"count": 2}]"#;
+    let full = run_ok(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        "0.1,0.2,0.15",
+        "--w",
+        "2",
+    ]);
+    run_ok(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        "0.1,0.2",
+        "--checkpoint",
+        &cp_arg,
+        "--checkpoint-format",
+        "bin",
+    ]);
+    let resumed = run_ok(&[
+        "audit",
+        "--resume",
+        &cp_arg,
+        "--budgets",
+        "0.15",
+        "--w",
+        "2",
+    ]);
+    let summary = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("TPL") || l.starts_with("worst:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        summary(&full),
+        summary(&resumed),
+        "\n{full}\n---\n{resumed}"
+    );
+    std::fs::remove_file(&cp).ok();
+}
+
+/// Regression: streamed budgets tolerate blank and whitespace-only
+/// lines anywhere in the stream and a missing trailing newline, and
+/// inline CSV tolerates empty fields — none of these may surface a
+/// parse error mid-audit.
+#[test]
+fn audit_budget_parsing_tolerates_blanks_and_missing_newline() {
+    use std::io::Write;
+    use std::process::Stdio;
+    // Stdin: whitespace-only lines interleaved, no trailing newline.
+    let mut child = cli()
+        .args(["audit", "--pb", "[[0.9,0.1],[0.2,0.8]]", "--budgets", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(b"0.5\n   \n\t\n0.1\n\n0.1")
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("user-level (Corollary 1): 0.7"), "{stdout}");
+
+    // Inline CSV: trailing comma, doubled comma, whitespace fields.
+    let stdout = run_ok(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.5, ,0.1,,0.1,",
+    ]);
+    assert!(stdout.contains("user-level (Corollary 1): 0.7"), "{stdout}");
+
+    // A JSON trail file with a trailing newline parses fine.
+    let dir = std::env::temp_dir();
+    let trail = dir.join(format!("tcdp_cli_trail_nl_{}.json", std::process::id()));
+    std::fs::write(&trail, "[0.5, 0.1, 0.1]\n").expect("write temp file");
+    let stdout = run_ok(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        &format!("@{}", trail.display()),
+    ]);
+    assert!(stdout.contains("user-level (Corollary 1): 0.7"), "{stdout}");
+    std::fs::remove_file(&trail).ok();
+
+    // A population budget file: blank/whitespace lines, comments, and
+    // no trailing newline.
+    let spec = r#"[{"count": 2}]"#;
+    let lines = dir.join(format!("tcdp_cli_pop_lines_{}.txt", std::process::id()));
+    std::fs::write(&lines, "0.5\n   \n# comment\n\n0.1\n0.1").expect("write temp file");
+    let stdout = run_ok(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        &format!("@{}", lines.display()),
+    ]);
+    assert!(stdout.contains("worst:"), "{stdout}");
+    std::fs::remove_file(&lines).ok();
+
+    // The inline population CSV skips empty fields too.
+    let stdout = run_ok(&[
+        "audit",
+        "--population",
+        spec,
+        "--budgets",
+        "0.5,,0.1, ,0.1,",
+    ]);
+    assert!(stdout.contains("worst:"), "{stdout}");
+}
+
+#[test]
+fn audit_checkpoint_every_validates_flags() {
+    let err = run_err(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.1",
+        "--checkpoint-every",
+        "2",
+    ]);
+    assert!(
+        err.contains("--checkpoint-every needs --checkpoint"),
+        "{err}"
+    );
+    let err = run_err(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.1",
+        "--checkpoint",
+        "/tmp/x.bin",
+        "--checkpoint-every",
+        "0",
+    ]);
+    assert!(
+        err.contains("--checkpoint-every must be at least 1"),
+        "{err}"
+    );
+    let err = run_err(&[
+        "audit",
+        "--pb",
+        "[[0.9,0.1],[0.2,0.8]]",
+        "--budgets",
+        "0.1",
+        "--checkpoint",
+        "/tmp/x.bin",
+        "--checkpoint-format",
+        "yaml",
+    ]);
+    assert!(err.contains("expected 'json' or 'bin'"), "{err}");
+}
+
+/// Regression: resuming a *JSON* checkpoint while checkpointing back to
+/// the same path in binary mode must write a real binary snapshot — not
+/// adopt a delta cursor and append records next to a JSON file that the
+/// resume path would never read (silently dropping the new releases).
+#[test]
+fn resuming_json_checkpoint_in_binary_mode_writes_a_real_snapshot() {
+    let dir = std::env::temp_dir();
+    let cp = dir.join(format!("tcdp_cli_json_to_bin_{}.json", std::process::id()));
+    let cp_arg = cp.display().to_string();
+    let pb = "[[0.9,0.1],[0.2,0.8]]";
+    run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--budgets",
+        "0.3,0.1",
+        "--checkpoint",
+        &cp_arg,
+    ]);
+    // The file is JSON; now resume it and checkpoint back in binary.
+    let resumed = run_ok(&[
+        "audit",
+        "--resume",
+        &cp_arg,
+        "--budgets",
+        "0.2",
+        "--checkpoint",
+        &cp_arg,
+        "--checkpoint-format",
+        "bin",
+    ]);
+    assert!(resumed.contains("snapshot written"), "{resumed}");
+    let bytes = std::fs::read(&cp).expect("checkpoint exists");
+    assert!(
+        bytes.starts_with(b"TCDPCKPT"),
+        "the save must have produced a binary snapshot"
+    );
+    assert!(
+        !dir.join(format!(
+            "tcdp_cli_json_to_bin_{}.json.delta",
+            std::process::id()
+        ))
+        .exists(),
+        "no orphan delta log next to what was a JSON snapshot"
+    );
+    // The full trail survives a further resume.
+    let summary = run_ok(&["audit", "--resume", &cp_arg]);
+    assert!(
+        summary.contains("user-level (Corollary 1): 0.6"),
+        "{summary}"
+    );
+    std::fs::remove_file(&cp).ok();
+}

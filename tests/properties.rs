@@ -18,6 +18,7 @@ use tcdp::core::alg1::{
     temporal_loss, temporal_loss_brute_force, temporal_loss_lp, temporal_loss_witness_unpruned,
     LpBaseline,
 };
+use tcdp::core::checkpoint::{resume_bytes, SavedState};
 use tcdp::core::personalized::PopulationAccountant;
 use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
 use tcdp::core::{
@@ -277,7 +278,7 @@ proptest! {
     fn cached_accountant_matches_fresh_recompute_under_interleaving(
         m in stochastic_matrix(3),
         budgets in proptest::collection::vec(0.01f64..1.0, 1..16),
-        ops in proptest::collection::vec(0usize..5, 4..24),
+        ops in proptest::collection::vec(0usize..7, 4..24),
     ) {
         use tcdp::core::composition::w_event_guarantee;
         let adv = AdversaryT::with_both(m.clone(), m).unwrap();
@@ -306,6 +307,29 @@ proptest! {
                     // continue the stream seamlessly.
                     let json = acc.checkpoint().to_json();
                     acc = TplAccountant::resume(&Checkpoint::from_json(&json).unwrap()).unwrap();
+                }
+                5 => {
+                    // The binary (v3) snapshot restores the very same
+                    // state through the shared validation path.
+                    let bytes = acc.checkpoint_binary();
+                    acc = match resume_bytes(&bytes, None).unwrap() {
+                        SavedState::Tpl(a) => a,
+                        _ => unreachable!("tpl snapshot"),
+                    };
+                }
+                6 => {
+                    // Incremental: snapshot now, observe one release
+                    // live, extract the delta, and replace the live
+                    // accountant by the snapshot+delta replay — it must
+                    // keep matching the fresh recompute bit for bit.
+                    let snapshot = acc.checkpoint_binary();
+                    let cursor = acc.delta_cursor();
+                    acc.observe_release(budgets[acc.len() % budgets.len()]).unwrap();
+                    let delta = acc.checkpoint_delta(&cursor).unwrap();
+                    acc = match resume_bytes(&snapshot, Some(&delta.to_bytes())).unwrap() {
+                        SavedState::Tpl(a) => a,
+                        _ => unreachable!("tpl snapshot"),
+                    };
                 }
                 _ => {}
             }
@@ -405,6 +429,31 @@ proptest! {
         );
         prop_assert_eq!(
             resumed.most_exposed_user().unwrap(),
+            uninterrupted.most_exposed_user().unwrap()
+        );
+        // The same stop point through the *binary* encoding plus an
+        // incremental delta record covering the continuation: the
+        // snapshot+delta replay must land on the identical state.
+        let mut live = PopulationAccountant::new(&adversaries).unwrap();
+        for &b in &budgets[..cut] {
+            live.observe_release(b).unwrap();
+        }
+        let snapshot = live.checkpoint_binary();
+        let cursor = live.delta_cursor();
+        for &b in &budgets[cut..] {
+            live.observe_release(b).unwrap();
+        }
+        let delta = live.checkpoint_delta(&cursor).unwrap();
+        let bin_resumed = match resume_bytes(&snapshot, Some(&delta.to_bytes())).unwrap() {
+            SavedState::Population(p) => p,
+            _ => unreachable!("population snapshot"),
+        };
+        prop_assert_eq!(
+            to_bits(bin_resumed.tpl_series().unwrap()),
+            to_bits(uninterrupted.tpl_series().unwrap())
+        );
+        prop_assert_eq!(
+            bin_resumed.most_exposed_user().unwrap(),
             uninterrupted.most_exposed_user().unwrap()
         );
     }
