@@ -1,0 +1,109 @@
+//! CI regression gate over a `--json` dump from `bench_alg1`.
+//!
+//! Usage: `check_bench <BENCH_alg1.json>`
+//!
+//! Reads the schema-version-1 document the criterion stand-in emits and
+//! compares every `alg1/kernel/{shape}-chunked/{n}` and
+//! `alg1/build/{shape}-chunked/{n}` entry at `n ≥ 1000` against its
+//! `{shape}-scalar` sibling at the same `n`. The job fails (non-zero
+//! exit) if the chunked kernel's mean time exceeds the scalar baseline
+//! by more than [`TOLERANCE`] — i.e. the lane-width/SoA path regressed
+//! below the branchy reference it is supposed to beat. Pairs with no
+//! scalar sibling (the `O(n³)` scalar build is skipped at n = 4000) are
+//! ignored; a dump holding *no* comparable pair is itself an error, so
+//! renaming benches cannot silently disable the gate.
+
+use serde::Value;
+use std::process::ExitCode;
+
+/// Allowed chunked/scalar mean-time ratio. Above 1.0 to absorb shared-CI
+/// noise at smoke-sized measurement windows; low enough that a real
+/// regression (chunked slower than the scalar reference) still fails.
+const TOLERANCE: f64 = 1.25;
+
+/// Sizes small enough to be dominated by fixed overheads are not gated.
+const MIN_PARAM: i64 = 1000;
+
+fn mean_ns(entry: &Value) -> Option<f64> {
+    match entry.get("mean_ns") {
+        Some(Value::Num(v)) if *v > 0.0 => Some(*v),
+        _ => None,
+    }
+}
+
+fn run(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc: Value = serde_json::from_str(&text).map_err(|e| format!("bad JSON in {path}: {e}"))?;
+    let Some(Value::Seq(results)) = doc.get("results") else {
+        return Err(format!("{path}: no results array"));
+    };
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for entry in results {
+        let (Some(Value::Str(group)), Some(Value::Num(param))) =
+            (entry.get("group"), entry.get("param"))
+        else {
+            continue;
+        };
+        let param = *param as i64;
+        let Some(prefix) = group.strip_suffix("-chunked") else {
+            continue;
+        };
+        if !prefix.starts_with("alg1/") || param < MIN_PARAM {
+            continue;
+        }
+        let sibling = format!("{prefix}-scalar");
+        let scalar = results.iter().find(|e| {
+            e.get("group") == Some(&Value::Str(sibling.clone()))
+                && e.get("param")
+                    .is_some_and(|p| matches!(p, Value::Num(v) if *v as i64 == param))
+        });
+        let Some(scalar) = scalar else {
+            continue; // no baseline at this size (e.g. skipped O(n³) build)
+        };
+        let (Some(c_ns), Some(s_ns)) = (mean_ns(entry), mean_ns(scalar)) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = c_ns / s_ns;
+        let verdict = if ratio <= TOLERANCE { "ok" } else { "FAIL" };
+        println!(
+            "{verdict}: {prefix} n={param}: chunked {:.3} ms vs scalar {:.3} ms \
+             (ratio {ratio:.3}, tolerance {TOLERANCE})",
+            c_ns / 1e6,
+            s_ns / 1e6,
+        );
+        if ratio > TOLERANCE {
+            failures.push(format!("{prefix} n={param} ratio {ratio:.3}"));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "{path}: no chunked/scalar pair at n >= {MIN_PARAM} — \
+             the gate would be vacuous (were benches renamed?)"
+        ));
+    }
+    if failures.is_empty() {
+        println!("check_bench: {compared} pair(s) within tolerance");
+        Ok(())
+    } else {
+        Err(format!(
+            "chunked kernel slower than scalar beyond {TOLERANCE}x: {}",
+            failures.join("; ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_bench <BENCH_alg1.json>");
+        return ExitCode::FAILURE;
+    };
+    match run(&path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -94,6 +94,62 @@
 //! broken toward the lowest `(q_row, d_row)` — so parallel results are
 //! bit-identical to serial ones.
 //!
+//! # Hardware layout: lane-width kernels and struct-of-arrays
+//!
+//! Two further layers make the same algorithm friendly to the memory
+//! hierarchy and the LLVM autovectorizer (this toolchain has no
+//! `std::simd`; everything below is plain safe Rust shaped so the
+//! compiler lifts it into SIMD lanes):
+//!
+//! * **Chunked mask-then-compact sweeps** ([`Kernel::Chunked`], the
+//!   default) — the discard sweep's hot loop used to interleave the keep
+//!   predicate `em1·(q_j·d − d_j·q) > d_j − q_j` with a data-dependent
+//!   branchy compaction, which blocks vectorization. The chunked kernel
+//!   splits it into (1) a branch-light *predicate pass* writing a `0/1`
+//!   byte mask in fixed-width lanes ([`LANES`] at a time over the
+//!   contiguous `q`/`d` scratch arrays — pure independent f64 arithmetic
+//!   the autovectorizer lifts wholesale), and (2) a *compact pass* that
+//!   walks the mask and moves survivors to the front. When the mask is
+//!   all-ones (the common final sweep: the loop exits exactly when
+//!   nothing is discarded) the compact pass is skipped outright. The
+//!   candidate seed scan over dense rows gets the same treatment
+//!   (predicate `q_j > d_j` into the mask, then compact-push).
+//!
+//!   **Why bit-identity holds:** the per-element predicate is the exact
+//!   IEEE expression of the scalar kernel (Rust does not contract
+//!   `a·b − c·d` into FMA), evaluated on the same values in the same
+//!   element order, so the mask equals the scalar kernel's branch
+//!   decisions bit for bit; the compaction visits survivors in the same
+//!   ascending order; and the running sums `q`, `d` are *deliberately
+//!   kept as sequential left-to-right reductions* (never lane-split —
+//!   float addition is not associative, and the warm-start path
+//!   re-derives the same sums by summing the active subset in ascending
+//!   order, which must agree to the last ulp). Lanes accelerate only
+//!   order-insensitive work: the predicate (elementwise), the candidate
+//!   compare, and the α-independent `g₀`/`r_max` build reductions, whose
+//!   low-order bits only steer conservative pruning and therefore never
+//!   reach a result (see `BOUND_SLACK`).
+//!
+//! * **Struct-of-arrays [`PairIndex`]** — the pruning index stores its
+//!   per-pair data as three parallel arrays (`g0: Vec<f64>`,
+//!   `rmax: Vec<f64>`, and packed `(q_row << 32 | d_row)` ids) instead
+//!   of an array of structs. The pruned sweep's hot loop touches only
+//!   `g0[i]` until the early-break fires and only `rmax[i]` for skips,
+//!   so those passes are linear prefetch-friendly scans of dense f64
+//!   memory with 3× less traffic than the old 24-byte stride, and the
+//!   parallel fan-out hands each worker a contiguous slice of all three
+//!   arrays. Build cost also drops: the per-pair `g₀`/`r_max` reduction
+//!   seeds from the numerator row's support list (`O(nnz)` on sparse
+//!   rows — a candidate needs `q_j > d_j ≥ 0`) and runs lane-chunked on
+//!   dense rows.
+//!
+//! The scalar reference kernel ([`Kernel::Scalar`]) is retained —
+//! selectable through every entry point via [`PairIndex::with_kernel`] /
+//! [`temporal_loss_witness_with_kernel`] — both as the ablation baseline
+//! for `bench_alg1`'s scalar-vs-chunked matrix and as the second
+//! implementation the differential property tests hold the chunked
+//! engine bit-identical to.
+//!
 //! The module also contains a brute-force reference solver built on
 //! Lemma 3 (the optimum places each `x_j` at either `m` or `e^α m`, so it
 //! suffices to enumerate the `2^n` splits) and adapters to the generic LP
@@ -189,15 +245,72 @@ fn objective_em1(q: f64, d: f64, em1: f64) -> f64 {
     (q * em1 + 1.0) / (d * em1 + 1.0)
 }
 
+/// Which per-pair kernel implementation drives a sweep.
+///
+/// Both produce bit-identical results (witness, active set, and
+/// objective — see the module docs for why); [`Kernel::Chunked`] is the
+/// default everywhere, [`Kernel::Scalar`] is the reference the
+/// differential tests and the `bench_alg1` ablation matrix compare
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The original branchy scalar loops — the reference implementation.
+    Scalar,
+    /// Lane-chunked mask-then-compact passes the autovectorizer lifts.
+    #[default]
+    Chunked,
+}
+
+/// Fixed lane width of the chunked kernel's predicate and reduction
+/// passes. A compile-time constant (never derived from the host CPU) so
+/// chunking is deterministic; 8 f64 elements span two AVX2 or one
+/// AVX-512 register and give the autovectorizer room to unroll on
+/// narrower targets.
+pub const LANES: usize = 8;
+
+/// The chunked discard predicate pass: writes the Inequality-(21) keep
+/// decision for every candidate into `mask` (`1` = keep) and returns the
+/// number kept. The predicate is the exact IEEE expression of the scalar
+/// kernel evaluated in the same element order — only the loop structure
+/// (fixed-width lanes over contiguous `q`/`d`, no data-dependent
+/// branches) differs, so the mask equals the scalar branch decisions bit
+/// for bit while compiling to SIMD compares.
+#[inline]
+fn keep_mask(q: &[f64], d: &[f64], q_sum: f64, d_sum: f64, em1: f64, mask: &mut [u8]) -> usize {
+    debug_assert_eq!(q.len(), d.len());
+    debug_assert_eq!(q.len(), mask.len());
+    let split = q.len() - q.len() % LANES;
+    let lanes = q[..split]
+        .chunks_exact(LANES)
+        .zip(d[..split].chunks_exact(LANES))
+        .zip(mask[..split].chunks_exact_mut(LANES));
+    for ((qc, dc), mc) in lanes {
+        for (m, (&qj, &dj)) in mc.iter_mut().zip(qc.iter().zip(dc)) {
+            *m = (em1 * (qj * d_sum - dj * q_sum) > dj - qj) as u8;
+        }
+    }
+    for (m, (&qj, &dj)) in mask[split..]
+        .iter_mut()
+        .zip(q[split..].iter().zip(&d[split..]))
+    {
+        *m = (em1 * (qj * d_sum - dj * q_sum) > dj - qj) as u8;
+    }
+    // Separate count pass: an integer reduction is associative, so this
+    // one *is* safe for the vectorizer to reorder.
+    mask.iter().map(|&m| m as usize).sum()
+}
+
 /// Reusable buffers for the per-pair active-set iteration: candidate
 /// indices and their `q`/`d` coefficients, compacted in place on each
-/// discard sweep. One instance serves an entire row-pair sweep, so the
-/// inner loop allocates nothing after the first pair.
+/// discard sweep, plus the chunked kernel's keep-mask bytes. One
+/// instance serves an entire row-pair sweep, so the inner loop allocates
+/// nothing after the first pair.
 #[derive(Debug, Default)]
 struct SweepScratch {
     idx: Vec<usize>,
     q: Vec<f64>,
     d: Vec<f64>,
+    mask: Vec<u8>,
 }
 
 impl SweepScratch {
@@ -206,7 +319,17 @@ impl SweepScratch {
             idx: Vec::with_capacity(n),
             q: Vec::with_capacity(n),
             d: Vec::with_capacity(n),
+            mask: vec![0; n],
         }
+    }
+
+    /// The mask buffer, grown (never shrunk) to at least `len` bytes.
+    #[inline]
+    fn mask_for(&mut self, len: usize) -> &mut [u8] {
+        if self.mask.len() < len {
+            self.mask.resize(len, 0);
+        }
+        &mut self.mask[..len]
     }
 }
 
@@ -229,14 +352,18 @@ fn solve_pair_into(
     em1: f64,
     s: &mut SweepScratch,
     support: Option<&[u32]>,
+    kernel: Kernel,
 ) -> (f64, f64) {
     debug_assert_eq!(q_row.len(), d_row.len());
     s.idx.clear();
     s.q.clear();
     s.d.clear();
-    // Corollary 2: only indices with q_j > d_j can be active.
+    // Corollary 2: only indices with q_j > d_j can be active. A support
+    // list as long as the row means every entry is positive, i.e. the
+    // row is fully dense — the contiguous scan then beats the gather and
+    // visits exactly the same indices in the same ascending order.
     match support {
-        Some(nonzeros) => {
+        Some(nonzeros) if nonzeros.len() < q_row.len() => {
             debug_assert!(
                 nonzeros.iter().all(|&j| q_row[j as usize] > 0.0),
                 "support must list exactly the positive entries of q_row"
@@ -251,7 +378,36 @@ fn solve_pair_into(
                 }
             }
         }
-        None => {
+        _ if kernel == Kernel::Chunked => {
+            // Dense seed, mask-then-compact: the candidate compare runs
+            // branch-free over the raw rows (vectorizable), then the
+            // compact-push walks the mask in the same ascending order
+            // the fused scalar loop visits.
+            let n = q_row.len();
+            let mask = s.mask_for(n);
+            let split = n - n % LANES;
+            let lanes = q_row[..split]
+                .chunks_exact(LANES)
+                .zip(d_row[..split].chunks_exact(LANES))
+                .zip(mask[..split].chunks_exact_mut(LANES));
+            for ((qc, dc), mc) in lanes {
+                for (m, (&qj, &dj)) in mc.iter_mut().zip(qc.iter().zip(dc)) {
+                    *m = (qj > dj) as u8;
+                }
+            }
+            for (m, (&qj, &dj)) in mask[split..]
+                .iter_mut()
+                .zip(q_row[split..].iter().zip(&d_row[split..]))
+            {
+                *m = (qj > dj) as u8;
+            }
+            for (j, _) in s.mask[..n].iter().enumerate().filter(|(_, &m)| m != 0) {
+                s.idx.push(j);
+                s.q.push(q_row[j]);
+                s.d.push(d_row[j]);
+            }
+        }
+        _ => {
             for (j, (&qj, &dj)) in q_row.iter().zip(d_row).enumerate() {
                 if qj > dj {
                     s.idx.push(j);
@@ -261,31 +417,67 @@ fn solve_pair_into(
             }
         }
     }
-    loop {
-        let q: f64 = s.q.iter().sum();
-        let d: f64 = s.d.iter().sum();
-        let before = s.idx.len();
-        // Inequality (21), cross-multiplied to stay well-defined at d_j = 0
-        // and rearranged for numerical stability at large α (avoids adding
-        // 1 to q·e^α, which swamps f64 precision past α ≈ 55):
-        // q_j/d_j > (q·em1+1)/(d·em1+1) ⇔ em1·(q_j·d − d_j·q) > d_j − q_j.
-        // Survivors are compacted to the front of the scratch buffers.
-        let mut keep = 0;
-        for r in 0..before {
-            let (qj, dj) = (s.q[r], s.d[r]);
-            if em1 * (qj * d - dj * q) > dj - qj {
-                s.idx[keep] = s.idx[r];
-                s.q[keep] = qj;
-                s.d[keep] = dj;
-                keep += 1;
+    // Inequality (21), cross-multiplied to stay well-defined at d_j = 0
+    // and rearranged for numerical stability at large α (avoids adding
+    // 1 to q·e^α, which swamps f64 precision past α ≈ 55):
+    // q_j/d_j > (q·em1+1)/(d·em1+1) ⇔ em1·(q_j·d − d_j·q) > d_j − q_j.
+    // The running sums q, d stay sequential left-to-right reductions in
+    // BOTH kernels (bit-identity: float addition is order-sensitive and
+    // the warm-start path re-derives them in the same ascending order).
+    match kernel {
+        Kernel::Scalar => loop {
+            let q: f64 = s.q.iter().sum();
+            let d: f64 = s.d.iter().sum();
+            let before = s.idx.len();
+            // Survivors are compacted to the front of the scratch buffers.
+            let mut keep = 0;
+            for r in 0..before {
+                let (qj, dj) = (s.q[r], s.d[r]);
+                if em1 * (qj * d - dj * q) > dj - qj {
+                    s.idx[keep] = s.idx[r];
+                    s.q[keep] = qj;
+                    s.d[keep] = dj;
+                    keep += 1;
+                }
             }
-        }
-        s.idx.truncate(keep);
-        s.q.truncate(keep);
-        s.d.truncate(keep);
-        if keep == before {
-            return (q, d);
-        }
+            s.idx.truncate(keep);
+            s.q.truncate(keep);
+            s.d.truncate(keep);
+            if keep == before {
+                return (q, d);
+            }
+        },
+        Kernel::Chunked => loop {
+            let q: f64 = s.q.iter().sum();
+            let d: f64 = s.d.iter().sum();
+            let before = s.idx.len();
+            // Predicate pass into the mask (lane-chunked, branch-free),
+            // then compact only when something was actually discarded —
+            // the final sweep of every pair keeps everything and exits
+            // without touching the buffers again.
+            let kept = keep_mask(&s.q, &s.d, q, d, em1, {
+                // Split borrows: mask vs the coefficient arrays.
+                if s.mask.len() < before {
+                    s.mask.resize(before, 0);
+                }
+                &mut s.mask[..before]
+            });
+            if kept == before {
+                return (q, d);
+            }
+            let mut keep = 0;
+            for r in 0..before {
+                if s.mask[r] != 0 {
+                    s.idx[keep] = s.idx[r];
+                    s.q[keep] = s.q[r];
+                    s.d[keep] = s.d[r];
+                    keep += 1;
+                }
+            }
+            s.idx.truncate(keep);
+            s.q.truncate(keep);
+            s.d.truncate(keep);
+        },
     }
 }
 
@@ -294,7 +486,7 @@ fn solve_pair_into(
 #[cfg(test)]
 pub(crate) fn solve_pair(q_row: &[f64], d_row: &[f64], alpha: f64) -> (f64, f64) {
     let mut s = SweepScratch::with_capacity(q_row.len());
-    solve_pair_into(q_row, d_row, alpha.exp_m1(), &mut s, None)
+    solve_pair_into(q_row, d_row, alpha.exp_m1(), &mut s, None, Kernel::Chunked)
 }
 
 /// As [`solve_pair`], additionally returning the active index set — used
@@ -306,31 +498,121 @@ pub(crate) fn solve_pair_active(
     alpha: f64,
 ) -> (f64, f64, Vec<usize>) {
     let mut s = SweepScratch::with_capacity(q_row.len());
-    let (q, d) = solve_pair_into(q_row, d_row, alpha.exp_m1(), &mut s, None);
+    let (q, d) = solve_pair_into(q_row, d_row, alpha.exp_m1(), &mut s, None, Kernel::Chunked);
     (q, d, std::mem::take(&mut s.idx))
 }
 
-/// Per-pair α-independent pruning data: the candidate gap mass `g₀`
-/// (total variation between the rows) and the maximum candidate ratio
-/// `r_max` (see the module docs for the bounds they induce).
-#[derive(Debug, Clone, Copy)]
-struct PairBound {
-    q_row: u32,
-    d_row: u32,
-    g0: f64,
-    rmax: f64,
+/// Pack an ordered row pair into one sortable/comparable id. The packed
+/// order equals the lexicographic `(q_row, d_row)` order the sweeps
+/// break ties with.
+#[inline]
+const fn pack_pair(q_row: usize, d_row: usize) -> u64 {
+    ((q_row as u64) << 32) | d_row as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+const fn unpack_pair(id: u64) -> (usize, usize) {
+    ((id >> 32) as usize, (id & u32::MAX as u64) as usize)
+}
+
+/// Sentinel for "no pair to skip" — unreachable as a real id because a
+/// packed pair never has `q_row == d_row == u32::MAX`.
+const NO_SKIP: u64 = u64::MAX;
+
+/// The scalar reference reduction for one pair's `g₀`/`r_max` bounds:
+/// the original fused branchy loop over the dense rows.
+#[inline]
+fn pair_bounds_scalar(q_row: &[f64], d_row: &[f64]) -> (f64, f64) {
+    let mut g0 = 0.0;
+    let mut rmax = 1.0_f64;
+    for (&qj, &dj) in q_row.iter().zip(d_row) {
+        if qj > dj {
+            g0 += qj - dj;
+            rmax = rmax.max(if dj == 0.0 { f64::INFINITY } else { qj / dj });
+        }
+    }
+    (g0, rmax)
+}
+
+/// `g₀`/`r_max` seeded from the numerator row's support list: a
+/// Corollary-2 candidate needs `q_j > d_j ≥ 0`, hence `q_j > 0`, so the
+/// gather visits exactly the dense scan's candidates in the same
+/// ascending order — same sums, same maxima, `O(nnz)` instead of `O(n)`.
+#[inline]
+fn pair_bounds_support(q_row: &[f64], d_row: &[f64], support: &[u32]) -> (f64, f64) {
+    let mut g0 = 0.0;
+    let mut rmax = 1.0_f64;
+    for &j in support {
+        let (qj, dj) = (q_row[j as usize], d_row[j as usize]);
+        if qj > dj {
+            g0 += qj - dj;
+            rmax = rmax.max(if dj == 0.0 { f64::INFINITY } else { qj / dj });
+        }
+    }
+    (g0, rmax)
+}
+
+/// Lane-chunked `g₀`/`r_max` reduction for fully dense rows: `LANES`
+/// independent accumulators folded in a fixed order at the end. The
+/// lane-split reassociates the `g₀` sum relative to the scalar kernel —
+/// deliberately allowed *here only*, because `g₀`/`r_max` steer
+/// conservative pruning and the pair visit order; they never reach a
+/// returned value (candidates with `q_j > d_j` contribute strictly
+/// positive terms, so `g₀ > 0` iff a candidate exists in either kernel,
+/// and `BOUND_SLACK` absorbs the low-bit drift in bound comparisons).
+#[inline]
+fn pair_bounds_dense_chunked(q_row: &[f64], d_row: &[f64]) -> (f64, f64) {
+    let mut g = [0.0_f64; LANES];
+    let mut r = [1.0_f64; LANES];
+    let split = q_row.len() - q_row.len() % LANES;
+    let lanes = q_row[..split]
+        .chunks_exact(LANES)
+        .zip(d_row[..split].chunks_exact(LANES));
+    for (qc, dc) in lanes {
+        for (l, (&qj, &dj)) in qc.iter().zip(dc).enumerate() {
+            let cand = qj > dj;
+            // Branch-free selects; q_j/d_j is +∞ for a candidate with
+            // d_j = 0 (q_j > 0), exactly the scalar kernel's sentinel.
+            g[l] += if cand { qj - dj } else { 0.0 };
+            r[l] = r[l].max(if cand { qj / dj } else { 1.0 });
+        }
+    }
+    let mut g0 = 0.0;
+    let mut rmax = 1.0_f64;
+    for l in 0..LANES {
+        g0 += g[l];
+        rmax = rmax.max(r[l]);
+    }
+    for (&qj, &dj) in q_row[split..].iter().zip(&d_row[split..]) {
+        if qj > dj {
+            g0 += qj - dj;
+            rmax = rmax.max(if dj == 0.0 { f64::INFINITY } else { qj / dj });
+        }
+    }
+    (g0, rmax)
 }
 
 /// Precomputed pruning index over all informative ordered row pairs of
 /// one matrix, sorted by gap mass `g₀` descending (ties toward the
 /// lowest `(q_row, d_row)` so sweeps visit pairs in a deterministic
-/// order). Building the index is `O(n³)`; it is built once per matrix
+/// order), laid out **struct-of-arrays**: three parallel arrays (packed
+/// pair ids, `g₀`, `r_max`) so the sweep's pruning passes are linear
+/// scans of dense `f64` memory. Building the index costs `O(n² · nnz)`
+/// (per-pair reductions seed from the numerator row's support list, and
+/// run lane-chunked on fully dense rows); it is built once per matrix
 /// (and cached by [`crate::TemporalLossFunction`]) and amortized across
 /// every evaluation of the loss function.
 #[derive(Debug, Clone)]
 pub struct PairIndex {
     n: usize,
-    pairs: Vec<PairBound>,
+    /// Packed `(q_row << 32) | d_row` ids, in sweep order.
+    pair_ids: Vec<u64>,
+    /// Gap mass `g₀` per pair (descending — the sweep's early-break key).
+    g0: Vec<f64>,
+    /// Maximum candidate ratio `r_max` per pair (`∞` when some active
+    /// `d_j = 0`).
+    rmax: Vec<f64>,
     /// Per row, the ascending indices of its strictly positive entries —
     /// the sparse-row fast path's seed lists. Near-deterministic
     /// matrices (the paper's strongest correlations) have `O(1)`
@@ -343,7 +625,41 @@ impl PairIndex {
     /// Scan all ordered row pairs of `matrix` and build the sorted bound
     /// index plus the per-row support lists. Pairs with no Corollary-2
     /// candidate (`g₀ = 0`, so `L(a,b) ≡ 0`) are dropped immediately.
+    ///
+    /// Assumes `matrix` upholds [`TransitionMatrix`]'s invariant (finite,
+    /// non-negative entries — every constructor validates). This function
+    /// has **no panic path** even on garbage input (the sort uses the
+    /// NaN-total [`f64::total_cmp`] order); callers holding data of
+    /// uncertain provenance — e.g. a deserialized envelope — should use
+    /// [`PairIndex::try_new`], which validates up front and surfaces a
+    /// typed error instead of silently mis-pruning.
     pub fn new(matrix: &TransitionMatrix) -> Self {
+        Self::with_kernel(matrix, Kernel::Chunked)
+    }
+
+    /// As [`PairIndex::new`], after validating every matrix entry is
+    /// finite and non-negative. NaN-poisoned or otherwise invalid input
+    /// (possible only through paths that bypass [`TransitionMatrix`]'s
+    /// validating constructors, e.g. hand-built serde values) yields
+    /// [`crate::TplError::InvalidMatrix`] instead of a panic or a
+    /// silently corrupt index.
+    pub fn try_new(matrix: &TransitionMatrix) -> crate::Result<Self> {
+        for row in 0..matrix.n() {
+            for &v in matrix.row(row) {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(crate::TplError::InvalidMatrix { row, value: v });
+                }
+            }
+        }
+        Ok(Self::new(matrix))
+    }
+
+    /// [`PairIndex::new`] with an explicit kernel for the per-pair
+    /// `g₀`/`r_max` build reductions — the `bench_alg1` ablation hook.
+    /// Either kernel yields an index over the same pair set producing
+    /// bit-identical sweep results (the bounds only steer conservative
+    /// pruning; see the module docs).
+    pub fn with_kernel(matrix: &TransitionMatrix, kernel: Kernel) -> Self {
         let n = matrix.n();
         let support: Vec<Vec<u32>> = (0..n)
             .map(|a| {
@@ -356,38 +672,49 @@ impl PairIndex {
                     .collect()
             })
             .collect();
-        let mut pairs = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)));
-        for a in 0..n {
+        let cap = n.saturating_mul(n.saturating_sub(1));
+        let mut pair_ids = Vec::with_capacity(cap);
+        let mut g0s = Vec::with_capacity(cap);
+        let mut rmaxs = Vec::with_capacity(cap);
+        for (a, sup) in support.iter().enumerate() {
             let q_row = matrix.row(a);
             for b in 0..n {
                 if a == b {
                     continue;
                 }
                 let d_row = matrix.row(b);
-                let mut g0 = 0.0;
-                let mut rmax = 1.0_f64;
-                for (&qj, &dj) in q_row.iter().zip(d_row) {
-                    if qj > dj {
-                        g0 += qj - dj;
-                        rmax = rmax.max(if dj == 0.0 { f64::INFINITY } else { qj / dj });
-                    }
-                }
+                let (g0, rmax) = match kernel {
+                    Kernel::Scalar => pair_bounds_scalar(q_row, d_row),
+                    // Fully dense rows (support == all of 0..n) take the
+                    // lane-chunked contiguous reduction; sparse rows
+                    // gather only their nonzeros.
+                    Kernel::Chunked if sup.len() == n => pair_bounds_dense_chunked(q_row, d_row),
+                    Kernel::Chunked => pair_bounds_support(q_row, d_row, sup),
+                };
                 if g0 > 0.0 {
-                    pairs.push(PairBound {
-                        q_row: a as u32,
-                        d_row: b as u32,
-                        g0,
-                        rmax,
-                    });
+                    pair_ids.push(pack_pair(a, b));
+                    g0s.push(g0);
+                    rmaxs.push(rmax);
                 }
             }
         }
-        pairs.sort_unstable_by(|x, y| {
-            y.g0.partial_cmp(&x.g0)
-                .expect("g0 is a finite probability sum")
-                .then_with(|| (x.q_row, x.d_row).cmp(&(y.q_row, y.d_row)))
+        // Argsort by (g₀ desc, packed id asc), then gather each array
+        // through the permutation. `total_cmp` keeps this panic-free on
+        // any input (for the finite positive g₀ of a valid matrix it
+        // orders exactly like `partial_cmp`).
+        let mut order: Vec<u32> = (0..pair_ids.len() as u32).collect();
+        order.sort_unstable_by(|&x, &y| {
+            g0s[y as usize]
+                .total_cmp(&g0s[x as usize])
+                .then_with(|| pair_ids[x as usize].cmp(&pair_ids[y as usize]))
         });
-        PairIndex { n, pairs, support }
+        PairIndex {
+            n,
+            pair_ids: order.iter().map(|&i| pair_ids[i as usize]).collect(),
+            g0: order.iter().map(|&i| g0s[i as usize]).collect(),
+            rmax: order.iter().map(|&i| rmaxs[i as usize]).collect(),
+            support,
+        }
     }
 
     /// The ascending positive-entry indices of row `row` — the sparse
@@ -403,12 +730,12 @@ impl PairIndex {
 
     /// Number of informative pairs retained (`≤ n(n−1)`).
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.pair_ids.len()
     }
 
     /// Whether no pair can produce positive loss (`L ≡ 0`).
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.pair_ids.is_empty()
     }
 }
 
@@ -456,36 +783,43 @@ impl Incumbent {
 const BOUND_SLACK: f64 = 1.0 + 8.0 * f64::EPSILON;
 
 /// Sweep a contiguous `range` of the sorted pair index, updating `best`
-/// in place. `skip` marks a pair already accounted for (the warm
-/// witness), which must not be re-solved.
+/// in place. `skip` is the packed id of a pair already accounted for
+/// (the warm witness), which must not be re-solved, or [`NO_SKIP`].
+///
+/// The SoA layout makes the two pruning comparisons below straight
+/// streaming loads from the dense `g0`/`rmax` arrays; a pair's rows are
+/// only touched (and its id unpacked) after it survives both bounds.
+#[allow(clippy::too_many_arguments)] // internal hot loop; one arg per sweep input
 fn sweep_range(
     matrix: &TransitionMatrix,
     index: &PairIndex,
     range: std::ops::Range<usize>,
     em1: f64,
     best: &mut Incumbent,
-    skip: Option<(usize, usize)>,
+    skip: u64,
     scratch: &mut SweepScratch,
+    kernel: Kernel,
 ) {
     for i in range {
-        let pb = &index.pairs[i];
         // Pairs are sorted by g₀ descending, so the gap bound only
         // shrinks from here on: the first pair it excludes ends the
         // sweep (either bound below the incumbent excludes a pair — the
         // objective never exceeds min(gap bound, ratio bound)).
-        if (pb.g0 * em1 + 1.0) * BOUND_SLACK < best.obj {
+        if (index.g0[i] * em1 + 1.0) * BOUND_SLACK < best.obj {
             break;
         }
-        let (a, b) = (pb.q_row as usize, pb.d_row as usize);
-        if Some((a, b)) == skip || pb.rmax.max(1.0) * BOUND_SLACK < best.obj {
+        let id = index.pair_ids[i];
+        if id == skip || index.rmax[i].max(1.0) * BOUND_SLACK < best.obj {
             continue;
         }
+        let (a, b) = unpack_pair(id);
         let (q, d) = solve_pair_into(
             matrix.row(a),
             matrix.row(b),
             em1,
             scratch,
             Some(index.support_of(a)),
+            kernel,
         );
         let cand = Incumbent {
             obj: objective_em1(q, d, em1),
@@ -516,8 +850,9 @@ fn sweep_parallel(
     index: &PairIndex,
     em1: f64,
     init: Incumbent,
-    skip: Option<(usize, usize)>,
+    skip: u64,
     threads: usize,
+    kernel: Kernel,
 ) -> Incumbent {
     let threads = threads.min(index.len()).max(1);
     let chunk = index.len().div_ceil(threads);
@@ -529,7 +864,16 @@ fn sweep_parallel(
                 scope.spawn(move || {
                     let mut local = init;
                     let mut scratch = SweepScratch::with_capacity(index.n());
-                    sweep_range(matrix, index, lo..hi, em1, &mut local, skip, &mut scratch);
+                    sweep_range(
+                        matrix,
+                        index,
+                        lo..hi,
+                        em1,
+                        &mut local,
+                        skip,
+                        &mut scratch,
+                        kernel,
+                    );
                     local
                 })
             })
@@ -558,8 +902,9 @@ fn sweep_index(
     index: &PairIndex,
     em1: f64,
     init: Incumbent,
-    skip: Option<(usize, usize)>,
+    skip: u64,
     scratch: &mut SweepScratch,
+    kernel: Kernel,
 ) -> Incumbent {
     #[cfg(feature = "parallel")]
     {
@@ -568,11 +913,20 @@ fn sweep_index(
         // early-break after a handful of bound checks; the fan-out only
         // pays for itself on cold sweeps over a large index.
         if init.obj == 1.0 && index.len() >= PARALLEL_MIN_PAIRS && threads > 1 {
-            return sweep_parallel(matrix, index, em1, init, skip, threads);
+            return sweep_parallel(matrix, index, em1, init, skip, threads, kernel);
         }
     }
     let mut best = init;
-    sweep_range(matrix, index, 0..index.len(), em1, &mut best, skip, scratch);
+    sweep_range(
+        matrix,
+        index,
+        0..index.len(),
+        em1,
+        &mut best,
+        skip,
+        scratch,
+        kernel,
+    );
     best
 }
 
@@ -627,7 +981,7 @@ pub fn temporal_loss_witness_indexed(
     warm: Option<&LossWitness>,
 ) -> Result<LossWitness> {
     let mut scratch = SweepScratch::with_capacity(matrix.n());
-    eval_indexed(matrix, index, alpha, warm, &mut scratch)
+    eval_indexed(matrix, index, alpha, warm, &mut scratch, Kernel::Chunked)
 }
 
 /// The single-evaluation core behind every public entry point: the warm
@@ -640,6 +994,7 @@ fn eval_indexed(
     alpha: f64,
     warm: Option<&LossWitness>,
     scratch: &mut SweepScratch,
+    kernel: Kernel,
 ) -> Result<LossWitness> {
     check_alpha(alpha)?;
     let n = matrix.n();
@@ -654,7 +1009,7 @@ fn eval_indexed(
     }
     let em1 = alpha.exp_m1();
     let mut init = Incumbent::sentinel();
-    let mut skip = None;
+    let mut skip = NO_SKIP;
     if let Some(w) = warm {
         // The zero witness carries no pair to warm-start from; a
         // witness whose indices do not fit this matrix is ignored.
@@ -671,7 +1026,14 @@ fn eval_indexed(
                 (q_sum, d_sum)
             } else {
                 // The active set shifted: re-solve just this pair.
-                solve_pair_into(q_row, d_row, em1, scratch, Some(index.support_of(w.q_row)))
+                solve_pair_into(
+                    q_row,
+                    d_row,
+                    em1,
+                    scratch,
+                    Some(index.support_of(w.q_row)),
+                    kernel,
+                )
             };
             let cand = Incumbent {
                 obj: objective_em1(q, d, em1),
@@ -683,11 +1045,11 @@ fn eval_indexed(
             if cand.beats(&init) {
                 init = cand;
             }
-            skip = Some((w.q_row, w.d_row));
+            skip = pack_pair(w.q_row, w.d_row);
         }
     }
-    let best = sweep_index(matrix, index, em1, init, skip, scratch);
-    Ok(finalize_witness(matrix, index, em1, best, scratch))
+    let best = sweep_index(matrix, index, em1, init, skip, scratch, kernel);
+    Ok(finalize_witness(matrix, index, em1, best, scratch, kernel))
 }
 
 /// Turn a sweep incumbent into a full [`LossWitness`], recovering the
@@ -699,6 +1061,7 @@ fn finalize_witness(
     em1: f64,
     best: Incumbent,
     scratch: &mut SweepScratch,
+    kernel: Kernel,
 ) -> LossWitness {
     if best.obj <= 1.0 {
         return LossWitness::zero();
@@ -709,6 +1072,7 @@ fn finalize_witness(
         em1,
         scratch,
         Some(index.support_of(best.q_row)),
+        kernel,
     );
     debug_assert_eq!((q, d), (best.q_sum, best.d_sum));
     LossWitness {
@@ -743,6 +1107,7 @@ pub struct EvalSession<'a> {
     scratch: SweepScratch,
     warm: Option<LossWitness>,
     evals: u64,
+    kernel: Kernel,
 }
 
 impl<'a> EvalSession<'a> {
@@ -756,7 +1121,14 @@ impl<'a> EvalSession<'a> {
             scratch: SweepScratch::with_capacity(matrix.n()),
             warm: None,
             evals: 0,
+            kernel: Kernel::default(),
         }
+    }
+
+    /// Select the inner-loop kernel for subsequent evaluations (the
+    /// bench ablation hook; results are bit-identical either way).
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
     }
 
     /// Seed the warm chain (e.g. from a cache persisted outside the
@@ -775,6 +1147,7 @@ impl<'a> EvalSession<'a> {
             alpha,
             self.warm.as_ref(),
             &mut self.scratch,
+            self.kernel,
         )?;
         self.evals += 1;
         self.warm = Some(w);
@@ -829,15 +1202,43 @@ pub fn temporal_loss_witness_forced_parallel(
     alpha: f64,
     threads: usize,
 ) -> Result<LossWitness> {
+    temporal_loss_witness_forced_parallel_with_kernel(matrix, alpha, threads, Kernel::Chunked)
+}
+
+/// [`temporal_loss_witness_forced_parallel`] with an explicit inner-loop
+/// kernel — the property tests' full determinism grid (thread count ×
+/// kernel), every cell of which must agree bit-for-bit.
+#[cfg(feature = "parallel")]
+pub fn temporal_loss_witness_forced_parallel_with_kernel(
+    matrix: &TransitionMatrix,
+    alpha: f64,
+    threads: usize,
+    kernel: Kernel,
+) -> Result<LossWitness> {
     check_alpha(alpha)?;
-    let index = PairIndex::new(matrix);
+    let index = PairIndex::with_kernel(matrix, kernel);
     if matrix.n() < 2 || alpha == 0.0 || index.is_empty() {
         return Ok(LossWitness::zero());
     }
     let em1 = alpha.exp_m1();
-    let best = sweep_parallel(matrix, &index, em1, Incumbent::sentinel(), None, threads);
+    let best = sweep_parallel(
+        matrix,
+        &index,
+        em1,
+        Incumbent::sentinel(),
+        NO_SKIP,
+        threads,
+        kernel,
+    );
     let mut scratch = SweepScratch::with_capacity(matrix.n());
-    Ok(finalize_witness(matrix, &index, em1, best, &mut scratch))
+    Ok(finalize_witness(
+        matrix,
+        &index,
+        em1,
+        best,
+        &mut scratch,
+        kernel,
+    ))
 }
 
 /// Evaluate `L(α)` over all ordered row pairs of `matrix` (Algorithm 1
@@ -850,8 +1251,25 @@ pub fn temporal_loss_witness_forced_parallel(
 /// `α = 0` always yields `L = 0` (no prior leakage to amplify); a matrix
 /// with a single state likewise yields `0`.
 pub fn temporal_loss_witness(matrix: &TransitionMatrix, alpha: f64) -> Result<LossWitness> {
-    let index = PairIndex::new(matrix);
+    let index = PairIndex::try_new(matrix)?;
     temporal_loss_witness_indexed(matrix, &index, alpha, None)
+}
+
+/// [`temporal_loss_witness`] with an explicit inner-loop [`Kernel`] —
+/// the ablation/differential entry point. [`Kernel::Scalar`] runs the
+/// original branchy reference everywhere (pair bounds, seed scan,
+/// discard sweep); [`Kernel::Chunked`] runs the lane-width kernels. The
+/// two are bit-identical by construction (see the module docs), which
+/// the property harness enforces.
+pub fn temporal_loss_witness_with_kernel(
+    matrix: &TransitionMatrix,
+    alpha: f64,
+    kernel: Kernel,
+) -> Result<LossWitness> {
+    check_alpha(alpha)?;
+    let index = PairIndex::with_kernel(matrix, kernel);
+    let mut scratch = SweepScratch::with_capacity(matrix.n());
+    eval_indexed(matrix, &index, alpha, None, &mut scratch, kernel)
 }
 
 /// Evaluate the temporal loss function `L(α)` (Equations 23/24).
@@ -882,7 +1300,14 @@ pub fn temporal_loss_witness_unpruned(
             if a == b {
                 continue;
             }
-            let (q, d) = solve_pair_into(matrix.row(a), matrix.row(b), em1, &mut scratch, None);
+            let (q, d) = solve_pair_into(
+                matrix.row(a),
+                matrix.row(b),
+                em1,
+                &mut scratch,
+                None,
+                Kernel::Scalar,
+            );
             let cand = Incumbent {
                 obj: objective_em1(q, d, em1),
                 q_row: a,
@@ -1288,13 +1713,21 @@ mod tests {
                         let em1 = alpha.exp_m1();
                         let mut dense = SweepScratch::with_capacity(p.n());
                         let mut sparse = SweepScratch::with_capacity(p.n());
-                        let (qd, dd) = solve_pair_into(p.row(a), p.row(b), em1, &mut dense, None);
+                        let (qd, dd) = solve_pair_into(
+                            p.row(a),
+                            p.row(b),
+                            em1,
+                            &mut dense,
+                            None,
+                            Kernel::Chunked,
+                        );
                         let (qs, ds) = solve_pair_into(
                             p.row(a),
                             p.row(b),
                             em1,
                             &mut sparse,
                             Some(index.support_of(a)),
+                            Kernel::Chunked,
                         );
                         assert_eq!(qd.to_bits(), qs.to_bits(), "a={a} b={b} alpha={alpha}");
                         assert_eq!(dd.to_bits(), ds.to_bits(), "a={a} b={b} alpha={alpha}");
@@ -1428,18 +1861,100 @@ mod tests {
         assert_eq!(index.n(), 3);
         assert!(!index.is_empty() && index.len() <= 6);
         // Sorted by g0 (gap mass = total variation) descending.
-        for w in index.pairs.windows(2) {
-            assert!(w[0].g0 >= w[1].g0);
+        for w in index.g0.windows(2) {
+            assert!(w[0] >= w[1]);
         }
         // Each pair's bounds genuinely dominate its optimum across α.
         for alpha in [0.2f64, 1.0, 6.0] {
             let em1 = alpha.exp_m1();
-            for pb in &index.pairs {
-                let (q, d) = solve_pair(p.row(pb.q_row as usize), p.row(pb.d_row as usize), alpha);
+            for i in 0..index.len() {
+                let (a, b) = unpack_pair(index.pair_ids[i]);
+                let (q, d) = solve_pair(p.row(a), p.row(b), alpha);
                 let obj = objective(q, d, alpha);
-                assert!(obj <= pb.g0 * em1 + 1.0 + 1e-12);
-                assert!(obj <= pb.rmax.max(1.0) + 1e-12);
+                assert!(obj <= index.g0[i] * em1 + 1.0 + 1e-12);
+                assert!(obj <= index.rmax[i].max(1.0) + 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn index_build_kernels_agree_on_pair_sets() {
+        // Scalar and chunked builds must retain exactly the same pair
+        // set. On dense rows the lane-summed g₀ may differ in low bits
+        // (and thus permute near-tied pairs in the sort) — harmless,
+        // since the bounds only steer conservative pruning and the sweep
+        // max is visit-order-independent — but on sparse rows the
+        // support gather replays the scalar visits, so there the bounds
+        // and the order agree to the bit.
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 3, 7, 19, 33] {
+            let dense = TransitionMatrix::random_uniform(n, &mut rng).unwrap();
+            let sparse = near_deterministic(n, 2, n as u64);
+            for p in [&dense, &sparse] {
+                let a = PairIndex::with_kernel(p, Kernel::Scalar);
+                let b = PairIndex::with_kernel(p, Kernel::Chunked);
+                assert_eq!(a.support, b.support, "n={n}");
+                let mut ids_a = a.pair_ids.clone();
+                let mut ids_b = b.pair_ids.clone();
+                ids_a.sort_unstable();
+                ids_b.sort_unstable();
+                assert_eq!(ids_a, ids_b, "n={n}");
+                // Sparse rows gather through the same candidate visits,
+                // so their bounds agree to the bit outright.
+                if a.support.iter().all(|s| s.len() < n) {
+                    assert_eq!(a.pair_ids, b.pair_ids, "n={n}");
+                    for i in 0..a.len() {
+                        assert_eq!(a.g0[i].to_bits(), b.g0[i].to_bits(), "n={n} i={i}");
+                        assert_eq!(a.rmax[i].to_bits(), b.rmax[i].to_bits(), "n={n} i={i}");
+                    }
+                }
+                // The guarantee that matters: both kernels' end-to-end
+                // witnesses are the same bits.
+                for alpha in [0.05, 1.0, 12.0] {
+                    let ws = temporal_loss_witness_with_kernel(p, alpha, Kernel::Scalar).unwrap();
+                    let wc = temporal_loss_witness_with_kernel(p, alpha, Kernel::Chunked).unwrap();
+                    assert_eq!(ws, wc, "n={n} alpha={alpha}");
+                    assert_eq!(
+                        ws.value.to_bits(),
+                        wc.value.to_bits(),
+                        "n={n} alpha={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_nan_poisoned_matrix() {
+        // A hand-built serde value bypasses TransitionMatrix's validating
+        // constructors — exactly the path try_new guards.
+        let good = m(vec![vec![0.5, 0.5], vec![0.25, 0.75]]);
+        assert!(PairIndex::try_new(&good).is_ok());
+        for bad_value in [f64::NAN, f64::INFINITY, -0.25] {
+            // Poison data[2] (row 1, column 0) through the round-trip.
+            let mut v = good.to_value();
+            let Value::Map(entries) = &mut v else {
+                panic!("matrix serializes to a map")
+            };
+            for (k, val) in entries.iter_mut() {
+                if k == "data" {
+                    let Value::Seq(items) = val else {
+                        panic!("data serializes to a seq")
+                    };
+                    items[2] = Value::Num(bad_value);
+                }
+            }
+            let poisoned = TransitionMatrix::from_value(&v).unwrap();
+            match PairIndex::try_new(&poisoned) {
+                Err(crate::TplError::InvalidMatrix { row, value }) => {
+                    assert_eq!(row, 1);
+                    assert!(value.is_nan() == bad_value.is_nan());
+                    assert!(value.is_nan() || value == bad_value);
+                }
+                other => panic!("expected InvalidMatrix, got {other:?}"),
+            }
+            // And the panic-free promise of `new` holds even on garbage.
+            let _ = PairIndex::new(&poisoned);
         }
     }
 }

@@ -89,7 +89,7 @@ pub mod wevent;
 pub use accountant::{TplAccountant, TplReport};
 pub use adaptive::AdaptiveReleaser;
 pub use adversary::AdversaryT;
-pub use alg1::{temporal_loss, EvalSession, LossWitness};
+pub use alg1::{temporal_loss, EvalSession, Kernel, LossWitness};
 pub use checkpoint::{
     Checkpoint, CheckpointDelta, CheckpointKind, DeltaCursor, SavedState, CHECKPOINT_VERSION,
 };
@@ -116,6 +116,17 @@ pub enum TplError {
         expected: usize,
         /// Found domain size.
         found: usize,
+    },
+    /// A transition matrix entry is not a finite non-negative number.
+    /// Unreachable through [`tcdp_markov::TransitionMatrix`]'s validating
+    /// constructors; guards data of uncertain provenance (e.g. a
+    /// deserialized envelope) before it can silently mis-prune the
+    /// [`alg1::PairIndex`].
+    InvalidMatrix {
+        /// Row holding the offending entry.
+        row: usize,
+        /// The offending entry (NaN, infinite, or negative).
+        value: f64,
     },
     /// The correlation is too strong to bound over an unbounded horizon
     /// (Theorem 5 cases 3–4: the supremum does not exist for any positive
@@ -179,6 +190,12 @@ impl std::fmt::Display for TplError {
             TplError::InvalidEpsilon(v) => write!(f, "invalid privacy budget epsilon = {v}"),
             TplError::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            TplError::InvalidMatrix { row, value } => {
+                write!(
+                    f,
+                    "invalid transition matrix: row {row} holds non-probability entry {value}"
+                )
             }
             TplError::UnboundableCorrelation => write!(
                 f,

@@ -128,16 +128,30 @@ pub fn supremum_of_evaluator(ev: &mut LossEvaluator<'_>, eps: f64) -> Result<Sup
         return Ok(Supremum::Finite(eps));
     }
     let mut alpha = eps; // BPL(1) = PL0(M^1) = ε
+                         // Closed-form candidates that already failed verification, keyed by
+                         // the proposing pair's sums (bit-exact; `eps` is fixed for the whole
+                         // call). The maximizing pair typically stabilizes long before the
+                         // recursion converges, so without this memo every remaining round
+                         // re-verifies the *same* rejected candidate — a full extra `L`
+                         // evaluation per round. Skipping is behaviorally invisible: the
+                         // residual `L(c) + ε − c` is α-independent (so a failed candidate
+                         // fails forever), and the `c ≥ α − 1e-9` guard is monotone in the
+                         // growing α (so a guard-rejected candidate stays guard-rejected).
+    let mut rejected: Vec<(u64, u64)> = Vec::new();
     const MAX_ROUNDS: usize = 100_000;
     for _ in 0..MAX_ROUNDS {
         let w = ev.witness(alpha)?;
         let (q_sum, d_sum, value) = (w.q_sum, w.d_sum, w.value);
-        if let Supremum::Finite(candidate) = supremum_closed_form(q_sum, d_sum, eps)? {
-            if candidate >= alpha - 1e-9 {
-                let residual = ev.eval(candidate)? + eps - candidate;
-                if residual.abs() < 1e-9 {
-                    return Ok(Supremum::Finite(candidate));
+        let key = (q_sum.to_bits(), d_sum.to_bits());
+        if !rejected.contains(&key) {
+            if let Supremum::Finite(candidate) = supremum_closed_form(q_sum, d_sum, eps)? {
+                if candidate >= alpha - 1e-9 {
+                    let residual = ev.eval(candidate)? + eps - candidate;
+                    if residual.abs() < 1e-9 {
+                        return Ok(Supremum::Finite(candidate));
+                    }
                 }
+                rejected.push(key);
             }
         }
         let next = value + eps; // = L(alpha) + eps, witness already computed

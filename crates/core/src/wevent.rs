@@ -69,17 +69,35 @@ pub fn w_window_guarantee(adversary: &AdversaryT, eps: f64, w: usize) -> Result<
     let lf = adversary.forward_loss();
     let mut lb_ev = lb.as_ref().map(TemporalLossFunction::evaluator);
     let mut lf_ev = lf.as_ref().map(TemporalLossFunction::evaluator);
-    Ok(probe_window(&mut lb_ev, &mut lf_ev, eps, w)?.map(|p| p.guarantee))
+    Ok(probe_window(&mut lb_ev, &mut lf_ev, eps, w, None)?.map(|p| p.guarantee))
 }
+
+/// Margin added to the early-out lower bound before comparing it against
+/// the cutoff, covering the supremum iteration's own acceptance
+/// tolerance (a verified fixed point may sit `1e-9` under `ε`) plus sum
+/// rounding — so a probe the full computation would accept is never
+/// early-rejected.
+const CUTOFF_SLACK: f64 = 1e-8;
 
 /// [`w_window_guarantee`] over caller-held evaluators (so a search loop
 /// reuses their scratch and warm chain across probes), returning the
 /// side suprema alongside the guarantee.
+///
+/// `cutoff` is the planner's target-aware early-out: when the backward
+/// supremum alone already lower-bounds the guarantee strictly above the
+/// cutoff (every side supremum is ≥ ε — the recursion starts at ε and is
+/// monotone — so `G_w ≥ αᴮ + (w−1)ε` for `w ≥ 2`), the forward supremum
+/// pass is skipped outright and `None` is returned. The caller treats
+/// `None` exactly like an over-target probe, so the early-out is
+/// behaviorally invisible to the bisection: the probe is rejected either
+/// way, only the second supremum's cost disappears. [`CUTOFF_SLACK`]
+/// keeps the shortcut strictly conservative.
 fn probe_window(
     lb: &mut Option<LossEvaluator<'_>>,
     lf: &mut Option<LossEvaluator<'_>>,
     eps: f64,
     w: usize,
+    cutoff: Option<f64>,
 ) -> Result<Option<WindowProbe>> {
     crate::check_epsilon(eps)?;
     if w == 0 {
@@ -88,6 +106,17 @@ fn probe_window(
     let Some(ab) = side_supremum(lb, eps)? else {
         return Ok(None);
     };
+    if let Some(cut) = cutoff {
+        let lower = match w {
+            // αᶠ ≥ ε cancels the event-level −ε.
+            1 => ab,
+            2 => ab + eps,
+            _ => ab + (w as f64 - 1.0) * eps,
+        };
+        if lower - CUTOFF_SLACK > cut {
+            return Ok(None);
+        }
+    }
     let Some(af) = side_supremum(lf, eps)? else {
         return Ok(None);
     };
@@ -159,7 +188,7 @@ pub fn w_event_plan(adversary: &AdversaryT, alpha: f64, w: usize) -> Result<WEve
         if mid <= 0.0 {
             break;
         }
-        match probe_window(&mut lb_ev, &mut lf_ev, mid, w)? {
+        match probe_window(&mut lb_ev, &mut lf_ev, mid, w, Some(alpha))? {
             // The probe already carries both side suprema — accepting it
             // costs one supremum pass per side, not two.
             Some(p) if p.guarantee <= alpha => {
@@ -266,6 +295,45 @@ mod tests {
             w_event_plan(&strongest, 1.0, 3).unwrap_err(),
             TplError::UnboundableCorrelation
         );
+    }
+
+    #[test]
+    fn planner_bisection_matches_cutoff_free_reference() {
+        // Re-run the planner's exact bisection through the public
+        // (cutoff-free, cold-evaluator) w_window_guarantee: the
+        // target-aware early-out and the shared warm evaluators must not
+        // change a single probe's accept/reject decision, so the planned
+        // budget agrees to the bit.
+        let adv = adversary();
+        for (alpha, w) in [(1.0, 2), (1.0, 5), (0.4, 3), (2.5, 8)] {
+            let plan = w_event_plan(&adv, alpha, w).unwrap();
+            let mut lo = 0.0_f64;
+            let mut hi = alpha / w as f64;
+            let mut best = None;
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if mid <= 0.0 {
+                    break;
+                }
+                match w_window_guarantee(&adv, mid, w).unwrap() {
+                    Some(g) if g <= alpha => {
+                        best = Some(mid);
+                        if (g - alpha).abs() < 1e-12 {
+                            break;
+                        }
+                        lo = mid;
+                    }
+                    _ => hi = mid,
+                }
+            }
+            let reference = best.unwrap();
+            assert_eq!(
+                plan.epsilon.to_bits(),
+                reference.to_bits(),
+                "alpha={alpha} w={w}: {} vs {reference}",
+                plan.epsilon
+            );
+        }
     }
 
     #[test]

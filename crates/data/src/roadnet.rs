@@ -101,11 +101,70 @@ impl RoadNetwork {
     }
 }
 
+/// A scaled road-network-shaped mobility model over `n` locations — the
+/// benchmark generator for "roadnet sparsity": each row has a handful of
+/// nonzeros (staying put, the two ring neighbors, and the two cross-grid
+/// jumps of a √n-wide grid) with random weights, and every 16th location
+/// is a one-way street forced to advance (Example 1's `loc4 → loc5` edge
+/// writ large), so the matrix mixes deterministic rows with sparse
+/// stochastic ones exactly like the Figure 1 scenario does at `n = 5`.
+pub fn roadnet_like<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<TransitionMatrix> {
+    if n == 0 {
+        return Err(DataError::InvalidParameter {
+            what: "n",
+            value: 0.0,
+        });
+    }
+    let width = (n as f64).sqrt().ceil().max(1.0) as usize;
+    let mut rows = Vec::with_capacity(n);
+    for from in 0..n {
+        let mut row = vec![0.0; n];
+        if n > 1 && from % 16 == 15 {
+            row[(from + 1) % n] = 1.0;
+        } else {
+            // Duplicate neighbors (small n) accumulate, then normalize.
+            for to in [
+                from,
+                (from + 1) % n,
+                (from + n - 1) % n,
+                (from + width) % n,
+                (from + n - width % n) % n,
+            ] {
+                row[to] += rng.gen::<f64>().max(1e-3);
+            }
+            let total: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= total;
+            }
+        }
+        rows.push(row);
+    }
+    Ok(TransitionMatrix::from_rows(rows)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn roadnet_like_is_sparse_and_stochastic() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [1usize, 2, 5, 40, 200] {
+            let m = roadnet_like(n, &mut rng).unwrap();
+            assert_eq!(m.n(), n);
+            for (i, row) in m.rows().enumerate() {
+                let nnz = row.iter().filter(|&&v| v > 0.0).count();
+                assert!(nnz <= 5.min(n), "row {i} of n={n} has {nnz} nonzeros");
+            }
+            if n >= 16 {
+                // The one-way streets are genuinely deterministic.
+                assert_eq!(m.get(15, 16 % n), 1.0);
+            }
+        }
+        assert!(roadnet_like(0, &mut rng).is_err());
+    }
 
     #[test]
     fn example1_deterministic_edge() {

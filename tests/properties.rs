@@ -12,11 +12,15 @@
 //!   round-trips at stationarity.
 
 use proptest::prelude::*;
-#[cfg(feature = "parallel")]
-use tcdp::core::alg1::temporal_loss_witness_forced_parallel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use tcdp::core::alg1::{
     temporal_loss, temporal_loss_brute_force, temporal_loss_lp, temporal_loss_witness_unpruned,
-    LpBaseline,
+    temporal_loss_witness_with_kernel, Kernel, LpBaseline,
+};
+#[cfg(feature = "parallel")]
+use tcdp::core::alg1::{
+    temporal_loss_witness_forced_parallel, temporal_loss_witness_forced_parallel_with_kernel,
 };
 use tcdp::core::checkpoint::{resume_bytes, SavedState};
 use tcdp::core::personalized::PopulationAccountant;
@@ -24,6 +28,7 @@ use tcdp::core::supremum::{leakage_series, supremum_of_matrix, Supremum};
 use tcdp::core::{
     quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, TemporalLossFunction, TplAccountant,
 };
+use tcdp::data::roadnet::roadnet_like;
 use tcdp::markov::{MarkovChain, TransitionMatrix};
 
 /// Strategy: a random row-stochastic matrix with strictly positive cells.
@@ -51,6 +56,34 @@ fn sparse_stochastic_matrix(n: usize) -> impl Strategy<Value = TransitionMatrix>
                 if sum <= 0.0 {
                     let mut r = vec![0.0; row.len()];
                     r[0] = 1.0;
+                    r
+                } else {
+                    row.into_iter().map(|v| v / sum).collect()
+                }
+            })
+            .collect();
+        TransitionMatrix::from_rows(rows).expect("normalized rows are stochastic")
+    })
+}
+
+/// Strategy: a matrix interleaving deterministic one-hot rows with sparse
+/// stochastic ones. One-hot q-rows against rows that are zero wherever q
+/// is positive are the degenerate cases of Algorithm 1 (`d = 0` active
+/// sets, `q/d` ratios with empty overlap) that the saturation guard and
+/// the chunked keep-mask both have to handle.
+fn degenerate_mix_matrix(n: usize) -> impl Strategy<Value = TransitionMatrix> {
+    proptest::collection::vec(
+        (0usize..2, 0..n, proptest::collection::vec(0.0f64..1.0, n)),
+        n,
+    )
+    .prop_map(|rows| {
+        let rows = rows
+            .into_iter()
+            .map(|(one_hot, col, row)| {
+                let sum: f64 = row.iter().sum();
+                if one_hot == 1 || sum <= 0.0 {
+                    let mut r = vec![0.0; row.len()];
+                    r[col] = 1.0;
                     r
                 } else {
                     row.into_iter().map(|v| v / sum).collect()
@@ -241,6 +274,11 @@ proptest! {
             // The engine variants agree with each other exactly.
             let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
             prop_assert_eq!(fast.to_bits(), naive.value.to_bits());
+            for kernel in [Kernel::Scalar, Kernel::Chunked] {
+                let w = temporal_loss_witness_with_kernel(&m, alpha, kernel).unwrap();
+                prop_assert_eq!(&w, &naive, "{:?} vs naive at alpha={}", kernel, alpha);
+                prop_assert_eq!(w.value.to_bits(), naive.value.to_bits());
+            }
             #[cfg(feature = "parallel")]
             {
                 let forced = temporal_loss_witness_forced_parallel(&m, alpha, 3).unwrap();
@@ -263,6 +301,94 @@ proptest! {
             warm = loss.eval(warm).unwrap() + eps;
             cold = temporal_loss(&m, cold).unwrap() + eps;
             prop_assert_eq!(warm.to_bits(), cold.to_bits(), "diverged at t={}", t);
+        }
+    }
+}
+
+// Kernel differential corpus (PR 6): the lane-width chunked sweep and the
+// SoA PairIndex are pure layout/scheduling changes, so every engine
+// configuration — scalar reference, chunked kernel, forced worker counts —
+// must return the *same witness bits* as the naive unpruned sweep: value,
+// maximizing pair, active subset, and the α-independent sums.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn chunked_kernel_is_bit_identical_to_scalar_and_naive(
+        m in (2usize..28).prop_flat_map(sparse_stochastic_matrix),
+        alpha in 0.01f64..30.0,
+    ) {
+        let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
+        let scalar = temporal_loss_witness_with_kernel(&m, alpha, Kernel::Scalar).unwrap();
+        let chunked = temporal_loss_witness_with_kernel(&m, alpha, Kernel::Chunked).unwrap();
+        prop_assert_eq!(&scalar, &naive, "scalar vs naive at alpha={}", alpha);
+        prop_assert_eq!(&chunked, &naive, "chunked vs naive at alpha={}", alpha);
+        prop_assert_eq!(scalar.value.to_bits(), naive.value.to_bits());
+        prop_assert_eq!(chunked.value.to_bits(), naive.value.to_bits());
+    }
+
+    #[test]
+    fn kernels_agree_on_degenerate_rows(
+        m in (2usize..20).prop_flat_map(degenerate_mix_matrix),
+        alpha in 0.01f64..30.0,
+    ) {
+        // Deterministic q-rows against (partially) disjoint d-rows reach
+        // the saturated L(α) = α branch and empty active sets — the
+        // paths where a masked lane diverging from the branchy reference
+        // would be most visible.
+        let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
+        for kernel in [Kernel::Scalar, Kernel::Chunked] {
+            let w = temporal_loss_witness_with_kernel(&m, alpha, kernel).unwrap();
+            prop_assert_eq!(&w, &naive, "{:?} vs naive at alpha={}\n{}", kernel, alpha, m);
+            prop_assert_eq!(w.value.to_bits(), naive.value.to_bits());
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn forced_threads_by_kernel_grid_is_bit_identical(
+        m in sparse_stochastic_matrix(24),
+        alpha in 0.01f64..30.0,
+    ) {
+        let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
+        for threads in [2usize, 3, 5] {
+            for kernel in [Kernel::Scalar, Kernel::Chunked] {
+                let w = temporal_loss_witness_forced_parallel_with_kernel(
+                    &m, alpha, threads, kernel,
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    &w, &naive,
+                    "{} threads / {:?} vs naive at alpha={}", threads, kernel, alpha
+                );
+                prop_assert_eq!(w.value.to_bits(), naive.value.to_bits());
+            }
+        }
+    }
+}
+
+// Large-n randomized differential: sizes where the chunked kernel runs
+// many full lanes (remainder handling, dense rows spanning dozens of
+// chunks, roadnet sparsity with deterministic one-way rows). The naive
+// O(n³)-ish unpruned reference is the ground truth, so the case budget is
+// small and matrices come from a seeded generator instead of proptest
+// trees (shrinking a 256×256 matrix cell-by-cell is useless anyway).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn kernels_agree_at_large_n(
+        seed in 0u64..u64::MAX,
+        n in 64usize..=256,
+        alpha in 0.05f64..20.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = roadnet_like(n, &mut rng).unwrap();
+        let naive = temporal_loss_witness_unpruned(&m, alpha).unwrap();
+        for kernel in [Kernel::Scalar, Kernel::Chunked] {
+            let w = temporal_loss_witness_with_kernel(&m, alpha, kernel).unwrap();
+            prop_assert_eq!(&w, &naive, "{:?} vs naive at n={} alpha={}", kernel, n, alpha);
+            prop_assert_eq!(w.value.to_bits(), naive.value.to_bits());
         }
     }
 }
