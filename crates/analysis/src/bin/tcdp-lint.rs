@@ -1,0 +1,168 @@
+//! `tcdp-lint` — run the workspace invariant analyzer as a CI gate.
+//!
+//! ```text
+//! tcdp-lint [--root PATH] [--pedantic]
+//! tcdp-lint --file PATH --role <library|binary|testlike|compat> [--crate-root] [--pedantic]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage error or vacuous run
+//! (zero files scanned — mirrors `check_bench`'s vacuous-dump guard, so
+//! a broken path cannot silently disable the gate).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tcdp_analysis::{analyze_source, analyze_workspace, classify_path, Config, Role};
+
+struct Args {
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+    role: Option<Role>,
+    crate_root: bool,
+    pedantic: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tcdp-lint [--root PATH] [--pedantic]\n       \
+         tcdp-lint --file PATH [--role library|binary|testlike|compat] [--crate-root] [--pedantic]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        files: Vec::new(),
+        role: None,
+        crate_root: false,
+        pedantic: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root requires a path")?));
+            }
+            "--file" => {
+                args.files
+                    .push(PathBuf::from(it.next().ok_or("--file requires a path")?));
+            }
+            "--role" => {
+                let r = it.next().ok_or("--role requires a name")?;
+                args.role = Some(match r.as_str() {
+                    "library" => Role::Library,
+                    "binary" => Role::Binary,
+                    "testlike" => Role::TestLike,
+                    "compat" => Role::Compat,
+                    other => return Err(format!("unknown role `{other}`")),
+                });
+            }
+            "--crate-root" => args.crate_root = true,
+            "--pedantic" => args.pedantic = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Locate the workspace root: walk up from `start` to the outermost
+/// directory holding a `Cargo.toml` with a `[workspace]` table.
+fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut best = start.to_path_buf();
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                best = dir.clone();
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tcdp-lint: {e}");
+            return usage();
+        }
+    };
+    let cfg = Config {
+        pedantic: args.pedantic,
+    };
+
+    if !args.files.is_empty() {
+        // Single-file mode (fixture corpus driver).
+        let mut findings = 0usize;
+        let mut scanned = 0usize;
+        for path in &args.files {
+            let Ok(src) = std::fs::read_to_string(path) else {
+                eprintln!("tcdp-lint: cannot read {}", path.display());
+                return ExitCode::from(2);
+            };
+            let rel = if args.crate_root {
+                "crates/fixture/src/lib.rs".to_string()
+            } else {
+                path.to_string_lossy().replace('\\', "/")
+            };
+            let role = args.role.unwrap_or_else(|| classify_path(&rel));
+            let (file_findings, _suppressed) = analyze_source(&rel, &src, role, &cfg);
+            scanned += 1;
+            for f in &file_findings {
+                println!("{f}");
+            }
+            findings += file_findings.len();
+        }
+        if scanned == 0 {
+            eprintln!("tcdp-lint: vacuous run — no files scanned");
+            return ExitCode::from(2);
+        }
+        println!("tcdp-lint: {findings} finding(s) in {scanned} file(s)");
+        return if findings == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tcdp-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = args.root.unwrap_or_else(|| find_workspace_root(&cwd));
+    let report = match analyze_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tcdp-lint: scan of {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        eprintln!(
+            "tcdp-lint: vacuous run — zero .rs files under {} (wrong --root?)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "tcdp-lint: {} finding(s), {} suppressed, {} files scanned under {}",
+        report.findings.len(),
+        report.suppressed,
+        report.files_scanned,
+        root.display()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

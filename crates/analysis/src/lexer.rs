@@ -1,0 +1,481 @@
+//! A minimal Rust lexer — just enough fidelity for token-level invariant
+//! rules: comments and string/char literals must never be mistaken for
+//! code, float literals must be recognizable, and `'a'` (char) must be
+//! told apart from `'a` (lifetime). No parsing beyond tokenization; the
+//! rule layer tracks braces and attributes itself.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `unsafe`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal; `float` marks a floating-point literal.
+    Number {
+        /// Whether the literal is floating-point (has a `.`, a decimal
+        /// exponent, or an `f32`/`f64` suffix).
+        float: bool,
+    },
+    /// String literal (plain, raw, or byte).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Punctuation; multi-char operators (`::`, `==`, `!=`, `->`, ...)
+    /// are single tokens.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text of the token (for `Str`, the delimiters are included).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept out of the token stream but
+/// retained for suppression and `SAFETY:` scanning.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// Whether code tokens precede the comment on its own line.
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation combined into single tokens, longest
+/// first so maximal munch applies.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "->", "=>", "..", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0);
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn line_has_code(&self) -> bool {
+        self.out.tokens.last().is_some_and(|t| t.line == self.line)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn lex_line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    fn lex_block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.line_has_code();
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    /// Consume a plain (escaped) string or char body after the opening
+    /// delimiter; `delim` is `"` or `'`.
+    fn lex_escaped_body(&mut self, delim: char, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == delim {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+    }
+
+    /// Raw string after `r` (and optional `b`): `r#*"..."#*`.
+    fn lex_raw_string(&mut self, text: &mut String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return; // not actually a raw string; treated as consumed
+        }
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    text.push('#');
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let hex_or_bin = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut float = false;
+        // A `.` continues the number only when followed by a digit (so
+        // `0..n` and `1.max(2)` lex as integer + punct), or when it ends
+        // the literal (`1.`).
+        if !hex_or_bin && self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(d) if d.is_ascii_digit() => {
+                    float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some('.') => {}
+                Some(c) if c == '_' || c.is_ascii_alphabetic() => {}
+                _ => {
+                    float = true;
+                    text.push('.');
+                    self.bump();
+                }
+            }
+        }
+        if !hex_or_bin && (text.contains('e') || text.contains('E')) {
+            // Decimal exponent (suffix-only letters like `u64` contain no
+            // e/E except... `1e5` does; `0xE` is excluded above).
+            float = true;
+        }
+        if text.ends_with("f32") || text.ends_with("f64") {
+            float = true;
+        }
+        if text.ends_with("u8")
+            || text.ends_with("u16")
+            || text.ends_with("u32")
+            || text.ends_with("u64")
+            || text.ends_with("usize")
+            || text.ends_with("i8")
+            || text.ends_with("i16")
+            || text.ends_with("i32")
+            || text.ends_with("i64")
+            || text.ends_with("isize")
+        {
+            float = false;
+        }
+        self.push(TokKind::Number { float }, text, line);
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.lex_line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.lex_block_comment();
+            } else if c == '"' {
+                let mut text = String::from('"');
+                self.bump();
+                self.lex_escaped_body('"', &mut text);
+                self.push(TokKind::Str, text, line);
+            } else if (c == 'r' || c == 'b')
+                && (self.peek(1) == Some('"')
+                    || self.peek(1) == Some('#')
+                    || (c == 'b' && self.peek(1) == Some('r')))
+                && self.is_string_prefix()
+            {
+                let mut text = String::new();
+                let mut raw = false;
+                while let Some(p) = self.peek(0) {
+                    if p == 'r' || p == 'b' {
+                        raw = raw || p == 'r';
+                        text.push(p);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if raw {
+                    self.lex_raw_string(&mut text);
+                } else if self.peek(0) == Some('"') {
+                    text.push('"');
+                    self.bump();
+                    self.lex_escaped_body('"', &mut text);
+                } else if self.peek(0) == Some('\'') {
+                    text.push('\'');
+                    self.bump();
+                    self.lex_escaped_body('\'', &mut text);
+                    self.push(TokKind::Char, text, line);
+                    continue;
+                }
+                self.push(TokKind::Str, text, line);
+            } else if c == '\'' {
+                // Char literal vs lifetime: a char is `'\...'` or `'X'`
+                // (one char then a closing quote); anything else is a
+                // lifetime/label.
+                if self.peek(1) == Some('\\')
+                    || (self.peek(1).is_some() && self.peek(2) == Some('\''))
+                {
+                    let mut text = String::from('\'');
+                    self.bump();
+                    self.lex_escaped_body('\'', &mut text);
+                    self.push(TokKind::Char, text, line);
+                } else {
+                    let mut text = String::from('\'');
+                    self.bump();
+                    while let Some(i) = self.peek(0) {
+                        if i.is_alphanumeric() || i == '_' {
+                            text.push(i);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            } else if c.is_ascii_digit() {
+                self.lex_number();
+            } else if c.is_alphabetic() || c == '_' {
+                let mut text = String::new();
+                while let Some(i) = self.peek(0) {
+                    if i.is_alphanumeric() || i == '_' {
+                        text.push(i);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Ident, text, line);
+            } else {
+                let mut matched = false;
+                for op in MULTI_PUNCT {
+                    if self.starts_with(op) {
+                        for _ in 0..op.len() {
+                            self.bump();
+                        }
+                        self.push(TokKind::Punct, (*op).to_string(), line);
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+
+    /// Whether the `r`/`b` at the cursor introduces a string prefix and
+    /// is not the tail of a longer identifier (the caller has already
+    /// checked the *preceding* context cannot be an identifier because
+    /// identifiers are consumed greedily elsewhere).
+    fn is_string_prefix(&self) -> bool {
+        // `b` followed by `'` is a byte char; `b"`/`br"`/`r"`/`r#"` are
+        // strings. `r#ident` (raw identifier) is not.
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (Some('r'), Some('"'), _)
+                | (Some('r'), Some('#'), Some('"' | '#'))
+                | (Some('b'), Some('"'), _)
+                | (Some('b'), Some('\''), _)
+                | (Some('b'), Some('r'), Some('"' | '#'))
+        )
+    }
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_kept_out_of_tokens() {
+        let l = lex("let x = 1; // trailing .unwrap()\n/* block\npanic! */ let y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "panic"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r##"let s = "a.unwrap()"; let t = r#"panic!"#; "##);
+        assert!(toks
+            .iter()
+            .all(|(_, t)| !t.contains("unwrap") || t.starts_with('"')));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_detection() {
+        let toks = kinds("let a = 1.0; let b = 0..n; let c = 1e-5; let d = 2f64; let e = 7u64;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Number { float: true }))
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1e", "2f64"]);
+        // `1e-5`: mantissa+e lexes as one token, sign/digits follow — still
+        // recognized as float on the `1e` token, which is all rules need.
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Number { float: false }))
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert!(ints.contains(&"0".to_string()));
+        assert!(ints.contains(&"7u64".to_string()));
+    }
+
+    #[test]
+    fn multi_punct_units() {
+        let toks = kinds("a == b != c :: d -> e => f");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens.len(), 5);
+    }
+}

@@ -1,0 +1,5 @@
+//! Negative: configuration flows in through parameters.
+
+pub fn threads(requested: Option<usize>) -> usize {
+    requested.unwrap_or(1).max(1)
+}

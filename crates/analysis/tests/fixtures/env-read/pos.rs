@@ -1,0 +1,8 @@
+//! Positive: environment read is ambient nondeterministic input.
+
+pub fn threads() -> usize {
+    std::env::var("TCDP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

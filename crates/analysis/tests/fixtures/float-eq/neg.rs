@@ -1,0 +1,14 @@
+//! Negative: sentinel comparisons (0.0 / 1.0 guards) and tolerance
+//! comparisons are both sanctioned.
+
+pub fn is_unspent(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_saturated(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}

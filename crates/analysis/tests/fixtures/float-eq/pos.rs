@@ -1,0 +1,5 @@
+//! Positive: exact `f64` comparison against a non-sentinel literal.
+
+pub fn is_half(x: f64) -> bool {
+    x == 0.5
+}

@@ -1,0 +1,5 @@
+//! Negative: the crate root carries the attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Positive: a crate root with no `#![forbid(unsafe_code)]` attribute.
+//! (Driven with `--crate-root`, which analyzes this file as a member
+//! crate's `src/lib.rs`.)
+
+pub fn noop() {}

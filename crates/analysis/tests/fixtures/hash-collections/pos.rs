@@ -1,0 +1,11 @@
+//! Positive: `HashMap` iteration order is nondeterministic.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,5 @@
+//! Negative (pedantic tier): checked access through `.get(..)`.
+
+pub fn head(v: &[f64]) -> Option<f64> {
+    v.get(0).copied()
+}

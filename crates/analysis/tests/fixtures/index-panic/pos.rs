@@ -1,0 +1,5 @@
+//! Positive (pedantic tier): direct slice indexing can panic.
+
+pub fn head(v: &[f64]) -> f64 {
+    v[0]
+}

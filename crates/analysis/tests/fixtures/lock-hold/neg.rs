@@ -1,0 +1,25 @@
+//! Negative: the first guard is dropped (explicitly or by scope) before
+//! the second acquisition.
+
+use std::sync::RwLock;
+
+pub struct Cell {
+    inner: RwLock<Vec<f64>>,
+}
+
+impl Cell {
+    pub fn explicit_drop(&self) -> usize {
+        let g = self.inner.read();
+        drop(g);
+        let h = self.inner.write();
+        0
+    }
+
+    pub fn scoped(&self) -> usize {
+        {
+            let g = self.inner.read();
+        }
+        let h = self.inner.write();
+        0
+    }
+}

@@ -1,0 +1,16 @@
+//! Positive: second acquisition on a receiver whose guard is still
+//! lexically live — deadlocks under a writer-priority lock.
+
+use std::sync::RwLock;
+
+pub struct Cell {
+    inner: RwLock<Vec<f64>>,
+}
+
+impl Cell {
+    pub fn sum_and_len(&self) -> (f64, usize) {
+        let g = self.inner.read();
+        let h = self.inner.read();
+        (0.0, 0)
+    }
+}

@@ -1,0 +1,15 @@
+//! Negative: typed errors in library code; `unwrap` confined to tests.
+
+pub fn first(v: &[f64]) -> Result<f64, &'static str> {
+    v.first().copied().ok_or("empty input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[2.0]).unwrap(), 2.0);
+    }
+}

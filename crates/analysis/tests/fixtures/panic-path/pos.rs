@@ -1,0 +1,13 @@
+//! Positive: `.unwrap()` / `.expect(` / panicking macros in library code.
+
+pub fn first(v: &[f64]) -> f64 {
+    v.first().copied().unwrap()
+}
+
+pub fn scale(v: &[f64]) -> f64 {
+    v.last().copied().expect("non-empty")
+}
+
+pub fn nope() -> usize {
+    unreachable!("never built")
+}

@@ -1,0 +1,8 @@
+//! Negative: a well-formed suppression — named rule, written reason —
+//! silences the finding on the next code line.
+
+pub fn first(v: &[f64]) -> f64 {
+    // tcdp-lint: allow(panic-path) — fixture demonstrating a reasoned
+    // suppression; callers are required to pass non-empty slices.
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Positive: malformed suppressions are themselves findings (and cannot
+//! be suppressed).
+
+pub fn reasonless(v: &[f64]) -> f64 {
+    // tcdp-lint: allow(panic-path)
+    v.first().copied().unwrap()
+}
+
+pub fn unknown_rule(v: &[f64]) -> f64 {
+    // tcdp-lint: allow(made-up-rule) — the rule name is not real
+    v.last().copied().unwrap_or(0.0)
+}

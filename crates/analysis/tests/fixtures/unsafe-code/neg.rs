@@ -1,0 +1,5 @@
+//! Negative: safe code only.
+
+pub fn first_byte(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}

@@ -1,0 +1,5 @@
+//! Positive: `unsafe` outside `crates/compat/`.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

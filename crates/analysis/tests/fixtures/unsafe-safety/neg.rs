@@ -1,0 +1,9 @@
+//! Negative (compat role): the `unsafe` block documents its proof
+//! obligation.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so
+    // `as_ptr()` points at a valid initialized byte.
+    unsafe { *v.as_ptr() }
+}

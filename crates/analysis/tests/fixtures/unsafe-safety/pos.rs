@@ -1,0 +1,5 @@
+//! Positive (compat role): an undocumented `unsafe` block.
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,5 @@
+//! Negative: timestamps arrive as explicit inputs.
+
+pub fn elapsed_secs(start_nanos: u64, end_nanos: u64) -> f64 {
+    end_nanos.saturating_sub(start_nanos) as f64 * 1e-9
+}

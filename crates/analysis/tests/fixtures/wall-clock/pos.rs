@@ -1,0 +1,6 @@
+//! Positive: wall-clock read inside library numerics.
+
+pub fn seed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

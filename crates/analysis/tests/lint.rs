@@ -1,0 +1,182 @@
+//! Fixture corpus + self-check for the workspace invariant analyzer.
+//!
+//! Every rule has one positive fixture (must produce that rule) and one
+//! negative fixture (must be entirely clean) under `tests/fixtures/`;
+//! the corpus is driven both through the library API and through the
+//! `tcdp-lint` binary. The final test points the binary at the real
+//! workspace and requires a clean, non-vacuous run — the same gate CI
+//! enforces.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use tcdp_analysis::{analyze_source, Config, Role};
+
+fn fixture(rule: &str, which: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rule)
+        .join(format!("{which}.rs"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    (path, src)
+}
+
+/// (rule, analysis role, rel path override, pedantic).
+const CASES: &[(&str, Role, Option<&str>, bool)] = &[
+    ("panic-path", Role::Library, None, false),
+    ("index-panic", Role::Library, None, true),
+    ("hash-collections", Role::Library, None, false),
+    ("wall-clock", Role::Library, None, false),
+    ("env-read", Role::Library, None, false),
+    ("float-eq", Role::Library, None, false),
+    ("lock-hold", Role::Library, None, false),
+    (
+        "forbid-unsafe",
+        Role::Library,
+        Some("crates/fixture/src/lib.rs"),
+        false,
+    ),
+    ("unsafe-code", Role::Library, None, false),
+    ("unsafe-safety", Role::Compat, None, false),
+    ("suppression", Role::Library, None, false),
+];
+
+#[test]
+fn every_positive_fixture_trips_its_rule() {
+    for &(rule, role, rel, pedantic) in CASES {
+        let (path, src) = fixture(rule, "pos");
+        let rel = rel
+            .map(str::to_string)
+            .unwrap_or_else(|| path.to_string_lossy().replace('\\', "/"));
+        let cfg = Config { pedantic };
+        let (findings, _suppressed) = analyze_source(&rel, &src, role, &cfg);
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{rule}/pos.rs produced no `{rule}` finding; got: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_negative_fixture_is_clean() {
+    for &(rule, role, rel, pedantic) in CASES {
+        let (path, src) = fixture(rule, "neg");
+        let rel = rel
+            .map(str::to_string)
+            .unwrap_or_else(|| path.to_string_lossy().replace('\\', "/"));
+        let cfg = Config { pedantic };
+        let (findings, suppressed) = analyze_source(&rel, &src, role, &cfg);
+        assert!(
+            findings.is_empty(),
+            "{rule}/neg.rs must be clean; got: {findings:?}"
+        );
+        if rule == "suppression" {
+            assert_eq!(
+                suppressed, 1,
+                "suppression/neg.rs silences exactly one finding"
+            );
+        }
+    }
+}
+
+#[test]
+fn reasoned_suppression_is_counted_not_reported() {
+    let (path, src) = fixture("suppression", "neg");
+    let rel = path.to_string_lossy().replace('\\', "/");
+    let (findings, suppressed) = analyze_source(&rel, &src, Role::Library, &Config::default());
+    assert!(findings.is_empty());
+    assert_eq!(suppressed, 1);
+}
+
+fn lint_binary() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tcdp-lint"))
+}
+
+#[test]
+fn binary_fails_on_each_positive_fixture() {
+    for &(rule, role, _rel, pedantic) in CASES {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(rule)
+            .join("pos.rs");
+        let mut cmd = lint_binary();
+        cmd.arg("--file").arg(&path);
+        if pedantic {
+            cmd.arg("--pedantic");
+        }
+        if rule == "forbid-unsafe" {
+            cmd.arg("--crate-root");
+        }
+        match role {
+            Role::Compat => {
+                cmd.arg("--role").arg("compat");
+            }
+            _ => {
+                cmd.arg("--role").arg("library");
+            }
+        }
+        let out = cmd.output().expect("spawn tcdp-lint");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rule}/pos.rs must exit 1; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn binary_vacuous_run_is_an_error() {
+    let empty = Path::new(env!("CARGO_TARGET_TMPDIR")).join("tcdp-lint-empty-scan");
+    std::fs::create_dir_all(&empty).expect("create empty scan dir");
+    let out = lint_binary()
+        .arg("--root")
+        .arg(&empty)
+        .output()
+        .expect("spawn tcdp-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "vacuous run must exit 2; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn workspace_self_check_is_clean_and_not_vacuous() {
+    // CARGO_MANIFEST_DIR = <root>/crates/analysis.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = lint_binary()
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("spawn tcdp-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the real workspace must lint clean; findings:\n{stdout}"
+    );
+    // Guard against a silently mislocated root: the workspace has well
+    // over 50 Rust files.
+    let scanned: usize = stdout
+        .lines()
+        .rev()
+        .find_map(|l| {
+            let rest = l.strip_prefix("tcdp-lint: ")?;
+            let at = rest.find(", ")?;
+            let tail = &rest[at + 2..];
+            let tail = tail[tail.find(", ")? + 2..].to_string();
+            tail.strip_suffix(&format!(" files scanned under {}", root.display()))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0);
+    assert!(
+        scanned >= 50,
+        "expected >= 50 files scanned, got {scanned}; output:\n{stdout}"
+    );
+}

@@ -17,6 +17,8 @@
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -53,7 +55,7 @@ pub fn median_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times.sort_by(|a, b| a.total_cmp(b));
     times[times.len() / 2]
 }
 

@@ -5,7 +5,8 @@
 //! possible after a panic mid-critical-section — is recovered into its
 //! inner state, mirroring parking_lot's lack of poisoning).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]

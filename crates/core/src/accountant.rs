@@ -49,8 +49,9 @@
 use crate::adversary::AdversaryT;
 use crate::loss::TemporalLossFunction;
 use crate::{check_epsilon, Result, TplError};
+use parking_lot::Mutex;
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use tcdp_markov::TransitionMatrix;
 use tcdp_mech::budget::BudgetTimeline;
 
@@ -294,7 +295,7 @@ impl TplAccountant {
     /// the timeline's revision moved since the last query — the single
     /// `O(T)` recomputation every query shares.
     fn with_cache<R>(&self, f: impl FnOnce(&SeriesCache) -> R) -> Result<R> {
-        let mut cache = self.cache.lock().expect("series cache lock");
+        let mut cache = self.cache.lock();
         if cache.revision != self.timeline.revision() {
             self.rebuild(&mut cache)?;
         }
@@ -451,7 +452,7 @@ impl TplAccountant {
     /// is valid for the current timeline revision ([`crate::checkpoint`]
     /// snapshots it so a resumed audit does not pay the `O(T)` rebuild).
     pub(crate) fn series_snapshot(&self) -> Option<(Vec<f64>, Vec<f64>)> {
-        let cache = self.cache.lock().expect("series cache lock");
+        let cache = self.cache.lock();
         (cache.revision == self.timeline.revision() && !self.timeline.is_empty())
             .then(|| (cache.fpl.clone(), cache.tpl.clone()))
     }
@@ -462,7 +463,7 @@ impl TplAccountant {
     /// maximum with the exact fold `rebuild` uses, so the restored cache
     /// is bit-identical to one the accountant would have computed itself.
     pub(crate) fn restore_series(&self, fpl: Vec<f64>, tpl: Vec<f64>) {
-        let mut cache = self.cache.lock().expect("series cache lock");
+        let mut cache = self.cache.lock();
         Self::install_series(&mut cache, self.timeline.revision(), fpl, tpl);
     }
 
@@ -515,7 +516,7 @@ impl TplAccountant {
             forward: self.forward.clone(),
             timeline,
             bpl: self.bpl.clone(),
-            cache: Mutex::new(self.cache.lock().expect("series cache lock").clone()),
+            cache: Mutex::new(self.cache.lock().clone()),
         }
     }
 }

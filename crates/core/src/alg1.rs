@@ -880,7 +880,13 @@ fn sweep_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                // A worker panic is a bug in the sweep kernel itself;
+                // re-raise it with its original payload instead of
+                // wrapping it in a fresh panic at the join point.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect::<Vec<_>>()
     });
     let mut best = init;
@@ -1150,8 +1156,7 @@ impl<'a> EvalSession<'a> {
             self.kernel,
         )?;
         self.evals += 1;
-        self.warm = Some(w);
-        Ok(self.warm.as_ref().expect("witness just stored"))
+        Ok(self.warm.insert(w))
     }
 
     /// Evaluate `L(α)`.
@@ -1168,6 +1173,12 @@ impl<'a> EvalSession<'a> {
     /// be stored for a future session.
     pub fn into_warm(self) -> Option<LossWitness> {
         self.warm
+    }
+
+    /// Take the warm witness out of a session that cannot be moved from
+    /// (e.g. inside a `Drop` impl); the session stays usable but cold.
+    pub fn take_warm(&mut self) -> Option<LossWitness> {
+        self.warm.take()
     }
 }
 

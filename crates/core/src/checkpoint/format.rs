@@ -130,6 +130,8 @@ impl Builder {
     }
 
     fn json(&mut self, tag: u32, shard: u32, v: &Value) {
+        // tcdp-lint: allow(panic-path) — serializing an in-memory `Value`
+        // tree is total (no I/O, no foreign types); the error arm is dead.
         let text = serde_json::to_string(v).expect("value serialization is total");
         self.bytes(tag, shard, text.into_bytes());
     }
@@ -183,6 +185,9 @@ impl Builder {
 }
 
 fn shard_u32(g: usize) -> u32 {
+    // tcdp-lint: allow(panic-path) — shard/class counts are bounded by
+    // the number of user groups; 2^32 shards cannot be materialized, and
+    // a silent truncation here would corrupt the section table.
     u32::try_from(g).expect("shard/class count fits the section table")
 }
 
@@ -293,7 +298,10 @@ fn parse_container(bytes: &[u8]) -> Result<Container<'_>> {
     if &bytes[0..8] != MAGIC {
         return Err(corrupt("bad magic — not a tcdp binary checkpoint"));
     }
+    // tcdp-lint: allow(panic-path) — `try_into` on a slice of literal
+    // length 4 is infallible; the bound is part of the slice expression.
     let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    // tcdp-lint: allow(panic-path) — same: literal length 8 slice.
     let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
     let version = u32_at(8);
     if version != CHECKPOINT_VERSION {
@@ -389,6 +397,8 @@ fn decode_f64s(bytes: &[u8], what: &str) -> Result<Vec<f64>> {
     }
     Ok(bytes
         .chunks_exact(8)
+        // tcdp-lint: allow(panic-path) — `chunks_exact(8)` yields slices
+        // of exactly 8 bytes, so this `try_into` is infallible.
         .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
         .collect())
 }
@@ -403,6 +413,9 @@ fn decode_usizes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
     bytes
         .chunks_exact(8)
         .map(|c| {
+            // tcdp-lint: allow(panic-path) — `chunks_exact(8)` yields
+            // slices of exactly 8 bytes; this inner `try_into` is
+            // infallible (the usize conversion above it is checked).
             usize::try_from(u64::from_le_bytes(c.try_into().expect("8 bytes")))
                 .map_err(|_| corrupt(format!("{what} section: index does not fit this platform")))
         })

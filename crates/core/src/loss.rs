@@ -36,9 +36,10 @@
 
 use crate::alg1::{temporal_loss_witness_indexed, EvalSession, LossWitness, PairIndex};
 use crate::{check_alpha, Result};
+use parking_lot::Mutex;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use tcdp_markov::TransitionMatrix;
 
 /// A temporal privacy loss function built from one transition matrix.
@@ -101,10 +102,10 @@ impl TemporalLossFunction {
     pub fn witness(&self, alpha: f64) -> Result<LossWitness> {
         check_alpha(alpha)?;
         let index = self.index.get_or_init(|| PairIndex::new(&self.matrix));
-        let warm = self.warm.lock().expect("warm cache lock").clone();
+        let warm = self.warm.lock().clone();
         let witness = temporal_loss_witness_indexed(&self.matrix, index, alpha, warm.as_ref())?;
         self.evals.fetch_add(1, Ordering::Relaxed);
-        *self.warm.lock().expect("warm cache lock") = Some(witness.clone());
+        *self.warm.lock() = Some(witness.clone());
         Ok(witness)
     }
 
@@ -118,10 +119,10 @@ impl TemporalLossFunction {
     pub fn evaluator(&self) -> LossEvaluator<'_> {
         let index = self.index.get_or_init(|| PairIndex::new(&self.matrix));
         let mut session = EvalSession::new(&self.matrix, index);
-        session.seed(self.warm.lock().expect("warm cache lock").clone());
+        session.seed(self.warm.lock().clone());
         LossEvaluator {
             loss: self,
-            session: Some(session),
+            session,
         }
     }
 
@@ -154,7 +155,7 @@ impl TemporalLossFunction {
     /// The witness cached from the most recent evaluation, if any —
     /// exposed for diagnostics and tests of the warm-start machinery.
     pub fn cached_witness(&self) -> Option<LossWitness> {
-        self.warm.lock().expect("warm cache lock").clone()
+        self.warm.lock().clone()
     }
 
     /// Seed the warm-witness cache, e.g. from a resumed checkpoint. The
@@ -162,7 +163,7 @@ impl TemporalLossFunction {
     /// the matrix first; a behaviorally stale witness is harmless — it is
     /// revalidated against Theorem 4 before every use.
     pub(crate) fn restore_warm(&self, witness: Option<LossWitness>) {
-        *self.warm.lock().expect("warm cache lock") = witness;
+        *self.warm.lock() = witness;
     }
 
     /// Whether this correlation amplifies *nothing*: `L ≡ 0`, which holds
@@ -218,24 +219,18 @@ pub struct LossEvaluator<'a> {
     loss: &'a TemporalLossFunction,
     /// `Some` until dropped (taken in `drop` to hand the warm witness
     /// back to the shared cache).
-    session: Option<EvalSession<'a>>,
+    session: EvalSession<'a>,
 }
 
 impl LossEvaluator<'_> {
     /// Evaluate `L(α)`.
     pub fn eval(&mut self, alpha: f64) -> Result<f64> {
-        self.session
-            .as_mut()
-            .expect("session lives until drop")
-            .eval(alpha)
+        self.session.eval(alpha)
     }
 
     /// Evaluate `L(α)` and borrow the maximizing witness.
     pub fn witness(&mut self, alpha: f64) -> Result<&LossWitness> {
-        self.session
-            .as_mut()
-            .expect("session lives until drop")
-            .witness(alpha)
+        self.session.witness(alpha)
     }
 
     /// One step of the leakage recurrence: `L(prev) + ε`.
@@ -254,13 +249,11 @@ impl Drop for LossEvaluator<'_> {
     /// Hand the final warm witness back to the shared cache and fold the
     /// session's evaluation count into the loss function's counter.
     fn drop(&mut self) {
-        if let Some(session) = self.session.take() {
-            self.loss
-                .evals
-                .fetch_add(session.evals(), Ordering::Relaxed);
-            if let Some(w) = session.into_warm() {
-                *self.loss.warm.lock().expect("warm cache lock") = Some(w);
-            }
+        self.loss
+            .evals
+            .fetch_add(self.session.evals(), Ordering::Relaxed);
+        if let Some(w) = self.session.take_warm() {
+            *self.loss.warm.lock() = Some(w);
         }
     }
 }

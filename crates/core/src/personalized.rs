@@ -263,7 +263,10 @@ impl PopulationAccountant {
                         rep.push(v).map_err(|e| e.to_string())?;
                     }
                 } else {
-                    let fork = pre_fork.as_ref().expect("pre-fork snapshot exists").clone();
+                    let Some(snapshot) = pre_fork.as_ref() else {
+                        return Err("pre-fork snapshot missing for split timeline".to_string());
+                    };
+                    let fork = snapshot.clone();
                     for &v in &tails[ids[0]].0 {
                         fork.push(v).map_err(|e| e.to_string())?;
                     }
@@ -320,7 +323,12 @@ impl PopulationAccountant {
                         .collect();
                     handles
                         .into_iter()
-                        .flat_map(|h| h.join().expect("population shard worker panicked"))
+                        .flat_map(|h| match h.join() {
+                            Ok(part) => part,
+                            // Re-raise a shard worker's panic with its
+                            // original payload at the join point.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
                         .collect::<Vec<_>>()
                 });
                 return collected.into_iter().collect();
@@ -354,7 +362,12 @@ impl PopulationAccountant {
                         .collect();
                     handles
                         .into_iter()
-                        .flat_map(|h| h.join().expect("population shard worker panicked"))
+                        .flat_map(|h| match h.join() {
+                            Ok(part) => part,
+                            // Re-raise a shard worker's panic with its
+                            // original payload at the join point.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
                         .collect::<Vec<_>>()
                 });
                 return collected.into_iter().collect();
@@ -528,7 +541,12 @@ impl PopulationAccountant {
                     base.push(eps)?;
                     arcs.push(Arc::clone(base));
                 } else {
-                    let fork = pre_push.as_ref().expect("pre-push snapshot exists").clone();
+                    let Some(snapshot) = pre_push.as_ref() else {
+                        return Err(TplError::BudgetAssignment(
+                            "pre-push snapshot missing for split class".to_string(),
+                        ));
+                    };
+                    let fork = snapshot.clone();
                     fork.push(eps)?;
                     arcs.push(Arc::new(fork));
                 }
@@ -546,31 +564,42 @@ impl PopulationAccountant {
         );
         for ((g, old), buckets) in old_groups.into_iter().enumerate().zip(group_buckets) {
             let c = class_of[g];
-            let arc_for = |eps: f64| -> Arc<BudgetTimeline> {
+            let arc_for = |eps: f64| -> Result<Arc<BudgetTimeline>> {
                 let k = class_eps[c]
                     .iter()
                     .position(|e| e.to_bits() == eps.to_bits())
-                    .expect("bucket budget was registered for its class");
-                Arc::clone(&class_arcs[c][k])
+                    .ok_or_else(|| {
+                        TplError::BudgetAssignment(
+                            "bucket budget was never registered for its class".to_string(),
+                        )
+                    })?;
+                Ok(Arc::clone(&class_arcs[c][k]))
             };
             // Clones first (they need `&old.acc`), then the in-place
             // re-use of the original accountant for the first bucket.
             let split_accs: Vec<TplAccountant> = buckets[1..]
                 .iter()
-                .map(|(eps, _)| old.acc.clone_with_timeline(arc_for(*eps)))
-                .collect();
+                .map(|(eps, _)| Ok(old.acc.clone_with_timeline(arc_for(*eps)?)))
+                .collect::<Result<_>>()?;
             let mut first_acc = old.acc;
-            let first_arc = arc_for(buckets[0].0);
+            let first_arc = arc_for(buckets[0].0)?;
             if !Arc::ptr_eq(first_acc.timeline(), &first_arc) {
                 first_acc.set_timeline(first_arc);
             }
             let mut first_acc = Some(first_acc);
             let mut split_accs = split_accs.into_iter();
             for (k, (_, members)) in buckets.into_iter().enumerate() {
-                let acc = if k == 0 {
-                    first_acc.take().expect("first bucket taken once")
+                let acc = match if k == 0 {
+                    first_acc.take()
                 } else {
-                    split_accs.next().expect("one clone per extra bucket")
+                    split_accs.next()
+                } {
+                    Some(acc) => acc,
+                    None => {
+                        return Err(TplError::BudgetAssignment(
+                            "bucket/accountant bookkeeping out of sync".to_string(),
+                        ))
+                    }
                 };
                 new_groups.push(UserGroup {
                     adversary: old.adversary.clone(),

@@ -60,11 +60,14 @@ pub struct ReleasePlan {
 impl ReleasePlan {
     /// Budget at time index `t` (0-based; uniform plans repeat forever).
     pub fn budget_at(&self, t: usize) -> f64 {
-        *self.budgets.get(t).unwrap_or_else(|| {
-            self.budgets
-                .last()
-                .expect("plans always carry at least one budget")
-        })
+        // Planners always emit at least one budget, but `budgets` is a
+        // pub field; an emptied plan yields 0.0, which every downstream
+        // budget validator rejects as an invalid epsilon.
+        self.budgets
+            .get(t)
+            .or_else(|| self.budgets.last())
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// The horizon the plan was built for (`None` = open-ended).
@@ -206,7 +209,12 @@ fn balance(
                     hi = mid;
                 }
             }
-            best.expect("search runs at least one iteration")
+            // The 200-iteration loop always assigns `best` before it can
+            // break; an empty result would mean the search never ran.
+            match best {
+                Some(b) => b,
+                None => return Err(TplError::UnboundableCorrelation),
+            }
         }
     };
     if result.eps <= 1e-9 {

@@ -44,6 +44,9 @@ impl RoadNetwork {
             }
         }
         Self {
+            // tcdp-lint: allow(panic-path) — rows are built right above
+            // as exact one-hot / uniform stochastic vectors, so validation
+            // cannot fail; a `Result` here would poison the fixture API.
             forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic"),
         }
     }
@@ -63,6 +66,9 @@ impl RoadNetwork {
             }
         }
         Self {
+            // tcdp-lint: allow(panic-path) — rows are built right above
+            // as exact one-hot / uniform stochastic vectors, so validation
+            // cannot fail; a `Result` here would poison the fixture API.
             forward: TransitionMatrix::from_rows(rows).expect("rows are stochastic"),
         }
     }

@@ -113,10 +113,10 @@ impl TraceSet {
                         })
                 })
                 .collect::<Result<Vec<usize>>>()?;
-            if states.is_empty() {
-                continue;
-            }
-            max_state = max_state.max(*states.iter().max().expect("non-empty"));
+            let Some(&mx) = states.iter().max() else {
+                continue; // blank line
+            };
+            max_state = max_state.max(mx);
             trajectories.push(states);
         }
         let domain = domain_hint.unwrap_or(max_state + 1).max(max_state + 1);

@@ -70,6 +70,11 @@ pub enum LpError {
     /// Dinkelbach's iteration failed to converge within the allowed
     /// number of outer iterations.
     DinkelbachDiverged,
+    /// An internal solver invariant was violated — e.g. a polytope the
+    /// paper guarantees non-empty reported infeasible, or a tableau row
+    /// lost its slack column. Indicates a solver bug, surfaced as a
+    /// typed error instead of a panic.
+    InvariantViolated(&'static str),
 }
 
 impl std::fmt::Display for LpError {
@@ -91,6 +96,9 @@ impl std::fmt::Display for LpError {
             }
             LpError::EmptyProblem => write!(f, "problem has no variables or no constraints"),
             LpError::DinkelbachDiverged => write!(f, "Dinkelbach iteration did not converge"),
+            LpError::InvariantViolated(what) => {
+                write!(f, "internal solver invariant violated: {what}")
+            }
         }
     }
 }

@@ -96,7 +96,9 @@ impl PaperProgram {
     pub fn max_ratio_charnes_cooper(&self, q: &[f64], d: &[f64]) -> Result<LfpSolution> {
         match self.fractional(q, d)?.solve_charnes_cooper()? {
             LfpOutcome::Optimal(s) => Ok(s),
-            LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
+            LfpOutcome::Infeasible => Err(LpError::InvariantViolated(
+                "paper polytope reported infeasible",
+            )),
         }
     }
 
@@ -104,7 +106,9 @@ impl PaperProgram {
     pub fn max_ratio_dinkelbach(&self, q: &[f64], d: &[f64]) -> Result<LfpSolution> {
         match self.fractional(q, d)?.solve_dinkelbach()? {
             LfpOutcome::Optimal(s) => Ok(s),
-            LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
+            LfpOutcome::Infeasible => Err(LpError::InvariantViolated(
+                "paper polytope reported infeasible",
+            )),
         }
     }
 
@@ -118,7 +122,9 @@ impl PaperProgram {
             .solve_charnes_cooper_with(LpEngine::Revised)?
         {
             LfpOutcome::Optimal(s) => Ok(s),
-            LfpOutcome::Infeasible => unreachable!("paper polytope is never empty"),
+            LfpOutcome::Infeasible => Err(LpError::InvariantViolated(
+                "paper polytope reported infeasible",
+            )),
         }
     }
 }

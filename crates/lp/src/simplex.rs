@@ -283,7 +283,8 @@ impl Tableau {
                 basis[i] = art;
                 art += 1;
             } else {
-                basis[i] = slack_col_of_row[i].expect("<= rows always have a slack");
+                basis[i] = slack_col_of_row[i]
+                    .ok_or(LpError::InvariantViolated("<= row lost its slack column"))?;
             }
         }
 

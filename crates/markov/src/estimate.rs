@@ -305,8 +305,8 @@ impl HiddenMarkovModel {
                 } else {
                     let (best_i, best_v) = (0..n)
                         .map(|i| (i, delta[t - 1][i] + ln(self.transition.get(i, j))))
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("log probs compare"))
-                        .expect("n >= 1");
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .ok_or(MarkovError::InsufficientData("model has zero states"))?;
                     delta[t][j] = best_v + emit;
                     back[t][j] = best_i;
                 }
@@ -315,9 +315,9 @@ impl HiddenMarkovModel {
         let (mut state, best) = delta[t_len - 1]
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("log probs compare"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, &v)| (j, v))
-            .expect("n >= 1");
+            .ok_or(MarkovError::InsufficientData("model has zero states"))?;
         if best == f64::NEG_INFINITY {
             return Err(MarkovError::InsufficientData(
                 "observation sequence has zero likelihood under the model",

@@ -11,8 +11,8 @@
 //! Theorem 3): a combined mechanism spends the *sum* of its parts.
 
 use crate::{MechError, Result};
+use parking_lot::RwLock;
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::sync::RwLock;
 
 /// A validated privacy budget: a finite, strictly positive real.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
@@ -132,6 +132,10 @@ impl BudgetSchedule {
         *self.budgets.get(t).unwrap_or_else(|| {
             self.budgets
                 .last()
+                // tcdp-lint: allow(panic-path) — `budgets` is private and
+                // every constructor rejects empty schedules, so `last()`
+                // cannot fail; an `Epsilon` cannot be fabricated here
+                // because no in-range default exists.
                 .expect("schedules are non-empty by construction")
         })
     }
@@ -260,12 +264,12 @@ impl BudgetTimeline {
         timeline
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, TimelineInner> {
-        self.inner.read().expect("budget timeline lock poisoned")
+    fn read(&self) -> parking_lot::RwLockReadGuard<'_, TimelineInner> {
+        self.inner.read()
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, TimelineInner> {
-        self.inner.write().expect("budget timeline lock poisoned")
+    fn write(&self) -> parking_lot::RwLockWriteGuard<'_, TimelineInner> {
+        self.inner.write()
     }
 
     /// Append one release's budget; returns the new length. Rejects
@@ -338,10 +342,9 @@ impl BudgetTimeline {
     /// guarantee of the whole trail (Theorem 3 / the paper's Corollary 1).
     pub fn total(&self) -> f64 {
         let inner = self.read();
-        *inner
-            .prefix
-            .last()
-            .expect("prefix always has a zeroth entry")
+        // `prefix` is seeded with a zeroth entry of 0.0 at construction,
+        // so the fallback is both unreachable and the correct empty total.
+        inner.prefix.last().copied().unwrap_or(0.0)
     }
 
     /// Whether two timelines hold bit-identical trails — the equivalence

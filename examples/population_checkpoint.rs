@@ -93,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // only the releases observed since — O(appended) bytes, not O(T).
     use tcdp::core::checkpoint::{delta_log_path, resume_file, write_atomic, SavedState};
     let bin_path = std::env::temp_dir().join("tcdp_population_checkpoint.bin");
+    // A fresh snapshot invalidates any delta log a previous run left
+    // behind; stale records would refuse to chain onto the new state.
+    let _ = std::fs::remove_file(delta_log_path(&bin_path));
     write_atomic(&bin_path, &resumed.checkpoint_binary())?;
     let snapshot_bytes = std::fs::metadata(&bin_path)?.len();
     let mut cursor = resumed.delta_cursor();

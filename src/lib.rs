@@ -39,6 +39,8 @@
 //! assert!((last - 0.50).abs() < 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use tcdp_core as core;
 pub use tcdp_data as data;
 pub use tcdp_lp as lp;
