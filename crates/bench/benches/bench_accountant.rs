@@ -13,11 +13,19 @@
 //!   already takes seconds there, and at T = 10 000 it would take the
 //!   smoke run into the minutes, which is rather the point.
 //!
-//! The headline number printed at the end is the direct wall-clock ratio
-//! of the two audit paths at T = 400; the issue's acceptance bar is
-//! ≥ 20×, and the cached path lands orders of magnitude above it (the
-//! measured ratio at T = 1000 is >1000×) because its loss-eval count
-//! does not grow with the window count at all.
+//! * `acct/fold/*` — steady-state per-release cost at T = 4000: one
+//!   `observe_release` plus the `max_tpl` audit it invalidates, for an
+//!   unfolded accountant (O(T) series rebuild per release) versus one
+//!   folded under a 64-release horizon (O(w) rebuild, independent of T).
+//!   `check_bench` gates `folded` against its `unfolded` sibling from
+//!   the `--json` dump — the fold must never cost more than the history
+//!   it summarizes away.
+//!
+//! The headline numbers printed at the end are direct wall-clock ratios:
+//! the two audit paths at T = 400 (the issue's acceptance bar is ≥ 20×,
+//! and the cached path lands orders of magnitude above it because its
+//! loss-eval count does not grow with the window count at all) and the
+//! folded-vs-unfolded per-release cost at T = 4000.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -130,5 +138,65 @@ fn bench_wevent_audit(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_streaming, bench_wevent_audit);
+/// Per-release steady-state cost, folded vs unfolded, at the same T.
+/// Each iteration is the service hot path once the stream is long: one
+/// release observed, one `max_tpl` audit of the invalidated cache. The
+/// stream keeps growing during measurement (that is the scenario), which
+/// only makes the unfolded side's O(T) rebuild marginally slower.
+fn bench_fold(c: &mut Criterion) {
+    const HORIZON: usize = 64;
+    const T_LEN: usize = 4_000;
+    let adv = adversary();
+    let mut group = c.benchmark_group("acct/fold");
+    let mut unfolded = observed(&adv, T_LEN);
+    group.bench_with_input(BenchmarkId::new("unfolded", T_LEN), &T_LEN, |b, _| {
+        b.iter(|| {
+            unfolded.observe_release(EPS).expect("observe");
+            black_box(unfolded.max_tpl().expect("audit"))
+        });
+    });
+    let mut folded = TplAccountant::new(&adv);
+    folded.set_horizon(Some(HORIZON)).expect("horizon");
+    folded.observe_uniform(EPS, T_LEN).expect("observe");
+    group.bench_with_input(BenchmarkId::new("folded", T_LEN), &T_LEN, |b, _| {
+        b.iter(|| {
+            folded.observe_release(EPS).expect("observe");
+            black_box(folded.max_tpl().expect("audit"))
+        });
+    });
+    group.finish();
+
+    // Headline: per-release wall-clock ratio on fresh twins fed the same
+    // stream, after checking the folded audit still dominates (a fold
+    // that answered less than the unfolded truth would be a bug, not a
+    // speedup).
+    let mut unfolded = observed(&adv, T_LEN);
+    let mut folded = TplAccountant::new(&adv);
+    folded.set_horizon(Some(HORIZON)).expect("horizon");
+    folded.observe_uniform(EPS, T_LEN).expect("observe");
+    assert!(
+        folded.max_tpl().expect("audit") >= unfolded.max_tpl().expect("audit"),
+        "folded audit understates the unfolded truth"
+    );
+    const REPS: u32 = 10;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        unfolded.observe_release(EPS).expect("observe");
+        black_box(unfolded.max_tpl().expect("audit"));
+    }
+    let old = start.elapsed() / REPS;
+    let start = Instant::now();
+    for _ in 0..REPS {
+        folded.observe_release(EPS).expect("observe");
+        black_box(folded.max_tpl().expect("audit"));
+    }
+    let new = start.elapsed() / REPS;
+    let ratio = old.as_secs_f64() / new.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "acct/fold per-release cost @ T={T_LEN}, horizon={HORIZON}: {ratio:.0}x \
+         (unfolded {old:.2?} vs folded {new:.2?} per release+audit)"
+    );
+}
+
+criterion_group!(benches, bench_streaming, bench_wevent_audit, bench_fold);
 criterion_main!(benches);

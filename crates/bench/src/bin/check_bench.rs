@@ -1,17 +1,22 @@
-//! CI regression gate over a `--json` dump from `bench_alg1`.
+//! CI regression gate over a `--json` dump from the workspace benches.
 //!
-//! Usage: `check_bench <BENCH_alg1.json>`
+//! Usage: `check_bench <BENCH_*.json>`
 //!
 //! Reads the schema-version-1 document the criterion stand-in emits and
-//! compares every `alg1/kernel/{shape}-chunked/{n}` and
-//! `alg1/build/{shape}-chunked/{n}` entry at `n ≥ 1000` against its
-//! `{shape}-scalar` sibling at the same `n`. The job fails (non-zero
-//! exit) if the chunked kernel's mean time exceeds the scalar baseline
-//! by more than [`TOLERANCE`] — i.e. the lane-width/SoA path regressed
-//! below the branchy reference it is supposed to beat. Pairs with no
-//! scalar sibling (the `O(n³)` scalar build is skipped at n = 4000) are
-//! ignored; a dump holding *no* comparable pair is itself an error, so
-//! renaming benches cannot silently disable the gate.
+//! gates two kinds of baseline pairs at parameters `≥ 1000`:
+//!
+//! * `alg1/kernel/{shape}-chunked/{n}` and `alg1/build/{shape}-chunked/{n}`
+//!   against the `{shape}-scalar` sibling at the same `n` — the
+//!   lane-width/SoA path must not regress below the branchy reference.
+//! * `acct/fold/folded/{T}` against `acct/fold/unfolded/{T}` — the O(w)
+//!   folded accountant's per-release audit must not cost more than the
+//!   O(T) unfolded history it summarizes away.
+//!
+//! The job fails (non-zero exit) if a pair's mean-time ratio exceeds
+//! [`TOLERANCE`]. Entries with no sibling in the dump (the `O(n³)`
+//! scalar build is skipped at n = 4000) are ignored; a dump holding *no*
+//! comparable pair of either kind is itself an error, so renaming
+//! benches cannot silently disable the gate.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -46,29 +51,39 @@ fn run(path: &str) -> Result<(), String> {
             continue;
         };
         let param = *param as i64;
-        let Some(prefix) = group.strip_suffix("-chunked") else {
+        // Candidate vs baseline naming, per bench family.
+        let (prefix, sibling) = if let Some(p) = group.strip_suffix("-chunked") {
+            if !p.starts_with("alg1/") {
+                continue;
+            }
+            (p.to_string(), format!("{p}-scalar"))
+        } else if let Some(p) = group.strip_suffix("/folded") {
+            if !p.starts_with("acct/") {
+                continue;
+            }
+            (format!("{p}/folded"), format!("{p}/unfolded"))
+        } else {
             continue;
         };
-        if !prefix.starts_with("alg1/") || param < MIN_PARAM {
+        if param < MIN_PARAM {
             continue;
         }
-        let sibling = format!("{prefix}-scalar");
-        let scalar = results.iter().find(|e| {
+        let baseline = results.iter().find(|e| {
             e.get("group") == Some(&Value::Str(sibling.clone()))
                 && e.get("param")
                     .is_some_and(|p| matches!(p, Value::Num(v) if *v as i64 == param))
         });
-        let Some(scalar) = scalar else {
+        let Some(baseline) = baseline else {
             continue; // no baseline at this size (e.g. skipped O(n³) build)
         };
-        let (Some(c_ns), Some(s_ns)) = (mean_ns(entry), mean_ns(scalar)) else {
+        let (Some(c_ns), Some(s_ns)) = (mean_ns(entry), mean_ns(baseline)) else {
             continue;
         };
         compared += 1;
         let ratio = c_ns / s_ns;
         let verdict = if ratio <= TOLERANCE { "ok" } else { "FAIL" };
         println!(
-            "{verdict}: {prefix} n={param}: chunked {:.3} ms vs scalar {:.3} ms \
+            "{verdict}: {prefix} n={param}: candidate {:.3} ms vs {sibling} {:.3} ms \
              (ratio {ratio:.3}, tolerance {TOLERANCE})",
             c_ns / 1e6,
             s_ns / 1e6,
@@ -79,7 +94,7 @@ fn run(path: &str) -> Result<(), String> {
     }
     if compared == 0 {
         return Err(format!(
-            "{path}: no chunked/scalar pair at n >= {MIN_PARAM} — \
+            "{path}: no candidate/baseline pair at n >= {MIN_PARAM} — \
              the gate would be vacuous (were benches renamed?)"
         ));
     }
@@ -88,7 +103,7 @@ fn run(path: &str) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!(
-            "chunked kernel slower than scalar beyond {TOLERANCE}x: {}",
+            "candidate slower than its baseline beyond {TOLERANCE}x: {}",
             failures.join("; ")
         ))
     }
@@ -96,7 +111,7 @@ fn run(path: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: check_bench <BENCH_alg1.json>");
+        eprintln!("usage: check_bench <BENCH_*.json>");
         return ExitCode::FAILURE;
     };
     match run(&path) {

@@ -48,6 +48,7 @@
 
 use crate::adversary::AdversaryT;
 use crate::loss::TemporalLossFunction;
+use crate::supremum::{supremum_of_loss, Supremum};
 use crate::{check_epsilon, Result, TplError};
 use parking_lot::Mutex;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -98,9 +99,55 @@ pub struct TplAccountant {
     /// The observed ε trail — possibly shared with other accountants on
     /// the same budget sequence (see the module docs).
     timeline: Arc<BudgetTimeline>,
+    /// BPL of the live window (global indices `folded.len..`); entries
+    /// behind the timeline's fold are absorbed into `folded`.
     bpl: Vec<f64>,
+    /// `BPL(t) − ε_t` of the live window, maintained alongside `bpl` at
+    /// absorption time — the per-step summand of the TPL bound. Kept
+    /// always (folded or not) because the timeline drops folded ε values
+    /// on push, before this accountant folds its own mirror.
+    bpl_less_eps: Vec<f64>,
+    /// Closed summary of the BPL history already folded away.
+    folded: FoldState,
     /// Version-stamped derived series; see the module docs.
     cache: Mutex<SeriesCache>,
+    /// Memoized FPL supremum bound for folded-history queries, keyed on
+    /// the `eps_sup` bits it was computed for.
+    fold_sup: Mutex<Option<(u64, f64)>>,
+}
+
+/// Relative inflation applied to the finite Theorem 5 supremum when it
+/// serves as the folded-history FPL bound. The float iterates of the
+/// Equation 15 recursion can land a few ulps above the analytically
+/// computed fixed point after thousands of steps; `1e-12` (~4500 ulps)
+/// keeps the served value a true upper bound on the discarded series
+/// while staying far below any leakage scale the paper reports.
+const FOLD_SUP_GUARD: f64 = 1e-12;
+
+/// The constant-size summary a folded accountant keeps about the history
+/// it dropped: enough to answer every folded-history query with a proven
+/// upper bound (BPL is bounded by its folded maximum because BPL values
+/// are final; TPL by `max_t (BPL(t) − ε_t)` plus the FPL supremum).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FoldState {
+    /// Number of leading entries folded (global index of the first live
+    /// entry) — always equal to the timeline's `live_start` after a sync.
+    pub(crate) len: usize,
+    /// Max BPL over the folded entries (`NEG_INFINITY` when none).
+    pub(crate) bpl_max: f64,
+    /// Max `BPL(t) − ε_t` over the folded entries (`NEG_INFINITY` when
+    /// none).
+    pub(crate) bpl_less_eps_max: f64,
+}
+
+impl FoldState {
+    pub(crate) fn empty() -> Self {
+        FoldState {
+            len: 0,
+            bpl_max: f64::NEG_INFINITY,
+            bpl_less_eps_max: f64::NEG_INFINITY,
+        }
+    }
 }
 
 /// The derived series shared by every post-observation query. Valid iff
@@ -153,7 +200,10 @@ impl TplAccountant {
             forward,
             timeline: Arc::new(BudgetTimeline::new()),
             bpl: Vec::new(),
+            bpl_less_eps: Vec::new(),
+            folded: FoldState::empty(),
             cache: Mutex::new(SeriesCache::empty()),
+            fold_sup: Mutex::new(None),
         }
     }
 
@@ -243,8 +293,10 @@ impl TplAccountant {
         check_epsilon(eps)?;
         self.timeline.push(eps)?;
         self.sync_with_timeline()?;
-        let t = self.bpl.len() - 1;
-        let bpl_t = self.bpl[t];
+        let t = self.timeline.len() - 1;
+        // The newest release is always live (a fold horizon keeps at
+        // least H ≥ 1 live entries), so `last()` is its BPL.
+        let bpl_t = self.bpl.last().copied().unwrap_or(eps);
         Ok(TplReport {
             t,
             epsilon: eps,
@@ -256,25 +308,119 @@ impl TplAccountant {
 
     /// Advance the BPL recursion (Equation 13) over timeline entries not
     /// yet absorbed — the ones a coordinator sharing this accountant's
-    /// timeline appended since the last observation. A no-op when the
-    /// accountant is already caught up.
+    /// timeline appended since the last observation — then fold this
+    /// accountant's mirror up to the timeline's fold point. A no-op when
+    /// the accountant is already caught up.
     pub fn sync_with_timeline(&mut self) -> Result<()> {
-        if self.bpl.len() >= self.timeline.len() {
+        let t_len = self.timeline.len();
+        if self.folded.len + self.bpl.len() < t_len {
+            let backward = &self.backward;
+            let bpl = &mut self.bpl;
+            let bpl_less_eps = &mut self.bpl_less_eps;
+            let folded_len = self.folded.len;
+            self.timeline.with_values(|live| {
+                let live_start = t_len - live.len();
+                let mut global = folded_len + bpl.len();
+                if global < live_start {
+                    // Entries this accountant never absorbed were folded
+                    // away on the shared timeline: the recursion cannot
+                    // be continued exactly.
+                    return Err(TplError::FoldedHistory {
+                        t: global,
+                        live_start,
+                    });
+                }
+                while global < t_len {
+                    let eps = live[global - live_start];
+                    let bpl_t = match backward {
+                        Some(l) => match bpl.last() {
+                            Some(&prev) => l.eval(prev)? + eps,
+                            None if global == 0 => eps,
+                            // The previous BPL was folded out from under
+                            // an accountant that never absorbed it.
+                            None => {
+                                return Err(TplError::FoldedHistory {
+                                    t: global,
+                                    live_start,
+                                })
+                            }
+                        },
+                        None => eps, // no backward correlation known
+                    };
+                    bpl.push(bpl_t);
+                    bpl_less_eps.push(bpl_t - eps);
+                    global += 1;
+                }
+                Ok(())
+            })?;
+        }
+        self.fold_to_timeline()?;
+        debug_assert!(self.folded.len + self.bpl.len() >= self.timeline.len());
+        Ok(())
+    }
+
+    /// Fold this accountant's BPL mirror up to the timeline's current
+    /// fold point, absorbing the dropped entries' maxima into
+    /// [`FoldState`]. O(k) for the k entries folded (k ≤ 1 on the
+    /// steady-state release path).
+    fn fold_to_timeline(&mut self) -> Result<()> {
+        let live_start = self.timeline.live_start();
+        if live_start <= self.folded.len {
             return Ok(());
         }
-        let backward = &self.backward;
-        let bpl = &mut self.bpl;
-        self.timeline.with_values(|budgets| {
-            while bpl.len() < budgets.len() {
-                let eps = budgets[bpl.len()];
-                let bpl_t = match (backward, bpl.last()) {
-                    (Some(l), Some(&prev)) => l.eval(prev)? + eps,
-                    _ => eps, // t = 0, or no backward correlation known
-                };
-                bpl.push(bpl_t);
-            }
-            Ok(())
-        })
+        let k = live_start - self.folded.len;
+        if k > self.bpl.len() {
+            // The timeline folded past entries this accountant never
+            // absorbed (it was left unsynced across folds).
+            return Err(TplError::FoldedHistory {
+                t: self.folded.len + self.bpl.len(),
+                live_start,
+            });
+        }
+        for i in 0..k {
+            self.folded.bpl_max = self.folded.bpl_max.max(self.bpl[i]);
+            self.folded.bpl_less_eps_max = self.folded.bpl_less_eps_max.max(self.bpl_less_eps[i]);
+        }
+        self.bpl.drain(..k);
+        self.bpl_less_eps.drain(..k);
+        self.folded.len = live_start;
+        Ok(())
+    }
+
+    /// Arm (or disarm, with `None`) the fold horizon `H ≥ 1` on this
+    /// accountant's timeline and fold any excess history immediately —
+    /// see [`BudgetTimeline::set_horizon`]. After folding, per-release
+    /// cost and resident state are O(H) instead of O(T); queries at live
+    /// time points stay bit-identical to an unfolded accountant, queries
+    /// behind the fold answer with documented upper bounds (see
+    /// [`Self::bpl_at`] / [`Self::fpl_at`] / [`Self::tpl_at`]).
+    ///
+    /// When this accountant shares its timeline with others (population
+    /// shards), arm the horizon through the coordinator
+    /// (`PopulationAccountant::set_horizon`) so every sharer folds its
+    /// mirror in the same step.
+    pub fn set_horizon(&mut self, horizon: Option<usize>) -> Result<()> {
+        self.timeline.set_horizon(horizon)?;
+        self.sync_with_timeline()
+    }
+
+    /// Global index of the first live (exactly-answerable) time point —
+    /// 0 until a fold horizon trims history.
+    pub fn live_start(&self) -> usize {
+        self.folded.len
+    }
+
+    /// Number of resident `f64`s held by this accountant and its
+    /// timeline (live budgets, prefix sums, BPL mirror, and cached
+    /// FPL/TPL series) — the flat-memory witness: O(H) once a fold
+    /// horizon is armed, O(T) otherwise.
+    pub fn resident_f64s(&self) -> usize {
+        let cache = self.cache.lock();
+        self.timeline.resident_len()
+            + self.bpl.len()
+            + self.bpl_less_eps.len()
+            + cache.fpl.len()
+            + cache.tpl.len()
     }
 
     /// Record `t_len` releases with the same budget.
@@ -285,8 +431,10 @@ impl TplAccountant {
         Ok(())
     }
 
-    /// The BPL series (Equation 13) — one value per observed release;
-    /// values are final.
+    /// The BPL series (Equation 13) over the **live window** — one value
+    /// per still-live release (index 0 is global time
+    /// [`Self::live_start`]; the whole timeline when unfolded); values
+    /// are final.
     pub fn bpl_series(&self) -> &[f64] {
         &self.bpl
     }
@@ -307,14 +455,19 @@ impl TplAccountant {
     /// derived TPL/extremum series.
     fn rebuild(&self, cache: &mut SeriesCache) -> Result<()> {
         let revision = self.timeline.revision();
+        let live_start = self.timeline.live_start();
         let forward = &self.forward;
         let bpl = &self.bpl;
+        let folded_len = self.folded.len;
         let (fpl, tpl) = self.timeline.with_values(|budgets| {
+            // The series covers the live window only; the FPL backward
+            // pass over it is *exact* (it is anchored at the current
+            // end, and folded history is strictly earlier).
             let t_len = budgets.len();
-            if bpl.len() != t_len {
-                // A coordinator pushed to the shared timeline without
-                // syncing this accountant — report it instead of zipping
-                // a truncated TPL series.
+            if bpl.len() != t_len || folded_len != live_start {
+                // A coordinator pushed to (or folded) the shared
+                // timeline without syncing this accountant — report it
+                // instead of zipping a truncated TPL series.
                 return Err(TplError::DimensionMismatch {
                     expected: t_len,
                     found: bpl.len(),
@@ -367,38 +520,104 @@ impl TplAccountant {
         }
     }
 
-    /// The FPL series (Equation 15) given everything observed so far;
-    /// earlier entries grow as more releases arrive. Served from the
-    /// shared cache (recomputed at most once per release).
+    /// The FPL series (Equation 15) over the **live window** given
+    /// everything observed so far (index 0 is global time
+    /// [`Self::live_start`]; the whole timeline when unfolded); earlier
+    /// entries grow as more releases arrive. Served from the shared
+    /// cache (recomputed at most once per release).
     pub fn fpl_series(&self) -> Result<Vec<f64>> {
         self.with_cache(|c| c.fpl.clone())
     }
 
-    /// The TPL series (Equation 10): `BPL + FPL − ε` per time point.
+    /// The TPL series (Equation 10) over the **live window**:
+    /// `BPL + FPL − ε` per time point (index 0 is global time
+    /// [`Self::live_start`]).
     pub fn tpl_series(&self) -> Result<Vec<f64>> {
         self.with_cache(|c| c.tpl.clone())
     }
 
-    /// BPL at a single time point (`O(1)` — BPL values are final).
-    pub fn bpl_at(&self, t: usize) -> Result<f64> {
-        self.bpl.get(t).copied().ok_or_else(|| self.index_error(t))
+    /// The upper bound served for folded-history FPL queries: the
+    /// Theorem 5 supremum of the forward recursion at the largest budget
+    /// ever observed (FPL is monotone in the per-step budgets, so the
+    /// supremum at `max ε` dominates every true folded FPL value).
+    /// `+∞` when the supremum diverges (Theorem 5 cases 3–4). Memoized
+    /// per `eps_sup`; `eps_sup` itself is an O(live) scan.
+    ///
+    /// The finite supremum is inflated by [`FOLD_SUP_GUARD`]: the
+    /// floating-point iterates of the Equation 15 recursion converge to
+    /// the analytic fixed point but can round a few ulps *past* it over
+    /// thousands of steps, and the bound must dominate what an unfolded
+    /// accountant would actually have computed, not just the exact limit.
+    fn fold_fpl_bound(&self) -> Result<f64> {
+        let folded_max = self.timeline.folded_eps_max().unwrap_or(f64::NEG_INFINITY);
+        let live_max = self.with_budgets(|b| b.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        let eps_sup = folded_max.max(live_max);
+        let Some(forward) = &self.forward else {
+            // No forward correlation: FPL(t) = ε_t ≤ eps_sup exactly.
+            return Ok(eps_sup);
+        };
+        let mut memo = self.fold_sup.lock();
+        if let Some((bits, bound)) = *memo {
+            if bits == eps_sup.to_bits() {
+                return Ok(bound);
+            }
+        }
+        let bound = match supremum_of_loss(forward, eps_sup)? {
+            Supremum::Finite(v) => v * (1.0 + FOLD_SUP_GUARD),
+            Supremum::Divergent => f64::INFINITY,
+        };
+        *memo = Some((eps_sup.to_bits(), bound));
+        Ok(bound)
     }
 
-    /// FPL at a single time point (`O(1)` amortized from the cache).
-    pub fn fpl_at(&self, t: usize) -> Result<f64> {
-        self.with_cache(|c| c.fpl.get(t).copied())?
+    /// BPL at a single time point (`O(1)` — BPL values are final). For
+    /// `t` behind the fold horizon, returns the **upper bound**
+    /// `max BPL` over the folded entries (exact values are folded away;
+    /// the max dominates each of them because BPL values are final).
+    pub fn bpl_at(&self, t: usize) -> Result<f64> {
+        if t < self.folded.len {
+            return Ok(self.folded.bpl_max);
+        }
+        self.bpl
+            .get(t - self.folded.len)
+            .copied()
             .ok_or_else(|| self.index_error(t))
     }
 
-    /// TPL at a single time point (`O(1)` amortized from the cache).
+    /// FPL at a single time point (`O(1)` amortized from the cache). For
+    /// `t` behind the fold horizon, returns the **upper bound** from
+    /// [`Self::fold_fpl_bound`] (`+∞` when the Theorem 5 supremum
+    /// diverges).
+    pub fn fpl_at(&self, t: usize) -> Result<f64> {
+        if t < self.folded.len {
+            return self.fold_fpl_bound();
+        }
+        let k = t - self.folded.len;
+        self.with_cache(|c| c.fpl.get(k).copied())?
+            .ok_or_else(|| self.index_error(t))
+    }
+
+    /// TPL at a single time point (`O(1)` amortized from the cache). For
+    /// `t` behind the fold horizon, returns the **upper bound**
+    /// `max_folded (BPL − ε) + sup FPL` — both summands dominate their
+    /// true folded counterparts, so the sum dominates the true TPL
+    /// (never NaN: the folded `BPL − ε` max is finite whenever anything
+    /// is folded).
     pub fn tpl_at(&self, t: usize) -> Result<f64> {
-        self.with_cache(|c| c.tpl.get(t).copied())?
+        if t < self.folded.len {
+            return Ok(self.folded.bpl_less_eps_max + self.fold_fpl_bound()?);
+        }
+        let k = t - self.folded.len;
+        self.with_cache(|c| c.tpl.get(k).copied())?
             .ok_or_else(|| self.index_error(t))
     }
 
     /// `Σ ε_k` over the window `[t, t + w)` of observed budgets, from the
     /// timeline's prefix sums (`O(1)`; the result may differ from a
     /// naive slice sum in the last ulp, as any prefix-difference does).
+    /// Windows starting behind the fold horizon error with
+    /// [`TplError::FoldedHistory`]; windows reaching beyond the end with
+    /// [`TplError::WindowOutOfRange`] naming the actual `(t, w)` pair.
     pub fn window_budget_sum(&self, t: usize, w: usize) -> Result<f64> {
         let t_len = self.timeline.len();
         if t_len == 0 {
@@ -407,26 +626,38 @@ impl TplAccountant {
         if w == 0 || w > t_len {
             return Err(TplError::InvalidWindow { w });
         }
+        let live_start = self.timeline.live_start();
+        if t < live_start {
+            return Err(TplError::FoldedHistory { t, live_start });
+        }
         self.timeline
             .window_sum(t, w)
-            .ok_or_else(|| self.index_error(t.saturating_add(w).saturating_sub(1)))
+            .ok_or(TplError::WindowOutOfRange { t, w, len: t_len })
     }
 
     /// The worst TPL across the timeline — the α for which the observed
     /// mechanism sequence currently satisfies α-DP_T at event level.
-    /// `O(1)` amortized from the cache.
+    /// `O(1)` amortized from the cache. Bit-identical to an unfolded
+    /// accountant until history folds; afterwards an **upper bound**
+    /// (the live maximum joined with the folded-history TPL bound).
     pub fn max_tpl(&self) -> Result<f64> {
         if self.timeline.is_empty() {
             return Err(TplError::EmptyTimeline);
         }
-        self.with_cache(|c| c.max_tpl)
+        let live = self.with_cache(|c| c.max_tpl)?;
+        if self.folded.len == 0 {
+            return Ok(live);
+        }
+        Ok(live.max(self.folded.bpl_less_eps_max + self.fold_fpl_bound()?))
     }
 
     /// Corollary 1: the user-level guarantee of the whole timeline is the
     /// plain sequential-composition sum `Σ ε_k` — temporal correlations do
-    /// not worsen user-level privacy.
+    /// not worsen user-level privacy. Exact (bit-identical to the
+    /// unfolded left fold) even after history folds: the timeline's
+    /// prefix sums carry the absolute running total across the fold.
     pub fn user_level(&self) -> f64 {
-        self.with_budgets(|b| b.iter().sum())
+        self.timeline.total()
     }
 
     /// Total Algorithm 1 evaluations performed by this accountant's loss
@@ -476,25 +707,46 @@ impl TplAccountant {
         forward: Option<Arc<TemporalLossFunction>>,
         timeline: Arc<BudgetTimeline>,
         bpl: Vec<f64>,
+        folded: FoldState,
     ) -> Self {
+        // `BPL(t) − ε_t` is recomputed from the restored live series with
+        // the exact operands the live run subtracted, so the rebuilt
+        // mirror is bit-identical to the checkpointed one.
+        let bpl_less_eps =
+            timeline.with_values(|b| bpl.iter().zip(b).map(|(l, e)| l - e).collect());
         Self {
             backward,
             forward,
             timeline,
             bpl,
+            bpl_less_eps,
+            folded,
             cache: Mutex::new(SeriesCache::empty()),
+            fold_sup: Mutex::new(None),
         }
     }
 
-    /// Splice a delta checkpoint's BPL tail onto the recursion state —
-    /// the values were computed by the identical recursion in the saved
-    /// run, so installing them verbatim is bit-identical to replaying it
-    /// (without re-paying the loss evaluations the saved run already
-    /// performed). The caller ([`crate::checkpoint`]) has validated the
-    /// tail and already appended the matching budgets to the timeline.
-    pub(crate) fn extend_bpl(&mut self, tail: &[f64]) {
-        self.bpl.extend_from_slice(tail);
-        debug_assert_eq!(self.bpl.len(), self.timeline.len());
+    /// The folded-BPL summary stats `(bpl_max, bpl_less_eps_max)` — the
+    /// [`crate::checkpoint`] snapshot hook.
+    pub(crate) fn fold_state(&self) -> FoldState {
+        self.folded
+    }
+
+    /// Splice a delta checkpoint's `(budgets, BPL)` tail onto the
+    /// recursion state — the values were computed by the identical
+    /// recursion in the saved run, so installing them verbatim is
+    /// bit-identical to replaying it (without re-paying the loss
+    /// evaluations the saved run already performed), then fold the
+    /// mirror up to the timeline's fold point. The caller
+    /// ([`crate::checkpoint`]) has validated the tail and already
+    /// appended the matching budgets to the timeline.
+    pub(crate) fn extend_bpl(&mut self, budgets: &[f64], bpl: &[f64]) -> Result<()> {
+        self.bpl.extend_from_slice(bpl);
+        self.bpl_less_eps
+            .extend(bpl.iter().zip(budgets).map(|(l, e)| l - e));
+        self.fold_to_timeline()?;
+        debug_assert_eq!(self.folded.len + self.bpl.len(), self.timeline.len());
+        Ok(())
     }
 
     /// Swap the timeline object without touching the absorbed BPL state —
@@ -516,7 +768,10 @@ impl TplAccountant {
             forward: self.forward.clone(),
             timeline,
             bpl: self.bpl.clone(),
+            bpl_less_eps: self.bpl_less_eps.clone(),
+            folded: self.folded,
             cache: Mutex::new(self.cache.lock().clone()),
+            fold_sup: Mutex::new(*self.fold_sup.lock()),
         }
     }
 }
@@ -533,19 +788,47 @@ impl Clone for TplAccountant {
 
 impl Serialize for TplAccountant {
     /// Serializes the pre-cache derived shape
-    /// `{"backward", "forward", "timeline", "bpl"}`; the series cache and
-    /// the loss functions' internal caches are rebuilt on first use
-    /// after restore.
+    /// `{"backward", "forward", "timeline", "bpl", "fold"}` (the
+    /// timeline and BPL are the live window; `"fold"` is `null` until a
+    /// horizon is armed, then carries the constant-size fold summary);
+    /// the series cache and the loss functions' internal caches are
+    /// rebuilt on first use after restore.
     fn to_value(&self) -> Value {
         let side = |l: &Option<Arc<TemporalLossFunction>>| match l {
             Some(l) => l.to_value(),
             None => Value::Null,
+        };
+        let fold = if self.folded.len == 0 && self.timeline.horizon().is_none() {
+            Value::Null
+        } else {
+            // With a horizon armed but nothing folded yet, the summary
+            // maxima are still NEG_INFINITY — written as 0.0 (JSON has
+            // no infinities) and ignored on restore (`len == 0`).
+            let stat = |v: f64| Value::Num(if self.folded.len == 0 { 0.0 } else { v });
+            Value::Map(vec![
+                ("len".to_string(), self.folded.len.to_value()),
+                ("bpl_max".to_string(), stat(self.folded.bpl_max)),
+                (
+                    "bpl_less_eps_max".to_string(),
+                    stat(self.folded.bpl_less_eps_max),
+                ),
+                (
+                    "eps_total".to_string(),
+                    Value::Num(self.timeline.folded_total()),
+                ),
+                (
+                    "eps_max".to_string(),
+                    Value::Num(self.timeline.folded_eps_max().unwrap_or(0.0)),
+                ),
+                ("horizon".to_string(), self.timeline.horizon().to_value()),
+            ])
         };
         Value::Map(vec![
             ("backward".to_string(), side(&self.backward)),
             ("forward".to_string(), side(&self.forward)),
             ("timeline".to_string(), self.timeline.to_value()),
             ("bpl".to_string(), self.bpl.to_value()),
+            ("fold".to_string(), fold),
         ])
     }
 }
@@ -556,13 +839,40 @@ impl Deserialize for TplAccountant {
         let side = |k: &str| -> std::result::Result<_, DeError> {
             Ok(Option::<TemporalLossFunction>::from_value(field(k)?)?.map(Arc::new))
         };
-        Ok(TplAccountant {
-            backward: side("backward")?,
-            forward: side("forward")?,
-            timeline: Arc::new(BudgetTimeline::from_value(field("timeline")?)?),
-            bpl: Vec::from_value(field("bpl")?)?,
-            cache: Mutex::new(SeriesCache::empty()),
-        })
+        let timeline = Arc::new(BudgetTimeline::from_value(field("timeline")?)?);
+        let bpl = Vec::from_value(field("bpl")?)?;
+        // "fold" is absent in pre-fold serializations (back-compat) and
+        // `null` for never-folded accountants.
+        let mut folded = FoldState::empty();
+        if let Some(fv) = v.get("fold") {
+            if !matches!(fv, Value::Null) {
+                let sub = |k: &str| fv.get(k).ok_or_else(|| DeError::missing(k));
+                let len = usize::from_value(sub("len")?)?;
+                let horizon = Option::<usize>::from_value(sub("horizon")?)?;
+                timeline
+                    .restore_fold(
+                        len,
+                        f64::from_value(sub("eps_total")?)?,
+                        f64::from_value(sub("eps_max")?)?,
+                        horizon,
+                    )
+                    .map_err(|e| DeError(format!("fold summary rejected: {e}")))?;
+                if len > 0 {
+                    folded = FoldState {
+                        len,
+                        bpl_max: f64::from_value(sub("bpl_max")?)?,
+                        bpl_less_eps_max: f64::from_value(sub("bpl_less_eps_max")?)?,
+                    };
+                }
+            }
+        }
+        Ok(TplAccountant::from_restored_parts(
+            side("backward")?,
+            side("forward")?,
+            timeline,
+            bpl,
+            folded,
+        ))
     }
 }
 
@@ -747,10 +1057,143 @@ mod tests {
             acc.window_budget_sum(0, 4).unwrap_err(),
             TplError::InvalidWindow { w: 4 }
         );
+        // The error names the actual requested window, not a derived
+        // index (which saturating arithmetic used to misreport for
+        // adversarial t/w near usize::MAX).
         assert_eq!(
             acc.window_budget_sum(2, 2).unwrap_err(),
-            TplError::TimeOutOfRange { t: 3, len: 3 }
+            TplError::WindowOutOfRange { t: 2, w: 2, len: 3 }
         );
+        assert_eq!(
+            acc.window_budget_sum(usize::MAX - 1, 1).unwrap_err(),
+            TplError::WindowOutOfRange {
+                t: usize::MAX - 1,
+                w: 1,
+                len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn folded_accountant_is_bit_identical_inside_horizon() {
+        let mut folded = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        folded.set_horizon(Some(4)).unwrap();
+        let mut reference = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        for t in 0..12 {
+            let eps = 0.05 + 0.01 * (t % 3) as f64;
+            folded.observe_release(eps).unwrap();
+            reference.observe_release(eps).unwrap();
+            let ls = folded.live_start();
+            assert_eq!(folded.len(), reference.len());
+            assert_eq!(
+                folded.user_level().to_bits(),
+                reference.user_level().to_bits()
+            );
+            for q in ls..folded.len() {
+                assert_eq!(
+                    folded.bpl_at(q).unwrap().to_bits(),
+                    reference.bpl_at(q).unwrap().to_bits()
+                );
+                assert_eq!(
+                    folded.fpl_at(q).unwrap().to_bits(),
+                    reference.fpl_at(q).unwrap().to_bits()
+                );
+                assert_eq!(
+                    folded.tpl_at(q).unwrap().to_bits(),
+                    reference.tpl_at(q).unwrap().to_bits()
+                );
+                for w in 1..=(folded.len() - q) {
+                    assert_eq!(
+                        folded.window_budget_sum(q, w).unwrap().to_bits(),
+                        reference.window_budget_sum(q, w).unwrap().to_bits()
+                    );
+                }
+            }
+        }
+        assert_eq!(folded.live_start(), 8);
+        assert_eq!(folded.bpl_series().len(), 4);
+    }
+
+    #[test]
+    fn folded_queries_bound_the_true_values() {
+        let mut folded = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        folded.set_horizon(Some(3)).unwrap();
+        let mut reference = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        for t in 0..10 {
+            let eps = 0.08 + 0.02 * (t % 2) as f64;
+            folded.observe_release(eps).unwrap();
+            reference.observe_release(eps).unwrap();
+        }
+        // Behind the fold every leakage query answers with an upper
+        // bound on the true (unfolded) value.
+        for q in 0..folded.live_start() {
+            assert!(folded.bpl_at(q).unwrap() >= reference.bpl_at(q).unwrap());
+            assert!(folded.fpl_at(q).unwrap() >= reference.fpl_at(q).unwrap());
+            assert!(folded.tpl_at(q).unwrap() >= reference.tpl_at(q).unwrap());
+            // ... and positional budget sums decline honestly.
+            assert_eq!(
+                folded.window_budget_sum(q, 1).unwrap_err(),
+                TplError::FoldedHistory {
+                    t: q,
+                    live_start: folded.live_start()
+                }
+            );
+        }
+        // max_tpl dominates the unfolded maximum.
+        assert!(folded.max_tpl().unwrap() >= reference.max_tpl().unwrap());
+        assert!(folded.max_tpl().unwrap().is_finite());
+        // Past-the-end queries still report out-of-range, not a bound.
+        assert_eq!(
+            folded.tpl_at(10).unwrap_err(),
+            TplError::TimeOutOfRange { t: 10, len: 10 }
+        );
+        // A horizon of zero is rejected as a typed error.
+        assert!(matches!(
+            folded.set_horizon(Some(0)),
+            Err(TplError::Mech(_))
+        ));
+    }
+
+    #[test]
+    fn folded_serde_round_trip_preserves_fold() {
+        let mut acc = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        acc.set_horizon(Some(3)).unwrap();
+        acc.observe_uniform(0.1, 8).unwrap();
+        let json = serde_json::to_string(&acc).unwrap();
+        let mut back: TplAccountant = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 8);
+        assert_eq!(back.live_start(), 5);
+        assert_eq!(back.user_level().to_bits(), acc.user_level().to_bits());
+        assert_eq!(back.bpl_series(), acc.bpl_series());
+        assert_eq!(
+            back.tpl_at(3).unwrap().to_bits(),
+            acc.tpl_at(3).unwrap().to_bits(),
+            "folded-history bound survives the round trip"
+        );
+        // The restored accountant keeps folding as the stream continues.
+        back.observe_release(0.1).unwrap();
+        acc.observe_release(0.1).unwrap();
+        assert_eq!(back.live_start(), acc.live_start());
+        assert_eq!(
+            back.bpl_series().last().unwrap().to_bits(),
+            acc.bpl_series().last().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn resident_state_is_flat_under_a_horizon() {
+        let mut folded = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        folded.set_horizon(Some(16)).unwrap();
+        folded.observe_uniform(0.1, 100).unwrap();
+        folded.max_tpl().unwrap();
+        let at_100 = folded.resident_f64s();
+        folded.observe_uniform(0.1, 400).unwrap();
+        folded.max_tpl().unwrap();
+        assert_eq!(folded.resident_f64s(), at_100, "resident state is O(H)");
+        let mut unfolded = TplAccountant::with_both(fig3_matrix(), fig3_matrix()).unwrap();
+        unfolded.observe_uniform(0.1, 500).unwrap();
+        unfolded.max_tpl().unwrap();
+        assert!(unfolded.resident_f64s() > 5 * at_100, "unfolded is O(T)");
     }
 
     #[test]

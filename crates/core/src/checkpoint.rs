@@ -79,14 +79,46 @@
 //! `checkpoint_delta` returns `None` and the caller writes a fresh full
 //! snapshot.
 //!
-//! Failure honesty over silent recovery: a delta log that does not
-//! chain onto its snapshot (a crash between rewriting the snapshot and
-//! truncating the log, or a log truncated mid-append) is a hard
+//! ## Generation ids
+//!
+//! Every delta record is stamped with the **generation id** of the
+//! snapshot its cursor was taken against: [`snapshot_generation`], a
+//! deterministic 64-bit FNV-1a hash of the snapshot bytes. On resume,
+//! a stamped record whose generation does not match the snapshot being
+//! resumed is from a *superseded* snapshot (the snapshot was rewritten
+//! but the old log survived): the record is **skipped with a warning**
+//! on stderr — its releases are already part of the newer snapshot, so
+//! replaying it would double-count and failing on it would block a
+//! state that is perfectly recoverable. Legacy records without a stamp
+//! (generation 0, written before stamping existed) cannot be told
+//! apart from genuine continuations, so they keep the strict chaining
+//! behavior below.
+//!
+//! Failure honesty over silent recovery: a delta log record that does
+//! not chain onto its snapshot (a crash between rewriting the snapshot
+//! and truncating the log, or a log truncated mid-append) and is not
+//! recognizably from a superseded generation is a hard
 //! [`TplError::CorruptCheckpoint`] naming the mismatch — never a
 //! silent resume at an earlier stop point, which would under-report
 //! every release the lost records carried. The recovery is explicit:
 //! delete (or truncate, at the byte offset the error names) the stale
 //! log and resume from the snapshot.
+//!
+//! ## Folded accountants
+//!
+//! An accountant with a fold horizon armed (see
+//! `TplAccountant::set_horizon`) holds only the live window plus a
+//! constant-size fold summary, and its snapshots are O(w) rather than
+//! O(T): the timeline and BPL sections carry the live window, and a
+//! `FOLDED_SUMMARY` section (JSON `"fold"` field; binary tag 8) carries
+//! the fold point, the folded Σε and max ε, the horizon, and the folded
+//! BPL maxima. Restore reinstates the summary onto the rebuilt live
+//! trail via `BudgetTimeline::restore_fold`, which re-derives the
+//! absolute prefix sums with the exact additions the live run
+//! performed — so a resumed folded accountant is bit-identical to the
+//! saved one for every live-window query and serves the same documented
+//! bounds behind the fold. Unfolded v3 envelopes (no such section)
+//! restore exactly as before.
 //!
 //! Corrupt or version-mismatched input — truncated containers, foreign
 //! magic, doctored section lengths, out-of-range witness indices,
@@ -131,7 +163,7 @@
 
 pub mod format;
 
-use crate::accountant::TplAccountant;
+use crate::accountant::{FoldState, TplAccountant};
 use crate::adversary::AdversaryT;
 use crate::alg1::LossWitness;
 use crate::loss::TemporalLossFunction;
@@ -371,6 +403,27 @@ pub(crate) struct RawAccountantState {
     pub series: Option<(Vec<f64>, Vec<f64>)>,
     pub warm_backward: Option<Value>,
     pub warm_forward: Option<Value>,
+    /// The fold summary, when the saved accountant had a horizon armed
+    /// (`None` for unfolded snapshots, which restore exactly as before).
+    pub fold: Option<RawFold>,
+}
+
+/// The decoded `FOLDED_SUMMARY` of one accountant: everything needed to
+/// reinstate a fold onto the live trail both encodings carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RawFold {
+    /// Entries folded away (global index of the first live entry).
+    pub folded_len: usize,
+    /// Σε over the folded entries, exactly as the left fold produced it.
+    pub eps_total: f64,
+    /// Max single ε among the folded entries (0.0 when none folded yet).
+    pub eps_max: f64,
+    /// The armed horizon (`None` if folding was later disarmed).
+    pub horizon: Option<usize>,
+    /// Max BPL over the folded entries.
+    pub bpl_max: f64,
+    /// Max `BPL − ε` over the folded entries.
+    pub bpl_less_eps_max: f64,
 }
 
 /// A population's full state decoded from either encoding: the user
@@ -477,6 +530,29 @@ fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
             .filter(|v| !matches!(v, Value::Null))
             .cloned()
     };
+    // "fold" is absent in pre-fold payloads and null when never folded.
+    let fold = match acc_v.get("fold") {
+        None | Some(Value::Null) => None,
+        Some(fv) => {
+            let sub = |k: &str| {
+                fv.get(k)
+                    .ok_or_else(|| corrupt(format!("accountant.fold: missing field `{k}`")))
+            };
+            let num = |k: &str| -> Result<f64> {
+                f64::from_value(sub(k)?).map_err(|e| corrupt(format!("accountant.fold.{k}: {e}")))
+            };
+            Some(RawFold {
+                folded_len: usize::from_value(sub("len")?)
+                    .map_err(|e| corrupt(format!("accountant.fold.len: {e}")))?,
+                eps_total: num("eps_total")?,
+                eps_max: num("eps_max")?,
+                horizon: Option::<usize>::from_value(sub("horizon")?)
+                    .map_err(|e| corrupt(format!("accountant.fold.horizon: {e}")))?,
+                bpl_max: num("bpl_max")?,
+                bpl_less_eps_max: num("bpl_less_eps_max")?,
+            })
+        }
+    };
     Ok(RawAccountantState {
         backward: side("backward")?,
         forward: side("forward")?,
@@ -485,6 +561,7 @@ fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
         series,
         warm_backward: witness("warm_backward"),
         warm_forward: witness("warm_forward"),
+        fold,
     })
 }
 
@@ -530,16 +607,45 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
         series,
         warm_backward,
         warm_forward,
+        fold,
     } = raw;
     if timeline.with_values(|b| b.iter().any(|&e| !(e.is_finite() && e > 0.0))) {
         return Err(corrupt(
             "budget trail contains non-positive or non-finite entries",
         ));
     }
-    if bpl.len() != timeline.len() {
+    // Re-apply the FOLDED_SUMMARY before any length arithmetic: the
+    // decoded trail holds only the live window, and `restore_fold`
+    // shifts it to its global offset (bit-identically reseeding the
+    // prefix sums from the folded Σε).
+    let folded = if let Some(f) = fold {
+        if !(f.eps_total.is_finite() && f.eps_total >= 0.0 && f.eps_max.is_finite()) {
+            return Err(corrupt("fold summary has non-finite budget totals"));
+        }
+        if f.folded_len > 0 && !(f.bpl_max.is_finite() && f.bpl_less_eps_max.is_finite()) {
+            return Err(corrupt("fold summary has non-finite BPL maxima"));
+        }
+        timeline
+            .restore_fold(f.folded_len, f.eps_total, f.eps_max, f.horizon)
+            .map_err(|e| corrupt(format!("fold summary rejected: {e}")))?;
+        if f.folded_len > 0 {
+            FoldState {
+                len: f.folded_len,
+                bpl_max: f.bpl_max,
+                bpl_less_eps_max: f.bpl_less_eps_max,
+            }
+        } else {
+            FoldState::empty()
+        }
+    } else {
+        FoldState::empty()
+    };
+    // `timeline.len()` is global; `bpl` covers only the live window.
+    if folded.len + bpl.len() != timeline.len() {
         return Err(corrupt(format!(
-            "bpl length {} does not match budget trail length {}",
+            "bpl length {} plus folded prefix {} does not match budget trail length {}",
             bpl.len(),
+            folded.len,
             timeline.len()
         )));
     }
@@ -551,19 +657,21 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
             "bpl series contains negative or non-finite entries",
         ));
     }
+    let live_len = bpl.len();
     let acc = TplAccountant::from_restored_parts(
         backward.map(Arc::new),
         forward.map(Arc::new),
         timeline,
         bpl,
+        folded,
     );
     if let Some((fpl, tpl)) = series {
-        if fpl.len() != acc.len() || tpl.len() != acc.len() {
+        if fpl.len() != live_len || tpl.len() != live_len {
             return Err(corrupt(format!(
-                "cached series lengths ({}, {}) do not match the budget trail ({})",
+                "cached series lengths ({}, {}) do not match the live window ({})",
                 fpl.len(),
                 tpl.len(),
-                acc.len()
+                live_len
             )));
         }
         if fpl.iter().chain(&tpl).any(|v| !v.is_finite()) {
@@ -624,6 +732,7 @@ impl TplAccountant {
             num_users: 0,
             num_groups: 1,
             len: self.len(),
+            generation: 0,
         }
     }
 
@@ -639,6 +748,7 @@ impl TplAccountant {
         Some(CheckpointDelta {
             kind: CheckpointKind::TplAccountant,
             base_len: cursor.len,
+            generation: cursor.generation,
             shards: vec![delta_shard_of(self, cursor.len)?],
         })
     }
@@ -702,6 +812,7 @@ impl PopulationAccountant {
             num_users: self.num_users(),
             num_groups: self.num_groups(),
             len: self.num_releases(),
+            generation: 0,
         }
     }
 
@@ -727,6 +838,7 @@ impl PopulationAccountant {
         Some(CheckpointDelta {
             kind: CheckpointKind::PopulationAccountant,
             base_len: cursor.len,
+            generation: cursor.generation,
             shards,
         })
     }
@@ -845,7 +957,14 @@ pub(crate) fn restore_population(raw: RawPopulationState) -> Result<PopulationAc
         if reps.iter().any(|r| Arc::ptr_eq(r, acc.timeline())) {
             continue;
         }
-        let bits: Vec<u64> = acc.with_budgets(|b| b.iter().map(|v| v.to_bits()).collect());
+        // Fingerprint the fold prefix too: live windows can coincide
+        // while the folded histories differ, and those shards must NOT
+        // re-join one timeline.
+        let mut bits: Vec<u64> = vec![
+            acc.timeline().live_start() as u64,
+            acc.timeline().folded_total().to_bits(),
+        ];
+        acc.with_budgets(|b| bits.extend(b.iter().map(|v| v.to_bits())));
         match rep_bits.iter().position(|k| *k == bits) {
             Some(i) => acc.set_timeline(Arc::clone(&reps[i])),
             None => {
@@ -891,6 +1010,10 @@ pub struct DeltaCursor {
     num_groups: usize,
     /// Releases observed at cursor time.
     len: usize,
+    /// Generation id of the snapshot this cursor (and the deltas taken
+    /// from it) chain onto — see [`snapshot_generation`]. Zero means
+    /// unstamped (legacy logs without generation chaining).
+    generation: u64,
 }
 
 impl DeltaCursor {
@@ -903,6 +1026,41 @@ impl DeltaCursor {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// The snapshot generation this cursor chains onto (0 = unstamped).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Stamp this cursor with the generation id of the snapshot it was
+    /// taken against (see [`snapshot_generation`]). Deltas written from
+    /// a stamped cursor are skipped — with a warning — by
+    /// [`resume_bytes`] / [`resume_file`] when the snapshot has since
+    /// been superseded, instead of corrupting the resume.
+    pub fn stamped(self, generation: u64) -> DeltaCursor {
+        DeltaCursor { generation, ..self }
+    }
+}
+
+/// The generation id of a binary snapshot: a deterministic 64-bit
+/// content hash (FNV-1a) of the envelope bytes. Stamp delta cursors
+/// with it ([`DeltaCursor::stamped`]) so a stale delta log — one left
+/// behind by an earlier run whose snapshot was overwritten — is
+/// recognized and ignored on resume rather than replayed onto the
+/// wrong base state.
+pub fn snapshot_generation(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
+}
+
+/// FNV-1a, 64-bit — stable across platforms and runs (no randomized
+/// hasher state), which is what generation chaining needs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// One shard's contribution to a delta record: the budget and BPL tails
@@ -926,6 +1084,9 @@ pub(crate) struct DeltaShard {
 pub struct CheckpointDelta {
     kind: CheckpointKind,
     base_len: usize,
+    /// Generation id of the snapshot this record chains onto (0 when
+    /// the cursor was never stamped — legacy strict-chaining mode).
+    generation: u64,
     shards: Vec<DeltaShard>,
 }
 
@@ -938,6 +1099,11 @@ impl CheckpointDelta {
     /// The release count this record chains from.
     pub fn base_len(&self) -> usize {
         self.base_len
+    }
+
+    /// The snapshot generation this record chains onto (0 = unstamped).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Releases appended by this record.
@@ -972,11 +1138,13 @@ impl CheckpointDelta {
     pub(crate) fn from_parts(
         kind: CheckpointKind,
         base_len: usize,
+        generation: u64,
         shards: Vec<DeltaShard>,
     ) -> Self {
         CheckpointDelta {
             kind,
             base_len,
+            generation,
             shards,
         }
     }
@@ -991,7 +1159,11 @@ impl CheckpointDelta {
 /// recursion is shorter than the cursor, or mid-sync).
 fn delta_shard_of(acc: &TplAccountant, from: usize) -> Option<DeltaShard> {
     let budgets = acc.timeline().tail_from(from)?;
-    let bpl = acc.bpl_series().get(from..)?.to_vec();
+    // `from` is a global release index; the BPL series holds only the
+    // live window. A cursor older than the fold point cannot chain (the
+    // folded BPL values are gone) — `checked_sub` reports it stale.
+    let k = from.checked_sub(acc.live_start())?;
+    let bpl = acc.bpl_series().get(k..)?.to_vec();
     if budgets.len() != bpl.len() {
         return None;
     }
@@ -1052,7 +1224,8 @@ fn apply_delta(state: &mut SavedState, delta: &CheckpointDelta) -> Result<()> {
                     .push(b)
                     .map_err(|e| corrupt(format!("delta budget: {e}")))?;
             }
-            acc.extend_bpl(&shard.bpl);
+            acc.extend_bpl(&shard.budgets, &shard.bpl)
+                .map_err(|e| corrupt(format!("delta bpl tail: {e}")))?;
             restore_witness(
                 acc.backward_loss_fn(),
                 shard.warm_backward.as_ref(),
@@ -1129,13 +1302,32 @@ impl SavedState {
 /// delta log (concatenated [`CheckpointDelta`] records) over it. The
 /// result is bit-identical to the live accountant at the moment the
 /// last delta (or, with no log, the snapshot) was written.
+/// Generation-stamped records ([`DeltaCursor::stamped`]) whose id does
+/// not match this snapshot's [`snapshot_generation`] are *skipped* with
+/// a warning on stderr — they belong to a superseded snapshot that was
+/// since overwritten, and replaying them would graft another run's tail
+/// onto this base. Unstamped (generation-0, legacy) records keep the
+/// strict `base_len` chaining contract: a mismatch is a hard
+/// [`TplError::CorruptCheckpoint`].
 pub fn resume_bytes(snapshot: &[u8], delta_log: Option<&[u8]>) -> Result<SavedState> {
+    let generation = snapshot_generation(snapshot);
     let mut state = match format::read_snapshot(snapshot)? {
         format::RawState::Tpl(raw) => SavedState::Tpl(restore_accountant(*raw)?),
         format::RawState::Population(raw) => SavedState::Population(restore_population(raw)?),
     };
     if let Some(log) = delta_log {
         for delta in format::read_delta_log(log)? {
+            if delta.generation != 0 && delta.generation != generation {
+                eprintln!(
+                    "warning: skipping stale delta record (T = {}..{}): written against \
+                     snapshot generation {:016x}, but the snapshot on disk is {:016x}",
+                    delta.base_len(),
+                    delta.base_len() + delta.appended(),
+                    delta.generation,
+                    generation
+                );
+                continue;
+            }
             apply_delta(&mut state, &delta)?;
         }
     }

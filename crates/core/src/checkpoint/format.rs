@@ -36,12 +36,24 @@
 //! | 5   | `TPL`        | raw `f64` cached TPL series (optional)         |
 //! | 6   | `MEMBERS`    | raw `u64` ascending member indices (per shard) |
 //! | 7   | `SHARD_META` | per-shard JSON (losses + witnesses; delta witnesses) |
+//! | 8   | `FOLDED_SUMMARY` | per-shard JSON fold summary (optional): `len` (folded releases), `eps_total` (folded Σε), `eps_max` (max folded ε), `horizon`, `bpl_max`, `bpl_less_eps_max` |
 //!
 //! The large state — budget timelines, BPL/FPL/TPL series — is stored
 //! as raw arrays (each distinct population timeline exactly once, with
 //! shards referencing it by class index), so writing a snapshot copies
 //! the floats instead of formatting them, and a delta record's size is
 //! proportional to what was appended, not to `T`.
+//!
+//! Under a fold horizon the `TIMELINE`/`BPL`/`FPL`/`TPL` sections hold
+//! only the **live window**, so snapshots are `O(w)` no matter how long
+//! the stream ran; the `FOLDED_SUMMARY` section carries everything the
+//! restore path needs to re-anchor the window at its global offset
+//! (`BudgetTimeline::restore_fold` reseeds the prefix sums from
+//! `eps_total`, bit-identically to the live run). Envelopes written
+//! before folding existed simply lack the section and restore as
+//! before. Delta META JSON additionally carries an optional
+//! `generation` hex id — see the generation-id section of
+//! [`crate::checkpoint`]'s module docs.
 //!
 //! # Corruption handling
 //!
@@ -56,7 +68,7 @@
 
 use super::{
     corrupt, tpl_meta_value, CheckpointDelta, CheckpointKind, DeltaShard, RawAccountantState,
-    RawPopulationState, CHECKPOINT_VERSION,
+    RawFold, RawPopulationState, CHECKPOINT_VERSION,
 };
 use crate::accountant::TplAccountant;
 use crate::loss::TemporalLossFunction;
@@ -85,6 +97,7 @@ const TAG_FPL: u32 = 4;
 const TAG_TPL: u32 = 5;
 const TAG_MEMBERS: u32 = 6;
 const TAG_SHARD_META: u32 = 7;
+const TAG_FOLDED: u32 = 8;
 
 fn kind_code(kind: CheckpointKind) -> u32 {
     match kind {
@@ -202,6 +215,32 @@ fn push_accountant_sections(b: &mut Builder, g: usize, meta_tag: u32, acc: &TplA
         b.f64s(TAG_FPL, shard_u32(g), &fpl);
         b.f64s(TAG_TPL, shard_u32(g), &tpl);
     }
+    let timeline = acc.timeline();
+    if acc.live_start() > 0 || timeline.horizon().is_some() {
+        let folded = acc.fold_state();
+        // With a horizon armed but nothing folded yet the BPL maxima
+        // are still NEG_INFINITY — written as 0.0 (JSON has no
+        // infinities) and ignored on restore (`len == 0`).
+        let stat = |v: f64| Value::Num(if folded.len == 0 { 0.0 } else { v });
+        b.json(
+            TAG_FOLDED,
+            shard_u32(g),
+            &Value::Map(vec![
+                ("len".to_string(), folded.len.to_value()),
+                ("eps_total".to_string(), Value::Num(timeline.folded_total())),
+                (
+                    "eps_max".to_string(),
+                    Value::Num(timeline.folded_eps_max().unwrap_or(0.0)),
+                ),
+                ("horizon".to_string(), timeline.horizon().to_value()),
+                ("bpl_max".to_string(), stat(folded.bpl_max)),
+                (
+                    "bpl_less_eps_max".to_string(),
+                    stat(folded.bpl_less_eps_max),
+                ),
+            ]),
+        );
+    }
 }
 
 /// Encode a solo accountant as one snapshot container.
@@ -257,6 +296,12 @@ pub(crate) fn write_delta(delta: &CheckpointDelta) -> Vec<u8> {
         &Value::Map(vec![
             ("base_len".to_string(), delta.base_len().to_value()),
             ("shards".to_string(), delta.shards().len().to_value()),
+            // A u64 id does not round-trip through an f64 JSON number,
+            // so the generation travels as a fixed-width hex string.
+            (
+                "generation".to_string(),
+                Value::Str(format!("{:016x}", delta.generation())),
+            ),
         ]),
     );
     for (g, shard) in delta.shards().iter().enumerate() {
@@ -456,6 +501,28 @@ fn read_accountant_raw(
             ))
         }
     };
+    let fold = if c.get(TAG_FOLDED, g).is_some() {
+        let fv = c.json(TAG_FOLDED, g, "fold summary")?;
+        let sub = |k: &str| {
+            fv.get(k)
+                .ok_or_else(|| corrupt(format!("fold summary missing `{k}`")))
+        };
+        let num = |k: &str| -> Result<f64> {
+            f64::from_value(sub(k)?).map_err(|e| corrupt(format!("fold summary.{k}: {e}")))
+        };
+        Some(RawFold {
+            folded_len: usize::from_value(sub("len")?)
+                .map_err(|e| corrupt(format!("fold summary.len: {e}")))?,
+            eps_total: num("eps_total")?,
+            eps_max: num("eps_max")?,
+            horizon: Option::<usize>::from_value(sub("horizon")?)
+                .map_err(|e| corrupt(format!("fold summary.horizon: {e}")))?,
+            bpl_max: num("bpl_max")?,
+            bpl_less_eps_max: num("bpl_less_eps_max")?,
+        })
+    } else {
+        None
+    };
     Ok(RawAccountantState {
         backward: side("backward")?,
         forward: side("forward")?,
@@ -464,6 +531,7 @@ fn read_accountant_raw(
         series,
         warm_backward: witness("warm_backward"),
         warm_forward: witness("warm_forward"),
+        fold,
     })
 }
 
@@ -577,6 +645,17 @@ fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
     };
     let base_len = field("base_len")?;
     let num_shards = field("shards")?;
+    // Absent in records written before generation chaining: 0 keeps the
+    // legacy strict `base_len` contract.
+    let generation = match meta.get("generation") {
+        None => 0,
+        Some(v) => {
+            let s = String::from_value(v)
+                .map_err(|e| corrupt(format!("delta meta.generation: {e}")))?;
+            u64::from_str_radix(&s, 16)
+                .map_err(|_| corrupt(format!("delta meta.generation `{s}` is not a hex id")))?
+        }
+    };
     // Bound the claimed shard count by what the container can actually
     // hold (every shard needs its own budget/bpl/witness sections)
     // before allocating anything from it — a doctored count must be an
@@ -606,5 +685,7 @@ fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
             warm_forward: witness("warm_forward"),
         });
     }
-    Ok(CheckpointDelta::from_parts(kind, base_len, shards))
+    Ok(CheckpointDelta::from_parts(
+        kind, base_len, generation, shards,
+    ))
 }

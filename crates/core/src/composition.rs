@@ -50,7 +50,14 @@ pub fn sequence_guarantee(acc: &TplAccountant, t: usize, j: usize) -> Result<f64
         0 => acc.tpl_at(t)?,
         1 => acc.bpl_at(t)? + acc.fpl_at(end)?,
         _ => {
-            let middle: f64 = acc.with_budgets(|eps| eps[t + 1..end].iter().sum());
+            // The middle sum needs the individual ε values, which exist
+            // only inside the live window — a folded `t` cannot be
+            // answered (the endpoints alone have folded bounds).
+            let ls = acc.live_start();
+            if t < ls {
+                return Err(TplError::FoldedHistory { t, live_start: ls });
+            }
+            let middle: f64 = acc.with_budgets(|eps| eps[t + 1 - ls..end - ls].iter().sum());
             acc.bpl_at(t)? + acc.fpl_at(end)? + middle
         }
     })
@@ -67,6 +74,12 @@ pub fn user_level_guarantee(acc: &TplAccountant) -> Result<f64> {
 /// The worst w-event guarantee: Theorem 2 maximized over all windows of
 /// `w` consecutive releases. `O(T)` loss evaluations for the whole
 /// audit (all windows share the accountant's one cached series pass).
+///
+/// Under a fold horizon the sweep covers the windows that start inside
+/// the live window — exactly the windows a `H ≥ w` streaming deployment
+/// still needs (older windows were audited while they were live). A
+/// horizon too small to fit even one window is a
+/// [`TplError::FoldedHistory`] error.
 pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
     let t_len = acc.len();
     if t_len == 0 {
@@ -75,8 +88,19 @@ pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
     if w == 0 || w > t_len {
         return Err(TplError::InvalidWindow { w });
     }
+    // Every window must start inside the live window: the fold horizon
+    // is chosen with `H ≥ max w`, so an in-contract caller never trips
+    // this — but a too-small horizon must be an honest error, not a
+    // sweep that silently skips the folded windows.
+    let live_start = acc.live_start();
+    if live_start > t_len - w {
+        return Err(TplError::FoldedHistory {
+            t: t_len - w,
+            live_start,
+        });
+    }
     let mut worst = f64::NEG_INFINITY;
-    for t in 0..=(t_len - w) {
+    for t in live_start..=(t_len - w) {
         worst = worst.max(sequence_guarantee(acc, t, w - 1)?);
     }
     Ok(worst)
@@ -109,14 +133,30 @@ pub fn table_ii(acc: &TplAccountant, w: usize) -> Result<Vec<TableIiRow>> {
     if w == 0 || w > t_len {
         return Err(TplError::InvalidWindow { w });
     }
+    // Same window convention as `w_event_guarantee`: under a fold
+    // horizon, sweep the windows starting inside the live window (the
+    // budget values of folded windows are gone; their max ε survives in
+    // the fold summary and still feeds the event-level row).
+    let live_start = acc.live_start();
+    if live_start > t_len - w {
+        return Err(TplError::FoldedHistory {
+            t: t_len - w,
+            live_start,
+        });
+    }
     let (event_independent, w_independent) = acc.with_budgets(|eps| {
-        // Worst window sum of budgets (Theorem 3 on the window).
+        // Worst window sum of budgets (Theorem 3 on the window); `eps`
+        // holds the live window, so indices here are window-local.
         let mut best = f64::NEG_INFINITY;
-        for t in 0..=(t_len - w) {
-            best = best.max(eps[t..t + w].iter().sum::<f64>());
+        for k in 0..=(eps.len() - w) {
+            best = best.max(eps[k..k + w].iter().sum::<f64>());
         }
         (eps.iter().cloned().fold(f64::MIN, f64::max), best)
     });
+    let event_independent = acc
+        .timeline()
+        .folded_eps_max()
+        .map_or(event_independent, |m| event_independent.max(m));
     let user = user_level_guarantee(acc)?;
     Ok(vec![
         TableIiRow {

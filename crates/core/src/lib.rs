@@ -155,6 +155,24 @@ pub enum TplError {
         /// Number of releases observed.
         len: usize,
     },
+    /// A window `[t, t + w)` reaches beyond the observed timeline.
+    WindowOutOfRange {
+        /// Window start (0-based).
+        t: usize,
+        /// Window length.
+        w: usize,
+        /// Number of releases observed.
+        len: usize,
+    },
+    /// A positional query points behind the fold horizon: the exact
+    /// per-step history before `live_start` has been folded into the
+    /// constant-size summary and only bounded (not exact) answers remain.
+    FoldedHistory {
+        /// The rejected time index (0-based).
+        t: usize,
+        /// Global index of the first still-live entry.
+        live_start: usize,
+    },
     /// No releases have been observed yet; the requested statistic is
     /// undefined.
     EmptyTimeline,
@@ -218,6 +236,20 @@ impl std::fmt::Display for TplError {
                 write!(
                     f,
                     "time index {t} is outside the observed timeline of length {len}"
+                )
+            }
+            TplError::WindowOutOfRange { t, w, len } => {
+                write!(
+                    f,
+                    "window [t, t + w) with t = {t}, w = {w} reaches beyond the observed \
+                     timeline of length {len}"
+                )
+            }
+            TplError::FoldedHistory { t, live_start } => {
+                write!(
+                    f,
+                    "time index {t} precedes the fold horizon; history before index \
+                     {live_start} was folded into the constant-size summary"
                 )
             }
             TplError::EmptyTimeline => write!(f, "no releases observed yet"),

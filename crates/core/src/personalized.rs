@@ -277,9 +277,31 @@ impl PopulationAccountant {
                 }
             }
         }
-        for (g, (_, bpl)) in tails.iter().enumerate() {
-            self.groups[g].acc.extend_bpl(bpl);
+        for (g, (budgets, bpl)) in tails.iter().enumerate() {
+            self.groups[g]
+                .acc
+                .extend_bpl(budgets, bpl)
+                .map_err(|e| e.to_string())?;
         }
+        Ok(())
+    }
+
+    /// Arm (or disarm, with `None`) a fold horizon on every shard: each
+    /// distinct timeline folds once, then every shard's accountant
+    /// absorbs the folded BPL prefix into its summary. Copy-on-write
+    /// sharing is untouched — the fold mutates each class's shared
+    /// timeline in place, so shards of one class keep pointing at one
+    /// object. See [`TplAccountant::set_horizon`].
+    pub fn set_horizon(&mut self, horizon: Option<usize>) -> Result<()> {
+        // One fold per distinct timeline object...
+        for rep in Self::timeline_classes(&self.groups).1 {
+            rep.set_horizon(horizon)?;
+        }
+        // ...then every shard syncs its BPL mirror to its (possibly
+        // shared, already-folded) timeline. Re-arming an already-folded
+        // timeline is a no-op, so the per-shard pass is idempotent.
+        let threads = self.default_threads();
+        Self::map_groups_mut(&mut self.groups, threads, |g| g.acc.set_horizon(horizon))?;
         Ok(())
     }
 

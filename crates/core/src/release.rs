@@ -397,6 +397,15 @@ impl DptReleaser {
     pub fn accountant(&self) -> &crate::TplAccountant {
         &self.accountant
     }
+
+    /// Arm (or disarm, with `None`) a fold horizon on the running
+    /// accountant, bounding its resident state to `O(horizon)` for
+    /// arbitrarily long release streams. See
+    /// [`crate::TplAccountant::set_horizon`] for the query semantics of
+    /// folded history.
+    pub fn set_horizon(&mut self, horizon: Option<usize>) -> Result<()> {
+        self.accountant.set_horizon(horizon)
+    }
 }
 
 #[cfg(test)]

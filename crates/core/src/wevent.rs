@@ -37,6 +37,17 @@ pub struct WEventPlan {
     pub alpha_forward: f64,
 }
 
+impl WEventPlan {
+    /// The smallest fold horizon an accountant auditing this plan may
+    /// use (`H ≥ w`): a smaller horizon would fold releases that still
+    /// belong to a protected window, and the w-event sweep would error
+    /// with [`TplError::FoldedHistory`]. Clamp a user-requested horizon
+    /// with `horizon.max(plan.min_fold_horizon())`.
+    pub fn min_fold_horizon(&self) -> usize {
+        self.w
+    }
+}
+
 /// One evaluated probe of the window guarantee: the guarantee itself
 /// plus the side suprema it was assembled from, so an accepting search
 /// never recomputes a supremum pass it already paid for.

@@ -169,19 +169,36 @@ impl BudgetSchedule {
     }
 }
 
-/// The state behind a [`BudgetTimeline`]: the observed ε trail plus its
-/// incrementally maintained prefix sums.
+/// The state behind a [`BudgetTimeline`]: the live tail of the observed ε
+/// trail plus its incrementally maintained prefix sums and, when a fold
+/// horizon is armed, the closed summary of everything already folded away.
 #[derive(Debug, Clone)]
 struct TimelineInner {
+    /// The **live** tail of the trail: global indices `folded..folded+len`.
+    /// Without a horizon this is the whole trail.
     budgets: Vec<f64>,
-    /// `prefix[k] = Σ budgets[..k]` (`len + 1` entries), maintained one
-    /// addition per push — the same left fold a from-scratch scan
-    /// performs, so prefix values are bit-identical to a fresh
-    /// recomputation at any point.
+    /// Absolute prefix sums over the *global* trail, restricted to the
+    /// live window: `prefix[k] = Σ global budgets[..folded + k]`
+    /// (`budgets.len() + 1` entries), maintained one addition per push —
+    /// the same left fold a from-scratch scan performs, so prefix values
+    /// are bit-identical to a fresh recomputation at any point. Folding
+    /// drains entries but never rewrites the survivors, so window sums
+    /// over live indices stay bit-identical to the unfolded trail.
     prefix: Vec<f64>,
     /// Bumped by every mutation; the version stamp consumers key derived
     /// series caches on. Append-only timelines keep `revision == len`.
     revision: u64,
+    /// Number of leading entries folded into the summary — the global
+    /// index of the first live entry. 0 until a horizon trims history.
+    folded: usize,
+    /// Fold horizon `H`: when set, only the most recent `H` entries stay
+    /// live; older ones are absorbed into `folded` / `folded_eps_max` /
+    /// `prefix[0]`. `None` keeps the full trail (the default).
+    horizon: Option<usize>,
+    /// Largest single ε among the folded entries (`NEG_INFINITY` when
+    /// nothing is folded) — the witness consumers feed to
+    /// supremum-of-loss bounds for queries behind the fold.
+    folded_eps_max: f64,
 }
 
 impl TimelineInner {
@@ -190,6 +207,30 @@ impl TimelineInner {
         self.budgets.push(eps);
         self.prefix.push(run + eps);
         self.revision += 1;
+        self.fold_excess();
+    }
+
+    /// Fold entries beyond the horizon into the summary. O(k) for the `k`
+    /// entries folded; on the steady-state push path `k = 1`, keeping the
+    /// per-release cost O(H). Absolute prefix values are preserved (only
+    /// drained, never recomputed), so every surviving window sum is
+    /// bit-identical to the unfolded trail's.
+    fn fold_excess(&mut self) {
+        let Some(h) = self.horizon else { return };
+        if self.budgets.len() <= h {
+            return;
+        }
+        let k = self.budgets.len() - h;
+        for &v in &self.budgets[..k] {
+            self.folded_eps_max = self.folded_eps_max.max(v);
+        }
+        self.budgets.drain(..k);
+        self.prefix.drain(..k);
+        self.folded += k;
+    }
+
+    fn global_len(&self) -> usize {
+        self.folded + self.budgets.len()
     }
 }
 
@@ -220,6 +261,9 @@ impl BudgetTimeline {
                 budgets: Vec::new(),
                 prefix: vec![0.0],
                 revision: 0,
+                folded: 0,
+                horizon: None,
+                folded_eps_max: f64::NEG_INFINITY,
             }),
         }
     }
@@ -272,73 +316,198 @@ impl BudgetTimeline {
         self.inner.write()
     }
 
-    /// Append one release's budget; returns the new length. Rejects
-    /// non-finite or non-positive budgets, leaving the trail untouched.
+    /// Append one release's budget; returns the new (global) length.
+    /// Rejects non-finite or non-positive budgets, leaving the trail
+    /// untouched. When a fold horizon is armed, entries pushed beyond it
+    /// are folded out of the live window in the same critical section
+    /// (one revision bump covers both).
     pub fn push(&self, eps: f64) -> Result<usize> {
         if !eps.is_finite() || eps <= 0.0 {
             return Err(MechError::InvalidEpsilon(eps));
         }
         let mut inner = self.write();
         inner.push_unchecked(eps);
-        Ok(inner.budgets.len())
+        Ok(inner.global_len())
     }
 
-    /// Number of releases recorded.
+    /// Number of releases recorded over the timeline's whole life,
+    /// including entries already folded into the summary.
     pub fn len(&self) -> usize {
-        self.read().budgets.len()
+        self.read().global_len()
     }
 
     /// Whether no release has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.read().budgets.is_empty()
+        self.read().global_len() == 0
     }
 
-    /// The revision stamp: bumped by every push. Derived-series caches
-    /// compare their recorded revision against this to decide validity.
+    /// The revision stamp: bumped by every push and by
+    /// [`BudgetTimeline::set_horizon`]. Derived-series caches compare
+    /// their recorded revision against this to decide validity.
     pub fn revision(&self) -> u64 {
         self.read().revision
     }
 
-    /// Budget at time index `t` (0-based), if recorded.
-    pub fn budget_at(&self, t: usize) -> Option<f64> {
-        self.read().budgets.get(t).copied()
+    /// Arm (or disarm, with `None`) the fold horizon `H ≥ 1`: only the
+    /// most recent `H` entries stay live; older ones fold into a closed
+    /// summary ([`BudgetTimeline::folded_total`] /
+    /// [`BudgetTimeline::folded_eps_max`]). Any existing excess is folded
+    /// immediately. Folding is one-way: disarming stops further folds but
+    /// does not resurrect folded entries. Bumps the revision so derived
+    /// caches resynchronize.
+    pub fn set_horizon(&self, horizon: Option<usize>) -> Result<()> {
+        if horizon == Some(0) {
+            return Err(MechError::InvalidParameter {
+                what: "fold horizon",
+                value: 0.0,
+            });
+        }
+        let mut inner = self.write();
+        inner.horizon = horizon;
+        inner.fold_excess();
+        inner.revision += 1;
+        Ok(())
     }
 
-    /// A snapshot copy of the whole trail.
+    /// The armed fold horizon, if any.
+    pub fn horizon(&self) -> Option<usize> {
+        self.read().horizon
+    }
+
+    /// Global index of the first live entry — 0 until a horizon folds
+    /// history, afterwards the number of folded entries.
+    pub fn live_start(&self) -> usize {
+        self.read().folded
+    }
+
+    /// `Σ ε_k` over the folded entries, exactly as the sequential left
+    /// fold produced it (0.0 when nothing is folded).
+    pub fn folded_total(&self) -> f64 {
+        self.read().prefix.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest single ε among the folded entries, or `None` when nothing
+    /// is folded.
+    pub fn folded_eps_max(&self) -> Option<f64> {
+        let inner = self.read();
+        (inner.folded > 0).then_some(inner.folded_eps_max)
+    }
+
+    /// Number of resident `f64`s (live budgets plus prefix sums) — the
+    /// flat-memory witness for folded timelines.
+    pub fn resident_len(&self) -> usize {
+        let inner = self.read();
+        inner.budgets.len() + inner.prefix.len()
+    }
+
+    /// Checkpoint-restore hook: reinstate a fold summary onto a timeline
+    /// rebuilt from its live trail ([`BudgetTimeline::from_raw_trail`]).
+    /// Mutates in place so `Arc`-sharing consumers keep their handles.
+    /// The prefix sums are rebuilt seeded with `eps_total` and re-folded
+    /// left to right — the exact additions the live run performed, so the
+    /// restored timeline is bit-identical to the one checkpointed.
+    /// Idempotent: re-applying the same summary (population shards repeat
+    /// their class's fold fields) is a no-op; a *different* nonzero fold
+    /// is rejected. Sets the revision to the global length.
+    pub fn restore_fold(
+        &self,
+        folded: usize,
+        eps_total: f64,
+        eps_max: f64,
+        horizon: Option<usize>,
+    ) -> Result<()> {
+        if horizon == Some(0) {
+            return Err(MechError::InvalidParameter {
+                what: "fold horizon",
+                value: 0.0,
+            });
+        }
+        let mut inner = self.write();
+        if inner.folded == folded {
+            // Already applied (shared-class timeline): just (re)arm the
+            // horizon; nothing else can differ for an equal fold point.
+            inner.horizon = horizon;
+            inner.revision = inner.global_len() as u64;
+            return Ok(());
+        }
+        if inner.folded != 0 {
+            return Err(MechError::InvalidParameter {
+                what: "fold restore point",
+                value: folded as f64,
+            });
+        }
+        inner.folded = folded;
+        inner.horizon = horizon;
+        inner.folded_eps_max = if folded > 0 {
+            eps_max
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut prefix = Vec::with_capacity(inner.budgets.len() + 1);
+        let mut run = eps_total;
+        prefix.push(run);
+        for &v in &inner.budgets {
+            run += v;
+            prefix.push(run);
+        }
+        inner.prefix = prefix;
+        inner.revision = inner.global_len() as u64;
+        Ok(())
+    }
+
+    /// Budget at global time index `t` (0-based), if recorded and still
+    /// live. `None` for indices behind the fold as well as beyond the end.
+    pub fn budget_at(&self, t: usize) -> Option<f64> {
+        let inner = self.read();
+        let k = t.checked_sub(inner.folded)?;
+        inner.budgets.get(k).copied()
+    }
+
+    /// A snapshot copy of the live trail (the whole trail when no history
+    /// has been folded).
     pub fn values(&self) -> Vec<f64> {
         self.read().budgets.clone()
     }
 
-    /// Run `f` over the trail without copying it. The shared lock is
+    /// Run `f` over the live trail without copying it (the whole trail
+    /// when no history has been folded; indices into the slice are global
+    /// indices minus [`BudgetTimeline::live_start`]). The shared lock is
     /// held for the duration of `f`; do not push from inside.
     pub fn with_values<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
         f(&self.read().budgets)
     }
 
-    /// The trail entries from index `start` on — the append-cursor read
-    /// behind incremental (delta) checkpoints: a consumer that recorded
-    /// `len()` at its last snapshot fetches exactly what was appended
-    /// since. Returns `None` when `start` exceeds the current length
-    /// (a stale cursor — e.g. the timeline object was swapped), and an
-    /// empty vector when nothing was appended.
+    /// The trail entries from global index `start` on — the append-cursor
+    /// read behind incremental (delta) checkpoints: a consumer that
+    /// recorded `len()` at its last snapshot fetches exactly what was
+    /// appended since. Returns `None` when `start` exceeds the current
+    /// length (a stale cursor — e.g. the timeline object was swapped) or
+    /// precedes the fold (the entries no longer exist), and an empty
+    /// vector when nothing was appended.
     pub fn tail_from(&self, start: usize) -> Option<Vec<f64>> {
-        self.read().budgets.get(start..).map(<[f64]>::to_vec)
+        let inner = self.read();
+        let k = start.checked_sub(inner.folded)?;
+        inner.budgets.get(k..).map(<[f64]>::to_vec)
     }
 
-    /// `Σ ε_k` over the window `[t, t + w)` from the prefix sums, or
-    /// `None` when the window does not fit the trail. O(1); the result
-    /// may differ from a naive slice sum in the last ulp, as any
-    /// prefix-difference does.
+    /// `Σ ε_k` over the window `[t, t + w)` (global indices) from the
+    /// prefix sums, or `None` when the window does not fit the live trail
+    /// — including windows reaching behind the fold. O(1); the result may
+    /// differ from a naive slice sum in the last ulp, as any
+    /// prefix-difference does, but is bit-identical to the same window on
+    /// the unfolded trail (absolute prefix values survive folding).
     pub fn window_sum(&self, t: usize, w: usize) -> Option<f64> {
         let inner = self.read();
-        let end = t.checked_add(w)?;
+        let k = t.checked_sub(inner.folded)?;
+        let end = k.checked_add(w)?;
         if end >= inner.prefix.len() {
             return None;
         }
-        Some(inner.prefix[end] - inner.prefix[t])
+        Some(inner.prefix[end] - inner.prefix[k])
     }
 
-    /// Total spent budget `Σ ε_k` — the user-level sequential-composition
+    /// Total spent budget `Σ ε_k` over the whole life of the timeline,
+    /// folded history included — the user-level sequential-composition
     /// guarantee of the whole trail (Theorem 3 / the paper's Corollary 1).
     pub fn total(&self) -> f64 {
         let inner = self.read();
@@ -349,6 +518,8 @@ impl BudgetTimeline {
 
     /// Whether two timelines hold bit-identical trails — the equivalence
     /// the population accountant's copy-on-write sharing is keyed on.
+    /// Folded timelines compare the fold point, the folded total (bit
+    /// for bit), and the live entries.
     pub fn series_eq(&self, other: &BudgetTimeline) -> bool {
         if std::ptr::eq(self, other) {
             // Same object: a second read of the same RwLock on this
@@ -357,7 +528,10 @@ impl BudgetTimeline {
         }
         let a = self.read();
         let b = other.read();
-        a.budgets.len() == b.budgets.len()
+        a.folded == b.folded
+            && a.budgets.len() == b.budgets.len()
+            && a.prefix.first().copied().unwrap_or(0.0).to_bits()
+                == b.prefix.first().copied().unwrap_or(0.0).to_bits()
             && a.budgets
                 .iter()
                 .zip(&b.budgets)
@@ -382,8 +556,10 @@ impl Clone for BudgetTimeline {
 }
 
 impl Serialize for BudgetTimeline {
-    /// Serializes the raw trail; prefix sums and revision are rebuilt on
+    /// Serializes the live trail; prefix sums and revision are rebuilt on
     /// restore (push-by-push, so they are bit-identical by construction).
+    /// Fold state is *not* carried here — the checkpoint layer records it
+    /// separately and reinstates it via [`BudgetTimeline::restore_fold`].
     fn to_value(&self) -> Value {
         self.with_values(|budgets| Value::Seq(budgets.iter().map(|b| Value::Num(*b)).collect()))
     }
@@ -631,6 +807,122 @@ mod tests {
             back.window_sum(0, 3).unwrap().to_bits(),
             t.window_sum(0, 3).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn horizon_folds_history_but_preserves_live_window_bits() {
+        let folded = BudgetTimeline::new();
+        folded.set_horizon(Some(3)).unwrap();
+        let reference = BudgetTimeline::new();
+        let trail = [0.5, 0.2, 0.3, 0.1, 0.4, 0.25, 0.15];
+        for &e in &trail {
+            assert_eq!(folded.push(e).unwrap(), reference.push(e).unwrap());
+        }
+        // Global length and totals are unchanged by folding.
+        assert_eq!(folded.len(), trail.len());
+        assert_eq!(folded.total().to_bits(), reference.total().to_bits());
+        assert_eq!(folded.live_start(), trail.len() - 3);
+        assert_eq!(folded.resident_len(), 3 + 4);
+        // Folded summary matches a scan of the dropped prefix.
+        assert_eq!(
+            folded.folded_total().to_bits(),
+            reference.window_sum(0, 4).unwrap().to_bits()
+        );
+        assert_eq!(folded.folded_eps_max(), Some(0.5));
+        assert_eq!(reference.folded_eps_max(), None);
+        // Live-window queries are bit-identical to the unfolded trail.
+        for t in folded.live_start()..trail.len() {
+            assert_eq!(
+                folded.budget_at(t).unwrap().to_bits(),
+                reference.budget_at(t).unwrap().to_bits()
+            );
+            for w in 1..=(trail.len() - t) {
+                assert_eq!(
+                    folded.window_sum(t, w).unwrap().to_bits(),
+                    reference.window_sum(t, w).unwrap().to_bits(),
+                    "window ({t}, {w})"
+                );
+            }
+        }
+        // Behind the fold every positional read honestly declines.
+        assert_eq!(folded.budget_at(0), None);
+        assert_eq!(folded.window_sum(0, 2), None);
+        assert_eq!(folded.tail_from(0), None);
+        assert_eq!(
+            folded.tail_from(folded.live_start()),
+            Some(vec![0.4, 0.25, 0.15])
+        );
+    }
+
+    #[test]
+    fn horizon_zero_is_rejected_and_exact_horizon_is_inclusive() {
+        let t = BudgetTimeline::new();
+        assert!(matches!(
+            t.set_horizon(Some(0)),
+            Err(MechError::InvalidParameter { .. })
+        ));
+        t.set_horizon(Some(2)).unwrap();
+        t.push(0.1).unwrap();
+        t.push(0.2).unwrap();
+        // Exactly H entries: nothing folds yet.
+        assert_eq!(t.live_start(), 0);
+        t.push(0.3).unwrap();
+        assert_eq!(t.live_start(), 1);
+        // Arming after the fact folds immediately and bumps the revision.
+        let late = BudgetTimeline::from_values(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let rev = late.revision();
+        late.set_horizon(Some(2)).unwrap();
+        assert_eq!(late.live_start(), 2);
+        assert_eq!(late.revision(), rev + 1);
+        assert_eq!(late.horizon(), Some(2));
+        // Disarming stops folding but keeps folded history folded.
+        late.set_horizon(None).unwrap();
+        late.push(0.5).unwrap();
+        assert_eq!(late.live_start(), 2);
+        assert_eq!(late.values(), vec![0.3, 0.4, 0.5]);
+    }
+
+    #[test]
+    fn restore_fold_is_bit_identical_and_idempotent() {
+        let live = BudgetTimeline::new();
+        live.set_horizon(Some(3)).unwrap();
+        for e in [0.5, 0.2, 0.3, 0.1, 0.4, 0.25] {
+            live.push(e).unwrap();
+        }
+        // Restore path: rebuild from the live trail, reapply the summary.
+        let restored = BudgetTimeline::from_raw_trail(&live.values());
+        restored
+            .restore_fold(
+                live.live_start(),
+                live.folded_total(),
+                live.folded_eps_max().unwrap(),
+                live.horizon(),
+            )
+            .unwrap();
+        assert!(restored.series_eq(&live));
+        assert_eq!(restored.len(), live.len());
+        assert_eq!(restored.revision(), live.len() as u64);
+        assert_eq!(restored.total().to_bits(), live.total().to_bits());
+        for t in live.live_start()..live.len() {
+            for w in 1..=(live.len() - t) {
+                assert_eq!(
+                    restored.window_sum(t, w).map(f64::to_bits),
+                    live.window_sum(t, w).map(f64::to_bits)
+                );
+            }
+        }
+        // Re-applying the same summary is a no-op (shared-class restores).
+        restored
+            .restore_fold(
+                live.live_start(),
+                live.folded_total(),
+                live.folded_eps_max().unwrap(),
+                live.horizon(),
+            )
+            .unwrap();
+        assert!(restored.series_eq(&live));
+        // A different nonzero fold point is rejected.
+        assert!(restored.restore_fold(1, 0.5, 0.5, None).is_err());
     }
 
     #[test]

@@ -91,14 +91,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Day three runs with *incremental* binary checkpoints: one full
     // v3 snapshot (raw f64 sections), then every stop point appends
     // only the releases observed since — O(appended) bytes, not O(T).
-    use tcdp::core::checkpoint::{delta_log_path, resume_file, write_atomic, SavedState};
-    let bin_path = std::env::temp_dir().join("tcdp_population_checkpoint.bin");
-    // A fresh snapshot invalidates any delta log a previous run left
-    // behind; stale records would refuse to chain onto the new state.
-    let _ = std::fs::remove_file(delta_log_path(&bin_path));
-    write_atomic(&bin_path, &resumed.checkpoint_binary())?;
-    let snapshot_bytes = std::fs::metadata(&bin_path)?.len();
-    let mut cursor = resumed.delta_cursor();
+    use tcdp::core::checkpoint::{
+        delta_log_path, resume_file, snapshot_generation, write_atomic, SavedState,
+    };
+    let bin_path = std::env::temp_dir().join(format!("tcdp_population_{}.bin", std::process::id()));
+    // The cursor is stamped with the snapshot's generation id
+    // (a content hash), so every delta record names the exact snapshot
+    // it chains onto.
+    let snapshot = resumed.checkpoint_binary();
+    let generation = snapshot_generation(&snapshot);
+    write_atomic(&bin_path, &snapshot)?;
+    let snapshot_bytes = snapshot.len() as u64;
+    let mut cursor = resumed.delta_cursor().stamped(generation);
     for stop in 0..3 {
         for _ in 0..10 {
             resumed.observe_release(0.02)?;
@@ -108,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .checkpoint_delta(&cursor)
             .expect("topology unchanged");
         delta.append_to(&delta_log_path(&bin_path))?;
-        cursor = resumed.delta_cursor();
+        cursor = resumed.delta_cursor().stamped(generation);
         println!(
             "day 3 stop {stop}: appended {} releases as a delta record",
             delta.appended()
@@ -129,5 +133,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("snapshot + delta replay is bit-identical to the uninterrupted control");
+
+    // Day four: the audit is restarted from scratch and overwrites the
+    // snapshot — *without* cleaning up the old delta log (this used to
+    // require hand-deleting the `.delta` file before re-running).
+    // Because the old records are stamped with the superseded
+    // snapshot's generation, resume skips them with a warning instead
+    // of grafting them onto the new state.
+    for _ in 0..10 {
+        resumed.observe_release(0.02)?;
+    }
+    write_atomic(&bin_path, &resumed.checkpoint_binary())?;
+    let SavedState::Population(fresh) = resume_file(&bin_path)? else {
+        unreachable!("population snapshot");
+    };
+    assert_eq!(
+        fresh.num_releases(),
+        resumed.num_releases(),
+        "stale delta records must be ignored, not replayed"
+    );
+    println!(
+        "restart over a stale delta log resumes at T = {} (stale records skipped)",
+        fresh.num_releases()
+    );
+    let _ = std::fs::remove_file(&bin_path);
+    let _ = std::fs::remove_file(delta_log_path(&bin_path));
     Ok(())
 }

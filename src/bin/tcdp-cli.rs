@@ -49,9 +49,9 @@ USAGE:
   tcdp-cli supremum --matrix M --eps E
   tcdp-cli plan     [--pb M] [--pf M] --alpha A [--horizon T]
   tcdp-cli audit    [--pb M] [--pf M] [--population SPEC] [--budgets SPEC]
-                    [--w W1,W2,...] [--stream] [--checkpoint FILE]
-                    [--checkpoint-format json|bin] [--checkpoint-every N]
-                    [--resume FILE]
+                    [--w W1,W2,...] [--stream] [--horizon H]
+                    [--checkpoint FILE] [--checkpoint-format json|bin]
+                    [--checkpoint-every N] [--resume FILE]
   tcdp-cli estimate --traces FILE [--pseudo C]
   tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
 
@@ -97,6 +97,12 @@ USAGE:
   not O(T)); in JSON format each save rewrites the full snapshot.
   Blank and whitespace-only budget lines (and empty CSV fields) are
   skipped, and a trail without a trailing newline is fine.
+  `audit --horizon H` folds releases older than the last H into a
+  constant-size summary (converged BPL bound + folded budget total), so
+  the audit's resident state and its binary checkpoints stay O(H) for
+  arbitrarily long streams. Queries inside the horizon are bit-identical
+  to an unfolded audit; --w sweeps cover the windows starting inside the
+  live horizon (H must be >= every --w).
   `estimate` fits P^F/P^B from a trace file (one trajectory per line) and
   prints them as JSON usable with --pb/--pf. `report` is a one-shot audit:
   actual leakage of an eps-per-step stream plus the plans that would meet
@@ -368,6 +374,28 @@ fn parse_windows(opts: &Opts) -> Result<Vec<usize>, String> {
     }
 }
 
+/// `audit --horizon H`: the fold horizon bounding the accountant's
+/// resident state to `O(H)`. Must cover every audited window (`H ≥ max
+/// w`) — folding a release that still belongs to a protected window
+/// would leave the w-event sweep unanswerable.
+fn parse_fold_horizon(opts: &Opts, windows: &[usize]) -> Result<Option<usize>, String> {
+    let Some(h) = opts.get_usize("horizon")? else {
+        return Ok(None);
+    };
+    if h == 0 {
+        return Err("--horizon must be at least 1 (the number of live releases kept)".into());
+    }
+    if let Some(&w) = windows.iter().max() {
+        if h < w {
+            return Err(format!(
+                "--horizon {h} is smaller than --w {w}: folded history would overlap a \
+                 protected window (need horizon >= max w)"
+            ));
+        }
+    }
+    Ok(Some(h))
+}
+
 /// One group of a `--population` spec: a contiguous user range sharing
 /// one adversary model.
 struct GroupSpec {
@@ -627,14 +655,20 @@ impl CheckpointSink {
         // being resumed is a JSON envelope, appending deltas next to it
         // would write records no future resume ever reads (the JSON
         // branch ignores the log). A full binary snapshot is written
-        // instead on the first save.
-        let is_binary_snapshot = self
+        // instead on the first save. The cursor is stamped with the
+        // snapshot's generation id so appended deltas are recognizably
+        // *this* snapshot's — a later run that overwrites the snapshot
+        // leaves them behind as skippable, not as corruption.
+        let snapshot_bytes = self
             .path
             .as_deref()
             .and_then(|p| std::fs::read(Path::new(p)).ok())
-            .is_some_and(|bytes| bytes.starts_with(checkpoint::format::MAGIC));
-        if is_binary_snapshot {
-            self.cursor = Some(acc.cursor());
+            .filter(|bytes| bytes.starts_with(checkpoint::format::MAGIC));
+        if let Some(bytes) = snapshot_bytes {
+            self.cursor = Some(
+                acc.cursor()
+                    .stamped(checkpoint::snapshot_generation(&bytes)),
+            );
         }
     }
 
@@ -670,18 +704,25 @@ impl CheckpointSink {
             CkFormat::Bin => {
                 if let Some(cursor) = &self.cursor {
                     if let Some(delta) = acc.delta(cursor) {
+                        let generation = cursor.generation();
                         if !delta.is_empty() {
                             delta
                                 .append_to(&checkpoint::delta_log_path(path))
                                 .map_err(|e| e.to_string())?;
                         }
-                        self.cursor = Some(acc.cursor());
+                        // Later deltas keep chaining onto the same base
+                        // snapshot, so they carry its generation too.
+                        self.cursor = Some(acc.cursor().stamped(generation));
                         return Ok("delta appended");
                     }
                 }
-                checkpoint::write_atomic(path, &acc.checkpoint_bin()).map_err(|e| e.to_string())?;
+                let bytes = acc.checkpoint_bin();
+                checkpoint::write_atomic(path, &bytes).map_err(|e| e.to_string())?;
                 remove_delta_log(path)?;
-                self.cursor = Some(acc.cursor());
+                self.cursor = Some(
+                    acc.cursor()
+                        .stamped(checkpoint::snapshot_generation(&bytes)),
+                );
                 Ok("snapshot written")
             }
         }
@@ -742,6 +783,10 @@ fn audit_population(
                 pop.num_releases()
             );
         }
+    }
+    if let Some(h) = parse_fold_horizon(opts, &windows)? {
+        pop.set_horizon(Some(h))
+            .map_err(|e| format!("--horizon: {e}"))?;
     }
     let observe = |pop: &mut PopulationAccountant,
                    sink: &mut CheckpointSink,
@@ -951,6 +996,13 @@ fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<()
             println!("resumed {} releases from checkpoint", acc.len());
         }
     }
+    // Armed before observing (and re-armed after a resume, which
+    // restores whatever horizon the checkpoint carried): the accountant
+    // folds as the stream runs, keeping resident state O(horizon).
+    if let Some(h) = parse_fold_horizon(opts, &windows)? {
+        acc.set_horizon(Some(h))
+            .map_err(|e| format!("--horizon: {e}"))?;
+    }
     let observe =
         |acc: &mut TplAccountant, sink: &mut CheckpointSink, b: f64| -> Result<(), String> {
             let report = acc.observe_release(b).map_err(|e| e.to_string())?;
@@ -1015,9 +1067,11 @@ fn audit_single(opts: &Opts, mut acc: TplAccountant, resumed: bool) -> Result<()
     for &w in &windows {
         let g = w_event_guarantee(&acc, w).map_err(|e| format!("--w {w}: {e}"))?;
         // Independent-composition baseline: the worst window budget sum
-        // (Theorem 3), via the accountant's prefix sums.
+        // (Theorem 3), via the accountant's prefix sums. Under a fold
+        // horizon only live windows are swept — the same convention as
+        // `w_event_guarantee`.
         let mut independent = f64::NEG_INFINITY;
-        for t in 0..=(acc.len() - w) {
+        for t in acc.live_start()..=(acc.len() - w) {
             let sum = acc.window_budget_sum(t, w).map_err(|e| e.to_string())?;
             independent = independent.max(sum);
         }

@@ -850,6 +850,55 @@ fn audit_checkpoint_every_validates_flags() {
     assert!(err.contains("expected 'json' or 'bin'"), "{err}");
 }
 
+#[test]
+fn audit_horizon_validates_and_folds() {
+    let pb = "[[0.9,0.1],[0.2,0.8]]";
+    let trail = "0.1,".repeat(30);
+    let err = run_err(&["audit", "--pb", pb, "--budgets", &trail, "--horizon", "0"]);
+    assert!(err.contains("--horizon must be at least 1"), "{err}");
+    // A horizon smaller than an audited window would fold releases a
+    // protected window still needs.
+    let err = run_err(&[
+        "audit",
+        "--pb",
+        pb,
+        "--budgets",
+        &trail,
+        "--w",
+        "8",
+        "--horizon",
+        "5",
+    ]);
+    assert!(err.contains("smaller than --w"), "{err}");
+    // A folded audit still reports every summary line; the w-event
+    // guarantee of a monotone (uniform) stream lives in the final
+    // window, which the fold keeps live — so it matches the unfolded
+    // run exactly.
+    let folded = run_ok(&[
+        "audit",
+        "--pb",
+        pb,
+        "--budgets",
+        &trail,
+        "--w",
+        "8",
+        "--horizon",
+        "10",
+    ]);
+    let unfolded = run_ok(&["audit", "--pb", pb, "--budgets", &trail, "--w", "8"]);
+    let line = |out: &str| {
+        out.lines()
+            .find(|l| l.contains("8-event guarantee"))
+            .expect("guarantee line")
+            .to_string()
+    };
+    assert_eq!(line(&folded), line(&unfolded));
+    assert!(
+        folded.contains("user-level (Corollary 1): 3.0000"),
+        "{folded}"
+    );
+}
+
 /// Regression: resuming a *JSON* checkpoint while checkpointing back to
 /// the same path in binary mode must write a real binary snapshot — not
 /// adopt a delta cursor and append records next to a JSON file that the

@@ -1,0 +1,192 @@
+//! Acceptance tests for history folding (the O(w) accountant): resident
+//! state and binary snapshots must stay *flat* as the stream grows an
+//! order of magnitude, while every query inside the horizon stays
+//! bit-identical to the unfolded reference.
+
+use tcdp::core::checkpoint::{
+    delta_log_path, resume_file, snapshot_generation, write_atomic, SavedState,
+};
+use tcdp::core::composition::{sequence_guarantee, w_event_guarantee};
+use tcdp::core::TplAccountant;
+use tcdp::markov::TransitionMatrix;
+
+const EPS: f64 = 0.01;
+const HORIZON: usize = 64;
+
+fn matrix() -> TransitionMatrix {
+    TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap()
+}
+
+fn folded_stream(t_len: usize) -> TplAccountant {
+    let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    acc.set_horizon(Some(HORIZON)).unwrap();
+    acc.observe_uniform(EPS, t_len).unwrap();
+    acc
+}
+
+/// The tentpole acceptance bar: from T = 10^4 to T = 10^5 the folded
+/// accountant's resident state and its v3 snapshot do not grow AT ALL
+/// (the live window is pinned at the horizon), while the unfolded
+/// reference grows linearly.
+#[test]
+fn resident_state_and_snapshot_stay_flat_from_1e4_to_1e5() {
+    let small = folded_stream(10_000);
+    let large = folded_stream(100_000);
+    assert_eq!(small.live_start(), 10_000 - HORIZON);
+    assert_eq!(large.live_start(), 100_000 - HORIZON);
+    assert_eq!(
+        small.resident_f64s(),
+        large.resident_f64s(),
+        "resident state must not grow with T under a horizon"
+    );
+    let small_snap = small.checkpoint_binary();
+    let large_snap = large.checkpoint_binary();
+    // The only T-dependent bytes are the decimal digits of the folded
+    // length and Σε inside the FOLDED_SUMMARY JSON — one align8 step of
+    // slack, not a function of T.
+    assert!(
+        large_snap.len() <= small_snap.len() + 16,
+        "v3 snapshots must stay flat as T grows 10x ({} B -> {} B)",
+        small_snap.len(),
+        large_snap.len()
+    );
+
+    // The unfolded reference at the *small* T is already bigger than
+    // the folded state at the *large* T — the gap the fold buys.
+    let mut unfolded = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    unfolded.observe_uniform(EPS, 10_000).unwrap();
+    assert!(
+        unfolded.resident_f64s() >= 10_000,
+        "unfolded resident state tracks T ({} f64s at T = 10^4)",
+        unfolded.resident_f64s()
+    );
+    assert!(
+        unfolded.resident_f64s() > 10 * large.resident_f64s(),
+        "fold must shrink resident state by more than 10x \
+         (unfolded@1e4 = {}, folded@1e5 = {})",
+        unfolded.resident_f64s(),
+        large.resident_f64s()
+    );
+    assert!(
+        unfolded.checkpoint_binary().len() > 10 * large_snap.len(),
+        "fold must shrink snapshots by more than 10x"
+    );
+}
+
+/// Inside the horizon the folded accountant answers every query
+/// bit-identically to the unfolded reference; beyond it, the summary
+/// bounds dominate the true (discarded) values.
+#[test]
+fn folded_queries_match_unfolded_inside_the_horizon() {
+    let t_len = 3_000;
+    let folded = folded_stream(t_len);
+    let mut unfolded = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    unfolded.observe_uniform(EPS, t_len).unwrap();
+
+    assert_eq!(folded.len(), unfolded.len());
+    assert_eq!(
+        folded.user_level().to_bits(),
+        unfolded.user_level().to_bits()
+    );
+    let live = folded.live_start();
+    for t in live..t_len {
+        assert_eq!(
+            folded.bpl_at(t).unwrap().to_bits(),
+            unfolded.bpl_at(t).unwrap().to_bits(),
+            "BPL at t = {t}"
+        );
+        assert_eq!(
+            folded.fpl_at(t).unwrap().to_bits(),
+            unfolded.fpl_at(t).unwrap().to_bits(),
+            "FPL at t = {t}"
+        );
+        assert_eq!(
+            folded.tpl_at(t).unwrap().to_bits(),
+            unfolded.tpl_at(t).unwrap().to_bits(),
+            "TPL at t = {t}"
+        );
+    }
+    for w in [1usize, 7, HORIZON] {
+        for t in live..=(t_len - w) {
+            assert_eq!(
+                folded.window_budget_sum(t, w).unwrap().to_bits(),
+                unfolded.window_budget_sum(t, w).unwrap().to_bits(),
+                "window sum at t = {t}, w = {w}"
+            );
+        }
+        // The folded sweep maximizes over the live subset of windows,
+        // so it is bounded by the unfolded sweep and bit-identical to
+        // the unfolded maximum over the same subset.
+        let folded_g = w_event_guarantee(&folded, w).unwrap();
+        assert!(folded_g.is_finite());
+        assert!(folded_g <= w_event_guarantee(&unfolded, w).unwrap());
+        let live_max = (live..=(t_len - w))
+            .map(|t| sequence_guarantee(&unfolded, t, w - 1).unwrap().to_bits())
+            .fold(f64::NEG_INFINITY.to_bits(), |a, b| {
+                f64::from_bits(a).max(f64::from_bits(b)).to_bits()
+            });
+        assert_eq!(folded_g.to_bits(), live_max, "w = {w}");
+    }
+    // Beyond the horizon: a sound upper bound, never an understatement.
+    for t in [0usize, 1, live / 2, live - 1] {
+        assert!(folded.bpl_at(t).unwrap() >= unfolded.bpl_at(t).unwrap());
+        assert!(folded.fpl_at(t).unwrap() >= unfolded.fpl_at(t).unwrap());
+        assert!(folded.tpl_at(t).unwrap() >= unfolded.tpl_at(t).unwrap());
+    }
+    assert!(folded.max_tpl().unwrap() >= unfolded.max_tpl().unwrap());
+}
+
+/// Mid-stream fold + binary checkpoint + resume, with the snapshot
+/// overwritten mid-run: the resumed accountant continues bit-identically
+/// and stale generation-stamped delta records are skipped, not replayed.
+#[test]
+fn folded_checkpoint_resume_is_bit_identical() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tcdp_folding_{}.bin", std::process::id()));
+
+    let mut live = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    live.set_horizon(Some(HORIZON)).unwrap();
+    live.observe_uniform(EPS, 500).unwrap();
+    live.tpl_series().unwrap(); // warm the caches the snapshot carries
+
+    let snapshot = live.checkpoint_binary();
+    let generation = snapshot_generation(&snapshot);
+    write_atomic(&path, &snapshot).unwrap();
+    let mut cursor = live.delta_cursor().stamped(generation);
+    for _ in 0..3 {
+        live.observe_uniform(EPS, 40).unwrap();
+        let delta = live.checkpoint_delta(&cursor).expect("cursor chains");
+        delta.append_to(&delta_log_path(&path)).unwrap();
+        cursor = live.delta_cursor().stamped(generation);
+    }
+
+    let SavedState::Tpl(resumed) = resume_file(&path).unwrap() else {
+        panic!("expected a solo accountant");
+    };
+    assert_eq!(resumed.len(), live.len());
+    assert_eq!(resumed.live_start(), live.live_start());
+    assert_eq!(resumed.user_level().to_bits(), live.user_level().to_bits());
+    assert_eq!(resumed.tpl_series().unwrap(), live.tpl_series().unwrap());
+    for t in resumed.live_start()..resumed.len() {
+        assert_eq!(
+            resumed.bpl_at(t).unwrap().to_bits(),
+            live.bpl_at(t).unwrap().to_bits()
+        );
+    }
+
+    // Overwrite the snapshot at a later T without cleaning the log: the
+    // old records are recognizably from a superseded generation.
+    live.observe_uniform(EPS, 25).unwrap();
+    write_atomic(&path, &live.checkpoint_binary()).unwrap();
+    let SavedState::Tpl(fresh) = resume_file(&path).unwrap() else {
+        panic!("expected a solo accountant");
+    };
+    assert_eq!(
+        fresh.len(),
+        live.len(),
+        "stale delta records must be skipped, not replayed"
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(delta_log_path(&path));
+}

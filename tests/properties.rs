@@ -493,6 +493,136 @@ proptest! {
         }
     }
 
+    /// Differential: a folded accountant under a small horizon answers
+    /// every live-window query bit-identically to an unfolded twin fed
+    /// the same stream, across random observe / query / checkpoint
+    /// interleavings — including arming the fold mid-stream and binary
+    /// snapshot + delta resume while folded. The boundary indices
+    /// `t = live_start` and `w = horizon` are probed on every step, and
+    /// folded-history answers must dominate the twin's true values.
+    #[test]
+    fn folded_accountant_is_a_bit_identical_window_of_the_unfolded_one(
+        m in stochastic_matrix(3),
+        horizon in 2usize..8,
+        budgets in proptest::collection::vec(0.01f64..1.0, 1..12),
+        ops in proptest::collection::vec(0usize..6, 6..28),
+    ) {
+        use tcdp::core::composition::{sequence_guarantee, w_event_guarantee};
+        let adv = AdversaryT::with_both(m.clone(), m).unwrap();
+        let mut folded = TplAccountant::new(&adv);
+        let mut unfolded = TplAccountant::new(&adv);
+        let mut armed = false;
+        for &op in &ops {
+            match op {
+                0 | 1 => {
+                    let b = budgets[folded.len() % budgets.len()];
+                    folded.observe_release(b).unwrap();
+                    unfolded.observe_release(b).unwrap();
+                }
+                2 if !armed => {
+                    // Arm the fold mid-stream; history already past the
+                    // horizon folds on the next push.
+                    folded.set_horizon(Some(horizon)).unwrap();
+                    armed = true;
+                }
+                3 => {
+                    // Serde round-trip of the (possibly folded) state.
+                    let json = serde_json::to_string(&folded).unwrap();
+                    folded = serde_json::from_str(&json).unwrap();
+                }
+                4 => {
+                    // Binary snapshot + resume while folded.
+                    let bytes = folded.checkpoint_binary();
+                    folded = match resume_bytes(&bytes, None).unwrap() {
+                        SavedState::Tpl(a) => a,
+                        _ => unreachable!("tpl snapshot"),
+                    };
+                }
+                5 => {
+                    // Incremental: snapshot, observe live, replay the
+                    // delta — mid-stream fold + resume in one step.
+                    let snapshot = folded.checkpoint_binary();
+                    let cursor = folded.delta_cursor();
+                    let b = budgets[folded.len() % budgets.len()];
+                    folded.observe_release(b).unwrap();
+                    unfolded.observe_release(b).unwrap();
+                    let delta = folded.checkpoint_delta(&cursor).unwrap();
+                    folded = match resume_bytes(&snapshot, Some(&delta.to_bytes())).unwrap() {
+                        SavedState::Tpl(a) => a,
+                        _ => unreachable!("tpl snapshot"),
+                    };
+                }
+                _ => {}
+            }
+            prop_assert_eq!(folded.len(), unfolded.len());
+            if folded.is_empty() {
+                continue;
+            }
+            let t_len = folded.len();
+            let live = folded.live_start();
+            let expected = if armed { t_len.saturating_sub(horizon) } else { 0 };
+            prop_assert_eq!(live, expected);
+            prop_assert_eq!(
+                folded.user_level().to_bits(),
+                unfolded.user_level().to_bits()
+            );
+            for t in live..t_len {
+                prop_assert_eq!(
+                    folded.bpl_at(t).unwrap().to_bits(),
+                    unfolded.bpl_at(t).unwrap().to_bits()
+                );
+                prop_assert_eq!(
+                    folded.fpl_at(t).unwrap().to_bits(),
+                    unfolded.fpl_at(t).unwrap().to_bits()
+                );
+                prop_assert_eq!(
+                    folded.tpl_at(t).unwrap().to_bits(),
+                    unfolded.tpl_at(t).unwrap().to_bits()
+                );
+            }
+            for t in 0..live {
+                // Folded history: a sound upper bound, never an
+                // understatement of the discarded values.
+                prop_assert!(folded.bpl_at(t).unwrap() >= unfolded.bpl_at(t).unwrap());
+                prop_assert!(folded.fpl_at(t).unwrap() >= unfolded.fpl_at(t).unwrap());
+                prop_assert!(folded.tpl_at(t).unwrap() >= unfolded.tpl_at(t).unwrap());
+                prop_assert!(folded.window_budget_sum(t, 1).is_err());
+            }
+            prop_assert!(folded.max_tpl().unwrap() >= unfolded.max_tpl().unwrap());
+            // Window queries, with w = horizon as the boundary case.
+            for w in [1usize, horizon.min(t_len)] {
+                for t in live..=(t_len.saturating_sub(w)).max(live) {
+                    if t + w > t_len {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        folded.window_budget_sum(t, w).unwrap().to_bits(),
+                        unfolded.window_budget_sum(t, w).unwrap().to_bits()
+                    );
+                }
+                if w > t_len {
+                    continue;
+                }
+                if t_len - w < live {
+                    // No live window of this width fits: typed error,
+                    // not a silently wrong sweep.
+                    prop_assert!(w_event_guarantee(&folded, w).is_err());
+                    continue;
+                }
+                // The folded sweep is the bit-exact maximum over the
+                // live subset of windows, and bounded by the full sweep.
+                let folded_g = w_event_guarantee(&folded, w).unwrap();
+                prop_assert!(folded_g <= w_event_guarantee(&unfolded, w).unwrap());
+                let live_max = (live..=(t_len - w))
+                    .map(|t| sequence_guarantee(&unfolded, t, w - 1).unwrap().to_bits())
+                    .fold(f64::NEG_INFINITY.to_bits(), |a, b| {
+                        f64::from_bits(a).max(f64::from_bits(b)).to_bits()
+                    });
+                prop_assert_eq!(folded_g.to_bits(), live_max);
+            }
+        }
+    }
+
     #[test]
     fn eval_many_is_bit_equal_to_mapped_eval(
         m in sparse_stochastic_matrix(5),
