@@ -3,7 +3,7 @@
 //! Usage: `check_bench <BENCH_*.json>`
 //!
 //! Reads the schema-version-1 document the criterion stand-in emits and
-//! gates two kinds of baseline pairs at parameters `≥ 1000`:
+//! gates three kinds of baseline pairs at parameters `≥ 1000`:
 //!
 //! * `alg1/kernel/{shape}-chunked/{n}` and `alg1/build/{shape}-chunked/{n}`
 //!   against the `{shape}-scalar` sibling at the same `n` — the
@@ -11,12 +11,17 @@
 //! * `acct/fold/folded/{T}` against `acct/fold/unfolded/{T}` — the O(w)
 //!   folded accountant's per-release audit must not cost more than the
 //!   O(T) unfolded history it summarizes away.
+//! * `resume/mmap/{T}` against `resume/copy/{T}` — the zero-copy mapped
+//!   snapshot view must answer the worst-TPL audit in at most
+//!   [`MMAP_TOLERANCE`] (a tenth) of the materializing resume's time;
+//!   this is the "≥ 10× faster" checkpoint read-path floor.
 //!
 //! The job fails (non-zero exit) if a pair's mean-time ratio exceeds
-//! [`TOLERANCE`]. Entries with no sibling in the dump (the `O(n³)`
-//! scalar build is skipped at n = 4000) are ignored; a dump holding *no*
-//! comparable pair of either kind is itself an error, so renaming
-//! benches cannot silently disable the gate.
+//! its family tolerance ([`TOLERANCE`] for the first two families,
+//! [`MMAP_TOLERANCE`] for the resume pair). Entries with no sibling in
+//! the dump (the `O(n³)` scalar build is skipped at n = 4000) are
+//! ignored; a dump holding *no* comparable pair of any kind is itself
+//! an error, so renaming benches cannot silently disable the gate.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -25,6 +30,12 @@ use std::process::ExitCode;
 /// noise at smoke-sized measurement windows; low enough that a real
 /// regression (chunked slower than the scalar reference) still fails.
 const TOLERANCE: f64 = 1.25;
+
+/// Allowed mmap/copy resume mean-time ratio: the mapped view must be at
+/// least 10× faster than the materializing resume, so its mean may be
+/// at most a tenth of the baseline's. Well below 1.0 on purpose — this
+/// family gates a claimed order-of-magnitude win, not mere parity.
+const MMAP_TOLERANCE: f64 = 0.1;
 
 /// Sizes small enough to be dominated by fixed overheads are not gated.
 const MIN_PARAM: i64 = 1000;
@@ -51,17 +62,22 @@ fn run(path: &str) -> Result<(), String> {
             continue;
         };
         let param = *param as i64;
-        // Candidate vs baseline naming, per bench family.
-        let (prefix, sibling) = if let Some(p) = group.strip_suffix("-chunked") {
+        // Candidate vs baseline naming and tolerance, per bench family.
+        let (prefix, sibling, tolerance) = if let Some(p) = group.strip_suffix("-chunked") {
             if !p.starts_with("alg1/") {
                 continue;
             }
-            (p.to_string(), format!("{p}-scalar"))
+            (p.to_string(), format!("{p}-scalar"), TOLERANCE)
         } else if let Some(p) = group.strip_suffix("/folded") {
             if !p.starts_with("acct/") {
                 continue;
             }
-            (format!("{p}/folded"), format!("{p}/unfolded"))
+            (format!("{p}/folded"), format!("{p}/unfolded"), TOLERANCE)
+        } else if let Some(p) = group.strip_suffix("/mmap") {
+            if p != "resume" {
+                continue;
+            }
+            (format!("{p}/mmap"), format!("{p}/copy"), MMAP_TOLERANCE)
         } else {
             continue;
         };
@@ -81,15 +97,17 @@ fn run(path: &str) -> Result<(), String> {
         };
         compared += 1;
         let ratio = c_ns / s_ns;
-        let verdict = if ratio <= TOLERANCE { "ok" } else { "FAIL" };
+        let verdict = if ratio <= tolerance { "ok" } else { "FAIL" };
         println!(
             "{verdict}: {prefix} n={param}: candidate {:.3} ms vs {sibling} {:.3} ms \
-             (ratio {ratio:.3}, tolerance {TOLERANCE})",
+             (ratio {ratio:.3}, tolerance {tolerance})",
             c_ns / 1e6,
             s_ns / 1e6,
         );
-        if ratio > TOLERANCE {
-            failures.push(format!("{prefix} n={param} ratio {ratio:.3}"));
+        if ratio > tolerance {
+            failures.push(format!(
+                "{prefix} n={param} ratio {ratio:.3} (tolerance {tolerance})"
+            ));
         }
     }
     if compared == 0 {
@@ -103,7 +121,7 @@ fn run(path: &str) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!(
-            "candidate slower than its baseline beyond {TOLERANCE}x: {}",
+            "candidate slower than its family tolerance allows: {}",
             failures.join("; ")
         ))
     }

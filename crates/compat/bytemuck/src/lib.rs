@@ -1,0 +1,110 @@
+//! Minimal in-repo stand-in for `bytemuck`: alignment- and size-checked
+//! reinterpretation of plain-old-data slices. The workspace uses it for
+//! exactly one thing — viewing the 8-byte-aligned raw `f64` sections of
+//! a memory-mapped checkpoint in place — so only [`try_cast_slice`]
+//! and the [`Pod`] impls it needs are provided.
+//!
+//! Every failure mode is a checked, typed refusal ([`PodCastError`]);
+//! the caller keeps a copying decode path for when a cast refuses.
+
+/// Marker for plain-old-data types: every bit pattern of the type is a
+/// valid value, and the type has no padding, pointers, or drop glue.
+///
+/// # Safety
+///
+/// Implementors guarantee the above; [`try_cast_slice`] relies on it to
+/// reinterpret raw bytes as values of the type.
+// SAFETY: the proof obligation sits on each implementor (see the
+// `# Safety` section above), not on this declaration.
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: u8 is a primitive integer — any bit pattern is valid, no
+// padding, no drop glue.
+unsafe impl Pod for u8 {}
+// SAFETY: u64 is a primitive integer — any bit pattern is valid, no
+// padding, no drop glue.
+unsafe impl Pod for u64 {}
+// SAFETY: f64 is a primitive float — any bit pattern is a valid value
+// (NaN payloads included), no padding, no drop glue.
+unsafe impl Pod for f64 {}
+
+/// Why a cast refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodCastError {
+    /// The input pointer is not aligned for the target type.
+    TargetAlignmentMismatch,
+    /// The input byte length is not a whole number of target elements.
+    OutputSliceWouldHaveSlop,
+}
+
+impl std::fmt::Display for PodCastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodCastError::TargetAlignmentMismatch => {
+                write!(f, "slice is not aligned for the target type")
+            }
+            PodCastError::OutputSliceWouldHaveSlop => {
+                write!(f, "slice length is not a whole number of target elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PodCastError {}
+
+/// Reinterpret `&[A]` as `&[B]` without copying, refusing (never
+/// panicking) when the pointer is misaligned for `B` or the byte length
+/// is not a multiple of `size_of::<B>()`.
+pub fn try_cast_slice<A: Pod, B: Pod>(a: &[A]) -> Result<&[B], PodCastError> {
+    let bytes = std::mem::size_of_val(a);
+    let size_b = std::mem::size_of::<B>();
+    if !(a.as_ptr() as usize).is_multiple_of(std::mem::align_of::<B>()) {
+        return Err(PodCastError::TargetAlignmentMismatch);
+    }
+    if size_b == 0 || !bytes.is_multiple_of(size_b) {
+        return Err(PodCastError::OutputSliceWouldHaveSlop);
+    }
+    // SAFETY: A and B are Pod (no invalid bit patterns, padding, or
+    // drop glue), the pointer was checked aligned for B, and the new
+    // length covers exactly the same `bytes`; the slice borrows `a`.
+    Ok(unsafe { std::slice::from_raw_parts(a.as_ptr().cast::<B>(), bytes / size_b) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casts_aligned_bytes_to_f64_and_back() {
+        // An f64 buffer is 8-aligned by construction; a byte view of it
+        // must round-trip through the cast without copying.
+        let values = [1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes: &[u8] = try_cast_slice(&values).unwrap();
+        assert_eq!(bytes.len(), values.len() * 8);
+        let cast: &[f64] = try_cast_slice(bytes).unwrap();
+        assert_eq!(cast.as_ptr(), values.as_ptr());
+        assert_eq!(cast, &values[..]);
+    }
+
+    #[test]
+    fn refuses_slop() {
+        // Start from an 8-aligned base so the slop check (not the
+        // alignment check) is what refuses.
+        let buf = [0u64; 2];
+        let bytes: &[u8] = try_cast_slice(&buf).unwrap();
+        assert_eq!(
+            try_cast_slice::<u8, f64>(&bytes[..9]).unwrap_err(),
+            PodCastError::OutputSliceWouldHaveSlop
+        );
+    }
+
+    #[test]
+    fn refuses_misalignment() {
+        let buf = [0u64; 4];
+        let bytes: &[u8] = try_cast_slice(&buf).unwrap();
+        assert_eq!(
+            try_cast_slice::<u8, f64>(&bytes[1..9]).unwrap_err(),
+            PodCastError::TargetAlignmentMismatch
+        );
+    }
+}

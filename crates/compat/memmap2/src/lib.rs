@@ -1,0 +1,180 @@
+//! Minimal in-repo stand-in for `memmap2`: a read-only memory mapping
+//! of a whole file, backed directly by the platform's `mmap`/`munmap`
+//! (declared here against the C library `std` already links — no
+//! external crate needed).
+//!
+//! API surface, matching where the workspace relies on it:
+//!
+//! * [`Mmap::map`] — map an open [`File`] read-only, private. Unlike the
+//!   real crate this constructor is safe: the workspace only maps
+//!   checkpoint files that are replaced atomically (`rename(2)`), so the
+//!   mapped *inode* is never rewritten in place and the usual
+//!   truncate-under-a-mapping hazard does not arise. Platforms without
+//!   `mmap` (or failed maps) report `io::Error`; callers fall back to a
+//!   buffered read.
+//! * `Deref<Target = [u8]>` — the mapped bytes.
+//!
+//! The mapping is unmapped on drop.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, private memory mapping of a whole file.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (PROT_READ, MAP_PRIVATE) for its
+// whole lifetime, so shared references to its bytes can move across and
+// be used from any thread, exactly like a `Box<[u8]>`.
+unsafe impl Send for Mmap {}
+// SAFETY: as above — the mapped bytes are never written through this
+// handle, so concurrent shared reads are race-free.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety. Fails with an `io::Error`
+    /// on platforms without `mmap`, on empty files (a zero-length map
+    /// is not portable), and whenever the platform refuses the map.
+    #[cfg(unix)]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        // addr = null lets the kernel choose the placement, and len was
+        // checked non-zero and within usize above.
+        // SAFETY: fd is a live descriptor borrowed from `file`; the
+        // resulting read-only private pages are owned by the returned
+        // `Mmap`, which unmaps them exactly once on drop.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr.cast::<u8>().cast_const(),
+            len,
+        })
+    }
+
+    /// Unsupported platform: every map attempt refuses, so consumers
+    /// exercise their buffered-read fallback.
+    #[cfg(not(unix))]
+    pub fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is not supported on this platform",
+        ))
+    }
+
+    /// Number of mapped bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a successful map).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live mapping of exactly `len` readable
+        // bytes (made by `map`, released only in `drop`); no mutable
+        // access exists through this crate, so shared aliasing holds.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        // SAFETY: `(ptr, len)` is the region the successful `mmap` in
+        // `map` returned, unmapped exactly once here; `&mut self`
+        // guarantees no outstanding borrows of the mapped bytes.
+        unsafe {
+            let _ = sys::munmap(self.ptr.cast_mut().cast(), self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_whole_file_and_reads_back() {
+        let path = std::env::temp_dir().join(format!("memmap2_compat_{}", std::process::id()));
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        match Mmap::map(&file) {
+            Ok(map) => {
+                assert_eq!(&map[..], &payload[..]);
+                assert_eq!(map.len(), payload.len());
+            }
+            Err(e) => {
+                // Unsupported platforms refuse instead of mapping.
+                if cfg!(unix) {
+                    panic!("unix map failed: {e}");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refuses_empty_files() {
+        let path = std::env::temp_dir().join(format!("memmap2_empty_{}", std::process::id()));
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        assert!(Mmap::map(&file).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

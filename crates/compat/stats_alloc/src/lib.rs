@@ -1,0 +1,170 @@
+//! Minimal in-repo stand-in for `stats_alloc`: a wrapping
+//! [`GlobalAlloc`] that counts allocations, so a benchmark can *assert*
+//! an allocation budget (e.g. "the zero-copy resume path performs no
+//! O(T) heap allocation") instead of hoping for one.
+//!
+//! API surface, matching where the workspace relies on it:
+//!
+//! * [`StatsAlloc::new`] — wrap any allocator (typically
+//!   [`std::alloc::System`]) for use with `#[global_allocator]`.
+//! * [`StatsAlloc::stats`] — a consistent-enough snapshot of the
+//!   counters ([`Stats`]); subtract two snapshots to measure a region.
+//!
+//! Counter updates are relaxed atomics: exact under single-threaded
+//! measurement (how the benches use it), merely monotone under
+//! concurrency.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An allocator wrapper that counts every allocation through it.
+#[derive(Debug)]
+pub struct StatsAlloc<T> {
+    inner: T,
+    allocations: AtomicUsize,
+    deallocations: AtomicUsize,
+    reallocations: AtomicUsize,
+    bytes_allocated: AtomicUsize,
+    bytes_deallocated: AtomicUsize,
+}
+
+/// A snapshot of the counters of a [`StatsAlloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Number of `alloc`/`alloc_zeroed` calls.
+    pub allocations: usize,
+    /// Number of `dealloc` calls.
+    pub deallocations: usize,
+    /// Number of `realloc` calls.
+    pub reallocations: usize,
+    /// Total bytes requested by `alloc`/`alloc_zeroed`/`realloc` growth.
+    pub bytes_allocated: usize,
+    /// Total bytes released by `dealloc`/`realloc` shrinkage.
+    pub bytes_deallocated: usize,
+}
+
+impl StatsAlloc<System> {
+    /// An instrumented system allocator, const-constructible so it can
+    /// be a `#[global_allocator]` static.
+    pub const fn system() -> Self {
+        StatsAlloc::new(System)
+    }
+}
+
+impl<T> StatsAlloc<T> {
+    /// Wrap `inner`, all counters at zero.
+    pub const fn new(inner: T) -> Self {
+        StatsAlloc {
+            inner,
+            allocations: AtomicUsize::new(0),
+            deallocations: AtomicUsize::new(0),
+            reallocations: AtomicUsize::new(0),
+            bytes_allocated: AtomicUsize::new(0),
+            bytes_deallocated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            deallocations: self.deallocations.load(Ordering::Relaxed),
+            reallocations: self.reallocations.load(Ordering::Relaxed),
+            bytes_allocated: self.bytes_allocated.load(Ordering::Relaxed),
+            bytes_deallocated: self.bytes_deallocated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::ops::Sub for Stats {
+    type Output = Stats;
+
+    /// Counter delta between two snapshots (saturating, so a stale
+    /// "before" snapshot cannot underflow).
+    fn sub(self, earlier: Stats) -> Stats {
+        Stats {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+            reallocations: self.reallocations.saturating_sub(earlier.reallocations),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+            bytes_deallocated: self
+                .bytes_deallocated
+                .saturating_sub(earlier.bytes_deallocated),
+        }
+    }
+}
+
+// SAFETY: every method forwards verbatim to the wrapped allocator and
+// only adds relaxed counter updates, so the GlobalAlloc contract is
+// inherited unchanged from the inner allocator.
+unsafe impl<T: GlobalAlloc> GlobalAlloc for StatsAlloc<T> {
+    // SAFETY: signature inherited from `GlobalAlloc`; the contract is
+    // upheld by forwarding (see the impl-level comment).
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: forwarded with the caller's own layout; the caller
+        // upholds GlobalAlloc's preconditions (non-zero size).
+        unsafe { self.inner.alloc(layout) }
+    }
+
+    // SAFETY: inherited signature, upheld by forwarding, as above.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_allocated
+            .fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: forwarded with the caller's own layout, as above.
+        unsafe { self.inner.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: inherited signature, upheld by forwarding, as above.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        self.bytes_deallocated
+            .fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: forwarded with the caller's own (ptr, layout) pair,
+        // which the caller guarantees came from this allocator.
+        unsafe { self.inner.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: inherited signature, upheld by forwarding, as above.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.reallocations.fetch_add(1, Ordering::Relaxed);
+        if new_size > layout.size() {
+            self.bytes_allocated
+                .fetch_add(new_size - layout.size(), Ordering::Relaxed);
+        } else {
+            self.bytes_deallocated
+                .fetch_add(layout.size() - new_size, Ordering::Relaxed);
+        }
+        // SAFETY: forwarded with the caller's own (ptr, layout,
+        // new_size) triple, which the caller guarantees is valid for
+        // this allocator per the GlobalAlloc contract.
+        unsafe { self.inner.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_through_the_wrapper() {
+        let alloc = StatsAlloc::system();
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        // SAFETY: a valid non-zero-size layout; the pointer is checked
+        // and freed below with the same layout.
+        let ptr = unsafe { alloc.alloc(layout) };
+        assert!(!ptr.is_null());
+        // SAFETY: ptr came from the matching alloc above.
+        unsafe { alloc.dealloc(ptr, layout) };
+        let stats = alloc.stats();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.deallocations, 1);
+        assert_eq!(stats.bytes_allocated, 1024);
+        assert_eq!(stats.bytes_deallocated, 1024);
+        let delta = alloc.stats() - stats;
+        assert_eq!(delta, Stats::default());
+    }
+}

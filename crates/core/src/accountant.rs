@@ -109,6 +109,14 @@ pub struct TplAccountant {
     bpl_less_eps: Vec<f64>,
     /// Closed summary of the BPL history already folded away.
     folded: FoldState,
+    /// Tracked w-event windows: `(w, base)` pairs where `base` is the
+    /// running maximum of the w-event guarantee over every window that
+    /// *started* in the folded prefix (`NEG_INFINITY` until one folds;
+    /// `INFINITY` when a window overran the live mirror — see
+    /// [`Self::track_w_event`]). Updated at fold time, before the
+    /// entries are dropped, so a folded sweep can still report the
+    /// all-time maximum.
+    wevent: Vec<(usize, f64)>,
     /// Version-stamped derived series; see the module docs.
     cache: Mutex<SeriesCache>,
     /// Memoized FPL supremum bound for folded-history queries, keyed on
@@ -123,6 +131,14 @@ pub struct TplAccountant {
 /// keeps the served value a true upper bound on the discarded series
 /// while staying far below any leakage scale the paper reports.
 const FOLD_SUP_GUARD: f64 = 1e-12;
+
+/// Relative inflation applied to a w-event window's folded base value.
+/// Windows of length `w ≥ 3` reconstruct their interior ε terms as
+/// `BPL(m) − (BPL(m) − ε_m)` from the two mirrors, which can differ from
+/// the raw ε by one ulp of `BPL(m)` per term; padding by `1e-13` of the
+/// window's total BPL mass (≫ the `2⁻⁵²`-scale reconstruction error)
+/// keeps the pre-folded maximum a true upper bound on the exact sweep.
+const WEVENT_PAD: f64 = 1e-13;
 
 /// The constant-size summary a folded accountant keeps about the history
 /// it dropped: enough to answer every folded-history query with a proven
@@ -202,6 +218,7 @@ impl TplAccountant {
             bpl: Vec::new(),
             bpl_less_eps: Vec::new(),
             folded: FoldState::empty(),
+            wevent: Vec::new(),
             cache: Mutex::new(SeriesCache::empty()),
             fold_sup: Mutex::new(None),
         }
@@ -377,6 +394,45 @@ impl TplAccountant {
                 live_start,
             });
         }
+        // Pre-fold every tracked w-event window that *starts* at one of
+        // the k entries about to be dropped, while both mirrors still
+        // hold the values. The BPL part of the paper's w-event bound
+        // (Theorem 4 / `sequence_guarantee`'s middle term) over window
+        // `[i, i+w)` is
+        //   BPL(i) + Σ_{m=i+1}^{i+w−2} ε_m        (w ≥ 3)
+        //   BPL(i)                                 (w ∈ {1, 2}, where the
+        //                                           w = 1 case is the TPL
+        //                                           summand BPL(i) − ε_i)
+        // with the interior ε reconstructed as `bpl[m] − bpl_less_eps[m]`
+        // (padded by [`WEVENT_PAD`] — see its docs). A window that runs
+        // past the live mirror (only possible when `w` exceeds the fold
+        // horizon) poisons the base to `+∞`: its exact value is about to
+        // become unknowable.
+        if !self.wevent.is_empty() {
+            for (w, base) in &mut self.wevent {
+                let w = *w;
+                for i in 0..k {
+                    if i + w > self.bpl.len() {
+                        *base = f64::INFINITY;
+                        break;
+                    }
+                    let (raw, mass) = match w {
+                        1 => (self.bpl_less_eps[i], self.bpl[i]),
+                        2 => (self.bpl[i], self.bpl[i]),
+                        _ => {
+                            let mut raw = self.bpl[i];
+                            let mut mass = self.bpl[i];
+                            for m in i + 1..i + w - 1 {
+                                raw += self.bpl[m] - self.bpl_less_eps[m];
+                                mass += self.bpl[m];
+                            }
+                            (raw, mass)
+                        }
+                    };
+                    *base = base.max(raw + mass * WEVENT_PAD);
+                }
+            }
+        }
         for i in 0..k {
             self.folded.bpl_max = self.folded.bpl_max.max(self.bpl[i]);
             self.folded.bpl_less_eps_max = self.folded.bpl_less_eps_max.max(self.bpl_less_eps[i]);
@@ -408,6 +464,75 @@ impl TplAccountant {
     /// 0 until a fold horizon trims history.
     pub fn live_start(&self) -> usize {
         self.folded.len
+    }
+
+    /// Start tracking the all-time w-event maximum for window length
+    /// `w ≥ 1`: at every fold, the windows about to leave the live
+    /// mirror contribute their (padded) guarantee to a running maximum,
+    /// so [`Self::folded_w_event_bound`] can report an upper bound on
+    /// the whole-history sweep even after the early windows folded away.
+    ///
+    /// Must be armed **before** the first fold (`live_start() == 0`) —
+    /// windows already folded cannot be reconstructed — and tracking is
+    /// exact-cost O(w) per folded entry. Tracking the same `w` twice is
+    /// a no-op.
+    pub fn track_w_event(&mut self, w: usize) -> Result<()> {
+        if w == 0 {
+            return Err(TplError::InvalidWindow { w });
+        }
+        if self.live_start() > 0 {
+            return Err(TplError::FoldedHistory {
+                t: 0,
+                live_start: self.live_start(),
+            });
+        }
+        if !self.wevent.iter().any(|&(tw, _)| tw == w) {
+            self.wevent.push((w, f64::NEG_INFINITY));
+        }
+        Ok(())
+    }
+
+    /// The pre-folded w-event bound for a tracked window length: an
+    /// upper bound on `max` of Theorem 2 over every window that started
+    /// in the **folded** prefix. Returns:
+    ///
+    /// - `Ok(None)` — `w` is not tracked, or nothing has folded yet
+    ///   (the live sweep alone is exact);
+    /// - `Ok(Some(v))` — finite bound: the padded folded BPL part plus
+    ///   the Theorem 5 FPL supremum (any window's FPL endpoint is ≤ it);
+    /// - `Ok(Some(∞))` — a tracked window overran the live mirror (only
+    ///   possible when `w` exceeds the fold horizon), so no finite bound
+    ///   exists.
+    ///
+    /// `crate::composition::w_event_guarantee` joins this with the live
+    /// sweep to serve whole-history audits on folded accountants.
+    pub fn folded_w_event_bound(&self, w: usize) -> Result<Option<f64>> {
+        if w == 0 {
+            return Err(TplError::InvalidWindow { w });
+        }
+        let base = match self.wevent.iter().find(|&&(tw, _)| tw == w) {
+            Some(&(_, base)) => base,
+            None => return Ok(None),
+        };
+        if base == f64::NEG_INFINITY {
+            return Ok(None);
+        }
+        if base == f64::INFINITY {
+            return Ok(Some(f64::INFINITY));
+        }
+        Ok(Some(base + self.fold_fpl_bound()?))
+    }
+
+    /// The tracked w-event `(w, base)` pairs — checkpoint snapshot hook.
+    pub(crate) fn wevent_pairs(&self) -> &[(usize, f64)] {
+        &self.wevent
+    }
+
+    /// Install checkpointed w-event pairs — checkpoint restore hook,
+    /// called right after [`Self::from_restored_parts`] (kept separate
+    /// so that constructor's signature stays stable).
+    pub(crate) fn restore_wevent(&mut self, pairs: Vec<(usize, f64)>) {
+        self.wevent = pairs;
     }
 
     /// Number of resident `f64`s held by this accountant and its
@@ -721,6 +846,7 @@ impl TplAccountant {
             bpl,
             bpl_less_eps,
             folded,
+            wevent: Vec::new(),
             cache: Mutex::new(SeriesCache::empty()),
             fold_sup: Mutex::new(None),
         }
@@ -770,6 +896,7 @@ impl TplAccountant {
             bpl: self.bpl.clone(),
             bpl_less_eps: self.bpl_less_eps.clone(),
             folded: self.folded,
+            wevent: self.wevent.clone(),
             cache: Mutex::new(self.cache.lock().clone()),
             fold_sup: Mutex::new(*self.fold_sup.lock()),
         }
@@ -798,14 +925,17 @@ impl Serialize for TplAccountant {
             Some(l) => l.to_value(),
             None => Value::Null,
         };
-        let fold = if self.folded.len == 0 && self.timeline.horizon().is_none() {
+        let fold = if self.folded.len == 0
+            && self.timeline.horizon().is_none()
+            && self.wevent.is_empty()
+        {
             Value::Null
         } else {
             // With a horizon armed but nothing folded yet, the summary
             // maxima are still NEG_INFINITY — written as 0.0 (JSON has
             // no infinities) and ignored on restore (`len == 0`).
             let stat = |v: f64| Value::Num(if self.folded.len == 0 { 0.0 } else { v });
-            Value::Map(vec![
+            let mut map = vec![
                 ("len".to_string(), self.folded.len.to_value()),
                 ("bpl_max".to_string(), stat(self.folded.bpl_max)),
                 (
@@ -821,7 +951,11 @@ impl Serialize for TplAccountant {
                     Value::Num(self.timeline.folded_eps_max().unwrap_or(0.0)),
                 ),
                 ("horizon".to_string(), self.timeline.horizon().to_value()),
-            ])
+            ];
+            if !self.wevent.is_empty() {
+                map.push(("wevent".to_string(), wevent_to_value(&self.wevent)));
+            }
+            Value::Map(map)
         };
         Value::Map(vec![
             ("backward".to_string(), side(&self.backward)),
@@ -844,6 +978,7 @@ impl Deserialize for TplAccountant {
         // "fold" is absent in pre-fold serializations (back-compat) and
         // `null` for never-folded accountants.
         let mut folded = FoldState::empty();
+        let mut wevent = Vec::new();
         if let Some(fv) = v.get("fold") {
             if !matches!(fv, Value::Null) {
                 let sub = |k: &str| fv.get(k).ok_or_else(|| DeError::missing(k));
@@ -864,16 +999,77 @@ impl Deserialize for TplAccountant {
                         bpl_less_eps_max: f64::from_value(sub("bpl_less_eps_max")?)?,
                     };
                 }
+                // "wevent" is absent in checkpoints written before
+                // w-event tracking existed — restore as untracked.
+                if let Some(wv) = fv.get("wevent") {
+                    wevent = wevent_from_value(wv)
+                        .map_err(|e| DeError(format!("w-event summary rejected: {e}")))?;
+                }
             }
         }
-        Ok(TplAccountant::from_restored_parts(
+        let mut acc = TplAccountant::from_restored_parts(
             side("backward")?,
             side("forward")?,
             timeline,
             bpl,
             folded,
-        ))
+        );
+        acc.restore_wevent(wevent);
+        Ok(acc)
     }
+}
+
+/// Encode tracked w-event pairs for a checkpoint: a sequence of
+/// `[w, base]` pairs where `base` is `null` for `−∞` (tracked, nothing
+/// folded yet) and the string `"inf"` for `+∞` (a window overran the
+/// live mirror) — neither JSON nor the binary META map carries
+/// infinities as numbers.
+pub(crate) fn wevent_to_value(pairs: &[(usize, f64)]) -> Value {
+    Value::Seq(
+        pairs
+            .iter()
+            .map(|&(w, base)| {
+                let base = if base == f64::NEG_INFINITY {
+                    Value::Null
+                } else if base == f64::INFINITY {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Num(base)
+                };
+                Value::Seq(vec![Value::Num(w as f64), base])
+            })
+            .collect(),
+    )
+}
+
+/// Decode [`wevent_to_value`]'s encoding, refusing malformed shapes with
+/// a message the checkpoint layer wraps into its corruption error.
+pub(crate) fn wevent_from_value(v: &Value) -> std::result::Result<Vec<(usize, f64)>, String> {
+    let Value::Seq(items) = v else {
+        return Err("expected a sequence of [w, base] pairs".to_string());
+    };
+    let mut pairs: Vec<(usize, f64)> = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = match item {
+            Value::Seq(pair) if pair.len() == 2 => pair,
+            _ => return Err("expected a two-element [w, base] pair".to_string()),
+        };
+        let w = match &pair[0] {
+            Value::Num(n) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
+            _ => return Err("window length must be a positive integer".to_string()),
+        };
+        let base = match &pair[1] {
+            Value::Null => f64::NEG_INFINITY,
+            Value::Str(s) if s == "inf" => f64::INFINITY,
+            Value::Num(n) if n.is_finite() => *n,
+            _ => return Err(format!("window {w} carries a non-decodable base value")),
+        };
+        if pairs.iter().any(|&(tw, _)| tw == w) {
+            return Err(format!("window {w} is tracked twice"));
+        }
+        pairs.push((w, base));
+    }
+    Ok(pairs)
 }
 
 #[cfg(test)]

@@ -74,10 +74,63 @@
 //! moment the last delta was written: BPL tails are installed verbatim
 //! (the saved run already paid those evaluations), and population
 //! timeline forks are re-applied copy-on-write in the same first-seen
-//! order the live fork used. A delta can only describe appends — when
-//! the shard topology changed (a personalized release split a shard),
-//! `checkpoint_delta` returns `None` and the caller writes a fresh full
-//! snapshot.
+//! order the live fork used.
+//!
+//! ## SPLIT records
+//!
+//! When a personalized release **splits** a shard (diverging budgets
+//! within one user group — see
+//! `PopulationAccountant::observe_release_personalized`), the delta
+//! grammar describes the topology change instead of forcing a full
+//! `O(T)` re-snapshot: the record carries an *origin map* (the
+//! cursor-time parent of every current shard) and the member partition
+//! of each split parent. This is always derivable because shards only
+//! ever split — members never merge or migrate — so each current
+//! group's parent is the cursor-time owner of its members. Replay
+//! applies the partition copy-on-write in first-seen order *before*
+//! the tails: every part starts from a clone of its parent's
+//! cursor-time state and shares the parent's timeline object, and the
+//! tail replay then forks timelines by appended-budget bits exactly as
+//! the live fork did — so a resumed split population is bit-identical
+//! (series, loss-evaluation counts, and timeline-sharing topology) to
+//! the live one, with **zero** intervening full snapshots. The
+//! remaining cases where `checkpoint_delta` refuses (returns `None`) —
+//! wrong kind, a changed user set, a state shorter than the cursor, a
+//! fold horizon that passed the cursor — are explained by
+//! [`TplAccountant::checkpoint_delta_explained`] /
+//! [`PopulationAccountant::checkpoint_delta_explained`], whose
+//! [`TplError::DeltaUnchained`] message names the diverged shard class
+//! so an operator knows *which* users forced the snapshot.
+//!
+//! ## Compaction
+//!
+//! An append-only log grows without bound; [`compact`] folds it back
+//! into its base: it replays snapshot + log to the last stop point,
+//! re-encodes one fresh full snapshot, atomically renames it over the
+//! old one ([`write_atomic`] — a crash mid-compaction can never leave a
+//! truncated snapshot), and removes the log. The rewritten snapshot has
+//! a **new generation id**, so any record of the old log that survives
+//! a crash between the rename and the log removal is recognized as
+//! stale on the next resume and skipped, never double-applied. The CLI
+//! exposes this as `--compact-after N` (fold the log back every `N`
+//! appended records).
+//!
+//! ## Zero-copy resume
+//!
+//! [`resume_file`] memory-maps a binary snapshot ([`MappedSnapshot`],
+//! backed by the `memmap2` stand-in in `crates/compat/`) and decodes
+//! its `f64` sections *borrowed* (`Cow::Borrowed` straight into the
+//! map) wherever alignment allows, materializing each section exactly
+//! once at restore — never an intermediate copy per section. Read-only
+//! audits skip materialization entirely via
+//! [`format::SnapshotView`], which serves section slices in place and
+//! refuses with [`TplError::ZeroCopyUnavailable`] (rather than
+//! silently copying) when the platform cannot view them. Mapping is
+//! safe against concurrent writers because snapshots are only ever
+//! *rename-replaced* ([`write_atomic`]): the mapped inode is never
+//! rewritten in place. When mapping fails (or the file is a JSON
+//! envelope), [`resume_file`] falls back to the buffered read path —
+//! same bytes, same state, bit-identical.
 //!
 //! ## Generation ids
 //!
@@ -163,13 +216,14 @@
 
 pub mod format;
 
-use crate::accountant::{FoldState, TplAccountant};
+use crate::accountant::{wevent_from_value, FoldState, TplAccountant};
 use crate::adversary::AdversaryT;
 use crate::alg1::LossWitness;
 use crate::loss::TemporalLossFunction;
 use crate::personalized::PopulationAccountant;
 use crate::{Result, TplError};
 use serde::{Deserialize, Serialize, Value};
+use std::borrow::Cow;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -388,7 +442,16 @@ fn migrate_v1(kind: CheckpointKind, payload: &mut Value) {
 /// One accountant's full state decoded from either encoding, *before*
 /// validation — the common input of [`restore_accountant`], which is
 /// what makes JSON and binary restores bit-identical by construction.
-pub(crate) struct RawAccountantState {
+///
+/// The `f64` series are [`Cow`]s: the binary decoder borrows them
+/// straight from the (typically memory-mapped) source buffer, and the
+/// restore path materializes each exactly once; the JSON decoder hands
+/// owned vectors through the same fields.
+/// A decoded `(FPL, TPL)` cached-series pair, borrowed when zero-copy
+/// decoding allows.
+pub(crate) type RawSeries<'a> = (Cow<'a, [f64]>, Cow<'a, [f64]>);
+
+pub(crate) struct RawAccountantState<'a> {
     pub backward: Option<TemporalLossFunction>,
     pub forward: Option<TemporalLossFunction>,
     /// The budget trail, already wrapped as a timeline object. Decoders
@@ -399,8 +462,8 @@ pub(crate) struct RawAccountantState {
     /// sharing classes by pointer identity instead of `O(T)` bit
     /// comparisons.
     pub timeline: Arc<BudgetTimeline>,
-    pub bpl: Vec<f64>,
-    pub series: Option<(Vec<f64>, Vec<f64>)>,
+    pub bpl: Cow<'a, [f64]>,
+    pub series: Option<RawSeries<'a>>,
     pub warm_backward: Option<Value>,
     pub warm_forward: Option<Value>,
     /// The fold summary, when the saved accountant had a horizon armed
@@ -410,7 +473,7 @@ pub(crate) struct RawAccountantState {
 
 /// The decoded `FOLDED_SUMMARY` of one accountant: everything needed to
 /// reinstate a fold onto the live trail both encodings carry.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct RawFold {
     /// Entries folded away (global index of the first live entry).
     pub folded_len: usize,
@@ -424,14 +487,17 @@ pub(crate) struct RawFold {
     pub bpl_max: f64,
     /// Max `BPL − ε` over the folded entries.
     pub bpl_less_eps_max: f64,
+    /// Tracked pre-fold w-event maxima, `(w, base)` pairs (empty when
+    /// the saved accountant tracked none).
+    pub wevent: Vec<(usize, f64)>,
 }
 
 /// A population's full state decoded from either encoding: the user
 /// count and, per shard in group order, the member list and accountant
 /// state.
-pub(crate) struct RawPopulationState {
+pub(crate) struct RawPopulationState<'a> {
     pub num_users: usize,
-    pub shards: Vec<(Vec<usize>, RawAccountantState)>,
+    pub shards: Vec<(Vec<usize>, RawAccountantState<'a>)>,
 }
 
 /// The witness slot of one correlation side, as a serialized [`Value`]
@@ -494,7 +560,7 @@ fn tpl_payload(acc: &TplAccountant) -> Value {
 
 /// Decode a JSON payload into the raw state [`restore_accountant`]
 /// consumes (shape errors only; semantic validation happens there).
-fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
+fn raw_from_payload(payload: &Value) -> Result<RawAccountantState<'static>> {
     let acc_v = payload
         .get("accountant")
         .ok_or_else(|| corrupt("missing `accountant`"))?;
@@ -541,6 +607,11 @@ fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
             let num = |k: &str| -> Result<f64> {
                 f64::from_value(sub(k)?).map_err(|e| corrupt(format!("accountant.fold.{k}: {e}")))
             };
+            let wevent = match fv.get("wevent") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(v) => wevent_from_value(v)
+                    .map_err(|e| corrupt(format!("accountant.fold.wevent: {e}")))?,
+            };
             Some(RawFold {
                 folded_len: usize::from_value(sub("len")?)
                     .map_err(|e| corrupt(format!("accountant.fold.len: {e}")))?,
@@ -550,6 +621,7 @@ fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
                     .map_err(|e| corrupt(format!("accountant.fold.horizon: {e}")))?,
                 bpl_max: num("bpl_max")?,
                 bpl_less_eps_max: num("bpl_less_eps_max")?,
+                wevent,
             })
         }
     };
@@ -557,8 +629,8 @@ fn raw_from_payload(payload: &Value) -> Result<RawAccountantState> {
         backward: side("backward")?,
         forward: side("forward")?,
         timeline,
-        bpl,
-        series,
+        bpl: Cow::Owned(bpl),
+        series: series.map(|(f, t)| (Cow::Owned(f), Cow::Owned(t))),
         warm_backward: witness("warm_backward"),
         warm_forward: witness("warm_forward"),
         fold,
@@ -597,8 +669,9 @@ fn restore_witness(
 
 /// Rebuild one accountant from raw state, validating everything the
 /// type system cannot — the single restore path shared by the JSON and
-/// binary encodings.
-pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountant> {
+/// binary encodings. Borrowed (zero-copy) sections are validated in
+/// place and materialized exactly once, here.
+pub(crate) fn restore_accountant(raw: RawAccountantState<'_>) -> Result<TplAccountant> {
     let RawAccountantState {
         backward,
         forward,
@@ -618,7 +691,7 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
     // decoded trail holds only the live window, and `restore_fold`
     // shifts it to its global offset (bit-identically reseeding the
     // prefix sums from the folded Σε).
-    let folded = if let Some(f) = fold {
+    let (folded, wevent) = if let Some(f) = fold {
         if !(f.eps_total.is_finite() && f.eps_total >= 0.0 && f.eps_max.is_finite()) {
             return Err(corrupt("fold summary has non-finite budget totals"));
         }
@@ -628,7 +701,7 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
         timeline
             .restore_fold(f.folded_len, f.eps_total, f.eps_max, f.horizon)
             .map_err(|e| corrupt(format!("fold summary rejected: {e}")))?;
-        if f.folded_len > 0 {
+        let state = if f.folded_len > 0 {
             FoldState {
                 len: f.folded_len,
                 bpl_max: f.bpl_max,
@@ -636,9 +709,10 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
             }
         } else {
             FoldState::empty()
-        }
+        };
+        (state, f.wevent)
     } else {
-        FoldState::empty()
+        (FoldState::empty(), Vec::new())
     };
     // `timeline.len()` is global; `bpl` covers only the live window.
     if folded.len + bpl.len() != timeline.len() {
@@ -657,14 +731,20 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
             "bpl series contains negative or non-finite entries",
         ));
     }
+    for &(w, _) in &wevent {
+        if w == 0 {
+            return Err(corrupt("fold summary tracks a zero-length w-event window"));
+        }
+    }
     let live_len = bpl.len();
-    let acc = TplAccountant::from_restored_parts(
+    let mut acc = TplAccountant::from_restored_parts(
         backward.map(Arc::new),
         forward.map(Arc::new),
         timeline,
-        bpl,
+        bpl.into_owned(),
         folded,
     );
+    acc.restore_wevent(wevent);
     if let Some((fpl, tpl)) = series {
         if fpl.len() != live_len || tpl.len() != live_len {
             return Err(corrupt(format!(
@@ -674,10 +754,10 @@ pub(crate) fn restore_accountant(raw: RawAccountantState) -> Result<TplAccountan
                 live_len
             )));
         }
-        if fpl.iter().chain(&tpl).any(|v| !v.is_finite()) {
+        if fpl.iter().chain(tpl.iter()).any(|v| !v.is_finite()) {
             return Err(corrupt("cached series contain non-finite entries"));
         }
-        acc.restore_series(fpl, tpl);
+        acc.restore_series(fpl.into_owned(), tpl.into_owned());
     }
     restore_witness(
         acc.backward_loss_fn(),
@@ -733,6 +813,7 @@ impl TplAccountant {
             num_groups: 1,
             len: self.len(),
             generation: 0,
+            members: Vec::new(),
         }
     }
 
@@ -740,16 +821,37 @@ impl TplAccountant {
     /// current warm witnesses — as an `O(appended)`-sized record for
     /// the delta log. Returns `None` when the cursor does not chain
     /// (wrong kind, or the state is shorter than the cursor); write a
-    /// fresh full snapshot instead.
+    /// fresh full snapshot instead. [`Self::checkpoint_delta_explained`]
+    /// reports *why* a cursor refused.
     pub fn checkpoint_delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
-        if cursor.kind != CheckpointKind::TplAccountant || cursor.len > self.len() {
-            return None;
+        self.checkpoint_delta_explained(cursor).ok()
+    }
+
+    /// Like [`Self::checkpoint_delta`], but a refusal is an honest
+    /// [`TplError::DeltaUnchained`] naming the reason.
+    pub fn checkpoint_delta_explained(&self, cursor: &DeltaCursor) -> Result<CheckpointDelta> {
+        let unchained = |reason: String| TplError::DeltaUnchained(reason);
+        if cursor.kind != CheckpointKind::TplAccountant {
+            return Err(unchained(format!(
+                "cursor was taken from a {}, this is a {}",
+                cursor.kind.tag(),
+                CheckpointKind::TplAccountant.tag()
+            )));
         }
-        Some(CheckpointDelta {
+        if cursor.len > self.len() {
+            return Err(unchained(format!(
+                "cursor is at T = {} but the state is at T = {} — the accountant moved backwards",
+                cursor.len,
+                self.len()
+            )));
+        }
+        let shard = delta_shard_explained(self, cursor.len, 0, None)?;
+        Ok(CheckpointDelta {
             kind: CheckpointKind::TplAccountant,
             base_len: cursor.len,
             generation: cursor.generation,
-            shards: vec![delta_shard_of(self, cursor.len)?],
+            shards: vec![shard],
+            splits: None,
         })
     }
 }
@@ -804,8 +906,9 @@ impl PopulationAccountant {
 
     /// The cursor a later [`Self::checkpoint_delta`] measures appends
     /// against; besides the release count it records the shard topology
-    /// (user and group counts), because a delta can only describe
-    /// appends to an unchanged shard structure.
+    /// (user/group counts *and* per-shard member lists), so a later
+    /// delta can describe shard **splits** as an origin map over the
+    /// cursor-time groups.
     pub fn delta_cursor(&self) -> DeltaCursor {
         DeltaCursor {
             kind: CheckpointKind::PopulationAccountant,
@@ -813,39 +916,137 @@ impl PopulationAccountant {
             num_groups: self.num_groups(),
             len: self.num_releases(),
             generation: 0,
+            members: self.parts().map(|(_, m, _)| m.to_vec()).collect(),
         }
     }
 
     /// The state appended since `cursor`, per shard in group order.
-    /// Returns `None` when the cursor does not chain — wrong kind, a
-    /// shorter state, or a shard topology change (a personalized
-    /// release split a shard since the cursor); write a fresh full
-    /// snapshot instead. Timeline *forks* without splits (the same
-    /// shards, diverging budgets) are fine: the delta records each
-    /// shard's own tail and the replay re-forks copy-on-write.
+    /// Returns `None` when the cursor does not chain; write a fresh
+    /// full snapshot instead. [`Self::checkpoint_delta_explained`]
+    /// reports *why* — see there for the cases. Timeline *forks*
+    /// (diverging budgets) and shard **splits** since the cursor are
+    /// both described incrementally: the record carries each current
+    /// shard's own tail, plus (for splits) the origin map and member
+    /// partition the replay re-applies copy-on-write.
     pub fn checkpoint_delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
-        if cursor.kind != CheckpointKind::PopulationAccountant
-            || cursor.num_users != self.num_users()
-            || cursor.num_groups != self.num_groups()
-            || cursor.len > self.num_releases()
-        {
-            return None;
+        self.checkpoint_delta_explained(cursor).ok()
+    }
+
+    /// Like [`Self::checkpoint_delta`], but a refusal is an honest
+    /// [`TplError::DeltaUnchained`] naming the shard class that cannot
+    /// chain — the remaining refusals are a wrong checkpoint kind, a
+    /// changed user set, a state shorter than the cursor, a shard whose
+    /// fold horizon passed the cursor, or (impossible in a live run,
+    /// but validated) members that merged or migrated across shards.
+    pub fn checkpoint_delta_explained(&self, cursor: &DeltaCursor) -> Result<CheckpointDelta> {
+        let unchained = |reason: String| TplError::DeltaUnchained(reason);
+        if cursor.kind != CheckpointKind::PopulationAccountant {
+            return Err(unchained(format!(
+                "cursor was taken from a {}, this is a {}",
+                cursor.kind.tag(),
+                CheckpointKind::PopulationAccountant.tag()
+            )));
         }
-        let shards = self
-            .parts()
-            .map(|(_, _, acc)| delta_shard_of(acc, cursor.len))
-            .collect::<Option<Vec<_>>>()?;
-        Some(CheckpointDelta {
+        if cursor.num_users != self.num_users() {
+            return Err(unchained(format!(
+                "cursor saw {} users, the population now has {} — user-set changes cannot be \
+                 described incrementally",
+                cursor.num_users,
+                self.num_users()
+            )));
+        }
+        if cursor.len > self.num_releases() {
+            return Err(unchained(format!(
+                "cursor is at T = {} but the population is at T = {} — the state moved backwards",
+                cursor.len,
+                self.num_releases()
+            )));
+        }
+        // Derive the split description (identity when nothing split):
+        // each current shard's parent is the cursor-time owner of its
+        // members. Owners are well defined because shards only split.
+        let splits = if cursor.num_groups == self.num_groups() {
+            None
+        } else {
+            if self.num_groups() < cursor.num_groups {
+                return Err(unchained(format!(
+                    "cursor saw {} shards, the population now has {} — shards never merge, so \
+                     this cursor is from a different population",
+                    cursor.num_groups,
+                    self.num_groups()
+                )));
+            }
+            if cursor.members.len() != cursor.num_groups {
+                return Err(unchained(format!(
+                    "cursor records {} member lists for {} shards — it predates split-aware \
+                     cursors and cannot describe the topology change",
+                    cursor.members.len(),
+                    cursor.num_groups
+                )));
+            }
+            let mut owner = vec![usize::MAX; self.num_users()];
+            for (p, members) in cursor.members.iter().enumerate() {
+                for &u in members {
+                    if u >= self.num_users() {
+                        return Err(unchained(format!(
+                            "cursor shard {p} lists user {u}, outside this population of {}",
+                            self.num_users()
+                        )));
+                    }
+                    owner[u] = p;
+                }
+            }
+            let mut origin = Vec::with_capacity(self.num_groups());
+            let mut children = vec![0usize; cursor.num_groups];
+            for (g, (_, members, _)) in self.parts().enumerate() {
+                let first = members[0];
+                let p = owner[first];
+                if p == usize::MAX {
+                    return Err(unchained(format!(
+                        "shard {g} (first user {first}) has no cursor-time owner — the cursor \
+                         does not cover this population"
+                    )));
+                }
+                if let Some(&stray) = members.iter().find(|&&u| owner[u] != p) {
+                    return Err(unchained(format!(
+                        "shard {g} (first user {first}) mixes users from cursor shards {p} and \
+                         {} (user {stray}) — members merged or migrated, which only a full \
+                         snapshot can describe",
+                        owner[stray]
+                    )));
+                }
+                origin.push(p);
+                children[p] += 1;
+            }
+            if let Some(orphan) = children.iter().position(|&c| c == 0) {
+                return Err(unchained(format!(
+                    "cursor shard {orphan} has no descendant in the current population — \
+                     members merged away, which only a full snapshot can describe"
+                )));
+            }
+            let members: Vec<Option<Vec<usize>>> = self
+                .parts()
+                .enumerate()
+                .map(|(g, (_, m, _))| (children[origin[g]] > 1).then(|| m.to_vec()))
+                .collect();
+            Some(DeltaSplits { origin, members })
+        };
+        let mut shards = Vec::with_capacity(self.num_groups());
+        for (g, (_, members, acc)) in self.parts().enumerate() {
+            shards.push(delta_shard_explained(acc, cursor.len, g, Some(members[0]))?);
+        }
+        Ok(CheckpointDelta {
             kind: CheckpointKind::PopulationAccountant,
             base_len: cursor.len,
             generation: cursor.generation,
             shards,
+            splits,
         })
     }
 }
 
 /// Decode a population JSON payload into raw state (shape errors only).
-fn population_raw_from_payload(payload: &Value) -> Result<RawPopulationState> {
+fn population_raw_from_payload(payload: &Value) -> Result<RawPopulationState<'static>> {
     let num_users = match payload.get("num_users") {
         Some(v) => usize::from_value(v).map_err(|e| corrupt(format!("num_users: {e}")))?,
         None => return Err(corrupt("missing `num_users`")),
@@ -874,7 +1075,7 @@ fn population_raw_from_payload(payload: &Value) -> Result<RawPopulationState> {
 /// group ordering invariant, per-shard accountant state, and the
 /// equal-release-count invariant, then re-shares bitwise-equal budget
 /// trails copy-on-write.
-pub(crate) fn restore_population(raw: RawPopulationState) -> Result<PopulationAccountant> {
+pub(crate) fn restore_population(raw: RawPopulationState<'_>) -> Result<PopulationAccountant> {
     let RawPopulationState { num_users, shards } = raw;
     if num_users == 0 {
         return Err(corrupt("population checkpoint with zero users"));
@@ -1014,6 +1215,10 @@ pub struct DeltaCursor {
     /// from it) chain onto — see [`snapshot_generation`]. Zero means
     /// unstamped (legacy logs without generation chaining).
     generation: u64,
+    /// Per-group member lists at cursor time (empty for a solo
+    /// accountant) — what lets a later delta describe shard *splits*
+    /// as an origin map over these groups.
+    members: Vec<Vec<usize>>,
 }
 
 impl DeltaCursor {
@@ -1074,6 +1279,17 @@ pub(crate) struct DeltaShard {
     pub warm_forward: Option<Value>,
 }
 
+/// The topology change a SPLIT delta record describes: for every
+/// current shard `j`, `origin[j]` is its cursor-time parent, and
+/// `members[j]` is its post-split member list exactly when that parent
+/// split into more than one part (`None` for shards that inherit the
+/// parent's list verbatim).
+#[derive(Debug, Clone)]
+pub(crate) struct DeltaSplits {
+    pub origin: Vec<usize>,
+    pub members: Vec<Option<Vec<usize>>>,
+}
+
 /// The state appended since a [`DeltaCursor`] — an `O(appended)`-sized
 /// record for the append-only delta log next to a binary snapshot.
 /// Replayed in order by [`resume_bytes`] / [`resume_file`], each record
@@ -1088,6 +1304,9 @@ pub struct CheckpointDelta {
     /// the cursor was never stamped — legacy strict-chaining mode).
     generation: u64,
     shards: Vec<DeltaShard>,
+    /// `Some` exactly when the shard topology changed since the cursor
+    /// (a SPLIT record); replay applies it before the tails.
+    splits: Option<DeltaSplits>,
 }
 
 impl CheckpointDelta {
@@ -1135,39 +1354,73 @@ impl CheckpointDelta {
         f.write_all(&self.to_bytes()).map_err(io_err)
     }
 
+    /// Whether this is a SPLIT record (the shard topology changed since
+    /// the cursor).
+    pub fn is_split(&self) -> bool {
+        self.splits.is_some()
+    }
+
     pub(crate) fn from_parts(
         kind: CheckpointKind,
         base_len: usize,
         generation: u64,
         shards: Vec<DeltaShard>,
+        splits: Option<DeltaSplits>,
     ) -> Self {
         CheckpointDelta {
             kind,
             base_len,
             generation,
             shards,
+            splits,
         }
     }
 
     pub(crate) fn shards(&self) -> &[DeltaShard] {
         &self.shards
     }
+
+    pub(crate) fn splits(&self) -> Option<&DeltaSplits> {
+        self.splits.as_ref()
+    }
 }
 
 /// One shard's delta tail: everything appended to `acc` since `from`.
-/// `None` when the cursor is stale for this shard (the timeline or BPL
-/// recursion is shorter than the cursor, or mid-sync).
-fn delta_shard_of(acc: &TplAccountant, from: usize) -> Option<DeltaShard> {
-    let budgets = acc.timeline().tail_from(from)?;
+/// A refusal is [`TplError::DeltaUnchained`] naming the shard class
+/// (`g`, plus its first member when the caller is a population) so an
+/// operator knows which shard forced a full snapshot.
+fn delta_shard_explained(
+    acc: &TplAccountant,
+    from: usize,
+    g: usize,
+    first_member: Option<usize>,
+) -> Result<DeltaShard> {
+    let who = match first_member {
+        Some(u) => format!("shard {g} (users {u}…)"),
+        None => format!("shard {g}"),
+    };
     // `from` is a global release index; the BPL series holds only the
     // live window. A cursor older than the fold point cannot chain (the
-    // folded BPL values are gone) — `checked_sub` reports it stale.
-    let k = from.checked_sub(acc.live_start())?;
-    let bpl = acc.bpl_series().get(k..)?.to_vec();
+    // folded BPL values are gone).
+    let unfoldable = || {
+        TplError::DeltaUnchained(format!(
+            "{who}: the fold horizon passed the cursor (cursor at T = {from}, live window \
+             starts at {}) — the appended BPL values were folded away; write a full snapshot",
+            acc.live_start()
+        ))
+    };
+    let budgets = acc.timeline().tail_from(from).ok_or_else(unfoldable)?;
+    let k = from.checked_sub(acc.live_start()).ok_or_else(unfoldable)?;
+    let bpl = acc.bpl_series().get(k..).ok_or_else(unfoldable)?.to_vec();
     if budgets.len() != bpl.len() {
-        return None;
+        return Err(TplError::DeltaUnchained(format!(
+            "{who}: budget tail has {} entries but the BPL tail has {} — the accountant is \
+             mid-sync; observe or sync before taking a delta",
+            budgets.len(),
+            bpl.len()
+        )));
     }
-    Some(DeltaShard {
+    Ok(DeltaShard {
         budgets,
         bpl,
         warm_backward: Some(witness_value(acc.backward_loss_fn())),
@@ -1248,6 +1501,25 @@ fn apply_delta(state: &mut SavedState, delta: &CheckpointDelta) -> Result<()> {
                     pop.num_releases()
                 )));
             }
+            // A SPLIT record first re-partitions the cursor-time groups
+            // copy-on-write (each part cloning its parent's state and
+            // sharing the parent's timeline object); the tail replay
+            // below then forks timelines exactly as the live run did.
+            if let Some(splits) = &delta.splits {
+                if splits.origin.len() != delta.shards.len()
+                    || splits.members.len() != delta.shards.len()
+                {
+                    return Err(corrupt(format!(
+                        "SPLIT delta: origin map covers {} shards, member partition {}, but \
+                         the record carries {}",
+                        splits.origin.len(),
+                        splits.members.len(),
+                        delta.shards.len()
+                    )));
+                }
+                pop.apply_checkpoint_splits(&splits.origin, &splits.members)
+                    .map_err(corrupt)?;
+            }
             for (g, shard) in delta.shards.iter().enumerate() {
                 validate_delta_shard(shard, g)?;
             }
@@ -1310,11 +1582,21 @@ impl SavedState {
 /// strict `base_len` chaining contract: a mismatch is a hard
 /// [`TplError::CorruptCheckpoint`].
 pub fn resume_bytes(snapshot: &[u8], delta_log: Option<&[u8]>) -> Result<SavedState> {
+    resume_bytes_counted(snapshot, delta_log).map(|(state, _, _)| state)
+}
+
+/// [`resume_bytes`] plus replay accounting: `(state, replayed records,
+/// skipped stale records)` — what [`compact`] reports.
+fn resume_bytes_counted(
+    snapshot: &[u8],
+    delta_log: Option<&[u8]>,
+) -> Result<(SavedState, usize, usize)> {
     let generation = snapshot_generation(snapshot);
     let mut state = match format::read_snapshot(snapshot)? {
         format::RawState::Tpl(raw) => SavedState::Tpl(restore_accountant(*raw)?),
         format::RawState::Population(raw) => SavedState::Population(restore_population(raw)?),
     };
+    let (mut replayed, mut skipped) = (0usize, 0usize);
     if let Some(log) = delta_log {
         for delta in format::read_delta_log(log)? {
             if delta.generation != 0 && delta.generation != generation {
@@ -1326,12 +1608,14 @@ pub fn resume_bytes(snapshot: &[u8], delta_log: Option<&[u8]>) -> Result<SavedSt
                     delta.generation,
                     generation
                 );
+                skipped += 1;
                 continue;
             }
             apply_delta(&mut state, &delta)?;
+            replayed += 1;
         }
     }
-    Ok(state)
+    Ok((state, replayed, skipped))
 }
 
 /// The sibling delta-log path of a binary snapshot: `<path>.delta`.
@@ -1341,24 +1625,156 @@ pub fn delta_log_path(path: &Path) -> PathBuf {
     PathBuf::from(p)
 }
 
+/// A memory-mapped binary snapshot — the zero-copy source for
+/// [`resume_bytes`] (sections decoded `Cow::Borrowed` straight from
+/// the map) and for read-only audits via [`Self::view`].
+///
+/// Mapping a snapshot is safe against concurrent checkpointing because
+/// snapshots are only ever **rename-replaced** ([`write_atomic`]): a
+/// later save installs a new inode at the path, and this map keeps the
+/// old inode's bytes alive and unchanged until dropped — the file at
+/// `path` is never rewritten in place.
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    map: memmap2::Mmap,
+}
+
+impl MappedSnapshot {
+    /// Map the file at `path` read-only. A file that cannot be opened
+    /// is [`TplError::CheckpointIo`]; one that cannot be *mapped*
+    /// (empty, or an unsupported platform) is
+    /// [`TplError::ZeroCopyUnavailable`] — callers fall back to the
+    /// buffered read path.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| TplError::CheckpointIo(format!("{}: {e}", path.display())))?;
+        let map = memmap2::Mmap::map(&file).map_err(|e| {
+            TplError::ZeroCopyUnavailable(format!("cannot map {}: {e}", path.display()))
+        })?;
+        Ok(MappedSnapshot { map })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.map
+    }
+
+    /// Parse the mapped bytes as a snapshot container and return the
+    /// zero-copy audit view over them.
+    pub fn view(&self) -> Result<format::SnapshotView<'_>> {
+        format::SnapshotView::parse(&self.map)
+    }
+}
+
+/// What [`compact`] did: the folded log's replay accounting and the
+/// rewritten snapshot's identity.
+#[derive(Debug, Clone, Copy)]
+pub struct Compaction {
+    /// Generation id of the snapshot now on disk (new when records were
+    /// folded in; unchanged on a no-op).
+    pub generation: u64,
+    /// Delta records folded into the snapshot.
+    pub replayed: usize,
+    /// Stale records (superseded generation) discarded with the log.
+    pub skipped: usize,
+    /// Size of the snapshot now on disk, in bytes.
+    pub snapshot_bytes: usize,
+}
+
+/// Fold the sibling delta log into the binary snapshot at `path`:
+/// replay snapshot + log to the last stop point, atomically rename a
+/// fresh full snapshot over the old one, and remove the log. The result
+/// resumes bit-identically to replaying the log — but in one `O(T)`
+/// read instead of a snapshot plus an unbounded record chain — and
+/// carries a **new generation id**, so a crash between the rename and
+/// the log removal is benign: the leftover records are recognized as
+/// stale on the next resume (or the next `compact`) and skipped, never
+/// double-applied. With no log (or an empty one) this is a no-op that
+/// reports the current generation.
+pub fn compact(path: &Path) -> Result<Compaction> {
+    let snapshot = std::fs::read(path)
+        .map_err(|e| TplError::CheckpointIo(format!("{}: {e}", path.display())))?;
+    if !snapshot.starts_with(format::MAGIC) {
+        return Err(corrupt(
+            "only binary (v3) snapshots carry a delta log — nothing to compact",
+        ));
+    }
+    let log_path = delta_log_path(path);
+    let log = match std::fs::read(&log_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            return Err(TplError::CheckpointIo(format!(
+                "{}: {e}",
+                log_path.display()
+            )))
+        }
+    };
+    if log.is_empty() {
+        return Ok(Compaction {
+            generation: snapshot_generation(&snapshot),
+            replayed: 0,
+            skipped: 0,
+            snapshot_bytes: snapshot.len(),
+        });
+    }
+    let (state, replayed, skipped) = resume_bytes_counted(&snapshot, Some(&log))?;
+    // Re-encode as-is — deliberately without warming the series cache
+    // first, so resuming the compacted snapshot costs exactly the same
+    // loss evaluations as resuming snapshot + log would have.
+    let bytes = match &state {
+        SavedState::Tpl(acc) => acc.checkpoint_binary(),
+        SavedState::Population(pop) => pop.checkpoint_binary(),
+    };
+    write_atomic(path, &bytes)?;
+    match std::fs::remove_file(&log_path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            return Err(TplError::CheckpointIo(format!(
+                "{}: {e}",
+                log_path.display()
+            )))
+        }
+    }
+    Ok(Compaction {
+        generation: snapshot_generation(&bytes),
+        replayed,
+        skipped,
+        snapshot_bytes: bytes.len(),
+    })
+}
+
+/// Read the sibling delta log of a binary snapshot, `None` when absent.
+fn read_sibling_log(path: &Path) -> Result<Option<Vec<u8>>> {
+    let log_path = delta_log_path(path);
+    match std::fs::read(&log_path) {
+        Ok(b) => Ok(Some(b)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(TplError::CheckpointIo(format!(
+            "{}: {e}",
+            log_path.display()
+        ))),
+    }
+}
+
 /// Resume from a checkpoint file in either encoding, sniffed by magic:
 /// a binary snapshot (replaying its sibling `<path>.delta` log when
-/// present) or a JSON envelope of any supported version.
+/// present) or a JSON envelope of any supported version. Binary
+/// snapshots are memory-mapped and decoded zero-copy
+/// ([`MappedSnapshot`]); when mapping is unavailable the buffered read
+/// below restores the identical state.
 pub fn resume_file(path: &Path) -> Result<SavedState> {
+    if let Ok(mapped) = MappedSnapshot::open(path) {
+        if mapped.bytes().starts_with(format::MAGIC) {
+            let log = read_sibling_log(path)?;
+            return resume_bytes(mapped.bytes(), log.as_deref());
+        }
+    }
     let bytes = std::fs::read(path)
         .map_err(|e| TplError::CheckpointIo(format!("{}: {e}", path.display())))?;
     if bytes.starts_with(format::MAGIC) {
-        let log_path = delta_log_path(path);
-        let log = match std::fs::read(&log_path) {
-            Ok(b) => Some(b),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-            Err(e) => {
-                return Err(TplError::CheckpointIo(format!(
-                    "{}: {e}",
-                    log_path.display()
-                )))
-            }
-        };
+        let log = read_sibling_log(path)?;
         resume_bytes(&bytes, log.as_deref())
     } else {
         let text = String::from_utf8(bytes)

@@ -29,20 +29,52 @@
 //!
 //! | tag | name         | payload                                        |
 //! |-----|--------------|------------------------------------------------|
-//! | 1   | `META`       | container-level JSON (losses + witnesses for a solo snapshot; `num_users`/`class_of` for a population; `base_len`/`shards` for a delta) |
+//! | 1   | `META`       | container-level JSON (losses + witnesses for a solo snapshot; `num_users`/`class_of` for a population; `base_len`/`shards`/`generation`/optional `origin` for a delta) |
 //! | 2   | `TIMELINE`   | raw `f64` budget trail (per timeline class) or delta budget tail (per shard) |
 //! | 3   | `BPL`        | raw `f64` BPL series / delta tail (per shard)  |
 //! | 4   | `FPL`        | raw `f64` cached FPL series (optional)         |
 //! | 5   | `TPL`        | raw `f64` cached TPL series (optional)         |
-//! | 6   | `MEMBERS`    | raw `u64` ascending member indices (per shard) |
+//! | 6   | `MEMBERS`    | raw `u64` ascending member indices (per shard; in a **delta** record, present exactly for the shards of a SPLIT partition) |
 //! | 7   | `SHARD_META` | per-shard JSON (losses + witnesses; delta witnesses) |
-//! | 8   | `FOLDED_SUMMARY` | per-shard JSON fold summary (optional): `len` (folded releases), `eps_total` (folded Σε), `eps_max` (max folded ε), `horizon`, `bpl_max`, `bpl_less_eps_max` |
+//! | 8   | `FOLDED_SUMMARY` | per-shard JSON fold summary (optional): `len` (folded releases), `eps_total` (folded Σε), `eps_max` (max folded ε), `horizon`, `bpl_max`, `bpl_less_eps_max`, optional `wevent` (tracked pre-fold w-event maxima) |
 //!
 //! The large state — budget timelines, BPL/FPL/TPL series — is stored
 //! as raw arrays (each distinct population timeline exactly once, with
 //! shards referencing it by class index), so writing a snapshot copies
 //! the floats instead of formatting them, and a delta record's size is
 //! proportional to what was appended, not to `T`.
+//!
+//! # SPLIT delta records
+//!
+//! A delta record whose META carries an `"origin"` array is a **SPLIT**
+//! record: the shard topology changed since the cursor because
+//! `observe_release_personalized` diverged a shard's budgets.
+//! `origin[j]` names the cursor-time parent shard of new shard `j`
+//! (shards only ever *split* — never merge or migrate members — so the
+//! origin map plus the member partition describes the whole change).
+//! Each shard of a split parent additionally carries a `MEMBERS`
+//! section with its post-split member list; shards whose parent did not
+//! split carry none and inherit the parent's list verbatim. Replay
+//! applies the partition copy-on-write **before** the budget/BPL tails:
+//! every part of a split parent starts from a clone of the parent's
+//! cursor-time state and the parent's shared timeline object, and the
+//! tail replay then forks timelines by appended-budget bits in
+//! first-seen group order — reproducing the live fork's sharing
+//! topology bit-identically. SPLIT records are generation-stamped like
+//! every other record, so a stale one is skipped, never misapplied.
+//!
+//! # Zero-copy reads
+//!
+//! Sections start 8-byte-aligned, so on a little-endian platform the
+//! raw `f64` sections of a snapshot can be *viewed in place* — no
+//! `Vec<f64>` per section. [`SnapshotView`] is the read-only audit
+//! surface over a borrowed (typically memory-mapped) snapshot, and the
+//! snapshot decoder borrows sections as `Cow<[f64]>` so a resume
+//! materializes each section at most once. Both revalidate alignment
+//! and bounds against the section table; when the base pointer is
+//! misaligned or the platform is big-endian, the decoder falls back to
+//! the copying path and [`SnapshotView`] refuses with the honest
+//! [`TplError::ZeroCopyUnavailable`] instead of serving wrong floats.
 //!
 //! Under a fold horizon the `TIMELINE`/`BPL`/`FPL`/`TPL` sections hold
 //! only the **live window**, so snapshots are `O(w)` no matter how long
@@ -67,14 +99,15 @@
 //! validation as a JSON restore.
 
 use super::{
-    corrupt, tpl_meta_value, CheckpointDelta, CheckpointKind, DeltaShard, RawAccountantState,
-    RawFold, RawPopulationState, CHECKPOINT_VERSION,
+    corrupt, tpl_meta_value, CheckpointDelta, CheckpointKind, DeltaShard, DeltaSplits,
+    RawAccountantState, RawFold, RawPopulationState, CHECKPOINT_VERSION,
 };
-use crate::accountant::TplAccountant;
+use crate::accountant::{wevent_from_value, wevent_to_value, TplAccountant};
 use crate::loss::TemporalLossFunction;
 use crate::personalized::PopulationAccountant;
 use crate::{Result, TplError};
 use serde::{Deserialize, Serialize, Value};
+use std::borrow::Cow;
 use std::sync::Arc;
 use tcdp_mech::budget::BudgetTimeline;
 
@@ -216,30 +249,31 @@ fn push_accountant_sections(b: &mut Builder, g: usize, meta_tag: u32, acc: &TplA
         b.f64s(TAG_TPL, shard_u32(g), &tpl);
     }
     let timeline = acc.timeline();
-    if acc.live_start() > 0 || timeline.horizon().is_some() {
+    let wevent = acc.wevent_pairs();
+    if acc.live_start() > 0 || timeline.horizon().is_some() || !wevent.is_empty() {
         let folded = acc.fold_state();
         // With a horizon armed but nothing folded yet the BPL maxima
         // are still NEG_INFINITY — written as 0.0 (JSON has no
         // infinities) and ignored on restore (`len == 0`).
         let stat = |v: f64| Value::Num(if folded.len == 0 { 0.0 } else { v });
-        b.json(
-            TAG_FOLDED,
-            shard_u32(g),
-            &Value::Map(vec![
-                ("len".to_string(), folded.len.to_value()),
-                ("eps_total".to_string(), Value::Num(timeline.folded_total())),
-                (
-                    "eps_max".to_string(),
-                    Value::Num(timeline.folded_eps_max().unwrap_or(0.0)),
-                ),
-                ("horizon".to_string(), timeline.horizon().to_value()),
-                ("bpl_max".to_string(), stat(folded.bpl_max)),
-                (
-                    "bpl_less_eps_max".to_string(),
-                    stat(folded.bpl_less_eps_max),
-                ),
-            ]),
-        );
+        let mut map = vec![
+            ("len".to_string(), folded.len.to_value()),
+            ("eps_total".to_string(), Value::Num(timeline.folded_total())),
+            (
+                "eps_max".to_string(),
+                Value::Num(timeline.folded_eps_max().unwrap_or(0.0)),
+            ),
+            ("horizon".to_string(), timeline.horizon().to_value()),
+            ("bpl_max".to_string(), stat(folded.bpl_max)),
+            (
+                "bpl_less_eps_max".to_string(),
+                stat(folded.bpl_less_eps_max),
+            ),
+        ];
+        if !wevent.is_empty() {
+            map.push(("wevent".to_string(), wevent_to_value(wevent)));
+        }
+        b.json(TAG_FOLDED, shard_u32(g), &Value::Map(map));
     }
 }
 
@@ -290,23 +324,33 @@ pub(crate) fn write_population_snapshot(pop: &PopulationAccountant) -> Vec<u8> {
 /// Encode one delta record as a delta container.
 pub(crate) fn write_delta(delta: &CheckpointDelta) -> Vec<u8> {
     let mut b = Builder::new(ROLE_DELTA, kind_code(delta.kind()));
-    b.json(
-        TAG_META,
-        0,
-        &Value::Map(vec![
-            ("base_len".to_string(), delta.base_len().to_value()),
-            ("shards".to_string(), delta.shards().len().to_value()),
-            // A u64 id does not round-trip through an f64 JSON number,
-            // so the generation travels as a fixed-width hex string.
-            (
-                "generation".to_string(),
-                Value::Str(format!("{:016x}", delta.generation())),
-            ),
-        ]),
-    );
+    let mut meta = vec![
+        ("base_len".to_string(), delta.base_len().to_value()),
+        ("shards".to_string(), delta.shards().len().to_value()),
+        // A u64 id does not round-trip through an f64 JSON number,
+        // so the generation travels as a fixed-width hex string.
+        (
+            "generation".to_string(),
+            Value::Str(format!("{:016x}", delta.generation())),
+        ),
+    ];
+    if let Some(splits) = delta.splits() {
+        // SPLIT record: origin[j] is the cursor-time parent of shard j.
+        meta.push(("origin".to_string(), splits.origin.to_value()));
+    }
+    b.json(TAG_META, 0, &Value::Map(meta));
     for (g, shard) in delta.shards().iter().enumerate() {
         b.f64s(TAG_TIMELINE, shard_u32(g), &shard.budgets);
         b.f64s(TAG_BPL, shard_u32(g), &shard.bpl);
+        if let Some(members) = delta
+            .splits()
+            .and_then(|s| s.members.get(g))
+            .and_then(|m| m.as_ref())
+        {
+            // Post-split member list — present exactly for the shards
+            // whose parent split.
+            b.u64s(TAG_MEMBERS, shard_u32(g), members);
+        }
         let w = |v: &Option<Value>| v.clone().unwrap_or(Value::Null);
         b.json(
             TAG_SHARD_META,
@@ -425,6 +469,14 @@ impl<'a> Container<'a> {
         decode_f64s(self.require(tag, shard, what)?, what)
     }
 
+    fn cow_f64s(&self, tag: u32, shard: u32, what: &str) -> Result<Cow<'a, [f64]>> {
+        cow_f64s(self.require(tag, shard, what)?, what)
+    }
+
+    fn view_f64s(&self, tag: u32, shard: u32, what: &str) -> Result<&'a [f64]> {
+        view_f64s(self.require(tag, shard, what)?, what)
+    }
+
     fn json(&self, tag: u32, shard: u32, what: &str) -> Result<Value> {
         let bytes = self.require(tag, shard, what)?;
         let text = std::str::from_utf8(bytes)
@@ -448,6 +500,43 @@ fn decode_f64s(bytes: &[u8], what: &str) -> Result<Vec<f64>> {
         .collect())
 }
 
+/// Borrow an 8-byte-aligned little-endian `f64` section in place,
+/// falling back to the copying decode when the cast refuses (misaligned
+/// base pointer, big-endian platform). A length that is not a multiple
+/// of 8 still errors honestly via the fallback.
+fn cow_f64s<'a>(bytes: &'a [u8], what: &str) -> Result<Cow<'a, [f64]>> {
+    #[cfg(target_endian = "little")]
+    if let Ok(s) = bytemuck::try_cast_slice::<u8, f64>(bytes) {
+        return Ok(Cow::Borrowed(s));
+    }
+    decode_f64s(bytes, what).map(Cow::Owned)
+}
+
+/// Strictly borrow an `f64` section in place — the [`SnapshotView`]
+/// path, which promises no per-section allocation and therefore refuses
+/// (with [`TplError::ZeroCopyUnavailable`]) instead of copying.
+fn view_f64s<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [f64]> {
+    #[cfg(target_endian = "little")]
+    {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(corrupt(format!(
+                "{what} section length {} is not a multiple of 8",
+                bytes.len()
+            )));
+        }
+        bytemuck::try_cast_slice::<u8, f64>(bytes).map_err(|e| {
+            TplError::ZeroCopyUnavailable(format!("{what} section cannot be viewed in place: {e}"))
+        })
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let _ = bytes;
+        Err(TplError::ZeroCopyUnavailable(format!(
+            "{what} section holds little-endian floats; this platform is big-endian"
+        )))
+    }
+}
+
 fn decode_usizes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
     if !bytes.len().is_multiple_of(8) {
         return Err(corrupt(format!(
@@ -468,20 +557,22 @@ fn decode_usizes(bytes: &[u8], what: &str) -> Result<Vec<usize>> {
 }
 
 /// Raw decoded snapshot state, restored by the shared validation path
-/// in the parent module.
-pub(crate) enum RawState {
-    Tpl(Box<RawAccountantState>),
-    Population(RawPopulationState),
+/// in the parent module. Borrows `f64` sections from the source buffer
+/// (typically an mmap) where alignment allows; restore materializes
+/// each borrowed section exactly once.
+pub(crate) enum RawState<'a> {
+    Tpl(Box<RawAccountantState<'a>>),
+    Population(RawPopulationState<'a>),
 }
 
 /// Decode the meta JSON (losses + witnesses) plus the per-shard raw
 /// sections into one accountant's raw state.
-fn read_accountant_raw(
-    c: &Container<'_>,
+fn read_accountant_raw<'a>(
+    c: &Container<'a>,
     g: u32,
     meta: &Value,
     timeline: Arc<BudgetTimeline>,
-) -> Result<RawAccountantState> {
+) -> Result<RawAccountantState<'a>> {
     let side = |k: &str| -> Result<Option<TemporalLossFunction>> {
         let v = meta
             .get(k)
@@ -489,12 +580,12 @@ fn read_accountant_raw(
         Option::<TemporalLossFunction>::from_value(v).map_err(|e| corrupt(format!("meta.{k}: {e}")))
     };
     let witness = |k: &str| meta.get(k).filter(|v| !matches!(v, Value::Null)).cloned();
-    let bpl = c.f64s(TAG_BPL, g, "bpl")?;
+    let bpl = c.cow_f64s(TAG_BPL, g, "bpl")?;
     let fpl = c.get(TAG_FPL, g);
     let tpl = c.get(TAG_TPL, g);
     let series = match (fpl, tpl) {
         (None, None) => None,
-        (Some(fpl), Some(tpl)) => Some((decode_f64s(fpl, "fpl")?, decode_f64s(tpl, "tpl")?)),
+        (Some(fpl), Some(tpl)) => Some((cow_f64s(fpl, "fpl")?, cow_f64s(tpl, "tpl")?)),
         _ => {
             return Err(corrupt(
                 "cached series must carry both fpl and tpl sections or neither",
@@ -510,6 +601,12 @@ fn read_accountant_raw(
         let num = |k: &str| -> Result<f64> {
             f64::from_value(sub(k)?).map_err(|e| corrupt(format!("fold summary.{k}: {e}")))
         };
+        let wevent = match fv.get("wevent") {
+            None => Vec::new(),
+            Some(v) => {
+                wevent_from_value(v).map_err(|e| corrupt(format!("fold summary.wevent: {e}")))?
+            }
+        };
         Some(RawFold {
             folded_len: usize::from_value(sub("len")?)
                 .map_err(|e| corrupt(format!("fold summary.len: {e}")))?,
@@ -519,6 +616,7 @@ fn read_accountant_raw(
                 .map_err(|e| corrupt(format!("fold summary.horizon: {e}")))?,
             bpl_max: num("bpl_max")?,
             bpl_less_eps_max: num("bpl_less_eps_max")?,
+            wevent,
         })
     } else {
         None
@@ -536,7 +634,7 @@ fn read_accountant_raw(
 }
 
 /// Decode one snapshot container into raw state.
-pub(crate) fn read_snapshot(bytes: &[u8]) -> Result<RawState> {
+pub(crate) fn read_snapshot(bytes: &[u8]) -> Result<RawState<'_>> {
     let c = parse_container(bytes)?;
     if c.role != ROLE_SNAPSHOT {
         return Err(corrupt(
@@ -553,7 +651,7 @@ pub(crate) fn read_snapshot(bytes: &[u8]) -> Result<RawState> {
     match kind_of_code(c.kind)? {
         CheckpointKind::TplAccountant => {
             let meta = c.json(TAG_META, 0, "meta")?;
-            let timeline = Arc::new(BudgetTimeline::from_raw_trail(&c.f64s(
+            let timeline = Arc::new(BudgetTimeline::from_raw_trail(&c.cow_f64s(
                 TAG_TIMELINE,
                 0,
                 "timeline",
@@ -583,7 +681,7 @@ pub(crate) fn read_snapshot(bytes: &[u8]) -> Result<RawState> {
             // pointer identity.
             let classes: Vec<Arc<BudgetTimeline>> = (0..num_classes)
                 .map(|ci| {
-                    c.f64s(TAG_TIMELINE, shard_u32(ci), "class timeline")
+                    c.cow_f64s(TAG_TIMELINE, shard_u32(ci), "class timeline")
                         .map(|t| Arc::new(BudgetTimeline::from_raw_trail(&t)))
                 })
                 .collect::<Result<_>>()?;
@@ -666,7 +764,22 @@ fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
             c.sections.len()
         )));
     }
+    let origin = match meta.get("origin") {
+        None => None,
+        Some(v) => Some(
+            Vec::<usize>::from_value(v).map_err(|e| corrupt(format!("delta meta.origin: {e}")))?,
+        ),
+    };
+    if let Some(origin) = &origin {
+        if origin.len() != num_shards {
+            return Err(corrupt(format!(
+                "SPLIT delta: origin names {} shards but the record carries {num_shards}",
+                origin.len()
+            )));
+        }
+    }
     let mut shards = Vec::with_capacity(num_shards);
+    let mut members: Vec<Option<Vec<usize>>> = Vec::with_capacity(num_shards);
     for g in 0..num_shards {
         let g32 = shard_u32(g);
         let budgets = c.f64s(TAG_TIMELINE, g32, "delta budgets")?;
@@ -678,6 +791,18 @@ fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
                 .filter(|v| !matches!(v, Value::Null))
                 .cloned()
         };
+        members.push(match c.get(TAG_MEMBERS, g32) {
+            Some(bytes) => {
+                if origin.is_none() {
+                    return Err(corrupt(format!(
+                        "delta shard {g} carries a member partition but the record has no \
+                         origin map — truncated SPLIT meta?"
+                    )));
+                }
+                Some(decode_usizes(bytes, "split members")?)
+            }
+            None => None,
+        });
         shards.push(DeltaShard {
             budgets,
             bpl,
@@ -685,7 +810,116 @@ fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
             warm_forward: witness("warm_forward"),
         });
     }
+    let splits = origin.map(|origin| DeltaSplits { origin, members });
     Ok(CheckpointDelta::from_parts(
-        kind, base_len, generation, shards,
+        kind, base_len, generation, shards, splits,
     ))
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy audit view
+// ---------------------------------------------------------------------------
+
+/// A read-only, zero-copy view over one snapshot container.
+///
+/// Every `f64` accessor returns a slice borrowed straight from the
+/// source buffer — typically a [`crate::checkpoint::MappedSnapshot`] —
+/// so auditing a checkpoint (max cached TPL, BPL spot checks, series
+/// scans) allocates nothing proportional to `T`. Offsets, lengths, and
+/// alignment are revalidated against the section table at parse time
+/// and again per access; a section that cannot be viewed in place is an
+/// honest [`TplError::ZeroCopyUnavailable`], never a copy — callers
+/// that can afford materialization use [`crate::checkpoint::resume_bytes`].
+pub struct SnapshotView<'a> {
+    container: Container<'a>,
+    kind: CheckpointKind,
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Parse a snapshot container without materializing any section.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self> {
+        let container = parse_container(bytes)?;
+        if container.role != ROLE_SNAPSHOT {
+            return Err(corrupt(
+                "expected a snapshot container, found a delta record",
+            ));
+        }
+        if container.total_len != bytes.len() {
+            return Err(corrupt(format!(
+                "trailing bytes after the snapshot container ({} of {})",
+                container.total_len,
+                bytes.len()
+            )));
+        }
+        let kind = kind_of_code(container.kind)?;
+        Ok(SnapshotView { container, kind })
+    }
+
+    /// Which accountant wrote this snapshot.
+    pub fn kind(&self) -> CheckpointKind {
+        self.kind
+    }
+
+    /// Number of shards (user groups; 1 for a solo accountant) —
+    /// counted from the BPL sections every shard must carry.
+    pub fn num_shards(&self) -> usize {
+        self.container
+            .sections
+            .iter()
+            .filter(|(t, _, _)| *t == TAG_BPL)
+            .count()
+    }
+
+    /// Number of distinct timeline classes stored in the snapshot.
+    pub fn num_timeline_classes(&self) -> usize {
+        self.container
+            .sections
+            .iter()
+            .filter(|(t, _, _)| *t == TAG_TIMELINE)
+            .count()
+    }
+
+    /// The raw budget trail of timeline class `class`, viewed in place.
+    pub fn timeline(&self, class: usize) -> Result<&'a [f64]> {
+        self.container
+            .view_f64s(TAG_TIMELINE, shard_u32(class), "timeline")
+    }
+
+    /// Shard `g`'s BPL series (live window under a fold horizon),
+    /// viewed in place.
+    pub fn bpl(&self, g: usize) -> Result<&'a [f64]> {
+        self.container.view_f64s(TAG_BPL, shard_u32(g), "bpl")
+    }
+
+    /// Shard `g`'s cached `(FPL, TPL)` series, viewed in place —
+    /// `Ok(None)` when the snapshot carries no cached series for it.
+    pub fn series(&self, g: usize) -> Result<Option<(&'a [f64], &'a [f64])>> {
+        let g32 = shard_u32(g);
+        match (
+            self.container.get(TAG_FPL, g32),
+            self.container.get(TAG_TPL, g32),
+        ) {
+            (None, None) => Ok(None),
+            (Some(fpl), Some(tpl)) => Ok(Some((view_f64s(fpl, "fpl")?, view_f64s(tpl, "tpl")?))),
+            _ => Err(corrupt(
+                "cached series must carry both fpl and tpl sections or neither",
+            )),
+        }
+    }
+
+    /// Maximum over every cached TPL section — the audit headline —
+    /// without materializing a single `Vec`. `Ok(None)` when no shard
+    /// cached its series (the writer was mid-stream).
+    pub fn max_cached_tpl(&self) -> Result<Option<f64>> {
+        let mut worst: Option<f64> = None;
+        for (tag, _, bytes) in &self.container.sections {
+            if *tag != TAG_TPL {
+                continue;
+            }
+            for &v in view_f64s(bytes, "tpl")? {
+                worst = Some(worst.map_or(v, |w: f64| w.max(v)));
+            }
+        }
+        Ok(worst)
+    }
 }

@@ -76,10 +76,14 @@ pub fn user_level_guarantee(acc: &TplAccountant) -> Result<f64> {
 /// audit (all windows share the accountant's one cached series pass).
 ///
 /// Under a fold horizon the sweep covers the windows that start inside
-/// the live window — exactly the windows a `H ≥ w` streaming deployment
-/// still needs (older windows were audited while they were live). A
-/// horizon too small to fit even one window is a
-/// [`TplError::FoldedHistory`] error.
+/// the live window; when `w` was armed via
+/// [`TplAccountant::track_w_event`] before folding began, the folded
+/// windows' pre-computed running maximum is joined in, so the result
+/// still bounds the **all-time** sweep. An untracked `w` answers for
+/// the live windows only (they are exactly the windows a `H ≥ w`
+/// streaming deployment still needs — older windows were audited while
+/// they were live); a horizon too small to fit even one live window is
+/// then a [`TplError::FoldedHistory`] error.
 pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
     let t_len = acc.len();
     if t_len == 0 {
@@ -88,18 +92,21 @@ pub fn w_event_guarantee(acc: &TplAccountant, w: usize) -> Result<f64> {
     if w == 0 || w > t_len {
         return Err(TplError::InvalidWindow { w });
     }
-    // Every window must start inside the live window: the fold horizon
-    // is chosen with `H ≥ max w`, so an in-contract caller never trips
-    // this — but a too-small horizon must be an honest error, not a
-    // sweep that silently skips the folded windows.
+    // Windows that started before the fold are served from the
+    // accountant's pre-folded running maximum when `w` is tracked
+    // ([`TplAccountant::track_w_event`]); the sweep below covers the
+    // still-live starts exactly, and the result is the join of the two.
+    // An untracked `w` whose windows all folded away must be an honest
+    // error, not a sweep that silently skips the folded windows.
+    let folded_bound = acc.folded_w_event_bound(w)?;
     let live_start = acc.live_start();
     if live_start > t_len - w {
-        return Err(TplError::FoldedHistory {
+        return folded_bound.ok_or(TplError::FoldedHistory {
             t: t_len - w,
             live_start,
         });
     }
-    let mut worst = f64::NEG_INFINITY;
+    let mut worst = folded_bound.unwrap_or(f64::NEG_INFINITY);
     for t in live_start..=(t_len - w) {
         worst = worst.max(sequence_guarantee(acc, t, w - 1)?);
     }

@@ -193,6 +193,15 @@ pub enum TplError {
     CorruptCheckpoint(String),
     /// A checkpoint file could not be read or written.
     CheckpointIo(String),
+    /// The zero-copy (mmap) checkpoint view cannot serve this request —
+    /// unsupported platform, refused mapping, misaligned section, or a
+    /// cached section the snapshot does not carry. The copying resume
+    /// path can still read the same file.
+    ZeroCopyUnavailable(String),
+    /// A delta checkpoint cannot chain from the given cursor; the
+    /// message names the shard class that diverged. The caller falls
+    /// back to a fresh full snapshot.
+    DeltaUnchained(String),
     /// An error bubbled up from the generic LP baseline solvers.
     Lp(tcdp_lp::LpError),
     /// An error bubbled up from the Markov substrate.
@@ -267,6 +276,18 @@ impl std::fmt::Display for TplError {
                 write!(f, "corrupt checkpoint: {reason}")
             }
             TplError::CheckpointIo(reason) => write!(f, "checkpoint io error: {reason}"),
+            TplError::ZeroCopyUnavailable(reason) => {
+                write!(
+                    f,
+                    "zero-copy checkpoint view unavailable ({reason}); use the copying resume path"
+                )
+            }
+            TplError::DeltaUnchained(reason) => {
+                write!(
+                    f,
+                    "delta checkpoint cannot chain from this cursor: {reason}"
+                )
+            }
             TplError::Lp(e) => write!(f, "LP baseline error: {e}"),
             TplError::Markov(e) => write!(f, "markov substrate error: {e}"),
             TplError::Mech(e) => write!(f, "mechanism substrate error: {e}"),

@@ -208,6 +208,155 @@ impl PopulationAccountant {
         (class_of, reps)
     }
 
+    /// Re-enact the shard splits a delta checkpoint recorded — the
+    /// SPLIT half of incremental replay, applied **before**
+    /// [`Self::apply_checkpoint_tails`] so the tails land on the
+    /// post-split shard list. `origin[g]` names the cursor-time parent
+    /// of new shard `g`, and `members[g]` carries shard `g`'s member
+    /// partition exactly when its parent split into several shards
+    /// (`None` for a shard that maps 1:1 onto its parent).
+    ///
+    /// Splitting is copy-on-write and order-preserving, mirroring the
+    /// live [`Self::observe_release_personalized`] fork: among one
+    /// parent's children, the first in group order (= the one holding
+    /// the parent's lowest member, since the final list must stay
+    /// sorted by lowest member) keeps the parent's accountant object,
+    /// and the rest take clones; every child initially shares the
+    /// parent's timeline `Arc`, so the subsequent tail replay forks
+    /// timelines exactly where the recorded budgets diverge. Shards
+    /// only ever split — a vanished or merged parent is a corruption
+    /// refusal, as is any child partition that is not a disjoint,
+    /// exhaustive, ascending split of the parent's members.
+    pub(crate) fn apply_checkpoint_splits(
+        &mut self,
+        origin: &[usize],
+        members: &[Option<Vec<usize>>],
+    ) -> std::result::Result<(), String> {
+        let n_old = self.groups.len();
+        let n_new = origin.len();
+        if members.len() != n_new {
+            return Err(format!(
+                "origin map covers {n_new} shards but {} member partitions were decoded",
+                members.len()
+            ));
+        }
+        if n_new < n_old {
+            return Err(format!(
+                "delta shrinks the population from {n_old} to {n_new} shards — shards only split, never merge"
+            ));
+        }
+        // Children of each cursor shard, in (already-validated-ascending)
+        // new-group order.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n_old];
+        for (g, &p) in origin.iter().enumerate() {
+            if p >= n_old {
+                return Err(format!(
+                    "shard {g} claims descent from cursor shard {p}, but the cursor recorded only {n_old} shards"
+                ));
+            }
+            children[p].push(g);
+        }
+        if let Some(p) = children.iter().position(|k| k.is_empty()) {
+            return Err(format!(
+                "cursor shard {p} has no descendant in the delta — shards only split, never vanish"
+            ));
+        }
+        // Resolve and validate each child's member list against its
+        // parent's before touching any state.
+        let mut resolved: Vec<Option<Vec<usize>>> = vec![None; n_new];
+        for (p, kids) in children.iter().enumerate() {
+            let parent = &self.groups[p].members;
+            if kids.len() == 1 {
+                let g = kids[0];
+                if let Some(m) = &members[g] {
+                    if m != parent {
+                        return Err(format!(
+                            "shard {g} descends alone from cursor shard {p} but carries a member list that differs from the parent's"
+                        ));
+                    }
+                }
+                resolved[g] = Some(parent.clone());
+                continue;
+            }
+            let mut union: Vec<usize> = Vec::with_capacity(parent.len());
+            for &g in kids {
+                let Some(part) = &members[g] else {
+                    return Err(format!(
+                        "shard {g} is one of {} children of cursor shard {p} but carries no member partition",
+                        kids.len()
+                    ));
+                };
+                if part.is_empty() || part.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!(
+                        "shard {g}: member partition must be non-empty and strictly ascending"
+                    ));
+                }
+                union.extend_from_slice(part);
+                resolved[g] = Some(part.clone());
+            }
+            union.sort_unstable();
+            if union != *parent {
+                return Err(format!(
+                    "the {} children of cursor shard {p} do not partition the parent's {} members",
+                    kids.len(),
+                    parent.len()
+                ));
+            }
+        }
+        // The final group list must stay strictly ascending by lowest
+        // member — the invariant every sharing-aware path keys on.
+        for g in 1..n_new {
+            let prev = resolved[g - 1].as_ref().map(|m| m[0]);
+            let here = resolved[g].as_ref().map(|m| m[0]);
+            if prev >= here {
+                return Err(format!(
+                    "shard {g} breaks the ascending-lowest-member shard order"
+                ));
+            }
+        }
+        // Build the new shard list: per parent, clones first (they
+        // borrow the original), then the original moves into the first
+        // child's slot.
+        let old = std::mem::take(&mut self.groups);
+        let mut new_groups: Vec<Option<UserGroup>> = (0..n_new).map(|_| None).collect();
+        for (p, parent) in old.into_iter().enumerate() {
+            let kids = &children[p];
+            let timeline = Arc::clone(parent.acc.timeline());
+            for &g in &kids[1..] {
+                let members = resolved[g]
+                    .take()
+                    .ok_or_else(|| format!("cursor shard {p}: child {g} resolved twice"))?;
+                new_groups[g] = Some(UserGroup {
+                    adversary: parent.adversary.clone(),
+                    members,
+                    acc: parent.acc.clone_with_timeline(Arc::clone(&timeline)),
+                });
+            }
+            let g0 = kids[0];
+            let members = resolved[g0]
+                .take()
+                .ok_or_else(|| format!("cursor shard {p}: child {g0} resolved twice"))?;
+            new_groups[g0] = Some(UserGroup {
+                adversary: parent.adversary,
+                members,
+                acc: parent.acc,
+            });
+        }
+        let mut groups = Vec::with_capacity(n_new);
+        for (g, slot) in new_groups.into_iter().enumerate() {
+            groups.push(
+                slot.ok_or_else(|| format!("shard {g} was claimed by no cursor-time parent"))?,
+            );
+        }
+        self.groups = groups;
+        for (g, group) in self.groups.iter().enumerate() {
+            for &u in &group.members {
+                self.membership[u] = g;
+            }
+        }
+        Ok(())
+    }
+
     /// Splice a delta checkpoint's per-shard tails onto the population —
     /// the replay half of incremental checkpoints ([`crate::checkpoint`]).
     /// `tails[g]` carries shard `g`'s appended `(budgets, bpl)` in group

@@ -9,7 +9,11 @@
 //! [`PopulationAccountant`] makes this cheap — cost scales with the
 //! number of *distinct* patterns, not users — and the checkpoint
 //! subsystem lets the nightly audit stop mid-timeline and continue the
-//! next day, bit-identical to a run that never stopped.
+//! next day, bit-identical to a run that never stopped. Later days show
+//! the incremental binary pipeline: O(appended)-byte delta records, a
+//! mid-log personalized release whose shard splits are captured as a
+//! SPLIT delta record (no re-snapshot), and `compact`, which folds the
+//! grown log back into the base snapshot.
 
 use tcdp::core::checkpoint::Checkpoint;
 use tcdp::core::personalized::PopulationAccountant;
@@ -143,7 +147,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..10 {
         resumed.observe_release(0.02)?;
     }
-    write_atomic(&bin_path, &resumed.checkpoint_binary())?;
+    let snapshot = resumed.checkpoint_binary();
+    let generation = snapshot_generation(&snapshot);
+    write_atomic(&bin_path, &snapshot)?;
     let SavedState::Population(fresh) = resume_file(&bin_path)? else {
         unreachable!("population snapshot");
     };
@@ -156,6 +162,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "restart over a stale delta log resumes at T = {} (stale records skipped)",
         fresh.num_releases()
     );
+
+    // Day five: mid-log personalization. Half the population opts into
+    // a tighter budget, so every shard straddles the boundary and
+    // splits copy-on-write. A shard split used to force a full
+    // re-snapshot; the SPLIT delta record now expresses the topology
+    // change inside the log itself, so the stream keeps appending
+    // O(appended)-byte records across the split.
+    let mut cursor = resumed.delta_cursor().stamped(generation);
+    let groups_before = resumed.num_groups();
+    resumed.observe_release_personalized(&[(0..USERS / 2, 0.01), (USERS / 2..USERS, 0.03)])?;
+    let split = resumed
+        .checkpoint_delta(&cursor)
+        .expect("splits are delta-expressible");
+    assert!(split.is_split(), "a straddling budget must split shards");
+    split.append_to(&delta_log_path(&bin_path))?;
+    cursor = resumed.delta_cursor().stamped(generation);
+    println!(
+        "day 5: {groups_before} shards split into {} — a {} B SPLIT delta record, \
+         no re-snapshot",
+        resumed.num_groups(),
+        split.to_bytes().len()
+    );
+    // The stream continues past the split with ordinary tail records.
+    for _ in 0..10 {
+        resumed.observe_release(0.02)?;
+    }
+    resumed
+        .checkpoint_delta(&cursor)
+        .expect("topology unchanged")
+        .append_to(&delta_log_path(&bin_path))?;
+    let SavedState::Population(split_replayed) = resume_file(&bin_path)? else {
+        unreachable!("population snapshot");
+    };
+    assert_eq!(split_replayed.num_groups(), resumed.num_groups());
+    for (a, b) in split_replayed
+        .tpl_series()?
+        .iter()
+        .zip(&resumed.tpl_series()?)
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "split replay must be bit-identical"
+        );
+    }
+    println!("snapshot + SPLIT + tail replay is bit-identical to the live accountant");
+
+    // Day six: the delta log has grown (and still carries day three's
+    // stale records); fold it into the base snapshot. Compaction
+    // replays chainable records, drops stale ones, rewrites the
+    // snapshot atomically under a fresh generation, and removes the
+    // log — resume afterwards reads one file.
+    let done = tcdp::core::checkpoint::compact(&bin_path)?;
+    assert!(
+        !delta_log_path(&bin_path).exists(),
+        "compaction consumes the log"
+    );
+    println!(
+        "day 6: compacted {} delta record(s) into a {} B snapshot \
+         (generation {:016x}); {} stale record(s) dropped",
+        done.replayed, done.snapshot_bytes, done.generation, done.skipped
+    );
+    let SavedState::Population(compacted) = resume_file(&bin_path)? else {
+        unreachable!("population snapshot");
+    };
+    for (a, b) in compacted.tpl_series()?.iter().zip(&resumed.tpl_series()?) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "compaction must preserve state bits"
+        );
+    }
+    println!("compacted snapshot resumes bit-identical to the live accountant");
     let _ = std::fs::remove_file(&bin_path);
     let _ = std::fs::remove_file(delta_log_path(&bin_path));
     Ok(())

@@ -51,7 +51,8 @@ USAGE:
   tcdp-cli audit    [--pb M] [--pf M] [--population SPEC] [--budgets SPEC]
                     [--w W1,W2,...] [--stream] [--horizon H]
                     [--checkpoint FILE] [--checkpoint-format json|bin]
-                    [--checkpoint-every N] [--resume FILE]
+                    [--checkpoint-every N] [--compact-after N]
+                    [--resume FILE]
   tcdp-cli estimate --traces FILE [--pseudo C]
   tcdp-cli report   [--pb M] [--pf M] --alpha A --eps E --t T
 
@@ -95,6 +96,12 @@ USAGE:
   is a full snapshot and each further save appends only the releases
   observed since to an append-only FILE.delta log (O(appended) bytes,
   not O(T)); in JSON format each save rewrites the full snapshot.
+  Population shard splits (diverging personalized budgets) ride the log
+  as SPLIT records; a save that genuinely cannot chain (e.g. the fold
+  horizon passed the last save) says why on stderr and falls back to a
+  full snapshot. `--compact-after N` (binary format only) folds the log
+  back into the base snapshot after every N appended records, keeping
+  both the log and the resume-time replay chain bounded.
   Blank and whitespace-only budget lines (and empty CSV fields) are
   skipped, and a trail without a trailing newline is fine.
   `audit --horizon H` folds releases older than the last H into a
@@ -556,7 +563,7 @@ trait Checkpointable {
     fn checkpoint_json(&self) -> Checkpoint;
     fn checkpoint_bin(&self) -> Vec<u8>;
     fn cursor(&self) -> DeltaCursor;
-    fn delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta>;
+    fn delta_explained(&self, cursor: &DeltaCursor) -> tcdp::core::Result<CheckpointDelta>;
     fn releases(&self) -> usize;
 }
 
@@ -570,8 +577,8 @@ impl Checkpointable for TplAccountant {
     fn cursor(&self) -> DeltaCursor {
         self.delta_cursor()
     }
-    fn delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
-        self.checkpoint_delta(cursor)
+    fn delta_explained(&self, cursor: &DeltaCursor) -> tcdp::core::Result<CheckpointDelta> {
+        self.checkpoint_delta_explained(cursor)
     }
     fn releases(&self) -> usize {
         self.len()
@@ -588,8 +595,8 @@ impl Checkpointable for PopulationAccountant {
     fn cursor(&self) -> DeltaCursor {
         self.delta_cursor()
     }
-    fn delta(&self, cursor: &DeltaCursor) -> Option<CheckpointDelta> {
-        self.checkpoint_delta(cursor)
+    fn delta_explained(&self, cursor: &DeltaCursor) -> tcdp::core::Result<CheckpointDelta> {
+        self.checkpoint_delta_explained(cursor)
     }
     fn releases(&self) -> usize {
         self.num_releases()
@@ -608,6 +615,13 @@ struct CheckpointSink {
     since: usize,
     cursor: Option<DeltaCursor>,
     stream: bool,
+    /// `--compact-after N`: fold the delta log into the base snapshot
+    /// once `N` records have been appended since the last snapshot (or
+    /// compaction), bounding both the log's size and the record chain a
+    /// resume replays.
+    compact_after: Option<usize>,
+    /// Records appended to the log since the last snapshot/compaction.
+    appended: usize,
 }
 
 impl CheckpointSink {
@@ -631,6 +645,21 @@ impl CheckpointSink {
                 return Err("--checkpoint-every needs --checkpoint FILE".into());
             }
         }
+        let compact_after = opts.get_usize("compact-after")?;
+        if let Some(n) = compact_after {
+            if n == 0 {
+                return Err("--compact-after must be at least 1".into());
+            }
+            if path.is_none() {
+                return Err("--compact-after needs --checkpoint FILE".into());
+            }
+            if format != CkFormat::Bin {
+                return Err(
+                    "--compact-after folds a binary delta log; it needs --checkpoint-format bin"
+                        .into(),
+                );
+            }
+        }
         Ok(Self {
             path,
             format,
@@ -638,6 +667,8 @@ impl CheckpointSink {
             since: 0,
             cursor: None,
             stream: opts.get("stream").is_some(),
+            compact_after,
+            appended: 0,
         })
     }
 
@@ -703,22 +734,42 @@ impl CheckpointSink {
             }
             CkFormat::Bin => {
                 if let Some(cursor) = &self.cursor {
-                    if let Some(delta) = acc.delta(cursor) {
-                        let generation = cursor.generation();
-                        if !delta.is_empty() {
-                            delta
-                                .append_to(&checkpoint::delta_log_path(path))
-                                .map_err(|e| e.to_string())?;
+                    match acc.delta_explained(cursor) {
+                        Ok(delta) => {
+                            let generation = cursor.generation();
+                            if !delta.is_empty() {
+                                delta
+                                    .append_to(&checkpoint::delta_log_path(path))
+                                    .map_err(|e| e.to_string())?;
+                                self.appended += 1;
+                            }
+                            if self.compact_after.is_some_and(|n| self.appended >= n) {
+                                let done = checkpoint::compact(path).map_err(|e| e.to_string())?;
+                                self.appended = 0;
+                                // The compacted snapshot is a new
+                                // generation; chain future deltas onto it.
+                                self.cursor = Some(acc.cursor().stamped(done.generation));
+                                return Ok("delta log compacted into snapshot");
+                            }
+                            // Later deltas keep chaining onto the same base
+                            // snapshot, so they carry its generation too.
+                            self.cursor = Some(acc.cursor().stamped(generation));
+                            return Ok("delta appended");
                         }
-                        // Later deltas keep chaining onto the same base
-                        // snapshot, so they carry its generation too.
-                        self.cursor = Some(acc.cursor().stamped(generation));
-                        return Ok("delta appended");
+                        Err(reason) => {
+                            // An honest fallback: say *why* this save is a
+                            // full snapshot instead of an O(appended) delta.
+                            eprintln!(
+                                "checkpoint: delta cannot chain ({reason}); \
+                                 writing a full snapshot"
+                            );
+                        }
                     }
                 }
                 let bytes = acc.checkpoint_bin();
                 checkpoint::write_atomic(path, &bytes).map_err(|e| e.to_string())?;
                 remove_delta_log(path)?;
+                self.appended = 0;
                 self.cursor = Some(
                     acc.cursor()
                         .stamped(checkpoint::snapshot_generation(&bytes)),

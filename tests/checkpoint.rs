@@ -594,6 +594,184 @@ fn binary_corruption_matrix_errors_honestly() {
     ));
 }
 
+/// The SPLIT-record corruption matrix: byte damage to a split delta's
+/// origin map or member partition is an honest refusal, never a panic
+/// or a silently mis-sharded population.
+#[test]
+fn split_record_corruption_errors_honestly() {
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+    ];
+    let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+    pop.observe_release(0.1).unwrap();
+    let snapshot = pop.checkpoint_binary();
+    let cursor = pop.delta_cursor();
+    pop.observe_release_personalized(&[(0..1, 0.05), (1..3, 0.3)])
+        .unwrap();
+    let delta = pop.checkpoint_delta(&cursor).expect("split delta chains");
+    assert!(delta.is_split());
+    let log = delta.to_bytes();
+    assert!(resume_bytes(&snapshot, Some(&log)).is_ok());
+
+    // Truncated split partition: cutting into the record's trailing
+    // MEMBERS section leaves a section table that promises more bytes
+    // than the log holds.
+    for cut in [1usize, 4, 9] {
+        assert!(
+            matches!(
+                resume_bytes(&snapshot, Some(&log[..log.len() - cut])),
+                Err(TplError::CorruptCheckpoint(_))
+            ),
+            "split record truncated by {cut} bytes must be corrupt"
+        );
+    }
+
+    // A doctored origin map: pointing shard 2 at parent 0 leaves cursor
+    // shard 1 with no descendant (and parent 0 with a three-way split
+    // whose partitions don't line up) — refused, not mis-applied.
+    let needle = b"\"origin\":[0.0,0.0,1.0]";
+    let at = log
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("split meta holds the origin map");
+    let mut doctored = log.clone();
+    doctored[at..at + needle.len()].copy_from_slice(b"\"origin\":[0.0,0.0,0.0]");
+    assert!(matches!(
+        resume_bytes(&snapshot, Some(&doctored)),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+
+    // A split record applied to the wrong base (the post-split state
+    // re-used as base) no longer chains.
+    let post = pop.checkpoint_binary();
+    assert!(matches!(
+        resume_bytes(&post, Some(&log)),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+}
+
+/// The compaction acceptance bar: folding a 1000-record delta log into
+/// the base snapshot resumes bit-identically to replaying the log —
+/// series, continuation, and loss-evaluation behavior alike — and
+/// generation stamping keeps leftover records benign.
+#[test]
+fn compaction_of_thousand_record_log_is_bit_identical() {
+    use tcdp::core::checkpoint::{compact, snapshot_generation, write_atomic};
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tcdp_compact_{}.bin", std::process::id()));
+
+    let mut live = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    live.observe_uniform(0.01, 3).unwrap();
+    let snapshot = live.checkpoint_binary();
+    write_atomic(&path, &snapshot).unwrap();
+    let generation = snapshot_generation(&snapshot);
+    let mut cursor = live.delta_cursor().stamped(generation);
+    for _ in 0..1000 {
+        live.observe_release(0.01).unwrap();
+        let delta = live.checkpoint_delta(&cursor).expect("cursor chains");
+        delta.append_to(&delta_log_path(&path)).unwrap();
+        cursor = live.delta_cursor().stamped(generation);
+    }
+
+    let reference = tpl_of(resume_file(&path).unwrap());
+    let done = compact(&path).unwrap();
+    assert_eq!(done.replayed, 1000);
+    assert_eq!(done.skipped, 0);
+    assert_ne!(
+        done.generation, generation,
+        "compaction renews the generation"
+    );
+    assert!(!delta_log_path(&path).exists(), "the folded log is removed");
+    let compacted = tpl_of(resume_file(&path).unwrap());
+    assert_eq!(compacted.len(), reference.len());
+    assert_eq!(
+        to_bits(compacted.bpl_series()),
+        to_bits(reference.bpl_series())
+    );
+    assert_eq!(
+        to_bits(&compacted.tpl_series().unwrap()),
+        to_bits(&reference.tpl_series().unwrap())
+    );
+    assert_eq!(
+        compacted.user_level().to_bits(),
+        reference.user_level().to_bits()
+    );
+    // Loss-eval parity: the compacted resume pays exactly what the
+    // snapshot+log resume pays for its first full query (the compactor
+    // deliberately does not warm caches the log replay would not have).
+    reference.tpl_series().unwrap();
+    compacted.tpl_series().unwrap();
+    assert_eq!(compacted.loss_eval_count(), reference.loss_eval_count());
+
+    // Generation mismatch after compaction: a leftover record stamped
+    // with the superseded generation (a crash between the rename and
+    // the log removal) is skipped, never double-applied...
+    live.observe_release(0.01).unwrap();
+    let stale = live
+        .checkpoint_delta(&cursor) // the cursor still carries the OLD generation
+        .expect("the in-memory cursor still chains");
+    stale.append_to(&delta_log_path(&path)).unwrap();
+    let after = tpl_of(resume_file(&path).unwrap());
+    assert_eq!(
+        after.len(),
+        compacted.len(),
+        "stale-generation records must be skipped"
+    );
+    // ...and a second compact() discards it the same way.
+    let done2 = compact(&path).unwrap();
+    assert_eq!(done2.replayed, 0);
+    assert_eq!(done2.skipped, 1);
+    assert!(!delta_log_path(&path).exists());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(delta_log_path(&path));
+}
+
+/// Zero-copy reads: mapping a snapshot file shorter than its section
+/// table promises is an honest corruption error through both the view
+/// and the resume path, and an unmappable (empty) file refuses with
+/// the typed zero-copy error.
+#[test]
+fn mmap_of_short_or_empty_file_errors_honestly() {
+    use tcdp::core::checkpoint::{write_atomic, MappedSnapshot};
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tcdp_mmap_short_{}.bin", std::process::id()));
+
+    let mut acc = TplAccountant::with_both(moderate(), mixed()).unwrap();
+    acc.observe_uniform(0.1, 8).unwrap();
+    acc.tpl_series().unwrap();
+    let good = acc.checkpoint_binary();
+
+    // Cut the file mid-section: the header and table parse, but a
+    // section's promised bytes run past the mapping.
+    write_atomic(&path, &good[..good.len() - 24]).unwrap();
+    let mapped = MappedSnapshot::open(&path).unwrap();
+    assert!(matches!(mapped.view(), Err(TplError::CorruptCheckpoint(_))));
+    drop(mapped);
+    assert!(matches!(
+        resume_file(&path),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // Cut mid-table: even the section table itself is short.
+    write_atomic(&path, &good[..40]).unwrap();
+    assert!(matches!(
+        resume_file(&path),
+        Err(TplError::CorruptCheckpoint(_))
+    ));
+    // An empty file cannot be mapped at all — the typed refusal, and
+    // the copying fallback then reports it as corrupt, not a panic.
+    write_atomic(&path, &[]).unwrap();
+    assert!(matches!(
+        MappedSnapshot::open(&path),
+        Err(TplError::ZeroCopyUnavailable(_))
+    ));
+    assert!(resume_file(&path).is_err());
+
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Incremental resume: snapshot + delta log replays to a state
 /// bit-identical to the uninterrupted run — series, continuation, and
 /// loss-evaluation behavior alike.
@@ -651,10 +829,10 @@ fn delta_resume_is_bit_identical_and_eval_preserving() {
 }
 
 /// Population deltas: shared timelines push once, forks replay
-/// copy-on-write, and a shard *split* refuses the delta (the caller
-/// writes a full snapshot instead).
+/// copy-on-write, and a shard *split* rides the delta as a SPLIT
+/// record — no full snapshot needed.
 #[test]
-fn population_delta_replays_forks_and_refuses_splits() {
+fn population_delta_replays_forks_and_splits() {
     let adversaries = vec![
         AdversaryT::with_both(moderate(), moderate()).unwrap(),
         AdversaryT::traditional(),
@@ -693,6 +871,8 @@ fn population_delta_replays_forks_and_refuses_splits() {
     }
 
     // Now force a *split*: the budget cut crosses shard 0's members.
+    // The delta grammar expresses it as a SPLIT record, and further
+    // deltas keep chaining — zero full snapshots after the first.
     let adversaries = vec![
         AdversaryT::with_both(moderate(), moderate()).unwrap(),
         AdversaryT::with_both(moderate(), moderate()).unwrap(),
@@ -700,14 +880,104 @@ fn population_delta_replays_forks_and_refuses_splits() {
     ];
     let mut split = PopulationAccountant::new(&adversaries).unwrap();
     split.observe_release(0.1).unwrap();
+    let snapshot = split.checkpoint_binary();
     let cursor = split.delta_cursor();
     split
         .observe_release_personalized(&[(0..1, 0.05), (1..3, 0.3)])
         .unwrap();
     assert!(split.num_groups() > 2, "the shard split");
+    let delta = split
+        .checkpoint_delta(&cursor)
+        .expect("a split now rides the delta grammar");
+    assert!(delta.is_split(), "the record is stamped as a SPLIT");
+    let mut log = delta.to_bytes();
+    // Chain two more deltas past the split (one uniform, one forking
+    // the post-split shards further apart) without re-snapshotting.
+    let cursor = split.delta_cursor();
+    split.observe_release(0.2).unwrap();
+    let tail = split
+        .checkpoint_delta(&cursor)
+        .expect("the post-split cursor chains");
+    assert!(!tail.is_split());
+    log.extend_from_slice(&tail.to_bytes());
+    let cursor = split.delta_cursor();
+    split
+        .observe_release_personalized(&[(0..2, 0.07), (2..3, 0.4)])
+        .unwrap();
+    log.extend_from_slice(&split.checkpoint_delta(&cursor).unwrap().to_bytes());
+
+    let resumed = pop_of(resume_bytes(&snapshot, Some(&log)).unwrap());
+    assert_eq!(resumed.num_groups(), split.num_groups());
+    assert_eq!(resumed.num_timelines(), split.num_timelines());
+    assert_eq!(resumed.num_users(), split.num_users());
+    for i in 0..3 {
+        assert_eq!(
+            resumed.user(i).unwrap().budgets(),
+            split.user(i).unwrap().budgets(),
+            "user {i}"
+        );
+    }
+    // Bit-identical series at bit-identical loss-evaluation cost: the
+    // replayed split re-created the live sharing topology, so the
+    // first full query pays exactly the live number of evaluations.
+    let evals = |pop: &PopulationAccountant| -> Vec<u64> {
+        (0..3)
+            .map(|i| pop.user(i).unwrap().loss_eval_count())
+            .collect()
+    };
+    let live_before = evals(&split);
+    let live_series = split.tpl_series().unwrap();
+    let live_cost: Vec<u64> = evals(&split)
+        .iter()
+        .zip(&live_before)
+        .map(|(a, b)| a - b)
+        .collect();
+    let resumed_before = evals(&resumed);
+    assert_eq!(
+        to_bits(&resumed.tpl_series().unwrap()),
+        to_bits(&live_series)
+    );
+    let resumed_cost: Vec<u64> = evals(&resumed)
+        .iter()
+        .zip(&resumed_before)
+        .map(|(a, b)| a - b)
+        .collect();
+    assert_eq!(resumed_cost, live_cost);
+}
+
+/// Satellite of the SPLIT grammar: the refusals that *remain* are
+/// honest typed errors naming the shard and the reason — here, a fold
+/// horizon that swallowed the cursor point.
+#[test]
+fn delta_refusal_names_shard_and_fold_point() {
+    let adversaries = vec![
+        AdversaryT::with_both(moderate(), moderate()).unwrap(),
+        AdversaryT::traditional(),
+    ];
+    let mut live = PopulationAccountant::new(&adversaries).unwrap();
+    for _ in 0..4 {
+        live.observe_release(0.1).unwrap();
+    }
+    let cursor = live.delta_cursor();
+    live.observe_release(0.2).unwrap();
+    live.observe_release(0.2).unwrap();
+    // Horizon 1 at T = 6 folds up to t = 5, strictly past the cursor
+    // (T = 4): the appended BPL values are gone, the delta must refuse.
+    live.set_horizon(Some(1)).unwrap();
+    assert!(live.checkpoint_delta(&cursor).is_none());
+    let err = live.checkpoint_delta_explained(&cursor).unwrap_err();
+    let msg = err.to_string();
     assert!(
-        split.checkpoint_delta(&cursor).is_none(),
-        "a topology change cannot be expressed as a delta"
+        msg.contains("shard 0 (users 0…)"),
+        "the refusal names the shard and its first member: {msg}"
+    );
+    assert!(
+        msg.contains("fold horizon passed the cursor"),
+        "the refusal names the reason: {msg}"
+    );
+    assert!(
+        msg.contains("cursor at T = 4"),
+        "the refusal names the cursor point: {msg}"
     );
 }
 

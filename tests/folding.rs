@@ -190,3 +190,130 @@ fn folded_checkpoint_resume_is_bit_identical() {
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(delta_log_path(&path));
 }
+
+/// Tracked w-event windows: a folded sweep reports a bound covering the
+/// **all-time** maximum, even when the worst window folded away long
+/// ago — the case an untracked sweep silently cannot see.
+#[test]
+fn tracked_w_event_covers_all_time_max_after_folding() {
+    // A loud early burst followed by a long whisper-quiet tail: the
+    // worst w-event window lives entirely in the folded prefix.
+    let budgets: Vec<f64> = std::iter::repeat_n(0.5, 8)
+        .chain(std::iter::repeat_n(0.001, 1_500))
+        .collect();
+    let mut unfolded = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    for &b in &budgets {
+        unfolded.observe_release(b).unwrap();
+    }
+
+    for w in [1usize, 2, 5] {
+        let alltime = w_event_guarantee(&unfolded, w).unwrap();
+
+        let mut tracked = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        tracked.track_w_event(w).unwrap();
+        tracked.set_horizon(Some(HORIZON)).unwrap();
+        let mut untracked = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        untracked.set_horizon(Some(HORIZON)).unwrap();
+        for &b in &budgets {
+            tracked.observe_release(b).unwrap();
+            untracked.observe_release(b).unwrap();
+        }
+
+        let live_only = w_event_guarantee(&untracked, w).unwrap();
+        let bound = w_event_guarantee(&tracked, w).unwrap();
+        assert!(
+            live_only < alltime,
+            "w = {w}: the live-only sweep must miss the folded burst \
+             ({live_only} vs all-time {alltime}) for this test to bite"
+        );
+        assert!(
+            bound >= alltime,
+            "w = {w}: tracked bound {bound} understates the all-time max {alltime}"
+        );
+        // The bound is the folded BPL part plus the FPL supremum — tight
+        // to within the supremum-vs-pointwise FPL gap, not vacuous.
+        assert!(
+            bound <= alltime + 2.0,
+            "w = {w}: tracked bound {bound} is not a useful bound on {alltime}"
+        );
+    }
+}
+
+/// Tracking contract: arming must happen before the first fold, window
+/// length 0 is invalid, and a window longer than the horizon poisons to
+/// an honest +inf instead of a silent understatement.
+#[test]
+fn w_event_tracking_contract() {
+    let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    assert!(acc.track_w_event(0).is_err());
+    // Longer than the horizon: every fold step drops a window start
+    // whose end is still unseen — the only honest bound is +inf.
+    acc.track_w_event(HORIZON + 2).unwrap();
+    acc.track_w_event(4).unwrap();
+    acc.set_horizon(Some(HORIZON)).unwrap();
+    acc.observe_uniform(EPS, 3 * HORIZON).unwrap();
+    assert!(acc.live_start() > 0);
+    assert_eq!(
+        acc.folded_w_event_bound(HORIZON + 2).unwrap(),
+        Some(f64::INFINITY)
+    );
+    assert!(acc.folded_w_event_bound(4).unwrap().unwrap().is_finite());
+    // Untracked windows answer None; arming after a fold is an error.
+    assert_eq!(acc.folded_w_event_bound(5).unwrap(), None);
+    assert!(acc.track_w_event(5).is_err());
+    // A sweep for the over-horizon window reports the poisoned bound
+    // instead of erroring: every one of its windows is folded.
+    assert_eq!(w_event_guarantee(&acc, HORIZON + 2).unwrap(), f64::INFINITY);
+}
+
+/// Tracked w-event state rides both checkpoint encodings and the delta
+/// log bit-identically.
+#[test]
+fn w_event_state_survives_checkpoint_round_trips() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("tcdp_folding_wevent_{}.bin", std::process::id()));
+
+    let mut live = TplAccountant::with_both(matrix(), matrix()).unwrap();
+    live.track_w_event(3).unwrap();
+    live.track_w_event(HORIZON + 2).unwrap();
+    live.set_horizon(Some(HORIZON)).unwrap();
+    live.observe_uniform(EPS, 2 * HORIZON).unwrap();
+    let expect_finite = live.folded_w_event_bound(3).unwrap().unwrap();
+    assert!(expect_finite.is_finite());
+
+    // Binary snapshot + two delta-log appends.
+    let snapshot = live.checkpoint_binary();
+    write_atomic(&path, &snapshot).unwrap();
+    let generation = snapshot_generation(&snapshot);
+    let mut cursor = live.delta_cursor().stamped(generation);
+    for _ in 0..2 {
+        live.observe_uniform(EPS, 10).unwrap();
+        let delta = live.checkpoint_delta(&cursor).expect("cursor chains");
+        delta.append_to(&delta_log_path(&path)).unwrap();
+        cursor = live.delta_cursor().stamped(generation);
+    }
+    let SavedState::Tpl(resumed) = resume_file(&path).unwrap() else {
+        panic!("expected a solo accountant");
+    };
+    assert_eq!(
+        resumed.folded_w_event_bound(3).unwrap().unwrap().to_bits(),
+        live.folded_w_event_bound(3).unwrap().unwrap().to_bits(),
+        "the tracked base folds during replay exactly as it did live"
+    );
+    assert_eq!(
+        resumed.folded_w_event_bound(HORIZON + 2).unwrap(),
+        Some(f64::INFINITY)
+    );
+
+    // JSON carries it too.
+    let json = live.checkpoint().to_json();
+    let jf = TplAccountant::resume(&tcdp::core::checkpoint::Checkpoint::from_json(&json).unwrap())
+        .unwrap();
+    assert_eq!(
+        jf.folded_w_event_bound(3).unwrap().unwrap().to_bits(),
+        live.folded_w_event_bound(3).unwrap().unwrap().to_bits()
+    );
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(delta_log_path(&path));
+}

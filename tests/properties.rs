@@ -404,7 +404,7 @@ proptest! {
     fn cached_accountant_matches_fresh_recompute_under_interleaving(
         m in stochastic_matrix(3),
         budgets in proptest::collection::vec(0.01f64..1.0, 1..16),
-        ops in proptest::collection::vec(0usize..7, 4..24),
+        ops in proptest::collection::vec(0usize..8, 4..24),
     ) {
         use tcdp::core::composition::w_event_guarantee;
         let adv = AdversaryT::with_both(m.clone(), m).unwrap();
@@ -456,6 +456,47 @@ proptest! {
                         SavedState::Tpl(a) => a,
                         _ => unreachable!("tpl snapshot"),
                     };
+                }
+                7 => {
+                    // Zero-copy differential: the mmap view of a fresh
+                    // snapshot file and the mmap-backed resume answer
+                    // bit-identically to the copying paths, and the
+                    // mmap-resumed accountant feeds back into the
+                    // interleaving.
+                    use tcdp::core::checkpoint::{resume_file, write_atomic, MappedSnapshot};
+                    let bytes = acc.checkpoint_binary();
+                    let path = std::env::temp_dir().join(format!(
+                        "tcdp_prop_interleave_mmap_{}.bin",
+                        std::process::id()
+                    ));
+                    write_atomic(&path, &bytes).unwrap();
+                    let copied = match resume_bytes(&bytes, None).unwrap() {
+                        SavedState::Tpl(a) => a,
+                        _ => unreachable!("tpl snapshot"),
+                    };
+                    let mapped = MappedSnapshot::open(&path).unwrap();
+                    let view = mapped.view().unwrap();
+                    let bits = |s: &[f64]| s.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    prop_assert_eq!(view.num_shards(), 1);
+                    prop_assert_eq!(bits(view.bpl(0).unwrap()), bits(copied.bpl_series()));
+                    prop_assert_eq!(bits(view.timeline(0).unwrap()), bits(&copied.budgets()));
+                    if let Some(max) = view.max_cached_tpl().unwrap() {
+                        prop_assert_eq!(
+                            max.to_bits(),
+                            copied.max_tpl().unwrap().to_bits()
+                        );
+                    }
+                    drop(mapped);
+                    let resumed = match resume_file(&path).unwrap() {
+                        SavedState::Tpl(a) => a,
+                        _ => unreachable!("tpl snapshot"),
+                    };
+                    std::fs::remove_file(&path).ok();
+                    prop_assert_eq!(
+                        bits(&resumed.tpl_series().unwrap()),
+                        bits(&copied.tpl_series().unwrap())
+                    );
+                    acc = resumed;
                 }
                 _ => {}
             }
