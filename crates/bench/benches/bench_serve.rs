@@ -1,0 +1,202 @@
+//! Multi-tenant daemon throughput: a tenants × users ingest matrix over
+//! [`tcdp_serve::Server::handle`], with and without reader threads
+//! streaming queries against the same tenants.
+//!
+//! * `serve/ingest/{users}u-quiet/{tenants}` — one release wave (one
+//!   `OBSERVE` per tenant) across the whole registry, no readers. Every
+//!   tenant holds `users` distinct-adversary users (so population
+//!   queries do per-shard work) under a fold horizon, keeping the
+//!   copy-on-publish cost per observe flat as iterations accumulate.
+//! * `serve/ingest/{users}u-readers/{tenants}` — the identical wave
+//!   while two reader threads hammer `QUERY max_tpl` round-robin over
+//!   the tenants. Readers compute on published snapshots and never take
+//!   a writer lock, so the pair's ratio is pure CPU contention —
+//!   `check_bench` gates it at ≥ 1000 tenants (a blocking design would
+//!   serialize ingest behind query work and blow the tolerance).
+//!
+//! The headline asserts the concurrency contract the matrix relies on:
+//! every sample a racing reader records mid-ingest is bit-identical to
+//! a serial replay of the same schedule at the sampled revision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tcdp_serve::{parse_population_spec, Server, Tenant};
+
+const TENANTS: [usize; 3] = [10, 100, 1000];
+const USERS: [usize; 2] = [4, 16];
+const READER_THREADS: usize = 2;
+const EPS: f64 = 0.01;
+/// Fold horizon per tenant: bounds the live window, so the per-observe
+/// state clone stays O(horizon) no matter how many iterations ran.
+const HORIZON: usize = 64;
+
+/// `users` single-user groups with distinct backward/forward diagonals:
+/// every user is its own accounting shard, so user count is real
+/// per-query and per-observe work, not shared-timeline dedup.
+fn population_spec(users: usize) -> String {
+    let mut spec = String::from("[");
+    for i in 0..users {
+        let d = 0.5 + 0.02 * (i % 20) as f64;
+        if i > 0 {
+            spec.push(',');
+        }
+        spec.push_str(&format!(
+            "{{\"count\":1,\"pb\":[[{d},{}],[0.1,0.9]],\"pf\":[[{d},{}],[0.2,0.8]]}}",
+            1.0 - d,
+            1.0 - d,
+        ));
+    }
+    spec.push(']');
+    spec
+}
+
+fn expect_ok(resp: &str, req: &str) {
+    assert!(resp.starts_with("OK"), "{req:?} -> {resp}");
+}
+
+/// A registry of `tenants` tenants, each `users` shards wide, folding
+/// at [`HORIZON`], plus the prebuilt per-tenant request lines.
+fn build(tenants: usize, users: usize) -> (Server, Vec<String>, Vec<String>) {
+    let server = Server::new();
+    let spec = population_spec(users);
+    let mut observes = Vec::with_capacity(tenants);
+    let mut queries = Vec::with_capacity(tenants);
+    for i in 0..tenants {
+        let req = format!("CREATE t{i} {spec}");
+        expect_ok(&server.handle(&req), &req);
+        let req = format!("HORIZON t{i} {HORIZON}");
+        expect_ok(&server.handle(&req), &req);
+        observes.push(format!("OBSERVE t{i} {EPS}"));
+        queries.push(format!("QUERY t{i} max_tpl"));
+    }
+    (server, observes, queries)
+}
+
+/// One release wave: every tenant observes once, over the same
+/// request-line path the socket loop uses.
+fn ingest_wave(server: &Server, observes: &[String]) {
+    for req in observes {
+        let resp = server.handle(black_box(req));
+        expect_ok(&resp, req);
+        black_box(resp.len());
+    }
+}
+
+fn bench_ingest_matrix(c: &mut Criterion) {
+    for users in USERS {
+        for tenants in TENANTS {
+            {
+                let (server, observes, _) = build(tenants, users);
+                c.bench_function(format!("serve/ingest/{users}u-quiet/{tenants}"), |b| {
+                    b.iter(|| ingest_wave(&server, &observes))
+                });
+            }
+
+            let (server, observes, queries) = build(tenants, users);
+            let server = Arc::new(server);
+            let queries = Arc::new(queries);
+            let stop = Arc::new(AtomicBool::new(false));
+            let readers: Vec<_> = (0..READER_THREADS)
+                .map(|r| {
+                    let server = Arc::clone(&server);
+                    let queries = Arc::clone(&queries);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut answered = 0usize;
+                        while !stop.load(Ordering::Acquire) {
+                            // Stagger the two readers so they don't march
+                            // over the same tenant in lockstep.
+                            for req in queries.iter().skip(r).step_by(READER_THREADS) {
+                                let resp = server.handle(req);
+                                if resp.starts_with("OK") {
+                                    answered += 1;
+                                } else {
+                                    // Only the pre-first-wave empty
+                                    // timeline is a legal miss.
+                                    assert!(resp.starts_with("ERR core"), "{req:?} -> {resp}");
+                                }
+                            }
+                        }
+                        answered
+                    })
+                })
+                .collect();
+
+            c.bench_function(format!("serve/ingest/{users}u-readers/{tenants}"), |b| {
+                b.iter(|| ingest_wave(&server, &observes))
+            });
+
+            stop.store(true, Ordering::Release);
+            for handle in readers {
+                let answered = handle.join().expect("reader thread");
+                assert!(answered > 0, "readers never streamed a query");
+            }
+        }
+    }
+}
+
+/// The contract the readers matrix rests on, asserted rather than
+/// assumed: samples recorded by a racing reader are bit-identical to a
+/// serial replay at the sampled revision.
+fn headline() {
+    const RELEASES: usize = 400;
+    let groups = parse_population_spec(&population_spec(8)).expect("spec");
+    let tenant = Tenant::create(&groups).expect("tenant");
+    let reader = tenant.reader();
+    let writer = Arc::new(std::sync::Mutex::new(tenant));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let sampler = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut samples: Vec<(u64, u64)> = Vec::new();
+            while !done.load(Ordering::Acquire) || samples.is_empty() {
+                let snap = reader.snapshot();
+                if snap.num_releases() == 0 {
+                    continue;
+                }
+                samples.push((snap.revision(), snap.max_tpl().expect("max_tpl").to_bits()));
+            }
+            samples
+        })
+    };
+
+    for _ in 0..RELEASES {
+        writer
+            .lock()
+            .expect("writer mutex")
+            .observe(&tcdp_serve::Release::Uniform(EPS))
+            .expect("observe");
+    }
+    done.store(true, Ordering::Release);
+    let samples = sampler.join().expect("sampler thread");
+
+    let mut replay = Tenant::create(&groups).expect("tenant");
+    let mut expected = vec![0u64];
+    for _ in 0..RELEASES {
+        let snap = replay
+            .observe(&tcdp_serve::Release::Uniform(EPS))
+            .expect("observe");
+        expected.push(snap.state().max_tpl().expect("max_tpl").to_bits());
+    }
+    for &(rev, bits) in &samples {
+        assert_eq!(
+            bits, expected[rev as usize],
+            "reader sample at rev {rev} must match serial replay"
+        );
+    }
+    println!(
+        "headline: {} racing samples across {RELEASES} releases, all bit-identical to replay",
+        samples.len()
+    );
+}
+
+fn bench_headline(c: &mut Criterion) {
+    let _ = c;
+    headline();
+}
+
+criterion_group!(benches, bench_ingest_matrix, bench_headline);
+criterion_main!(benches);

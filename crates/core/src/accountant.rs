@@ -140,6 +140,26 @@ const FOLD_SUP_GUARD: f64 = 1e-12;
 /// keeps the pre-folded maximum a true upper bound on the exact sweep.
 const WEVENT_PAD: f64 = 1e-13;
 
+/// Relative inflation applied to the cheap `max_tpl` upper bound served
+/// by [`TplAccountant::max_tpl_hint`]. The bound sums `max (BPL − ε)`
+/// and `sup FPL`, whose rounding differs from the cached
+/// `max ((BPL + FPL) − ε)` by a few ulps per term; `1e-12` dominates
+/// that discrepancy so a pruned shard provably cannot hold the scan's
+/// maximum. A looser bound only costs skipped pruning, never
+/// correctness.
+const MAX_TPL_BOUND_GUARD: f64 = 1e-12;
+
+/// [`TplAccountant::max_tpl_hint`]'s answer: the exact maximum when it
+/// was already cached, or a proven upper bound when computing the exact
+/// value would cost a series rebuild.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MaxTplHint {
+    /// The exact `max_tpl` (the series cache was fresh).
+    Exact(f64),
+    /// An upper bound: the true `max_tpl` is `<=` this value.
+    Bound(f64),
+}
+
 /// The constant-size summary a folded accountant keeps about the history
 /// it dropped: enough to answer every folded-history query with a proven
 /// upper bound (BPL is bounded by its folded maximum because BPL values
@@ -776,6 +796,38 @@ impl TplAccountant {
         Ok(live.max(self.folded.bpl_less_eps_max + self.fold_fpl_bound()?))
     }
 
+    /// What this shard can say about its [`Self::max_tpl`] *without*
+    /// paying a series rebuild: the exact value when the cache is
+    /// already fresh for the current revision, otherwise a cheap upper
+    /// bound — `max(BPL − ε)` over live and folded entries (maintained
+    /// mirrors, no loss evaluations) plus the memoized Theorem 5 FPL
+    /// supremum, inflated by [`MAX_TPL_BOUND_GUARD`]. The population
+    /// `most_exposed_user` scan uses it to skip shards whose bound
+    /// cannot beat the incumbent.
+    pub(crate) fn max_tpl_hint(&self) -> Result<MaxTplHint> {
+        if self.timeline.is_empty() {
+            return Err(TplError::EmptyTimeline);
+        }
+        let cached = {
+            let cache = self.cache.lock();
+            (cache.revision == self.timeline.revision()).then_some(cache.max_tpl)
+        };
+        if let Some(live) = cached {
+            return Ok(MaxTplHint::Exact(if self.folded.len == 0 {
+                live
+            } else {
+                live.max(self.folded.bpl_less_eps_max + self.fold_fpl_bound()?)
+            }));
+        }
+        let ble = self
+            .bpl_less_eps
+            .iter()
+            .copied()
+            .fold(self.folded.bpl_less_eps_max, f64::max);
+        let raw = ble + self.fold_fpl_bound()?;
+        Ok(MaxTplHint::Bound(raw + raw.abs() * MAX_TPL_BOUND_GUARD))
+    }
+
     /// Corollary 1: the user-level guarantee of the whole timeline is the
     /// plain sequential-composition sum `Σ ε_k` — temporal correlations do
     /// not worsen user-level privacy. Exact (bit-identical to the
@@ -900,6 +952,31 @@ impl TplAccountant {
             cache: Mutex::new(self.cache.lock().clone()),
             fold_sup: Mutex::new(*self.fold_sup.lock()),
         }
+    }
+
+    /// Whether two accountants hold bit-identical *observable* state:
+    /// BPL mirrors, fold summaries, and tracked w-event bases all equal
+    /// bit for bit. Derived caches are ignored (they rebuild to the
+    /// same bits from equal state), as are the loss-function objects
+    /// (the caller compares adversaries). Together with timeline
+    /// equality this makes two accountants answer every future query
+    /// identically — the merge precondition of
+    /// [`crate::personalized::PopulationAccountant::remerge_converged`].
+    pub(crate) fn state_eq(&self, other: &Self) -> bool {
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        self.folded.len == other.folded.len
+            && self.folded.bpl_max.to_bits() == other.folded.bpl_max.to_bits()
+            && self.folded.bpl_less_eps_max.to_bits() == other.folded.bpl_less_eps_max.to_bits()
+            && bits_eq(&self.bpl, &other.bpl)
+            && bits_eq(&self.bpl_less_eps, &other.bpl_less_eps)
+            && self.wevent.len() == other.wevent.len()
+            && self
+                .wevent
+                .iter()
+                .zip(&other.wevent)
+                .all(|((w1, b1), (w2, b2))| w1 == w2 && b1.to_bits() == b2.to_bits())
     }
 }
 

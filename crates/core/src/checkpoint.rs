@@ -368,29 +368,56 @@ impl Checkpoint {
 }
 
 /// Atomically install `bytes` at `path`: the content goes to a
-/// *uniquely named* sibling temp file first (pid + a process-wide
-/// counter, so concurrent saves to the same target can never clobber
-/// each other's temp file) and is renamed over the target — a crash
-/// mid-write, the exact failure checkpoints exist to survive (including
-/// `--resume X --checkpoint X` overwriting the file being resumed), can
-/// never leave a truncated checkpoint. On any error the temp file is
-/// removed best-effort before the honest [`TplError::CheckpointIo`]
-/// surfaces, so a failed save leaves no `.tmp` litter either.
+/// *uniquely named* sibling temp file first (pid + per-boot nonce + a
+/// process-wide counter, so concurrent saves to the same target can
+/// never clobber each other's temp file) and is renamed over the
+/// target — a crash mid-write, the exact failure checkpoints exist to
+/// survive (including `--resume X --checkpoint X` overwriting the file
+/// being resumed), can never leave a truncated checkpoint. On any error
+/// the temp file is removed best-effort before the honest
+/// [`TplError::CheckpointIo`] surfaces, so a failed save leaves no
+/// `.tmp` litter either.
+///
+/// The nonce guards the cross-*process* race pid+counter alone cannot:
+/// two processes can share a pid (pid namespaces, or rapid
+/// restart reusing the id — the audit daemon snapshots on a timer and
+/// is exactly the rapid-restart case) and both start their counter at
+/// 0, so their temp names would collide. The nonce is drawn once per
+/// boot, so every process epoch names a disjoint temp family.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
     static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(format!(
-        ".{}.{}.tmp",
+    let tmp = temp_sibling(
+        path,
         std::process::id(),
-        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-    ));
-    let tmp = PathBuf::from(tmp);
+        boot_nonce(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    );
     std::fs::write(&tmp, bytes)
         .and_then(|()| std::fs::rename(&tmp, path))
         .map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             TplError::CheckpointIo(format!("{}: {e}", path.display()))
         })
+}
+
+/// The random component of this process epoch's temp-file names, drawn
+/// once on first use. See [`write_atomic`] for why pid alone is not a
+/// sufficient process identity.
+fn boot_nonce() -> u64 {
+    use rand::Rng;
+    static NONCE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *NONCE.get_or_init(|| rand::thread_rng().gen::<u64>())
+}
+
+/// The sibling temp-file name [`write_atomic`] stages into:
+/// `<path>.<pid>.<nonce>.<seq>.tmp`. Pure so the naming discipline —
+/// in particular that two process epochs sharing a pid and a counter
+/// value still get distinct names — is testable without racing real
+/// processes.
+fn temp_sibling(path: &Path, pid: u32, nonce: u64, seq: u64) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{pid}.{nonce:016x}.{seq}.tmp"));
+    PathBuf::from(tmp)
 }
 
 /// Version 1 stored each accountant's budget trail under `budgets`;
@@ -1816,6 +1843,63 @@ mod tests {
             resumed.forward_loss_fn().unwrap().cached_witness(),
             acc.forward_loss_fn().unwrap().cached_witness()
         );
+    }
+
+    #[test]
+    fn temp_names_differ_across_boots_sharing_a_pid() {
+        // Regression: pid + counter alone collide when two process
+        // epochs share a pid (pid namespaces, rapid restart). The
+        // per-boot nonce must keep the temp families disjoint even at
+        // equal pid and equal counter value.
+        let target = Path::new("/tmp/audit.ckpt");
+        let boot_a = temp_sibling(target, 42, 0xdead_beef, 0);
+        let boot_b = temp_sibling(target, 42, 0xfeed_face, 0);
+        assert_ne!(boot_a, boot_b);
+        // Within one boot the counter still separates concurrent saves.
+        assert_ne!(boot_a, temp_sibling(target, 42, 0xdead_beef, 1));
+        // The name stays a sibling of the target (same parent dir) and
+        // keeps the `.tmp` suffix crash-janitors look for.
+        assert_eq!(boot_a.parent(), target.parent());
+        assert!(boot_a.extension().is_some_and(|e| e == "tmp"));
+        // And the live path uses a drawn nonce that is stable per boot.
+        assert_eq!(boot_nonce(), boot_nonce());
+    }
+
+    #[test]
+    fn torn_delta_tail_classifies_truncation_but_not_corruption() {
+        let mut acc = TplAccountant::with_both(matrix(), matrix()).unwrap();
+        acc.observe_uniform(0.1, 4).unwrap();
+        let cursor = acc.delta_cursor();
+        acc.observe_uniform(0.2, 3).unwrap();
+        let first = acc.checkpoint_delta(&cursor).unwrap().to_bytes();
+        let cursor = acc.delta_cursor();
+        acc.observe_uniform(0.3, 2).unwrap();
+        let second = acc.checkpoint_delta(&cursor).unwrap().to_bytes();
+        let mut log = first.clone();
+        log.extend_from_slice(&second);
+
+        // A fully intact log has nothing to repair.
+        assert_eq!(format::torn_delta_tail(&log), None);
+        // Any strict prefix of the trailing record is a torn append —
+        // including cuts inside the magic and inside the header.
+        for cut in [1, 4, format::MAGIC.len(), 20, second.len() / 2] {
+            assert_eq!(
+                format::torn_delta_tail(&log[..first.len() + cut]),
+                Some(first.len()),
+                "cut {cut} bytes into the trailing record"
+            );
+        }
+        // A torn very-first append leaves an empty durable prefix.
+        assert_eq!(format::torn_delta_tail(&first[..9]), Some(0));
+        // Bad magic on the tail is corruption, not truncation.
+        let mut bad = log.clone();
+        bad[first.len()] ^= 0xff;
+        assert_eq!(format::torn_delta_tail(&bad[..first.len() + 9]), None);
+        // So is a complete-length record that merely fails to decode:
+        // a mid-log flip must never trigger the tail repair.
+        let mut mid = log;
+        mid[0] ^= 0xff;
+        assert_eq!(format::torn_delta_tail(&mid), None);
     }
 
     #[test]

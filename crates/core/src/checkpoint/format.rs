@@ -733,6 +733,60 @@ pub(crate) fn read_delta_log(bytes: &[u8]) -> Result<Vec<CheckpointDelta>> {
     Ok(out)
 }
 
+/// Classify a delta log's trailing bytes as a **torn append** — the
+/// artifact of a crash (`kill -9`, power loss) midway through
+/// [`CheckpointDelta::append_to`](super::CheckpointDelta::append_to).
+///
+/// Returns `Some(prefix_len)` when `bytes` is a sequence of complete
+/// delta containers followed by a strict prefix of one more record:
+/// either fewer bytes than a container header (what was written still
+/// matches the magic), or a well-formed delta header whose claimed
+/// length exceeds what is on disk. Appends write a record's bytes in
+/// order, so a torn fragment is always such a prefix and can never
+/// contain a complete record — truncating the log at the returned
+/// offset drops only bytes whose append never finished.
+///
+/// Returns `None` when the log is fully intact, or when the trailing
+/// bytes are *not* recognizably a torn append (bad magic, a snapshot
+/// container, an internally inconsistent header): those are genuine
+/// corruption and keep [`read_delta_log`]'s hard-error contract.
+pub fn torn_delta_tail(bytes: &[u8]) -> Option<usize> {
+    let mut rest = bytes;
+    loop {
+        if rest.is_empty() {
+            return None; // fully intact — nothing to repair
+        }
+        match parse_container(rest) {
+            Ok(c) if c.role == ROLE_DELTA => rest = &rest[c.total_len..],
+            Ok(_) => return None, // a snapshot container inside a log
+            Err(_) => {
+                let consumed = bytes.len() - rest.len();
+                if rest.len() < HEADER_LEN {
+                    // Header incomplete: torn iff the bytes that did
+                    // land are the start of a record (appends write the
+                    // magic first).
+                    let n = rest.len().min(MAGIC.len());
+                    return (rest[..n] == MAGIC[..n]).then_some(consumed);
+                }
+                // tcdp-lint: allow(panic-path) — literal length 4 slice; `HEADER_LEN` checked above
+                let version = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes"));
+                // tcdp-lint: allow(panic-path) — same: literal length 4 slice in the checked header
+                let role = u32::from_le_bytes(rest[12..16].try_into().expect("4 bytes"));
+                // tcdp-lint: allow(panic-path) — same: literal length 8 slice in the checked header
+                let claimed = u64::from_le_bytes(rest[24..32].try_into().expect("8 bytes"));
+                let header_is_sound = &rest[0..MAGIC.len()] == MAGIC
+                    && version == CHECKPOINT_VERSION
+                    && role == ROLE_DELTA;
+                // A sound header claiming more bytes than remain is the
+                // signature of an append cut short; anything else is
+                // corruption, not truncation.
+                let claims_more = claimed > rest.len() as u64;
+                return (header_is_sound && claims_more).then_some(consumed);
+            }
+        }
+    }
+}
+
 fn read_delta(c: &Container<'_>) -> Result<CheckpointDelta> {
     let kind = kind_of_code(c.kind)?;
     let meta = c.json(TAG_META, 0, "delta meta")?;

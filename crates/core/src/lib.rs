@@ -82,6 +82,7 @@ pub mod inference;
 pub mod loss;
 pub mod personalized;
 pub mod release;
+pub mod shared;
 pub mod sparse;
 pub mod supremum;
 pub mod wevent;
@@ -95,6 +96,10 @@ pub use checkpoint::{
 };
 pub use loss::{LossEvaluator, TemporalLossFunction};
 pub use release::{quantified_plan, upper_bound_plan, DptReleaser, ReleasePlan};
+pub use shared::{
+    AccountantReader, AccountantWriter, PopulationReader, PopulationWriter, Snapshot, TplReader,
+    TplWriter, Versioned,
+};
 pub use supremum::{
     epsilon_for_supremum, supremum_of_evaluator, supremum_of_loss, supremum_of_loss_many,
     supremum_of_matrix, Supremum,

@@ -30,7 +30,7 @@
 //!   targets, plus the paper's line-11 combination (minimum budget) when a
 //!   single shared mechanism must serve everyone.
 
-use crate::accountant::TplAccountant;
+use crate::accountant::{MaxTplHint, TplAccountant};
 use crate::adversary::AdversaryT;
 use crate::release::{population_plan, quantified_plan, upper_bound_plan, PlanKind, ReleasePlan};
 use crate::{check_epsilon, Result, TplError};
@@ -877,17 +877,144 @@ impl PopulationAccountant {
     }
 
     fn most_exposed_user_sharded(&self, threads: usize) -> Result<usize> {
-        let per_group = Self::map_groups(&self.groups, threads, |g| {
-            Ok((g.members[0], g.acc.max_tpl()?))
+        // Phase 1 — cheap per-shard hints, fanned out in group order:
+        // the exact maximum when a shard's series cache is already
+        // fresh, otherwise an upper bound built from the maintained
+        // `BPL − ε` mirrors and the memoized Theorem 5 FPL supremum
+        // (amortized O(live): the supremum recomputes only when the
+        // shard's running max ε changes).
+        let hints = Self::map_groups(&self.groups, threads, |g| {
+            Ok((g.members[0], g.acc.max_tpl_hint()?))
         })?;
+        // Phase 2 — serial scan in group order, maintaining the
+        // incumbent. A later shard replaces the incumbent only on a
+        // strictly greater value, so a shard whose upper bound is `<=`
+        // the incumbent provably cannot change the winner and skips its
+        // series rebuild. The result is pinned bit-identical to the
+        // full scan (asserted by `most_exposed_early_out_matches_full_scan`).
         let mut best: Option<(usize, f64)> = None;
-        for (idx, v) in per_group {
+        for (g, (idx, hint)) in hints.into_iter().enumerate() {
+            let v = match hint {
+                MaxTplHint::Exact(v) => v,
+                MaxTplHint::Bound(bound) => {
+                    if best.as_ref().is_some_and(|b| bound <= b.1) {
+                        continue;
+                    }
+                    self.groups[g].acc.max_tpl()?
+                }
+            };
             best = Some(match best {
                 Some(b) if v <= b.1 => b,
                 _ => (idx, v),
             });
         }
         best.map(|(idx, _)| idx).ok_or(TplError::EmptyTimeline)
+    }
+
+    /// Arm all-time w-event tracking for window length `w` on every
+    /// shard (see [`TplAccountant::track_w_event`]); shards created by
+    /// later personalized splits inherit the tracked windows from their
+    /// parent. Must be armed before the first fold.
+    pub fn track_w_event(&mut self, w: usize) -> Result<()> {
+        for g in &mut self.groups {
+            g.acc.track_w_event(w)?;
+        }
+        Ok(())
+    }
+
+    /// The population w-event guarantee (Theorem 2 joined over users):
+    /// the maximum over shards of
+    /// [`crate::composition::w_event_guarantee`], merged in
+    /// deterministic group order. Exact while history is live; an upper
+    /// bound once tracked windows fold (exactly as the per-shard
+    /// function documents).
+    pub fn w_event_guarantee(&self, w: usize) -> Result<f64> {
+        let per_group = Self::map_groups(&self.groups, self.default_threads(), |g| {
+            crate::composition::w_event_guarantee(&g.acc, w)
+        })?;
+        Ok(per_group.into_iter().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Coalesce shards that have **re-converged** after personalized
+    /// splits, returning the number of shard merges performed. Two
+    /// passes:
+    ///
+    /// 1. *Timeline re-sharing*: distinct timeline objects whose trails
+    ///    are bitwise-equal again ([`BudgetTimeline::merge_eq`]: live
+    ///    entries, fold point, folded running total, folded max ε, and
+    ///    armed horizon all equal) collapse onto the first class's
+    ///    object, so shared releases are pushed once again.
+    /// 2. *Shard merging*: shards with equal adversaries, the same
+    ///    (re-shared) timeline object, and bit-identical accountant
+    ///    state (BPL mirrors, fold summaries, tracked w-event bases)
+    ///    merge into the earlier shard, which absorbs the later one's
+    ///    members.
+    ///
+    /// Re-convergence in practice needs a fold horizon: live trails are
+    /// append-only, so once diverged they only re-agree after the
+    /// diverging entries fold away with bit-equal running sums (e.g.
+    /// budget assignments that permute the same ε multiset across
+    /// shards). The merge precondition is full observable-state
+    /// equality, so every query answers bit-identically before and
+    /// after a merge — the tie-break (lowest user index wins) is
+    /// preserved because the surviving shard's lowest member is the
+    /// lower of the pair. Long-running daemons call this periodically
+    /// to keep shard counts bounded; a merge shrinks the shard list, so
+    /// the next delta checkpoint falls back to a full snapshot (deltas
+    /// only encode splits).
+    pub fn remerge_converged(&mut self) -> usize {
+        // Pass 1: re-share bitwise-equal timeline objects.
+        let (class_of, reps) = Self::timeline_classes(&self.groups);
+        let mut canonical: Vec<usize> = (0..reps.len()).collect();
+        for c in 1..reps.len() {
+            for d in 0..c {
+                if canonical[d] == d && reps[c].merge_eq(&reps[d]) {
+                    canonical[c] = d;
+                    break;
+                }
+            }
+        }
+        for (g, &c) in class_of.iter().enumerate() {
+            if canonical[c] != c {
+                self.groups[g]
+                    .acc
+                    .set_timeline(Arc::clone(&reps[canonical[c]]));
+            }
+        }
+        // Pass 2: merge observationally identical shards into the
+        // earlier one. Group order (ascending lowest member) is
+        // preserved: the survivor's lowest member is already the
+        // smaller of the pair.
+        let mut merges = 0usize;
+        let mut i = 0;
+        while i < self.groups.len() {
+            let mut j = i + 1;
+            while j < self.groups.len() {
+                let same = {
+                    let (a, b) = (&self.groups[i], &self.groups[j]);
+                    a.adversary == b.adversary
+                        && Arc::ptr_eq(a.acc.timeline(), b.acc.timeline())
+                        && a.acc.state_eq(&b.acc)
+                };
+                if same {
+                    let absorbed = self.groups.remove(j);
+                    self.groups[i].members.extend(absorbed.members);
+                    self.groups[i].members.sort_unstable();
+                    merges += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+        if merges > 0 {
+            for (gi, g) in self.groups.iter().enumerate() {
+                for &m in &g.members {
+                    self.membership[m] = gi;
+                }
+            }
+        }
+        merges
     }
 }
 
@@ -1349,5 +1476,181 @@ mod tests {
                 target.alpha
             );
         }
+    }
+
+    /// Every observable population query, frozen as bit patterns.
+    fn observables(pop: &PopulationAccountant) -> (Vec<u64>, u64, usize, u64) {
+        (
+            pop.tpl_series()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect(),
+            pop.max_tpl().unwrap().to_bits(),
+            pop.most_exposed_user().unwrap(),
+            pop.user(0).unwrap().user_level().to_bits(),
+        )
+    }
+
+    #[test]
+    fn remerge_coalesces_refolded_permuted_shards() {
+        // Forward-only adversary: BPL_t = ε_t, so shards diverged by a
+        // *permuted* budget assignment re-converge bitwise once the
+        // diverging entries fold away (float addition is commutative, so
+        // the folded running sums agree bit for bit).
+        let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let fwd = AdversaryT::with_forward(p);
+        let mut pop = PopulationAccountant::new(&vec![fwd; 4]).unwrap();
+        pop.observe_release_personalized(&[(0..2, 0.1), (2..4, 0.2)])
+            .unwrap();
+        pop.observe_release_personalized(&[(0..2, 0.2), (2..4, 0.1)])
+            .unwrap();
+        pop.observe_release(0.05).unwrap();
+        assert_eq!(pop.num_groups(), 2);
+
+        // Still diverged while the permuted entries are live.
+        assert_eq!(pop.remerge_converged(), 0);
+        assert_eq!(pop.num_groups(), 2);
+
+        pop.set_horizon(Some(1)).unwrap();
+        let before = observables(&pop);
+        assert_eq!(pop.remerge_converged(), 1);
+        assert_eq!(pop.num_groups(), 1);
+        assert_eq!(pop.num_timelines(), 1);
+        // A merge changes no observable answer.
+        assert_eq!(observables(&pop), before);
+        // The merged shard keeps receiving shared releases exactly once.
+        pop.observe_release(0.07).unwrap();
+        assert_eq!(pop.user(0).unwrap().timeline().len(), 4);
+    }
+
+    #[test]
+    fn remerge_refuses_unequal_state() {
+        // Backward correlation makes the live BPL value depend on the
+        // *order* of the folded prefix, so the permuted shards are not
+        // observationally identical and must not merge — even though
+        // their folded timelines re-agree bitwise (pass 1 may re-share
+        // the timeline object; the shards stay distinct).
+        let mut pop = PopulationAccountant::new(&vec![strong_user(); 4]).unwrap();
+        pop.observe_release_personalized(&[(0..2, 0.1), (2..4, 0.2)])
+            .unwrap();
+        pop.observe_release_personalized(&[(0..2, 0.2), (2..4, 0.1)])
+            .unwrap();
+        pop.observe_release(0.05).unwrap();
+        pop.set_horizon(Some(1)).unwrap();
+        let before = observables(&pop);
+        assert_eq!(pop.remerge_converged(), 0);
+        assert_eq!(pop.num_groups(), 2);
+        assert_eq!(observables(&pop), before);
+
+        // Asymmetric sums: not even the timelines re-agree.
+        let p = TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.1, 0.9]]).unwrap();
+        let mut pop = PopulationAccountant::new(&vec![AdversaryT::with_forward(p); 4]).unwrap();
+        pop.observe_release_personalized(&[(0..2, 0.1), (2..4, 0.3)])
+            .unwrap();
+        pop.observe_release(0.05).unwrap();
+        pop.set_horizon(Some(1)).unwrap();
+        assert_eq!(pop.remerge_converged(), 0);
+        assert_eq!(pop.num_timelines(), 2);
+    }
+
+    #[test]
+    fn most_exposed_early_out_matches_full_scan() {
+        // Distinct adversaries → singleton shards; caches are stale at
+        // query time, so every shard after the first incumbent goes
+        // through the hint-bound path. The early-out answer must equal
+        // the exhaustive per-user argmax bit for bit.
+        let adversaries = adversary_ladder();
+        let mut pop = PopulationAccountant::new(&adversaries).unwrap();
+        for t in 0..40 {
+            pop.observe_release(0.05 + 0.01 * (t % 3) as f64).unwrap();
+        }
+        let fast = pop.most_exposed_user().unwrap();
+        let mut widx = 0;
+        let mut wval = f64::NEG_INFINITY;
+        for i in 0..pop.num_users() {
+            let v = pop.user(i).unwrap().max_tpl().unwrap();
+            if v > wval {
+                (widx, wval) = (i, v);
+            }
+        }
+        assert_eq!(fast, widx);
+        assert_eq!(
+            pop.user(fast).unwrap().max_tpl().unwrap().to_bits(),
+            wval.to_bits()
+        );
+    }
+
+    #[test]
+    fn most_exposed_early_out_skips_series_rebuilds() {
+        // The point of the hint bound: dominated shards must not pay
+        // their O(T) series rebuild. Comparative assertion (loss-eval
+        // deltas, not absolute counts): the pruned scan on one fresh
+        // population costs strictly fewer evaluations than the
+        // exhaustive scan on an identical fresh population.
+        let t_len = 500;
+        let mut pruned = PopulationAccountant::new(&adversary_ladder()).unwrap();
+        let mut full = PopulationAccountant::new(&adversary_ladder()).unwrap();
+        for _ in 0..t_len {
+            pruned.observe_release(0.1).unwrap();
+            full.observe_release(0.1).unwrap();
+        }
+        let evals = |pop: &PopulationAccountant| -> u64 {
+            (0..pop.num_users())
+                .map(|i| pop.user(i).unwrap().loss_eval_count())
+                .sum()
+        };
+        let pruned_before = evals(&pruned);
+        let fast = pruned.most_exposed_user().unwrap();
+        let pruned_delta = evals(&pruned) - pruned_before;
+
+        let full_before = evals(&full);
+        let mut widx = 0;
+        let mut wval = f64::NEG_INFINITY;
+        for i in 0..full.num_users() {
+            let v = full.user(i).unwrap().max_tpl().unwrap();
+            if v > wval {
+                (widx, wval) = (i, v);
+            }
+        }
+        let full_delta = evals(&full) - full_before;
+        assert_eq!(fast, widx);
+        assert!(
+            pruned_delta < full_delta,
+            "early-out paid {pruned_delta} evals, full scan {full_delta}"
+        );
+    }
+
+    /// One dominant user followed by a ladder of clearly weaker distinct
+    /// adversaries — every user its own shard, group order = user order.
+    fn adversary_ladder() -> Vec<AdversaryT> {
+        let mut out = vec![strong_user()];
+        for i in 0..7 {
+            let d = 0.50 + 0.01 * i as f64;
+            let p = TransitionMatrix::from_rows(vec![vec![d, 1.0 - d], vec![1.0 - d, d]]).unwrap();
+            out.push(AdversaryT::with_both(p.clone(), p).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn population_w_event_joins_per_user_guarantees() {
+        let mut pop = PopulationAccountant::new(&[strong_user(), weak_user()]).unwrap();
+        pop.track_w_event(3).unwrap();
+        for t in 0..6 {
+            pop.observe_release(0.1 + 0.05 * (t % 2) as f64).unwrap();
+        }
+        let expect = (0..pop.num_users())
+            .map(|i| crate::composition::w_event_guarantee(pop.user(i).unwrap(), 3).unwrap())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(
+            pop.w_event_guarantee(3).unwrap().to_bits(),
+            expect.to_bits()
+        );
+
+        // Tracked windows survive a fold (armed before set_horizon).
+        pop.set_horizon(Some(2)).unwrap();
+        let folded = pop.w_event_guarantee(3).unwrap();
+        assert!(folded.is_finite());
     }
 }

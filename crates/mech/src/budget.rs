@@ -537,6 +537,30 @@ impl BudgetTimeline {
                 .zip(&b.budgets)
                 .all(|(x, y)| x.to_bits() == y.to_bits())
     }
+
+    /// Whether two timeline *objects* are interchangeable, i.e. one can
+    /// replace the other without any future query or fold behaving
+    /// differently: bitwise-equal trails ([`Self::series_eq`]) plus an
+    /// equal armed horizon (so future folds trigger identically) and an
+    /// equal folded-ε maximum (it feeds folded-history FPL bounds).
+    /// This is the re-sharing test the population accountant's
+    /// re-merge pass keys on.
+    pub fn merge_eq(&self, other: &BudgetTimeline) -> bool {
+        if std::ptr::eq(self, other) {
+            // Same object: trivially interchangeable (and a second read
+            // of the same lock on this thread could deadlock against a
+            // queued writer).
+            return true;
+        }
+        if !self.series_eq(other) {
+            return false;
+        }
+        let a = self.read();
+        let b = other.read();
+        a.horizon == b.horizon
+            && (a.folded > 0) == (b.folded > 0)
+            && (a.folded == 0 || a.folded_eps_max.to_bits() == b.folded_eps_max.to_bits())
+    }
 }
 
 impl Default for BudgetTimeline {

@@ -1,0 +1,109 @@
+//! Typed errors for the audit daemon. Every rejection a client can
+//! observe has a structured variant with a stable wire code (see
+//! [`ServeError::code`]) — admission control in particular answers with
+//! the *projected* guarantee and the ceiling it would have crossed, so a
+//! rejected release is auditable, not just refused.
+
+use std::fmt;
+use tcdp_core::TplError;
+
+/// Which guarantee a rejected release would have pushed past its
+/// ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CeilingScope {
+    /// The event-level α-DP_T guarantee (worst TPL over the timeline).
+    Event,
+    /// The Theorem 2 w-event guarantee for this window length.
+    Window(usize),
+}
+
+impl fmt::Display for CeilingScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CeilingScope::Event => write!(f, "event"),
+            CeilingScope::Window(w) => write!(f, "window:{w}"),
+        }
+    }
+}
+
+/// Everything that can go wrong between a protocol line and an answer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected a release: observing it would have
+    /// pushed `scope` to `projected`, past the tenant's `ceiling`. The
+    /// release was **not** observed — the tenant's published state is
+    /// exactly what it was before the request.
+    CeilingExceeded {
+        scope: CeilingScope,
+        projected: f64,
+        ceiling: f64,
+    },
+    /// The named tenant does not exist.
+    UnknownTenant(String),
+    /// `CREATE` for a name that is already registered.
+    DuplicateTenant(String),
+    /// Tenant names are `[A-Za-z0-9_-]{1,64}` — they become file names
+    /// in the data directory.
+    InvalidTenantName(String),
+    /// A request line that does not parse (unknown verb, malformed
+    /// payload, bad number...). The message says what was expected.
+    BadRequest(String),
+    /// An accounting-layer error surfaced verbatim.
+    Core(TplError),
+    /// Filesystem trouble in the persistence layer.
+    Io(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code, the first token after `ERR` on the
+    /// wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::CeilingExceeded { .. } => "ceiling-exceeded",
+            ServeError::UnknownTenant(_) => "unknown-tenant",
+            ServeError::DuplicateTenant(_) => "duplicate-tenant",
+            ServeError::InvalidTenantName(_) => "invalid-tenant-name",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::Core(_) => "core",
+            ServeError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::CeilingExceeded {
+                scope,
+                projected,
+                ceiling,
+            } => write!(f, "scope={scope} projected={projected} ceiling={ceiling}"),
+            ServeError::UnknownTenant(name) => write!(f, "no tenant named '{name}'"),
+            ServeError::DuplicateTenant(name) => write!(f, "tenant '{name}' already exists"),
+            ServeError::InvalidTenantName(name) => {
+                write!(f, "tenant name '{name}' is not [A-Za-z0-9_-]{{1,64}}")
+            }
+            ServeError::BadRequest(msg) => write!(f, "{msg}"),
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Io(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TplError> for ServeError {
+    fn from(e: TplError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,41 @@
+//! # tcdp-serve — the multi-tenant temporal-privacy audit daemon
+//!
+//! Long-running services need the paper's accounting (*Quantifying
+//! Differential Privacy under Temporal Correlations*, ICDE 2017) as a
+//! shared service, not a library call: many tenants ingesting release
+//! streams concurrently, query clients streaming `max_tpl` /
+//! `most_exposed` / w-event audits against them, admission control
+//! refusing releases that would blow a privacy budget, and crash
+//! recovery that restores every tenant bit-identically.
+//!
+//! The crate is four layers, each usable on its own:
+//!
+//! * [`tenant`] — one tenant: a [`tcdp_core::PopulationWriter`] with
+//!   budget-ceiling admission control on the ingest path. A rejected
+//!   release is never observed.
+//! * [`protocol`] — the line-delimited wire protocol (`CREATE`,
+//!   `OBSERVE`, `QUERY`, `CEILING`, `SNAPSHOT`, ...) and the population
+//!   spec / release grammar shared with the CLI.
+//! * [`server`] — the registry: single writer per tenant, lock-free
+//!   revision-stamped queries, TCP/Unix-socket request loops.
+//! * [`persist`] — per-tenant snapshot-once-then-delta persistence on
+//!   the binary checkpoint pipeline, with compaction and boot recovery.
+//!
+//! See `crates/serve/README.md` for the wire protocol reference,
+//! admission semantics, and recovery guarantees.
+
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod persist;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use error::{CeilingScope, Result, ServeError};
+pub use persist::{PersistState, RecoveredTenant, SaveOutcome, TenantStore};
+pub use protocol::{
+    parse_population_spec, parse_release, parse_request, GroupSpec, Query, Release, Request,
+};
+pub use server::Server;
+pub use tenant::{Ceiling, Tenant};

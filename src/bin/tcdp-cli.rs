@@ -40,6 +40,7 @@ use tcdp::core::personalized::PopulationAccountant;
 use tcdp::core::supremum::{supremum_of_matrix, Supremum};
 use tcdp::core::{quantified_plan, upper_bound_plan, AdversaryT, Checkpoint, TplAccountant};
 use tcdp::markov::TransitionMatrix;
+use tcdp::serve::GroupSpec;
 
 const USAGE: &str = "\
 tcdp-cli — temporal privacy leakage toolkit (Cao et al., ICDE 2017)
@@ -403,13 +404,6 @@ fn parse_fold_horizon(opts: &Opts, windows: &[usize]) -> Result<Option<usize>, S
     Ok(Some(h))
 }
 
-/// One group of a `--population` spec: a contiguous user range sharing
-/// one adversary model.
-struct GroupSpec {
-    users: Range<usize>,
-    adversary: AdversaryT,
-}
-
 /// Resolve an inline-or-`@file` spec into its text.
 fn spec_text(name: &str, spec: &str) -> Result<String, String> {
     if let Some(path) = spec.strip_prefix('@') {
@@ -421,55 +415,11 @@ fn spec_text(name: &str, spec: &str) -> Result<String, String> {
 
 /// Parse a `--population` spec (inline JSON or `@file`): an array of
 /// `{"count": N, "pb": M?, "pf": M?}` objects; users are numbered 0.. in
-/// group order.
+/// group order. The grammar lives in the serve crate — the daemon's
+/// `CREATE` verb and this flag accept identical specs.
 fn parse_population_spec(spec: &str) -> Result<Vec<GroupSpec>, String> {
-    use serde::{Deserialize as _, Value};
     let text = spec_text("population", spec)?;
-    let v: Value =
-        serde_json::from_str(&text).map_err(|e| format!("--population: bad JSON: {e}"))?;
-    let Value::Seq(entries) = &v else {
-        return Err("--population: expected a JSON array of group objects".into());
-    };
-    if entries.is_empty() {
-        return Err("--population: at least one group is required".into());
-    }
-    let mut groups = Vec::with_capacity(entries.len());
-    let mut start = 0usize;
-    for (g, entry) in entries.iter().enumerate() {
-        let count = match entry.get("count") {
-            Some(Value::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
-            _ => {
-                return Err(format!(
-                    "--population: groups[{g}]: `count` must be a positive integer"
-                ))
-            }
-        };
-        let side = |k: &str| -> Result<Option<TransitionMatrix>, String> {
-            match entry.get(k) {
-                None | Some(Value::Null) => Ok(None),
-                Some(v) => {
-                    let rows = Vec::<Vec<f64>>::from_value(v)
-                        .map_err(|e| format!("--population: groups[{g}].{k}: {e}"))?;
-                    TransitionMatrix::from_rows(rows)
-                        .map(Some)
-                        .map_err(|e| format!("--population: groups[{g}].{k}: {e}"))
-                }
-            }
-        };
-        let adversary = match (side("pb")?, side("pf")?) {
-            (Some(b), Some(f)) => AdversaryT::with_both(b, f)
-                .map_err(|e| format!("--population: groups[{g}]: {e}"))?,
-            (Some(b), None) => AdversaryT::with_backward(b),
-            (None, Some(f)) => AdversaryT::with_forward(f),
-            (None, None) => AdversaryT::traditional(),
-        };
-        groups.push(GroupSpec {
-            users: start..start + count,
-            adversary,
-        });
-        start += count;
-    }
-    Ok(groups)
+    tcdp::serve::parse_population_spec(&text).map_err(|e| format!("--population: {e}"))
 }
 
 /// One parsed `--budgets` line of a population audit.

@@ -1,0 +1,183 @@
+//! `tcdp-serve` — the multi-tenant temporal-privacy audit daemon.
+//!
+//! Serves the line protocol (see `crates/serve/README.md`) over TCP or
+//! a Unix domain socket: tenants register population specs, ingest
+//! release streams under budget-ceiling admission control, and answer
+//! revision-stamped leakage queries to any number of concurrent
+//! clients. With `--data-dir`, every tenant persists on the binary
+//! snapshot+delta checkpoint pipeline and is recovered bit-identically
+//! on boot.
+//!
+//! ```bash
+//! tcdp-serve --tcp 127.0.0.1:7171 --data-dir /var/lib/tcdp \
+//!            --snapshot-every-secs 30 --compact-after 64
+//! printf 'CREATE acme [{"count":100}]\nOBSERVE acme 0.1\nQUERY acme max_tpl\n' \
+//!   | nc 127.0.0.1 7171
+//! ```
+
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use tcdp::serve::{Server, TenantStore};
+
+const USAGE: &str = "\
+tcdp-serve — multi-tenant temporal-privacy audit daemon (Cao et al., ICDE 2017)
+
+USAGE:
+  tcdp-serve [--tcp ADDR | --unix PATH]
+             [--data-dir DIR] [--compact-after N]
+             [--snapshot-every-secs S] [--snapshot-every-releases N]
+             [--no-remerge]
+
+  --tcp ADDR                 listen on a TCP address (default 127.0.0.1:0;
+                             the chosen port is printed on the
+                             'listening on ...' line)
+  --unix PATH                listen on a Unix domain socket instead
+  --data-dir DIR             persist tenants here (binary snapshot +
+                             delta log per tenant) and recover them on
+                             boot
+  --snapshot-every-secs S    timed persistence: save every tenant's
+                             latest snapshot every S seconds
+  --snapshot-every-releases N
+                             additionally save a tenant after every N
+                             observed releases
+  --compact-after N          fold a tenant's delta log into its
+                             snapshot once N records accumulate
+  --no-remerge               skip the shard re-merge pass on the timed
+                             snapshot cycle
+
+The protocol is line-delimited; see crates/serve/README.md for the verb
+reference (CREATE, OBSERVE, QUERY, CEILING, HORIZON, REMERGE, SNAPSHOT,
+TENANTS, PING).
+";
+
+struct Opts {
+    tcp: Option<String>,
+    unix: Option<String>,
+    data_dir: Option<String>,
+    snapshot_every_secs: Option<u64>,
+    snapshot_every_releases: Option<usize>,
+    compact_after: Option<usize>,
+    remerge: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        tcp: None,
+        unix: None,
+        data_dir: None,
+        snapshot_every_secs: None,
+        snapshot_every_releases: None,
+        compact_after: None,
+        remerge: true,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--tcp" => opts.tcp = Some(value()?),
+            "--unix" => opts.unix = Some(value()?),
+            "--data-dir" => opts.data_dir = Some(value()?),
+            "--snapshot-every-secs" => {
+                opts.snapshot_every_secs =
+                    Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?)
+            }
+            "--snapshot-every-releases" => {
+                opts.snapshot_every_releases =
+                    Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?)
+            }
+            "--compact-after" => {
+                opts.compact_after = Some(value()?.parse().map_err(|e| format!("{flag}: {e}"))?)
+            }
+            "--no-remerge" => opts.remerge = false,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.tcp.is_some() && opts.unix.is_some() {
+        return Err("--tcp and --unix are mutually exclusive".into());
+    }
+    if opts.data_dir.is_none()
+        && (opts.snapshot_every_secs.is_some()
+            || opts.snapshot_every_releases.is_some()
+            || opts.compact_after.is_some())
+    {
+        return Err("persistence flags need --data-dir DIR".into());
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_opts(&args)?;
+
+    let server = match &opts.data_dir {
+        Some(dir) => {
+            let store = TenantStore::open(Path::new(dir), opts.compact_after)
+                .map_err(|e| format!("--data-dir {dir}: {e}"))?;
+            let server = Server::with_store(store, opts.snapshot_every_releases)
+                .map_err(|e| format!("recovery from {dir} failed: {e}"))?;
+            let recovered = server.tenant_names();
+            if !recovered.is_empty() {
+                println!(
+                    "recovered {} tenant(s): {}",
+                    recovered.len(),
+                    recovered.join(" ")
+                );
+            }
+            server
+        }
+        None => Server::new(),
+    };
+    let server = Arc::new(server);
+
+    if let Some(secs) = opts.snapshot_every_secs {
+        let server = Arc::clone(&server);
+        let period = Duration::from_secs(secs.max(1));
+        let remerge = opts.remerge;
+        std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            for (tenant, result) in server.persist_tick(remerge) {
+                if let Err(e) = result {
+                    eprintln!("snapshot {tenant}: {} {e}", e.code());
+                }
+            }
+        });
+    }
+
+    if let Some(path) = &opts.unix {
+        // A stale socket file from a killed daemon would block the bind.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path).map_err(|e| format!("--unix {path}: {e}"))?;
+        println!("listening on unix {path}");
+        server.serve_unix(listener).map_err(|e| e.to_string())
+    } else {
+        let addr = opts.tcp.as_deref().unwrap_or("127.0.0.1:0");
+        let listener = TcpListener::bind(addr).map_err(|e| format!("--tcp {addr}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        println!("listening on tcp {local}");
+        server.serve_tcp(listener).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -46,3 +46,4 @@ pub use tcdp_data as data;
 pub use tcdp_lp as lp;
 pub use tcdp_markov as markov;
 pub use tcdp_mech as mech;
+pub use tcdp_serve as serve;
